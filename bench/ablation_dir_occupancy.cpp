@@ -1,0 +1,59 @@
+// Ablation: does hot-spot queueing at the coherence directory drive the
+// heap's collapse?
+//
+// With MachineConfig::model_dir_occupancy off, every directory services
+// requests with unbounded parallelism — the machine has no hot-spot
+// penalty. The heap's size counter and root then cost only their raw miss
+// latency, and the gap to the SkipQueue should shrink dramatically. This
+// validates that the simulated effect matches the paper's explanation
+// ("sequential bottlenecks and increased contention").
+#include "figure_common.hpp"
+
+int main() {
+  const auto procs = figbench::proc_sweep();
+
+  harness::Table t;
+  t.title = "Heap vs SkipQueue, with and without directory occupancy";
+  t.columns = {"procs", "heap del (hot)", "skip del (hot)", "heap del (flat)",
+               "skip del (flat)"};
+
+  harness::Table csv;
+  csv.columns = {"occupancy", "structure", "procs", "mean_insert",
+                 "mean_delete", "dir_queue_cycles"};
+
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t i = 0; i < procs.size(); ++i)
+    rows.push_back({std::to_string(procs[i]), "", "", "", ""});
+
+  for (bool occupancy : {true, false}) {
+    for (auto kind :
+         {harness::QueueKind::HuntHeap, harness::QueueKind::SkipQueue}) {
+      for (std::size_t i = 0; i < procs.size(); ++i) {
+        harness::BenchmarkConfig cfg;
+        cfg.kind = kind;
+        cfg.processors = procs[i];
+        cfg.initial_size = 1000;
+        cfg.total_ops = harness::scaled_ops(20000);
+        cfg.machine.model_dir_occupancy = occupancy;
+        std::fprintf(stderr, "[bench] occ=%d %s procs=%d ...\n", occupancy,
+                     harness::to_string(kind), procs[i]);
+        const auto r = harness::run_benchmark(cfg);
+        const std::size_t col =
+            (kind == harness::QueueKind::HuntHeap ? 1u : 2u) +
+            (occupancy ? 0u : 2u);
+        rows[i][col] = harness::fmt(r.mean_delete());
+        csv.add_row({occupancy ? "on" : "off", harness::to_string(kind),
+                     std::to_string(procs[i]), harness::fmt(r.mean_insert(), 1),
+                     harness::fmt(r.mean_delete(), 1),
+                     std::to_string(r.machine_stats.dir_queue_cycles)});
+      }
+    }
+  }
+  for (auto& row : rows) t.add_row(row);
+
+  std::cout << "=== ablation_dir_occupancy ===\n\n";
+  print_table(std::cout, t);
+  write_csv("ablation_dir_occupancy.csv", csv);
+  std::cout << "\n[csv written to ablation_dir_occupancy.csv]\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Ablation: combining-funnel geometry.
+//
+// The paper's funnel adapted its width and depth on the fly; ours is
+// statically sized. This bench sweeps width (and two depths) at a fixed
+// high processor count to show the trade-off the adaptive scheme navigates:
+// too narrow serializes on the slots, too wide never combines.
+#include "figure_common.hpp"
+
+int main() {
+  const int procs = std::min(64, harness::max_sweep_procs());
+
+  harness::Table t;
+  t.title = "FunnelList geometry sweep (" + std::to_string(procs) +
+            " procs, init 50, 50% inserts)";
+  t.columns = {"layers", "width", "insert (cycles)", "delete-min (cycles)"};
+
+  harness::Table csv;
+  csv.columns = {"layers", "width", "mean_insert", "mean_delete", "makespan"};
+
+  for (int layers : {1, 2, 3}) {
+    for (int width : {1, 2, 4, 8, 16, 32}) {
+      harness::BenchmarkConfig cfg;
+      cfg.kind = harness::QueueKind::FunnelList;
+      cfg.processors = procs;
+      cfg.initial_size = 50;
+      cfg.total_ops = harness::scaled_ops(20000);
+      cfg.funnel_layers = layers;
+      cfg.funnel_width = width;
+      std::fprintf(stderr, "[bench] funnel layers=%d width=%d ...\n", layers,
+                   width);
+      const auto r = harness::run_benchmark(cfg);
+      t.add_row({std::to_string(layers), std::to_string(width),
+                 harness::fmt(r.mean_insert()), harness::fmt(r.mean_delete())});
+      csv.add_row({std::to_string(layers), std::to_string(width),
+                   harness::fmt(r.mean_insert(), 1),
+                   harness::fmt(r.mean_delete(), 1),
+                   std::to_string(r.makespan)});
+    }
+  }
+
+  std::cout << "=== ablation_funnel_width ===\n\n";
+  print_table(std::cout, t);
+  write_csv("ablation_funnel_width.csv", csv);
+  std::cout << "\n[csv written to ablation_funnel_width.csv]\n";
+  return 0;
+}

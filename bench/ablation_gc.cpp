@@ -1,0 +1,49 @@
+// Ablation: cost of the timestamp garbage-collection machinery.
+//
+// GC adds, per operation, one clock read plus two writes to the entry
+// registry, and per deletion a stamped retire; the dedicated collector
+// processor generates scan traffic. This bench runs the SkipQueue with GC
+// on and off (off = nodes leak for the duration of the run, as in systems
+// with external reclamation).
+#include "figure_common.hpp"
+
+int main() {
+  const auto procs = figbench::proc_sweep();
+
+  harness::Table t;
+  t.title = "SkipQueue: GC on vs off (init 1000, 50% inserts)";
+  t.columns = {"procs", "gc ins", "nogc ins", "gc del", "nogc del"};
+
+  harness::Table csv;
+  csv.columns = {"gc", "procs", "mean_insert", "mean_delete", "makespan"};
+
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t i = 0; i < procs.size(); ++i)
+    rows.push_back({std::to_string(procs[i]), "", "", "", ""});
+
+  for (bool gc : {true, false}) {
+    for (std::size_t i = 0; i < procs.size(); ++i) {
+      harness::BenchmarkConfig cfg;
+      cfg.kind = harness::QueueKind::SkipQueue;
+      cfg.processors = procs[i];
+      cfg.initial_size = 1000;
+      cfg.total_ops = harness::scaled_ops(20000);
+      cfg.use_gc = gc;
+      std::fprintf(stderr, "[bench] gc=%d procs=%d ...\n", gc, procs[i]);
+      const auto r = harness::run_benchmark(cfg);
+      rows[i][gc ? 1 : 2] = harness::fmt(r.mean_insert());
+      rows[i][gc ? 3 : 4] = harness::fmt(r.mean_delete());
+      csv.add_row({gc ? "on" : "off", std::to_string(procs[i]),
+                   harness::fmt(r.mean_insert(), 1),
+                   harness::fmt(r.mean_delete(), 1),
+                   std::to_string(r.makespan)});
+    }
+  }
+  for (auto& row : rows) t.add_row(row);
+
+  std::cout << "=== ablation_gc: reclamation overhead ===\n\n";
+  print_table(std::cout, t);
+  write_csv("ablation_gc.csv", csv);
+  std::cout << "\n[csv written to ablation_gc.csv]\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation: skiplist node memory layout.
+//
+// By default a node's words are packed the way a C struct would be, so
+// unrelated nodes can share cache lines (false sharing on the hot bottom-
+// level scan). pad_nodes line-aligns every node allocation. DESIGN.md
+// design choice #2.
+#include "figure_common.hpp"
+
+int main() {
+  const auto procs = figbench::proc_sweep();
+
+  harness::Table del, ins;
+  del.title = "Average deletion time (cycles)";
+  ins.title = "Average insertion time (cycles)";
+  del.columns = {"procs", "packed del", "padded del"};
+  ins.columns = {"procs", "packed ins", "padded ins"};
+
+  harness::Table csv;
+  csv.columns = {"layout", "procs", "mean_insert", "mean_delete",
+                 "cache_misses", "invalidations"};
+
+  for (bool padded : {false, true}) {
+    for (std::size_t i = 0; i < procs.size(); ++i) {
+      harness::BenchmarkConfig cfg;
+      cfg.kind = harness::QueueKind::SkipQueue;
+      cfg.processors = procs[i];
+      cfg.initial_size = 1000;
+      cfg.total_ops = harness::scaled_ops(20000);
+      cfg.pad_nodes = padded;
+      std::fprintf(stderr, "[bench] layout=%s procs=%d ...\n",
+                   padded ? "padded" : "packed", procs[i]);
+      const auto r = harness::run_benchmark(cfg);
+      if (!padded) {
+        del.add_row({std::to_string(procs[i]), harness::fmt(r.mean_delete()), ""});
+        ins.add_row({std::to_string(procs[i]), harness::fmt(r.mean_insert()), ""});
+      } else {
+        del.rows[i][2] = harness::fmt(r.mean_delete());
+        ins.rows[i][2] = harness::fmt(r.mean_insert());
+      }
+      csv.add_row({padded ? "padded" : "packed", std::to_string(procs[i]),
+                   harness::fmt(r.mean_insert(), 1),
+                   harness::fmt(r.mean_delete(), 1),
+                   std::to_string(r.machine_stats.cache_misses()),
+                   std::to_string(r.machine_stats.invalidations_sent)});
+    }
+  }
+
+  std::cout << "=== ablation_layout: packed vs line-aligned skiplist nodes ===\n\n";
+  print_table(std::cout, del);
+  std::cout << "\n";
+  print_table(std::cout, ins);
+  write_csv("ablation_layout.csv", csv);
+  std::cout << "\n[csv written to ablation_layout.csv]\n";
+  return 0;
+}

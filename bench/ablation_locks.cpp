@@ -1,0 +1,27 @@
+// Ablation: lock implementation inside the SkipQueue.
+//
+// The paper used the blocking semaphores provided by Proteus and remarks
+// that "more efficient lock implementations are known in the literature."
+// This bench swaps every per-(node,level) lock for a test-and-test-and-set
+// spinlock over simulated memory: the spinning turns waiting time into
+// coherence traffic at the lock word's home directory.
+#include "figure_common.hpp"
+
+int main() {
+  harness::BenchmarkConfig base;
+  base.initial_size = 1000;
+  base.total_ops = harness::scaled_ops(20000);
+  base.insert_ratio = 0.5;
+  base.work_cycles = 100;
+
+  const auto procs = figbench::proc_sweep();
+  const auto sweep = figbench::run_sweep(
+      base, procs,
+      {harness::QueueKind::SkipQueue, harness::QueueKind::TTSSkipQueue});
+
+  figbench::emit("ablation_locks",
+                 "blocking (paper) vs spin locks in the SkipQueue", procs,
+                 sweep);
+  figbench::print_headline(procs, sweep, /*baseline=*/1, /*subject=*/0);
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Figure 3: the small structure benchmark. All structures start with 50
+// random elements; 70000 operations, 50% inserts; latency vs processors.
+// Paper findings: FunnelList wins below ~16 processors; above that the
+// SkipQueue dominates — ~4x faster inserts than FunnelList and ~10x faster
+// inserts / ~3x faster deletes than the Heap at 256 processors.
+#include "figure_common.hpp"
+
+int main() {
+  harness::BenchmarkConfig base;
+  base.initial_size = 50;
+  base.total_ops = harness::scaled_ops(70000);
+  base.insert_ratio = 0.5;
+  base.work_cycles = 100;
+
+  const auto procs = figbench::proc_sweep();
+  const auto sweep = figbench::run_sweep(
+      base, procs,
+      {harness::QueueKind::HuntHeap, harness::QueueKind::SkipQueue,
+       harness::QueueKind::FunnelList});
+
+  figbench::emit("fig3_small",
+                 "small structure (init 50, 70000 ops, 50% inserts)", procs,
+                 sweep);
+  figbench::print_headline(procs, sweep, /*baseline=*/0, /*subject=*/1);
+  return 0;
+}

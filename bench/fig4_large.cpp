@@ -1,0 +1,26 @@
+// Figure 4: the large structure benchmark — same as Figure 3 but with 1000
+// initial elements. The FunnelList's linear-time list traversal collapses;
+// the two logarithmic structures barely notice the 20x size increase.
+// Paper: at 256 processors the SkipQueue is ~2.5x faster on deletions and
+// ~6.5x faster on insertions than the Heap.
+#include "figure_common.hpp"
+
+int main() {
+  harness::BenchmarkConfig base;
+  base.initial_size = 1000;
+  base.total_ops = harness::scaled_ops(70000);
+  base.insert_ratio = 0.5;
+  base.work_cycles = 100;
+
+  const auto procs = figbench::proc_sweep();
+  const auto sweep = figbench::run_sweep(
+      base, procs,
+      {harness::QueueKind::HuntHeap, harness::QueueKind::SkipQueue,
+       harness::QueueKind::FunnelList});
+
+  figbench::emit("fig4_large",
+                 "large structure (init 1000, 70000 ops, 50% inserts)", procs,
+                 sweep);
+  figbench::print_headline(procs, sweep, /*baseline=*/0, /*subject=*/1);
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Figure 7: SkipQueue vs Relaxed SkipQueue on the large structure
+// benchmark (init 1000, 7000 ops, 50% inserts).
+#include "figure_common.hpp"
+
+int main() {
+  harness::BenchmarkConfig base;
+  base.initial_size = 1000;
+  base.total_ops = harness::scaled_ops(7000);
+  base.insert_ratio = 0.5;
+  base.work_cycles = 100;
+
+  const auto procs = figbench::proc_sweep();
+  const auto sweep = figbench::run_sweep(
+      base, procs,
+      {harness::QueueKind::SkipQueue, harness::QueueKind::RelaxedSkipQueue});
+
+  figbench::emit("fig7_relaxed_large",
+                 "SkipQueue vs Relaxed, large structure (init 1000, 7000 ops)",
+                 procs, sweep);
+  figbench::print_headline(procs, sweep, /*baseline=*/0, /*subject=*/1);
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Figure 8: SkipQueue vs Relaxed SkipQueue on the 70-percent-deletions
+// benchmark (init 27000, 60000 ops, 30% inserts).
+#include "figure_common.hpp"
+
+int main() {
+  harness::BenchmarkConfig base;
+  base.initial_size = 27000;
+  base.total_ops = harness::scaled_ops(60000);
+  base.insert_ratio = 0.3;
+  base.work_cycles = 100;
+
+  const auto procs = figbench::proc_sweep();
+  const auto sweep = figbench::run_sweep(
+      base, procs,
+      {harness::QueueKind::SkipQueue, harness::QueueKind::RelaxedSkipQueue});
+
+  figbench::emit("fig8_relaxed_70del",
+                 "SkipQueue vs Relaxed, 70% deletions (init 27000, 60000 ops)",
+                 procs, sweep);
+  figbench::print_headline(procs, sweep, /*baseline=*/0, /*subject=*/1);
+  return 0;
+}

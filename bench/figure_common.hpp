@@ -1,0 +1,193 @@
+// Shared plumbing for the per-figure benchmark binaries.
+//
+// Every binary reproduces one table or figure from the paper: it sweeps
+// processor counts (powers of two, as on the paper's x-axes), runs the
+// paper's synthetic workload on each structure, prints the latency series
+// as a table, and writes a CSV next to the binary for plotting.
+//
+// Environment knobs:
+//   SLPQ_BENCH_SCALE  scales the operation counts (default 1.0)
+//   SLPQ_MAX_PROCS    caps the sweep (default 256)
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/ascii_chart.hpp"
+#include "harness/report.hpp"
+#include "harness/workload.hpp"
+
+namespace figbench {
+
+/// 1, 2, 4, ..., up to min(limit, SLPQ_MAX_PROCS).
+inline std::vector<int> proc_sweep(int limit = 256) {
+  const int cap = std::min(limit, harness::max_sweep_procs());
+  std::vector<int> out;
+  for (int p = 1; p <= cap; p *= 2) out.push_back(p);
+  return out;
+}
+
+struct SweepSeries {
+  harness::QueueKind kind;
+  std::vector<harness::BenchmarkResult> results;  // parallel to procs
+};
+
+/// Runs `base` for every structure in `kinds` at every processor count.
+/// Progress goes to stderr so stdout stays a clean report.
+inline std::vector<SweepSeries> run_sweep(
+    const harness::BenchmarkConfig& base, const std::vector<int>& procs,
+    const std::vector<harness::QueueKind>& kinds) {
+  std::vector<SweepSeries> out;
+  for (auto kind : kinds) {
+    SweepSeries series;
+    series.kind = kind;
+    for (int p : procs) {
+      harness::BenchmarkConfig cfg = base;
+      cfg.kind = kind;
+      cfg.processors = p;
+      std::fprintf(stderr, "[bench] %-17s procs=%-3d ops=%llu ... ",
+                   harness::to_string(kind), p,
+                   static_cast<unsigned long long>(cfg.total_ops));
+      std::fflush(stderr);
+      series.results.push_back(harness::run_benchmark(cfg));
+      std::fprintf(stderr, "ins=%.0f del=%.0f cycles\n",
+                   series.results.back().mean_insert(),
+                   series.results.back().mean_delete());
+    }
+    out.push_back(std::move(series));
+  }
+  return out;
+}
+
+/// Builds the paper-style latency table: one row per processor count, one
+/// column per structure, for the chosen operation.
+inline harness::Table latency_table(const std::string& title,
+                                    const std::vector<int>& procs,
+                                    const std::vector<SweepSeries>& sweep,
+                                    bool deletes) {
+  harness::Table t;
+  t.title = title;
+  t.columns = {"procs"};
+  for (const auto& s : sweep)
+    t.columns.push_back(std::string(harness::to_string(s.kind)) +
+                        (deletes ? " del" : " ins"));
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    std::vector<std::string> row{std::to_string(procs[i])};
+    for (const auto& s : sweep)
+      row.push_back(harness::fmt(deletes ? s.results[i].mean_delete()
+                                         : s.results[i].mean_insert()));
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+/// Full CSV with both operations and extra diagnostics.
+inline harness::Table csv_table(const std::vector<int>& procs,
+                                const std::vector<SweepSeries>& sweep) {
+  harness::Table t;
+  t.columns = {"structure", "procs",   "mean_insert", "mean_delete",
+               "p50_insert", "p50_delete", "p99_insert", "p99_delete",
+               "inserts",   "deletes", "empties",     "makespan",
+               "final_size", "dir_queue_cycles", "cache_misses"};
+  for (const auto& s : sweep) {
+    for (std::size_t i = 0; i < procs.size(); ++i) {
+      const auto& r = s.results[i];
+      t.add_row({harness::to_string(s.kind), std::to_string(procs[i]),
+                 harness::fmt(r.mean_insert(), 1), harness::fmt(r.mean_delete(), 1),
+                 std::to_string(r.insert_latency.quantile(0.5)),
+                 std::to_string(r.delete_latency.quantile(0.5)),
+                 std::to_string(r.insert_latency.quantile(0.99)),
+                 std::to_string(r.delete_latency.quantile(0.99)),
+                 std::to_string(r.inserts), std::to_string(r.deletes),
+                 std::to_string(r.empties), std::to_string(r.makespan),
+                 std::to_string(r.final_size),
+                 std::to_string(r.machine_stats.dir_queue_cycles),
+                 std::to_string(r.machine_stats.cache_misses())});
+    }
+  }
+  return t;
+}
+
+/// Prints a ratio line such as "at 256 procs SkipQueue is 3.1x faster than
+/// Heap on deletions" for the largest processor count in the sweep.
+inline void print_headline(const std::vector<int>& procs,
+                           const std::vector<SweepSeries>& sweep,
+                           std::size_t baseline_idx, std::size_t subject_idx) {
+  if (sweep.size() <= std::max(baseline_idx, subject_idx) || procs.empty())
+    return;
+  const auto& base = sweep[baseline_idx].results.back();
+  const auto& subj = sweep[subject_idx].results.back();
+  std::cout << "At " << procs.back() << " processors, "
+            << harness::to_string(sweep[subject_idx].kind) << " vs "
+            << harness::to_string(sweep[baseline_idx].kind) << ": deletions "
+            << harness::fmt_ratio(base.mean_delete(), subj.mean_delete())
+            << " faster, insertions "
+            << harness::fmt_ratio(base.mean_insert(), subj.mean_insert())
+            << " faster.\n";
+}
+
+inline void emit(const std::string& figure, const std::string& description,
+                 const std::vector<int>& procs,
+                 const std::vector<SweepSeries>& sweep) {
+  std::cout << "=== " << figure << ": " << description << " ===\n\n";
+  harness::Table del = latency_table("Average deletion time (cycles)", procs,
+                                     sweep, /*deletes=*/true);
+  harness::Table ins = latency_table("Average insertion time (cycles)", procs,
+                                     sweep, /*deletes=*/false);
+  print_table(std::cout, del);
+  std::cout << "\n";
+  print_table(std::cout, ins);
+  std::cout << "\n";
+
+  if (procs.size() > 1) {
+    std::vector<double> xs(procs.begin(), procs.end());
+    auto series_of = [&](bool deletes) {
+      std::vector<harness::ChartSeries> out;
+      for (const auto& s : sweep) {
+        harness::ChartSeries cs{harness::to_string(s.kind), {}};
+        for (const auto& r : s.results)
+          cs.ys.push_back(deletes ? r.mean_delete() : r.mean_insert());
+        out.push_back(std::move(cs));
+      }
+      return out;
+    };
+    harness::ChartOptions copt;
+    copt.title = "delete-min latency (the paper's left-hand panels)";
+    std::cout << render_chart(xs, series_of(true), copt) << "\n";
+    copt.title = "insert latency (the paper's right-hand panels)";
+    std::cout << render_chart(xs, series_of(false), copt) << "\n";
+  }
+
+  // The paper pairs each full-range panel with a closeup of the low end
+  // (1..32 processors); print the same subset when the sweep covers it.
+  std::vector<int> close_procs;
+  for (int p : procs)
+    if (p <= 32) close_procs.push_back(p);
+  if (close_procs.size() > 1 && close_procs.size() < procs.size()) {
+    std::vector<SweepSeries> close_sweep;
+    for (const auto& s : sweep) {
+      SweepSeries cs;
+      cs.kind = s.kind;
+      cs.results.assign(s.results.begin(),
+                        s.results.begin() +
+                            static_cast<std::ptrdiff_t>(close_procs.size()));
+      close_sweep.push_back(std::move(cs));
+    }
+    print_table(std::cout,
+                latency_table("Closeup: deletion time, 1..32 procs",
+                              close_procs, close_sweep, true));
+    std::cout << "\n";
+    print_table(std::cout,
+                latency_table("Closeup: insertion time, 1..32 procs",
+                              close_procs, close_sweep, false));
+    std::cout << "\n";
+  }
+
+  const std::string csv = figure + ".csv";
+  write_csv(csv, csv_table(procs, sweep));
+  std::cout << "[csv written to " << csv << "]\n\n";
+}
+
+}  // namespace figbench

@@ -1,0 +1,173 @@
+// google-benchmark microbenchmarks for the native (std::thread) queues.
+//
+// These measure real hardware throughput of slpq::SkipQueue and friends —
+// the library a downstream user links — as opposed to the fig*_ benches,
+// which measure the paper's simulated 256-way machine. On a box with few
+// cores the ->Threads(n) variants mostly measure oversubscription; the
+// single-thread numbers are the interesting ones there.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <optional>
+
+#include "slpq/detail/pairing_heap.hpp"
+#include "slpq/detail/random.hpp"
+#include "slpq/funnel_list.hpp"
+#include "slpq/global_lock_pq.hpp"
+#include "slpq/hunt_heap.hpp"
+#include "slpq/lock_free_skip_queue.hpp"
+#include "slpq/skip_queue.hpp"
+
+namespace {
+
+constexpr std::uint64_t kKeySpace = 1 << 20;
+constexpr std::size_t kPrefill = 1024;
+
+template <typename Queue>
+void mixed_ops(benchmark::State& state, Queue& q) {
+  slpq::detail::Xoshiro256 rng(
+      0xABCD + static_cast<std::uint64_t>(state.thread_index()));
+  for (auto _ : state) {
+    if (rng.bernoulli(0.5)) {
+      q.insert(static_cast<std::int64_t>(rng.below(kKeySpace)), 1);
+    } else {
+      benchmark::DoNotOptimize(q.delete_min());
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+template <typename Queue>
+void prefill(Queue& q) {
+  slpq::detail::Xoshiro256 rng(7);
+  for (std::size_t i = 0; i < kPrefill; ++i)
+    q.insert(static_cast<std::int64_t>(rng.below(kKeySpace)), 1);
+}
+
+// Each benchmark shares one queue across all its threads and repetitions.
+// The queue is built exactly once (function-local static, thread-safe
+// initialization) and deliberately never rebuilt: google-benchmark
+// re-enters the function many times while sibling threads may still be in
+// flight, so any per-repetition reset would race with them. The 50/50 mix
+// keeps the structure near its prefilled size across repetitions.
+void BM_SkipQueue_Mixed(benchmark::State& state) {
+  static slpq::SkipQueue<std::int64_t, int>& q = *[] {
+    auto* fresh = new slpq::SkipQueue<std::int64_t, int>();
+    prefill(*fresh);
+    return fresh;
+  }();
+  mixed_ops(state, q);
+}
+BENCHMARK(BM_SkipQueue_Mixed)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+
+void BM_RelaxedSkipQueue_Mixed(benchmark::State& state) {
+  static slpq::RelaxedSkipQueue<std::int64_t, int>& q = *[] {
+    auto* fresh = new slpq::RelaxedSkipQueue<std::int64_t, int>();
+    prefill(*fresh);
+    return fresh;
+  }();
+  mixed_ops(state, q);
+}
+BENCHMARK(BM_RelaxedSkipQueue_Mixed)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+
+void BM_LockFreeSkipQueue_Mixed(benchmark::State& state) {
+  static slpq::LockFreeSkipQueue<std::int64_t, int>& q = *[] {
+    auto* fresh = new slpq::LockFreeSkipQueue<std::int64_t, int>();
+    prefill(*fresh);
+    return fresh;
+  }();
+  mixed_ops(state, q);
+}
+BENCHMARK(BM_LockFreeSkipQueue_Mixed)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+
+void BM_HuntHeap_Mixed(benchmark::State& state) {
+  static slpq::HuntHeap<std::int64_t, int>& q = *[] {
+    auto* fresh = new slpq::HuntHeap<std::int64_t, int>(1 << 22);
+    prefill(*fresh);
+    return fresh;
+  }();
+  mixed_ops(state, q);
+}
+BENCHMARK(BM_HuntHeap_Mixed)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+
+void BM_FunnelList_Mixed(benchmark::State& state) {
+  static slpq::FunnelList<std::int64_t, int>& q = *[] {
+    auto* fresh = new slpq::FunnelList<std::int64_t, int>();
+    // NOTE: prefill on the funnel list is O(n^2) (sorted inserts) — keep
+    // the structure small, which is also its favourable regime.
+    slpq::detail::Xoshiro256 rng(7);
+    for (int i = 0; i < 64; ++i)
+      fresh->insert(static_cast<std::int64_t>(rng.below(kKeySpace)), 1);
+    return fresh;
+  }();
+  mixed_ops(state, q);
+}
+BENCHMARK(BM_FunnelList_Mixed)->Threads(1)->Threads(2)->UseRealTime();
+
+void BM_GlobalLockPQ_Mixed(benchmark::State& state) {
+  static slpq::GlobalLockPQ<std::int64_t, int>& q = *[] {
+    auto* fresh = new slpq::GlobalLockPQ<std::int64_t, int>();
+    prefill(*fresh);
+    return fresh;
+  }();
+  mixed_ops(state, q);
+}
+BENCHMARK(BM_GlobalLockPQ_Mixed)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+
+// Pure-insert and pure-delete single-thread costs for the SkipQueue.
+void BM_SkipQueue_Insert(benchmark::State& state) {
+  slpq::SkipQueue<std::int64_t, int> q;
+  slpq::detail::Xoshiro256 rng(3);
+  for (auto _ : state)
+    q.insert(static_cast<std::int64_t>(rng.below(1ULL << 40)), 1);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SkipQueue_Insert);
+
+void BM_SkipQueue_DeleteMin(benchmark::State& state) {
+  slpq::SkipQueue<std::int64_t, int> q;
+  slpq::detail::Xoshiro256 rng(3);
+  std::int64_t refill = 0;
+  for (auto _ : state) {
+    if (q.empty()) {
+      state.PauseTiming();
+      for (int i = 0; i < 10000; ++i)
+        q.insert(refill++ * 31 % 1000003, 1);
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(q.delete_min());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SkipQueue_DeleteMin);
+
+// Sequential reference: the pairing heap (no synchronization at all) puts
+// an upper bound on what any concurrent structure could deliver at one
+// thread.
+void BM_PairingHeap_Mixed(benchmark::State& state) {
+  slpq::detail::PairingHeap<std::int64_t, int> q;
+  slpq::detail::Xoshiro256 rng(0xABCD);
+  for (std::size_t i = 0; i < kPrefill; ++i)
+    q.push(static_cast<std::int64_t>(rng.below(kKeySpace)), 1);
+  for (auto _ : state) {
+    if (q.empty() || rng.bernoulli(0.5)) {
+      q.push(static_cast<std::int64_t>(rng.below(kKeySpace)), 1);
+    } else {
+      benchmark::DoNotOptimize(q.pop());
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PairingHeap_Mixed);
+
+// Level-generation cost (the skiplist's per-insert randomness).
+void BM_RandomLevel(benchmark::State& state) {
+  slpq::detail::Xoshiro256 rng(1);
+  slpq::detail::GeometricLevel dist(0.5, 20);
+  for (auto _ : state) benchmark::DoNotOptimize(dist(rng));
+}
+BENCHMARK(BM_RandomLevel);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Quickstart: the native SkipQueue in five minutes.
+//
+//   $ ./examples/quickstart
+//
+// Shows single-threaded use, the update-in-place semantics, the relaxed
+// variant, and a small multi-threaded producer/consumer run.
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "slpq/skip_queue.hpp"
+
+int main() {
+  // --- 1. Basic use -------------------------------------------------------
+  slpq::SkipQueue<int, std::string> todo;
+  todo.insert(30, "write the benchmarks");
+  todo.insert(10, "read the paper");
+  todo.insert(20, "build the simulator");
+
+  std::printf("tasks in priority order:\n");
+  while (auto task = todo.delete_min())
+    std::printf("  [%d] %s\n", task->first, task->second.c_str());
+
+  // --- 2. Duplicate keys update in place ----------------------------------
+  slpq::SkipQueue<int, std::string> updates;
+  updates.insert(5, "draft");
+  const bool fresh = updates.insert(5, "final");  // false: value replaced
+  std::printf("\nsecond insert of key 5 created a new node? %s\n",
+              fresh ? "yes" : "no (updated in place)");
+  std::printf("key 5 now holds: %s\n", updates.delete_min()->second.c_str());
+
+  // --- 3. Concurrent producers and consumers ------------------------------
+  slpq::SkipQueue<long, long> q;
+  constexpr int kProducers = 2, kConsumers = 2;
+  constexpr long kPerProducer = 50000;
+  std::atomic<bool> done{false};
+  std::atomic<long> consumed{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p)
+    threads.emplace_back([&, p] {
+      for (long i = 0; i < kPerProducer; ++i)
+        q.insert(i * kProducers + p, i);
+    });
+  for (int c = 0; c < kConsumers; ++c)
+    threads.emplace_back([&] {
+      for (;;) {
+        if (q.delete_min()) {
+          consumed.fetch_add(1);
+        } else if (done.load()) {
+          return;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+  done.store(true);
+  for (int c = 0; c < kConsumers; ++c)
+    threads[static_cast<std::size_t>(kProducers + c)].join();
+
+  std::printf("\nproduced %ld items, consumed %ld, left %zu, reclaimed %llu nodes\n",
+              kProducers * kPerProducer, consumed.load(), q.size(),
+              static_cast<unsigned long long>(q.reclaimed()));
+
+  // --- 4. The relaxed variant ---------------------------------------------
+  // Same API; delete_min may additionally return an item whose insert ran
+  // concurrently with it (Section 5.4 of the paper) — a fair trade when
+  // you want throughput and your priorities are advisory.
+  slpq::RelaxedSkipQueue<int, int> relaxed;
+  relaxed.insert(1, 1);
+  std::printf("\nrelaxed variant works the same here: got key %d\n",
+              relaxed.delete_min()->first);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Driving the Proteus-style multiprocessor simulator directly.
+//
+// The paper's evaluation ran on a simulated 256-node ccNUMA machine. This
+// example shows the psim API at a friendly scale: it builds a 32-processor
+// machine, runs the paper's mixed workload on each of the three priority
+// queues, and prints both the latency comparison and the machine-level
+// coherence statistics that explain it (hot-line queueing at the heap's
+// size counter vs. distributed traffic in the skiplist).
+//
+//   $ ./examples/simulator_demo [procs] [ops]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "harness/report.hpp"
+#include "harness/workload.hpp"
+
+int main(int argc, char** argv) {
+  const int procs = argc > 1 ? std::atoi(argv[1]) : 32;
+  const std::uint64_t ops = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20000;
+
+  harness::Table t;
+  t.title = "Mixed workload, " + std::to_string(procs) + " simulated processors, " +
+            std::to_string(ops) + " ops, 1000 initial elements";
+  t.columns = {"structure",    "insert (cycles)", "delete-min (cycles)",
+               "dir queueing", "cache misses",    "lock contended"};
+
+  for (auto kind : {harness::QueueKind::HuntHeap, harness::QueueKind::SkipQueue,
+                    harness::QueueKind::RelaxedSkipQueue,
+                    harness::QueueKind::FunnelList}) {
+    harness::BenchmarkConfig cfg;
+    cfg.kind = kind;
+    cfg.processors = procs;
+    cfg.initial_size = 1000;
+    cfg.total_ops = ops;
+    cfg.insert_ratio = 0.5;
+    cfg.work_cycles = 100;
+    const auto r = harness::run_benchmark(cfg);
+    t.add_row({harness::to_string(kind), harness::fmt(r.mean_insert()),
+               harness::fmt(r.mean_delete()),
+               std::to_string(r.machine_stats.dir_queue_cycles),
+               std::to_string(r.machine_stats.cache_misses()),
+               std::to_string(r.machine_stats.lock_contended)});
+  }
+
+  print_table(std::cout, t);
+  std::cout << "\nReading the numbers: the heap serializes every operation "
+               "through its size\ncounter and root, so its directory-queueing "
+               "cycles dwarf the skiplist's;\nthe funnel list pays a linear "
+               "walk per batch on a 1000-element list.\n";
+  return 0;
+}

@@ -1,0 +1,121 @@
+#include "harness/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace harness {
+
+namespace {
+
+constexpr char kMarkers[] = {'*', '+', 'o', 'x', '#', '@'};
+
+double transform(double v, bool log_scale) {
+  return log_scale ? std::log10(v) : v;
+}
+
+bool usable(double v, bool log_scale) {
+  return std::isfinite(v) && (!log_scale || v > 0.0);
+}
+
+std::string short_num(double v) {
+  char buf[32];
+  if (v >= 1e6)
+    std::snprintf(buf, sizeof buf, "%.1fM", v / 1e6);
+  else if (v >= 1e3)
+    std::snprintf(buf, sizeof buf, "%.1fk", v / 1e3);
+  else
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_chart(const std::vector<double>& xs,
+                         const std::vector<ChartSeries>& series,
+                         const ChartOptions& opt) {
+  std::ostringstream out;
+  if (!opt.title.empty()) out << opt.title << "\n";
+  if (xs.empty() || series.empty()) {
+    out << "(no data)\n";
+    return out.str();
+  }
+
+  // Data ranges over usable points.
+  double x_lo = std::numeric_limits<double>::infinity(), x_hi = -x_lo;
+  double y_lo = x_lo, y_hi = -x_lo;
+  for (double x : xs) {
+    if (!usable(x, opt.log_x)) continue;
+    x_lo = std::min(x_lo, x);
+    x_hi = std::max(x_hi, x);
+  }
+  for (const auto& s : series) {
+    for (double y : s.ys) {
+      if (!usable(y, opt.log_y)) continue;
+      y_lo = std::min(y_lo, y);
+      y_hi = std::max(y_hi, y);
+    }
+  }
+  if (!(x_lo <= x_hi) || !(y_lo <= y_hi)) {
+    out << "(no plottable data)\n";
+    return out.str();
+  }
+  if (y_lo == y_hi) y_hi = y_lo + 1;
+  if (x_lo == x_hi) x_hi = x_lo + 1;
+
+  const double tx_lo = transform(x_lo, opt.log_x);
+  const double tx_hi = transform(x_hi, opt.log_x);
+  const double ty_lo = transform(y_lo, opt.log_y);
+  const double ty_hi = transform(y_hi, opt.log_y);
+
+  std::vector<std::string> grid(static_cast<std::size_t>(opt.height),
+                                std::string(static_cast<std::size_t>(opt.width), ' '));
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char mark = kMarkers[si % sizeof kMarkers];
+    const auto& ys = series[si].ys;
+    for (std::size_t i = 0; i < xs.size() && i < ys.size(); ++i) {
+      if (!usable(xs[i], opt.log_x) || !usable(ys[i], opt.log_y)) continue;
+      const double fx = (transform(xs[i], opt.log_x) - tx_lo) / (tx_hi - tx_lo);
+      const double fy = (transform(ys[i], opt.log_y) - ty_lo) / (ty_hi - ty_lo);
+      const int col = static_cast<int>(std::lround(fx * (opt.width - 1)));
+      const int row = (opt.height - 1) -
+                      static_cast<int>(std::lround(fy * (opt.height - 1)));
+      if (row >= 0 && row < opt.height && col >= 0 && col < opt.width)
+        grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = mark;
+    }
+  }
+
+  // Frame with y-axis labels at top/bottom.
+  const std::string top_label = short_num(y_hi);
+  const std::string bot_label = short_num(y_lo);
+  const std::size_t label_width = std::max(top_label.size(), bot_label.size());
+
+  for (int r = 0; r < opt.height; ++r) {
+    std::string label(label_width, ' ');
+    if (r == 0) label = top_label + std::string(label_width - top_label.size(), ' ');
+    if (r == opt.height - 1)
+      label = bot_label + std::string(label_width - bot_label.size(), ' ');
+    out << label << " |" << grid[static_cast<std::size_t>(r)] << "\n";
+  }
+  out << std::string(label_width, ' ') << " +"
+      << std::string(static_cast<std::size_t>(opt.width), '-') << "\n";
+  out << std::string(label_width, ' ') << "  " << short_num(x_lo)
+      << std::string(static_cast<std::size_t>(std::max(
+                         1, opt.width - 2 -
+                                static_cast<int>(short_num(x_lo).size() +
+                                                 short_num(x_hi).size()))),
+                     ' ')
+      << short_num(x_hi) << "  (" << opt.x_label << ", "
+      << (opt.log_x ? "log" : "lin") << "; " << opt.y_label << ", "
+      << (opt.log_y ? "log" : "lin") << ")\n";
+
+  for (std::size_t si = 0; si < series.size(); ++si)
+    out << "  " << kMarkers[si % sizeof kMarkers] << " " << series[si].name
+        << "\n";
+  return out.str();
+}
+
+}  // namespace harness

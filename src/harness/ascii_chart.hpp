@@ -1,0 +1,31 @@
+// Terminal line charts for benchmark series — enough to eyeball the
+// paper's figures without leaving the shell.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace harness {
+
+struct ChartSeries {
+  std::string name;
+  std::vector<double> ys;  // parallel to the x values
+};
+
+struct ChartOptions {
+  int width = 64;    ///< plot-area columns
+  int height = 16;   ///< plot-area rows
+  bool log_x = true;  ///< processor sweeps are powers of two
+  bool log_y = true;  ///< latencies span orders of magnitude
+  std::string title;
+  std::string x_label = "procs";
+  std::string y_label = "cycles";
+};
+
+/// Renders one chart with all series overlaid (marker per series, legend
+/// below). Non-finite or non-positive values are skipped in log scales.
+std::string render_chart(const std::vector<double>& xs,
+                         const std::vector<ChartSeries>& series,
+                         const ChartOptions& opt = {});
+
+}  // namespace harness

@@ -1,0 +1,76 @@
+#include "harness/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace harness {
+
+void print_table(std::ostream& os, const Table& table) {
+  if (!table.title.empty()) os << "## " << table.title << "\n";
+  std::vector<std::size_t> widths(table.columns.size(), 0);
+  for (std::size_t c = 0; c < table.columns.size(); ++c)
+    widths[c] = table.columns[c].size();
+  for (const auto& row : table.rows)
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+         << (c == 0 ? std::left : std::right) << cell;
+      os << std::right;
+    }
+    os << "\n";
+  };
+
+  print_row(table.columns);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : table.rows) print_row(row);
+  os.flush();
+}
+
+void write_csv(const std::string& path, const Table& table) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::string& cell = row[c];
+      const bool quote = cell.find_first_of(",\"\n") != std::string::npos;
+      if (c) out << ',';
+      if (quote) {
+        out << '"';
+        for (char ch : cell) {
+          if (ch == '"') out << '"';
+          out << ch;
+        }
+        out << '"';
+      } else {
+        out << cell;
+      }
+    }
+    out << '\n';
+  };
+  emit(table.columns);
+  for (const auto& row : table.rows) emit(row);
+}
+
+std::string fmt(double v, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << v;
+  return os.str();
+}
+
+std::string fmt_ratio(double num, double den) {
+  if (den == 0.0 || !std::isfinite(num / den)) return "-";
+  return fmt(num / den, 2) + "x";
+}
+
+}  // namespace harness

@@ -1,0 +1,28 @@
+// Plain-text tables and CSV output for the figure benches.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace harness {
+
+struct Table {
+  std::string title;
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+
+  void add_row(std::vector<std::string> row) { rows.push_back(std::move(row)); }
+};
+
+/// Renders the table with aligned columns and a rule under the header.
+void print_table(std::ostream& os, const Table& table);
+
+/// Writes the table as CSV (quotes only when needed).
+void write_csv(const std::string& path, const Table& table);
+
+/// Fixed-decimal formatting helpers for table cells.
+std::string fmt(double v, int decimals = 0);
+std::string fmt_ratio(double num, double den);
+
+}  // namespace harness

@@ -1,0 +1,80 @@
+// The paper's synthetic benchmark (Section 5): each processor alternates
+// between a short period of local work and a priority-queue operation,
+// choosing Insert (with a uniformly random priority) or Delete-min by a
+// biased coin flip. We measure per-operation latency in simulated cycles.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "slpq/detail/histogram.hpp"
+#include "sim/config.hpp"
+#include "sim/stats.hpp"
+
+namespace harness {
+
+enum class QueueKind {
+  SkipQueue,         ///< the paper's contribution (with time-stamps)
+  RelaxedSkipQueue,  ///< Section 5.4 variant (no time-stamps)
+  HuntHeap,          ///< Hunt et al. concurrent heap
+  FunnelList,        ///< combining-funnel sorted list
+  TTSSkipQueue,      ///< ablation: SkipQueue with spin locks (see bench/)
+};
+
+const char* to_string(QueueKind kind);
+
+struct BenchmarkConfig {
+  QueueKind kind = QueueKind::SkipQueue;
+  // TTSSkipQueue is SkipQueue with spin locks; selecting it overrides
+  // the skiplist's lock mode.
+  int processors = 16;             ///< worker processors (a GC processor is added on top for skip queues)
+  std::size_t initial_size = 50;   ///< items seeded before the measured phase
+  std::uint64_t total_ops = 70000; ///< operations across all processors
+  double insert_ratio = 0.5;       ///< probability an operation is an Insert
+  psim::Cycles work_cycles = 100;  ///< local work between operations
+  std::uint64_t seed = 1;
+
+  // Structure knobs.
+  int max_level = 16;              ///< skiplist max level (log2 of max size)
+  bool use_gc = true;              ///< timestamp GC for skip queues
+  std::size_t heap_capacity = 0;   ///< Hunt heap capacity; 0 = auto
+  bool pad_nodes = false;          ///< ablation: line-align skiplist nodes
+  int funnel_width = 0;            ///< 0 = auto (processors / 4)
+  int funnel_layers = 2;
+
+  psim::MachineConfig machine;     ///< timing model (processor count is overridden)
+};
+
+struct BenchmarkResult {
+  slpq::detail::LatencyHistogram insert_latency;
+  slpq::detail::LatencyHistogram delete_latency;
+  std::uint64_t inserts = 0;
+  std::uint64_t deletes = 0;       ///< successful delete-mins
+  std::uint64_t empties = 0;       ///< delete-mins that returned EMPTY
+  psim::Cycles makespan = 0;       ///< max processor local time
+  std::size_t final_size = 0;
+  psim::SimStats machine_stats;
+
+  double mean_insert() const { return insert_latency.mean(); }
+  double mean_delete() const { return delete_latency.mean(); }
+  double mean_op() const {
+    const auto n = insert_latency.count() + delete_latency.count();
+    if (n == 0) return 0.0;
+    return static_cast<double>(insert_latency.sum() + delete_latency.sum()) /
+           static_cast<double>(n);
+  }
+};
+
+/// Runs one benchmark configuration on a fresh simulated machine.
+/// Deterministic: the same config yields the same result.
+BenchmarkResult run_benchmark(const BenchmarkConfig& cfg);
+
+/// Reads SLPQ_BENCH_SCALE (default 1.0) and scales an operation count;
+/// lets CI run the full figure sweeps quickly without editing the benches.
+std::uint64_t scaled_ops(std::uint64_t paper_ops);
+
+/// Reads SLPQ_MAX_PROCS (default 256): upper bound for processor sweeps.
+int max_sweep_procs();
+
+}  // namespace harness

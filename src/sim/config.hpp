@@ -1,0 +1,66 @@
+// MachineConfig: cost model of the simulated ccNUMA multiprocessor.
+//
+// Defaults are chosen to resemble the MIT Alewife machine the paper's
+// Proteus runs modelled: single-issue processors, a small per-node cache,
+// a 2-D mesh interconnect, and a directory-based coherence protocol whose
+// home-node occupancy creates the hot-spot queueing the paper's heap
+// baseline suffers from. Absolute cycle numbers are not calibrated to
+// Alewife hardware; the *relative* costs (hit ≪ clean miss < dirty miss <
+// contended hot line) are what the reproduction depends on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace psim {
+
+using Cycles = std::uint64_t;
+
+struct MachineConfig {
+  /// Number of simulated application processors.
+  int processors = 16;
+
+  // --- per-processor cache geometry -------------------------------------
+  std::size_t cache_sets = 256;  ///< sets per cache
+  std::size_t cache_ways = 2;    ///< associativity
+  // Line size is fixed at 64 bytes (kLineBytes in memory.hpp).
+
+  // --- latency model (cycles) -------------------------------------------
+  Cycles cache_hit = 2;        ///< load/store hit in the local cache
+  Cycles miss_detect = 1;      ///< tag check before a miss goes remote
+  Cycles hop_latency = 2;      ///< one mesh hop, one direction
+  Cycles dir_service = 6;      ///< directory controller occupancy per request
+  Cycles mem_latency = 12;     ///< DRAM access at the home node
+  Cycles cache_to_cache = 8;   ///< dirty-data forward from an owner cache
+  Cycles inv_overhead = 4;     ///< fixed cost of launching invalidations
+  Cycles writeback = 4;        ///< eviction writeback (off the critical path)
+  Cycles rmw_extra = 3;        ///< extra cost of SWAP/CAS/fetch-add over a store
+  Cycles clock_read = 4;       ///< reading the globally-synchronized cycle clock
+  Cycles lock_handoff = 6;     ///< scheduler hand-off latency on mutex release
+
+  // --- behaviour ----------------------------------------------------------
+  /// If true, the directory stays busy for a transaction's full service
+  /// time, so concurrent requests to one hot line queue up (Alewife-like).
+  bool model_dir_occupancy = true;
+
+  /// Seed for any randomized engine decisions (currently start staggering).
+  std::uint64_t seed = 1;
+
+  /// Stagger processor start times by up to this many cycles to avoid
+  /// lock-step artifacts (0 disables).
+  Cycles start_stagger = 16;
+
+  /// Abort the run (std::runtime_error with a state dump) after this many
+  /// fiber switches; catches livelocks that a blocked-processor deadlock
+  /// check cannot see because a daemon keeps the run queue non-empty.
+  /// 0 disables.
+  std::uint64_t watchdog_switches = 0;
+
+  /// Keep a ring buffer of the last N engine events (memory ops, clock
+  /// reads, blocks, wakes) for post-mortem debugging; they are appended to
+  /// deadlock/watchdog exception messages and available via
+  /// Engine::recent_events(). 0 disables (no overhead).
+  std::size_t trace_depth = 0;
+};
+
+}  // namespace psim

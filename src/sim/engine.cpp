@@ -1,0 +1,229 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace psim {
+
+Engine::Engine(const MachineConfig& cfg)
+    : cfg_(cfg),
+      memory_(cfg, stats_),
+      runq_(static_cast<std::size_t>(cfg.processors)),
+      rng_(cfg.seed) {
+  procs_.reserve(static_cast<std::size_t>(cfg.processors));
+}
+
+int Engine::add_processor(std::function<void(Cpu&)> body, bool daemon) {
+  if (running_) throw std::logic_error("add_processor during run()");
+  if (static_cast<int>(procs_.size()) >= cfg_.processors)
+    throw std::logic_error(
+        "more processors added than MachineConfig::processors");
+  const int id = static_cast<int>(procs_.size());
+  auto proc = std::make_unique<Proc>(this, id);
+  proc->body = std::move(body);
+  proc->daemon = daemon;
+  if (!daemon) ++live_workers_;
+  procs_.push_back(std::move(proc));
+  return id;
+}
+
+void Engine::run() {
+  if (running_) throw std::logic_error("Engine::run is not reentrant");
+  running_ = true;
+  stopping_ = (live_workers_ == 0);
+
+  // Give every processor a fiber and a (optionally staggered) start time.
+  for (auto& p : procs_) {
+    Proc* proc = p.get();
+    proc->fiber = Fiber([this, proc] {
+      proc->body(proc->cpu);
+    });
+    proc->state = State::Runnable;
+    if (cfg_.start_stagger > 0 && proc->cpu.id() != 0)
+      proc->time = rng_.below(cfg_.start_stagger);
+    runq_.push(static_cast<std::size_t>(proc->cpu.id()), proc->time);
+  }
+
+  std::size_t done = 0;
+  while (done < procs_.size()) {
+    if (runq_.empty()) {
+      std::ostringstream os;
+      os << "psim: deadlock — no runnable processor; blocked:";
+      for (const auto& p : procs_)
+        if (p->state == State::Blocked)
+          os << " [" << p->cpu.id() << " on=" << p->blocked_on
+             << " holder=" << p->blocked_holder << ']';
+      if (cfg_.trace_depth != 0)
+        os << "\nrecent events:\n" << format_trace();
+      throw std::runtime_error(os.str());
+    }
+
+    const auto id = runq_.pop();
+    Proc& p = *procs_[id];
+    assert(p.state == State::Runnable);
+    p.state = State::Running;
+    current_ = static_cast<int>(id);
+    p.fiber.resume();
+    stats_.fiber_switches++;
+    if (cfg_.watchdog_switches != 0 &&
+        stats_.fiber_switches > cfg_.watchdog_switches) {
+      std::ostringstream os;
+      os << "psim: watchdog tripped after " << stats_.fiber_switches
+         << " fiber switches; processors:";
+      for (const auto& pr : procs_) {
+        os << " [" << pr->cpu.id() << ' ';
+        switch (pr->state) {
+          case State::New: os << "new"; break;
+          case State::Runnable: os << "runnable"; break;
+          case State::Running: os << "running"; break;
+          case State::Blocked: os << "blocked"; break;
+          case State::Done: os << "done"; break;
+        }
+        os << " t=" << pr->time;
+        if (pr->state == State::Blocked)
+          os << " on=" << pr->blocked_on << " holder=" << pr->blocked_holder;
+        os << ']';
+      }
+      if (cfg_.trace_depth != 0)
+        os << "\nrecent events:\n" << format_trace();
+      throw std::runtime_error(os.str());
+    }
+    current_ = -1;
+    horizon_ = std::max(horizon_, p.time);
+
+    if (p.fiber.finished()) {
+      finish_proc(p);
+      ++done;
+    } else if (p.state == State::Running) {
+      // Suspended via suspend_current(): still wants the CPU.
+      p.state = State::Runnable;
+      runq_.push(id, p.time);
+    }
+    // State::Blocked: stays out of the run queue until wake().
+  }
+
+  running_ = false;
+}
+
+void Engine::finish_proc(Proc& p) {
+  p.state = State::Done;
+  if (!p.daemon) {
+    --live_workers_;
+    if (live_workers_ == 0) stopping_ = true;
+  }
+}
+
+void Engine::suspend_current() {
+  assert(current_ >= 0);
+  Fiber::suspend();
+}
+
+void Engine::trace(char kind, Addr addr) {
+  if (cfg_.trace_depth == 0) return;
+  if (trace_ring_.size() < cfg_.trace_depth) {
+    trace_ring_.push_back(
+        {current_, kind, addr,
+         current_ >= 0 ? procs_[static_cast<std::size_t>(current_)]->time : 0});
+    return;
+  }
+  trace_ring_[trace_next_] = {
+      current_, kind, addr,
+      current_ >= 0 ? procs_[static_cast<std::size_t>(current_)]->time : 0};
+  trace_next_ = (trace_next_ + 1) % cfg_.trace_depth;
+  trace_wrapped_ = true;
+}
+
+std::vector<Engine::TraceEvent> Engine::recent_events() const {
+  std::vector<TraceEvent> out;
+  if (trace_ring_.empty()) return out;
+  if (!trace_wrapped_) return trace_ring_;
+  out.reserve(trace_ring_.size());
+  for (std::size_t i = 0; i < trace_ring_.size(); ++i)
+    out.push_back(trace_ring_[(trace_next_ + i) % trace_ring_.size()]);
+  return out;
+}
+
+std::string Engine::format_trace(std::size_t max_events) const {
+  const auto events = recent_events();
+  std::ostringstream os;
+  const std::size_t start =
+      events.size() > max_events ? events.size() - max_events : 0;
+  for (std::size_t i = start; i < events.size(); ++i) {
+    const auto& e = events[i];
+    os << "  t=" << e.time << " p" << e.proc << ' ' << e.kind;
+    if (e.kind == 'r' || e.kind == 'w' || e.kind == 'x')
+      os << " @" << e.addr;
+    if (e.kind == 'k') os << " ->p" << e.addr;
+    os << '\n';
+  }
+  return os.str();
+}
+
+void Engine::op_advance(int proc, Cycles c) {
+  assert(proc == current_);
+  procs_[static_cast<std::size_t>(proc)]->time += c;
+  trace('a', 0);
+  suspend_current();
+}
+
+Cycles Engine::op_clock(int proc) {
+  assert(proc == current_);
+  Proc& p = *procs_[static_cast<std::size_t>(proc)];
+  const Cycles issued = p.time;
+  p.time += cfg_.clock_read;
+  stats_.clock_reads++;
+  trace('c', 0);
+  suspend_current();
+  return issued;
+}
+
+void Engine::op_mem(int proc, Addr addr, Access kind) {
+  assert(proc == current_);
+  Proc& p = *procs_[static_cast<std::size_t>(proc)];
+  p.time = memory_.access(proc, addr, kind, p.time);
+  if (cfg_.trace_depth != 0)
+    trace(kind == Access::Read ? 'r' : kind == Access::Write ? 'w' : 'x',
+          addr);
+  suspend_current();
+}
+
+void Engine::block_current() {
+  assert(current_ >= 0);
+  Proc& p = *procs_[static_cast<std::size_t>(current_)];
+  if (p.wake_pending) {
+    // wake() ran while we were suspended between our decision to block and
+    // this call; consume the token instead of blocking.
+    p.wake_pending = false;
+    p.time = std::max(p.time, p.wake_not_before);
+    p.wake_not_before = 0;
+    return;
+  }
+  p.state = State::Blocked;
+  trace('b', 0);
+  Fiber::suspend();
+  // Woken: back in the run queue, state already set by wake().
+  assert(p.state == State::Running);
+}
+
+void Engine::note_block(const void* what, int holder) {
+  if (current_ < 0) return;
+  Proc& p = *procs_[static_cast<std::size_t>(current_)];
+  p.blocked_on = what;
+  p.blocked_holder = holder;
+}
+
+void Engine::wake(int proc, Cycles not_before) {
+  Proc& p = *procs_[static_cast<std::size_t>(proc)];
+  if (p.state != State::Blocked) {
+    // The target has not reached block_current() yet; leave a token.
+    p.wake_pending = true;
+    p.wake_not_before = std::max(p.wake_not_before, not_before);
+    return;
+  }
+  p.time = std::max(p.time, not_before);
+  p.state = State::Runnable;
+  runq_.push(static_cast<std::size_t>(proc), p.time);
+  trace('k', static_cast<Addr>(proc));
+}
+
+}  // namespace psim

@@ -1,0 +1,243 @@
+// Engine: the Proteus-style multiprocessor execution engine.
+//
+// Each simulated processor is a fiber with a local cycle clock. The engine
+// repeatedly resumes the runnable processor with the smallest local time;
+// the processor executes exactly one globally-visible operation (a shared
+// memory access, a clock read, or a block of local work), has its clock
+// advanced by the operation's cost, and suspends back to the engine. Shared
+// operations therefore execute atomically, in nondecreasing local-time
+// order — the linearizable READ/WRITE/SWAP machine of the paper's
+// Section 4.1, with a timing model attached.
+//
+// Processors interact with the machine only through the Cpu handle passed
+// to their body. A processor marked `daemon` (e.g. the garbage collector of
+// Section 3) does not keep the simulation alive: when every non-daemon body
+// has returned, Engine sets `stopping()` and daemons are expected to exit.
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "slpq/detail/indexed_min_heap.hpp"
+#include "slpq/detail/random.hpp"
+#include "sim/config.hpp"
+#include "sim/fiber.hpp"
+#include "sim/memory.hpp"
+#include "sim/stats.hpp"
+
+namespace psim {
+
+class Engine;
+
+/// Handle through which a simulated processor's code touches the machine.
+/// Every method must be called from inside that processor's fiber (i.e.,
+/// from the body passed to Engine::add_processor), except id().
+class Cpu {
+ public:
+  int id() const noexcept { return id_; }
+
+  /// Local cycle clock of this processor.
+  Cycles now() const noexcept;
+
+  /// Spends `c` cycles of purely local work (the benchmark's "work period").
+  void advance(Cycles c);
+
+  /// Reads the globally synchronized hardware clock; returns the cycle at
+  /// which the read was issued. This is the paper's getTime().
+  Cycles clock();
+
+  /// Atomic shared-memory operations (Section 4.1's READ/WRITE/SWAP, plus
+  /// CAS and fetch-add for the baselines). Each charges the coherence
+  /// protocol's cost and yields to the engine.
+  template <typename T>
+  T read(const Var<T>& v);
+  template <typename T>
+  void write(Var<T>& v, T val);
+  template <typename T>
+  T swap(Var<T>& v, T val);
+  template <typename T>
+  bool cas(Var<T>& v, T expected, T desired);
+  template <typename T>
+  T fetch_add(Var<T>& v, T delta);
+
+  /// Cooperative reschedule point (costs one cycle so spinners make progress
+  /// in simulated time).
+  void yield() { advance(1); }
+
+  /// True once every non-daemon processor has finished.
+  bool stopping() const noexcept;
+
+  Engine& engine() noexcept { return *eng_; }
+
+ private:
+  friend class Engine;
+  Cpu(Engine* eng, int id) noexcept : eng_(eng), id_(id) {}
+  Engine* eng_;
+  int id_;
+};
+
+class Engine {
+ public:
+  explicit Engine(const MachineConfig& cfg);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Registers a processor; bodies run when run() is called. Returns the
+  /// processor id (dense, starting at 0; ids are also mesh node ids).
+  /// Must be called before run(). The processor count must not exceed
+  /// config().processors.
+  int add_processor(std::function<void(Cpu&)> body, bool daemon = false);
+
+  /// Runs the simulation to completion (every processor body returned).
+  /// Throws std::runtime_error on deadlock (runnable set empty while some
+  /// processor is still blocked).
+  void run();
+
+  MemorySystem& memory() noexcept { return memory_; }
+  SimStats& stats() noexcept { return stats_; }
+  const MachineConfig& config() const noexcept { return cfg_; }
+
+  /// Local clock of a processor (valid during and after run()).
+  Cycles time_of(int proc) const { return procs_.at(static_cast<size_t>(proc))->time; }
+
+  /// Largest local clock observed across processors.
+  Cycles horizon() const noexcept { return horizon_; }
+
+  bool stopping() const noexcept { return stopping_; }
+
+  // ---- used by Cpu and by the sync primitives ---------------------------
+  void op_advance(int proc, Cycles c);
+  Cycles op_clock(int proc);
+  void op_mem(int proc, Addr addr, Access kind);
+
+  /// Blocks the current processor; it will not be scheduled again until
+  /// wake(). Must be called from inside that processor's fiber. If a wake
+  /// token is already pending (wake() raced ahead of the block), the call
+  /// consumes it and returns immediately.
+  void block_current();
+
+  /// Makes `proc` runnable again, no earlier than `not_before`. If `proc`
+  /// has not reached block_current() yet (it can be suspended inside the
+  /// memory access that precedes its decision to block), a pending-wake
+  /// token is left instead, so the wake is never lost.
+  void wake(int proc, Cycles not_before);
+
+  int current() const noexcept { return current_; }
+
+  /// Debug aid: primitives record what the current processor is about to
+  /// block on (shown in watchdog/deadlock dumps).
+  void note_block(const void* what, int holder);
+
+  /// One entry of the optional event trace (MachineConfig::trace_depth).
+  struct TraceEvent {
+    int proc;
+    char kind;  // 'r' read, 'w' write, 'x' rmw, 'a' advance, 'c' clock,
+                // 'b' block, 'k' wake
+    Addr addr;  // memory ops only; wake stores the woken processor id
+    Cycles time;
+  };
+
+  /// The last trace_depth events, oldest first. Empty if tracing is off.
+  std::vector<TraceEvent> recent_events() const;
+
+  /// Renders recent_events() as one line per event (debugging aid).
+  std::string format_trace(std::size_t max_events = 64) const;
+
+ private:
+  friend class Cpu;
+
+  enum class State : std::uint8_t { New, Runnable, Running, Blocked, Done };
+
+  struct Proc {
+    explicit Proc(Engine* eng, int id) : cpu(eng, id) {}
+    std::function<void(Cpu&)> body;
+    Fiber fiber;
+    Cycles time = 0;
+    State state = State::New;
+    bool daemon = false;
+    bool wake_pending = false;
+    Cycles wake_not_before = 0;
+    const void* blocked_on = nullptr;  // debug: see note_block()
+    int blocked_holder = -1;
+    Cpu cpu;
+  };
+
+  /// Charges nothing; marks the current processor runnable and switches to
+  /// the engine, which will reschedule by local time.
+  void suspend_current();
+
+  void finish_proc(Proc& p);
+
+  void trace(char kind, Addr addr);
+
+  const MachineConfig cfg_;
+  SimStats stats_;
+  MemorySystem memory_;
+  std::vector<TraceEvent> trace_ring_;
+  std::size_t trace_next_ = 0;
+  bool trace_wrapped_ = false;
+  std::vector<std::unique_ptr<Proc>> procs_;
+  slpq::detail::IndexedMinHeap<Cycles> runq_;
+  slpq::detail::Xoshiro256 rng_;
+  int current_ = -1;
+  int live_workers_ = 0;  // non-daemon processors not yet Done
+  Cycles horizon_ = 0;
+  bool running_ = false;
+  bool stopping_ = false;
+};
+
+// ---- Cpu inline implementations ------------------------------------------
+
+inline Cycles Cpu::now() const noexcept { return eng_->time_of(id_); }
+
+inline void Cpu::advance(Cycles c) { eng_->op_advance(id_, c); }
+
+inline Cycles Cpu::clock() { return eng_->op_clock(id_); }
+
+inline bool Cpu::stopping() const noexcept { return eng_->stopping(); }
+
+// Values are transferred at issue time — before the fiber yields — so each
+// operation is atomic at its issue point; the engine's min-time scheduling
+// makes issue points globally ordered.
+template <typename T>
+T Cpu::read(const Var<T>& v) {
+  const T out = v.value_;
+  eng_->op_mem(id_, v.addr(), Access::Read);
+  return out;
+}
+
+template <typename T>
+void Cpu::write(Var<T>& v, T val) {
+  v.value_ = val;
+  eng_->op_mem(id_, v.addr(), Access::Write);
+}
+
+template <typename T>
+T Cpu::swap(Var<T>& v, T val) {
+  const T out = v.value_;
+  v.value_ = val;
+  eng_->op_mem(id_, v.addr(), Access::Rmw);
+  return out;
+}
+
+template <typename T>
+bool Cpu::cas(Var<T>& v, T expected, T desired) {
+  const bool ok = (v.value_ == expected);
+  if (ok) v.value_ = desired;
+  eng_->op_mem(id_, v.addr(), Access::Rmw);
+  return ok;
+}
+
+template <typename T>
+T Cpu::fetch_add(Var<T>& v, T delta) {
+  const T out = v.value_;
+  v.value_ = static_cast<T>(out + delta);
+  eng_->op_mem(id_, v.addr(), Access::Rmw);
+  return out;
+}
+
+}  // namespace psim

@@ -1,0 +1,50 @@
+#include "sim/fiber_stack.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace psim::detail {
+
+namespace {
+std::size_t page_size() noexcept {
+  static const std::size_t ps = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return ps;
+}
+
+std::size_t round_up(std::size_t n, std::size_t align) noexcept {
+  return (n + align - 1) / align * align;
+}
+}  // namespace
+
+StackAllocation allocate_stack(std::size_t bytes) {
+  const std::size_t ps = page_size();
+  const std::size_t usable = round_up(bytes, ps);
+  const std::size_t total = usable + ps;  // + guard page
+
+  void* base = ::mmap(nullptr, total, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  if (base == MAP_FAILED) {
+    std::fprintf(stderr, "psim: fiber stack mmap(%zu) failed\n", total);
+    std::abort();
+  }
+  if (::mprotect(base, ps, PROT_NONE) != 0) {
+    std::fprintf(stderr, "psim: fiber stack guard mprotect failed\n");
+    std::abort();
+  }
+
+  StackAllocation out;
+  out.base = base;
+  out.size = total;
+  out.usable_size = usable;
+  out.usable_top = static_cast<char*>(base) + total;
+  return out;
+}
+
+void free_stack(const StackAllocation& stack) noexcept {
+  if (stack.base != nullptr) ::munmap(stack.base, stack.size);
+}
+
+}  // namespace psim::detail

@@ -1,0 +1,70 @@
+// Stackful fibers: the execution vehicle for virtual processors.
+//
+// The Proteus methodology multiplexes many simulated processors onto one
+// host CPU. Each virtual processor runs its benchmark code on its own
+// stack; every globally-visible operation (shared-memory access, lock,
+// clock read) suspends the fiber and returns control to the engine, which
+// decides — by simulated local time — which processor runs next.
+//
+// Two backends:
+//  * fcontext (default on x86-64): a ~15-instruction assembly switch that
+//    saves only the SysV callee-saved registers. No syscalls, ~10ns.
+//  * ucontext (portable fallback): swapcontext(3). Slower (it performs a
+//    sigprocmask syscall per switch) but works everywhere POSIX does.
+//
+// Single-threaded by design: the engine and all its fibers live on one host
+// thread. resume()/suspend() must not be called concurrently.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace psim {
+
+class Fiber {
+ public:
+  static constexpr std::size_t kDefaultStackBytes = 256 * 1024;
+
+  /// Empty fiber; resume() is invalid until assigned a real one.
+  Fiber() noexcept;
+
+  /// Creates a suspended fiber that will run `body` on first resume().
+  /// The stack is mmap'd with an inaccessible guard page below it, so a
+  /// stack overflow faults instead of corrupting a neighbouring stack.
+  explicit Fiber(std::function<void()> body,
+                 std::size_t stack_bytes = kDefaultStackBytes);
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+  Fiber(Fiber&& other) noexcept;
+  Fiber& operator=(Fiber&& other) noexcept;
+
+  /// Destroying a suspended (not finished) fiber simply releases its stack;
+  /// the body's pending stack frames are NOT unwound. Engine code joins all
+  /// fibers before teardown, so this is a shutdown-only escape hatch.
+  ~Fiber();
+
+  /// Transfers control into the fiber until it suspends or its body returns.
+  /// Must be called from outside any fiber (i.e., from the engine), and the
+  /// fiber must not be finished.
+  void resume();
+
+  /// Called from inside a running fiber: transfers control back to the
+  /// resume() call that entered it.
+  static void suspend();
+
+  /// True while execution is inside any fiber on this thread.
+  static bool in_fiber() noexcept;
+
+  bool valid() const noexcept { return impl_ != nullptr; }
+  bool finished() const noexcept;
+
+  /// Backend-defined state; public so the backend translation unit's free
+  /// functions (springboard, entry shims) can name it.
+  struct Impl;
+
+ private:
+  Impl* impl_;
+};
+
+}  // namespace psim

@@ -1,0 +1,104 @@
+// Fiber implementation on the custom x86-64 context switch.
+#include "sim/fiber.hpp"
+
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "sim/fiber_stack.hpp"
+
+extern "C" {
+void* psim_ctx_swap(void** from_sp, void* to_sp, void* arg);
+void psim_fiber_springboard();
+}
+
+namespace psim {
+
+struct Fiber::Impl {
+  detail::StackAllocation stack;
+  std::function<void()> body;
+  void* fiber_sp = nullptr;   // fiber's saved stack pointer while suspended
+  void* return_sp = nullptr;  // resumer's saved stack pointer while fiber runs
+  bool started = false;
+  bool finished = false;
+};
+
+namespace {
+// The engine is single-threaded, but keep per-thread state so that tests
+// running engines on different threads don't interfere.
+thread_local Fiber::Impl* t_current_fiber = nullptr;
+}  // namespace
+
+extern "C" void psim_fiber_main(void* arg) {
+  auto* impl = static_cast<Fiber::Impl*>(arg);
+  impl->body();
+  impl->finished = true;
+  // Return to the resumer; if somebody resumes a finished fiber the loop
+  // bounces straight back out.
+  for (;;) Fiber::suspend();
+}
+
+Fiber::Fiber() noexcept : impl_(nullptr) {}
+
+Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
+    : impl_(new Impl) {
+  impl_->stack = detail::allocate_stack(stack_bytes);
+  impl_->body = std::move(body);
+
+  // Bootstrap frame, laid out so psim_ctx_swap's epilogue pops six zeroed
+  // callee-saved registers and `ret`s into the springboard. The springboard
+  // executes `call` with rsp = sp + 7*8; SysV requires rsp % 16 == 0 at the
+  // call site, hence the alignment adjustment below.
+  auto top = reinterpret_cast<std::uintptr_t>(impl_->stack.usable_top);
+  top &= ~std::uintptr_t{15};  // 16-byte align the stack top
+  std::uintptr_t sp = top - 9 * 8;  // 7 bootstrap words + 16 bytes headroom
+  if ((sp + 7 * 8) % 16 != 0) sp -= 8;
+  auto* words = reinterpret_cast<void**>(sp);
+  for (int i = 0; i < 6; ++i) words[i] = nullptr;  // r15 r14 r13 r12 rbx rbp
+  words[6] = reinterpret_cast<void*>(&psim_fiber_springboard);
+  impl_->fiber_sp = reinterpret_cast<void*>(sp);
+}
+
+Fiber::Fiber(Fiber&& other) noexcept : impl_(std::exchange(other.impl_, nullptr)) {}
+
+Fiber& Fiber::operator=(Fiber&& other) noexcept {
+  if (this != &other) {
+    this->~Fiber();
+    impl_ = std::exchange(other.impl_, nullptr);
+  }
+  return *this;
+}
+
+Fiber::~Fiber() {
+  if (impl_ == nullptr) return;
+  assert(t_current_fiber != impl_ && "a fiber cannot destroy itself");
+  detail::free_stack(impl_->stack);
+  delete impl_;
+}
+
+void Fiber::resume() {
+  assert(impl_ != nullptr && "resume() on an empty fiber");
+  assert(!impl_->finished && "resume() on a finished fiber");
+  assert(t_current_fiber == nullptr && "nested fibers are not supported");
+  impl_->started = true;
+  t_current_fiber = impl_;
+  // First activation passes impl_ through to the springboard (in %rax);
+  // later activations deliver it as psim_ctx_swap's return value inside
+  // suspend(), which ignores it.
+  psim_ctx_swap(&impl_->return_sp, impl_->fiber_sp, impl_);
+  t_current_fiber = nullptr;
+}
+
+void Fiber::suspend() {
+  Impl* self = t_current_fiber;
+  assert(self != nullptr && "suspend() outside any fiber");
+  psim_ctx_swap(&self->fiber_sp, self->return_sp, nullptr);
+}
+
+bool Fiber::in_fiber() noexcept { return t_current_fiber != nullptr; }
+
+bool Fiber::finished() const noexcept { return impl_ != nullptr && impl_->finished; }
+
+}  // namespace psim

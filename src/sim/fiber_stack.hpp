@@ -1,0 +1,21 @@
+// Internal: guarded stack allocation for fibers.
+#pragma once
+
+#include <cstddef>
+
+namespace psim::detail {
+
+struct StackAllocation {
+  void* base = nullptr;   // lowest mapped address (guard page)
+  std::size_t size = 0;   // total mapped bytes, including guard
+  void* usable_top = nullptr;  // one past the highest usable byte
+  std::size_t usable_size = 0;
+};
+
+/// Allocates `bytes` of usable stack plus a PROT_NONE guard page below it.
+/// Aborts on failure (fiber stacks are allocated during setup only).
+StackAllocation allocate_stack(std::size_t bytes);
+
+void free_stack(const StackAllocation& stack) noexcept;
+
+}  // namespace psim::detail

@@ -1,0 +1,92 @@
+// Fiber implementation on POSIX ucontext (portable fallback backend).
+#include "sim/fiber.hpp"
+
+#include <ucontext.h>
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+
+#include "sim/fiber_stack.hpp"
+
+namespace psim {
+
+struct Fiber::Impl {
+  detail::StackAllocation stack;
+  std::function<void()> body;
+  ucontext_t fiber_ctx{};
+  ucontext_t return_ctx{};
+  bool started = false;
+  bool finished = false;
+};
+
+namespace {
+thread_local Fiber::Impl* t_current_fiber = nullptr;
+
+// makecontext() passes int arguments only; split/reassemble the pointer.
+void fiber_entry(unsigned hi, unsigned lo) {
+  auto ptr = (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo);
+  auto* impl = reinterpret_cast<Fiber::Impl*>(ptr);
+  impl->body();
+  impl->finished = true;
+  for (;;) Fiber::suspend();
+}
+}  // namespace
+
+Fiber::Fiber() noexcept : impl_(nullptr) {}
+
+Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
+    : impl_(new Impl) {
+  impl_->stack = detail::allocate_stack(stack_bytes);
+  impl_->body = std::move(body);
+
+  getcontext(&impl_->fiber_ctx);
+  impl_->fiber_ctx.uc_stack.ss_sp =
+      static_cast<char*>(impl_->stack.usable_top) - impl_->stack.usable_size;
+  impl_->fiber_ctx.uc_stack.ss_size = impl_->stack.usable_size;
+  impl_->fiber_ctx.uc_link = nullptr;
+
+  const auto ptr = reinterpret_cast<std::uintptr_t>(impl_);
+  makecontext(&impl_->fiber_ctx, reinterpret_cast<void (*)()>(fiber_entry), 2,
+              static_cast<unsigned>(ptr >> 32),
+              static_cast<unsigned>(ptr & 0xFFFFFFFFu));
+}
+
+Fiber::Fiber(Fiber&& other) noexcept : impl_(std::exchange(other.impl_, nullptr)) {}
+
+Fiber& Fiber::operator=(Fiber&& other) noexcept {
+  if (this != &other) {
+    this->~Fiber();
+    impl_ = std::exchange(other.impl_, nullptr);
+  }
+  return *this;
+}
+
+Fiber::~Fiber() {
+  if (impl_ == nullptr) return;
+  assert(t_current_fiber != impl_ && "a fiber cannot destroy itself");
+  detail::free_stack(impl_->stack);
+  delete impl_;
+}
+
+void Fiber::resume() {
+  assert(impl_ != nullptr && "resume() on an empty fiber");
+  assert(!impl_->finished && "resume() on a finished fiber");
+  assert(t_current_fiber == nullptr && "nested fibers are not supported");
+  impl_->started = true;
+  t_current_fiber = impl_;
+  swapcontext(&impl_->return_ctx, &impl_->fiber_ctx);
+  t_current_fiber = nullptr;
+}
+
+void Fiber::suspend() {
+  Impl* self = t_current_fiber;
+  assert(self != nullptr && "suspend() outside any fiber");
+  swapcontext(&self->fiber_ctx, &self->return_ctx);
+}
+
+bool Fiber::in_fiber() noexcept { return t_current_fiber != nullptr; }
+
+bool Fiber::finished() const noexcept { return impl_ != nullptr && impl_->finished; }
+
+}  // namespace psim

@@ -1,0 +1,251 @@
+#include "sim/memory.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace psim {
+
+MemorySystem::MemorySystem(const MachineConfig& cfg, SimStats& stats)
+    : cfg_(cfg),
+      stats_(stats),
+      mesh_(cfg.processors),
+      caches_(static_cast<std::size_t>(cfg.processors) * cfg.cache_sets *
+              cfg.cache_ways) {
+  assert(cfg.processors >= 1);
+  assert(cfg.cache_sets >= 1 && cfg.cache_ways >= 1);
+}
+
+Addr MemorySystem::alloc(std::size_t bytes, std::size_t align) {
+  assert(align > 0 && (align & (align - 1)) == 0);
+  next_addr_ = (next_addr_ + align - 1) & ~static_cast<Addr>(align - 1);
+  const Addr out = next_addr_;
+  next_addr_ += bytes;
+  return out;
+}
+
+Addr MemorySystem::alloc_line() { return alloc(kLineBytes, kLineBytes); }
+
+MemorySystem::CacheWay* MemorySystem::cache_lookup(int proc, LineId line) noexcept {
+  const std::size_t set = static_cast<std::size_t>(line) % cfg_.cache_sets;
+  const std::size_t base =
+      (static_cast<std::size_t>(proc) * cfg_.cache_sets + set) * cfg_.cache_ways;
+  for (std::size_t w = 0; w < cfg_.cache_ways; ++w) {
+    CacheWay& way = caches_[base + w];
+    if (way.valid && way.line == line) return &way;
+  }
+  return nullptr;
+}
+
+MemorySystem::CacheWay& MemorySystem::cache_insert(int proc, LineId line,
+                                                   bool modified, Cycles) {
+  const std::size_t set = static_cast<std::size_t>(line) % cfg_.cache_sets;
+  const std::size_t base =
+      (static_cast<std::size_t>(proc) * cfg_.cache_sets + set) * cfg_.cache_ways;
+  CacheWay* victim = &caches_[base];
+  for (std::size_t w = 0; w < cfg_.cache_ways; ++w) {
+    CacheWay& way = caches_[base + w];
+    if (!way.valid) {
+      victim = &way;
+      break;
+    }
+    if (way.lru < victim->lru) victim = &way;
+  }
+  if (victim->valid) cache_evict(proc, *victim);
+  victim->line = line;
+  victim->valid = true;
+  victim->modified = modified;
+  victim->lru = ++lru_clock_;
+  return *victim;
+}
+
+void MemorySystem::cache_evict(int proc, CacheWay& way) {
+  assert(way.valid);
+  DirEntry& e = dir_entry(way.line);
+  if (way.modified) {
+    // Writeback: memory becomes clean, line leaves every cache state.
+    stats_.writebacks++;
+    assert(e.state == LineState::Modified && e.owner == proc);
+    e.state = LineState::Uncached;
+    e.owner = -1;
+    e.sharers.clear();
+  } else {
+    // Replacement hint: drop this sharer precisely.
+    if (e.sharers.size() != 0) e.sharers.reset(static_cast<std::size_t>(proc));
+    if (e.state == LineState::Shared && e.sharers.none())
+      e.state = LineState::Uncached;
+  }
+  way.valid = false;
+  way.modified = false;
+  way.line = kNoLine;
+}
+
+MemorySystem::DirEntry& MemorySystem::dir_entry(LineId line) {
+  auto [it, inserted] = directory_.try_emplace(line);
+  if (inserted)
+    it->second.sharers =
+        slpq::detail::DynamicBitset(static_cast<std::size_t>(cfg_.processors));
+  return it->second;
+}
+
+Cycles MemorySystem::access(int proc, Addr addr, Access kind, Cycles now) {
+  assert(addr != 0 && "access through simulated null address");
+  assert(proc >= 0 && proc < cfg_.processors);
+
+  switch (kind) {
+    case Access::Read: stats_.reads++; break;
+    case Access::Write: stats_.writes++; break;
+    case Access::Rmw: stats_.rmws++; break;
+  }
+  const bool is_write = kind != Access::Read;
+  const Cycles op_extra = (kind == Access::Rmw) ? cfg_.rmw_extra : 0;
+
+  const LineId line = line_of(addr);
+  CacheWay* way = cache_lookup(proc, line);
+
+  // ---- hit path ---------------------------------------------------------
+  if (way != nullptr && (!is_write || way->modified)) {
+    way->lru = ++lru_clock_;
+    stats_.cache_hits++;
+    return now + cfg_.cache_hit + op_extra;
+  }
+
+  // ---- miss / upgrade path ----------------------------------------------
+  DirEntry& e = dir_entry(line);
+  const int home = home_of(line);
+  const Cycles to_home =
+      static_cast<Cycles>(mesh_.hops(proc, home)) * cfg_.hop_latency;
+
+  const Cycles arrive = now + cfg_.miss_detect + to_home;
+  Cycles start = arrive;
+  if (cfg_.model_dir_occupancy && e.busy_until > arrive) {
+    start = e.busy_until;
+    stats_.dir_queue_cycles += start - arrive;
+    stats_.dir_queued_events++;
+  }
+
+  Cycles service = cfg_.dir_service;
+
+  const bool upgrade = (way != nullptr) && is_write;  // S -> M upgrade
+  if (upgrade)
+    stats_.miss_upgrade++;
+
+  switch (e.state) {
+    case LineState::Uncached:
+      if (!upgrade) stats_.miss_cold++;
+      service += cfg_.mem_latency;
+      break;
+
+    case LineState::Shared: {
+      if (is_write) {
+        // Invalidate all other sharers; invalidations go out in parallel,
+        // so charge the farthest round trip plus a fixed launch overhead.
+        Cycles worst_rtt = 0;
+        e.sharers.for_each([&](std::size_t s) {
+          if (static_cast<int>(s) == proc) return;
+          stats_.invalidations_sent++;
+          const Cycles rtt = 2 *
+                             static_cast<Cycles>(
+                                 mesh_.hops(home, static_cast<int>(s))) *
+                             cfg_.hop_latency;
+          worst_rtt = std::max(worst_rtt, rtt);
+          // Drop the line from that cache.
+          if (CacheWay* sw = cache_lookup(static_cast<int>(s), line)) {
+            sw->valid = false;
+            sw->modified = false;
+            sw->line = kNoLine;
+          }
+        });
+        if (!upgrade) stats_.miss_shared++;
+        service += cfg_.inv_overhead + worst_rtt + cfg_.mem_latency;
+      } else {
+        stats_.miss_shared++;
+        service += cfg_.mem_latency;
+      }
+      break;
+    }
+
+    case LineState::Modified: {
+      // A modified copy lives in `owner`'s cache: forward/retrieve it.
+      const int owner = e.owner;
+      assert(owner >= 0 && owner != proc &&
+             "modified-by-self must have hit in cache");
+      stats_.miss_remote_dirty++;
+      const Cycles owner_rtt =
+          2 * static_cast<Cycles>(mesh_.hops(home, owner)) * cfg_.hop_latency;
+      service += owner_rtt + cfg_.cache_to_cache;
+      if (CacheWay* ow = cache_lookup(owner, line)) {
+        if (is_write) {
+          ow->valid = false;
+          ow->modified = false;
+          ow->line = kNoLine;
+        } else {
+          ow->modified = false;  // owner downgrades M -> S
+        }
+      }
+      if (!is_write) {
+        e.sharers.set(static_cast<std::size_t>(owner));
+      }
+      break;
+    }
+  }
+
+  if (cfg_.model_dir_occupancy) e.busy_until = start + service;
+
+  // New directory state.
+  if (is_write) {
+    e.state = LineState::Modified;
+    e.owner = proc;
+    e.sharers.clear();
+    e.sharers.set(static_cast<std::size_t>(proc));
+  } else {
+    e.state = LineState::Shared;
+    e.owner = -1;
+    e.sharers.set(static_cast<std::size_t>(proc));
+  }
+
+  // Reply back to the requester.
+  const Cycles done = start + service + to_home;
+
+  // Install in the requester's cache.
+  if (upgrade) {
+    way->modified = true;
+    way->lru = ++lru_clock_;
+  } else {
+    cache_insert(proc, line, is_write, done);
+  }
+
+  return done + op_extra;
+}
+
+void MemorySystem::flush_cache(int proc) {
+  const std::size_t base =
+      static_cast<std::size_t>(proc) * cfg_.cache_sets * cfg_.cache_ways;
+  for (std::size_t i = 0; i < cfg_.cache_sets * cfg_.cache_ways; ++i) {
+    CacheWay& way = caches_[base + i];
+    if (way.valid) cache_evict(proc, way);
+  }
+}
+
+MemorySystem::LineSnapshot MemorySystem::snapshot(LineId line) const {
+  LineSnapshot out;
+  const auto it = directory_.find(line);
+  if (it == directory_.end()) return out;
+  out.state = it->second.state;
+  out.owner = it->second.owner;
+  out.sharer_count = it->second.sharers.count();
+  out.sharers = &it->second.sharers;
+  return out;
+}
+
+bool MemorySystem::cached(int proc, LineId line) const {
+  const std::size_t set = static_cast<std::size_t>(line) % cfg_.cache_sets;
+  const std::size_t base =
+      (static_cast<std::size_t>(proc) * cfg_.cache_sets + set) * cfg_.cache_ways;
+  for (std::size_t w = 0; w < cfg_.cache_ways; ++w) {
+    const CacheWay& way = caches_[base + w];
+    if (way.valid && way.line == line) return true;
+  }
+  return false;
+}
+
+}  // namespace psim

@@ -1,0 +1,163 @@
+// MemorySystem: the simulated machine's shared memory.
+//
+// Addresses are virtual: a bump allocator hands out 8-byte-aligned simulated
+// addresses, and every simulated variable (Var<T>) couples one such address
+// with host-side storage for its value. Only the *address* flows through the
+// timing model; values are read and written directly, atomically, at the
+// moment the engine executes the access. Because the engine executes shared
+// accesses in nondecreasing local-time order, the result is a legal
+// interleaving of atomic READ/WRITE/SWAP operations, exactly the model in
+// Section 4.1 of the paper.
+//
+// The timing model is a full-map MSI directory protocol:
+//  * each processor has a private set-associative cache of line tags;
+//  * each 64-byte line has a home node (round-robin by line id) whose
+//    directory tracks Uncached/Shared/Modified state, the owner, and the
+//    sharer set;
+//  * a miss costs request/response mesh hops, directory service time, and —
+//    when a line is hot — queueing behind earlier transactions at the
+//    directory, which is what turns a heap root or a shared size counter
+//    into a scalability bottleneck.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "slpq/detail/bitset.hpp"
+#include "sim/config.hpp"
+#include "sim/stats.hpp"
+#include "sim/topology.hpp"
+
+namespace psim {
+
+inline constexpr std::size_t kLineBytes = 64;
+
+using Addr = std::uint64_t;
+using LineId = std::uint64_t;
+
+inline LineId line_of(Addr a) noexcept { return a / kLineBytes; }
+
+enum class Access : std::uint8_t { Read, Write, Rmw };
+
+class MemorySystem {
+ public:
+  MemorySystem(const MachineConfig& cfg, SimStats& stats);
+
+  MemorySystem(const MemorySystem&) = delete;
+  MemorySystem& operator=(const MemorySystem&) = delete;
+
+  /// Allocates `bytes` of simulated address space (8-byte aligned by
+  /// default). Consecutive allocations share cache lines unless padded —
+  /// this is deliberate: it lets data-structure code choose its own layout
+  /// and exposes false sharing in the timing model.
+  Addr alloc(std::size_t bytes, std::size_t align = 8);
+
+  /// Allocates a whole line, line-aligned (for deliberately isolated words).
+  Addr alloc_line();
+
+  /// Home node of a line (round-robin interleaving across nodes).
+  int home_of(LineId line) const noexcept {
+    return static_cast<int>(line % static_cast<LineId>(cfg_.processors));
+  }
+
+  /// Runs the coherence protocol for one access by `proc` issued at `now`;
+  /// returns the completion time (>= now + cache_hit).
+  Cycles access(int proc, Addr addr, Access kind, Cycles now);
+
+  /// Drops every line from `proc`'s cache (used by tests and by the
+  /// engine when simulating context loss). Dirty lines write back.
+  void flush_cache(int proc);
+
+  // ---- introspection for tests -----------------------------------------
+  enum class LineState : std::uint8_t { Uncached, Shared, Modified };
+
+  struct LineSnapshot {
+    LineState state = LineState::Uncached;
+    int owner = -1;
+    std::size_t sharer_count = 0;
+    bool cached_by(int proc) const {
+      return sharers != nullptr && sharers->test(static_cast<std::size_t>(proc));
+    }
+    const slpq::detail::DynamicBitset* sharers = nullptr;
+  };
+
+  /// Directory view of one line (for tests/debugging).
+  LineSnapshot snapshot(LineId line) const;
+
+  /// True if `proc`'s cache currently holds `line`.
+  bool cached(int proc, LineId line) const;
+
+  const MachineConfig& config() const noexcept { return cfg_; }
+  const Mesh2D& mesh() const noexcept { return mesh_; }
+
+ private:
+  struct CacheWay {
+    LineId line = kNoLine;
+    bool valid = false;
+    bool modified = false;
+    std::uint64_t lru = 0;
+  };
+
+  struct DirEntry {
+    LineState state = LineState::Uncached;
+    int owner = -1;
+    slpq::detail::DynamicBitset sharers;
+    Cycles busy_until = 0;
+  };
+
+  static constexpr LineId kNoLine = ~LineId{0};
+
+  CacheWay* cache_lookup(int proc, LineId line) noexcept;
+  CacheWay& cache_insert(int proc, LineId line, bool modified, Cycles now);
+  void cache_evict(int proc, CacheWay& way);
+  DirEntry& dir_entry(LineId line);
+
+  const MachineConfig cfg_;
+  SimStats& stats_;
+  Mesh2D mesh_;
+
+  Addr next_addr_ = kLineBytes;  // address 0 is reserved as "null"
+  std::vector<CacheWay> caches_;  // [proc * sets * ways + set * ways + way]
+  std::uint64_t lru_clock_ = 0;
+  std::unordered_map<LineId, DirEntry> directory_;
+};
+
+/// A simulated shared variable: host storage + a simulated address.
+/// T must be trivially copyable and at most 8 bytes (a machine word).
+/// Construct through a MemorySystem so the word gets an address; access it
+/// only through Cpu::read/write/swap/cas/fetch_add so it gets charged.
+template <typename T>
+class Var {
+  static_assert(std::is_trivially_copyable_v<T>, "Var needs a register type");
+  static_assert(sizeof(T) <= 8, "Var models one machine word");
+
+ public:
+  Var(MemorySystem& mem, T init = T{}) : value_(init), addr_(mem.alloc(8)) {}
+
+  /// Places the variable at a caller-chosen address (for custom layouts,
+  /// e.g. several fields of a node sharing one line).
+  Var(Addr addr, T init = T{}) : value_(init), addr_(addr) {}
+
+  Var(const Var&) = delete;
+  Var& operator=(const Var&) = delete;
+  Var(Var&&) noexcept = default;
+  Var& operator=(Var&&) noexcept = default;
+
+  Addr addr() const noexcept { return addr_; }
+
+  /// Untimed peek/poke. For engine internals, initialization before the
+  /// simulation starts, and test assertions after it ends — never from
+  /// simulated processor code.
+  T raw() const noexcept { return value_; }
+  void set_raw(T v) noexcept { value_ = v; }
+
+ private:
+  friend class Cpu;
+  T value_;
+  Addr addr_;
+};
+
+}  // namespace psim

@@ -1,0 +1,26 @@
+#include "sim/stats.hpp"
+
+#include <sstream>
+
+namespace psim {
+
+std::string SimStats::summary() const {
+  std::ostringstream os;
+  const auto accesses = reads + writes + rmws;
+  os << "shared accesses: " << accesses << " (r=" << reads << " w=" << writes
+     << " rmw=" << rmws << ")\n";
+  os << "cache: hits=" << cache_hits << " misses=" << cache_misses()
+     << " (cold=" << miss_cold << " shared=" << miss_shared
+     << " dirty-fwd=" << miss_remote_dirty << " upgrade=" << miss_upgrade << ")\n";
+  os << "coherence: invalidations=" << invalidations_sent
+     << " writebacks=" << writebacks << "\n";
+  os << "directory queueing: events=" << dir_queued_events
+     << " cycles=" << dir_queue_cycles << "\n";
+  os << "locks: acquires=" << lock_acquires << " contended=" << lock_contended
+     << "\n";
+  os << "engine: fiber-switches=" << fiber_switches
+     << " clock-reads=" << clock_reads << "\n";
+  return os.str();
+}
+
+}  // namespace psim

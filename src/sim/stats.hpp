@@ -1,0 +1,49 @@
+// SimStats: machine-level counters accumulated by the engine and the
+// memory system during a simulation run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/config.hpp"
+
+namespace psim {
+
+struct SimStats {
+  // Shared-memory traffic.
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t rmws = 0;
+
+  // Cache behaviour.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t miss_cold = 0;          ///< line uncached anywhere
+  std::uint64_t miss_shared = 0;        ///< clean copy fetched from home memory
+  std::uint64_t miss_remote_dirty = 0;  ///< forwarded from a modified owner
+  std::uint64_t miss_upgrade = 0;       ///< S->M upgrade (write to shared line)
+  std::uint64_t invalidations_sent = 0;
+  std::uint64_t writebacks = 0;
+
+  // Hot-spot queueing at directories.
+  Cycles dir_queue_cycles = 0;
+  std::uint64_t dir_queued_events = 0;
+
+  // Synchronization.
+  std::uint64_t lock_acquires = 0;
+  std::uint64_t lock_contended = 0;
+
+  // Engine.
+  std::uint64_t fiber_switches = 0;
+  std::uint64_t clock_reads = 0;
+
+  std::uint64_t cache_misses() const noexcept {
+    return miss_cold + miss_shared + miss_remote_dirty + miss_upgrade;
+  }
+
+  void reset() noexcept { *this = SimStats{}; }
+
+  /// Multi-line human-readable summary.
+  std::string summary() const;
+};
+
+}  // namespace psim

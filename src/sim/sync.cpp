@@ -1,0 +1,15 @@
+#include "sim/sync.hpp"
+
+#include <execinfo.h>
+
+namespace psim {
+
+// Debug hook: dump a host backtrace when a processor relocks a mutex it
+// already owns (always a bug in the simulated algorithm).
+void Mutex::debug_self_lock() {
+  void* frames[48];
+  const int n = ::backtrace(frames, 48);
+  ::backtrace_symbols_fd(frames, n, 2);
+}
+
+}  // namespace psim

@@ -1,0 +1,29 @@
+#include "sim/topology.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+
+namespace psim {
+
+Mesh2D::Mesh2D(int nodes) : nodes_(nodes) {
+  assert(nodes >= 1);
+  width_ = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(nodes))));
+  height_ = (nodes + width_ - 1) / width_;
+}
+
+int Mesh2D::hops(int a, int b) const noexcept {
+  assert(a >= 0 && a < nodes_ && b >= 0 && b < nodes_);
+  const int ax = a % width_, ay = a / width_;
+  const int bx = b % width_, by = b / width_;
+  return std::abs(ax - bx) + std::abs(ay - by);
+}
+
+double Mesh2D::mean_hops(int from) const noexcept {
+  if (nodes_ <= 1) return 0.0;
+  long total = 0;
+  for (int n = 0; n < nodes_; ++n) total += hops(from, n);
+  return static_cast<double>(total) / static_cast<double>(nodes_ - 1);
+}
+
+}  // namespace psim

@@ -1,0 +1,32 @@
+// Mesh2D: the simulated machine's interconnect topology.
+//
+// Alewife used a 2-D mesh; message latency between nodes is proportional to
+// the Manhattan distance. Nodes are laid out row-major on the smallest
+// near-square grid that holds all processors.
+#pragma once
+
+#include <cstdint>
+
+namespace psim {
+
+class Mesh2D {
+ public:
+  explicit Mesh2D(int nodes);
+
+  int nodes() const noexcept { return nodes_; }
+  int width() const noexcept { return width_; }
+  int height() const noexcept { return height_; }
+
+  /// Manhattan hop count between two node ids.
+  int hops(int a, int b) const noexcept;
+
+  /// Average hop distance from `from` to all other nodes (used in docs/stats).
+  double mean_hops(int from) const noexcept;
+
+ private:
+  int nodes_;
+  int width_;
+  int height_;
+};
+
+}  // namespace psim

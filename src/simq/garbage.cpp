@@ -1,0 +1,2 @@
+// garbage collection is header-only; this TU checks the header stands alone.
+#include "simq/garbage.hpp"

@@ -1,0 +1,134 @@
+// Timestamp-based garbage collection (paper, Section 3).
+//
+// "It is safe to free the memory used by a particular node only after all
+// the processors that were in the structure when the node was deleted have
+// already exited the structure." Each processor registers its entry time in
+// a shared array; each retired node is stamped with its deletion time; a
+// dedicated collector processor frees a node once its deletion time
+// precedes the entry time of the oldest processor still inside.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace simq {
+
+using psim::Cpu;
+using psim::Cycles;
+
+inline constexpr Cycles kMaxTime = std::numeric_limits<Cycles>::max();
+
+/// Shared array of per-processor entry times. A processor writes its clock
+/// value on entering the queue and kMaxTime on exiting; the collector scans
+/// the array (each scan is real shared-memory traffic in the model).
+class EntryRegistry {
+ public:
+  explicit EntryRegistry(psim::Engine& eng) {
+    entries_.reserve(static_cast<std::size_t>(eng.config().processors));
+    for (int p = 0; p < eng.config().processors; ++p)
+      entries_.emplace_back(eng.memory(), kMaxTime);
+  }
+
+  /// Registers the caller as inside the structure; returns its entry time.
+  Cycles enter(Cpu& cpu) {
+    const Cycles t = cpu.clock();
+    cpu.write(entries_[static_cast<std::size_t>(cpu.id())], t);
+    return t;
+  }
+
+  void exit(Cpu& cpu) {
+    cpu.write(entries_[static_cast<std::size_t>(cpu.id())], kMaxTime);
+  }
+
+  /// Entry time of the oldest processor inside the structure, or kMaxTime
+  /// if nobody is. Reads every slot (the collector pays for the scan).
+  Cycles oldest(Cpu& cpu) const {
+    Cycles best = kMaxTime;
+    for (const auto& e : entries_) best = std::min(best, cpu.read(e));
+    return best;
+  }
+
+  /// Untimed view for tests.
+  Cycles raw_entry(int proc) const {
+    return entries_[static_cast<std::size_t>(proc)].raw();
+  }
+
+ private:
+  mutable std::vector<psim::Var<Cycles>> entries_;
+};
+
+/// Per-processor garbage lists of retired nodes awaiting reclamation.
+/// Node is any type; reclamation hands nodes back through a callback
+/// (usually a pool's release()).
+template <typename Node>
+class GarbageLists {
+ public:
+  explicit GarbageLists(int processors)
+      : lists_(static_cast<std::size_t>(processors)) {}
+
+  /// Appends a node to the caller's garbage list, stamped with the caller's
+  /// current clock (the node's deletion time).
+  void retire(Cpu& cpu, Node* node) {
+    const Cycles stamp = cpu.clock();
+    lists_[static_cast<std::size_t>(cpu.id())].push_back(Item{node, stamp});
+    ++retired_;
+  }
+
+  /// Collector pass: frees, via free_fn(Node*), every node whose deletion
+  /// time precedes `oldest`. Lists are FIFO and stamps are monotone per
+  /// processor, so only prefixes are freed. Returns nodes freed.
+  template <typename FreeFn>
+  std::size_t collect(Cycles oldest, FreeFn&& free_fn) {
+    std::size_t freed = 0;
+    for (auto& list : lists_) {
+      while (!list.empty() && list.front().deleted_at < oldest) {
+        free_fn(list.front().node);
+        list.pop_front();
+        ++freed;
+        ++collected_;
+      }
+    }
+    return freed;
+  }
+
+  std::size_t pending() const {
+    std::size_t n = 0;
+    for (const auto& l : lists_) n += l.size();
+    return n;
+  }
+
+  std::uint64_t total_retired() const { return retired_; }
+  std::uint64_t total_collected() const { return collected_; }
+
+ private:
+  struct Item {
+    Node* node;
+    Cycles deleted_at;
+  };
+  std::vector<std::deque<Item>> lists_;
+  std::uint64_t retired_ = 0;
+  std::uint64_t collected_ = 0;
+};
+
+/// Body of the dedicated collector processor (paper: "we assigned a
+/// dedicated processor to do all the garbage collection"). Runs as an
+/// engine daemon: scans, sleeps `period` cycles, repeats until the
+/// simulation is stopping; then drains everything (at shutdown nobody is
+/// inside the structure anymore).
+template <typename Node, typename FreeFn>
+void collector_body(Cpu& cpu, const EntryRegistry& registry,
+                    GarbageLists<Node>& garbage, FreeFn free_fn,
+                    Cycles period = 2000) {
+  while (!cpu.stopping()) {
+    const Cycles oldest = registry.oldest(cpu);
+    garbage.collect(oldest, free_fn);
+    cpu.advance(period);
+  }
+  garbage.collect(kMaxTime, free_fn);
+}
+
+}  // namespace simq

@@ -1,0 +1,205 @@
+#include "simq/sim_funnel_list.hpp"
+
+#include <cassert>
+#include <limits>
+#include <sstream>
+
+namespace simq {
+
+namespace {
+constexpr Key kTailKey = std::numeric_limits<Key>::max();
+}
+
+SimFunnelList::SimFunnelList(psim::Engine& eng, Options opt)
+    : eng_(eng), opt_(opt), list_lock_(eng) {
+  const int procs = eng.config().processors;
+  if (opt_.width <= 0) opt_.width = std::max(1, procs / 4);
+
+  funnel_.resize(static_cast<std::size_t>(opt_.layers));
+  for (auto& layer : funnel_) {
+    layer.reserve(static_cast<std::size_t>(opt_.width));
+    for (int i = 0; i < opt_.width; ++i) layer.emplace_back(eng.memory(), nullptr);
+  }
+
+  requests_.reserve(static_cast<std::size_t>(procs));
+  rngs_.reserve(static_cast<std::size_t>(procs));
+  for (int p = 0; p < procs; ++p) {
+    requests_.emplace_back(eng);
+    rngs_.emplace_back(eng.config().seed * 0xD1B54A32D192ED03ULL +
+                       static_cast<std::uint64_t>(p) + 17);
+  }
+
+  arena_.push_back(std::make_unique<ListNode>(eng));
+  head_ = arena_.back().get();
+  head_->key.set_raw(std::numeric_limits<Key>::min());
+  head_->next.set_raw(nullptr);
+}
+
+SimFunnelList::ListNode* SimFunnelList::alloc_node(Cpu& cpu) {
+  cpu.advance(15);  // allocator bookkeeping, local
+  if (!free_nodes_.empty()) {
+    ListNode* n = free_nodes_.back();
+    free_nodes_.pop_back();
+    return n;
+  }
+  arena_.push_back(std::make_unique<ListNode>(eng_));
+  return arena_.back().get();
+}
+
+void SimFunnelList::free_node(ListNode* n) { free_nodes_.push_back(n); }
+
+void SimFunnelList::insert(Cpu& cpu, Key key, Value value) {
+  Request& r = requests_[static_cast<std::size_t>(cpu.id())];
+  r.op = Op::Insert;
+  r.key = key;
+  r.value = value;
+  execute(cpu, r);
+}
+
+std::optional<std::pair<Key, Value>> SimFunnelList::delete_min(Cpu& cpu) {
+  Request& r = requests_[static_cast<std::size_t>(cpu.id())];
+  r.op = Op::DeleteMin;
+  execute(cpu, r);
+  if (!r.found) return std::nullopt;
+  return std::make_pair(r.result_key, r.result_value);
+}
+
+void SimFunnelList::execute(Cpu& cpu, Request& r) {
+  auto& rng = rngs_[static_cast<std::size_t>(cpu.id())];
+
+  r.found = false;
+  r.group.clear();
+  r.group.push_back(&r);
+  write_state(cpu, r, State::Combining);
+
+  bool captured = false;
+  for (auto& layer : funnel_) {
+    // Expose our request in a random slot of this layer.
+    const auto slot = rng.below(static_cast<std::uint64_t>(opt_.width));
+    Request* other = cpu.swap(layer[slot], &r);
+    if (other != nullptr && other != &r) {
+      // Try to capture `other`'s group. Lock ourselves first, then try the
+      // other side; try_lock breaks symmetric-collision deadlocks.
+      r.lock.lock(cpu);
+      if (read_state(cpu, r) != State::Combining) {
+        // We were captured while exposed: stop descending.
+        r.lock.unlock(cpu);
+        captured = true;
+        break;
+      }
+      if (other->lock.try_lock(cpu)) {
+        if (read_state(cpu, *other) == State::Combining) {
+          write_state(cpu, *other, State::Waiting);
+          r.group.insert(r.group.end(), other->group.begin(),
+                         other->group.end());
+          other->group.clear();
+          ++combines_;
+          cpu.advance(10);  // merging bookkeeping
+        }
+        other->lock.unlock(cpu);
+      }
+      r.lock.unlock(cpu);
+    }
+    cpu.advance(5);  // layer transit delay
+  }
+
+  if (!captured) {
+    // Leave the funnel: after this point nobody may capture us.
+    r.lock.lock(cpu);
+    if (read_state(cpu, r) == State::Combining) {
+      write_state(cpu, r, State::Applying);
+      r.lock.unlock(cpu);
+
+      list_lock_.lock(cpu);
+      apply_batch(cpu, r.group);
+      list_lock_.unlock(cpu);
+      r.group.clear();
+      assert(static_cast<State>(r.state.raw()) == State::Done);
+      return;
+    }
+    r.lock.unlock(cpu);
+  }
+
+  // Captured: spin until our representative publishes the result.
+  while (read_state(cpu, r) != State::Done) cpu.advance(opt_.spin_backoff);
+}
+
+void SimFunnelList::apply_batch(Cpu& cpu, std::vector<Request*>& group) {
+  ++batches_;
+  for (Request* req : group) {
+    if (req->op == Op::Insert) {
+      list_insert(cpu, req->key, req->value);
+    } else {
+      req->found = list_pop_min(cpu, &req->result_key, &req->result_value);
+    }
+    write_state(cpu, *req, State::Done);
+  }
+}
+
+void SimFunnelList::list_insert(Cpu& cpu, Key key, Value value) {
+  ListNode* prev = head_;
+  ListNode* cur = cpu.read(prev->next);
+  while (cur != nullptr && cpu.read(cur->key) < key) {
+    prev = cur;
+    cur = cpu.read(prev->next);
+  }
+  ListNode* fresh = alloc_node(cpu);
+  cpu.write(fresh->key, key);
+  cpu.write(fresh->value, value);
+  cpu.write(fresh->next, cur);
+  cpu.write(prev->next, fresh);
+}
+
+bool SimFunnelList::list_pop_min(Cpu& cpu, Key* key, Value* value) {
+  ListNode* first = cpu.read(head_->next);
+  if (first == nullptr) return false;
+  *key = cpu.read(first->key);
+  *value = cpu.read(first->value);
+  cpu.write(head_->next, cpu.read(first->next));
+  free_node(first);  // safe: only the list-lock holder traverses
+  return true;
+}
+
+void SimFunnelList::seed(Key key, Value value) {
+  ListNode* prev = head_;
+  while (prev->next.raw() != nullptr && prev->next.raw()->key.raw() < key)
+    prev = prev->next.raw();
+  arena_.push_back(std::make_unique<ListNode>(eng_));
+  ListNode* fresh = arena_.back().get();
+  fresh->key.set_raw(key);
+  fresh->value.set_raw(value);
+  fresh->next.set_raw(prev->next.raw());
+  prev->next.set_raw(fresh);
+}
+
+std::vector<Key> SimFunnelList::keys_raw() const {
+  std::vector<Key> out;
+  for (ListNode* n = head_->next.raw(); n != nullptr; n = n->next.raw())
+    out.push_back(n->key.raw());
+  return out;
+}
+
+bool SimFunnelList::check_invariants_raw(std::string* err) const {
+  Key prev = std::numeric_limits<Key>::min();
+  std::size_t count = 0;
+  for (ListNode* n = head_->next.raw(); n != nullptr; n = n->next.raw()) {
+    const Key k = n->key.raw();
+    if (k < prev || k == kTailKey) {
+      if (err) {
+        std::ostringstream why;
+        why << "list order violated at key " << k;
+        *err = why.str();
+      }
+      return false;
+    }
+    prev = k;
+    if (++count > arena_.size()) {
+      if (err) *err = "list cycle";
+      return false;
+    }
+  }
+  if (err) err->clear();
+  return true;
+}
+
+}  // namespace simq

@@ -1,0 +1,129 @@
+// SimFunnelList: the paper's FunnelList baseline — a sorted linked list
+// whose single lock is fronted by a combining funnel (Shavit & Zemach).
+//
+// Processors that want to operate on the list first descend through the
+// funnel's collision layers. At each layer a processor SWAPs a pointer to
+// its request into a random slot and inspects what it swapped out; on a
+// collision the two processors combine — one becomes the representative
+// and carries both requests onward, the other waits for its answer. The
+// representative that emerges from the last layer acquires the list lock
+// and applies the whole batch: insertions are merged into the sorted list,
+// and a batch of delete-mins cuts the required number of items off the
+// head in one traversal.
+//
+// The funnel's width is sized to the machine (≈ processors/4 per layer,
+// two layers), a simplification of the fully adaptive scheme in [38]; the
+// paper's qualitative findings (best at low concurrency on small lists,
+// linear-time collapse on large lists) do not depend on the adaptation
+// policy.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "slpq/detail/random.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "simq/sim_skipqueue.hpp"  // Key/Value aliases
+
+namespace simq {
+
+class SimFunnelList {
+ public:
+  struct Options {
+    int layers = 2;        ///< funnel depth
+    int width = 0;         ///< slots per layer; 0 = max(1, processors/4)
+    Cycles spin_backoff = 40;  ///< waiter poll interval
+  };
+
+  explicit SimFunnelList(psim::Engine& eng) : SimFunnelList(eng, Options()) {}
+  SimFunnelList(psim::Engine& eng, Options opt);
+
+  /// Inserts (key, value); duplicates are allowed (kept adjacent).
+  void insert(Cpu& cpu, Key key, Value value);
+
+  /// Removes and returns the minimal item, or nullopt if the list is empty.
+  std::optional<std::pair<Key, Value>> delete_min(Cpu& cpu);
+
+  // ---- host-side helpers -------------------------------------------------
+  void seed(Key key, Value value);
+  std::vector<Key> keys_raw() const;
+  std::size_t size_raw() const { return keys_raw().size(); }
+  bool check_invariants_raw(std::string* err = nullptr) const;
+
+  std::uint64_t combines() const { return combines_; }
+  std::uint64_t batches_applied() const { return batches_; }
+
+ private:
+  enum class Op : std::uint64_t { Insert, DeleteMin };
+  enum class State : std::uint64_t {
+    Idle,       // not in the funnel
+    Combining,  // descending, owns its group
+    Waiting,    // captured by a representative
+    Applying,   // past the funnel, about to take the list lock
+    Done        // result fields are valid
+  };
+
+  struct ListNode {
+    explicit ListNode(psim::Engine& eng)
+        : key(eng.memory(), Key{}),
+          value(eng.memory(), Value{}),
+          next(eng.memory(), nullptr) {}
+    psim::Var<Key> key;
+    psim::Var<Value> value;
+    psim::Var<ListNode*> next;
+  };
+
+  /// One per processor, reused across operations.
+  struct Request {
+    explicit Request(psim::Engine& eng)
+        : state(eng.memory(), static_cast<std::uint64_t>(State::Idle)),
+          lock(eng) {}
+    psim::Var<std::uint64_t> state;
+    psim::Mutex lock;
+    // Host-side payload (only the owner or its captor touches these, and
+    // capture happens under `lock`).
+    Op op = Op::Insert;
+    Key key = 0;
+    Value value = 0;
+    bool found = false;  // delete-min: false => EMPTY
+    Key result_key = 0;
+    Value result_value = 0;
+    std::vector<Request*> group;  // valid while state == Combining
+  };
+
+  State read_state(Cpu& cpu, Request& r) {
+    return static_cast<State>(cpu.read(r.state));
+  }
+  void write_state(Cpu& cpu, Request& r, State s) {
+    cpu.write(r.state, static_cast<std::uint64_t>(s));
+  }
+
+  /// Funnel descent + batch application; fills r's result fields.
+  void execute(Cpu& cpu, Request& r);
+
+  /// Applies every request in the group to the list (list lock held).
+  void apply_batch(Cpu& cpu, std::vector<Request*>& group);
+
+  void list_insert(Cpu& cpu, Key key, Value value);
+  bool list_pop_min(Cpu& cpu, Key* key, Value* value);
+
+  ListNode* alloc_node(Cpu& cpu);
+  void free_node(ListNode* n);
+
+  psim::Engine& eng_;
+  Options opt_;
+  psim::Mutex list_lock_;
+  ListNode* head_;  // sentinel
+  std::vector<std::vector<psim::Var<Request*>>> funnel_;  // [layer][slot]
+  std::vector<Request> requests_;                         // per processor
+  std::vector<slpq::detail::Xoshiro256> rngs_;            // per processor
+  std::vector<std::unique_ptr<ListNode>> arena_;
+  std::vector<ListNode*> free_nodes_;
+  std::uint64_t combines_ = 0;
+  std::uint64_t batches_ = 0;
+};
+
+}  // namespace simq

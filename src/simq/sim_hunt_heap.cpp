@@ -1,0 +1,235 @@
+#include "simq/sim_hunt_heap.hpp"
+
+#include <bit>
+#include <cassert>
+#include <sstream>
+
+namespace simq {
+
+SimHuntHeap::Slot::Slot(psim::Engine& eng)
+    : key(eng.memory(), Key{}),
+      value(eng.memory(), Value{}),
+      tag(eng.memory(), kTagEmpty),
+      lock(eng) {}
+
+SimHuntHeap::SimHuntHeap(psim::Engine& eng, Options opt)
+    : eng_(eng), opt_(opt), heap_lock_(eng), size_(eng.memory(), 0) {
+  slots_.reserve(opt_.capacity + 1);
+  for (std::size_t i = 0; i <= opt_.capacity; ++i) slots_.emplace_back(eng);
+}
+
+std::size_t SimHuntHeap::bit_rev_slot(std::size_t s) {
+  assert(s >= 1);
+  if (s == 1) return 1;
+  const int msb = std::bit_width(s) - 1;  // position of the leading one
+  std::size_t rest = s ^ (std::size_t{1} << msb);
+  std::size_t reversed = 0;
+  for (int b = 0; b < msb; ++b) {
+    reversed = (reversed << 1) | (rest & 1);
+    rest >>= 1;
+  }
+  return (std::size_t{1} << msb) | reversed;
+}
+
+void SimHuntHeap::swap_slots(Cpu& cpu, Slot& a, Slot& b) {
+  const Key ak = cpu.read(a.key);
+  const Value av = cpu.read(a.value);
+  const std::int64_t at = cpu.read(a.tag);
+  cpu.write(a.key, cpu.read(b.key));
+  cpu.write(a.value, cpu.read(b.value));
+  cpu.write(a.tag, cpu.read(b.tag));
+  cpu.write(b.key, ak);
+  cpu.write(b.value, av);
+  cpu.write(b.tag, at);
+}
+
+bool SimHuntHeap::insert(Cpu& cpu, Key key, Value value) {
+  const std::int64_t pid = cpu.id();
+
+  // Reserve a slot under the (briefly held) heap lock.
+  heap_lock_.lock(cpu);
+  const std::uint64_t s = cpu.read(size_) + 1;
+  if (s > opt_.capacity) {
+    heap_lock_.unlock(cpu);
+    return false;
+  }
+  cpu.write(size_, s);
+  std::size_t i = bit_rev_slot(s);
+  at(i).lock.lock(cpu);
+  heap_lock_.unlock(cpu);
+
+  cpu.write(at(i).key, key);
+  cpu.write(at(i).value, value);
+  cpu.write(at(i).tag, pid);
+  at(i).lock.unlock(cpu);
+
+  // Bubble the tagged item up; a concurrent delete may move it, in which
+  // case the tag no longer matches and we chase it toward the root.
+  while (i > 1) {
+    const std::size_t par = i / 2;
+    at(par).lock.lock(cpu);
+    at(i).lock.lock(cpu);
+    const std::int64_t tpar = cpu.read(at(par).tag);
+    const std::int64_t ti = cpu.read(at(i).tag);
+    std::size_t next_i = i;
+    if (tpar == kTagAvailable && ti == pid) {
+      if (cpu.read(at(i).key) < cpu.read(at(par).key)) {
+        swap_slots(cpu, at(i), at(par));
+        next_i = par;
+      } else {
+        cpu.write(at(i).tag, kTagAvailable);
+        next_i = 0;  // settled
+      }
+    } else if (tpar == kTagEmpty) {
+      next_i = 0;  // our item was moved to the root and consumed
+    } else if (ti != pid) {
+      next_i = par;  // a delete moved our item up: chase it
+    }
+    // Remaining case: the parent is tagged by another in-flight insert;
+    // release both locks and retry at the same position.
+    at(i).lock.unlock(cpu);
+    at(par).lock.unlock(cpu);
+    i = next_i;
+  }
+
+  if (i == 1) {
+    at(1).lock.lock(cpu);
+    if (cpu.read(at(1).tag) == pid) cpu.write(at(1).tag, kTagAvailable);
+    at(1).lock.unlock(cpu);
+  }
+  return true;
+}
+
+std::optional<std::pair<Key, Value>> SimHuntHeap::delete_min(Cpu& cpu) {
+  // Claim the last occupied slot under the heap lock.
+  heap_lock_.lock(cpu);
+  const std::uint64_t s = cpu.read(size_);
+  if (s == 0) {
+    heap_lock_.unlock(cpu);
+    return std::nullopt;
+  }
+  cpu.write(size_, s - 1);
+  const std::size_t bound = bit_rev_slot(s);
+  at(bound).lock.lock(cpu);
+  heap_lock_.unlock(cpu);
+
+  // Extract the last item; its slot becomes empty.
+  const Key last_key = cpu.read(at(bound).key);
+  const Value last_value = cpu.read(at(bound).value);
+  cpu.write(at(bound).tag, kTagEmpty);
+  at(bound).lock.unlock(cpu);
+
+  if (bound == 1) return std::make_pair(last_key, last_value);
+
+  // Replace the root with the last item and sift down hand-over-hand.
+  at(1).lock.lock(cpu);
+  if (cpu.read(at(1).tag) == kTagEmpty) {
+    // A racing delete emptied the heap between our two lock regions; the
+    // item we pulled out is the only one left and is itself the answer.
+    at(1).lock.unlock(cpu);
+    return std::make_pair(last_key, last_value);
+  }
+  const Key min_key = cpu.read(at(1).key);
+  const Value min_value = cpu.read(at(1).value);
+  cpu.write(at(1).key, last_key);
+  cpu.write(at(1).value, last_value);
+  cpu.write(at(1).tag, kTagAvailable);
+
+  std::size_t i = 1;  // lock on i is held throughout
+  for (;;) {
+    const std::size_t l = 2 * i, r = 2 * i + 1;
+    if (l > opt_.capacity) break;
+    at(l).lock.lock(cpu);
+    const bool has_r = r <= opt_.capacity;
+    if (has_r) at(r).lock.lock(cpu);
+
+    std::size_t child = 0;
+    const bool l_present = cpu.read(at(l).tag) != kTagEmpty;
+    const bool r_present = has_r && cpu.read(at(r).tag) != kTagEmpty;
+    if (l_present && r_present)
+      child = cpu.read(at(l).key) <= cpu.read(at(r).key) ? l : r;
+    else if (l_present)
+      child = l;
+    else if (r_present)
+      child = r;
+
+    if (child == 0) {
+      if (has_r) at(r).lock.unlock(cpu);
+      at(l).lock.unlock(cpu);
+      break;
+    }
+    // Release the child we are not descending into.
+    if (has_r && child != r) at(r).lock.unlock(cpu);
+    if (child != l) at(l).lock.unlock(cpu);
+
+    if (cpu.read(at(child).key) < cpu.read(at(i).key)) {
+      swap_slots(cpu, at(child), at(i));
+      at(i).lock.unlock(cpu);
+      i = child;  // keep the child's lock, descend
+    } else {
+      at(child).lock.unlock(cpu);
+      break;
+    }
+  }
+  at(i).lock.unlock(cpu);
+
+  return std::make_pair(min_key, min_value);
+}
+
+void SimHuntHeap::seed(Key key, Value value) {
+  const std::uint64_t s = size_.raw() + 1;
+  if (s > opt_.capacity) throw std::length_error("SimHuntHeap seed overflow");
+  size_.set_raw(s);
+  // Items live at bit-reversed slots (the s-th item at bit_rev_slot(s)),
+  // exactly as the concurrent insert would place them; every ancestor of an
+  // occupied slot is occupied because lower levels fill completely first.
+  std::size_t i = bit_rev_slot(s);
+  slots_[i].key.set_raw(key);
+  slots_[i].value.set_raw(value);
+  slots_[i].tag.set_raw(kTagAvailable);
+  while (i > 1 && slots_[i].key.raw() < slots_[i / 2].key.raw()) {
+    const std::size_t par = i / 2;
+    const Key k = slots_[i].key.raw();
+    const Value v = slots_[i].value.raw();
+    slots_[i].key.set_raw(slots_[par].key.raw());
+    slots_[i].value.set_raw(slots_[par].value.raw());
+    slots_[par].key.set_raw(k);
+    slots_[par].value.set_raw(v);
+    i = par;
+  }
+}
+
+bool SimHuntHeap::check_invariants_raw(std::string* err) const {
+  std::ostringstream why;
+  const std::uint64_t s = size_.raw();
+  for (std::size_t i = 1; i <= opt_.capacity; ++i) {
+    const auto tag = slots_[i].tag.raw();
+    if (tag != kTagEmpty && tag != kTagAvailable) {
+      why << "slot " << i << " still carries PID tag " << tag;
+      if (err) *err = why.str();
+      return false;
+    }
+  }
+  std::size_t present = 0;
+  for (std::size_t i = 1; i <= opt_.capacity; ++i)
+    if (slots_[i].tag.raw() == kTagAvailable) ++present;
+  if (present != s) {
+    why << "size says " << s << " but " << present << " slots are AVAILABLE";
+    if (err) *err = why.str();
+    return false;
+  }
+  for (std::size_t i = 2; i <= opt_.capacity; ++i) {
+    if (slots_[i].tag.raw() != kTagAvailable) continue;
+    const std::size_t par = i / 2;
+    if (slots_[par].tag.raw() == kTagAvailable &&
+        slots_[par].key.raw() > slots_[i].key.raw()) {
+      why << "heap order violated between " << par << " and " << i;
+      if (err) *err = why.str();
+      return false;
+    }
+  }
+  if (err) err->clear();
+  return true;
+}
+
+}  // namespace simq

@@ -1,0 +1,82 @@
+// SimHuntHeap: the concurrent heap of Hunt, Michael, Parthasarathy & Scott
+// ("An Efficient Algorithm for Concurrent Priority Queue Heaps", IPL 1996)
+// on the simulated multiprocessor — the paper's strongest baseline.
+//
+// Key features reproduced:
+//  * an array-based binary min-heap with one lock per element plus a single
+//    heap lock protecting the size variable — held only briefly ("the
+//    heap's size is updated, then a lock on either the first or last
+//    element ... is acquired and then the first lock is released");
+//  * insertions reserve slots in *bit-reversed* order within each heap
+//    level, so consecutive inserts bubble up along edge-disjoint paths;
+//  * insertions proceed bottom-up with a PID tag so a concurrent delete
+//    that moves a half-inserted item is detected and chased;
+//  * deletions take the last item, place it at the root, and sift down
+//    hand-over-hand (lock parent, then children).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "simq/sim_skipqueue.hpp"  // Key/Value aliases
+
+namespace simq {
+
+class SimHuntHeap {
+ public:
+  struct Options {
+    std::size_t capacity = 1 << 16;  ///< heaps must pre-allocate (paper §1.2)
+  };
+
+  SimHuntHeap(psim::Engine& eng, Options opt);
+
+  /// Inserts (key, value). Returns false if the heap is full. Duplicate
+  /// keys are allowed (the heap has no update-in-place path).
+  bool insert(Cpu& cpu, Key key, Value value);
+
+  /// Removes and returns the minimal item, or nullopt if empty.
+  std::optional<std::pair<Key, Value>> delete_min(Cpu& cpu);
+
+  // ---- host-side helpers -------------------------------------------------
+  /// Pre-populates before the run (sequential sift-up insert).
+  void seed(Key key, Value value);
+
+  std::size_t size_raw() const { return static_cast<std::size_t>(size_.raw()); }
+
+  /// Heap-order invariant over AVAILABLE items; tags must be AVAILABLE for
+  /// slots in [1, size] and EMPTY beyond.
+  bool check_invariants_raw(std::string* err = nullptr) const;
+
+  /// The slot that the s-th item occupies: keep the leading bit of s,
+  /// bit-reverse the rest. Consecutive values share no tree edges below
+  /// their common level. Exposed for tests.
+  static std::size_t bit_rev_slot(std::size_t s);
+
+ private:
+  static constexpr std::int64_t kTagEmpty = -1;
+  static constexpr std::int64_t kTagAvailable = -2;
+
+  struct Slot {
+    Slot(psim::Engine& eng);
+    psim::Var<Key> key;
+    psim::Var<Value> value;
+    psim::Var<std::int64_t> tag;  // kTagEmpty / kTagAvailable / owner PID
+    psim::Mutex lock;
+  };
+
+  void swap_slots(Cpu& cpu, Slot& a, Slot& b);
+
+  Slot& at(std::size_t i) { return slots_[i]; }
+
+  psim::Engine& eng_;
+  Options opt_;
+  psim::Mutex heap_lock_;        // protects size_
+  psim::Var<std::uint64_t> size_;
+  std::vector<Slot> slots_;      // 1-based; slots_[0] unused
+};
+
+}  // namespace simq

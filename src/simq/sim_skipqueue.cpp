@@ -1,0 +1,438 @@
+#include "simq/sim_skipqueue.hpp"
+
+#include <cassert>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace simq {
+
+namespace {
+
+constexpr Key kHeadKey = std::numeric_limits<Key>::min();
+constexpr Key kTailKey = std::numeric_limits<Key>::max();
+
+// Defensive bound on list walks: the simulation is deterministic, so an
+// algorithmic livelock would otherwise spin the host forever.
+constexpr std::uint64_t kWalkLimit = 1'000'000;
+
+[[noreturn]] void walk_overflow(const char* where) {
+  throw std::runtime_error(std::string("SimSkipQueue: runaway traversal in ") +
+                           where);
+}
+
+// Simulated layout of a node: five header words then (next, lock) word
+// pairs per level. Matches what a C struct with a trailing array would be.
+constexpr psim::Addr kKeyOff = 0;
+constexpr psim::Addr kValueOff = 8;
+constexpr psim::Addr kDeletedOff = 16;
+constexpr psim::Addr kStampOff = 24;
+constexpr psim::Addr kNodeLockOff = 32;
+constexpr psim::Addr kLevelBase = 40;
+constexpr psim::Addr kLevelStride = 16;
+
+std::size_t node_bytes(int level) {
+  return static_cast<std::size_t>(kLevelBase +
+                                  kLevelStride * static_cast<psim::Addr>(level));
+}
+
+// Scoped entry-registry membership (paper, Section 3): enter on construction,
+// exit on every return path.
+class ScopedEntry {
+ public:
+  ScopedEntry(EntryRegistry& reg, Cpu& cpu, bool active)
+      : reg_(reg), cpu_(cpu), active_(active), entry_time_(0) {
+    if (active_) entry_time_ = reg_.enter(cpu_);
+  }
+  ~ScopedEntry() {
+    if (active_) reg_.exit(cpu_);
+  }
+  ScopedEntry(const ScopedEntry&) = delete;
+  ScopedEntry& operator=(const ScopedEntry&) = delete;
+
+  Cycles entry_time() const { return entry_time_; }
+
+ private:
+  EntryRegistry& reg_;
+  Cpu& cpu_;
+  bool active_;
+  Cycles entry_time_;
+};
+
+}  // namespace
+
+SkipNode::SkipNode(psim::Engine& eng, int lvl, bool pad,
+                   psim::LockMode lock_mode)
+    : base(eng.memory().alloc(node_bytes(lvl), pad ? psim::kLineBytes : 8)),
+      key(base + kKeyOff, Key{}),
+      value(base + kValueOff, Value{}),
+      deleted(base + kDeletedOff, 0),
+      time_stamp(base + kStampOff, 0),
+      node_lock(eng, base + kNodeLockOff, lock_mode),
+      level(lvl) {
+  next.reserve(static_cast<std::size_t>(lvl));
+  level_locks.reserve(static_cast<std::size_t>(lvl));
+  for (int i = 0; i < lvl; ++i) {
+    const psim::Addr slot = base + kLevelBase + kLevelStride * static_cast<psim::Addr>(i);
+    next.emplace_back(slot, nullptr);
+    level_locks.emplace_back(eng, slot + 8, lock_mode);
+  }
+}
+
+SkipNode* SkipNodePool::fetch(int level) {
+  auto& bucket = free_by_level_[static_cast<std::size_t>(level)];
+  if (!bucket.empty()) {
+    SkipNode* node = bucket.back();
+    bucket.pop_back();
+    ++reused_;
+    ++node->generation;
+    node->live = true;
+    return node;
+  }
+  all_.push_back(std::make_unique<SkipNode>(eng_, level, pad_, lock_mode_));
+  ++created_;
+  SkipNode* node = all_.back().get();
+  node->live = true;
+  return node;
+}
+
+SkipNode* SkipNodePool::acquire_raw(int level, Key key, Value value) {
+  SkipNode* node = fetch(level);
+  node->key.set_raw(key);
+  node->value.set_raw(value);
+  node->deleted.set_raw(0);
+  node->time_stamp.set_raw(0);
+  for (auto& nx : node->next) nx.set_raw(nullptr);
+  return node;
+}
+
+SkipNode* SkipNodePool::acquire(Cpu& cpu, int level, Key key, Value value) {
+  SkipNode* node = fetch(level);
+  // Allocator bookkeeping happens in local memory.
+  cpu.advance(20);
+  cpu.write(node->key, key);
+  cpu.write(node->value, value);
+  cpu.write(node->deleted, std::uint64_t{0});
+  return node;
+}
+
+void SkipNodePool::release(SkipNode* node) {
+  assert(node->live && "double release");
+  assert(!node->node_lock.held() && "released while locked");
+  node->live = false;
+  ++released_;
+  free_by_level_[static_cast<std::size_t>(node->level)].push_back(node);
+}
+
+SimSkipQueue::SimSkipQueue(psim::Engine& eng, Options opt)
+    : eng_(eng),
+      opt_(opt),
+      pool_(eng, opt.max_level, opt.pad_nodes, opt.lock_mode),
+      registry_(eng),
+      garbage_(eng.config().processors),
+      seed_rng_(eng.config().seed ^ 0x5EEDF00DULL),
+      level_dist_(opt.p, opt.max_level) {
+  if (opt_.max_level < 1) throw std::invalid_argument("max_level must be >= 1");
+  head_ = pool_.acquire_raw(opt_.max_level, kHeadKey, 0);
+  tail_ = pool_.acquire_raw(opt_.max_level, kTailKey, 0);
+  // The sentinels must never be claimed by a delete-min. The bottom-level
+  // scan can legitimately step onto the head: a concurrent physical delete
+  // reverses the removed node's forward pointer, sending a traverser back
+  // to the removed node's predecessor, which may be the head itself. A
+  // MAX_TIME stamp shields the strict queue; a permanently-set deleted
+  // flag shields the relaxed one.
+  head_->time_stamp.set_raw(kMaxTime);
+  head_->deleted.set_raw(1);
+  tail_->time_stamp.set_raw(kMaxTime);
+  tail_->deleted.set_raw(1);
+  for (int i = 0; i < opt_.max_level; ++i)
+    head_->next[static_cast<std::size_t>(i)].set_raw(tail_);
+  level_rngs_.reserve(static_cast<std::size_t>(eng.config().processors));
+  for (int p = 0; p < eng.config().processors; ++p)
+    level_rngs_.emplace_back(eng.config().seed * 0x9E3779B97F4A7C15ULL +
+                             static_cast<std::uint64_t>(p) + 1);
+}
+
+void SimSkipQueue::spawn_collector() {
+  if (!opt_.use_gc)
+    throw std::logic_error("spawn_collector with Options::use_gc == false");
+  eng_.add_processor(
+      [this](Cpu& cpu) {
+        collector_body(cpu, registry_, garbage_,
+                       [this](SkipNode* n) { pool_.release(n); },
+                       opt_.gc_period);
+      },
+      /*daemon=*/true);
+}
+
+int SimSkipQueue::random_level(Cpu& cpu) {
+  return level_dist_(level_rngs_[static_cast<std::size_t>(cpu.id())]);
+}
+
+SkipNode* SimSkipQueue::get_lock(Cpu& cpu, SkipNode* node1, Key key, int level) {
+  const std::size_t li = static_cast<std::size_t>(level - 1);
+  std::uint64_t steps = 0;
+  SkipNode* node2 = cpu.read(node1->next[li]);
+  while (cpu.read(node2->key) < key) {
+    node1 = node2;
+    node2 = cpu.read(node1->next[li]);
+    if (++steps > kWalkLimit) walk_overflow("get_lock/search");
+  }
+  node1->level_locks[li].lock(cpu);
+  node2 = cpu.read(node1->next[li]);
+  while (cpu.read(node2->key) < key) {  // list moved before we locked
+    node1->level_locks[li].unlock(cpu);
+    node1 = node2;
+    node1->level_locks[li].lock(cpu);
+    node2 = cpu.read(node1->next[li]);
+    if (++steps > kWalkLimit) walk_overflow("get_lock/revalidate");
+  }
+  return node1;
+}
+
+void SimSkipQueue::search_preds(Cpu& cpu, Key key,
+                                std::vector<SkipNode*>& saved) {
+  saved.resize(static_cast<std::size_t>(opt_.max_level));
+  SkipNode* node1 = head_;
+  std::uint64_t steps = 0;
+  for (int i = opt_.max_level; i >= 1; --i) {
+    const std::size_t li = static_cast<std::size_t>(i - 1);
+    SkipNode* node2 = cpu.read(node1->next[li]);
+    while (cpu.read(node2->key) < key) {
+      node1 = node2;
+      node2 = cpu.read(node1->next[li]);
+      if (++steps > kWalkLimit) walk_overflow("search_preds");
+    }
+    saved[li] = node1;
+  }
+}
+
+bool SimSkipQueue::insert(Cpu& cpu, Key key, Value value) {
+  if (key <= kHeadKey || key >= kTailKey)
+    throw std::invalid_argument("key outside the sentinel range");
+
+  ScopedEntry entry(registry_, cpu, opt_.use_gc);
+
+  std::vector<SkipNode*> saved;
+  search_preds(cpu, key, saved);
+
+  // Level-1 lock first: if the key already exists we update in place.
+  SkipNode* node1 = get_lock(cpu, saved[0], key, 1);
+  SkipNode* node2 = cpu.read(node1->next[0]);
+  if (cpu.read(node2->key) == key) {
+    cpu.write(node2->value, value);
+    node1->level_locks[0].unlock(cpu);
+    return false;  // UPDATED
+  }
+
+  const int level = random_level(cpu);
+  SkipNode* new_node = pool_.acquire(cpu, level, key, value);
+  if (opt_.timestamps) cpu.write(new_node->time_stamp, kMaxTime);
+  new_node->node_lock.lock(cpu);  // nobody may delete a half-inserted node
+
+  for (int i = 1; i <= level; ++i) {
+    const std::size_t li = static_cast<std::size_t>(i - 1);
+    if (i != 1) node1 = get_lock(cpu, saved[li], key, i);
+    cpu.write(new_node->next[li], cpu.read(node1->next[li]));
+    cpu.write(node1->next[li], new_node);
+    node1->level_locks[li].unlock(cpu);
+  }
+
+  new_node->node_lock.unlock(cpu);
+  if (opt_.timestamps) cpu.write(new_node->time_stamp, cpu.clock());
+  return true;  // INSERTED
+}
+
+std::optional<std::pair<Key, Value>> SimSkipQueue::delete_min(Cpu& cpu,
+                                                              Cycles* claim_at) {
+  ScopedEntry entry(registry_, cpu, opt_.use_gc);
+
+  // Start-of-search time for the ignore-concurrent-inserts test. When the
+  // registry is active its entry clock read doubles as this timestamp.
+  Cycles time = 0;
+  if (opt_.timestamps) time = opt_.use_gc ? entry.entry_time() : cpu.clock();
+
+  // Phase 1: race down the bottom level to claim the first available node.
+  SkipNode* node1 = cpu.read(head_->next[0]);
+  std::uint64_t steps = 0;
+  while (node1 != tail_) {
+    if (!opt_.timestamps || cpu.read(node1->time_stamp) < time) {
+      const auto marked = cpu.swap(node1->deleted, std::uint64_t{1});
+      if (marked == 0) break;  // we own this node now
+    }
+    node1 = cpu.read(node1->next[0]);
+    if (++steps > kWalkLimit) walk_overflow("delete_min/scan");
+  }
+  if (claim_at != nullptr) *claim_at = cpu.now();
+  if (node1 == tail_) return std::nullopt;  // EMPTY
+
+  const Value value = cpu.read(node1->value);
+  const Key key = cpu.read(node1->key);
+
+  // Phase 2: a regular skiplist delete of the claimed node.
+  unlink_claimed(cpu, node1, key);
+  return std::make_pair(key, value);
+}
+
+void SimSkipQueue::unlink_claimed(Cpu& cpu, SkipNode* node1, Key key) {
+  std::vector<SkipNode*> saved;
+  search_preds(cpu, key, saved);
+
+  SkipNode* node2 = saved[0];
+  std::uint64_t steps = 0;
+  while (cpu.read(node2->key) != key) {  // make sure we point at the node
+    node2 = cpu.read(node2->next[0]);
+    if (++steps > kWalkLimit) walk_overflow("unlink/locate");
+  }
+  assert(node2 == node1 && "keys are unique; the claimed node must be found");
+  (void)node1;
+
+  node2->node_lock.lock(cpu);  // waits out a still-running insert
+
+  for (int i = node2->level; i >= 1; --i) {
+    const std::size_t li = static_cast<std::size_t>(i - 1);
+    SkipNode* pred = get_lock(cpu, saved[li], key, i);
+    if (pred == node2)
+      throw std::logic_error("unlink: pred == node2 at level " +
+                             std::to_string(i) + " key " + std::to_string(key));
+    node2->level_locks[li].lock(cpu);
+    // Unlink: predecessor first, then reverse the node's own pointer so a
+    // concurrent traveller standing on node2 is sent back, not stranded.
+    cpu.write(pred->next[li], cpu.read(node2->next[li]));
+    cpu.write(node2->next[li], pred);
+    node2->level_locks[li].unlock(cpu);
+    pred->level_locks[li].unlock(cpu);
+  }
+
+  node2->node_lock.unlock(cpu);
+  if (opt_.use_gc)
+    garbage_.retire(cpu, node2);
+  // Without GC the node leaks until the pool dies with the queue: that is
+  // the paper's baseline behaviour for systems with no reclamation.
+}
+
+std::optional<Value> SimSkipQueue::erase(Cpu& cpu, Key key) {
+  if (key <= kHeadKey || key >= kTailKey)
+    throw std::invalid_argument("key outside the sentinel range");
+
+  ScopedEntry entry(registry_, cpu, opt_.use_gc);
+
+  std::vector<SkipNode*> saved;
+  search_preds(cpu, key, saved);
+  SkipNode* node = cpu.read(saved[0]->next[0]);
+  std::uint64_t steps = 0;
+  while (cpu.read(node->key) < key) {
+    node = cpu.read(node->next[0]);
+    if (++steps > kWalkLimit) walk_overflow("erase/locate");
+  }
+  if (cpu.read(node->key) != key) return std::nullopt;
+  if (cpu.swap(node->deleted, std::uint64_t{1}) != 0)
+    return std::nullopt;  // somebody else claimed it
+
+  const Value value = cpu.read(node->value);
+  unlink_claimed(cpu, node, key);
+  return value;
+}
+
+bool SimSkipQueue::contains(Cpu& cpu, Key key) {
+  ScopedEntry entry(registry_, cpu, opt_.use_gc);
+  SkipNode* node1 = head_;
+  std::uint64_t steps = 0;
+  for (int i = opt_.max_level; i >= 1; --i) {
+    const std::size_t li = static_cast<std::size_t>(i - 1);
+    SkipNode* node2 = cpu.read(node1->next[li]);
+    while (cpu.read(node2->key) < key) {
+      node1 = node2;
+      node2 = cpu.read(node1->next[li]);
+      if (++steps > kWalkLimit) walk_overflow("contains");
+    }
+    if (cpu.read(node2->key) == key)
+      return cpu.read(node2->deleted) == 0;
+  }
+  return false;
+}
+
+void SimSkipQueue::seed(Key key, Value value) {
+  if (key <= kHeadKey || key >= kTailKey)
+    throw std::invalid_argument("key outside the sentinel range");
+  // Host-side insert with the same geometric level distribution.
+  const int level = level_dist_(seed_rng_);
+  std::vector<SkipNode*> update(static_cast<std::size_t>(opt_.max_level));
+  SkipNode* node = head_;
+  for (int i = opt_.max_level; i >= 1; --i) {
+    const std::size_t li = static_cast<std::size_t>(i - 1);
+    while (node->next[li].raw()->key.raw() < key) node = node->next[li].raw();
+    update[li] = node;
+  }
+  SkipNode* existing = update[0]->next[0].raw();
+  if (existing->key.raw() == key) {
+    existing->value.set_raw(value);
+    return;
+  }
+  SkipNode* fresh = pool_.acquire_raw(level, key, value);
+  for (int i = 0; i < level; ++i) {
+    const std::size_t li = static_cast<std::size_t>(i);
+    fresh->next[li].set_raw(update[li]->next[li].raw());
+    update[li]->next[li].set_raw(fresh);
+  }
+}
+
+std::vector<Key> SimSkipQueue::keys_raw() const {
+  std::vector<Key> out;
+  for (SkipNode* n = head_->next[0].raw(); n != tail_; n = n->next[0].raw())
+    out.push_back(n->key.raw());
+  return out;
+}
+
+std::size_t SimSkipQueue::size_raw() const { return keys_raw().size(); }
+
+bool SimSkipQueue::check_invariants_raw(std::string* err) const {
+  std::ostringstream why;
+  auto fail = [&](auto&&... parts) {
+    (void)std::initializer_list<int>{(why << parts, 0)...};
+    if (err) *err = why.str();
+    return false;
+  };
+
+  // Bottom level: strictly sorted, unmarked, alive, complete time stamps.
+  std::set<const SkipNode*> bottom;
+  Key prev = kHeadKey;
+  for (SkipNode* n = head_->next[0].raw(); n != tail_; n = n->next[0].raw()) {
+    if (!n->live) return fail("dead node reachable at level 1");
+    if (n->key.raw() <= prev)
+      return fail("level-1 order violated at key ", n->key.raw());
+    if (n->deleted.raw() != 0)
+      return fail("marked node ", n->key.raw(), " still linked");
+    if (opt_.timestamps && n->time_stamp.raw() == kMaxTime)
+      return fail("node ", n->key.raw(), " has an incomplete time stamp");
+    prev = n->key.raw();
+    if (!bottom.insert(n).second) return fail("level-1 cycle");
+    if (bottom.size() > 100'000'000) return fail("level-1 runaway");
+  }
+
+  // Upper levels: sorted sublists of the bottom level, with node levels
+  // consistent with membership.
+  for (int i = 2; i <= opt_.max_level; ++i) {
+    const std::size_t li = static_cast<std::size_t>(i - 1);
+    prev = kHeadKey;
+    std::size_t count = 0;
+    for (SkipNode* n = head_->next[li].raw(); n != tail_;
+         n = n->next[li].raw()) {
+      if (n->level < i)
+        return fail("node ", n->key.raw(), " linked above its level");
+      if (!bottom.count(n))
+        return fail("node ", n->key.raw(), " at level ", i,
+                    " missing from level 1");
+      if (n->key.raw() <= prev)
+        return fail("level-", i, " order violated at key ", n->key.raw());
+      prev = n->key.raw();
+      if (++count > bottom.size()) return fail("level-", i, " cycle");
+    }
+  }
+
+  if (err) err->clear();
+  return true;
+}
+
+}  // namespace simq

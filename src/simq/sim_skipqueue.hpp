@@ -1,0 +1,192 @@
+// SimSkipQueue: the paper's SkipQueue (Sections 2, 3 and 6) on the
+// simulated multiprocessor.
+//
+// A lock-based concurrent skiplist in the style of Pugh's "Concurrent
+// Maintenance of Skip Lists": one lock per (node, level) guarding that
+// node's forward pointer at that level, plus a whole-node lock that keeps a
+// node from being deleted while it is being inserted. Inserts link bottom-
+// up, deletes unlink top-down, and a removed node's forward pointer is
+// reversed (made to point at its predecessor) so concurrent traversals that
+// still hold it are redirected instead of lost.
+//
+// Delete-min (the paper's new operation) scans the bottom-level list and
+// claims the first unmarked node with an atomic SWAP on its `deleted` flag;
+// the winner then performs a regular skiplist delete. A time-stamp written
+// after an insert completes lets a deleting processor ignore nodes inserted
+// concurrently with its scan, which yields the serialization property of
+// Section 4.2. Options::timestamps = false gives the Relaxed SkipQueue of
+// Section 5.4.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "slpq/detail/random.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "simq/garbage.hpp"
+
+namespace simq {
+
+using Key = std::int64_t;
+using Value = std::uint64_t;
+
+/// One skiplist node. Simulated words (Var/Mutex) are placed contiguously
+/// in one simulated allocation, so a node's fields share cache lines the
+/// way a real C struct's would; `pad_nodes` line-aligns the allocation.
+struct SkipNode {
+  SkipNode(psim::Engine& eng, int level, bool pad,
+           psim::LockMode lock_mode = psim::LockMode::Block);
+
+  SkipNode(const SkipNode&) = delete;
+  SkipNode& operator=(const SkipNode&) = delete;
+
+  psim::Addr base;  // start of this node's simulated allocation (first member:
+                    // the fields below derive their addresses from it)
+  psim::Var<Key> key;
+  psim::Var<Value> value;
+  psim::Var<std::uint64_t> deleted;      // SWAP target for delete-min claims
+  psim::Var<Cycles> time_stamp;          // kMaxTime until fully inserted
+  psim::Mutex node_lock;                 // "lock(node, NODE)" in the paper
+  std::vector<psim::Var<SkipNode*>> next;  // [0] is level 1
+  std::vector<psim::Mutex> level_locks;    // guards next[i] of this node
+
+  // Host-side metadata (not part of the simulated machine state).
+  int level;
+  std::uint64_t generation = 0;  // bumped on every pool reuse
+  bool live = false;
+};
+
+/// Allocation pool for skiplist nodes. The collector returns nodes here;
+/// reuse keeps their simulated addresses (as a real allocator would), and
+/// bumps `generation` so a use-after-free in the algorithm is detectable.
+class SkipNodePool {
+ public:
+  SkipNodePool(psim::Engine& eng, int max_level, bool pad,
+               psim::LockMode lock_mode = psim::LockMode::Block)
+      : eng_(eng), max_level_(max_level), pad_(pad), lock_mode_(lock_mode),
+        free_by_level_(static_cast<std::size_t>(max_level) + 1) {}
+
+  /// Host-side acquisition (pre-run seeding and internal sentinels).
+  SkipNode* acquire_raw(int level, Key key, Value value);
+
+  /// Simulated acquisition: fetches a node and initializes its key, value
+  /// and deleted flag with simulated writes (the CreateNode of Fig. 10).
+  SkipNode* acquire(Cpu& cpu, int level, Key key, Value value);
+
+  /// Returns a node to the pool (collector callback).
+  void release(SkipNode* node);
+
+  std::uint64_t created() const { return created_; }
+  std::uint64_t reused() const { return reused_; }
+  std::uint64_t released() const { return released_; }
+
+ private:
+  SkipNode* fetch(int level);
+
+  psim::Engine& eng_;
+  int max_level_;
+  bool pad_;
+  psim::LockMode lock_mode_;
+  std::vector<std::vector<SkipNode*>> free_by_level_;
+  std::vector<std::unique_ptr<SkipNode>> all_;
+  std::uint64_t created_ = 0;
+  std::uint64_t reused_ = 0;
+  std::uint64_t released_ = 0;
+};
+
+class SimSkipQueue {
+ public:
+  struct Options {
+    int max_level = 16;       ///< paper: log2 of the expected max size
+    double p = 0.5;           ///< level promotion probability
+    bool timestamps = true;   ///< false => Relaxed SkipQueue (Section 5.4)
+    bool pad_nodes = false;   ///< ablation: line-align node allocations
+    bool use_gc = true;       ///< entry registry + garbage lists + collector
+    Cycles gc_period = 2000;  ///< collector scan period
+    /// Ablation: how the per-(node, level) locks wait. Block reproduces the
+    /// paper's Proteus semaphores; Spin is test-and-test-and-set.
+    psim::LockMode lock_mode = psim::LockMode::Block;
+  };
+
+  SimSkipQueue(psim::Engine& eng, Options opt);
+
+  /// Adds the dedicated collector daemon to the engine (call once, before
+  /// Engine::run, iff Options::use_gc).
+  void spawn_collector();
+
+  /// Inserts (key, value); if the key already exists its value is updated
+  /// in place (paper's UPDATED path). Returns true if a new node was
+  /// inserted, false if an existing one was updated.
+  bool insert(Cpu& cpu, Key key, Value value);
+
+  /// Claims and removes the minimal completed-insert node; returns nullopt
+  /// for EMPTY. With Options::timestamps, ignores nodes whose insert
+  /// finished after this operation's start (Section 4.2's serialization).
+  /// If claim_at is non-null it receives the cycle of the winning SWAP —
+  /// the operation's serialization point in the proof of Lemma 1 — or the
+  /// cycle of the EMPTY return.
+  std::optional<std::pair<Key, Value>> delete_min(Cpu& cpu,
+                                                  Cycles* claim_at = nullptr);
+
+  /// The general skiplist Delete (paper, Section 2): claims an arbitrary
+  /// key's node via its deleted flag and unlinks it. Returns the removed
+  /// value, or nullopt if the key is absent or already claimed.
+  std::optional<Value> erase(Cpu& cpu, Key key);
+
+  /// Advisory membership test (a plain skiplist search).
+  bool contains(Cpu& cpu, Key key);
+
+  // ---- host-side (pre/post-run) helpers ---------------------------------
+  /// Pre-populates the queue before the simulation starts.
+  void seed(Key key, Value value);
+
+  /// Keys on the bottom level, in list order (post-run inspection).
+  std::vector<Key> keys_raw() const;
+
+  std::size_t size_raw() const;
+
+  /// Structural invariants: bottom level strictly sorted, every node's
+  /// level-i successor chain consistent, no marked-but-unremoved nodes.
+  /// Returns true and leaves *err empty on success.
+  bool check_invariants_raw(std::string* err = nullptr) const;
+
+  const Options& options() const { return opt_; }
+  SkipNodePool& pool() { return pool_; }
+  GarbageLists<SkipNode>& garbage() { return garbage_; }
+  const EntryRegistry& registry() const { return registry_; }
+
+ private:
+  friend class SimSkipQueueTestPeer;
+
+  int random_level(Cpu& cpu);
+
+  /// The paper's getLock(): starting at `node`, advance to the rightmost
+  /// node at `level` whose key is < `key`, lock that node's level-`level`
+  /// pointer, and revalidate (moving the lock forward if the list changed).
+  SkipNode* get_lock(Cpu& cpu, SkipNode* node, Key key, int level);
+
+  /// Search pass shared by insert and delete: fills saved[i-1] with the
+  /// rightmost node at level i whose key < `key`.
+  void search_preds(Cpu& cpu, Key key, std::vector<SkipNode*>& saved);
+
+  /// Physical unlink of a node whose deleted flag the caller won; the
+  /// shared tail of delete_min and erase.
+  void unlink_claimed(Cpu& cpu, SkipNode* node, Key key);
+
+  psim::Engine& eng_;
+  Options opt_;
+  SkipNodePool pool_;
+  EntryRegistry registry_;
+  GarbageLists<SkipNode> garbage_;
+  SkipNode* head_;
+  SkipNode* tail_;
+  std::vector<slpq::detail::Xoshiro256> level_rngs_;  // one per processor
+  slpq::detail::Xoshiro256 seed_rng_;                 // host-side seeding
+  slpq::detail::GeometricLevel level_dist_;
+};
+
+}  // namespace simq

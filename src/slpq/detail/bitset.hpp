@@ -1,0 +1,85 @@
+// DynamicBitset: a compact runtime-sized bitset.
+//
+// The simulator's coherence directory tracks, per cache line, the set of
+// processor caches holding a copy. The processor count is fixed at engine
+// construction but not at compile time, so std::bitset does not fit.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace slpq::detail {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t bits)
+      : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  std::size_t size() const noexcept { return bits_; }
+
+  bool test(std::size_t i) const noexcept {
+    assert(i < bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void set(std::size_t i) noexcept {
+    assert(i < bits_);
+    words_[i >> 6] |= (1ULL << (i & 63));
+  }
+
+  void reset(std::size_t i) noexcept {
+    assert(i < bits_);
+    words_[i >> 6] &= ~(1ULL << (i & 63));
+  }
+
+  void clear() noexcept {
+    for (auto& w : words_) w = 0;
+  }
+
+  bool any() const noexcept {
+    for (auto w : words_)
+      if (w) return true;
+    return false;
+  }
+
+  bool none() const noexcept { return !any(); }
+
+  std::size_t count() const noexcept {
+    std::size_t n = 0;
+    for (auto w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  /// Calls fn(index) for every set bit, in increasing index order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w) {
+        const int bit = __builtin_ctzll(w);
+        fn(wi * 64 + static_cast<std::size_t>(bit));
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// Index of the lowest set bit, or size() if none.
+  std::size_t find_first() const noexcept {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi)
+      if (words_[wi]) return wi * 64 + static_cast<std::size_t>(__builtin_ctzll(words_[wi]));
+    return bits_;
+  }
+
+  bool operator==(const DynamicBitset& other) const noexcept {
+    return bits_ == other.bits_ && words_ == other.words_;
+  }
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace slpq::detail

@@ -1,0 +1,45 @@
+// Cache-line size constants and padding helpers.
+//
+// Contended atomics placed in adjacent memory produce false sharing; every
+// hot shared word in this library is wrapped in Padded<> so that it owns a
+// full destructive-interference span.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace slpq::detail {
+
+// Fixed at 64 rather than std::hardware_destructive_interference_size: the
+// latter is an ABI hazard (GCC warns that its value may change between
+// compiler versions), and 64 bytes is correct for every x86-64 and most ARM
+// server parts this library targets.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Wraps T so that it occupies (and is aligned to) at least one cache line.
+/// T is default-constructible or constructible from forwarded args.
+template <typename T>
+struct alignas(kCacheLineSize) Padded {
+  T value;
+
+  Padded() = default;
+  template <typename... Args>
+  explicit Padded(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+
+ private:
+  // Pad up to a full line even when sizeof(T) is not a multiple of the line.
+  static constexpr std::size_t kPad =
+      (sizeof(T) % kCacheLineSize) ? kCacheLineSize - sizeof(T) % kCacheLineSize : 0;
+  [[maybe_unused]] std::byte pad_[kPad == 0 ? 1 : kPad]{};
+};
+
+static_assert(alignof(Padded<int>) >= kCacheLineSize);
+
+}  // namespace slpq::detail

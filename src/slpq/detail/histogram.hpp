@@ -1,0 +1,94 @@
+// LatencyHistogram: log-bucketed latency accumulator.
+//
+// The benchmark harness records one sample per Insert / Delete-min; with
+// up to 70000 operations per run we want O(1) insertion and small memory.
+// Buckets are powers of two with linear sub-buckets (HdrHistogram-style,
+// 16 sub-buckets per octave), which keeps relative quantile error < ~6%.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace slpq::detail {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 4;  // 16 linear sub-buckets per octave
+  static constexpr int kSub = 1 << kSubBits;
+
+  LatencyHistogram() : buckets_(64 * kSub, 0) {}
+
+  void record(std::uint64_t v) noexcept {
+    sum_ += v;
+    ++count_;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+    buckets_[index_of(v)]++;
+  }
+
+  void merge(const LatencyHistogram& other) noexcept {
+    sum_ += other.sum_;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t sum() const noexcept { return sum_; }
+  std::uint64_t min() const noexcept { return count_ ? min_ : 0; }
+  std::uint64_t max() const noexcept { return count_ ? max_ : 0; }
+
+  double mean() const noexcept {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Approximate q-quantile (0 <= q <= 1); returns a representative value of
+  /// the bucket containing the quantile rank.
+  std::uint64_t quantile(double q) const noexcept {
+    if (count_ == 0) return 0;
+    const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      seen += buckets_[i];
+      if (seen > rank) return representative(i);
+    }
+    return max_;
+  }
+
+  void reset() noexcept {
+    sum_ = 0;
+    count_ = 0;
+    min_ = std::numeric_limits<std::uint64_t>::max();
+    max_ = 0;
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+  }
+
+ private:
+  static std::size_t index_of(std::uint64_t v) noexcept {
+    if (v < kSub) return static_cast<std::size_t>(v);
+    const int msb = 63 - __builtin_clzll(v);
+    const int octave = msb - kSubBits + 1;
+    const auto sub = static_cast<std::size_t>(v >> (msb - kSubBits)) & (kSub - 1);
+    return static_cast<std::size_t>(octave) * kSub + sub + kSub;
+  }
+
+  static std::uint64_t representative(std::size_t idx) noexcept {
+    if (idx < kSub) return idx;
+    const std::size_t octave = (idx - kSub) / kSub;
+    const std::size_t sub = (idx - kSub) % kSub;
+    // Midpoint of the bucket range.
+    const std::uint64_t base = (1ULL << (octave + kSubBits - 1)) + (sub << (octave - 1));
+    return base + (1ULL << (octave - 1)) / 2;
+  }
+
+  std::uint64_t sum_ = 0;
+  std::uint64_t count_ = 0;
+  std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_ = 0;
+  std::vector<std::uint64_t> buckets_;
+};
+
+}  // namespace slpq::detail

@@ -1,0 +1,120 @@
+// IndexedMinHeap: a binary min-heap over a fixed universe of integer keys
+// [0, capacity) with decrease/increase/remove by key.
+//
+// The simulator engine keeps runnable virtual processors ordered by local
+// clock; a processor blocks (remove) and wakes (push with a new time)
+// constantly, so we need an addressable heap rather than std::priority_queue.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace slpq::detail {
+
+template <typename Priority>
+class IndexedMinHeap {
+ public:
+  explicit IndexedMinHeap(std::size_t capacity)
+      : pos_(capacity, kAbsent), keys_(), prio_(capacity) {}
+
+  std::size_t size() const noexcept { return keys_.size(); }
+  bool empty() const noexcept { return keys_.empty(); }
+  bool contains(std::size_t key) const noexcept { return pos_[key] != kAbsent; }
+
+  Priority priority_of(std::size_t key) const noexcept {
+    assert(contains(key));
+    return prio_[key];
+  }
+
+  /// Inserts key with the given priority. Key must not be present.
+  void push(std::size_t key, Priority p) {
+    assert(key < pos_.size() && !contains(key));
+    prio_[key] = p;
+    pos_[key] = keys_.size();
+    keys_.push_back(key);
+    sift_up(keys_.size() - 1);
+  }
+
+  /// Key of the minimum element. Ties are broken by smaller key so that the
+  /// engine's scheduling is deterministic.
+  std::size_t top() const noexcept {
+    assert(!empty());
+    return keys_[0];
+  }
+
+  Priority top_priority() const noexcept {
+    assert(!empty());
+    return prio_[keys_[0]];
+  }
+
+  std::size_t pop() {
+    const std::size_t k = top();
+    remove(k);
+    return k;
+  }
+
+  void remove(std::size_t key) {
+    assert(contains(key));
+    const std::size_t i = pos_[key];
+    swap_at(i, keys_.size() - 1);
+    keys_.pop_back();
+    pos_[key] = kAbsent;
+    if (i < keys_.size()) {
+      sift_up(i);
+      sift_down(i);
+    }
+  }
+
+  /// Changes key's priority (any direction) and restores heap order.
+  void update(std::size_t key, Priority p) {
+    assert(contains(key));
+    prio_[key] = p;
+    sift_up(pos_[key]);
+    sift_down(pos_[key]);
+  }
+
+ private:
+  static constexpr std::size_t kAbsent = static_cast<std::size_t>(-1);
+
+  bool less(std::size_t a, std::size_t b) const noexcept {
+    // a/b are positions in keys_.
+    const std::size_t ka = keys_[a], kb = keys_[b];
+    if (prio_[ka] != prio_[kb]) return prio_[ka] < prio_[kb];
+    return ka < kb;
+  }
+
+  void swap_at(std::size_t i, std::size_t j) noexcept {
+    std::swap(keys_[i], keys_[j]);
+    pos_[keys_[i]] = i;
+    pos_[keys_[j]] = j;
+  }
+
+  void sift_up(std::size_t i) noexcept {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!less(i, parent)) break;
+      swap_at(i, parent);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) noexcept {
+    for (;;) {
+      std::size_t best = i;
+      const std::size_t l = 2 * i + 1, r = 2 * i + 2;
+      if (l < keys_.size() && less(l, best)) best = l;
+      if (r < keys_.size() && less(r, best)) best = r;
+      if (best == i) return;
+      swap_at(i, best);
+      i = best;
+    }
+  }
+
+  std::vector<std::size_t> pos_;   // key -> position in keys_, or kAbsent
+  std::vector<std::size_t> keys_;  // heap array of keys
+  std::vector<Priority> prio_;     // key -> priority
+};
+
+}  // namespace slpq::detail

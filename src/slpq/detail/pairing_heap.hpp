@@ -1,0 +1,130 @@
+// PairingHeap: a sequential amortized-O(log n) mergeable min-heap.
+//
+// Used as the single-threaded reference model in tests (oracle for the
+// concurrent queues), as the sequential baseline in benchmarks, and by the
+// discrete-event-simulation example.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace slpq::detail {
+
+template <typename Key, typename Value, typename Compare = std::less<Key>>
+class PairingHeap {
+ public:
+  PairingHeap() = default;
+  explicit PairingHeap(Compare cmp) : cmp_(std::move(cmp)) {}
+
+  PairingHeap(const PairingHeap&) = delete;
+  PairingHeap& operator=(const PairingHeap&) = delete;
+
+  PairingHeap(PairingHeap&& other) noexcept
+      : root_(std::exchange(other.root_, nullptr)),
+        size_(std::exchange(other.size_, 0)),
+        cmp_(std::move(other.cmp_)) {}
+
+  PairingHeap& operator=(PairingHeap&& other) noexcept {
+    if (this != &other) {
+      destroy(root_);
+      root_ = std::exchange(other.root_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+      cmp_ = std::move(other.cmp_);
+    }
+    return *this;
+  }
+
+  ~PairingHeap() { destroy(root_); }
+
+  bool empty() const noexcept { return root_ == nullptr; }
+  std::size_t size() const noexcept { return size_; }
+
+  void push(Key key, Value value) {
+    auto* n = new Node{std::move(key), std::move(value), nullptr, nullptr};
+    root_ = root_ ? meld(root_, n) : n;
+    ++size_;
+  }
+
+  const Key& min_key() const {
+    assert(root_);
+    return root_->key;
+  }
+
+  const Value& min_value() const {
+    assert(root_);
+    return root_->value;
+  }
+
+  std::pair<Key, Value> pop() {
+    assert(root_);
+    Node* old = root_;
+    root_ = merge_pairs(old->child);
+    --size_;
+    std::pair<Key, Value> out{std::move(old->key), std::move(old->value)};
+    delete old;
+    return out;
+  }
+
+  void clear() noexcept {
+    destroy(root_);
+    root_ = nullptr;
+    size_ = 0;
+  }
+
+ private:
+  struct Node {
+    Key key;
+    Value value;
+    Node* child;
+    Node* sibling;
+  };
+
+  Node* meld(Node* a, Node* b) noexcept {
+    if (cmp_(b->key, a->key)) std::swap(a, b);
+    b->sibling = a->child;
+    a->child = b;
+    return a;
+  }
+
+  // Iterative two-pass pairing to avoid deep recursion on adversarial shapes.
+  Node* merge_pairs(Node* first) noexcept {
+    if (!first) return nullptr;
+    std::vector<Node*> pairs;
+    while (first) {
+      Node* a = first;
+      Node* b = a->sibling;
+      first = b ? b->sibling : nullptr;
+      a->sibling = nullptr;
+      if (b) {
+        b->sibling = nullptr;
+        pairs.push_back(meld(a, b));
+      } else {
+        pairs.push_back(a);
+      }
+    }
+    Node* result = pairs.back();
+    for (std::size_t i = pairs.size() - 1; i-- > 0;) result = meld(pairs[i], result);
+    return result;
+  }
+
+  void destroy(Node* n) noexcept {
+    if (!n) return;
+    // Iterative destruction (the tree can be deep).
+    std::vector<Node*> stack{n};
+    while (!stack.empty()) {
+      Node* cur = stack.back();
+      stack.pop_back();
+      if (cur->child) stack.push_back(cur->child);
+      if (cur->sibling) stack.push_back(cur->sibling);
+      delete cur;
+    }
+  }
+
+  Node* root_ = nullptr;
+  std::size_t size_ = 0;
+  Compare cmp_;
+};
+
+}  // namespace slpq::detail

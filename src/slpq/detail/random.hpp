@@ -1,0 +1,102 @@
+// Small deterministic PRNGs used throughout the library and the simulator.
+//
+// We deliberately avoid <random>'s engines on hot paths: skiplist level
+// selection happens on every insert and must cost a handful of cycles.
+// SplitMix64 seeds Xoshiro256**; both are public-domain algorithms
+// (Blackman & Vigna) reimplemented here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace slpq::detail {
+
+/// SplitMix64: used for seeding and as a cheap standalone generator.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: fast, high-quality 64-bit generator for workloads.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  constexpr result_type operator()() noexcept { return next(); }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Uses the widening-multiply trick; the
+  /// modulo bias is < 2^-64 * bound which is negligible for our workloads.
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p (0 <= p <= 1).
+  constexpr bool bernoulli(double p) noexcept { return uniform01() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Samples a skiplist node level with P(level >= k+1 | level >= k) = p,
+/// clamped to [1, max_level]. This is the paper's randomLevel(): repeated
+/// coin flips with success probability p, implemented by consuming one
+/// 64-bit word and counting below-threshold "flips".
+class GeometricLevel {
+ public:
+  GeometricLevel(double p, int max_level) noexcept
+      : p_(p), max_level_(max_level) {}
+
+  int operator()(Xoshiro256& rng) const noexcept {
+    int level = 1;
+    while (level < max_level_ && rng.uniform01() < p_) ++level;
+    return level;
+  }
+
+  int max_level() const noexcept { return max_level_; }
+  double p() const noexcept { return p_; }
+
+ private:
+  double p_;
+  int max_level_;
+};
+
+}  // namespace slpq::detail

@@ -1,0 +1,97 @@
+// Spinlocks for the native library's fine-grained locking.
+//
+// A skiplist node carries one lock per level plus a whole-node lock; with
+// thousands of nodes we cannot afford sizeof(std::mutex) per level, so the
+// per-level locks are single-byte test-and-test-and-set locks. A ticket
+// lock (FIFO-fair) is provided for the coarse baselines and ablations.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace slpq::detail {
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Single-byte test-and-test-and-set spinlock with exponential backoff.
+/// Satisfies Lockable; use with std::lock_guard / std::scoped_lock (CP.20).
+class TinySpinLock {
+ public:
+  void lock() noexcept {
+    int spins = 0;
+    for (;;) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      do {
+        backoff(spins);
+      } while (locked_.load(std::memory_order_relaxed));
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+ private:
+  static void backoff(int& spins) noexcept {
+    // Exponential pause, then hand the quantum back to the OS: on an
+    // oversubscribed machine the lock holder cannot run while we burn our
+    // timeslice spinning.
+    if (spins >= 10) {
+      std::this_thread::yield();
+      return;
+    }
+    const int limit = 1 << spins;
+    for (int i = 0; i < limit; ++i) cpu_relax();
+    ++spins;
+  }
+
+  std::atomic<bool> locked_{false};
+};
+
+static_assert(sizeof(TinySpinLock) == 1);
+
+/// FIFO-fair ticket lock. Heavier than TinySpinLock but starvation-free.
+class TicketLock {
+ public:
+  void lock() noexcept {
+    const auto my = next_.fetch_add(1, std::memory_order_relaxed);
+    int spins = 0;
+    while (serving_.load(std::memory_order_acquire) != my) {
+      if (++spins > 1024) {
+        std::this_thread::yield();
+        spins = 0;
+      } else {
+        cpu_relax();
+      }
+    }
+  }
+
+  bool try_lock() noexcept {
+    auto cur = serving_.load(std::memory_order_relaxed);
+    auto expected = cur;
+    return next_.compare_exchange_strong(expected, cur + 1,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed);
+  }
+
+  void unlock() noexcept {
+    serving_.store(serving_.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::uint32_t> next_{0};
+  std::atomic<std::uint32_t> serving_{0};
+};
+
+}  // namespace slpq::detail

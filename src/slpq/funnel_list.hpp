@@ -1,0 +1,221 @@
+// slpq::FunnelList — a sorted linked list fronted by a combining funnel
+// (Shavit & Zemach), for real threads; the paper's third structure.
+//
+// Threads descend through collision layers, SWAPping a pointer to their
+// request into a random slot; colliding threads combine, one representative
+// carries the batch to the central lock and applies it in one traversal
+// (inserts merged in place, a run of delete-mins cut off the head). See
+// simq/sim_funnel_list.hpp for the simulated twin and the protocol notes.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "slpq/detail/cache_line.hpp"
+#include "slpq/detail/random.hpp"
+#include "slpq/detail/spinlock.hpp"
+
+namespace slpq {
+
+template <typename Key, typename Value, typename Compare = std::less<Key>>
+class FunnelList {
+ public:
+  static constexpr int kMaxThreads = 256;
+
+  struct Options {
+    int layers = 2;
+    int width = 8;  ///< collision slots per layer
+    std::uint64_t seed = 0xF0E1D2C3ULL;
+  };
+
+  FunnelList() : FunnelList(Options()) {}
+
+  explicit FunnelList(Options opt, Compare cmp = Compare())
+      : opt_(opt),
+        cmp_(std::move(cmp)),
+        // Sized at construction: the elements are atomics, which cannot be
+        // moved, so the vector must never reallocate.
+        funnel_(static_cast<std::size_t>(opt.layers < 0 ? 0 : opt.layers) *
+                static_cast<std::size_t>(opt.width < 1 ? 1 : opt.width)) {
+    assert(opt_.layers >= 0 && opt_.width >= 1);
+  }
+
+  ~FunnelList() {
+    ListNode* n = head_;
+    while (n != nullptr) {
+      ListNode* next = n->next;
+      delete n;
+      n = next;
+    }
+  }
+
+  FunnelList(const FunnelList&) = delete;
+  FunnelList& operator=(const FunnelList&) = delete;
+
+  void insert(const Key& key, const Value& value) {
+    Request& r = my_request();
+    r.op = Op::Insert;
+    r.key = key;
+    r.value = value;
+    execute(r);
+  }
+
+  std::optional<std::pair<Key, Value>> delete_min() {
+    Request& r = my_request();
+    r.op = Op::DeleteMin;
+    execute(r);
+    if (!r.found) return std::nullopt;
+    return std::make_pair(std::move(r.result_key), std::move(r.result_value));
+  }
+
+  /// Approximate size (exact when quiescent).
+  std::size_t size() const noexcept {
+    return size_.load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t combines() const noexcept {
+    return combines_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  enum class Op : std::uint8_t { Insert, DeleteMin };
+  enum class State : std::uint32_t { Idle, Combining, Waiting, Applying, Done };
+
+  struct ListNode {
+    Key key;
+    Value value;
+    ListNode* next;
+  };
+
+  struct alignas(detail::kCacheLineSize) Request {
+    std::atomic<State> state{State::Idle};
+    detail::TinySpinLock lock;
+    Op op = Op::Insert;
+    Key key{};
+    Value value{};
+    bool found = false;
+    Key result_key{};
+    Value result_value{};
+    std::vector<Request*> group;  // guarded by `lock` while Combining
+  };
+
+  Request& my_request() {
+    static std::atomic<int> next{0};
+    thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+    assert(id < kMaxThreads && "too many threads for FunnelList");
+    return requests_[static_cast<std::size_t>(id)].value;
+  }
+
+  detail::Xoshiro256& my_rng() {
+    thread_local detail::Xoshiro256 rng(
+        detail::SplitMix64(opt_.seed ^
+                           std::hash<std::thread::id>{}(
+                               std::this_thread::get_id()))
+            .next());
+    return rng;
+  }
+
+  void execute(Request& r) {
+    auto& rng = my_rng();
+    r.found = false;
+    r.group.clear();
+    r.group.push_back(&r);
+    r.state.store(State::Combining, std::memory_order_release);
+
+    bool captured = false;
+    for (int layer = 0; layer < opt_.layers && !captured; ++layer) {
+      auto& slot = funnel_[static_cast<std::size_t>(layer) *
+                               static_cast<std::size_t>(opt_.width) +
+                           rng.below(static_cast<std::uint64_t>(opt_.width))];
+      Request* other = slot.value.exchange(&r, std::memory_order_acq_rel);
+      if (other != nullptr && other != &r) {
+        r.lock.lock();
+        if (r.state.load(std::memory_order_acquire) != State::Combining) {
+          r.lock.unlock();
+          captured = true;
+          break;
+        }
+        if (other->lock.try_lock()) {
+          if (other->state.load(std::memory_order_acquire) ==
+              State::Combining) {
+            other->state.store(State::Waiting, std::memory_order_release);
+            r.group.insert(r.group.end(), other->group.begin(),
+                           other->group.end());
+            other->group.clear();
+            combines_.fetch_add(1, std::memory_order_relaxed);
+          }
+          other->lock.unlock();
+        }
+        r.lock.unlock();
+      }
+    }
+
+    if (!captured) {
+      r.lock.lock();
+      if (r.state.load(std::memory_order_acquire) == State::Combining) {
+        r.state.store(State::Applying, std::memory_order_release);
+        r.lock.unlock();
+
+        list_lock_.lock();
+        for (Request* req : r.group) apply_one(*req);
+        list_lock_.unlock();
+        r.group.clear();
+        return;
+      }
+      r.lock.unlock();
+    }
+
+    // Captured: wait for the representative to publish the result.
+    int spins = 0;
+    while (r.state.load(std::memory_order_acquire) != State::Done) {
+      if (++spins > 64) {
+        std::this_thread::yield();
+        spins = 0;
+      } else {
+        detail::cpu_relax();
+      }
+    }
+  }
+
+  void apply_one(Request& req) {
+    if (req.op == Op::Insert) {
+      ListNode** prev = &head_;
+      while (*prev != nullptr && cmp_((*prev)->key, req.key))
+        prev = &(*prev)->next;
+      *prev = new ListNode{req.key, req.value, *prev};
+      size_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ListNode* first = head_;
+      if (first == nullptr) {
+        req.found = false;
+      } else {
+        req.found = true;
+        req.result_key = std::move(first->key);
+        req.result_value = std::move(first->value);
+        head_ = first->next;
+        delete first;
+        size_.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+    req.state.store(State::Done, std::memory_order_release);
+  }
+
+  Options opt_;
+  Compare cmp_;
+  detail::TicketLock list_lock_;
+  ListNode* head_ = nullptr;  // guarded by list_lock_
+  std::vector<detail::Padded<std::atomic<Request*>>> funnel_;
+  std::array<detail::Padded<Request>, kMaxThreads> requests_;
+  std::atomic<std::size_t> size_{0};
+  std::atomic<std::uint64_t> combines_{0};
+};
+
+}  // namespace slpq

@@ -1,0 +1,60 @@
+// slpq::GlobalLockPQ — the sanity baseline: a sequential binary heap
+// behind one lock. The paper cites a single-lock linked list as known-poor
+// [17]; this is the strongest trivial design and the yardstick the fancy
+// structures must beat once there is any concurrency.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace slpq {
+
+template <typename Key, typename Value, typename Compare = std::less<Key>>
+class GlobalLockPQ {
+ public:
+  GlobalLockPQ() = default;
+  explicit GlobalLockPQ(Compare cmp) : heap_(Entry_Compare{std::move(cmp)}) {}
+
+  GlobalLockPQ(const GlobalLockPQ&) = delete;
+  GlobalLockPQ& operator=(const GlobalLockPQ&) = delete;
+
+  void insert(const Key& key, const Value& value) {
+    std::lock_guard<std::mutex> g(mu_);
+    heap_.emplace(key, value);
+  }
+
+  std::optional<std::pair<Key, Value>> delete_min() {
+    std::lock_guard<std::mutex> g(mu_);
+    if (heap_.empty()) return std::nullopt;
+    auto out = heap_.top();
+    heap_.pop();
+    return out;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return heap_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  struct Entry_Compare {
+    Compare cmp;
+    bool operator()(const std::pair<Key, Value>& a,
+                    const std::pair<Key, Value>& b) const {
+      return cmp(b.first, a.first);  // min-heap
+    }
+  };
+
+  mutable std::mutex mu_;
+  std::priority_queue<std::pair<Key, Value>,
+                      std::vector<std::pair<Key, Value>>, Entry_Compare>
+      heap_;
+};
+
+}  // namespace slpq

@@ -1,0 +1,358 @@
+// slpq::LockFreeSkipQueue — the lock-free successor of the paper's
+// SkipQueue.
+//
+// The paper's delete-min idea (claim the first available bottom-level node
+// with one atomic SWAP on its deleted flag, then run a regular skiplist
+// delete) transfers directly to a lock-free skiplist; this is the design
+// that follow-on work (Sundell & Tsigas 2003; Herlihy & Shavit's textbook
+// PrioritySkipList) made standard, included here as the paper's
+// future-work direction.
+//
+//  * The list is a Harris/Michael-style lock-free skiplist: each node's
+//    per-level successor pointer carries a *mark bit* in its low bit;
+//    marking logically deletes the node at that level, and any traversal
+//    (find) physically snips marked runs with CAS — cooperative helping,
+//    no locks anywhere.
+//  * Nodes with equal keys are allowed (there is no update-in-place path);
+//    the total order is (key, node address), which keeps find() meaningful
+//    under duplicates.
+//  * delete_min claims a node exactly as in the paper — one atomic
+//    exchange on its `claimed` flag — then marks its levels top-down and
+//    lets find() unlink it. The claim is the operation's serialization
+//    point, exactly as in the lock-based proof (Section 4.2).
+//  * Optional insert time-stamps give the same ignore-concurrent-inserts
+//    property as the lock-based queue; timestamps=false is the relaxed
+//    variant.
+//  * Reclamation: the paper's Section 3 scheme (TimestampReclaimer). The
+//    claimant retires its node after the physical unlink; entry-time
+//    guards make that safe for concurrent traversals and also rule out
+//    CAS ABA (a node's address never recycles while anyone who could hold
+//    it is inside).
+//
+// Progress: insert, erase and the physical part of delete_min are
+// lock-free; the claiming scan is non-blocking in the paper's sense (a
+// scanner fails to claim only because another delete-min succeeded).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <new>
+#include <optional>
+#include <utility>
+
+#include "slpq/detail/random.hpp"
+#include "slpq/ts_reclaimer.hpp"
+
+namespace slpq {
+
+template <typename Key, typename Value, typename Compare = std::less<Key>>
+class LockFreeSkipQueue {
+ public:
+  struct Options {
+    int max_level = 20;
+    double p = 0.5;
+    bool timestamps = true;  ///< false => relaxed semantics (Section 5.4)
+    std::uint64_t seed = 0x10CFEE1ULL;
+  };
+
+  LockFreeSkipQueue() : LockFreeSkipQueue(Options()) {}
+
+  explicit LockFreeSkipQueue(Options opt, Compare cmp = Compare())
+      : opt_(opt),
+        cmp_(std::move(cmp)),
+        level_dist_(opt.p, opt.max_level),
+        reclaimer_([](void* p) { Node::destroy(static_cast<Node*>(p)); }) {
+    assert(opt_.max_level >= 1 && opt_.max_level <= kMaxPossibleLevel);
+    head_ = Node::make(opt_.max_level, NodeKind::Head);
+    tail_ = Node::make(opt_.max_level, NodeKind::Tail);
+    head_->claimed.store(true, std::memory_order_relaxed);
+    tail_->claimed.store(true, std::memory_order_relaxed);
+    head_->stamp.store(kNeverStamped, std::memory_order_relaxed);
+    tail_->stamp.store(kNeverStamped, std::memory_order_relaxed);
+    for (int i = 0; i < opt_.max_level; ++i)
+      head_->next(i).store(pack(tail_, false), std::memory_order_relaxed);
+  }
+
+  ~LockFreeSkipQueue() {
+    Node* n = strip(head_->next(0).load(std::memory_order_relaxed));
+    while (n != tail_) {
+      Node* next = strip(n->next(0).load(std::memory_order_relaxed));
+      Node::destroy(n);
+      n = next;
+    }
+    Node::destroy(head_);
+    Node::destroy(tail_);
+  }
+
+  LockFreeSkipQueue(const LockFreeSkipQueue&) = delete;
+  LockFreeSkipQueue& operator=(const LockFreeSkipQueue&) = delete;
+
+  /// Inserts (key, value). Duplicate keys are allowed; every call adds a
+  /// distinct item.
+  void insert(const Key& key, const Value& value) {
+    TimestampReclaimer::Guard guard(reclaimer_);
+
+    const int top = random_level();
+    Node* n = Node::make(top, NodeKind::Interior, key, value);
+    if (opt_.timestamps)
+      n->stamp.store(kNeverStamped, std::memory_order_relaxed);
+
+    Node* preds[kMaxPossibleLevel];
+    Node* succs[kMaxPossibleLevel];
+
+    // Link the bottom level first; its CAS is the insert's linearization.
+    for (;;) {
+      find(key, n, preds, succs);
+      for (int lv = 0; lv < top; ++lv)
+        n->next(lv).store(pack(succs[lv], false), std::memory_order_relaxed);
+      std::uintptr_t expected = pack(succs[0], false);
+      if (preds[0]->next(0).compare_exchange_strong(
+              expected, pack(n, false), std::memory_order_acq_rel,
+              std::memory_order_acquire))
+        break;
+    }
+
+    // Link the upper levels; a concurrent remover may mark us mid-way, in
+    // which case we stop (it will unlink whatever we managed to link).
+    for (int lv = 1; lv < top;) {
+      std::uintptr_t cur = n->next(lv).load(std::memory_order_acquire);
+      if (is_marked(cur)) break;
+      if (strip(cur) != succs[lv]) {
+        if (!n->next(lv).compare_exchange_strong(cur, pack(succs[lv], false),
+                                                 std::memory_order_acq_rel,
+                                                 std::memory_order_acquire))
+          break;  // we got marked: stop linking
+      }
+      std::uintptr_t expected = pack(succs[lv], false);
+      if (preds[lv]->next(lv).compare_exchange_strong(
+              expected, pack(n, false), std::memory_order_acq_rel,
+              std::memory_order_acquire)) {
+        ++lv;
+        continue;
+      }
+      find(key, n, preds, succs);  // refresh the neighborhood and retry
+    }
+
+    if (opt_.timestamps)
+      n->stamp.store(reclaimer_.advance_clock(), std::memory_order_release);
+    size_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Claims and removes a minimal item (paper semantics; see SkipQueue).
+  std::optional<std::pair<Key, Value>> delete_min() {
+    TimestampReclaimer::Guard guard(reclaimer_);
+    const std::uint64_t time = guard.entry_time();
+
+    Node* curr = strip(head_->next(0).load(std::memory_order_acquire));
+    while (curr != tail_) {
+      const bool eligible =
+          !opt_.timestamps ||
+          curr->stamp.load(std::memory_order_acquire) <= time;
+      if (eligible && !curr->claimed.load(std::memory_order_relaxed) &&
+          !curr->claimed.exchange(true, std::memory_order_acq_rel)) {
+        std::pair<Key, Value> out{curr->key(), curr->value()};
+        remove(curr);
+        return out;
+      }
+      curr = strip(curr->next(0).load(std::memory_order_acquire));
+    }
+    return std::nullopt;
+  }
+
+  /// Claims and removes the first not-yet-claimed item with this key.
+  std::optional<Value> erase(const Key& key) {
+    TimestampReclaimer::Guard guard(reclaimer_);
+    Node* preds[kMaxPossibleLevel];
+    Node* succs[kMaxPossibleLevel];
+    find(key, nullptr, preds, succs);
+    Node* curr = succs[0];
+    while (curr != tail_ && equals(curr, key)) {
+      if (!curr->claimed.load(std::memory_order_relaxed) &&
+          !curr->claimed.exchange(true, std::memory_order_acq_rel)) {
+        Value out = curr->value();
+        remove(curr);
+        return out;
+      }
+      curr = strip(curr->next(0).load(std::memory_order_acquire));
+    }
+    return std::nullopt;
+  }
+
+  /// Advisory: is some unclaimed item with this key currently linked?
+  bool contains(const Key& key) {
+    TimestampReclaimer::Guard guard(reclaimer_);
+    Node* curr = head_;
+    for (int lv = opt_.max_level - 1; lv >= 0; --lv) {
+      Node* next = strip(curr->next(lv).load(std::memory_order_acquire));
+      while (node_before(next, key, nullptr)) {
+        curr = next;
+        next = strip(curr->next(lv).load(std::memory_order_acquire));
+      }
+    }
+    Node* cand = strip(curr->next(0).load(std::memory_order_acquire));
+    while (cand != tail_ && equals(cand, key)) {
+      if (!cand->claimed.load(std::memory_order_acquire)) return true;
+      cand = strip(cand->next(0).load(std::memory_order_acquire));
+    }
+    return false;
+  }
+
+  std::size_t size() const noexcept {
+    const auto s = size_.load(std::memory_order_relaxed);
+    return s < 0 ? 0 : static_cast<std::size_t>(s);
+  }
+  bool empty() const noexcept { return size() == 0; }
+  std::uint64_t reclaimed() const { return reclaimer_.freed_total(); }
+  const Options& options() const noexcept { return opt_; }
+
+ private:
+  static constexpr int kMaxPossibleLevel = 64;
+  static constexpr std::uint64_t kNeverStamped = ~std::uint64_t{0};
+
+  enum class NodeKind : std::uint8_t { Head, Interior, Tail };
+
+  struct Node {
+    std::atomic<bool> claimed{false};
+    std::atomic<std::uint64_t> stamp{0};
+    NodeKind kind;
+    int level;
+    std::atomic<std::uintptr_t>* next_;
+    alignas(Key) unsigned char key_buf[sizeof(Key)];
+    alignas(Value) unsigned char value_buf[sizeof(Value)];
+
+    Key& key() noexcept { return *reinterpret_cast<Key*>(key_buf); }
+    Value& value() noexcept { return *reinterpret_cast<Value*>(value_buf); }
+    std::atomic<std::uintptr_t>& next(int lv) noexcept { return next_[lv]; }
+
+    static Node* make(int level, NodeKind kind) {
+      const std::size_t bytes =
+          sizeof(Node) +
+          static_cast<std::size_t>(level) * sizeof(std::atomic<std::uintptr_t>);
+      void* raw = ::operator new(bytes, std::align_val_t{alignof(Node)});
+      Node* n = new (raw) Node();
+      n->kind = kind;
+      n->level = level;
+      n->next_ = reinterpret_cast<std::atomic<std::uintptr_t>*>(
+          reinterpret_cast<char*>(raw) + sizeof(Node));
+      for (int i = 0; i < level; ++i)
+        new (&n->next_[i]) std::atomic<std::uintptr_t>(0);
+      return n;
+    }
+
+    static Node* make(int level, NodeKind kind, const Key& k, const Value& v) {
+      Node* n = make(level, kind);
+      new (&n->key()) Key(k);
+      new (&n->value()) Value(v);
+      return n;
+    }
+
+    static void destroy(Node* n) {
+      if (n->kind == NodeKind::Interior) {
+        n->key().~Key();
+        n->value().~Value();
+      }
+      for (int i = 0; i < n->level; ++i)
+        n->next_[i].~atomic<std::uintptr_t>();
+      n->~Node();
+      ::operator delete(static_cast<void*>(n), std::align_val_t{alignof(Node)});
+    }
+  };
+
+  // ---- marked-pointer helpers -------------------------------------------
+  static std::uintptr_t pack(Node* n, bool marked) noexcept {
+    return reinterpret_cast<std::uintptr_t>(n) | (marked ? 1u : 0u);
+  }
+  static Node* strip(std::uintptr_t w) noexcept {
+    return reinterpret_cast<Node*>(w & ~std::uintptr_t{1});
+  }
+  static bool is_marked(std::uintptr_t w) noexcept { return (w & 1u) != 0; }
+
+  /// Total order used by find(): (key, node address). `anchor == nullptr`
+  /// sorts before every node with an equal key, so key-only searches land
+  /// on the first duplicate.
+  bool node_before(Node* n, const Key& key, const Node* anchor) const {
+    if (n->kind == NodeKind::Head) return true;
+    if (n->kind == NodeKind::Tail) return false;
+    if (cmp_(n->key(), key)) return true;
+    if (cmp_(key, n->key())) return false;
+    return std::less<const Node*>{}(n, anchor);
+  }
+
+  bool equals(Node* n, const Key& key) const {
+    return n->kind == NodeKind::Interior && !cmp_(n->key(), key) &&
+           !cmp_(key, n->key());
+  }
+
+  int random_level() {
+    thread_local detail::Xoshiro256 rng(
+        detail::SplitMix64(opt_.seed ^
+                           (reinterpret_cast<std::uintptr_t>(&rng) >> 4))
+            .next());
+    return level_dist_(rng);
+  }
+
+  /// Harris-style find with helping: positions preds/succs around the
+  /// (key, anchor) point, snipping marked runs as it goes.
+  void find(const Key& key, const Node* anchor, Node** preds, Node** succs) {
+  retry:
+    Node* pred = head_;
+    for (int lv = opt_.max_level - 1; lv >= 0; --lv) {
+      Node* curr = strip(pred->next(lv).load(std::memory_order_acquire));
+      for (;;) {
+        std::uintptr_t succ_word =
+            curr->next(lv).load(std::memory_order_acquire);
+        while (is_marked(succ_word)) {
+          // curr is logically gone at this level: snip it.
+          std::uintptr_t expected = pack(curr, false);
+          if (!pred->next(lv).compare_exchange_strong(
+                  expected, pack(strip(succ_word), false),
+                  std::memory_order_acq_rel, std::memory_order_acquire))
+            goto retry;
+          curr = strip(succ_word);
+          succ_word = curr->next(lv).load(std::memory_order_acquire);
+        }
+        if (node_before(curr, key, anchor)) {
+          pred = curr;
+          curr = strip(succ_word);
+        } else {
+          break;
+        }
+      }
+      preds[lv] = pred;
+      succs[lv] = curr;
+    }
+  }
+
+  /// Physically removes a node whose `claimed` flag the caller won: mark
+  /// every level top-down (the bottom-level mark is the removal's
+  /// linearization), then let find() snip it, then retire it.
+  void remove(Node* n) {
+    for (int lv = n->level - 1; lv >= 0; --lv) {
+      std::uintptr_t cur = n->next(lv).load(std::memory_order_acquire);
+      while (!is_marked(cur)) {
+        if (n->next(lv).compare_exchange_weak(cur, cur | 1u,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire))
+          break;
+      }
+    }
+    // One find() pass guarantees the node is unlinked from every level
+    // before we hand it to the reclaimer.
+    Node* preds[kMaxPossibleLevel];
+    Node* succs[kMaxPossibleLevel];
+    find(n->key(), n, preds, succs);
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    reclaimer_.retire(n);
+  }
+
+  Options opt_;
+  Compare cmp_;
+  detail::GeometricLevel level_dist_;
+  TimestampReclaimer reclaimer_;
+  Node* head_;
+  Node* tail_;
+  std::atomic<std::int64_t> size_{0};
+};
+
+}  // namespace slpq

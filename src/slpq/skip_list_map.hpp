@@ -1,0 +1,223 @@
+// slpq::SkipListMap — Pugh's sequential skiplist ("Skip Lists: A
+// Probabilistic Alternative to Balanced Trees", CACM 1990), the substrate
+// the paper's concurrent structures are built from.
+//
+// A sorted associative container with expected O(log n) search, insert and
+// erase, kept here both as the reference implementation the concurrent
+// queues are tested against and as a usable single-threaded container
+// (ordered iteration, lower_bound, operator[]).
+//
+// Not thread-safe: this is the CACM 1990 structure. For concurrent use,
+// see slpq::SkipQueue / slpq::LockFreeSkipQueue.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "slpq/detail/random.hpp"
+
+namespace slpq {
+
+template <typename Key, typename Value, typename Compare = std::less<Key>>
+class SkipListMap {
+  struct Node;  // defined below; forward-declared for the iterator
+
+ public:
+  struct Options {
+    int max_level = 20;
+    double p = 0.5;
+    std::uint64_t seed = 0x51C15EEDULL;
+  };
+
+  SkipListMap() : SkipListMap(Options()) {}
+
+  explicit SkipListMap(Options opt, Compare cmp = Compare())
+      : opt_(opt),
+        cmp_(std::move(cmp)),
+        rng_(opt.seed),
+        level_dist_(opt.p, opt.max_level),
+        head_(make_node(opt.max_level)) {
+    for (int i = 0; i < opt_.max_level; ++i) head_->next[i] = nullptr;
+  }
+
+  ~SkipListMap() {
+    clear();
+    destroy_node(head_);
+  }
+
+  SkipListMap(const SkipListMap&) = delete;
+  SkipListMap& operator=(const SkipListMap&) = delete;
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Inserts or assigns; returns true if a new element was created.
+  bool insert_or_assign(const Key& key, Value value) {
+    Node* update[kMaxPossibleLevel];
+    Node* node = find_node(key, update);
+    if (node != nullptr) {
+      node->value() = std::move(value);
+      return false;
+    }
+    const int lvl = level_dist_(rng_);
+    Node* fresh = make_node(lvl, key, std::move(value));
+    for (int i = 0; i < lvl; ++i) {
+      fresh->next[i] = update[i]->next[i];
+      update[i]->next[i] = fresh;
+    }
+    ++size_;
+    if (lvl > height_ ) height_ = lvl;
+    return true;
+  }
+
+  /// Removes a key; returns its value if it was present.
+  std::optional<Value> erase(const Key& key) {
+    Node* update[kMaxPossibleLevel];
+    Node* node = find_node(key, update);
+    if (node == nullptr) return std::nullopt;
+    for (int i = 0; i < node->level; ++i) {
+      if (update[i]->next[i] == node) update[i]->next[i] = node->next[i];
+    }
+    std::optional<Value> out{std::move(node->value())};
+    destroy_node(node);
+    --size_;
+    return out;
+  }
+
+  bool contains(const Key& key) const {
+    return const_cast<SkipListMap*>(this)->find_node(key, nullptr) != nullptr;
+  }
+
+  Value* find(const Key& key) {
+    Node* node = find_node(key, nullptr);
+    return node ? &node->value() : nullptr;
+  }
+
+  const Value* find(const Key& key) const {
+    return const_cast<SkipListMap*>(this)->find(key);
+  }
+
+  /// Inserts a default Value if absent; returns a reference either way.
+  Value& operator[](const Key& key) {
+    if (Value* v = find(key)) return *v;
+    insert_or_assign(key, Value{});
+    return *find(key);
+  }
+
+  void clear() noexcept {
+    Node* n = head_->next[0];
+    while (n != nullptr) {
+      Node* next = n->next[0];
+      destroy_node(n);
+      n = next;
+    }
+    for (int i = 0; i < opt_.max_level; ++i) head_->next[i] = nullptr;
+    size_ = 0;
+    height_ = 1;
+  }
+
+  // ---- iteration (forward, in key order) ---------------------------------
+  class iterator {
+   public:
+    using value_type = std::pair<const Key&, Value&>;
+
+    iterator& operator++() {
+      node_ = node_->next[0];
+      return *this;
+    }
+    bool operator==(const iterator& other) const { return node_ == other.node_; }
+    bool operator!=(const iterator& other) const { return node_ != other.node_; }
+    value_type operator*() const { return {node_->key(), node_->value()}; }
+    const Key& key() const { return node_->key(); }
+    Value& value() const { return node_->value(); }
+
+   private:
+    friend class SkipListMap;
+    explicit iterator(Node* n) : node_(n) {}
+    Node* node_;
+  };
+
+  iterator begin() { return iterator(head_->next[0]); }
+  iterator end() { return iterator(nullptr); }
+
+  /// First element with key >= `key` (end() if none).
+  iterator lower_bound(const Key& key) {
+    Node* node = head_;
+    for (int i = height_ - 1; i >= 0; --i)
+      while (node->next[i] != nullptr && cmp_(node->next[i]->key(), key))
+        node = node->next[i];
+    return iterator(node->next[0]);
+  }
+
+  /// Expected number of pointer hops a search performs (diagnostics).
+  int height() const noexcept { return height_; }
+
+ private:
+  static constexpr int kMaxPossibleLevel = 64;
+
+  struct Node {  // NOLINT: definition of the forward declaration above
+    int level;
+    Node** next;  // trailing array
+    alignas(Key) unsigned char key_buf[sizeof(Key)];
+    alignas(Value) unsigned char value_buf[sizeof(Value)];
+    bool constructed;
+
+    Key& key() noexcept { return *reinterpret_cast<Key*>(key_buf); }
+    Value& value() noexcept { return *reinterpret_cast<Value*>(value_buf); }
+  };
+
+  Node* make_node(int level) {
+    const std::size_t bytes =
+        sizeof(Node) + static_cast<std::size_t>(level) * sizeof(Node*);
+    void* raw = ::operator new(bytes, std::align_val_t{alignof(Node)});
+    Node* n = new (raw) Node();
+    n->level = level;
+    n->constructed = false;
+    n->next = reinterpret_cast<Node**>(reinterpret_cast<char*>(raw) + sizeof(Node));
+    for (int i = 0; i < level; ++i) n->next[i] = nullptr;
+    return n;
+  }
+
+  Node* make_node(int level, const Key& key, Value&& value) {
+    Node* n = make_node(level);
+    new (&n->key()) Key(key);
+    new (&n->value()) Value(std::move(value));
+    n->constructed = true;
+    return n;
+  }
+
+  void destroy_node(Node* n) noexcept {
+    if (n->constructed) {
+      n->key().~Key();
+      n->value().~Value();
+    }
+    n->~Node();
+    ::operator delete(static_cast<void*>(n), std::align_val_t{alignof(Node)});
+  }
+
+  /// Positions update[] (if given) and returns the node with `key` or null.
+  Node* find_node(const Key& key, Node** update) {
+    Node* node = head_;
+    for (int i = opt_.max_level - 1; i >= 0; --i) {
+      while (node->next[i] != nullptr && cmp_(node->next[i]->key(), key))
+        node = node->next[i];
+      if (update != nullptr) update[i] = node;
+    }
+    Node* cand = node->next[0];
+    if (cand != nullptr && !cmp_(key, cand->key())) return cand;
+    return nullptr;
+  }
+
+  Options opt_;
+  Compare cmp_;
+  detail::Xoshiro256 rng_;
+  detail::GeometricLevel level_dist_;
+  Node* head_;
+  std::size_t size_ = 0;
+  int height_ = 1;
+};
+
+}  // namespace slpq

@@ -1,0 +1,398 @@
+// slpq::SkipQueue — the paper's skiplist-based concurrent priority queue
+// for real threads.
+//
+// A lock-based concurrent skiplist (Pugh) with the paper's delete-min:
+//  * one tiny spinlock per (node, level) guards that node's forward
+//    pointer; a whole-node lock keeps a node from being deleted while its
+//    insert is still linking levels bottom-up;
+//  * delete-min scans the bottom-level list and claims the first available
+//    node with an atomic exchange on its `deleted` flag (the paper's
+//    register-to-memory SWAP), then performs a regular top-down unlink;
+//  * a removed node's forward pointers are reversed (pointed at the
+//    predecessor) so concurrent traversals are redirected, never stranded;
+//  * with Options::timestamps (default), each node is stamped when its
+//    insert completes, and a delete-min ignores nodes stamped after it
+//    began — the serialization property of the paper's Section 4.2.
+//    timestamps = false gives the Relaxed SkipQueue of Section 5.4;
+//  * memory is reclaimed with the paper's Section 3 scheme
+//    (TimestampReclaimer): a node is freed only after every thread that
+//    was inside the queue at its unlink has left.
+//
+// Thread-safe for any number of concurrent insert/delete_min callers (up
+// to TimestampReclaimer::kMaxThreads distinct threads over the queue's
+// lifetime). Progress: deadlock-free locking; the delete-min scan is
+// non-blocking in the paper's sense (a scanner loses a node only because
+// another delete-min succeeded).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <mutex>
+#include <new>
+#include <optional>
+#include <utility>
+
+#include "slpq/detail/random.hpp"
+#include "slpq/detail/spinlock.hpp"
+#include "slpq/ts_reclaimer.hpp"
+
+namespace slpq {
+
+template <typename Key, typename Value, typename Compare = std::less<Key>>
+class SkipQueue {
+ public:
+  struct Options {
+    int max_level = 20;      ///< log2 of the expected maximum size
+    double p = 0.5;          ///< level promotion probability
+    bool timestamps = true;  ///< false => Relaxed SkipQueue (Section 5.4)
+    std::uint64_t seed = 0x51CF5EEDULL;
+  };
+
+  SkipQueue() : SkipQueue(Options()) {}
+
+  explicit SkipQueue(Options opt, Compare cmp = Compare())
+      : opt_(opt),
+        cmp_(std::move(cmp)),
+        level_dist_(opt.p, opt.max_level),
+        reclaimer_([](void* p) { Node::destroy(static_cast<Node*>(p)); }) {
+    assert(opt_.max_level >= 1 && opt_.max_level <= kMaxPossibleLevel);
+    if (opt_.max_level > kMaxPossibleLevel) opt_.max_level = kMaxPossibleLevel;
+    head_ = Node::make(opt_.max_level, NodeKind::Head);
+    tail_ = Node::make(opt_.max_level, NodeKind::Tail);
+    // Sentinels must never be claimed: a bottom-level scan redirected by a
+    // concurrent unlink can step onto the head (see delete_min).
+    head_->deleted.store(true, std::memory_order_relaxed);
+    tail_->deleted.store(true, std::memory_order_relaxed);
+    head_->stamp.store(kNeverStamped, std::memory_order_relaxed);
+    tail_->stamp.store(kNeverStamped, std::memory_order_relaxed);
+    for (int i = 0; i < opt_.max_level; ++i)
+      head_->levels()[i].next.store(tail_, std::memory_order_relaxed);
+  }
+
+  ~SkipQueue() {
+    // Quiescent teardown: free the linked chain, the sentinels, and every
+    // retired-but-not-yet-collected node.
+    Node* n = head_->levels()[0].next.load(std::memory_order_relaxed);
+    while (n != tail_) {
+      Node* next = n->levels()[0].next.load(std::memory_order_relaxed);
+      Node::destroy(n);
+      n = next;
+    }
+    Node::destroy(head_);
+    Node::destroy(tail_);
+    // reclaimer_'s destructor drains the retired lists.
+  }
+
+  SkipQueue(const SkipQueue&) = delete;
+  SkipQueue& operator=(const SkipQueue&) = delete;
+
+  /// Inserts (key, value). If an equal key is already present, its value
+  /// is overwritten in place (the paper's UPDATED result) and false is
+  /// returned; true means a new node was linked.
+  bool insert(const Key& key, const Value& value) {
+    TimestampReclaimer::Guard guard(reclaimer_);
+
+    Node* saved[kMaxPossibleLevel];
+    search_preds(key, saved);
+
+    Node* node1 = get_lock(saved[0], key, 0);
+    Node* node2 = node1->levels()[0].next.load(std::memory_order_acquire);
+    if (equals(node2, key)) {
+      node2->value() = value;
+      node1->levels()[0].lock.unlock();
+      return false;
+    }
+
+    const int level = random_level();
+    Node* fresh = Node::make(level, NodeKind::Interior, key, value);
+    if (opt_.timestamps)
+      fresh->stamp.store(kNeverStamped, std::memory_order_relaxed);
+    fresh->node_lock.lock();  // nobody may delete a half-inserted node
+
+    for (int i = 0; i < level; ++i) {
+      if (i != 0) node1 = get_lock(saved[i], key, i);
+      fresh->levels()[i].next.store(
+          node1->levels()[i].next.load(std::memory_order_acquire),
+          std::memory_order_release);
+      node1->levels()[i].next.store(fresh, std::memory_order_release);
+      node1->levels()[i].lock.unlock();
+    }
+
+    fresh->node_lock.unlock();
+    if (opt_.timestamps)
+      fresh->stamp.store(reclaimer_.advance_clock(), std::memory_order_release);
+    size_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Removes and returns the minimal item, or nullopt when no item whose
+  /// insert completed before this call began remains.
+  std::optional<std::pair<Key, Value>> delete_min() {
+    TimestampReclaimer::Guard guard(reclaimer_);
+    const std::uint64_t time = guard.entry_time();
+
+    // Phase 1: claim the first available bottom-level node.
+    Node* node1 = head_->levels()[0].next.load(std::memory_order_acquire);
+    while (node1 != tail_) {
+      if (!opt_.timestamps ||
+          node1->stamp.load(std::memory_order_acquire) <= time) {
+        if (!node1->deleted.exchange(true, std::memory_order_acq_rel))
+          break;  // ours
+      }
+      node1 = node1->levels()[0].next.load(std::memory_order_acquire);
+    }
+    if (node1 == tail_) return std::nullopt;
+
+    std::pair<Key, Value> out{node1->key(), node1->value()};
+    unlink_claimed(node1, out.first);
+    return out;
+  }
+
+  /// Removes an arbitrary key (the general skiplist Delete of the paper's
+  /// Section 2). Returns the removed value, or nullopt if the key is not
+  /// present — including when a concurrent delete_min or erase claimed it
+  /// first (the `deleted` flag makes the claim unique).
+  std::optional<Value> erase(const Key& key) {
+    TimestampReclaimer::Guard guard(reclaimer_);
+
+    Node* saved[kMaxPossibleLevel];
+    search_preds(key, saved);
+    Node* node = saved[0]->levels()[0].next.load(std::memory_order_acquire);
+    while (node_less(node, key))
+      node = node->levels()[0].next.load(std::memory_order_acquire);
+    if (!equals(node, key)) return std::nullopt;
+    if (node->deleted.exchange(true, std::memory_order_acq_rel))
+      return std::nullopt;  // somebody else claimed it
+
+    Value out = node->value();
+    unlink_claimed(node, key);
+    return out;
+  }
+
+  /// True if an equal, not-yet-claimed key is currently linked. Advisory
+  /// under concurrency (the answer may be stale by the time it returns).
+  bool contains(const Key& key) {
+    TimestampReclaimer::Guard guard(reclaimer_);
+    Node* node = head_;
+    for (int i = opt_.max_level - 1; i >= 0; --i) {
+      Node* next = node->levels()[i].next.load(std::memory_order_acquire);
+      while (node_less(next, key)) {
+        node = next;
+        next = node->levels()[i].next.load(std::memory_order_acquire);
+      }
+      if (equals(next, key))
+        return !next->deleted.load(std::memory_order_acquire);
+    }
+    return false;
+  }
+
+  /// Copy of the current minimum without removing it, or nullopt if empty.
+  /// Advisory: by the time it returns, a concurrent delete_min may have
+  /// taken the item.
+  std::optional<std::pair<Key, Value>> peek_min() {
+    TimestampReclaimer::Guard guard(reclaimer_);
+    Node* node = head_->levels()[0].next.load(std::memory_order_acquire);
+    while (node != tail_) {
+      if (!node->deleted.load(std::memory_order_acquire))
+        return std::make_pair(node->key(), node->value());
+      node = node->levels()[0].next.load(std::memory_order_acquire);
+    }
+    return std::nullopt;
+  }
+
+  /// Approximate element count (exact when the queue is quiescent).
+  std::size_t size() const noexcept {
+    const auto s = size_.load(std::memory_order_relaxed);
+    return s < 0 ? 0 : static_cast<std::size_t>(s);
+  }
+
+  bool empty() const noexcept { return size() == 0; }
+
+  const Options& options() const noexcept { return opt_; }
+
+  /// Number of retired nodes already freed (reclamation is working).
+  std::uint64_t reclaimed() const { return reclaimer_.freed_total(); }
+
+ private:
+  static constexpr int kMaxPossibleLevel = 64;
+  static constexpr std::uint64_t kNeverStamped = ~std::uint64_t{0};
+
+  enum class NodeKind : std::uint8_t { Head, Interior, Tail };
+
+  struct Level;
+
+  struct Node {
+    std::atomic<bool> deleted{false};
+    std::atomic<std::uint64_t> stamp{0};
+    detail::TinySpinLock node_lock;
+    NodeKind kind;
+    int level;
+    Level* levels_;
+    alignas(Key) unsigned char key_buf[sizeof(Key)];
+    alignas(Value) unsigned char value_buf[sizeof(Value)];
+
+    Key& key() noexcept { return *reinterpret_cast<Key*>(key_buf); }
+    Value& value() noexcept { return *reinterpret_cast<Value*>(value_buf); }
+    Level* levels() noexcept { return levels_; }
+
+    /// Single-allocation factory: node header followed by its level array.
+    static Node* make(int level, NodeKind kind) {
+      const std::size_t bytes =
+          sizeof(Node) + static_cast<std::size_t>(level) * sizeof(Level);
+      void* raw = ::operator new(bytes, std::align_val_t{alignof(Node)});
+      Node* n = new (raw) Node();
+      n->kind = kind;
+      n->level = level;
+      n->levels_ = reinterpret_cast<Level*>(reinterpret_cast<char*>(raw) +
+                                            sizeof(Node));
+      for (int i = 0; i < level; ++i) new (&n->levels_[i]) Level();
+      return n;
+    }
+
+    static Node* make(int level, NodeKind kind, const Key& k, const Value& v) {
+      Node* n = make(level, kind);
+      new (&n->key()) Key(k);
+      new (&n->value()) Value(v);
+      return n;
+    }
+
+    static void destroy(Node* n) {
+      if (n->kind == NodeKind::Interior) {
+        n->key().~Key();
+        n->value().~Value();
+      }
+      for (int i = 0; i < n->level; ++i) n->levels_[i].~Level();
+      n->~Node();
+      ::operator delete(static_cast<void*>(n), std::align_val_t{alignof(Node)});
+    }
+  };
+
+  struct Level {
+    std::atomic<Node*> next{nullptr};
+    detail::TinySpinLock lock;
+  };
+
+  /// Sentinel-aware strict-weak-order: head < interior keys < tail.
+  bool node_less(Node* n, const Key& key) const {
+    if (n->kind == NodeKind::Head) return true;
+    if (n->kind == NodeKind::Tail) return false;
+    return cmp_(n->key(), key);
+  }
+
+  bool equals(Node* n, const Key& key) const {
+    return n->kind == NodeKind::Interior && !cmp_(n->key(), key) &&
+           !cmp_(key, n->key());
+  }
+
+  int random_level() {
+    thread_local detail::Xoshiro256 rng(mix_seed());
+    const int lvl = level_dist_(rng);
+    return lvl;
+  }
+
+  std::uint64_t mix_seed() const {
+    // Per-thread, per-queue seed: hash of the base seed and the thread's
+    // reclaimer slot (stable and unique within the queue).
+    return detail::SplitMix64(opt_.seed +
+                              0x9E3779B97F4A7C15ULL *
+                                  (static_cast<std::uint64_t>(
+                                       const_cast<SkipQueue*>(this)
+                                           ->reclaimer_.register_thread()) +
+                                   1))
+        .next();
+  }
+
+  /// The paper's getLock(): advance to the rightmost node at `li` whose
+  /// key precedes `key`, lock its forward pointer, revalidate.
+  Node* get_lock(Node* node1, const Key& key, int li) {
+    Node* node2 = node1->levels()[li].next.load(std::memory_order_acquire);
+    while (node_less(node2, key)) {
+      node1 = node2;
+      node2 = node1->levels()[li].next.load(std::memory_order_acquire);
+    }
+    node1->levels()[li].lock.lock();
+    node2 = node1->levels()[li].next.load(std::memory_order_acquire);
+    while (node_less(node2, key)) {
+      node1->levels()[li].lock.unlock();
+      node1 = node2;
+      node1->levels()[li].lock.lock();
+      node2 = node1->levels()[li].next.load(std::memory_order_acquire);
+    }
+    return node1;
+  }
+
+  void search_preds(const Key& key, Node** saved) {
+    Node* node1 = head_;
+    for (int i = opt_.max_level - 1; i >= 0; --i) {
+      Node* node2 = node1->levels()[i].next.load(std::memory_order_acquire);
+      while (node_less(node2, key)) {
+        node1 = node2;
+        node2 = node1->levels()[i].next.load(std::memory_order_acquire);
+      }
+      saved[i] = node1;
+    }
+  }
+
+  /// Physically unlinks a node whose `deleted` flag the caller won, then
+  /// retires it. Shared tail of delete_min and erase (the paper's regular
+  /// skiplist Delete): top-down, predecessor pointer first, then reverse
+  /// the node's own pointer so concurrent readers are redirected.
+  void unlink_claimed(Node* node2, const Key& key) {
+    Node* saved[kMaxPossibleLevel];
+    search_preds(key, saved);
+
+    Node* located = saved[0];
+    while (!equals(located, key))
+      located = located->levels()[0].next.load(std::memory_order_acquire);
+    assert(located == node2);
+    (void)located;
+
+    node2->node_lock.lock();  // waits out a still-linking insert
+
+    for (int i = node2->level - 1; i >= 0; --i) {
+      Node* pred = get_lock(saved[i], key, i);
+      node2->levels()[i].lock.lock();
+      pred->levels()[i].next.store(
+          node2->levels()[i].next.load(std::memory_order_acquire),
+          std::memory_order_release);
+      node2->levels()[i].next.store(pred, std::memory_order_release);
+      node2->levels()[i].lock.unlock();
+      pred->levels()[i].lock.unlock();
+    }
+
+    node2->node_lock.unlock();
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    reclaimer_.retire(node2);
+  }
+
+  Options opt_;
+  Compare cmp_;
+  detail::GeometricLevel level_dist_;
+  TimestampReclaimer reclaimer_;
+  Node* head_;
+  Node* tail_;
+  std::atomic<std::int64_t> size_{0};
+};
+
+/// Convenience alias for the Section 5.4 variant.
+template <typename Key, typename Value, typename Compare = std::less<Key>>
+class RelaxedSkipQueue : public SkipQueue<Key, Value, Compare> {
+ public:
+  using Base = SkipQueue<Key, Value, Compare>;
+  RelaxedSkipQueue() : Base(relaxed_options()) {}
+  explicit RelaxedSkipQueue(typename Base::Options opt) : Base(fix(opt)) {}
+
+ private:
+  static typename Base::Options relaxed_options() {
+    typename Base::Options o;
+    o.timestamps = false;
+    return o;
+  }
+  static typename Base::Options fix(typename Base::Options o) {
+    o.timestamps = false;
+    return o;
+  }
+};
+
+}  // namespace slpq

@@ -1,0 +1,17 @@
+#include "slpq/version.hpp"
+
+namespace slpq {
+
+Version version() noexcept { return {1, 0, 0}; }
+
+const char* build_info() noexcept {
+#if defined(__clang__)
+  return "slpq 1.0.0 (clang, C++20)";
+#elif defined(__GNUC__)
+  return "slpq 1.0.0 (gcc, C++20)";
+#else
+  return "slpq 1.0.0 (unknown compiler, C++20)";
+#endif
+}
+
+}  // namespace slpq

@@ -1,0 +1,18 @@
+// Library version and build information.
+#pragma once
+
+namespace slpq {
+
+struct Version {
+  int major;
+  int minor;
+  int patch;
+};
+
+/// Version of the slpq library.
+Version version() noexcept;
+
+/// Human-readable build description (compiler, standard, fiber backend).
+const char* build_info() noexcept;
+
+}  // namespace slpq

@@ -1,0 +1,83 @@
+#include "slpq/detail/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "slpq/detail/random.hpp"
+
+namespace sd = slpq::detail;
+
+TEST(DynamicBitset, StartsEmpty) {
+  sd::DynamicBitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_TRUE(b.none());
+  EXPECT_FALSE(b.any());
+  EXPECT_EQ(b.count(), 0u);
+  for (std::size_t i = 0; i < 130; ++i) EXPECT_FALSE(b.test(i));
+}
+
+TEST(DynamicBitset, SetResetTest) {
+  sd::DynamicBitset b(200);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(199);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(199));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 4u);
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(DynamicBitset, ClearDropsEverything) {
+  sd::DynamicBitset b(100);
+  for (std::size_t i = 0; i < 100; i += 3) b.set(i);
+  EXPECT_TRUE(b.any());
+  b.clear();
+  EXPECT_TRUE(b.none());
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(DynamicBitset, ForEachVisitsExactlySetBitsInOrder) {
+  sd::DynamicBitset b(256);
+  const std::set<std::size_t> want = {0, 1, 63, 64, 65, 127, 128, 200, 255};
+  for (auto i : want) b.set(i);
+  std::vector<std::size_t> got;
+  b.for_each([&](std::size_t i) { got.push_back(i); });
+  EXPECT_EQ(got, std::vector<std::size_t>(want.begin(), want.end()));
+}
+
+TEST(DynamicBitset, FindFirst) {
+  sd::DynamicBitset b(150);
+  EXPECT_EQ(b.find_first(), 150u);
+  b.set(149);
+  EXPECT_EQ(b.find_first(), 149u);
+  b.set(70);
+  EXPECT_EQ(b.find_first(), 70u);
+  b.set(0);
+  EXPECT_EQ(b.find_first(), 0u);
+}
+
+TEST(DynamicBitset, RandomizedAgainstStdSet) {
+  sd::Xoshiro256 rng(2024);
+  sd::DynamicBitset b(512);
+  std::set<std::size_t> model;
+  for (int step = 0; step < 20000; ++step) {
+    const auto i = rng.below(512);
+    if (rng.bernoulli(0.5)) {
+      b.set(i);
+      model.insert(i);
+    } else {
+      b.reset(i);
+      model.erase(i);
+    }
+    ASSERT_EQ(b.count(), model.size());
+  }
+  for (std::size_t i = 0; i < 512; ++i)
+    ASSERT_EQ(b.test(i), model.count(i) > 0) << i;
+}

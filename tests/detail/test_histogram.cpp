@@ -1,0 +1,93 @@
+#include "slpq/detail/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "slpq/detail/random.hpp"
+
+namespace sd = slpq::detail;
+
+TEST(LatencyHistogram, EmptyIsZeroed) {
+  sd::LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
+TEST(LatencyHistogram, ExactStatsAreExact) {
+  sd::LatencyHistogram h;
+  for (std::uint64_t v : {5u, 10u, 15u, 20u, 1000u}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 1050u);
+  EXPECT_EQ(h.min(), 5u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_DOUBLE_EQ(h.mean(), 210.0);
+}
+
+TEST(LatencyHistogram, SmallValuesAreExactBuckets) {
+  sd::LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 16; ++v) h.record(v);
+  // Values below kSub land in unit-width buckets: quantiles are exact.
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(1.0), 15u);
+}
+
+TEST(LatencyHistogram, QuantileRelativeErrorBounded) {
+  sd::Xoshiro256 rng(11);
+  sd::LatencyHistogram h;
+  std::vector<std::uint64_t> raw;
+  for (int i = 0; i < 50000; ++i) {
+    const auto v = 100 + rng.below(1000000);
+    raw.push_back(v);
+    h.record(v);
+  }
+  std::sort(raw.begin(), raw.end());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    const auto exact = raw[static_cast<std::size_t>(q * (raw.size() - 1))];
+    const auto approx = h.quantile(q);
+    const double rel =
+        std::abs(static_cast<double>(approx) - static_cast<double>(exact)) /
+        static_cast<double>(exact);
+    EXPECT_LT(rel, 0.07) << "q=" << q << " exact=" << exact << " approx=" << approx;
+  }
+}
+
+TEST(LatencyHistogram, MergeEqualsCombinedRecording) {
+  sd::Xoshiro256 rng(13);
+  sd::LatencyHistogram a, b, all;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.below(1 << 20);
+    ((i % 2) ? a : b).record(v);
+    all.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.sum(), all.sum());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  for (double q : {0.25, 0.5, 0.75}) EXPECT_EQ(a.quantile(q), all.quantile(q));
+}
+
+TEST(LatencyHistogram, ResetRestoresEmptyState) {
+  sd::LatencyHistogram h;
+  h.record(42);
+  h.record(4242);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
+TEST(LatencyHistogram, HandlesHugeValues) {
+  sd::LatencyHistogram h;
+  const std::uint64_t big = 1ULL << 60;
+  h.record(big);
+  EXPECT_EQ(h.max(), big);
+  const auto q = h.quantile(0.5);
+  EXPECT_GT(q, big / 2);
+}

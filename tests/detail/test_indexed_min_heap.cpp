@@ -1,0 +1,125 @@
+#include "slpq/detail/indexed_min_heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "slpq/detail/random.hpp"
+
+namespace sd = slpq::detail;
+
+TEST(IndexedMinHeap, BasicPushPop) {
+  sd::IndexedMinHeap<int> h(10);
+  h.push(3, 30);
+  h.push(1, 10);
+  h.push(2, 20);
+  EXPECT_EQ(h.size(), 3u);
+  EXPECT_EQ(h.top(), 1u);
+  EXPECT_EQ(h.top_priority(), 10);
+  EXPECT_EQ(h.pop(), 1u);
+  EXPECT_EQ(h.pop(), 2u);
+  EXPECT_EQ(h.pop(), 3u);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(IndexedMinHeap, TiesBreakBySmallerKey) {
+  sd::IndexedMinHeap<int> h(10);
+  h.push(7, 5);
+  h.push(2, 5);
+  h.push(4, 5);
+  EXPECT_EQ(h.pop(), 2u);
+  EXPECT_EQ(h.pop(), 4u);
+  EXPECT_EQ(h.pop(), 7u);
+}
+
+TEST(IndexedMinHeap, RemoveArbitraryKey) {
+  sd::IndexedMinHeap<int> h(10);
+  for (std::size_t k = 0; k < 8; ++k) h.push(k, static_cast<int>(100 - k));
+  EXPECT_TRUE(h.contains(3));
+  h.remove(3);
+  EXPECT_FALSE(h.contains(3));
+  EXPECT_EQ(h.size(), 7u);
+  // Priorities were 100-k, so the remaining keys pop in descending key order.
+  std::vector<std::size_t> got;
+  while (!h.empty()) got.push_back(h.pop());
+  EXPECT_EQ(got, (std::vector<std::size_t>{7, 6, 5, 4, 2, 1, 0}));
+}
+
+TEST(IndexedMinHeap, UpdateBothDirections) {
+  sd::IndexedMinHeap<int> h(5);
+  h.push(0, 10);
+  h.push(1, 20);
+  h.push(2, 30);
+  h.update(2, 5);  // decrease
+  EXPECT_EQ(h.top(), 2u);
+  h.update(2, 50);  // increase
+  EXPECT_EQ(h.top(), 0u);
+  EXPECT_EQ(h.priority_of(2), 50);
+}
+
+TEST(IndexedMinHeap, ReinsertAfterPop) {
+  sd::IndexedMinHeap<std::uint64_t> h(3);
+  h.push(0, 5);
+  EXPECT_EQ(h.pop(), 0u);
+  h.push(0, 1);
+  EXPECT_EQ(h.top(), 0u);
+  EXPECT_EQ(h.top_priority(), 1u);
+}
+
+TEST(IndexedMinHeap, RandomizedAgainstModel) {
+  // Model: multimap priority -> key is awkward for updates; keep key->prio
+  // and recompute the min. The heap must agree after every operation.
+  sd::Xoshiro256 rng(31337);
+  constexpr std::size_t kUniverse = 64;
+  sd::IndexedMinHeap<std::uint64_t> h(kUniverse);
+  std::map<std::size_t, std::uint64_t> model;
+
+  auto model_min = [&]() {
+    std::size_t best_key = kUniverse;
+    std::uint64_t best_prio = ~0ULL;
+    for (auto& [k, p] : model) {
+      if (p < best_prio || (p == best_prio && k < best_key)) {
+        best_key = k;
+        best_prio = p;
+      }
+    }
+    return best_key;
+  };
+
+  for (int step = 0; step < 30000; ++step) {
+    const auto key = rng.below(kUniverse);
+    const auto prio = rng.below(1000);
+    switch (rng.below(4)) {
+      case 0:  // push
+        if (!h.contains(key)) {
+          h.push(key, prio);
+          model[key] = prio;
+        }
+        break;
+      case 1:  // remove
+        if (h.contains(key)) {
+          h.remove(key);
+          model.erase(key);
+        }
+        break;
+      case 2:  // update
+        if (h.contains(key)) {
+          h.update(key, prio);
+          model[key] = prio;
+        }
+        break;
+      case 3:  // pop
+        if (!h.empty()) {
+          const auto want = model_min();
+          const auto got = h.pop();
+          ASSERT_EQ(got, want);
+          model.erase(want);
+        }
+        break;
+    }
+    ASSERT_EQ(h.size(), model.size());
+    if (!h.empty()) {
+      ASSERT_EQ(h.top(), model_min());
+    }
+  }
+}

@@ -1,0 +1,112 @@
+#include "slpq/detail/pairing_heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "slpq/detail/random.hpp"
+
+namespace sd = slpq::detail;
+
+TEST(PairingHeap, EmptyAndSize) {
+  sd::PairingHeap<int, int> h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.size(), 0u);
+  h.push(1, 100);
+  EXPECT_FALSE(h.empty());
+  EXPECT_EQ(h.size(), 1u);
+  h.pop();
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(PairingHeap, PopsInSortedOrder) {
+  sd::PairingHeap<int, int> h;
+  const std::vector<int> keys = {5, 3, 8, 1, 9, 2, 7, 4, 6, 0};
+  for (int k : keys) h.push(k, k * 10);
+  std::vector<int> out;
+  while (!h.empty()) {
+    auto [k, v] = h.pop();
+    EXPECT_EQ(v, k * 10);
+    out.push_back(k);
+  }
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  EXPECT_EQ(out.size(), keys.size());
+}
+
+TEST(PairingHeap, DuplicateKeysAllSurface) {
+  sd::PairingHeap<int, int> h;
+  for (int i = 0; i < 5; ++i) h.push(7, i);
+  std::vector<int> values;
+  while (!h.empty()) values.push_back(h.pop().second);
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(values, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(PairingHeap, MinAccessorsDontPop) {
+  sd::PairingHeap<int, std::string> h;
+  h.push(2, "two");
+  h.push(1, "one");
+  EXPECT_EQ(h.min_key(), 1);
+  EXPECT_EQ(h.min_value(), "one");
+  EXPECT_EQ(h.size(), 2u);
+}
+
+TEST(PairingHeap, CustomComparatorMakesMaxHeap) {
+  sd::PairingHeap<int, int, std::greater<int>> h;
+  for (int k : {1, 5, 3}) h.push(k, k);
+  EXPECT_EQ(h.pop().first, 5);
+  EXPECT_EQ(h.pop().first, 3);
+  EXPECT_EQ(h.pop().first, 1);
+}
+
+TEST(PairingHeap, MoveTransfersOwnership) {
+  sd::PairingHeap<int, int> a;
+  a.push(1, 1);
+  a.push(2, 2);
+  sd::PairingHeap<int, int> b(std::move(a));
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b.pop().first, 1);
+  sd::PairingHeap<int, int> c;
+  c = std::move(b);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.pop().first, 2);
+}
+
+TEST(PairingHeap, ClearReleasesAll) {
+  sd::PairingHeap<int, int> h;
+  for (int i = 0; i < 1000; ++i) h.push(i, i);
+  h.clear();
+  EXPECT_TRUE(h.empty());
+  h.push(5, 5);
+  EXPECT_EQ(h.pop().first, 5);
+}
+
+TEST(PairingHeap, RandomizedAgainstStdPriorityQueue) {
+  sd::Xoshiro256 rng(404);
+  sd::PairingHeap<std::uint64_t, std::uint64_t> h;
+  std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
+                      std::greater<>> model;
+  for (int step = 0; step < 50000; ++step) {
+    if (model.empty() || rng.bernoulli(0.55)) {
+      const auto k = rng.below(1 << 20);
+      h.push(k, k);
+      model.push(k);
+    } else {
+      ASSERT_EQ(h.pop().first, model.top());
+      model.pop();
+    }
+    ASSERT_EQ(h.size(), model.size());
+  }
+}
+
+TEST(PairingHeap, DeepSkewedShapeDoesNotOverflowStack) {
+  // Monotone pushes produce a maximally skewed tree; destruction and pops
+  // must be iterative.
+  sd::PairingHeap<int, int> h;
+  constexpr int kN = 300000;
+  for (int i = kN; i > 0; --i) h.push(i, i);
+  EXPECT_EQ(h.pop().first, 1);
+  // Let the destructor tear down the remaining 299999-node chain.
+}

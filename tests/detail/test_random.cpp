@@ -1,0 +1,111 @@
+#include "slpq/detail/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace sd = slpq::detail;
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  sd::SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  sd::SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256, DeterministicPerSeed) {
+  sd::Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, BelowStaysInRange) {
+  sd::Xoshiro256 rng(123);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      const auto v = rng.below(bound);
+      ASSERT_LT(v, bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, BelowIsRoughlyUniform) {
+  sd::Xoshiro256 rng(99);
+  constexpr int kBuckets = 16;
+  constexpr int kSamples = 160000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kSamples; ++i) counts[rng.below(kBuckets)]++;
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  for (int c : counts) {
+    EXPECT_GT(c, expected * 0.9);
+    EXPECT_LT(c, expected * 1.1);
+  }
+}
+
+TEST(Xoshiro256, Uniform01InUnitInterval) {
+  sd::Xoshiro256 rng(5);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(GeometricLevel, AlwaysWithinBounds) {
+  sd::Xoshiro256 rng(17);
+  sd::GeometricLevel lvl(0.5, 10);
+  for (int i = 0; i < 10000; ++i) {
+    const int l = lvl(rng);
+    ASSERT_GE(l, 1);
+    ASSERT_LE(l, 10);
+  }
+}
+
+TEST(GeometricLevel, MatchesGeometricDistribution) {
+  // P(level >= k) = p^(k-1); with p=0.5 about half the nodes are level 1,
+  // a quarter are level 2, etc. (this exponential decay is the skiplist's
+  // balancing guarantee).
+  sd::Xoshiro256 rng(23);
+  sd::GeometricLevel lvl(0.5, 32);
+  constexpr int kSamples = 200000;
+  std::vector<int> counts(33, 0);
+  for (int i = 0; i < kSamples; ++i) counts[static_cast<std::size_t>(lvl(rng))]++;
+  for (int k = 1; k <= 5; ++k) {
+    const double expected = kSamples * std::pow(0.5, k);
+    EXPECT_NEAR(counts[static_cast<std::size_t>(k)], expected, expected * 0.1)
+        << "level " << k;
+  }
+}
+
+TEST(GeometricLevel, MaxLevelOneDegeneratesToConstant) {
+  sd::Xoshiro256 rng(3);
+  sd::GeometricLevel lvl(0.9, 1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(lvl(rng), 1);
+}
+
+class GeometricLevelParam : public ::testing::TestWithParam<double> {};
+
+TEST_P(GeometricLevelParam, MeanMatchesClosedForm) {
+  const double p = GetParam();
+  sd::Xoshiro256 rng(71);
+  sd::GeometricLevel lvl(p, 64);
+  constexpr int kSamples = 100000;
+  double sum = 0;
+  for (int i = 0; i < kSamples; ++i) sum += lvl(rng);
+  // E[level] = 1/(1-p) for an unbounded geometric; the level-64 cap changes
+  // the value by < p^63, negligible for p <= 0.75.
+  EXPECT_NEAR(sum / kSamples, 1.0 / (1.0 - p), 0.02 / (1.0 - p));
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, GeometricLevelParam,
+                         ::testing::Values(0.25, 0.5, 0.75));

@@ -1,0 +1,90 @@
+#include "harness/ascii_chart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using harness::ChartOptions;
+using harness::ChartSeries;
+using harness::render_chart;
+
+namespace {
+int count_char(const std::string& s, char c) {
+  int n = 0;
+  for (char ch : s) n += (ch == c);
+  return n;
+}
+}  // namespace
+
+TEST(AsciiChart, EmptyInputsAreHandled) {
+  EXPECT_NE(render_chart({}, {}).find("(no data)"), std::string::npos);
+  EXPECT_NE(render_chart({1.0}, {}).find("(no data)"), std::string::npos);
+}
+
+TEST(AsciiChart, TitleAndLegendAppear) {
+  ChartOptions opt;
+  opt.title = "latency sweep";
+  const auto out =
+      render_chart({1, 2, 4}, {{"SkipQueue", {10, 20, 40}}}, opt);
+  EXPECT_NE(out.find("latency sweep"), std::string::npos);
+  EXPECT_NE(out.find("SkipQueue"), std::string::npos);
+  EXPECT_NE(out.find("* SkipQueue"), std::string::npos);
+}
+
+TEST(AsciiChart, PlotsOneMarkerPerPoint) {
+  ChartOptions opt;
+  opt.width = 40;
+  opt.height = 10;
+  const auto out = render_chart({1, 2, 4, 8}, {{"s", {1, 10, 100, 1000}}}, opt);
+  // Four distinct points on a log-log diagonal: four '*' markers.
+  EXPECT_EQ(count_char(out, '*'), 4 + 1);  // + legend marker
+}
+
+TEST(AsciiChart, MultipleSeriesGetDistinctMarkers) {
+  const auto out = render_chart(
+      {1, 2, 4}, {{"a", {1, 2, 3}}, {"b", {10, 20, 30}}, {"c", {5, 5, 5}}});
+  EXPECT_GT(count_char(out, '*'), 0);
+  EXPECT_GT(count_char(out, '+'), 0);
+  EXPECT_GT(count_char(out, 'o'), 0);
+}
+
+TEST(AsciiChart, LogScaleSkipsNonPositive) {
+  const auto out = render_chart({1, 2, 4}, {{"s", {0.0, -5.0, 100.0}}});
+  // Only the positive point plots; no crash, one data marker.
+  EXPECT_EQ(count_char(out, '*'), 1 + 1);
+}
+
+TEST(AsciiChart, AxisLabelsShowRange) {
+  const auto out = render_chart({1, 256}, {{"s", {100, 2000000}}});
+  EXPECT_NE(out.find("2.0M"), std::string::npos);  // y max
+  EXPECT_NE(out.find("256"), std::string::npos);   // x max
+  EXPECT_NE(out.find("100"), std::string::npos);   // y min
+}
+
+TEST(AsciiChart, LinearScalesWork) {
+  ChartOptions opt;
+  opt.log_x = false;
+  opt.log_y = false;
+  const auto out = render_chart({0, 1, 2}, {{"s", {0, 1, 2}}}, opt);
+  EXPECT_EQ(count_char(out, '*'), 3 + 1);
+  EXPECT_NE(out.find("lin"), std::string::npos);
+}
+
+TEST(AsciiChart, ConstantSeriesDoesNotDivideByZero) {
+  const auto out = render_chart({1, 2, 4}, {{"s", {7, 7, 7}}});
+  EXPECT_GT(count_char(out, '*'), 0);
+}
+
+TEST(AsciiChart, RespectsGridDimensions) {
+  ChartOptions opt;
+  opt.width = 20;
+  opt.height = 5;
+  opt.title.clear();
+  const auto out = render_chart({1, 2}, {{"s", {1, 2}}}, opt);
+  std::istringstream is(out);
+  std::string line;
+  int plot_rows = 0;
+  while (std::getline(is, line))
+    if (line.find('|') != std::string::npos) ++plot_rows;
+  EXPECT_EQ(plot_rows, 5);
+}

@@ -1,0 +1,79 @@
+#include "harness/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using harness::Table;
+
+namespace {
+Table sample() {
+  Table t;
+  t.title = "demo";
+  t.columns = {"name", "value"};
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  return t;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+}  // namespace
+
+TEST(Report, PrintTableContainsAllCells) {
+  std::ostringstream os;
+  print_table(os, sample());
+  const std::string out = os.str();
+  for (const char* needle : {"demo", "name", "value", "alpha", "beta", "22"})
+    EXPECT_NE(out.find(needle), std::string::npos) << needle;
+}
+
+TEST(Report, PrintTableAlignsColumns) {
+  std::ostringstream os;
+  print_table(os, sample());
+  // Every data line must be at least as wide as the header.
+  std::istringstream is(os.str());
+  std::string line, header;
+  std::getline(is, line);    // title
+  std::getline(is, header);  // header row
+  std::getline(is, line);    // rule
+  EXPECT_GE(line.size(), header.size());
+}
+
+TEST(Report, CsvRoundTrips) {
+  const std::string path = "/tmp/slpq_report_test.csv";
+  write_csv(path, sample());
+  const std::string content = slurp(path);
+  EXPECT_EQ(content, "name,value\nalpha,1\nbeta,22\n");
+  std::remove(path.c_str());
+}
+
+TEST(Report, CsvQuotesSpecialCharacters) {
+  Table t;
+  t.columns = {"a"};
+  t.add_row({"has,comma"});
+  t.add_row({"has\"quote"});
+  const std::string path = "/tmp/slpq_report_quote.csv";
+  write_csv(path, t);
+  const std::string content = slurp(path);
+  EXPECT_NE(content.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(content.find("\"has\"\"quote\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Report, FmtFormatsFixedDecimals) {
+  EXPECT_EQ(harness::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(harness::fmt(1234.6), "1235");
+  EXPECT_EQ(harness::fmt(0.0, 1), "0.0");
+}
+
+TEST(Report, FmtRatioHandlesZeroDenominator) {
+  EXPECT_EQ(harness::fmt_ratio(10.0, 0.0), "-");
+  EXPECT_EQ(harness::fmt_ratio(10.0, 4.0), "2.50x");
+}

@@ -1,0 +1,129 @@
+#include "harness/workload.hpp"
+
+#include <gtest/gtest.h>
+
+using harness::BenchmarkConfig;
+using harness::BenchmarkResult;
+using harness::QueueKind;
+
+namespace {
+BenchmarkConfig small_cfg(QueueKind kind, int procs = 4) {
+  BenchmarkConfig cfg;
+  cfg.kind = kind;
+  cfg.processors = procs;
+  cfg.initial_size = 40;
+  cfg.total_ops = 800;
+  cfg.insert_ratio = 0.5;
+  cfg.work_cycles = 100;
+  return cfg;
+}
+}  // namespace
+
+class WorkloadAllQueues : public ::testing::TestWithParam<QueueKind> {};
+
+TEST_P(WorkloadAllQueues, RunsAndAccountsOperations) {
+  const auto cfg = small_cfg(GetParam());
+  const BenchmarkResult r = harness::run_benchmark(cfg);
+  EXPECT_EQ(r.insert_latency.count() + r.delete_latency.count(),
+            cfg.total_ops);
+  // Conservation: initial + inserts - successful deletes == final size.
+  EXPECT_EQ(cfg.initial_size + r.inserts - r.deletes, r.final_size);
+  EXPECT_GT(r.mean_insert(), 0.0);
+  EXPECT_GT(r.mean_delete(), 0.0);
+  EXPECT_GT(r.makespan, 0u);
+}
+
+TEST_P(WorkloadAllQueues, DeterministicForFixedSeed) {
+  const auto cfg = small_cfg(GetParam());
+  const auto a = harness::run_benchmark(cfg);
+  const auto b = harness::run_benchmark(cfg);
+  EXPECT_EQ(a.insert_latency.sum(), b.insert_latency.sum());
+  EXPECT_EQ(a.delete_latency.sum(), b.delete_latency.sum());
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.final_size, b.final_size);
+}
+
+TEST_P(WorkloadAllQueues, SeedChangesOutcome) {
+  auto cfg = small_cfg(GetParam());
+  const auto a = harness::run_benchmark(cfg);
+  cfg.seed = 999;
+  const auto b = harness::run_benchmark(cfg);
+  EXPECT_NE(a.makespan, b.makespan);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, WorkloadAllQueues,
+                         ::testing::Values(QueueKind::SkipQueue,
+                                           QueueKind::RelaxedSkipQueue,
+                                           QueueKind::HuntHeap,
+                                           QueueKind::FunnelList),
+                         [](const ::testing::TestParamInfo<QueueKind>& info) {
+                           return harness::to_string(info.param);
+                         });
+
+TEST(Workload, InsertRatioShiftsMix) {
+  auto cfg = small_cfg(QueueKind::SkipQueue);
+  cfg.insert_ratio = 0.3;
+  cfg.total_ops = 2000;
+  const auto r = harness::run_benchmark(cfg);
+  // ~30% inserts: allow generous slack for the RNG.
+  EXPECT_LT(r.insert_latency.count(), r.delete_latency.count());
+  EXPECT_NEAR(static_cast<double>(r.insert_latency.count()) /
+                  static_cast<double>(cfg.total_ops),
+              0.3, 0.06);
+}
+
+TEST(Workload, MoreWorkLowersLatency) {
+  // The Figure 2 effect in miniature: a longer local work period lowers
+  // contention and hence per-operation latency.
+  auto busy = small_cfg(QueueKind::SkipQueue, 8);
+  busy.total_ops = 4000;
+  busy.work_cycles = 100;
+  auto idle = busy;
+  idle.work_cycles = 6000;
+  const auto r_busy = harness::run_benchmark(busy);
+  const auto r_idle = harness::run_benchmark(idle);
+  EXPECT_LT(r_idle.mean_delete(), r_busy.mean_delete());
+  EXPECT_LT(r_idle.mean_insert(), r_busy.mean_insert());
+}
+
+TEST(Workload, EmptiesHappenWhenDrainHeavy) {
+  auto cfg = small_cfg(QueueKind::SkipQueue);
+  cfg.initial_size = 0;
+  cfg.insert_ratio = 0.05;
+  cfg.total_ops = 500;
+  const auto r = harness::run_benchmark(cfg);
+  EXPECT_GT(r.empties, 0u);
+  EXPECT_EQ(cfg.initial_size + r.inserts - r.deletes, r.final_size);
+}
+
+TEST(Workload, SingleProcessorWorks) {
+  for (auto kind : {QueueKind::SkipQueue, QueueKind::HuntHeap,
+                    QueueKind::FunnelList}) {
+    const auto r = harness::run_benchmark(small_cfg(kind, 1));
+    EXPECT_EQ(r.insert_latency.count() + r.delete_latency.count(), 800u)
+        << harness::to_string(kind);
+  }
+}
+
+TEST(Workload, GcCanBeDisabled) {
+  auto cfg = small_cfg(QueueKind::SkipQueue);
+  cfg.use_gc = false;
+  const auto r = harness::run_benchmark(cfg);
+  EXPECT_EQ(cfg.initial_size + r.inserts - r.deletes, r.final_size);
+}
+
+TEST(Workload, ScaledOpsRespectsEnv) {
+  ::setenv("SLPQ_BENCH_SCALE", "0.5", 1);
+  EXPECT_EQ(harness::scaled_ops(1000), 500u);
+  ::setenv("SLPQ_BENCH_SCALE", "bogus", 1);
+  EXPECT_EQ(harness::scaled_ops(1000), 1000u);
+  ::unsetenv("SLPQ_BENCH_SCALE");
+  EXPECT_EQ(harness::scaled_ops(1000), 1000u);
+}
+
+TEST(Workload, MaxProcsRespectsEnv) {
+  ::setenv("SLPQ_MAX_PROCS", "32", 1);
+  EXPECT_EQ(harness::max_sweep_procs(), 32);
+  ::unsetenv("SLPQ_MAX_PROCS");
+  EXPECT_EQ(harness::max_sweep_procs(), 256);
+}

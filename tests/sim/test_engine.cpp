@@ -1,0 +1,234 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using psim::Cpu;
+using psim::Cycles;
+using psim::Engine;
+using psim::MachineConfig;
+using psim::Var;
+
+namespace {
+MachineConfig cfg(int procs, psim::Cycles stagger = 0) {
+  MachineConfig c;
+  c.processors = procs;
+  c.start_stagger = stagger;
+  return c;
+}
+}  // namespace
+
+TEST(Engine, RunsSingleProcessorBody) {
+  Engine eng(cfg(1));
+  int hits = 0;
+  eng.add_processor([&](Cpu& cpu) {
+    cpu.advance(100);
+    ++hits;
+  });
+  eng.run();
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(eng.time_of(0), 100u);
+}
+
+TEST(Engine, AdvanceAccumulates) {
+  Engine eng(cfg(1));
+  eng.add_processor([](Cpu& cpu) {
+    cpu.advance(10);
+    cpu.advance(20);
+    cpu.advance(30);
+  });
+  eng.run();
+  EXPECT_EQ(eng.time_of(0), 60u);
+}
+
+TEST(Engine, SchedulesByLocalTime) {
+  // Proc 0 does big chunks of work, proc 1 small ones; shared ops must be
+  // interleaved in local-time order. We detect the order via writes to a
+  // shared var.
+  Engine eng(cfg(2));
+  Var<std::uint64_t> v(eng.memory(), 0);
+  std::vector<std::pair<int, Cycles>> order;
+  eng.add_processor([&](Cpu& cpu) {
+    for (int i = 0; i < 3; ++i) {
+      cpu.advance(100);
+      order.emplace_back(0, cpu.now());
+      cpu.write(v, std::uint64_t{1});
+    }
+  });
+  eng.add_processor([&](Cpu& cpu) {
+    for (int i = 0; i < 30; ++i) {
+      cpu.advance(10);
+      order.emplace_back(1, cpu.now());
+      cpu.write(v, std::uint64_t{2});
+    }
+  });
+  eng.run();
+  // Issue times must be nondecreasing in the recorded order.
+  for (std::size_t i = 1; i < order.size(); ++i)
+    EXPECT_LE(order[i - 1].second, order[i].second)
+        << "out-of-order at step " << i;
+}
+
+TEST(Engine, SharedVarReadsSeePriorWrites) {
+  Engine eng(cfg(2));
+  Var<std::uint64_t> v(eng.memory(), 0);
+  std::uint64_t seen = 1234;
+  eng.add_processor([&](Cpu& cpu) { cpu.write(v, std::uint64_t{77}); });
+  eng.add_processor([&](Cpu& cpu) {
+    cpu.advance(100000);  // run long after proc 0 finished
+    seen = cpu.read(v);
+  });
+  eng.run();
+  EXPECT_EQ(seen, 77u);
+}
+
+TEST(Engine, SwapIsAtomicExchange) {
+  Engine eng(cfg(1));
+  Var<std::uint64_t> v(eng.memory(), 5);
+  std::uint64_t old = 0;
+  eng.add_processor([&](Cpu& cpu) { old = cpu.swap(v, std::uint64_t{9}); });
+  eng.run();
+  EXPECT_EQ(old, 5u);
+  EXPECT_EQ(v.raw(), 9u);
+}
+
+TEST(Engine, ConcurrentSwapsClaimDistinctValues) {
+  // N processors all SWAP the same flag; exactly one must observe the
+  // initial value — the paper's delete-flag claiming pattern.
+  constexpr int kProcs = 16;
+  Engine eng(cfg(kProcs));
+  Var<std::uint64_t> flag(eng.memory(), 0);
+  int winners = 0;
+  for (int p = 0; p < kProcs; ++p) {
+    eng.add_processor([&](Cpu& cpu) {
+      if (cpu.swap(flag, std::uint64_t{1}) == 0) ++winners;
+    });
+  }
+  eng.run();
+  EXPECT_EQ(winners, 1);
+}
+
+TEST(Engine, CasSucceedsOnceUnderRaces) {
+  constexpr int kProcs = 8;
+  Engine eng(cfg(kProcs));
+  Var<std::uint64_t> x(eng.memory(), 0);
+  int successes = 0;
+  for (int p = 0; p < kProcs; ++p) {
+    eng.add_processor([&, p](Cpu& cpu) {
+      if (cpu.cas(x, std::uint64_t{0}, static_cast<std::uint64_t>(p + 1)))
+        ++successes;
+    });
+  }
+  eng.run();
+  EXPECT_EQ(successes, 1);
+  EXPECT_GE(x.raw(), 1u);
+  EXPECT_LE(x.raw(), kProcs);
+}
+
+TEST(Engine, FetchAddCountsEveryIncrement) {
+  constexpr int kProcs = 8;
+  constexpr int kIters = 50;
+  Engine eng(cfg(kProcs));
+  Var<std::uint64_t> counter(eng.memory(), 0);
+  for (int p = 0; p < kProcs; ++p) {
+    eng.add_processor([&](Cpu& cpu) {
+      for (int i = 0; i < kIters; ++i) cpu.fetch_add(counter, std::uint64_t{1});
+    });
+  }
+  eng.run();
+  EXPECT_EQ(counter.raw(), static_cast<std::uint64_t>(kProcs) * kIters);
+}
+
+TEST(Engine, ClockReturnsIssueTimeAndAdvances) {
+  Engine eng(cfg(1));
+  Cycles t1 = 0, t2 = 0;
+  eng.add_processor([&](Cpu& cpu) {
+    cpu.advance(50);
+    t1 = cpu.clock();
+    t2 = cpu.clock();
+  });
+  eng.run();
+  EXPECT_EQ(t1, 50u);
+  EXPECT_EQ(t2, 50u + eng.config().clock_read);
+}
+
+TEST(Engine, StaggerIsDeterministicPerSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    MachineConfig c = cfg(8, 64);
+    c.seed = seed;
+    Engine eng(c);
+    std::vector<Cycles> starts(8);
+    for (int p = 0; p < 8; ++p)
+      eng.add_processor([&, p](Cpu& cpu) { starts[static_cast<std::size_t>(p)] = cpu.now(); });
+    eng.run();
+    return starts;
+  };
+  EXPECT_EQ(run_once(7), run_once(7));
+  EXPECT_NE(run_once(7), run_once(8));
+}
+
+TEST(Engine, DeterministicEndToEnd) {
+  auto run_once = [] {
+    Engine eng(cfg(4));
+    Var<std::uint64_t> v(eng.memory(), 0);
+    for (int p = 0; p < 4; ++p)
+      eng.add_processor([&](Cpu& cpu) {
+        for (int i = 0; i < 100; ++i) {
+          cpu.fetch_add(v, std::uint64_t{1});
+          cpu.advance(7);
+        }
+      });
+    eng.run();
+    std::vector<Cycles> times;
+    for (int p = 0; p < 4; ++p) times.push_back(eng.time_of(p));
+    return times;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Engine, DaemonExitsOnStopping) {
+  Engine eng(cfg(2));
+  int daemon_iters = 0;
+  eng.add_processor([](Cpu& cpu) { cpu.advance(1000); });
+  eng.add_processor(
+      [&](Cpu& cpu) {
+        while (!cpu.stopping()) {
+          ++daemon_iters;
+          cpu.advance(100);
+        }
+      },
+      /*daemon=*/true);
+  eng.run();
+  EXPECT_GT(daemon_iters, 0);
+  EXPECT_TRUE(eng.stopping());
+}
+
+TEST(Engine, TooManyProcessorsThrows) {
+  Engine eng(cfg(1));
+  eng.add_processor([](Cpu&) {});
+  EXPECT_THROW(eng.add_processor([](Cpu&) {}), std::logic_error);
+}
+
+TEST(Engine, HorizonTracksMaxTime) {
+  Engine eng(cfg(2));
+  eng.add_processor([](Cpu& cpu) { cpu.advance(10); });
+  eng.add_processor([](Cpu& cpu) { cpu.advance(5000); });
+  eng.run();
+  EXPECT_GE(eng.horizon(), 5000u);
+}
+
+TEST(Engine, StatsCountFiberSwitchesAndTraffic) {
+  Engine eng(cfg(1));
+  Var<std::uint64_t> v(eng.memory(), 0);
+  eng.add_processor([&](Cpu& cpu) {
+    cpu.read(v);
+    cpu.write(v, std::uint64_t{1});
+    cpu.swap(v, std::uint64_t{2});
+  });
+  eng.run();
+  EXPECT_EQ(eng.stats().reads, 1u);
+  EXPECT_EQ(eng.stats().writes, 1u);
+  EXPECT_EQ(eng.stats().rmws, 1u);
+  EXPECT_GE(eng.stats().fiber_switches, 3u);
+}

@@ -1,0 +1,148 @@
+#include "sim/fiber.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using psim::Fiber;
+
+TEST(Fiber, RunsBodyToCompletion) {
+  bool ran = false;
+  Fiber f([&] { ran = true; });
+  EXPECT_FALSE(f.finished());
+  f.resume();
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(f.finished());
+}
+
+TEST(Fiber, SuspendResumeRoundTrips) {
+  std::vector<int> trace;
+  Fiber f([&] {
+    trace.push_back(1);
+    Fiber::suspend();
+    trace.push_back(3);
+    Fiber::suspend();
+    trace.push_back(5);
+  });
+  f.resume();
+  trace.push_back(2);
+  f.resume();
+  trace.push_back(4);
+  f.resume();
+  EXPECT_TRUE(f.finished());
+  EXPECT_EQ(trace, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Fiber, LocalsSurviveSuspension) {
+  std::string out;
+  Fiber f([&] {
+    std::string local = "alpha";
+    int counter = 10;
+    Fiber::suspend();
+    local += "-beta";
+    counter += 5;
+    Fiber::suspend();
+    out = local + "-" + std::to_string(counter);
+  });
+  f.resume();
+  f.resume();
+  f.resume();
+  EXPECT_EQ(out, "alpha-beta-15");
+}
+
+TEST(Fiber, ManyFibersInterleave) {
+  constexpr int kFibers = 64;
+  constexpr int kRounds = 10;
+  std::vector<int> counts(kFibers, 0);
+  std::vector<Fiber> fibers;
+  fibers.reserve(kFibers);
+  for (int i = 0; i < kFibers; ++i) {
+    fibers.emplace_back(Fiber([&counts, i] {
+      for (int r = 0; r < kRounds; ++r) {
+        counts[static_cast<std::size_t>(i)]++;
+        Fiber::suspend();
+      }
+    }));
+  }
+  for (int r = 0; r < kRounds + 1; ++r)
+    for (auto& f : fibers)
+      if (!f.finished()) f.resume();
+  for (int i = 0; i < kFibers; ++i) EXPECT_EQ(counts[static_cast<std::size_t>(i)], kRounds);
+  for (auto& f : fibers) EXPECT_TRUE(f.finished());
+}
+
+TEST(Fiber, InFiberReflectsContext) {
+  EXPECT_FALSE(Fiber::in_fiber());
+  bool inside = false;
+  Fiber f([&] { inside = Fiber::in_fiber(); });
+  f.resume();
+  EXPECT_TRUE(inside);
+  EXPECT_FALSE(Fiber::in_fiber());
+}
+
+TEST(Fiber, DeepStackUsageWorks) {
+  // Recurse enough to use a good chunk of the 256 KiB default stack; the
+  // guard page below would fault if frames escaped the allocation.
+  struct Rec {
+    static int go(int depth) {
+      volatile char pad[512];  // force real stack consumption
+      pad[0] = static_cast<char>(depth);
+      if (depth == 0) return pad[0];
+      return go(depth - 1) + 1;
+    }
+  };
+  int result = -1;
+  Fiber f([&] { result = Rec::go(300); });
+  f.resume();
+  EXPECT_EQ(result, 300);
+}
+
+TEST(Fiber, FloatingPointSurvivesSwitches) {
+  double acc = 0.0;
+  Fiber f([&] {
+    double x = 1.25;
+    for (int i = 0; i < 8; ++i) {
+      x = x * 2.0 + 0.5;
+      Fiber::suspend();
+    }
+    acc = x;
+  });
+  double host = 3.0;
+  while (!f.finished()) {
+    f.resume();
+    host *= 1.5;  // host-side FP interleaved with fiber FP
+  }
+  double expect = 1.25;
+  for (int i = 0; i < 8; ++i) expect = expect * 2.0 + 0.5;
+  EXPECT_DOUBLE_EQ(acc, expect);
+  EXPECT_GT(host, 3.0);
+}
+
+TEST(Fiber, MoveTransfersOwnership) {
+  int hits = 0;
+  Fiber a([&] {
+    ++hits;
+    Fiber::suspend();
+    ++hits;
+  });
+  a.resume();
+  Fiber b(std::move(a));
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  b.resume();
+  EXPECT_TRUE(b.finished());
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(Fiber, DestroySuspendedFiberReleasesStack) {
+  // Destroying a suspended fiber must not crash or leak the mapping
+  // (verified under ASAN builds); the body simply never completes.
+  auto* f = new Fiber([] {
+    for (;;) Fiber::suspend();
+  });
+  f->resume();
+  f->resume();
+  delete f;
+  SUCCEED();
+}

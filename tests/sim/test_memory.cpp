@@ -1,0 +1,208 @@
+#include "sim/memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/config.hpp"
+
+using psim::Access;
+using psim::Addr;
+using psim::Cycles;
+using psim::MachineConfig;
+using psim::MemorySystem;
+
+namespace {
+
+MachineConfig small_cfg() {
+  MachineConfig cfg;
+  cfg.processors = 4;
+  cfg.cache_sets = 8;
+  cfg.cache_ways = 2;
+  return cfg;
+}
+
+struct Fixture {
+  explicit Fixture(MachineConfig cfg = small_cfg()) : mem(cfg, stats) {}
+  psim::SimStats stats;
+  MemorySystem mem;
+};
+
+}  // namespace
+
+TEST(MemorySystem, AllocatorAlignsAndAdvances) {
+  Fixture f;
+  const Addr a = f.mem.alloc(8);
+  const Addr b = f.mem.alloc(8);
+  EXPECT_NE(a, 0u);
+  EXPECT_EQ(a % 8, 0u);
+  EXPECT_GE(b, a + 8);
+  const Addr line = f.mem.alloc_line();
+  EXPECT_EQ(line % psim::kLineBytes, 0u);
+}
+
+TEST(MemorySystem, ColdMissThenHit) {
+  Fixture f;
+  const Addr a = f.mem.alloc(8);
+  const Cycles t1 = f.mem.access(0, a, Access::Read, 0);
+  EXPECT_GT(t1, f.mem.config().cache_hit);  // miss is dearer than a hit
+  EXPECT_EQ(f.stats.miss_cold, 1u);
+  const Cycles t2 = f.mem.access(0, a, Access::Read, t1);
+  EXPECT_EQ(t2, t1 + f.mem.config().cache_hit);
+  EXPECT_EQ(f.stats.cache_hits, 1u);
+}
+
+TEST(MemorySystem, ReadSharedByManyThenWriteInvalidates) {
+  Fixture f;
+  const Addr a = f.mem.alloc(8);
+  Cycles t = 0;
+  for (int p = 0; p < 4; ++p) t = f.mem.access(p, a, Access::Read, t);
+
+  auto snap = f.mem.snapshot(psim::line_of(a));
+  EXPECT_EQ(snap.state, MemorySystem::LineState::Shared);
+  EXPECT_EQ(snap.sharer_count, 4u);
+
+  // Writing from proc 0 must invalidate the other three copies.
+  t = f.mem.access(0, a, Access::Write, t);
+  EXPECT_EQ(f.stats.invalidations_sent, 3u);
+  snap = f.mem.snapshot(psim::line_of(a));
+  EXPECT_EQ(snap.state, MemorySystem::LineState::Modified);
+  EXPECT_EQ(snap.owner, 0);
+  for (int p = 1; p < 4; ++p) EXPECT_FALSE(f.mem.cached(p, psim::line_of(a)));
+  EXPECT_TRUE(f.mem.cached(0, psim::line_of(a)));
+}
+
+TEST(MemorySystem, WriteHitRequiresModifiedState) {
+  Fixture f;
+  const Addr a = f.mem.alloc(8);
+  Cycles t = f.mem.access(0, a, Access::Write, 0);  // cold write -> M
+  const Cycles t2 = f.mem.access(0, a, Access::Write, t);
+  EXPECT_EQ(t2, t + f.mem.config().cache_hit);  // write hit in M
+  // A read by someone else downgrades; the next write by 0 is an upgrade.
+  Cycles t3 = f.mem.access(1, a, Access::Read, t2);
+  EXPECT_EQ(f.stats.miss_remote_dirty, 1u);
+  const Cycles t4 = f.mem.access(0, a, Access::Write, t3);
+  EXPECT_GT(t4 - t3, f.mem.config().cache_hit);
+  EXPECT_GE(f.stats.miss_upgrade, 1u);
+}
+
+TEST(MemorySystem, DirtyForwardFromOwner) {
+  Fixture f;
+  const Addr a = f.mem.alloc(8);
+  Cycles t = f.mem.access(2, a, Access::Write, 0);
+  t = f.mem.access(3, a, Access::Read, t);
+  EXPECT_EQ(f.stats.miss_remote_dirty, 1u);
+  const auto snap = f.mem.snapshot(psim::line_of(a));
+  // After a read of a dirty line both old owner and reader share it.
+  EXPECT_EQ(snap.state, MemorySystem::LineState::Shared);
+  EXPECT_EQ(snap.sharer_count, 2u);
+  EXPECT_TRUE(snap.cached_by(2));
+  EXPECT_TRUE(snap.cached_by(3));
+}
+
+TEST(MemorySystem, RmwCostsMoreThanWrite) {
+  // Two fresh machines, identical allocation sequences, so the address and
+  // home node coincide; the only difference is Write vs Rmw.
+  Fixture f1, f2;
+  const Addr a1 = f1.mem.alloc(8);
+  const Addr a2 = f2.mem.alloc(8);
+  ASSERT_EQ(a1, a2);
+  const Cycles tw = f1.mem.access(0, a1, Access::Write, 0);
+  const Cycles tr = f2.mem.access(0, a2, Access::Rmw, 0);
+  EXPECT_EQ(tr, tw + f2.mem.config().rmw_extra);
+  EXPECT_EQ(f2.stats.rmws, 1u);
+}
+
+TEST(MemorySystem, HotLineQueuesAtDirectory) {
+  // Several processors miss on one line at the same instant: the directory
+  // serializes them, so later requesters see queueing delay.
+  Fixture f;
+  const Addr a = f.mem.alloc_line();
+  std::vector<Cycles> done;
+  for (int p = 0; p < 4; ++p) done.push_back(f.mem.access(p, a, Access::Write, 0));
+  EXPECT_GT(f.stats.dir_queued_events, 0u);
+  EXPECT_GT(f.stats.dir_queue_cycles, 0u);
+  // Completion times strictly increase: the four writes serialized.
+  for (std::size_t i = 1; i < done.size(); ++i) EXPECT_GT(done[i], done[i - 1]);
+}
+
+TEST(MemorySystem, NoQueueingWhenOccupancyDisabled) {
+  MachineConfig cfg = small_cfg();
+  cfg.model_dir_occupancy = false;
+  Fixture f(cfg);
+  const Addr a = f.mem.alloc_line();
+  for (int p = 0; p < 4; ++p) f.mem.access(p, a, Access::Read, 0);
+  EXPECT_EQ(f.stats.dir_queued_events, 0u);
+}
+
+TEST(MemorySystem, DistinctLinesDontInterfere) {
+  Fixture f;
+  const Addr a = f.mem.alloc_line();
+  const Addr b = f.mem.alloc_line();
+  f.mem.access(0, a, Access::Write, 0);
+  f.mem.access(1, b, Access::Write, 0);
+  EXPECT_EQ(f.stats.invalidations_sent, 0u);
+  EXPECT_EQ(f.mem.snapshot(psim::line_of(a)).owner, 0);
+  EXPECT_EQ(f.mem.snapshot(psim::line_of(b)).owner, 1);
+}
+
+TEST(MemorySystem, FalseSharingIsModelled) {
+  // Two 8-byte vars allocated back-to-back share a line: a write to one
+  // invalidates the other's reader even though the words are distinct.
+  Fixture f;
+  const Addr a = f.mem.alloc(8);
+  const Addr b = f.mem.alloc(8);
+  ASSERT_EQ(psim::line_of(a), psim::line_of(b));
+  Cycles t = f.mem.access(0, a, Access::Read, 0);
+  t = f.mem.access(1, b, Access::Write, t);
+  EXPECT_EQ(f.stats.invalidations_sent, 1u);
+  EXPECT_FALSE(f.mem.cached(0, psim::line_of(a)));
+}
+
+TEST(MemorySystem, EvictionWritesBackDirtyLines) {
+  // Fill one cache set past associativity with dirty lines.
+  MachineConfig cfg = small_cfg();
+  cfg.cache_sets = 2;
+  cfg.cache_ways = 1;
+  Fixture f(cfg);
+  // Lines mapping to set 0: line ids 0,2,4... pick conflicting addresses.
+  const Addr a = f.mem.alloc_line();            // some line L
+  Addr b = f.mem.alloc_line();
+  while (psim::line_of(b) % 2 != psim::line_of(a) % 2) b = f.mem.alloc_line();
+  Cycles t = f.mem.access(0, a, Access::Write, 0);
+  t = f.mem.access(0, b, Access::Write, t);  // evicts a (same set, 1 way)
+  EXPECT_EQ(f.stats.writebacks, 1u);
+  EXPECT_EQ(f.mem.snapshot(psim::line_of(a)).state,
+            MemorySystem::LineState::Uncached);
+  // Re-reading a misses again (it was evicted).
+  const auto hits_before = f.stats.cache_hits;
+  f.mem.access(0, a, Access::Read, t);
+  EXPECT_EQ(f.stats.cache_hits, hits_before);
+}
+
+TEST(MemorySystem, FlushCacheDropsEverything) {
+  Fixture f;
+  const Addr a = f.mem.alloc_line();
+  const Addr b = f.mem.alloc_line();
+  f.mem.access(0, a, Access::Write, 0);
+  f.mem.access(0, b, Access::Read, 0);
+  f.mem.flush_cache(0);
+  EXPECT_FALSE(f.mem.cached(0, psim::line_of(a)));
+  EXPECT_FALSE(f.mem.cached(0, psim::line_of(b)));
+  EXPECT_EQ(f.stats.writebacks, 1u);  // only the dirty line wrote back
+}
+
+TEST(MemorySystem, FartherHomeCostsMore) {
+  MachineConfig cfg;
+  cfg.processors = 16;  // 4x4 mesh
+  Fixture f(cfg);
+  // Find two lines, one homed at node 0 (local) and one at node 15 (corner).
+  Addr local = 0, remote = 0;
+  while (local == 0 || remote == 0) {
+    const Addr a = f.mem.alloc_line();
+    const int home = f.mem.home_of(psim::line_of(a));
+    if (home == 0 && local == 0) local = a;
+    if (home == 15 && remote == 0) remote = a;
+  }
+  const Cycles t_local = f.mem.access(0, local, Access::Read, 0);
+  const Cycles t_remote = f.mem.access(0, remote, Access::Read, 0);
+  EXPECT_GT(t_remote, t_local);
+}

@@ -1,0 +1,132 @@
+// Property test: the MSI directory and the per-processor caches must stay
+// mutually consistent under arbitrary access interleavings.
+//
+// Invariants checked after every access:
+//  I1  Modified  => exactly one cache (the owner's) holds the line.
+//  I2  Shared    => every cache holding the line appears in the sharer set,
+//                   and the sharer set is exactly the set of holders.
+//  I3  Uncached  => no cache holds the line.
+//  I4  Completion times are plausible: >= issue + hit cost.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "slpq/detail/random.hpp"
+#include "sim/memory.hpp"
+
+using psim::Access;
+using psim::Addr;
+using psim::Cycles;
+using psim::MachineConfig;
+using psim::MemorySystem;
+
+namespace {
+
+struct Machine {
+  explicit Machine(int procs, std::size_t sets, std::size_t ways) {
+    cfg.processors = procs;
+    cfg.cache_sets = sets;
+    cfg.cache_ways = ways;
+    mem = std::make_unique<MemorySystem>(cfg, stats);
+  }
+  MachineConfig cfg;
+  psim::SimStats stats;
+  std::unique_ptr<MemorySystem> mem;
+};
+
+::testing::AssertionResult coherent(Machine& m,
+                                    const std::vector<Addr>& addrs) {
+  for (Addr a : addrs) {
+    const auto line = psim::line_of(a);
+    const auto snap = m.mem->snapshot(line);
+    std::size_t holders = 0;
+    for (int p = 0; p < m.cfg.processors; ++p)
+      holders += m.mem->cached(p, line) ? 1u : 0u;
+
+    switch (snap.state) {
+      case MemorySystem::LineState::Modified:
+        if (holders != 1)
+          return ::testing::AssertionFailure()
+                 << "line " << line << " Modified with " << holders
+                 << " holders";
+        if (snap.owner < 0 || !m.mem->cached(snap.owner, line))
+          return ::testing::AssertionFailure()
+                 << "line " << line << " Modified but owner " << snap.owner
+                 << " does not hold it";
+        break;
+      case MemorySystem::LineState::Shared:
+        if (holders == 0)
+          return ::testing::AssertionFailure()
+                 << "line " << line << " Shared with no holders";
+        if (holders != snap.sharer_count)
+          return ::testing::AssertionFailure()
+                 << "line " << line << " Shared: " << holders << " holders vs "
+                 << snap.sharer_count << " tracked sharers";
+        for (int p = 0; p < m.cfg.processors; ++p)
+          if (m.mem->cached(p, line) !=
+              snap.cached_by(p))
+            return ::testing::AssertionFailure()
+                   << "line " << line << " sharer set mismatch at proc " << p;
+        break;
+      case MemorySystem::LineState::Uncached:
+        if (holders != 0)
+          return ::testing::AssertionFailure()
+                 << "line " << line << " Uncached with " << holders
+                 << " holders";
+        break;
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+struct FuzzParam {
+  int procs;
+  std::size_t sets;
+  std::size_t ways;
+  int lines;
+  std::uint64_t seed;
+};
+
+class MemoryFuzz : public ::testing::TestWithParam<FuzzParam> {};
+
+}  // namespace
+
+TEST_P(MemoryFuzz, InvariantsHoldUnderRandomAccesses) {
+  const auto param = GetParam();
+  Machine m(param.procs, param.sets, param.ways);
+
+  std::vector<Addr> addrs;
+  for (int i = 0; i < param.lines; ++i) addrs.push_back(m.mem->alloc_line());
+  // A few word-grained neighbours to exercise intra-line sharing.
+  for (int i = 0; i < 8; ++i) addrs.push_back(m.mem->alloc(8));
+
+  slpq::detail::Xoshiro256 rng(param.seed);
+  std::vector<Cycles> now(static_cast<std::size_t>(param.procs), 0);
+
+  for (int step = 0; step < 4000; ++step) {
+    const int p = static_cast<int>(rng.below(static_cast<std::uint64_t>(param.procs)));
+    const Addr a = addrs[rng.below(addrs.size())];
+    const Access kind = static_cast<Access>(rng.below(3));
+    const Cycles t0 = now[static_cast<std::size_t>(p)];
+    const Cycles done = m.mem->access(p, a, kind, t0);
+    ASSERT_GE(done, t0 + m.cfg.cache_hit) << "implausible completion";
+    now[static_cast<std::size_t>(p)] = done;
+
+    if (step % 16 == 0) ASSERT_TRUE(coherent(m, addrs)) << "step " << step;
+  }
+  ASSERT_TRUE(coherent(m, addrs));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MemoryFuzz,
+    ::testing::Values(FuzzParam{2, 4, 1, 16, 1},    // tiny direct-mapped
+                      FuzzParam{4, 8, 2, 32, 2},    // small 2-way
+                      FuzzParam{8, 2, 1, 64, 3},    // eviction-heavy
+                      FuzzParam{16, 16, 2, 24, 4},  // wider machine
+                      FuzzParam{3, 1, 1, 40, 5}),   // single-set thrash
+    [](const ::testing::TestParamInfo<FuzzParam>& info) {
+      return std::to_string(info.param.procs) + "p" +
+             std::to_string(info.param.sets) + "s" +
+             std::to_string(info.param.ways) + "w_seed" +
+             std::to_string(info.param.seed);
+    });

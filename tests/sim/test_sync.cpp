@@ -1,0 +1,238 @@
+#include "sim/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+using psim::Barrier;
+using psim::Cpu;
+using psim::Cycles;
+using psim::Engine;
+using psim::LockGuard;
+using psim::MachineConfig;
+using psim::Mutex;
+using psim::Semaphore;
+using psim::TTSLock;
+using psim::Var;
+
+namespace {
+MachineConfig cfg(int procs) {
+  MachineConfig c;
+  c.processors = procs;
+  c.start_stagger = 0;
+  return c;
+}
+}  // namespace
+
+TEST(SimMutex, ProvidesMutualExclusion) {
+  constexpr int kProcs = 8;
+  constexpr int kIters = 100;
+  Engine eng(cfg(kProcs));
+  Mutex m(eng);
+  // A non-atomic critical-section counter: read, work, write. Any mutual
+  // exclusion failure loses increments.
+  Var<std::uint64_t> counter(eng.memory(), 0);
+  for (int p = 0; p < kProcs; ++p) {
+    eng.add_processor([&](Cpu& cpu) {
+      for (int i = 0; i < kIters; ++i) {
+        LockGuard g(m, cpu);
+        const auto v = cpu.read(counter);
+        cpu.advance(13);  // dwell inside the critical section
+        cpu.write(counter, v + 1);
+      }
+    });
+  }
+  eng.run();
+  EXPECT_EQ(counter.raw(), static_cast<std::uint64_t>(kProcs) * kIters);
+  EXPECT_EQ(eng.stats().lock_acquires,
+            static_cast<std::uint64_t>(kProcs) * kIters);
+  EXPECT_GT(eng.stats().lock_contended, 0u);
+}
+
+TEST(SimMutex, UncontendedLockIsCheap) {
+  Engine eng(cfg(2));
+  Mutex m(eng);
+  Cycles locked_at = 0, unlocked_at = 0;
+  eng.add_processor([&](Cpu& cpu) {
+    m.lock(cpu);
+    locked_at = cpu.now();
+    m.unlock(cpu);
+    unlocked_at = cpu.now();
+  });
+  eng.add_processor([](Cpu& cpu) { cpu.advance(1); });
+  eng.run();
+  EXPECT_GT(locked_at, 0u);
+  EXPECT_LT(unlocked_at, 200u);  // no queueing, just two coherence ops
+  EXPECT_EQ(eng.stats().lock_contended, 0u);
+}
+
+TEST(SimMutex, FifoHandoffOrder) {
+  // Proc 0 takes the lock and holds it; procs 1..3 queue in arrival order
+  // (their staggered arrival is forced by different advance amounts).
+  Engine eng(cfg(4));
+  Mutex m(eng);
+  std::vector<int> acquisition_order;
+  eng.add_processor([&](Cpu& cpu) {
+    m.lock(cpu);
+    acquisition_order.push_back(0);
+    cpu.advance(10000);
+    m.unlock(cpu);
+  });
+  for (int p = 1; p < 4; ++p) {
+    eng.add_processor([&, p](Cpu& cpu) {
+      cpu.advance(static_cast<Cycles>(100 * p));
+      m.lock(cpu);
+      acquisition_order.push_back(p);
+      cpu.advance(10);
+      m.unlock(cpu);
+    });
+  }
+  eng.run();
+  EXPECT_EQ(acquisition_order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(SimMutex, TryLockDoesNotBlock) {
+  Engine eng(cfg(2));
+  Mutex m(eng);
+  bool second_got_it = true;
+  eng.add_processor([&](Cpu& cpu) {
+    m.lock(cpu);
+    cpu.advance(5000);
+    m.unlock(cpu);
+  });
+  eng.add_processor([&](Cpu& cpu) {
+    cpu.advance(100);  // while proc 0 holds the lock
+    second_got_it = m.try_lock(cpu);
+    if (second_got_it) m.unlock(cpu);
+  });
+  eng.run();
+  EXPECT_FALSE(second_got_it);
+}
+
+TEST(SimMutex, HoldersAndWaitersAcrossManyLocks) {
+  // Fine-grained locking smoke test: 8 procs, 16 locks, random walk.
+  constexpr int kProcs = 8;
+  Engine eng(cfg(kProcs));
+  std::vector<Mutex> locks;
+  locks.reserve(16);
+  for (int i = 0; i < 16; ++i) locks.emplace_back(eng);
+  std::vector<Var<std::uint64_t>> cells;
+  cells.reserve(16);
+  for (int i = 0; i < 16; ++i) cells.emplace_back(eng.memory(), 0);
+
+  for (int p = 0; p < kProcs; ++p) {
+    eng.add_processor([&, p](Cpu& cpu) {
+      slpq::detail::Xoshiro256 rng(static_cast<std::uint64_t>(p) + 1);
+      for (int i = 0; i < 200; ++i) {
+        const auto k = rng.below(16);
+        LockGuard g(locks[k], cpu);
+        const auto v = cpu.read(cells[k]);
+        cpu.write(cells[k], v + 1);
+      }
+    });
+  }
+  eng.run();
+  std::uint64_t total = 0;
+  for (auto& c : cells) total += c.raw();
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kProcs) * 200);
+}
+
+TEST(SimSemaphore, LimitsConcurrencyInside) {
+  constexpr int kProcs = 6;
+  Engine eng(cfg(kProcs));
+  Semaphore sem(eng, 2);
+  Var<std::uint64_t> inside(eng.memory(), 0);
+  std::uint64_t max_inside = 0;
+  for (int p = 0; p < kProcs; ++p) {
+    eng.add_processor([&](Cpu& cpu) {
+      sem.acquire(cpu);
+      const auto now_inside = cpu.fetch_add(inside, std::uint64_t{1}) + 1;
+      max_inside = std::max(max_inside, now_inside);
+      cpu.advance(500);
+      cpu.fetch_add(inside, static_cast<std::uint64_t>(-1));
+      sem.release(cpu);
+    });
+  }
+  eng.run();
+  EXPECT_LE(max_inside, 2u);
+  EXPECT_GE(max_inside, 1u);
+  EXPECT_EQ(inside.raw(), 0u);
+}
+
+TEST(SimSemaphore, TryAcquireReflectsCount) {
+  Engine eng(cfg(1));
+  Semaphore sem(eng, 1);
+  bool first = false, second = false;
+  eng.add_processor([&](Cpu& cpu) {
+    first = sem.try_acquire(cpu);
+    second = sem.try_acquire(cpu);
+    sem.release(cpu);
+  });
+  eng.run();
+  EXPECT_TRUE(first);
+  EXPECT_FALSE(second);
+}
+
+TEST(SimBarrier, AlignsStartTimes) {
+  constexpr int kProcs = 5;
+  Engine eng(cfg(kProcs));
+  Barrier bar(eng, kProcs);
+  std::vector<Cycles> after(kProcs);
+  for (int p = 0; p < kProcs; ++p) {
+    eng.add_processor([&, p](Cpu& cpu) {
+      cpu.advance(static_cast<Cycles>(100 * (p + 1)));  // skewed arrivals
+      bar.arrive_and_wait(cpu);
+      after[static_cast<std::size_t>(p)] = cpu.now();
+    });
+  }
+  eng.run();
+  // Nobody proceeds before the last arriver (who got there after cycle 500),
+  // and release times cluster within one handoff of each other.
+  const Cycles lo = *std::min_element(after.begin(), after.end());
+  const Cycles hi = *std::max_element(after.begin(), after.end());
+  EXPECT_GE(lo, 500u);
+  EXPECT_LE(hi - lo, 200u);
+}
+
+TEST(TTSLockSim, MutualExclusionViaSpinning) {
+  constexpr int kProcs = 4;
+  Engine eng(cfg(kProcs));
+  TTSLock lock(eng);
+  Var<std::uint64_t> counter(eng.memory(), 0);
+  for (int p = 0; p < kProcs; ++p) {
+    eng.add_processor([&](Cpu& cpu) {
+      for (int i = 0; i < 50; ++i) {
+        lock.lock(cpu);
+        const auto v = cpu.read(counter);
+        cpu.advance(7);
+        cpu.write(counter, v + 1);
+        lock.unlock(cpu);
+      }
+    });
+  }
+  eng.run();
+  EXPECT_EQ(counter.raw(), static_cast<std::uint64_t>(kProcs) * 50);
+  // Spinning generates far more traffic than the blocking mutex would.
+  EXPECT_GT(eng.stats().reads, static_cast<std::uint64_t>(kProcs) * 50);
+}
+
+TEST(SimMutex, DeadlockIsDetected) {
+  Engine eng(cfg(2));
+  Mutex a(eng), b(eng);
+  eng.add_processor([&](Cpu& cpu) {
+    a.lock(cpu);
+    cpu.advance(100);
+    b.lock(cpu);  // never succeeds
+    b.unlock(cpu);
+    a.unlock(cpu);
+  });
+  eng.add_processor([&](Cpu& cpu) {
+    b.lock(cpu);
+    cpu.advance(100);
+    a.lock(cpu);  // never succeeds
+    a.unlock(cpu);
+    b.unlock(cpu);
+  });
+  EXPECT_THROW(eng.run(), std::runtime_error);
+}

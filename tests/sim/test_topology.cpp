@@ -1,0 +1,63 @@
+#include "sim/topology.hpp"
+
+#include <gtest/gtest.h>
+
+using psim::Mesh2D;
+
+TEST(Mesh2D, SingleNode) {
+  Mesh2D m(1);
+  EXPECT_EQ(m.width(), 1);
+  EXPECT_EQ(m.height(), 1);
+  EXPECT_EQ(m.hops(0, 0), 0);
+  EXPECT_DOUBLE_EQ(m.mean_hops(0), 0.0);
+}
+
+TEST(Mesh2D, PerfectSquare) {
+  Mesh2D m(16);
+  EXPECT_EQ(m.width(), 4);
+  EXPECT_EQ(m.height(), 4);
+  // Corners of a 4x4 mesh are 6 hops apart.
+  EXPECT_EQ(m.hops(0, 15), 6);
+  EXPECT_EQ(m.hops(3, 12), 6);
+}
+
+TEST(Mesh2D, NonSquareCounts) {
+  Mesh2D m(6);  // 3 wide, 2 tall
+  EXPECT_EQ(m.width(), 3);
+  EXPECT_GE(m.width() * m.height(), 6);
+  EXPECT_EQ(m.hops(0, 5), 3);  // (0,0) -> (2,1)
+}
+
+TEST(Mesh2D, HopsAreSymmetricAndTriangular) {
+  Mesh2D m(25);
+  for (int a = 0; a < 25; ++a) {
+    for (int b = 0; b < 25; ++b) {
+      EXPECT_EQ(m.hops(a, b), m.hops(b, a));
+      EXPECT_GE(m.hops(a, b), 0);
+      for (int c = 0; c < 25; c += 7)
+        EXPECT_LE(m.hops(a, b), m.hops(a, c) + m.hops(c, b));
+    }
+  }
+}
+
+TEST(Mesh2D, SelfDistanceZeroOthersPositive) {
+  Mesh2D m(256);
+  EXPECT_EQ(m.width(), 16);
+  for (int a = 0; a < 256; a += 17) {
+    EXPECT_EQ(m.hops(a, a), 0);
+    EXPECT_GT(m.hops(a, (a + 1) % 256), 0);
+  }
+}
+
+TEST(Mesh2D, AdjacentNodesOneHop) {
+  Mesh2D m(16);
+  EXPECT_EQ(m.hops(0, 1), 1);   // same row
+  EXPECT_EQ(m.hops(0, 4), 1);   // same column
+  EXPECT_EQ(m.hops(5, 6), 1);
+  EXPECT_EQ(m.hops(5, 9), 1);
+}
+
+TEST(Mesh2D, MeanHopsGrowsWithMachine) {
+  Mesh2D small(16), large(256);
+  EXPECT_GT(large.mean_hops(0), small.mean_hops(0));
+}

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+
+using psim::Cpu;
+using psim::Engine;
+using psim::MachineConfig;
+using psim::Var;
+
+namespace {
+MachineConfig cfg(int procs, std::size_t depth) {
+  MachineConfig c;
+  c.processors = procs;
+  c.start_stagger = 0;
+  c.trace_depth = depth;
+  return c;
+}
+}  // namespace
+
+TEST(EngineTrace, DisabledByDefault) {
+  Engine eng(cfg(1, 0));
+  Var<std::uint64_t> v(eng.memory(), 0);
+  eng.add_processor([&](Cpu& cpu) { cpu.write(v, std::uint64_t{1}); });
+  eng.run();
+  EXPECT_TRUE(eng.recent_events().empty());
+  EXPECT_TRUE(eng.format_trace().empty());
+}
+
+TEST(EngineTrace, RecordsKindsInOrder) {
+  Engine eng(cfg(1, 16));
+  Var<std::uint64_t> v(eng.memory(), 0);
+  eng.add_processor([&](Cpu& cpu) {
+    cpu.read(v);
+    cpu.write(v, std::uint64_t{1});
+    cpu.swap(v, std::uint64_t{2});
+    cpu.advance(10);
+    cpu.clock();
+  });
+  eng.run();
+  const auto events = eng.recent_events();
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[0].kind, 'r');
+  EXPECT_EQ(events[1].kind, 'w');
+  EXPECT_EQ(events[2].kind, 'x');
+  EXPECT_EQ(events[3].kind, 'a');
+  EXPECT_EQ(events[4].kind, 'c');
+  EXPECT_EQ(events[0].addr, v.addr());
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_GE(events[i].time, events[i - 1].time);
+}
+
+TEST(EngineTrace, RingBufferKeepsNewest) {
+  Engine eng(cfg(1, 4));
+  Var<std::uint64_t> v(eng.memory(), 0);
+  eng.add_processor([&](Cpu& cpu) {
+    for (int i = 0; i < 10; ++i) cpu.write(v, static_cast<std::uint64_t>(i));
+  });
+  eng.run();
+  const auto events = eng.recent_events();
+  ASSERT_EQ(events.size(), 4u);  // capped at trace_depth
+  // Oldest-first ordering survives the wraparound.
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_GE(events[i].time, events[i - 1].time);
+}
+
+TEST(EngineTrace, BlockAndWakeAppear) {
+  Engine eng(cfg(2, 64));
+  psim::Mutex m(eng);
+  eng.add_processor([&](Cpu& cpu) {
+    m.lock(cpu);
+    cpu.advance(1000);
+    m.unlock(cpu);
+  });
+  eng.add_processor([&](Cpu& cpu) {
+    cpu.advance(10);
+    psim::LockGuard g(m, cpu);
+  });
+  eng.run();
+  bool saw_block = false, saw_wake = false;
+  for (const auto& e : eng.recent_events()) {
+    saw_block |= (e.kind == 'b');
+    saw_wake |= (e.kind == 'k');
+  }
+  EXPECT_TRUE(saw_block);
+  EXPECT_TRUE(saw_wake);
+}
+
+TEST(EngineTrace, FormatIsHumanReadable) {
+  Engine eng(cfg(1, 8));
+  Var<std::uint64_t> v(eng.memory(), 0);
+  eng.add_processor([&](Cpu& cpu) { cpu.write(v, std::uint64_t{1}); });
+  eng.run();
+  const auto text = eng.format_trace();
+  EXPECT_NE(text.find("p0 w @"), std::string::npos);
+}
+
+TEST(EngineTrace, DeadlockMessageIncludesTrace) {
+  Engine eng(cfg(2, 32));
+  psim::Mutex a(eng), b(eng);
+  eng.add_processor([&](Cpu& cpu) {
+    a.lock(cpu);
+    cpu.advance(100);
+    b.lock(cpu);
+    b.unlock(cpu);
+    a.unlock(cpu);
+  });
+  eng.add_processor([&](Cpu& cpu) {
+    b.lock(cpu);
+    cpu.advance(100);
+    a.lock(cpu);
+    a.unlock(cpu);
+    b.unlock(cpu);
+  });
+  try {
+    eng.run();
+    FAIL() << "expected deadlock";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("deadlock"), std::string::npos);
+    EXPECT_NE(what.find("recent events"), std::string::npos);
+    EXPECT_NE(what.find("holder="), std::string::npos);
+  }
+}

@@ -1,0 +1,190 @@
+#include "simq/garbage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using psim::Cpu;
+using psim::Cycles;
+using psim::Engine;
+using psim::MachineConfig;
+using simq::EntryRegistry;
+using simq::GarbageLists;
+using simq::kMaxTime;
+
+namespace {
+MachineConfig cfg(int procs) {
+  MachineConfig c;
+  c.processors = procs;
+  c.start_stagger = 0;
+  return c;
+}
+
+struct FakeNode {
+  int id;
+  bool freed = false;
+};
+}  // namespace
+
+TEST(EntryRegistry, EnterExitTogglesSlot) {
+  Engine eng(cfg(2));
+  EntryRegistry reg(eng);
+  EXPECT_EQ(reg.raw_entry(0), kMaxTime);
+  eng.add_processor([&](Cpu& cpu) {
+    cpu.advance(100);
+    const Cycles t = reg.enter(cpu);
+    EXPECT_EQ(t, 100u);
+    EXPECT_EQ(reg.raw_entry(0), 100u);
+    reg.exit(cpu);
+  });
+  eng.add_processor([](Cpu& cpu) { cpu.advance(1); });
+  eng.run();
+  EXPECT_EQ(reg.raw_entry(0), kMaxTime);
+}
+
+TEST(EntryRegistry, OldestFindsMinimumAcrossProcessors) {
+  Engine eng(cfg(3));
+  EntryRegistry reg(eng);
+  Cycles oldest_seen = 0;
+  eng.add_processor([&](Cpu& cpu) {
+    cpu.advance(10);
+    reg.enter(cpu);
+    cpu.advance(100000);  // stay inside for a long time
+    reg.exit(cpu);
+  });
+  eng.add_processor([&](Cpu& cpu) {
+    cpu.advance(500);
+    reg.enter(cpu);
+    cpu.advance(100000);
+    reg.exit(cpu);
+  });
+  eng.add_processor([&](Cpu& cpu) {
+    cpu.advance(5000);  // both others are inside by now
+    oldest_seen = reg.oldest(cpu);
+  });
+  eng.run();
+  EXPECT_EQ(oldest_seen, 10u);
+}
+
+TEST(EntryRegistry, OldestIsMaxTimeWhenNobodyInside) {
+  Engine eng(cfg(1));
+  EntryRegistry reg(eng);
+  Cycles oldest = 0;
+  eng.add_processor([&](Cpu& cpu) { oldest = reg.oldest(cpu); });
+  eng.run();
+  EXPECT_EQ(oldest, kMaxTime);
+}
+
+TEST(GarbageLists, CollectFreesOnlyOldEnoughNodes) {
+  Engine eng(cfg(2));
+  GarbageLists<FakeNode> garbage(2);
+  FakeNode a{1}, b{2};
+  eng.add_processor([&](Cpu& cpu) {
+    cpu.advance(100);
+    garbage.retire(cpu, &a);  // deletion time ~100
+    cpu.advance(900);
+    garbage.retire(cpu, &b);  // deletion time ~1000
+  });
+  eng.add_processor([](Cpu& cpu) { cpu.advance(1); });
+  eng.run();
+
+  EXPECT_EQ(garbage.pending(), 2u);
+  // Oldest processor entered at 500: only `a` (deleted at ~100) is safe.
+  const auto freed = garbage.collect(500, [](FakeNode* n) { n->freed = true; });
+  EXPECT_EQ(freed, 1u);
+  EXPECT_TRUE(a.freed);
+  EXPECT_FALSE(b.freed);
+  EXPECT_EQ(garbage.pending(), 1u);
+  // With nobody inside, everything drains.
+  garbage.collect(kMaxTime, [](FakeNode* n) { n->freed = true; });
+  EXPECT_TRUE(b.freed);
+  EXPECT_EQ(garbage.pending(), 0u);
+  EXPECT_EQ(garbage.total_retired(), garbage.total_collected());
+}
+
+TEST(GarbageLists, PerProcessorListsAreIndependent) {
+  Engine eng(cfg(2));
+  GarbageLists<FakeNode> garbage(2);
+  FakeNode n0{0}, n1{1};
+  eng.add_processor([&](Cpu& cpu) {
+    cpu.advance(10);
+    garbage.retire(cpu, &n0);
+  });
+  eng.add_processor([&](Cpu& cpu) {
+    cpu.advance(10000);
+    garbage.retire(cpu, &n1);
+  });
+  eng.run();
+  // Cutoff between the two stamps frees only processor 0's node.
+  const auto freed = garbage.collect(5000, [](FakeNode* n) { n->freed = true; });
+  EXPECT_EQ(freed, 1u);
+  EXPECT_TRUE(n0.freed);
+  EXPECT_FALSE(n1.freed);
+}
+
+TEST(CollectorBody, NeverFreesWhileAHolderIsInside) {
+  // Processor 0 retires a node while processor 1 is inside the structure
+  // (entered earlier). The collector daemon must not free it until 1 exits.
+  Engine eng(cfg(3));
+  EntryRegistry reg(eng);
+  GarbageLists<FakeNode> garbage(3);
+  FakeNode node{7};
+  Cycles freed_at = 0;
+  Cycles holder_exit_at = 0;
+
+  eng.add_processor([&](Cpu& cpu) {  // the deleter
+    cpu.advance(50);
+    reg.enter(cpu);
+    cpu.advance(100);
+    garbage.retire(cpu, &node);
+    reg.exit(cpu);
+  });
+  eng.add_processor([&](Cpu& cpu) {  // the long-lived holder
+    cpu.advance(20);
+    reg.enter(cpu);
+    cpu.advance(50000);
+    reg.exit(cpu);
+    holder_exit_at = cpu.now();
+  });
+  eng.add_processor(
+      [&](Cpu& cpu) {
+        simq::collector_body(
+            cpu, reg, garbage,
+            [&](FakeNode* n) {
+              n->freed = true;
+              freed_at = cpu.now();
+            },
+            /*period=*/200);
+      },
+      /*daemon=*/true);
+
+  eng.run();
+  EXPECT_TRUE(node.freed);
+  EXPECT_GE(freed_at, holder_exit_at)
+      << "node freed while a processor that saw it was still inside";
+}
+
+TEST(CollectorBody, DrainsEverythingAtShutdown) {
+  Engine eng(cfg(2));
+  EntryRegistry reg(eng);
+  GarbageLists<FakeNode> garbage(2);
+  std::vector<FakeNode> nodes(20);
+  eng.add_processor([&](Cpu& cpu) {
+    for (auto& n : nodes) {
+      reg.enter(cpu);
+      cpu.advance(30);
+      garbage.retire(cpu, &n);
+      reg.exit(cpu);
+    }
+  });
+  eng.add_processor(
+      [&](Cpu& cpu) {
+        simq::collector_body(cpu, reg, garbage,
+                             [](FakeNode* n) { n->freed = true; },
+                             /*period=*/100000);  // too slow to keep up live
+      },
+      /*daemon=*/true);
+  eng.run();
+  EXPECT_EQ(garbage.pending(), 0u);
+  for (auto& n : nodes) EXPECT_TRUE(n.freed);
+}

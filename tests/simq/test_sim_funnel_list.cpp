@@ -1,0 +1,203 @@
+#include "simq/sim_funnel_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "slpq/detail/random.hpp"
+
+using psim::Cpu;
+using psim::Engine;
+using psim::MachineConfig;
+using simq::Key;
+using simq::SimFunnelList;
+using simq::Value;
+
+namespace {
+MachineConfig cfg(int procs) {
+  MachineConfig c;
+  c.processors = procs;
+  return c;
+}
+}  // namespace
+
+TEST(SimFunnelList, SequentialInsertDrainSorted) {
+  Engine eng(cfg(1));
+  SimFunnelList q(eng);
+  std::vector<Key> drained;
+  eng.add_processor([&](Cpu& cpu) {
+    for (Key k : {9, 3, 7, 1, 5}) q.insert(cpu, k, static_cast<Value>(k) * 3);
+    while (auto item = q.delete_min(cpu)) {
+      EXPECT_EQ(item->second, static_cast<Value>(item->first) * 3);
+      drained.push_back(item->first);
+    }
+  });
+  eng.run();
+  EXPECT_EQ(drained, (std::vector<Key>{1, 3, 5, 7, 9}));
+  EXPECT_EQ(q.size_raw(), 0u);
+}
+
+TEST(SimFunnelList, EmptyReturnsNullopt) {
+  Engine eng(cfg(1));
+  SimFunnelList q(eng);
+  bool empty = false;
+  eng.add_processor([&](Cpu& cpu) { empty = !q.delete_min(cpu).has_value(); });
+  eng.run();
+  EXPECT_TRUE(empty);
+}
+
+TEST(SimFunnelList, DuplicatesAreKept) {
+  Engine eng(cfg(1));
+  SimFunnelList q(eng);
+  std::vector<Value> vals;
+  eng.add_processor([&](Cpu& cpu) {
+    q.insert(cpu, 4, 1);
+    q.insert(cpu, 4, 2);
+    while (auto item = q.delete_min(cpu)) vals.push_back(item->second);
+  });
+  eng.run();
+  std::sort(vals.begin(), vals.end());
+  EXPECT_EQ(vals, (std::vector<Value>{1, 2}));
+}
+
+TEST(SimFunnelList, SeedBuildsSortedList) {
+  Engine eng(cfg(1));
+  SimFunnelList q(eng);
+  slpq::detail::Xoshiro256 rng(8);
+  for (int i = 0; i < 200; ++i) q.seed(static_cast<Key>(rng.below(1000)), 0);
+  const auto keys = q.keys_raw();
+  EXPECT_EQ(keys.size(), 200u);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  std::string err;
+  EXPECT_TRUE(q.check_invariants_raw(&err)) << err;
+}
+
+class SimFunnelListStress : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimFunnelListStress, ConservationAndInvariants) {
+  const int procs = GetParam();
+  Engine eng(cfg(procs));
+  SimFunnelList q(eng);
+  std::map<Key, long> balance;
+  for (int p = 0; p < procs; ++p) {
+    eng.add_processor([&, p](Cpu& cpu) {
+      slpq::detail::Xoshiro256 rng(static_cast<std::uint64_t>(p) * 1117 + 3);
+      for (int i = 0; i < 80; ++i) {
+        if (rng.bernoulli(0.5)) {
+          const Key k = static_cast<Key>(rng.below(1 << 16));
+          q.insert(cpu, k, static_cast<Value>(k));
+          balance[k] += 1;
+        } else if (auto item = q.delete_min(cpu)) {
+          EXPECT_EQ(item->second, static_cast<Value>(item->first));
+          balance[item->first] -= 1;
+        }
+        cpu.advance(30);
+      }
+    });
+  }
+  eng.run();
+  for (Key k : q.keys_raw()) balance[k] -= 1;
+  for (auto& [k, v] : balance) EXPECT_EQ(v, 0) << "key " << k;
+  std::string err;
+  EXPECT_TRUE(q.check_invariants_raw(&err)) << err;
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, SimFunnelListStress,
+                         ::testing::Values(2, 4, 8, 16, 32),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return std::to_string(info.param) + "p";
+                         });
+
+TEST(SimFunnelList, CombiningHappensUnderContention) {
+  constexpr int kProcs = 24;
+  Engine eng(cfg(kProcs));
+  SimFunnelList::Options o;
+  o.width = 2;  // narrow funnel forces collisions
+  SimFunnelList q(eng, o);
+  for (Key k = 0; k < 400; ++k) q.seed(k, 0);
+  std::multiset<Key> got;
+  for (int p = 0; p < kProcs; ++p) {
+    eng.add_processor([&](Cpu& cpu) {
+      for (int i = 0; i < 12; ++i) {
+        if (auto item = q.delete_min(cpu)) got.insert(item->first);
+        cpu.advance(10);
+      }
+    });
+  }
+  eng.run();
+  EXPECT_EQ(got.size(), static_cast<std::size_t>(kProcs) * 12);
+  // Batches handed out the smallest items; everything received is unique
+  // and is exactly the bottom of the seeded range.
+  Key expected = 0;
+  for (Key k : got) EXPECT_EQ(k, expected++);
+  EXPECT_GT(q.combines(), 0u);
+  EXPECT_LT(q.batches_applied(), static_cast<std::uint64_t>(kProcs) * 12);
+}
+
+TEST(SimFunnelList, ProducersAndConsumersBalance) {
+  constexpr int kProcs = 12;
+  Engine eng(cfg(kProcs));
+  SimFunnelList q(eng);
+  std::multiset<Key> inserted, deleted;
+  for (int p = 0; p < kProcs; ++p) {
+    const bool producer = p % 2 == 0;
+    eng.add_processor([&, p, producer](Cpu& cpu) {
+      for (int i = 0; i < 50; ++i) {
+        if (producer) {
+          const Key k = static_cast<Key>(i) * kProcs + p;
+          q.insert(cpu, k, 0);
+          inserted.insert(k);
+        } else if (auto item = q.delete_min(cpu)) {
+          deleted.insert(item->first);
+        }
+        cpu.advance(20);
+      }
+    });
+  }
+  eng.run();
+  EXPECT_EQ(inserted.size(), deleted.size() + q.size_raw());
+  for (Key k : deleted) EXPECT_TRUE(inserted.count(k)) << k;
+}
+
+TEST(SimFunnelList, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Engine eng(cfg(8));
+    SimFunnelList q(eng);
+    std::vector<Key> deleted;
+    for (int p = 0; p < 8; ++p) {
+      eng.add_processor([&, p](Cpu& cpu) {
+        slpq::detail::Xoshiro256 rng(static_cast<std::uint64_t>(p) + 5);
+        for (int i = 0; i < 40; ++i) {
+          if (rng.bernoulli(0.5))
+            q.insert(cpu, static_cast<Key>(rng.below(1000)), 0);
+          else if (auto item = q.delete_min(cpu))
+            deleted.push_back(item->first);
+        }
+      });
+    }
+    eng.run();
+    return deleted;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(SimFunnelList, WideFunnelStillCorrect) {
+  Engine eng(cfg(16));
+  SimFunnelList::Options o;
+  o.width = 16;
+  o.layers = 3;
+  SimFunnelList q(eng, o);
+  std::multiset<Key> got;
+  for (Key k = 0; k < 160; ++k) q.seed(k, 0);
+  for (int p = 0; p < 16; ++p) {
+    eng.add_processor([&](Cpu& cpu) {
+      for (int i = 0; i < 10; ++i)
+        if (auto item = q.delete_min(cpu)) got.insert(item->first);
+    });
+  }
+  eng.run();
+  EXPECT_EQ(got.size(), 160u);
+}

@@ -1,0 +1,249 @@
+#include "simq/sim_hunt_heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "slpq/detail/random.hpp"
+
+using psim::Cpu;
+using psim::Engine;
+using psim::MachineConfig;
+using simq::Key;
+using simq::SimHuntHeap;
+using simq::Value;
+
+namespace {
+MachineConfig cfg(int procs) {
+  MachineConfig c;
+  c.processors = procs;
+  return c;
+}
+SimHuntHeap::Options opts(std::size_t cap = 4096) {
+  SimHuntHeap::Options o;
+  o.capacity = cap;
+  return o;
+}
+}  // namespace
+
+TEST(BitRevSlot, MatchesKnownSequence) {
+  // Within each heap level, successive insertions land at bit-reversed
+  // offsets so their root paths diverge as early as possible.
+  EXPECT_EQ(SimHuntHeap::bit_rev_slot(1), 1u);
+  EXPECT_EQ(SimHuntHeap::bit_rev_slot(2), 2u);
+  EXPECT_EQ(SimHuntHeap::bit_rev_slot(3), 3u);
+  EXPECT_EQ(SimHuntHeap::bit_rev_slot(4), 4u);
+  EXPECT_EQ(SimHuntHeap::bit_rev_slot(5), 6u);
+  EXPECT_EQ(SimHuntHeap::bit_rev_slot(6), 5u);
+  EXPECT_EQ(SimHuntHeap::bit_rev_slot(7), 7u);
+  const std::vector<std::size_t> level8 = {8, 12, 10, 14, 9, 13, 11, 15};
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_EQ(SimHuntHeap::bit_rev_slot(8 + i), level8[i]);
+}
+
+TEST(BitRevSlot, IsAPermutationPerLevel) {
+  for (std::size_t level_start : {16u, 32u, 64u, 128u}) {
+    std::set<std::size_t> seen;
+    for (std::size_t s = level_start; s < 2 * level_start; ++s) {
+      const auto slot = SimHuntHeap::bit_rev_slot(s);
+      EXPECT_GE(slot, level_start);
+      EXPECT_LT(slot, 2 * level_start);
+      EXPECT_TRUE(seen.insert(slot).second) << "slot " << slot << " repeated";
+    }
+  }
+}
+
+TEST(BitRevSlot, AncestorClosure) {
+  // The parent of the slot for size s must be the slot of some s' < s:
+  // guarantees every occupied slot's ancestors are occupied.
+  std::set<std::size_t> occupied = {1};
+  for (std::size_t s = 2; s <= 1024; ++s) {
+    const auto slot = SimHuntHeap::bit_rev_slot(s);
+    EXPECT_TRUE(occupied.count(slot / 2))
+        << "slot " << slot << " (size " << s << ") has an empty parent";
+    occupied.insert(slot);
+  }
+}
+
+TEST(SimHuntHeap, SequentialInsertDrainSorted) {
+  Engine eng(cfg(1));
+  SimHuntHeap h(eng, opts());
+  std::vector<Key> drained;
+  eng.add_processor([&](Cpu& cpu) {
+    for (Key k : {50, 10, 30, 20, 40, 25, 35}) h.insert(cpu, k, static_cast<Value>(k));
+    while (auto item = h.delete_min(cpu)) drained.push_back(item->first);
+  });
+  eng.run();
+  EXPECT_EQ(drained, (std::vector<Key>{10, 20, 25, 30, 35, 40, 50}));
+  EXPECT_EQ(h.size_raw(), 0u);
+}
+
+TEST(SimHuntHeap, EmptyReturnsNullopt) {
+  Engine eng(cfg(1));
+  SimHuntHeap h(eng, opts());
+  bool empty = false;
+  eng.add_processor([&](Cpu& cpu) { empty = !h.delete_min(cpu).has_value(); });
+  eng.run();
+  EXPECT_TRUE(empty);
+}
+
+TEST(SimHuntHeap, DuplicateKeysAreKept) {
+  Engine eng(cfg(1));
+  SimHuntHeap h(eng, opts());
+  std::vector<Value> vals;
+  eng.add_processor([&](Cpu& cpu) {
+    h.insert(cpu, 5, 1);
+    h.insert(cpu, 5, 2);
+    h.insert(cpu, 5, 3);
+    while (auto item = h.delete_min(cpu)) vals.push_back(item->second);
+  });
+  eng.run();
+  std::sort(vals.begin(), vals.end());
+  EXPECT_EQ(vals, (std::vector<Value>{1, 2, 3}));
+}
+
+TEST(SimHuntHeap, FullHeapRejectsInsert) {
+  Engine eng(cfg(1));
+  SimHuntHeap h(eng, opts(3));
+  std::vector<bool> ok;
+  eng.add_processor([&](Cpu& cpu) {
+    for (Key k = 1; k <= 4; ++k) ok.push_back(h.insert(cpu, k, 0));
+  });
+  eng.run();
+  EXPECT_EQ(ok, (std::vector<bool>{true, true, true, false}));
+}
+
+TEST(SimHuntHeap, SeedMaintainsHeapProperty) {
+  Engine eng(cfg(1));
+  SimHuntHeap h(eng, opts());
+  slpq::detail::Xoshiro256 rng(3);
+  for (int i = 0; i < 500; ++i) h.seed(static_cast<Key>(rng.below(100000)), 0);
+  std::string err;
+  EXPECT_TRUE(h.check_invariants_raw(&err)) << err;
+  EXPECT_EQ(h.size_raw(), 500u);
+}
+
+TEST(SimHuntHeap, SeededMinComesOutFirst) {
+  Engine eng(cfg(1));
+  SimHuntHeap h(eng, opts());
+  for (Key k : {70, 30, 90, 10, 50}) h.seed(k, static_cast<Value>(k));
+  Key first = -1;
+  eng.add_processor([&](Cpu& cpu) { first = h.delete_min(cpu)->first; });
+  eng.run();
+  EXPECT_EQ(first, 10);
+}
+
+class SimHuntHeapStress : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimHuntHeapStress, ConservationAndInvariants) {
+  const int procs = GetParam();
+  Engine eng(cfg(procs));
+  SimHuntHeap h(eng, opts(1 << 14));
+  std::map<Key, long> balance;
+
+  for (int p = 0; p < procs; ++p) {
+    eng.add_processor([&, p](Cpu& cpu) {
+      slpq::detail::Xoshiro256 rng(static_cast<std::uint64_t>(p) * 31 + 7);
+      for (int i = 0; i < 120; ++i) {
+        if (rng.bernoulli(0.5)) {
+          const Key k = static_cast<Key>(rng.below(1 << 20));
+          if (h.insert(cpu, k, static_cast<Value>(k))) balance[k] += 1;
+        } else if (auto item = h.delete_min(cpu)) {
+          EXPECT_EQ(item->second, static_cast<Value>(item->first));
+          balance[item->first] -= 1;
+        }
+        cpu.advance(40);
+      }
+    });
+  }
+  eng.run();
+
+  std::string err;
+  EXPECT_TRUE(h.check_invariants_raw(&err)) << err;
+
+  // The per-key balance (inserts minus deletes) must equal what is left.
+  long expected_remaining = 0;
+  for (auto& [k, v] : balance) {
+    EXPECT_GE(v, 0) << "key " << k << " deleted more often than inserted";
+    expected_remaining += v;
+  }
+  EXPECT_EQ(static_cast<long>(h.size_raw()), expected_remaining);
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, SimHuntHeapStress,
+                         ::testing::Values(2, 4, 8, 16, 32),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return std::to_string(info.param) + "p";
+                         });
+
+TEST(SimHuntHeap, ConcurrentDrainHandsOutEverythingOnce) {
+  constexpr int kProcs = 8;
+  constexpr Key kItems = 64;
+  Engine eng(cfg(kProcs));
+  SimHuntHeap h(eng, opts());
+  for (Key k = 1; k <= kItems; ++k) h.seed(k, static_cast<Value>(k));
+  std::multiset<Key> all;
+  for (int p = 0; p < kProcs; ++p) {
+    eng.add_processor([&](Cpu& cpu) {
+      while (auto item = h.delete_min(cpu)) all.insert(item->first);
+    });
+  }
+  eng.run();
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(kItems));
+  for (Key k = 1; k <= kItems; ++k) EXPECT_EQ(all.count(k), 1u);
+  EXPECT_EQ(h.size_raw(), 0u);
+}
+
+TEST(SimHuntHeap, InsertersAndDeletersOverlap) {
+  constexpr int kProcs = 10;
+  Engine eng(cfg(kProcs));
+  SimHuntHeap h(eng, opts(1 << 13));
+  std::multiset<Key> inserted, deleted;
+  for (int p = 0; p < kProcs; ++p) {
+    const bool producer = p % 2 == 0;
+    eng.add_processor([&, p, producer](Cpu& cpu) {
+      if (producer) {
+        for (int i = 0; i < 60; ++i) {
+          const Key k = static_cast<Key>(i) * kProcs + p;
+          if (h.insert(cpu, k, 0)) inserted.insert(k);
+          cpu.advance(25);
+        }
+      } else {
+        for (int i = 0; i < 60; ++i) {
+          if (auto item = h.delete_min(cpu)) deleted.insert(item->first);
+          cpu.advance(25);
+        }
+      }
+    });
+  }
+  eng.run();
+  EXPECT_EQ(inserted.size(), deleted.size() + h.size_raw());
+  for (Key k : deleted) EXPECT_TRUE(inserted.count(k)) << k;
+  std::string err;
+  EXPECT_TRUE(h.check_invariants_raw(&err)) << err;
+}
+
+TEST(SimHuntHeap, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Engine eng(cfg(6));
+    SimHuntHeap h(eng, opts());
+    std::vector<Key> deleted;
+    for (int p = 0; p < 6; ++p) {
+      eng.add_processor([&, p](Cpu& cpu) {
+        slpq::detail::Xoshiro256 rng(static_cast<std::uint64_t>(p) + 99);
+        for (int i = 0; i < 80; ++i) {
+          if (rng.bernoulli(0.6))
+            h.insert(cpu, static_cast<Key>(rng.below(10000)), 0);
+          else if (auto item = h.delete_min(cpu))
+            deleted.push_back(item->first);
+        }
+      });
+    }
+    eng.run();
+    return deleted;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}

@@ -1,0 +1,373 @@
+#include "simq/sim_skipqueue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "slpq/detail/random.hpp"
+
+using psim::Cpu;
+using psim::Engine;
+using psim::MachineConfig;
+using simq::Key;
+using simq::SimSkipQueue;
+using simq::Value;
+
+namespace {
+
+MachineConfig cfg(int procs) {
+  MachineConfig c;
+  c.processors = procs;
+  return c;
+}
+
+SimSkipQueue::Options opts(bool timestamps = true, bool gc = false) {
+  SimSkipQueue::Options o;
+  o.timestamps = timestamps;
+  o.use_gc = gc;
+  o.max_level = 12;
+  return o;
+}
+
+}  // namespace
+
+TEST(SimSkipQueue, SequentialInsertDrainSorted) {
+  Engine eng(cfg(1));
+  SimSkipQueue q(eng, opts());
+  std::vector<Key> drained;
+  eng.add_processor([&](Cpu& cpu) {
+    cpu.advance(1);  // start after cycle 0 so seeded/inserted stamps compare
+    for (Key k : {50, 10, 30, 20, 40}) q.insert(cpu, k, static_cast<Value>(k) * 2);
+    while (auto item = q.delete_min(cpu)) {
+      EXPECT_EQ(item->second, static_cast<Value>(item->first) * 2);
+      drained.push_back(item->first);
+    }
+  });
+  eng.run();
+  EXPECT_EQ(drained, (std::vector<Key>{10, 20, 30, 40, 50}));
+  EXPECT_EQ(q.size_raw(), 0u);
+}
+
+TEST(SimSkipQueue, EmptyQueueReturnsNullopt) {
+  Engine eng(cfg(1));
+  SimSkipQueue q(eng, opts());
+  bool empty_seen = false;
+  eng.add_processor([&](Cpu& cpu) {
+    cpu.advance(1);
+    empty_seen = !q.delete_min(cpu).has_value();
+  });
+  eng.run();
+  EXPECT_TRUE(empty_seen);
+}
+
+TEST(SimSkipQueue, DuplicateKeyUpdatesValue) {
+  Engine eng(cfg(1));
+  SimSkipQueue q(eng, opts());
+  bool first = false, second = true;
+  Value got = 0;
+  eng.add_processor([&](Cpu& cpu) {
+    cpu.advance(1);
+    first = q.insert(cpu, 7, 100);
+    second = q.insert(cpu, 7, 200);  // UPDATED, not INSERTED
+    got = q.delete_min(cpu)->second;
+  });
+  eng.run();
+  EXPECT_TRUE(first);
+  EXPECT_FALSE(second);
+  EXPECT_EQ(got, 200u);
+  EXPECT_EQ(q.size_raw(), 0u);
+}
+
+TEST(SimSkipQueue, SeedPrePopulates) {
+  Engine eng(cfg(1));
+  SimSkipQueue q(eng, opts());
+  for (Key k = 100; k > 0; k -= 7) q.seed(k, static_cast<Value>(k));
+  const auto keys = q.keys_raw();
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(keys.size(), 15u);
+  std::string err;
+  EXPECT_TRUE(q.check_invariants_raw(&err)) << err;
+
+  Key first = -1;
+  eng.add_processor([&](Cpu& cpu) {
+    cpu.advance(1);
+    first = q.delete_min(cpu)->first;
+  });
+  eng.run();
+  EXPECT_EQ(first, 2);  // 100 - 14*7
+}
+
+TEST(SimSkipQueue, SeedDuplicateUpdates) {
+  Engine eng(cfg(1));
+  SimSkipQueue q(eng, opts());
+  q.seed(5, 1);
+  q.seed(5, 2);
+  EXPECT_EQ(q.size_raw(), 1u);
+}
+
+TEST(SimSkipQueue, RejectsSentinelKeys) {
+  Engine eng(cfg(1));
+  SimSkipQueue q(eng, opts());
+  EXPECT_THROW(q.seed(std::numeric_limits<Key>::max(), 0),
+               std::invalid_argument);
+  EXPECT_THROW(q.seed(std::numeric_limits<Key>::min(), 0),
+               std::invalid_argument);
+}
+
+TEST(SimSkipQueue, InvariantsHoldAfterMixedSequential) {
+  Engine eng(cfg(1));
+  SimSkipQueue q(eng, opts());
+  eng.add_processor([&](Cpu& cpu) {
+    cpu.advance(1);
+    slpq::detail::Xoshiro256 rng(5);
+    for (int i = 0; i < 500; ++i) {
+      if (rng.bernoulli(0.6))
+        q.insert(cpu, static_cast<Key>(rng.below(10000)) + 1, 0);
+      else
+        q.delete_min(cpu);
+    }
+  });
+  eng.run();
+  std::string err;
+  EXPECT_TRUE(q.check_invariants_raw(&err)) << err;
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent correctness, parameterized over processor count and the
+// timestamp mechanism (strict SkipQueue vs Relaxed SkipQueue).
+// ---------------------------------------------------------------------------
+
+struct StressParam {
+  int procs;
+  bool timestamps;
+};
+
+class SimSkipQueueStress : public ::testing::TestWithParam<StressParam> {};
+
+TEST_P(SimSkipQueueStress, ConservationAndInvariants) {
+  const auto param = GetParam();
+  Engine eng(cfg(param.procs));
+  SimSkipQueue q(eng, opts(param.timestamps, /*gc=*/false));
+
+  constexpr int kOpsPerProc = 120;
+  std::vector<std::vector<Key>> inserted(static_cast<std::size_t>(param.procs));
+  std::vector<std::vector<Key>> deleted(static_cast<std::size_t>(param.procs));
+
+  for (int p = 0; p < param.procs; ++p) {
+    eng.add_processor([&, p](Cpu& cpu) {
+      cpu.advance(1);
+      slpq::detail::Xoshiro256 rng(static_cast<std::uint64_t>(p) * 977 + 13);
+      for (int i = 0; i < kOpsPerProc; ++i) {
+        if (rng.bernoulli(0.5)) {
+          // Unique keys per processor avoid the update-in-place path so
+          // conservation is exact.
+          const Key k = static_cast<Key>(rng.below(1 << 20)) * param.procs + p + 1;
+          if (q.insert(cpu, k, static_cast<Value>(k)))
+            inserted[static_cast<std::size_t>(p)].push_back(k);
+        } else if (auto item = q.delete_min(cpu)) {
+          EXPECT_EQ(item->second, static_cast<Value>(item->first));
+          deleted[static_cast<std::size_t>(p)].push_back(item->first);
+        }
+        cpu.advance(50);
+      }
+    });
+  }
+  eng.run();
+
+  // Conservation per key: a key may be inserted, deleted and re-inserted,
+  // but at any key the counts must balance: inserted == deleted + remaining.
+  // (The SWAP guarantees a unique claimant per inserted instance.)
+  std::map<Key, long> balance;
+  for (auto& v : inserted)
+    for (Key k : v) balance[k] += 1;
+  for (auto& v : deleted)
+    for (Key k : v) balance[k] -= 1;
+  for (Key k : q.keys_raw()) balance[k] -= 1;
+  for (const auto& [k, count] : balance)
+    EXPECT_EQ(count, 0) << "key " << k << " unbalanced by " << count;
+
+  std::string err;
+  EXPECT_TRUE(q.check_invariants_raw(&err)) << err;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProcsAndModes, SimSkipQueueStress,
+    ::testing::Values(StressParam{2, true}, StressParam{4, true},
+                      StressParam{8, true}, StressParam{16, true},
+                      StressParam{32, true}, StressParam{4, false},
+                      StressParam{16, false}, StressParam{32, false}),
+    [](const ::testing::TestParamInfo<StressParam>& info) {
+      return (info.param.timestamps ? "Strict" : "Relaxed") +
+             std::to_string(info.param.procs) + "p";
+    });
+
+TEST(SimSkipQueue, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Engine eng(cfg(8));
+    SimSkipQueue q(eng, opts());
+    std::vector<Key> deleted;
+    for (int p = 0; p < 8; ++p) {
+      eng.add_processor([&, p](Cpu& cpu) {
+        cpu.advance(1);
+        slpq::detail::Xoshiro256 rng(static_cast<std::uint64_t>(p) + 42);
+        for (int i = 0; i < 60; ++i) {
+          if (rng.bernoulli(0.5))
+            q.insert(cpu, static_cast<Key>(rng.below(100000)) + 1, 1);
+          else if (auto item = q.delete_min(cpu))
+            deleted.push_back(item->first);
+        }
+      });
+    }
+    eng.run();
+    return std::make_pair(deleted, eng.horizon());
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(SimSkipQueue, HighContentionDrainRace) {
+  // Everybody deletes from a seeded queue: each item handed out exactly once,
+  // then everyone sees EMPTY.
+  constexpr int kProcs = 16;
+  constexpr int kItems = 100;
+  Engine eng(cfg(kProcs));
+  SimSkipQueue q(eng, opts());
+  for (Key k = 1; k <= kItems; ++k) q.seed(k, static_cast<Value>(k));
+
+  std::vector<std::vector<Key>> got(kProcs);
+  std::vector<int> empties(kProcs, 0);
+  for (int p = 0; p < kProcs; ++p) {
+    eng.add_processor([&, p](Cpu& cpu) {
+      cpu.advance(1);
+      for (;;) {
+        auto item = q.delete_min(cpu);
+        if (!item) {
+          empties[static_cast<std::size_t>(p)]++;
+          break;
+        }
+        got[static_cast<std::size_t>(p)].push_back(item->first);
+      }
+    });
+  }
+  eng.run();
+
+  std::multiset<Key> all;
+  for (auto& v : got) all.insert(v.begin(), v.end());
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(kItems));
+  for (Key k = 1; k <= kItems; ++k) EXPECT_EQ(all.count(k), 1u);
+  EXPECT_EQ(q.size_raw(), 0u);
+  // Each processor's own deletions come out in increasing key order — it
+  // always claims the first unmarked node it reaches.
+  for (auto& v : got) EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(SimSkipQueue, GarbageCollectionRecyclesNodes) {
+  constexpr int kProcs = 8;
+  MachineConfig c = cfg(kProcs + 1);  // +1 for the collector
+  Engine eng(c);
+  auto o = opts(true, /*gc=*/true);
+  o.gc_period = 500;
+  SimSkipQueue q(eng, o);
+  q.spawn_collector();
+
+  for (int p = 0; p < kProcs; ++p) {
+    eng.add_processor([&, p](Cpu& cpu) {
+      cpu.advance(1);
+      slpq::detail::Xoshiro256 rng(static_cast<std::uint64_t>(p) + 7);
+      for (int i = 0; i < 200; ++i) {
+        const Key k = static_cast<Key>(rng.below(1 << 16)) * kProcs + p + 1;
+        q.insert(cpu, k, 0);
+        q.delete_min(cpu);
+      }
+    });
+  }
+  eng.run();
+
+  // Everything retired was eventually collected (final drain), and the
+  // pool actually recycled nodes during the run.
+  EXPECT_EQ(q.garbage().pending(), 0u);
+  EXPECT_EQ(q.garbage().total_retired(), q.garbage().total_collected());
+  EXPECT_GT(q.garbage().total_retired(), 0u);
+  EXPECT_GT(q.pool().reused(), 0u);
+  // Reuse means we created far fewer nodes than we inserted.
+  EXPECT_LT(q.pool().created(), q.garbage().total_retired());
+
+  std::string err;
+  EXPECT_TRUE(q.check_invariants_raw(&err)) << err;
+}
+
+TEST(SimSkipQueue, RelaxedSkipsNoCompletedInserts) {
+  // Seeded items are all "completed before" any operation; the relaxed
+  // queue must still drain them in order under concurrency.
+  constexpr int kProcs = 8;
+  Engine eng(cfg(kProcs));
+  SimSkipQueue q(eng, opts(/*timestamps=*/false));
+  for (Key k = 1; k <= 64; ++k) q.seed(k, 0);
+  std::multiset<Key> all;
+  for (int p = 0; p < kProcs; ++p) {
+    eng.add_processor([&](Cpu& cpu) {
+      cpu.advance(1);
+      while (auto item = q.delete_min(cpu)) all.insert(item->first);
+    });
+  }
+  eng.run();
+  EXPECT_EQ(all.size(), 64u);
+}
+
+TEST(SimSkipQueue, MaxLevelOneIsAPlainList) {
+  Engine eng(cfg(2));
+  auto o = opts();
+  o.max_level = 1;
+  SimSkipQueue q(eng, o);
+  std::vector<Key> drained;
+  for (int p = 0; p < 2; ++p) {
+    eng.add_processor([&, p](Cpu& cpu) {
+      cpu.advance(1);
+      for (Key k = 0; k < 20; ++k) q.insert(cpu, k * 2 + p + 1, 0);
+      cpu.advance(10);
+      for (int i = 0; i < 10; ++i)
+        if (auto item = q.delete_min(cpu)) drained.push_back(item->first);
+    });
+  }
+  eng.run();
+  EXPECT_EQ(drained.size(), 20u);
+  std::string err;
+  EXPECT_TRUE(q.check_invariants_raw(&err)) << err;
+}
+
+TEST(SimSkipQueue, InsertWhileDrainingNeverLosesItems) {
+  // One half inserts ascending keys, the other half drains; afterwards
+  // inserted == deleted + remaining (exactness of the two-phase delete).
+  constexpr int kProcs = 12;
+  Engine eng(cfg(kProcs));
+  SimSkipQueue q(eng, opts());
+  std::multiset<Key> inserted, deleted;
+  for (int p = 0; p < kProcs; ++p) {
+    const bool producer = p % 2 == 0;
+    eng.add_processor([&, p, producer](Cpu& cpu) {
+      cpu.advance(1);
+      if (producer) {
+        for (int i = 0; i < 80; ++i) {
+          const Key k = static_cast<Key>(i) * kProcs + p + 1;
+          if (q.insert(cpu, k, 0)) inserted.insert(k);
+          cpu.advance(20);
+        }
+      } else {
+        for (int i = 0; i < 80; ++i) {
+          if (auto item = q.delete_min(cpu)) deleted.insert(item->first);
+          cpu.advance(20);
+        }
+      }
+    });
+  }
+  eng.run();
+  const auto remaining = q.keys_raw();
+  EXPECT_EQ(inserted.size(), deleted.size() + remaining.size());
+  for (Key k : deleted) EXPECT_TRUE(inserted.count(k));
+  for (Key k : remaining) EXPECT_TRUE(inserted.count(k));
+}

@@ -1,0 +1,164 @@
+// erase()/contains() on the simulated SkipQueue.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "slpq/detail/random.hpp"
+#include "simq/sim_skipqueue.hpp"
+
+using psim::Cpu;
+using psim::Engine;
+using psim::MachineConfig;
+using simq::Key;
+using simq::SimSkipQueue;
+using simq::Value;
+
+namespace {
+MachineConfig cfg(int procs) {
+  MachineConfig c;
+  c.processors = procs;
+  return c;
+}
+SimSkipQueue::Options opts() {
+  SimSkipQueue::Options o;
+  o.use_gc = false;
+  o.max_level = 12;
+  return o;
+}
+}  // namespace
+
+TEST(SimSkipQueueErase, EraseExistingAndMissing) {
+  Engine eng(cfg(1));
+  SimSkipQueue q(eng, opts());
+  std::optional<Value> hit, miss, twice;
+  eng.add_processor([&](Cpu& cpu) {
+    cpu.advance(1);
+    q.insert(cpu, 10, 100);
+    q.insert(cpu, 20, 200);
+    hit = q.erase(cpu, 10);
+    miss = q.erase(cpu, 30);
+    twice = q.erase(cpu, 10);
+  });
+  eng.run();
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 100u);
+  EXPECT_FALSE(miss.has_value());
+  EXPECT_FALSE(twice.has_value());
+  EXPECT_EQ(q.size_raw(), 1u);
+  std::string err;
+  EXPECT_TRUE(q.check_invariants_raw(&err)) << err;
+}
+
+TEST(SimSkipQueueErase, ContainsTracksState) {
+  Engine eng(cfg(1));
+  SimSkipQueue q(eng, opts());
+  bool before = true, after_insert = false, after_erase = true;
+  eng.add_processor([&](Cpu& cpu) {
+    cpu.advance(1);
+    before = q.contains(cpu, 5);
+    q.insert(cpu, 5, 50);
+    after_insert = q.contains(cpu, 5);
+    q.erase(cpu, 5);
+    after_erase = q.contains(cpu, 5);
+  });
+  eng.run();
+  EXPECT_FALSE(before);
+  EXPECT_TRUE(after_insert);
+  EXPECT_FALSE(after_erase);
+}
+
+TEST(SimSkipQueueErase, ConcurrentErasersClaimUniquely) {
+  constexpr int kProcs = 8;
+  constexpr Key kItems = 64;
+  Engine eng(cfg(kProcs));
+  SimSkipQueue q(eng, opts());
+  for (Key k = 1; k <= kItems; ++k) q.seed(k, static_cast<Value>(k));
+
+  std::vector<int> wins(kProcs, 0);
+  for (int p = 0; p < kProcs; ++p) {
+    eng.add_processor([&, p](Cpu& cpu) {
+      cpu.advance(1);
+      for (Key k = 1; k <= kItems; ++k)
+        if (q.erase(cpu, k)) wins[static_cast<std::size_t>(p)]++;
+    });
+  }
+  eng.run();
+  int total = 0;
+  for (int w : wins) total += w;
+  EXPECT_EQ(total, kItems);
+  EXPECT_EQ(q.size_raw(), 0u);
+  std::string err;
+  EXPECT_TRUE(q.check_invariants_raw(&err)) << err;
+}
+
+TEST(SimSkipQueueErase, EraseRacesDeleteMin) {
+  constexpr int kProcs = 8;
+  constexpr Key kItems = 80;
+  Engine eng(cfg(kProcs));
+  SimSkipQueue q(eng, opts());
+  for (Key k = 1; k <= kItems; ++k) q.seed(k, 0);
+  int via_erase = 0, via_dm = 0;
+  for (int p = 0; p < kProcs; ++p) {
+    const bool eraser = p % 2 == 0;
+    eng.add_processor([&, eraser](Cpu& cpu) {
+      cpu.advance(1);
+      if (eraser) {
+        for (Key k = kItems; k >= 1; --k)
+          if (q.erase(cpu, k)) ++via_erase;
+      } else {
+        for (int i = 0; i < kItems / 4; ++i)
+          if (q.delete_min(cpu)) ++via_dm;
+      }
+    });
+  }
+  eng.run();
+  EXPECT_EQ(via_erase + via_dm + static_cast<int>(q.size_raw()),
+            static_cast<int>(kItems));
+  std::string err;
+  EXPECT_TRUE(q.check_invariants_raw(&err)) << err;
+}
+
+TEST(SimSkipQueueErase, MixedAgainstModelSequential) {
+  Engine eng(cfg(1));
+  SimSkipQueue q(eng, opts());
+  eng.add_processor([&](Cpu& cpu) {
+    cpu.advance(1);
+    std::map<Key, Value> model;
+    slpq::detail::Xoshiro256 rng(11);
+    for (int step = 0; step < 1500; ++step) {
+      switch (rng.below(4)) {
+        case 0:
+        case 1: {
+          const Key k = static_cast<Key>(rng.below(500)) + 1;
+          q.insert(cpu, k, static_cast<Value>(step));
+          model[k] = static_cast<Value>(step);
+          break;
+        }
+        case 2: {
+          const auto got = q.delete_min(cpu);
+          ASSERT_EQ(got.has_value(), !model.empty());
+          if (got) {
+            ASSERT_EQ(got->first, model.begin()->first);
+            model.erase(model.begin());
+          }
+          break;
+        }
+        case 3: {
+          const Key k = static_cast<Key>(rng.below(500)) + 1;
+          const auto got = q.erase(cpu, k);
+          const auto it = model.find(k);
+          ASSERT_EQ(got.has_value(), it != model.end());
+          if (got) {
+            ASSERT_EQ(*got, it->second);
+            model.erase(it);
+          }
+          break;
+        }
+      }
+    }
+    ASSERT_EQ(q.size_raw(), model.size());
+  });
+  eng.run();
+}

@@ -1,0 +1,220 @@
+// Checks the SkipQueue against its specification (Definition 1 / Lemma 1).
+//
+// The simulator gives us what real hardware cannot: a global order on every
+// operation. We record, per Insert, the cycle at which it completed, and
+// per Delete-min, the cycle at which it started and the cycle of its
+// winning SWAP (its serialization point in the proof of Lemma 1). We then
+// replay the history: serializing Delete-mins by claim time, each returned
+// key x must satisfy
+//
+//     there is no key y < x with  insert(y) completed before the
+//     delete-min started  and  y not yet claimed by an earlier delete-min,
+//
+// and an EMPTY answer requires that no such y exists at all. This holds for
+// the strict SkipQueue; the Relaxed variant satisfies the same inequality
+// (its extra freedom is returning a *smaller* concurrently-inserted key,
+// which the check permits).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "slpq/detail/random.hpp"
+#include "simq/sim_skipqueue.hpp"
+
+using psim::Cpu;
+using psim::Cycles;
+using psim::Engine;
+using psim::MachineConfig;
+using simq::Key;
+using simq::SimSkipQueue;
+
+namespace {
+
+struct InsertRec {
+  Key key;
+  Cycles invoked;
+  Cycles completed;  // measured after return: >= the node's time stamp
+};
+
+struct DeleteRec {
+  Cycles started;    // measured before the call: <= the operation's clock read
+  Cycles claimed;    // cycle of the winning SWAP (or of the EMPTY return)
+  std::optional<Key> key;
+};
+
+struct History {
+  std::vector<InsertRec> inserts;
+  std::vector<DeleteRec> deletes;
+};
+
+History run_history(int procs, bool timestamps, std::uint64_t seed,
+                    int ops_per_proc, double insert_ratio) {
+  MachineConfig cfg;
+  cfg.processors = procs;
+  cfg.seed = seed;
+  Engine eng(cfg);
+  SimSkipQueue::Options o;
+  o.timestamps = timestamps;
+  o.use_gc = false;
+  SimSkipQueue q(eng, o);
+
+  std::vector<History> partial(static_cast<std::size_t>(procs));
+  for (int p = 0; p < procs; ++p) {
+    eng.add_processor([&, p](Cpu& cpu) {
+      cpu.advance(1);
+      slpq::detail::Xoshiro256 rng(seed * 131 + static_cast<std::uint64_t>(p));
+      auto& h = partial[static_cast<std::size_t>(p)];
+      for (int i = 0; i < ops_per_proc; ++i) {
+        if (rng.bernoulli(insert_ratio)) {
+          // Unique keys across the whole run keep the replay simple.
+          const Key k =
+              static_cast<Key>(rng.below(1 << 24)) * procs * ops_per_proc +
+              p * ops_per_proc + i + 1;
+          const Cycles t0 = cpu.now();
+          if (q.insert(cpu, k, 0))
+            h.inserts.push_back({k, t0, cpu.now()});
+        } else {
+          const Cycles t0 = cpu.now();
+          Cycles claim = 0;
+          auto item = q.delete_min(cpu, &claim);
+          h.deletes.push_back(
+              {t0, claim, item ? std::optional<Key>(item->first) : std::nullopt});
+        }
+        cpu.advance(30);
+      }
+    });
+  }
+  eng.run();
+
+  History all;
+  for (auto& h : partial) {
+    all.inserts.insert(all.inserts.end(), h.inserts.begin(), h.inserts.end());
+    all.deletes.insert(all.deletes.end(), h.deletes.begin(), h.deletes.end());
+  }
+  return all;
+}
+
+/// Replays the recorded history and reports the first violation found.
+/// A key y is "available to d" if its insert completed before d started and
+/// no delete-min with claim time <= d's claimed y. (The <= makes the check
+/// tolerant of two claims landing on the same cycle, whose true engine
+/// order is not recoverable from timestamps.)
+::testing::AssertionResult check_definition1(const History& h) {
+  std::map<Key, Cycles> claim_time;
+  for (const auto& d : h.deletes)
+    if (d.key) claim_time[*d.key] = d.claimed;
+
+  for (const auto& d : h.deletes) {
+    for (const auto& ins : h.inserts) {
+      if (ins.completed >= d.started) continue;
+      const auto it = claim_time.find(ins.key);
+      const bool claimed_by_or_before_d =
+          it != claim_time.end() && it->second <= d.claimed;
+      if (claimed_by_or_before_d) continue;
+      if (!d.key.has_value())
+        return ::testing::AssertionFailure()
+               << "delete-min returned EMPTY at claim=" << d.claimed
+               << " but key " << ins.key << " (completed " << ins.completed
+               << " < start " << d.started << ") was available";
+      if (ins.key < *d.key)
+        return ::testing::AssertionFailure()
+               << "delete-min returned " << *d.key << " at claim=" << d.claimed
+               << " but smaller available key " << ins.key << " completed at "
+               << ins.completed << " before start " << d.started;
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+struct SpecParam {
+  int procs;
+  bool timestamps;
+  double insert_ratio;
+  std::uint64_t seed;
+};
+
+class SkipQueueSpec : public ::testing::TestWithParam<SpecParam> {};
+
+}  // namespace
+
+TEST_P(SkipQueueSpec, Definition1Holds) {
+  const auto p = GetParam();
+  const History h = run_history(p.procs, p.timestamps, p.seed, 100,
+                                p.insert_ratio);
+  // Sanity: the run actually exercised both operations.
+  ASSERT_FALSE(h.inserts.empty());
+  ASSERT_FALSE(h.deletes.empty());
+  EXPECT_TRUE(check_definition1(h));
+
+  if (p.timestamps) {
+    // Strict-only property: a delete-min never returns a key whose insert
+    // was invoked after the delete's claim (the time-stamp test filters
+    // every concurrent insert; the relaxed queue is allowed to return
+    // such keys).
+    for (const auto& d : h.deletes) {
+      if (!d.key) continue;
+      for (const auto& ins : h.inserts) {
+        if (ins.key != *d.key) continue;
+        EXPECT_LT(ins.invoked, d.claimed)
+            << "strict delete-min returned a key inserted after its claim";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, SkipQueueSpec,
+    ::testing::Values(SpecParam{4, true, 0.5, 1}, SpecParam{8, true, 0.5, 2},
+                      SpecParam{16, true, 0.5, 3}, SpecParam{16, true, 0.3, 4},
+                      SpecParam{16, true, 0.7, 5}, SpecParam{32, true, 0.5, 6},
+                      SpecParam{8, false, 0.5, 7}, SpecParam{16, false, 0.5, 8},
+                      SpecParam{32, false, 0.3, 9}),
+    [](const ::testing::TestParamInfo<SpecParam>& info) {
+      return (info.param.timestamps ? "Strict" : "Relaxed") +
+             std::to_string(info.param.procs) + "p_seed" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(SkipQueueSpec, EmptyAnswersAreHonest) {
+  // A queue that starts empty and sees only deletes must answer EMPTY every
+  // time — no phantom items.
+  MachineConfig cfg;
+  cfg.processors = 8;
+  Engine eng(cfg);
+  SimSkipQueue::Options o;
+  o.use_gc = false;
+  SimSkipQueue q(eng, o);
+  int phantom = 0;
+  for (int p = 0; p < 8; ++p) {
+    eng.add_processor([&](Cpu& cpu) {
+      cpu.advance(1);
+      for (int i = 0; i < 20; ++i)
+        if (q.delete_min(cpu)) ++phantom;
+    });
+  }
+  eng.run();
+  EXPECT_EQ(phantom, 0);
+}
+
+TEST(SkipQueueSpec, PerProcessorFifoOfOwnInserts) {
+  // A processor that alternates insert(k)/delete-min, alone in the system,
+  // must get exactly its own keys back in increasing order.
+  MachineConfig cfg;
+  cfg.processors = 1;
+  Engine eng(cfg);
+  SimSkipQueue::Options o;
+  o.use_gc = false;
+  SimSkipQueue q(eng, o);
+  std::vector<Key> got;
+  eng.add_processor([&](Cpu& cpu) {
+    cpu.advance(1);
+    for (Key k : {5, 3, 9, 1}) q.insert(cpu, k, 0);
+    for (int i = 0; i < 4; ++i) got.push_back(q.delete_min(cpu)->first);
+  });
+  eng.run();
+  EXPECT_EQ(got, (std::vector<Key>{1, 3, 5, 9}));
+}

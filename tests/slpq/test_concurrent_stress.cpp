@@ -1,0 +1,165 @@
+// Cross-structure properties and heavier concurrent stress for the native
+// queues.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "slpq/detail/random.hpp"
+#include "slpq/funnel_list.hpp"
+#include "slpq/global_lock_pq.hpp"
+#include "slpq/hunt_heap.hpp"
+#include "slpq/lock_free_skip_queue.hpp"
+#include "slpq/skip_queue.hpp"
+
+namespace {
+
+// A single-threaded operation sequence with unique keys must produce the
+// same observable results on every structure (GlobalLockPQ is the oracle).
+template <typename Queue>
+std::vector<std::int64_t> replay(Queue& q, std::uint64_t seed, int ops) {
+  slpq::detail::Xoshiro256 rng(seed);
+  std::vector<std::int64_t> observed;
+  std::int64_t next_key = 0;
+  for (int i = 0; i < ops; ++i) {
+    if (rng.bernoulli(0.55)) {
+      q.insert(next_key * 7919 % 1000003, next_key);
+      ++next_key;
+    } else if (auto item = q.delete_min()) {
+      observed.push_back(item->first);
+    } else {
+      observed.push_back(-1);  // EMPTY
+    }
+  }
+  while (auto item = q.delete_min()) observed.push_back(item->first);
+  return observed;
+}
+
+class CrossStructureEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+}  // namespace
+
+TEST_P(CrossStructureEquivalence, AllStructuresAgreeSequentially) {
+  const std::uint64_t seed = GetParam();
+  constexpr int kOps = 3000;
+
+  slpq::GlobalLockPQ<std::int64_t, std::int64_t> oracle;
+  const auto expected = replay(oracle, seed, kOps);
+
+  slpq::SkipQueue<std::int64_t, std::int64_t> skip;
+  EXPECT_EQ(replay(skip, seed, kOps), expected) << "SkipQueue diverged";
+
+  slpq::RelaxedSkipQueue<std::int64_t, std::int64_t> relaxed;
+  EXPECT_EQ(replay(relaxed, seed, kOps), expected) << "Relaxed diverged";
+
+  slpq::HuntHeap<std::int64_t, std::int64_t> heap(1 << 13);
+  EXPECT_EQ(replay(heap, seed, kOps), expected) << "HuntHeap diverged";
+
+  slpq::LockFreeSkipQueue<std::int64_t, std::int64_t> lock_free;
+  EXPECT_EQ(replay(lock_free, seed, kOps), expected) << "LockFree diverged";
+
+  auto funnel = std::make_unique<slpq::FunnelList<std::int64_t, std::int64_t>>();
+  EXPECT_EQ(replay(*funnel, seed, kOps), expected) << "FunnelList diverged";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossStructureEquivalence,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& i) {
+                           return "seed" + std::to_string(i.param);
+                         });
+
+TEST(ConcurrentStress, SkipQueueLongMixedRunWithReclamation) {
+  slpq::SkipQueue<std::uint64_t, std::uint64_t> q;
+  constexpr int kThreads = 8;
+  constexpr int kOps = 8000;
+  std::atomic<long> net{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      slpq::detail::Xoshiro256 rng(static_cast<std::uint64_t>(t) * 101 + 1);
+      long local_net = 0;
+      for (int i = 0; i < kOps; ++i) {
+        if (rng.bernoulli(0.5)) {
+          if (q.insert(rng.below(1 << 14) * kThreads +
+                           static_cast<std::uint64_t>(t),
+                       static_cast<std::uint64_t>(i)))
+            ++local_net;
+        } else if (q.delete_min()) {
+          --local_net;
+        }
+      }
+      net.fetch_add(local_net);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(static_cast<long>(q.size()), net.load());
+  // Reclamation really ran: tens of thousands of deletes happened.
+  EXPECT_GT(q.reclaimed(), 0u);
+  long drained = 0;
+  while (q.delete_min()) ++drained;
+  EXPECT_EQ(drained, net.load());
+}
+
+TEST(ConcurrentStress, MinimalityUnderQuiescence) {
+  // After all threads pause, the next delete_min must return the global
+  // minimum of what remains — checked repeatedly between bursts.
+  slpq::SkipQueue<int, int> q;
+  std::map<int, int> shadow;  // maintained single-threaded between bursts
+  slpq::detail::Xoshiro256 rng(77);
+
+  for (int burst = 0; burst < 10; ++burst) {
+    // Concurrent burst of inserts with disjoint key ranges per thread.
+    constexpr int kThreads = 4, kPer = 200;
+    const int base = burst * kThreads * kPer * 2;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        for (int i = 0; i < kPer; ++i) {
+          q.insert(base + i * kThreads + t, t);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    for (int t = 0; t < kThreads; ++t)
+      for (int i = 0; i < kPer; ++i) shadow[base + i * kThreads + t] = t;
+
+    // Quiescent check: pop a few and compare against the shadow map.
+    for (int pops = 0; pops < 50 && !shadow.empty(); ++pops) {
+      auto item = q.delete_min();
+      ASSERT_TRUE(item.has_value());
+      ASSERT_EQ(item->first, shadow.begin()->first);
+      shadow.erase(shadow.begin());
+    }
+  }
+}
+
+TEST(ConcurrentStress, HighChurnSmallQueue) {
+  // Tiny queue, high contention on the same few keys: exercises the
+  // update-in-place path and the marked-node insert race.
+  slpq::SkipQueue<int, int> q;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  std::atomic<long> net{0};
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      slpq::detail::Xoshiro256 rng(static_cast<std::uint64_t>(t) + 1);
+      long local = 0;
+      for (int i = 0; i < 5000; ++i) {
+        if (rng.bernoulli(0.5)) {
+          if (q.insert(static_cast<int>(rng.below(16)), i)) ++local;
+        } else if (q.delete_min()) {
+          --local;
+        }
+      }
+      net.fetch_add(local);
+    });
+  }
+  for (auto& w : workers) w.join();
+  long drained = 0;
+  while (q.delete_min()) ++drained;
+  EXPECT_EQ(drained, net.load());
+  EXPECT_LE(drained, 16);  // at most one node per distinct key remains
+}

@@ -1,0 +1,65 @@
+#include "slpq/global_lock_pq.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "slpq/detail/random.hpp"
+
+using slpq::GlobalLockPQ;
+
+TEST(GlobalLockPQ, StartsEmpty) {
+  GlobalLockPQ<int, int> q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.delete_min().has_value());
+}
+
+TEST(GlobalLockPQ, SortedDrain) {
+  GlobalLockPQ<int, int> q;
+  for (int k : {5, 1, 4, 2, 3}) q.insert(k, k);
+  for (int k = 1; k <= 5; ++k) EXPECT_EQ(q.delete_min()->first, k);
+}
+
+TEST(GlobalLockPQ, DuplicatesKept) {
+  GlobalLockPQ<int, int> q;
+  q.insert(1, 10);
+  q.insert(1, 20);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(GlobalLockPQ, CustomComparator) {
+  GlobalLockPQ<int, int, std::greater<int>> q;
+  for (int k : {1, 3, 2}) q.insert(k, k);
+  EXPECT_EQ(q.delete_min()->first, 3);
+}
+
+TEST(GlobalLockPQ, ConcurrentConservation) {
+  GlobalLockPQ<std::uint64_t, std::uint64_t> q;
+  constexpr int kThreads = 6, kOps = 3000;
+  std::vector<std::map<std::uint64_t, long>> balances(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      auto& balance = balances[static_cast<std::size_t>(t)];
+      slpq::detail::Xoshiro256 rng(static_cast<std::uint64_t>(t) + 31);
+      for (int i = 0; i < kOps; ++i) {
+        if (rng.bernoulli(0.5)) {
+          const auto k = rng.below(1 << 16);
+          q.insert(k, k);
+          balance[k] += 1;
+        } else if (auto item = q.delete_min()) {
+          balance[item->first] -= 1;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  std::map<std::uint64_t, long> balance;
+  for (auto& b : balances)
+    for (auto& [k, v] : b) balance[k] += v;
+  while (auto item = q.delete_min()) balance[item->first] -= 1;
+  for (auto& [k, v] : balance) ASSERT_EQ(v, 0);
+}

@@ -1,0 +1,158 @@
+#include "slpq/hunt_heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "slpq/detail/random.hpp"
+
+using slpq::HuntHeap;
+
+TEST(HuntHeap, StartsEmpty) {
+  HuntHeap<int, int> h(64);
+  EXPECT_EQ(h.size(), 0u);
+  EXPECT_FALSE(h.delete_min().has_value());
+}
+
+TEST(HuntHeap, InsertDrainSorted) {
+  HuntHeap<int, int> h(64);
+  for (int k : {8, 3, 5, 1, 9, 2}) EXPECT_TRUE(h.insert(k, k * 7));
+  std::vector<int> out;
+  while (auto item = h.delete_min()) {
+    EXPECT_EQ(item->second, item->first * 7);
+    out.push_back(item->first);
+  }
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 5, 8, 9}));
+}
+
+TEST(HuntHeap, DuplicatesAreKept) {
+  HuntHeap<int, int> h(16);
+  h.insert(4, 1);
+  h.insert(4, 2);
+  EXPECT_EQ(h.size(), 2u);
+  std::vector<int> vals;
+  while (auto item = h.delete_min()) vals.push_back(item->second);
+  std::sort(vals.begin(), vals.end());
+  EXPECT_EQ(vals, (std::vector<int>{1, 2}));
+}
+
+TEST(HuntHeap, CapacityIsEnforced) {
+  HuntHeap<int, int> h(3);
+  EXPECT_TRUE(h.insert(1, 1));
+  EXPECT_TRUE(h.insert(2, 2));
+  EXPECT_TRUE(h.insert(3, 3));
+  EXPECT_FALSE(h.insert(4, 4));
+  h.delete_min();
+  EXPECT_TRUE(h.insert(4, 4));
+}
+
+TEST(HuntHeap, SequentialAgainstModel) {
+  HuntHeap<std::uint64_t, int> h(1 << 12);
+  std::multiset<std::uint64_t> model;
+  slpq::detail::Xoshiro256 rng(5);
+  for (int step = 0; step < 20000; ++step) {
+    if ((model.empty() || rng.bernoulli(0.55)) && model.size() < (1u << 12)) {
+      const auto k = rng.below(10000);
+      ASSERT_TRUE(h.insert(k, 0));
+      model.insert(k);
+    } else {
+      const auto got = h.delete_min();
+      ASSERT_TRUE(got.has_value());
+      ASSERT_EQ(got->first, *model.begin());
+      model.erase(model.begin());
+    }
+    ASSERT_EQ(h.size(), model.size());
+  }
+}
+
+TEST(HuntHeap, CustomComparator) {
+  HuntHeap<int, int, std::greater<int>> h(16);
+  for (int k : {2, 7, 4}) h.insert(k, k);
+  EXPECT_EQ(h.delete_min()->first, 7);
+  EXPECT_EQ(h.delete_min()->first, 4);
+  EXPECT_EQ(h.delete_min()->first, 2);
+}
+
+class HuntHeapThreads : public ::testing::TestWithParam<int> {};
+
+TEST_P(HuntHeapThreads, ConcurrentMixedConservation) {
+  const int threads = GetParam();
+  HuntHeap<std::uint64_t, std::uint64_t> h(1 << 15);
+  constexpr int kOps = 3000;
+  std::vector<std::map<std::uint64_t, long>> balances(
+      static_cast<std::size_t>(threads));
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      auto& balance = balances[static_cast<std::size_t>(t)];
+      slpq::detail::Xoshiro256 rng(static_cast<std::uint64_t>(t) * 131 + 7);
+      for (int i = 0; i < kOps; ++i) {
+        if (rng.bernoulli(0.5)) {
+          const auto k = rng.below(1 << 18);
+          if (h.insert(k, k)) balance[k] += 1;
+        } else if (auto item = h.delete_min()) {
+          EXPECT_EQ(item->second, item->first);
+          balance[item->first] -= 1;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  std::map<std::uint64_t, long> balance;
+  for (auto& b : balances)
+    for (auto& [k, v] : b) balance[k] += v;
+  while (auto item = h.delete_min()) balance[item->first] -= 1;
+  for (auto& [k, v] : balance) ASSERT_EQ(v, 0) << "key " << k;
+  EXPECT_EQ(h.size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, HuntHeapThreads, ::testing::Values(2, 4, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return std::to_string(info.param) + "t";
+                         });
+
+TEST(HuntHeapThreads, ConcurrentDrainHandsOutEverythingOnce) {
+  HuntHeap<int, int> h(4096);
+  constexpr int kItems = 2000;
+  for (int i = 0; i < kItems; ++i) ASSERT_TRUE(h.insert(i, i));
+  std::vector<std::vector<int>> got(6);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 6; ++t)
+    workers.emplace_back([&, t] {
+      while (auto item = h.delete_min())
+        got[static_cast<std::size_t>(t)].push_back(item->first);
+    });
+  for (auto& w : workers) w.join();
+  std::multiset<int> all;
+  for (auto& v : got) all.insert(v.begin(), v.end());
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(all.count(i), 1u);
+}
+
+TEST(HuntHeapThreads, ParallelInsertsAllArrive) {
+  HuntHeap<int, int> h(1 << 14);
+  constexpr int kThreads = 8, kPer = 1000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPer; ++i)
+        ASSERT_TRUE(h.insert(i * kThreads + t, i));
+    });
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(h.size(), static_cast<std::size_t>(kThreads) * kPer);
+  int prev = -1;
+  int count = 0;
+  while (auto item = h.delete_min()) {
+    EXPECT_GE(item->first, prev);
+    prev = item->first;
+    ++count;
+  }
+  EXPECT_EQ(count, kThreads * kPer);
+}

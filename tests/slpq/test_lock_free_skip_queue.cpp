@@ -1,0 +1,247 @@
+#include "slpq/lock_free_skip_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "slpq/detail/random.hpp"
+
+using slpq::LockFreeSkipQueue;
+
+TEST(LockFreeSkipQueue, StartsEmpty) {
+  LockFreeSkipQueue<int, int> q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.delete_min().has_value());
+}
+
+TEST(LockFreeSkipQueue, InsertDrainSorted) {
+  LockFreeSkipQueue<int, int> q;
+  for (int k : {42, 7, 19, 3, 88, 54}) q.insert(k, k * 10);
+  std::vector<int> out;
+  while (auto item = q.delete_min()) {
+    EXPECT_EQ(item->second, item->first * 10);
+    out.push_back(item->first);
+  }
+  EXPECT_EQ(out, (std::vector<int>{3, 7, 19, 42, 54, 88}));
+}
+
+TEST(LockFreeSkipQueue, DuplicateKeysAreDistinctItems) {
+  LockFreeSkipQueue<int, int> q;
+  q.insert(5, 1);
+  q.insert(5, 2);
+  q.insert(5, 3);
+  EXPECT_EQ(q.size(), 3u);
+  std::vector<int> vals;
+  while (auto item = q.delete_min()) vals.push_back(item->second);
+  std::sort(vals.begin(), vals.end());
+  EXPECT_EQ(vals, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(LockFreeSkipQueue, EraseAndContains) {
+  LockFreeSkipQueue<int, int> q;
+  q.insert(1, 10);
+  q.insert(2, 20);
+  EXPECT_TRUE(q.contains(1));
+  EXPECT_FALSE(q.contains(3));
+  auto removed = q.erase(1);
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(*removed, 10);
+  EXPECT_FALSE(q.contains(1));
+  EXPECT_FALSE(q.erase(1).has_value());
+  EXPECT_EQ(q.delete_min()->first, 2);
+}
+
+TEST(LockFreeSkipQueue, EraseOneDuplicateAtATime) {
+  LockFreeSkipQueue<int, int> q;
+  q.insert(9, 1);
+  q.insert(9, 2);
+  EXPECT_TRUE(q.erase(9).has_value());
+  EXPECT_TRUE(q.contains(9));
+  EXPECT_TRUE(q.erase(9).has_value());
+  EXPECT_FALSE(q.contains(9));
+  EXPECT_FALSE(q.erase(9).has_value());
+}
+
+TEST(LockFreeSkipQueue, SequentialAgainstModel) {
+  LockFreeSkipQueue<std::uint64_t, std::uint64_t> q;
+  std::multiset<std::uint64_t> model;
+  slpq::detail::Xoshiro256 rng(21);
+  for (int step = 0; step < 20000; ++step) {
+    if (model.empty() || rng.bernoulli(0.55)) {
+      const auto k = rng.below(1 << 14);
+      q.insert(k, k);
+      model.insert(k);
+    } else {
+      auto got = q.delete_min();
+      ASSERT_TRUE(got.has_value());
+      ASSERT_EQ(got->first, *model.begin());
+      model.erase(model.begin());
+    }
+    ASSERT_EQ(q.size(), model.size());
+  }
+}
+
+TEST(LockFreeSkipQueue, ReclamationRuns) {
+  LockFreeSkipQueue<int, int> q;
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 100; ++i) q.insert(i, i);
+    for (int i = 0; i < 100; ++i) q.delete_min();
+  }
+  EXPECT_GT(q.reclaimed(), 0u);
+}
+
+struct LfParam {
+  bool relaxed;
+  int threads;
+};
+
+class LockFreeSkipQueueThreads : public ::testing::TestWithParam<LfParam> {};
+
+TEST_P(LockFreeSkipQueueThreads, ConcurrentMixedConservation) {
+  const auto param = GetParam();
+  LockFreeSkipQueue<std::uint64_t, std::uint64_t>::Options o;
+  o.timestamps = !param.relaxed;
+  LockFreeSkipQueue<std::uint64_t, std::uint64_t> q(o);
+
+  constexpr int kOps = 4000;
+  std::vector<std::map<std::uint64_t, long>> balances(
+      static_cast<std::size_t>(param.threads));
+  std::vector<std::thread> workers;
+  for (int t = 0; t < param.threads; ++t) {
+    workers.emplace_back([&, t] {
+      auto& balance = balances[static_cast<std::size_t>(t)];
+      slpq::detail::Xoshiro256 rng(static_cast<std::uint64_t>(t) * 4099 + 3);
+      for (int i = 0; i < kOps; ++i) {
+        if (rng.bernoulli(0.5)) {
+          const auto k = rng.below(1 << 18);
+          q.insert(k, k);
+          balance[k] += 1;
+        } else if (auto item = q.delete_min()) {
+          EXPECT_EQ(item->second, item->first);
+          balance[item->first] -= 1;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  std::map<std::uint64_t, long> balance;
+  for (auto& b : balances)
+    for (auto& [k, v] : b) balance[k] += v;
+  while (auto item = q.delete_min()) balance[item->first] -= 1;
+  for (auto& [k, v] : balance) ASSERT_EQ(v, 0) << "key " << k;
+  EXPECT_EQ(q.size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, LockFreeSkipQueueThreads,
+    ::testing::Values(LfParam{false, 2}, LfParam{false, 4}, LfParam{false, 8},
+                      LfParam{true, 4}, LfParam{true, 8}),
+    [](const ::testing::TestParamInfo<LfParam>& info) {
+      return std::string(info.param.relaxed ? "Relaxed" : "Strict") +
+             std::to_string(info.param.threads) + "t";
+    });
+
+TEST(LockFreeSkipQueueThreads, DrainRaceHandsOutEachItemOnce) {
+  LockFreeSkipQueue<int, int> q;
+  constexpr int kItems = 2000;
+  for (int i = 0; i < kItems; ++i) q.insert(i, i);
+  constexpr int kThreads = 8;
+  std::vector<std::vector<int>> got(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&, t] {
+      while (auto item = q.delete_min())
+        got[static_cast<std::size_t>(t)].push_back(item->first);
+    });
+  for (auto& w : workers) w.join();
+  std::multiset<int> all;
+  for (auto& v : got) {
+    EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+    all.insert(v.begin(), v.end());
+  }
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(all.count(i), 1u) << i;
+}
+
+TEST(LockFreeSkipQueueThreads, ConcurrentEraseClaimsAreUnique) {
+  LockFreeSkipQueue<int, int> q;
+  constexpr int kItems = 2000;
+  for (int i = 0; i < kItems; ++i) q.insert(i, i);
+  std::atomic<int> erased{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 6; ++t)
+    workers.emplace_back([&] {
+      for (int i = 0; i < kItems; ++i)
+        if (q.erase(i)) erased.fetch_add(1);
+    });
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(erased.load(), kItems);
+  EXPECT_FALSE(q.delete_min().has_value());
+}
+
+TEST(LockFreeSkipQueueThreads, InsertersAndDrainersBalance) {
+  LockFreeSkipQueue<long, long> q;
+  constexpr int kPairs = 4;
+  constexpr long kPer = 3000;
+  std::atomic<long> consumed{0};
+  std::atomic<bool> done{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kPairs; ++t) {
+    workers.emplace_back([&, t] {
+      for (long i = 0; i < kPer; ++i) q.insert(i * kPairs + t, i);
+    });
+    workers.emplace_back([&] {
+      for (;;) {
+        if (q.delete_min()) {
+          consumed.fetch_add(1);
+        } else if (done.load()) {
+          return;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (int t = 0; t < kPairs; ++t) workers[static_cast<std::size_t>(2 * t)].join();
+  done.store(true);
+  for (int t = 0; t < kPairs; ++t)
+    workers[static_cast<std::size_t>(2 * t + 1)].join();
+  long rest = 0;
+  while (q.delete_min()) ++rest;
+  EXPECT_EQ(consumed.load() + rest, kPairs * kPer);
+}
+
+TEST(LockFreeSkipQueueThreads, MixedInsertEraseDeleteMin) {
+  LockFreeSkipQueue<std::uint64_t, std::uint64_t> q;
+  constexpr int kThreads = 6;
+  std::atomic<long> net{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      slpq::detail::Xoshiro256 rng(static_cast<std::uint64_t>(t) * 17 + 5);
+      long local = 0;
+      for (int i = 0; i < 4000; ++i) {
+        const auto pick = rng.below(3);
+        if (pick == 0) {
+          q.insert(rng.below(1 << 10), 0);
+          ++local;
+        } else if (pick == 1) {
+          if (q.delete_min()) --local;
+        } else {
+          if (q.erase(rng.below(1 << 10))) --local;
+        }
+      }
+      net.fetch_add(local);
+    });
+  }
+  for (auto& w : workers) w.join();
+  long drained = 0;
+  while (q.delete_min()) ++drained;
+  EXPECT_EQ(drained, net.load());
+}

@@ -1,0 +1,162 @@
+#include "slpq/skip_list_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "slpq/detail/random.hpp"
+
+using slpq::SkipListMap;
+
+TEST(SkipListMap, StartsEmpty) {
+  SkipListMap<int, int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_FALSE(m.contains(1));
+  EXPECT_EQ(m.find(1), nullptr);
+  EXPECT_EQ(m.begin(), m.end());
+}
+
+TEST(SkipListMap, InsertFindErase) {
+  SkipListMap<int, std::string> m;
+  EXPECT_TRUE(m.insert_or_assign(3, "three"));
+  EXPECT_TRUE(m.insert_or_assign(1, "one"));
+  EXPECT_TRUE(m.insert_or_assign(2, "two"));
+  EXPECT_EQ(m.size(), 3u);
+  ASSERT_NE(m.find(2), nullptr);
+  EXPECT_EQ(*m.find(2), "two");
+  auto removed = m.erase(2);
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(*removed, "two");
+  EXPECT_FALSE(m.contains(2));
+  EXPECT_FALSE(m.erase(2).has_value());
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(SkipListMap, AssignOverwrites) {
+  SkipListMap<int, int> m;
+  EXPECT_TRUE(m.insert_or_assign(5, 1));
+  EXPECT_FALSE(m.insert_or_assign(5, 2));
+  EXPECT_EQ(*m.find(5), 2);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(SkipListMap, SubscriptInsertsDefault) {
+  SkipListMap<std::string, int> m;
+  m["a"] = 10;
+  EXPECT_EQ(m["a"], 10);
+  EXPECT_EQ(m["missing"], 0);  // default-inserted
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(SkipListMap, IterationIsSorted) {
+  SkipListMap<int, int> m;
+  slpq::detail::Xoshiro256 rng(12);
+  for (int i = 0; i < 500; ++i) m.insert_or_assign(static_cast<int>(rng.below(10000)), i);
+  std::vector<int> keys;
+  for (auto it = m.begin(); it != m.end(); ++it) keys.push_back(it.key());
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_TRUE(std::adjacent_find(keys.begin(), keys.end()) == keys.end());
+  EXPECT_EQ(keys.size(), m.size());
+}
+
+TEST(SkipListMap, LowerBound) {
+  SkipListMap<int, int> m;
+  for (int k : {10, 20, 30, 40}) m.insert_or_assign(k, k);
+  EXPECT_EQ(m.lower_bound(5).key(), 10);
+  EXPECT_EQ(m.lower_bound(10).key(), 10);
+  EXPECT_EQ(m.lower_bound(11).key(), 20);
+  EXPECT_EQ(m.lower_bound(40).key(), 40);
+  EXPECT_EQ(m.lower_bound(41), m.end());
+}
+
+TEST(SkipListMap, ClearResets) {
+  SkipListMap<int, int> m;
+  for (int i = 0; i < 100; ++i) m.insert_or_assign(i, i);
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.begin(), m.end());
+  m.insert_or_assign(1, 1);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(SkipListMap, CustomComparatorDescending) {
+  SkipListMap<int, int, std::greater<int>> m;
+  for (int k : {1, 3, 2}) m.insert_or_assign(k, k);
+  std::vector<int> keys;
+  for (auto it = m.begin(); it != m.end(); ++it) keys.push_back(it.key());
+  EXPECT_EQ(keys, (std::vector<int>{3, 2, 1}));
+}
+
+TEST(SkipListMap, RandomizedAgainstStdMap) {
+  SkipListMap<std::uint64_t, std::uint64_t> m;
+  std::map<std::uint64_t, std::uint64_t> model;
+  slpq::detail::Xoshiro256 rng(2026);
+  for (int step = 0; step < 30000; ++step) {
+    const auto k = rng.below(2000);
+    switch (rng.below(3)) {
+      case 0: {
+        const bool fresh = m.insert_or_assign(k, step);
+        ASSERT_EQ(fresh, model.find(k) == model.end());
+        model[k] = static_cast<std::uint64_t>(step);
+        break;
+      }
+      case 1: {
+        const auto got = m.erase(k);
+        const auto it = model.find(k);
+        ASSERT_EQ(got.has_value(), it != model.end());
+        if (got) {
+          ASSERT_EQ(*got, it->second);
+          model.erase(it);
+        }
+        break;
+      }
+      case 2: {
+        const auto* v = m.find(k);
+        const auto it = model.find(k);
+        ASSERT_EQ(v != nullptr, it != model.end());
+        if (v) ASSERT_EQ(*v, it->second);
+        break;
+      }
+    }
+    ASSERT_EQ(m.size(), model.size());
+  }
+  // Full ordered scan matches the model.
+  auto mit = model.begin();
+  for (auto it = m.begin(); it != m.end(); ++it, ++mit) {
+    ASSERT_NE(mit, model.end());
+    ASSERT_EQ(it.key(), mit->first);
+    ASSERT_EQ(it.value(), mit->second);
+  }
+  ASSERT_EQ(mit, model.end());
+}
+
+TEST(SkipListMap, HeightGrowsLogarithmically) {
+  SkipListMap<int, int> m;
+  for (int i = 0; i < 10000; ++i) m.insert_or_assign(i, i);
+  // E[height] ~ log2(10000) ~ 13.3; allow a generous band.
+  EXPECT_GE(m.height(), 8);
+  EXPECT_LE(m.height(), 20);
+}
+
+TEST(SkipListMap, MaxLevelOneDegeneratesToList) {
+  SkipListMap<int, int>::Options o;
+  o.max_level = 1;
+  SkipListMap<int, int> m(o);
+  for (int i = 100; i > 0; --i) m.insert_or_assign(i, i);
+  EXPECT_EQ(m.size(), 100u);
+  EXPECT_EQ(m.begin().key(), 1);
+  EXPECT_TRUE(m.contains(50));
+}
+
+TEST(SkipListMap, NonTrivialValueDestruction) {
+  // Vector values exercise the placement-destroy path under ASan.
+  SkipListMap<int, std::vector<int>> m;
+  for (int i = 0; i < 50; ++i) m.insert_or_assign(i, std::vector<int>(100, i));
+  m.erase(10);
+  m.clear();
+  SUCCEED();
+}

@@ -1,0 +1,252 @@
+#include "slpq/skip_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "slpq/detail/random.hpp"
+
+using slpq::RelaxedSkipQueue;
+using slpq::SkipQueue;
+
+TEST(SkipQueue, StartsEmpty) {
+  SkipQueue<int, int> q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_FALSE(q.delete_min().has_value());
+}
+
+TEST(SkipQueue, InsertDrainSorted) {
+  SkipQueue<int, int> q;
+  for (int k : {42, 7, 19, 3, 88, 54}) EXPECT_TRUE(q.insert(k, k * 10));
+  std::vector<int> out;
+  while (auto item = q.delete_min()) {
+    EXPECT_EQ(item->second, item->first * 10);
+    out.push_back(item->first);
+  }
+  EXPECT_EQ(out, (std::vector<int>{3, 7, 19, 42, 54, 88}));
+}
+
+TEST(SkipQueue, DuplicateKeyUpdatesInPlace) {
+  SkipQueue<int, std::string> q;
+  EXPECT_TRUE(q.insert(5, "old"));
+  EXPECT_FALSE(q.insert(5, "new"));
+  EXPECT_EQ(q.size(), 1u);
+  auto item = q.delete_min();
+  ASSERT_TRUE(item);
+  EXPECT_EQ(item->second, "new");
+}
+
+TEST(SkipQueue, ReinsertAfterDelete) {
+  SkipQueue<int, int> q;
+  q.insert(1, 1);
+  q.delete_min();
+  EXPECT_TRUE(q.insert(1, 2));
+  auto item = q.delete_min();
+  ASSERT_TRUE(item);
+  EXPECT_EQ(item->second, 2);
+}
+
+TEST(SkipQueue, CustomComparatorMaxQueue) {
+  SkipQueue<int, int, std::greater<int>> q;
+  for (int k : {1, 9, 5}) q.insert(k, k);
+  EXPECT_EQ(q.delete_min()->first, 9);
+  EXPECT_EQ(q.delete_min()->first, 5);
+  EXPECT_EQ(q.delete_min()->first, 1);
+}
+
+TEST(SkipQueue, NonTrivialKeyValueTypes) {
+  SkipQueue<std::string, std::vector<int>> q;
+  q.insert("banana", {2});
+  q.insert("apple", {1});
+  q.insert("cherry", {3});
+  EXPECT_EQ(q.delete_min()->first, "apple");
+  EXPECT_EQ(q.delete_min()->second, std::vector<int>{2});
+}
+
+TEST(SkipQueue, ManySequentialOpsAgainstModel) {
+  SkipQueue<std::uint64_t, std::uint64_t> q;
+  std::multimap<std::uint64_t, std::uint64_t> model;
+  slpq::detail::Xoshiro256 rng(17);
+  for (int step = 0; step < 20000; ++step) {
+    if (model.empty() || rng.bernoulli(0.55)) {
+      const auto k = rng.below(1 << 16);
+      if (q.insert(k, step)) {
+        // Key was new; mirror that.
+        model.erase(k);
+        model.emplace(k, step);
+      } else {
+        model.erase(k);
+        model.emplace(k, step);
+      }
+    } else {
+      const auto got = q.delete_min();
+      ASSERT_TRUE(got.has_value());
+      ASSERT_EQ(got->first, model.begin()->first);
+      model.erase(model.begin());
+    }
+    ASSERT_EQ(q.size(), model.size());
+  }
+}
+
+TEST(SkipQueue, MaxLevelOneIsAList) {
+  SkipQueue<int, int>::Options o;
+  o.max_level = 1;
+  SkipQueue<int, int> q(o);
+  for (int i = 100; i > 0; --i) q.insert(i, i);
+  for (int i = 1; i <= 100; ++i) EXPECT_EQ(q.delete_min()->first, i);
+}
+
+TEST(SkipQueue, ReclamationEventuallyFreesNodes) {
+  SkipQueue<int, int> q;
+  // Retire far more nodes than the collection threshold.
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 100; ++i) q.insert(i, i);
+    for (int i = 0; i < 100; ++i) q.delete_min();
+  }
+  EXPECT_GT(q.reclaimed(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent tests (std::thread). On any machine these exercise mutual
+// exclusion through preemption; on multicore they exercise true parallelism.
+// ---------------------------------------------------------------------------
+
+struct ModeParam {
+  bool relaxed;
+  int threads;
+};
+
+class SkipQueueThreads : public ::testing::TestWithParam<ModeParam> {};
+
+TEST_P(SkipQueueThreads, ConcurrentMixedConservation) {
+  const auto param = GetParam();
+  SkipQueue<std::uint64_t, std::uint64_t>::Options o;
+  o.timestamps = !param.relaxed;
+  SkipQueue<std::uint64_t, std::uint64_t> q(o);
+
+  constexpr int kOps = 4000;
+  std::vector<std::vector<std::uint64_t>> inserted(
+      static_cast<std::size_t>(param.threads));
+  std::vector<std::vector<std::uint64_t>> deleted(
+      static_cast<std::size_t>(param.threads));
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < param.threads; ++t) {
+    workers.emplace_back([&, t] {
+      slpq::detail::Xoshiro256 rng(static_cast<std::uint64_t>(t) * 7919 + 1);
+      for (int i = 0; i < kOps; ++i) {
+        if (rng.bernoulli(0.5)) {
+          // Per-thread-unique keys make the balance check exact.
+          const std::uint64_t k =
+              rng.below(1 << 20) * static_cast<std::uint64_t>(param.threads) +
+              static_cast<std::uint64_t>(t);
+          if (q.insert(k, k))
+            inserted[static_cast<std::size_t>(t)].push_back(k);
+        } else if (auto item = q.delete_min()) {
+          EXPECT_EQ(item->second, item->first);
+          deleted[static_cast<std::size_t>(t)].push_back(item->first);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  std::map<std::uint64_t, long> balance;
+  for (auto& v : inserted)
+    for (auto k : v) balance[k] += 1;
+  for (auto& v : deleted)
+    for (auto k : v) balance[k] -= 1;
+  std::size_t remaining = 0;
+  while (auto item = q.delete_min()) {
+    balance[item->first] -= 1;
+    ++remaining;
+  }
+  for (auto& [k, v] : balance) ASSERT_EQ(v, 0) << "key " << k;
+  EXPECT_EQ(q.size(), 0u);
+  (void)remaining;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, SkipQueueThreads,
+    ::testing::Values(ModeParam{false, 2}, ModeParam{false, 4},
+                      ModeParam{false, 8}, ModeParam{true, 4},
+                      ModeParam{true, 8}),
+    [](const ::testing::TestParamInfo<ModeParam>& info) {
+      return std::string(info.param.relaxed ? "Relaxed" : "Strict") +
+             std::to_string(info.param.threads) + "t";
+    });
+
+TEST(SkipQueueThreads, DrainRaceHandsOutEachItemOnce) {
+  SkipQueue<int, int> q;
+  constexpr int kItems = 2000;
+  for (int i = 0; i < kItems; ++i) q.insert(i, i);
+
+  constexpr int kThreads = 8;
+  std::vector<std::vector<int>> got(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      while (auto item = q.delete_min()) got[static_cast<std::size_t>(t)].push_back(item->first);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  std::multiset<int> all;
+  for (auto& v : got) {
+    EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+    all.insert(v.begin(), v.end());
+  }
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(all.count(i), 1u) << i;
+}
+
+TEST(SkipQueueThreads, ProducersAndConsumers) {
+  SkipQueue<long, long> q;
+  constexpr int kPairs = 4;
+  constexpr long kPerProducer = 3000;
+  std::atomic<long> consumed{0};
+  std::atomic<bool> done_producing{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kPairs; ++t) {
+    workers.emplace_back([&, t] {  // producer
+      for (long i = 0; i < kPerProducer; ++i)
+        q.insert(i * kPairs + t, i);
+    });
+    workers.emplace_back([&] {  // consumer
+      for (;;) {
+        if (q.delete_min()) {
+          consumed.fetch_add(1);
+          continue;
+        }
+        if (done_producing.load()) break;
+        std::this_thread::yield();
+      }
+    });
+  }
+  for (int t = 0; t < kPairs; ++t) workers[static_cast<std::size_t>(2 * t)].join();
+  done_producing.store(true);
+  for (int t = 0; t < kPairs; ++t) workers[static_cast<std::size_t>(2 * t + 1)].join();
+  long rest = 0;
+  while (q.delete_min()) ++rest;
+  EXPECT_EQ(consumed.load() + rest, kPairs * kPerProducer);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(SkipQueueThreads, RelaxedDrainStillExact) {
+  RelaxedSkipQueue<int, int> q;
+  for (int i = 0; i < 1000; ++i) q.insert(i, i);
+  std::atomic<int> count{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 6; ++t)
+    workers.emplace_back([&] {
+      while (q.delete_min()) count.fetch_add(1);
+    });
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(count.load(), 1000);
+}

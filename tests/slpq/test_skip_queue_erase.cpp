@@ -1,0 +1,187 @@
+// Tests for the general skiplist operations on the native SkipQueue:
+// erase(key), contains(key), peek_min().
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "slpq/detail/random.hpp"
+#include "slpq/skip_queue.hpp"
+
+using slpq::SkipQueue;
+
+TEST(SkipQueueErase, EraseExistingKey) {
+  SkipQueue<int, int> q;
+  for (int k : {1, 2, 3, 4, 5}) q.insert(k, k * 10);
+  auto removed = q.erase(3);
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(*removed, 30);
+  EXPECT_EQ(q.size(), 4u);
+  std::vector<int> out;
+  while (auto item = q.delete_min()) out.push_back(item->first);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 4, 5}));
+}
+
+TEST(SkipQueueErase, EraseMissingKeyReturnsNullopt) {
+  SkipQueue<int, int> q;
+  q.insert(1, 1);
+  EXPECT_FALSE(q.erase(2).has_value());
+  EXPECT_FALSE(q.erase(0).has_value());
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(SkipQueueErase, EraseOnEmptyQueue) {
+  SkipQueue<int, int> q;
+  EXPECT_FALSE(q.erase(42).has_value());
+}
+
+TEST(SkipQueueErase, DoubleEraseClaimsOnce) {
+  SkipQueue<int, int> q;
+  q.insert(7, 7);
+  EXPECT_TRUE(q.erase(7).has_value());
+  EXPECT_FALSE(q.erase(7).has_value());
+}
+
+TEST(SkipQueueErase, EraseTheCurrentMinimum) {
+  SkipQueue<int, int> q;
+  for (int k : {10, 20, 30}) q.insert(k, k);
+  EXPECT_TRUE(q.erase(10).has_value());
+  EXPECT_EQ(q.delete_min()->first, 20);
+}
+
+TEST(SkipQueueContains, ReflectsMembership) {
+  SkipQueue<int, int> q;
+  EXPECT_FALSE(q.contains(5));
+  q.insert(5, 5);
+  EXPECT_TRUE(q.contains(5));
+  EXPECT_FALSE(q.contains(4));
+  q.erase(5);
+  EXPECT_FALSE(q.contains(5));
+}
+
+TEST(SkipQueueContains, SeesHighLevelNodes) {
+  SkipQueue<int, int> q;
+  for (int k = 0; k < 500; ++k) q.insert(k, k);
+  for (int k = 0; k < 500; k += 37) EXPECT_TRUE(q.contains(k)) << k;
+  EXPECT_FALSE(q.contains(1000));
+}
+
+TEST(SkipQueuePeek, PeekDoesNotRemove) {
+  SkipQueue<int, int> q;
+  EXPECT_FALSE(q.peek_min().has_value());
+  q.insert(9, 90);
+  q.insert(4, 40);
+  auto top = q.peek_min();
+  ASSERT_TRUE(top.has_value());
+  EXPECT_EQ(top->first, 4);
+  EXPECT_EQ(top->second, 40);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.delete_min()->first, 4);
+}
+
+TEST(SkipQueueErase, MixedWithDeleteMinAgainstModel) {
+  SkipQueue<std::uint64_t, std::uint64_t> q;
+  std::map<std::uint64_t, std::uint64_t> model;
+  slpq::detail::Xoshiro256 rng(64);
+  for (int step = 0; step < 20000; ++step) {
+    switch (rng.below(4)) {
+      case 0:
+      case 1: {
+        const auto k = rng.below(4000);
+        q.insert(k, step);
+        model[k] = static_cast<std::uint64_t>(step);
+        break;
+      }
+      case 2: {
+        const auto got = q.delete_min();
+        if (model.empty()) {
+          ASSERT_FALSE(got.has_value());
+        } else {
+          ASSERT_TRUE(got.has_value());
+          ASSERT_EQ(got->first, model.begin()->first);
+          model.erase(model.begin());
+        }
+        break;
+      }
+      case 3: {
+        const auto k = rng.below(4000);
+        const auto got = q.erase(k);
+        const auto it = model.find(k);
+        ASSERT_EQ(got.has_value(), it != model.end()) << "key " << k;
+        if (got) {
+          ASSERT_EQ(*got, it->second);
+          model.erase(it);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(q.size(), model.size());
+  }
+}
+
+TEST(SkipQueueErase, ConcurrentEraseClaimsAreUnique) {
+  SkipQueue<int, int> q;
+  constexpr int kItems = 3000;
+  for (int i = 0; i < kItems; ++i) q.insert(i, i);
+
+  constexpr int kThreads = 8;
+  std::atomic<int> erased{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      // Everyone tries to erase every key; each key dies exactly once.
+      for (int i = 0; i < kItems; ++i)
+        if (q.erase(i)) erased.fetch_add(1);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(erased.load(), kItems);
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_FALSE(q.delete_min().has_value());
+}
+
+TEST(SkipQueueErase, ConcurrentEraseAndDeleteMinPartitionItems) {
+  SkipQueue<int, int> q;
+  constexpr int kItems = 4000;
+  for (int i = 0; i < kItems; ++i) q.insert(i, i);
+
+  std::atomic<int> via_erase{0}, via_delete_min{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {  // erasers sweep even keys
+      for (int i = 0; i < kItems; i += 2)
+        if (q.erase(i)) via_erase.fetch_add(1);
+    });
+    workers.emplace_back([&] {  // drainers take whatever is minimal
+      while (q.delete_min()) via_delete_min.fetch_add(1);
+    });
+  }
+  for (auto& w : workers) w.join();
+  int leftovers = 0;
+  while (q.delete_min()) ++leftovers;
+  EXPECT_EQ(via_erase.load() + via_delete_min.load() + leftovers, kItems);
+}
+
+TEST(SkipQueueErase, EraseWhileInsertInProgressWaits) {
+  // erase() of a key whose insert is mid-flight must block on the node
+  // lock (paper: "to make sure it is not in the process of being
+  // inserted") — meaning after both finish, the key is really gone.
+  SkipQueue<int, int> q;
+  constexpr int kRounds = 2000;
+  std::atomic<int> erased{0};
+  std::thread inserter([&] {
+    for (int i = 0; i < kRounds; ++i) q.insert(i, i);
+  });
+  std::thread eraser([&] {
+    for (int i = 0; i < kRounds; ++i)
+      if (q.erase(i)) erased.fetch_add(1);
+  });
+  inserter.join();
+  eraser.join();
+  int drained = 0;
+  while (q.delete_min()) ++drained;
+  EXPECT_EQ(erased.load() + drained, kRounds);
+}

@@ -1,0 +1,126 @@
+#include "slpq/ts_reclaimer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using slpq::TimestampReclaimer;
+
+namespace {
+struct Tracker {
+  std::atomic<int> freed{0};
+  std::function<void(void*)> deleter() {
+    return [this](void* p) {
+      ++freed;
+      ::operator delete(p);
+    };
+  }
+};
+}  // namespace
+
+TEST(TimestampReclaimer, RetiredNodesFreeWhenNobodyInside) {
+  Tracker tracker;
+  {
+    TimestampReclaimer r(tracker.deleter());
+    {
+      TimestampReclaimer::Guard g(r);
+      for (int i = 0; i < TimestampReclaimer::kCollectEvery + 5; ++i)
+        r.retire(::operator new(16));
+    }
+    // Another pass with nobody else inside collects the backlog.
+    {
+      TimestampReclaimer::Guard g(r);
+      r.retire(::operator new(16));
+    }
+    const int slot = r.register_thread();
+    r.collect(slot);
+    EXPECT_GT(tracker.freed.load(), 0);
+  }
+  // Destructor drains the rest.
+  EXPECT_EQ(tracker.freed.load(), TimestampReclaimer::kCollectEvery + 6);
+}
+
+TEST(TimestampReclaimer, HoldsNodesWhileAnotherThreadIsInside) {
+  Tracker tracker;
+  TimestampReclaimer r(tracker.deleter());
+
+  std::atomic<bool> inside{false}, release{false};
+  std::thread holder([&] {
+    TimestampReclaimer::Guard g(r);
+    inside.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!inside.load()) std::this_thread::yield();
+
+  // Retire after the holder entered: its stamp exceeds the holder's entry
+  // time, so collection must not free it yet.
+  {
+    TimestampReclaimer::Guard g(r);
+    r.retire(::operator new(16));
+  }
+  r.collect(r.register_thread());
+  EXPECT_EQ(tracker.freed.load(), 0);
+
+  release.store(true);
+  holder.join();
+  r.collect(r.register_thread());
+  EXPECT_EQ(tracker.freed.load(), 1);
+}
+
+TEST(TimestampReclaimer, OldestEntryTracksGuards) {
+  Tracker tracker;
+  TimestampReclaimer r(tracker.deleter());
+  EXPECT_EQ(r.oldest_entry(), TimestampReclaimer::kNeverEntered);
+  {
+    TimestampReclaimer::Guard g(r);
+    EXPECT_EQ(r.oldest_entry(), g.entry_time());
+  }
+  EXPECT_EQ(r.oldest_entry(), TimestampReclaimer::kNeverEntered);
+}
+
+TEST(TimestampReclaimer, ClockIsMonotonic) {
+  Tracker tracker;
+  TimestampReclaimer r(tracker.deleter());
+  auto prev = r.advance_clock();
+  for (int i = 0; i < 100; ++i) {
+    const auto next = r.advance_clock();
+    EXPECT_GT(next, prev);
+    prev = next;
+  }
+}
+
+TEST(TimestampReclaimer, TwoInstancesGetIndependentSlots) {
+  Tracker t1, t2;
+  TimestampReclaimer a(t1.deleter());
+  TimestampReclaimer b(t2.deleter());
+  EXPECT_EQ(a.register_thread(), 0);
+  EXPECT_EQ(b.register_thread(), 0);
+  {
+    TimestampReclaimer::Guard ga(a);
+    // b is untouched by a's guard.
+    EXPECT_EQ(b.oldest_entry(), TimestampReclaimer::kNeverEntered);
+  }
+}
+
+TEST(TimestampReclaimer, ManyThreadsChurnWithoutLeaks) {
+  Tracker tracker;
+  std::atomic<int> retired{0};
+  {
+    TimestampReclaimer r(tracker.deleter());
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 8; ++t) {
+      workers.emplace_back([&] {
+        for (int i = 0; i < 500; ++i) {
+          TimestampReclaimer::Guard g(r);
+          r.retire(::operator new(8));
+          ++retired;
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    EXPECT_GT(r.freed_total(), 0u) << "amortized collection never ran";
+  }
+  EXPECT_EQ(tracker.freed.load(), retired.load());
+}

@@ -1,0 +1,166 @@
+// pqsim — command-line driver for the simulated-machine benchmark.
+//
+// Runs the paper's synthetic workload for any structure / machine
+// configuration without recompiling, prints the latency table, an ASCII
+// chart for sweeps, and optionally a CSV.
+//
+//   pqsim --structure skip --procs 64 --ops 20000 --initial 1000
+//   pqsim --structure heap,skip,funnel --sweep --max-procs 128 --csv out.csv
+//
+// Flags:
+//   --structure LIST   comma list of: skip, relaxed, tts, heap, funnel
+//   --procs N          processor count (ignored with --sweep)
+//   --sweep            sweep processors 1,2,4,..,--max-procs
+//   --max-procs N      sweep limit (default 256)
+//   --ops N            total operations (default 20000)
+//   --initial N        initial elements (default 1000)
+//   --insert-ratio F   P(insert) (default 0.5)
+//   --work N           local work cycles between ops (default 100)
+//   --seed N           RNG seed (default 1)
+//   --max-level N      skiplist max level (default 16)
+//   --no-gc            disable the garbage-collection processor
+//   --pad-nodes        line-align skiplist nodes
+//   --no-occupancy     disable directory hot-spot queueing
+//   --csv PATH         also write results as CSV
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/ascii_chart.hpp"
+#include "harness/report.hpp"
+#include "harness/workload.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "pqsim: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: pqsim [--structure skip,relaxed,tts,heap,funnel]\n"
+               "             [--procs N | --sweep [--max-procs N]]\n"
+               "             [--ops N] [--initial N] [--insert-ratio F]\n"
+               "             [--work N] [--seed N] [--max-level N]\n"
+               "             [--no-gc] [--pad-nodes] [--no-occupancy]\n"
+               "             [--csv PATH]\n");
+  std::exit(2);
+}
+
+harness::QueueKind parse_kind(const std::string& s) {
+  if (s == "skip") return harness::QueueKind::SkipQueue;
+  if (s == "relaxed") return harness::QueueKind::RelaxedSkipQueue;
+  if (s == "tts") return harness::QueueKind::TTSSkipQueue;
+  if (s == "heap") return harness::QueueKind::HuntHeap;
+  if (s == "funnel") return harness::QueueKind::FunnelList;
+  usage(("unknown structure '" + s + "'").c_str());
+}
+
+std::vector<harness::QueueKind> parse_kinds(const std::string& list) {
+  std::vector<harness::QueueKind> out;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const auto comma = list.find(',', start);
+    const auto token = list.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!token.empty()) out.push_back(parse_kind(token));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (out.empty()) usage("empty --structure list");
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<harness::QueueKind> kinds = {harness::QueueKind::SkipQueue};
+  harness::BenchmarkConfig base;
+  base.total_ops = 20000;
+  base.initial_size = 1000;
+  bool sweep = false;
+  int procs = 32;
+  int max_procs = 256;
+  std::string csv_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--structure") kinds = parse_kinds(next());
+    else if (arg == "--procs") procs = std::atoi(next());
+    else if (arg == "--sweep") sweep = true;
+    else if (arg == "--max-procs") max_procs = std::atoi(next());
+    else if (arg == "--ops") base.total_ops = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--initial") base.initial_size = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--insert-ratio") base.insert_ratio = std::atof(next());
+    else if (arg == "--work") base.work_cycles = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--seed") base.seed = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--max-level") base.max_level = std::atoi(next());
+    else if (arg == "--no-gc") base.use_gc = false;
+    else if (arg == "--pad-nodes") base.pad_nodes = true;
+    else if (arg == "--no-occupancy") base.machine.model_dir_occupancy = false;
+    else if (arg == "--csv") csv_path = next();
+    else if (arg == "--help" || arg == "-h") usage();
+    else usage(("unknown flag '" + arg + "'").c_str());
+  }
+  if (procs < 1 || max_procs < 1) usage("processor counts must be >= 1");
+  if (base.insert_ratio < 0.0 || base.insert_ratio > 1.0)
+    usage("--insert-ratio must be in [0, 1]");
+
+  std::vector<int> proc_list;
+  if (sweep) {
+    for (int p = 1; p <= max_procs; p *= 2) proc_list.push_back(p);
+  } else {
+    proc_list.push_back(procs);
+  }
+
+  harness::Table table;
+  table.title = "pqsim: " + std::to_string(base.total_ops) + " ops, init " +
+                std::to_string(base.initial_size) + ", " +
+                harness::fmt(base.insert_ratio * 100) + "% inserts, work " +
+                std::to_string(base.work_cycles);
+  table.columns = {"structure", "procs",      "insert",  "delete_min",
+                   "p99 ins",   "p99 del",    "empties", "final size"};
+
+  std::vector<double> xs(proc_list.begin(), proc_list.end());
+  std::vector<harness::ChartSeries> del_series, ins_series;
+
+  for (auto kind : kinds) {
+    harness::ChartSeries ds{harness::to_string(kind), {}};
+    harness::ChartSeries is{harness::to_string(kind), {}};
+    for (int p : proc_list) {
+      harness::BenchmarkConfig cfg = base;
+      cfg.kind = kind;
+      cfg.processors = p;
+      std::fprintf(stderr, "[pqsim] %s procs=%d ...\n",
+                   harness::to_string(kind), p);
+      const auto r = harness::run_benchmark(cfg);
+      table.add_row({harness::to_string(kind), std::to_string(p),
+                     harness::fmt(r.mean_insert()), harness::fmt(r.mean_delete()),
+                     std::to_string(r.insert_latency.quantile(0.99)),
+                     std::to_string(r.delete_latency.quantile(0.99)),
+                     std::to_string(r.empties), std::to_string(r.final_size)});
+      ds.ys.push_back(r.mean_delete());
+      is.ys.push_back(r.mean_insert());
+    }
+    del_series.push_back(std::move(ds));
+    ins_series.push_back(std::move(is));
+  }
+
+  print_table(std::cout, table);
+  if (sweep && proc_list.size() > 1) {
+    harness::ChartOptions copt;
+    copt.title = "\ndelete-min latency";
+    std::cout << render_chart(xs, del_series, copt);
+    copt.title = "\ninsert latency";
+    std::cout << render_chart(xs, ins_series, copt);
+  }
+  if (!csv_path.empty()) {
+    write_csv(csv_path, table);
+    std::cout << "[csv written to " << csv_path << "]\n";
+  }
+  return 0;
+}
