@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dir_occupancy.dir/ablation_dir_occupancy.cpp.o"
+  "CMakeFiles/ablation_dir_occupancy.dir/ablation_dir_occupancy.cpp.o.d"
+  "ablation_dir_occupancy"
+  "ablation_dir_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dir_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_funnel_width.dir/ablation_funnel_width.cpp.o"
+  "CMakeFiles/ablation_funnel_width.dir/ablation_funnel_width.cpp.o.d"
+  "ablation_funnel_width"
+  "ablation_funnel_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_funnel_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

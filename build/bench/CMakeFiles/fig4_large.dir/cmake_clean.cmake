@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_large.dir/fig4_large.cpp.o"
+  "CMakeFiles/fig4_large.dir/fig4_large.cpp.o.d"
+  "fig4_large"
+  "fig4_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

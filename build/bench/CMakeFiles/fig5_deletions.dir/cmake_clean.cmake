@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_deletions.dir/fig5_deletions.cpp.o"
+  "CMakeFiles/fig5_deletions.dir/fig5_deletions.cpp.o.d"
+  "fig5_deletions"
+  "fig5_deletions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_deletions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

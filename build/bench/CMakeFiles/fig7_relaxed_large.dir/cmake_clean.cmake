@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_relaxed_large.dir/fig7_relaxed_large.cpp.o"
+  "CMakeFiles/fig7_relaxed_large.dir/fig7_relaxed_large.cpp.o.d"
+  "fig7_relaxed_large"
+  "fig7_relaxed_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_relaxed_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_relaxed_70del.dir/fig8_relaxed_70del.cpp.o"
+  "CMakeFiles/fig8_relaxed_70del.dir/fig8_relaxed_70del.cpp.o.d"
+  "fig8_relaxed_70del"
+  "fig8_relaxed_70del.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_relaxed_70del.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_queues.dir/native_queues.cpp.o"
+  "CMakeFiles/native_queues.dir/native_queues.cpp.o.d"
+  "native_queues"
+  "native_queues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

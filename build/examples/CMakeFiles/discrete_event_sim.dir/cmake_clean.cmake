@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discrete_event_sim.dir/discrete_event_sim.cpp.o"
+  "CMakeFiles/discrete_event_sim.dir/discrete_event_sim.cpp.o.d"
+  "discrete_event_sim"
+  "discrete_event_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discrete_event_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

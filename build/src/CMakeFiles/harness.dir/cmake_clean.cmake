@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness.dir/harness/ascii_chart.cpp.o"
+  "CMakeFiles/harness.dir/harness/ascii_chart.cpp.o.d"
+  "CMakeFiles/harness.dir/harness/report.cpp.o"
+  "CMakeFiles/harness.dir/harness/report.cpp.o.d"
+  "CMakeFiles/harness.dir/harness/workload.cpp.o"
+  "CMakeFiles/harness.dir/harness/workload.cpp.o.d"
+  "libharness.a"
+  "libharness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  "ASM"
+  )
+# The set of files for implicit dependencies of each language:
+set(CMAKE_DEPENDS_CHECK_ASM
+  "/root/repo/src/sim/fiber_x86_64.S" "/root/repo/build/src/CMakeFiles/psim.dir/sim/fiber_x86_64.S.o"
+  )
+set(CMAKE_ASM_COMPILER_ID "GNU")
+
+# Preprocessor definitions for this target.
+set(CMAKE_TARGET_DEFINITIONS_ASM
+  "PSIM_FIBER_FCONTEXT=1"
+  )
+
+# The include file search paths:
+set(CMAKE_ASM_TARGET_INCLUDE_PATH
+  "/root/repo/src"
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/psim.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/psim.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/fiber.cpp" "src/CMakeFiles/psim.dir/sim/fiber.cpp.o" "gcc" "src/CMakeFiles/psim.dir/sim/fiber.cpp.o.d"
+  "/root/repo/src/sim/fiber_fcontext.cpp" "src/CMakeFiles/psim.dir/sim/fiber_fcontext.cpp.o" "gcc" "src/CMakeFiles/psim.dir/sim/fiber_fcontext.cpp.o.d"
+  "/root/repo/src/sim/memory.cpp" "src/CMakeFiles/psim.dir/sim/memory.cpp.o" "gcc" "src/CMakeFiles/psim.dir/sim/memory.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/psim.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/psim.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/sim/sync.cpp" "src/CMakeFiles/psim.dir/sim/sync.cpp.o" "gcc" "src/CMakeFiles/psim.dir/sim/sync.cpp.o.d"
+  "/root/repo/src/sim/topology.cpp" "src/CMakeFiles/psim.dir/sim/topology.cpp.o" "gcc" "src/CMakeFiles/psim.dir/sim/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/slpq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

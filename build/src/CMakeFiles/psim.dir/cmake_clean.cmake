@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psim.dir/sim/engine.cpp.o"
+  "CMakeFiles/psim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/psim.dir/sim/fiber.cpp.o"
+  "CMakeFiles/psim.dir/sim/fiber.cpp.o.d"
+  "CMakeFiles/psim.dir/sim/fiber_fcontext.cpp.o"
+  "CMakeFiles/psim.dir/sim/fiber_fcontext.cpp.o.d"
+  "CMakeFiles/psim.dir/sim/fiber_x86_64.S.o"
+  "CMakeFiles/psim.dir/sim/memory.cpp.o"
+  "CMakeFiles/psim.dir/sim/memory.cpp.o.d"
+  "CMakeFiles/psim.dir/sim/stats.cpp.o"
+  "CMakeFiles/psim.dir/sim/stats.cpp.o.d"
+  "CMakeFiles/psim.dir/sim/sync.cpp.o"
+  "CMakeFiles/psim.dir/sim/sync.cpp.o.d"
+  "CMakeFiles/psim.dir/sim/topology.cpp.o"
+  "CMakeFiles/psim.dir/sim/topology.cpp.o.d"
+  "libpsim.a"
+  "libpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/psim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simq/garbage.cpp" "src/CMakeFiles/simq.dir/simq/garbage.cpp.o" "gcc" "src/CMakeFiles/simq.dir/simq/garbage.cpp.o.d"
+  "/root/repo/src/simq/sim_funnel_list.cpp" "src/CMakeFiles/simq.dir/simq/sim_funnel_list.cpp.o" "gcc" "src/CMakeFiles/simq.dir/simq/sim_funnel_list.cpp.o.d"
+  "/root/repo/src/simq/sim_hunt_heap.cpp" "src/CMakeFiles/simq.dir/simq/sim_hunt_heap.cpp.o" "gcc" "src/CMakeFiles/simq.dir/simq/sim_hunt_heap.cpp.o.d"
+  "/root/repo/src/simq/sim_skipqueue.cpp" "src/CMakeFiles/simq.dir/simq/sim_skipqueue.cpp.o" "gcc" "src/CMakeFiles/simq.dir/simq/sim_skipqueue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/psim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/slpq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simq.dir/simq/garbage.cpp.o"
+  "CMakeFiles/simq.dir/simq/garbage.cpp.o.d"
+  "CMakeFiles/simq.dir/simq/sim_funnel_list.cpp.o"
+  "CMakeFiles/simq.dir/simq/sim_funnel_list.cpp.o.d"
+  "CMakeFiles/simq.dir/simq/sim_hunt_heap.cpp.o"
+  "CMakeFiles/simq.dir/simq/sim_hunt_heap.cpp.o.d"
+  "CMakeFiles/simq.dir/simq/sim_skipqueue.cpp.o"
+  "CMakeFiles/simq.dir/simq/sim_skipqueue.cpp.o.d"
+  "libsimq.a"
+  "libsimq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

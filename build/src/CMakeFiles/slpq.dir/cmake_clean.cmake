@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slpq.dir/slpq/version.cpp.o"
+  "CMakeFiles/slpq.dir/slpq/version.cpp.o.d"
+  "libslpq.a"
+  "libslpq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slpq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/CMakeFiles/slpq.dir/slpq/version.cpp.o: \
+ /root/repo/src/slpq/version.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/slpq/version.hpp

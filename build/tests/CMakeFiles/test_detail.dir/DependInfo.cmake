@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/detail/test_bitset.cpp" "tests/CMakeFiles/test_detail.dir/detail/test_bitset.cpp.o" "gcc" "tests/CMakeFiles/test_detail.dir/detail/test_bitset.cpp.o.d"
+  "/root/repo/tests/detail/test_histogram.cpp" "tests/CMakeFiles/test_detail.dir/detail/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/test_detail.dir/detail/test_histogram.cpp.o.d"
+  "/root/repo/tests/detail/test_indexed_min_heap.cpp" "tests/CMakeFiles/test_detail.dir/detail/test_indexed_min_heap.cpp.o" "gcc" "tests/CMakeFiles/test_detail.dir/detail/test_indexed_min_heap.cpp.o.d"
+  "/root/repo/tests/detail/test_pairing_heap.cpp" "tests/CMakeFiles/test_detail.dir/detail/test_pairing_heap.cpp.o" "gcc" "tests/CMakeFiles/test_detail.dir/detail/test_pairing_heap.cpp.o.d"
+  "/root/repo/tests/detail/test_random.cpp" "tests/CMakeFiles/test_detail.dir/detail/test_random.cpp.o" "gcc" "tests/CMakeFiles/test_detail.dir/detail/test_random.cpp.o.d"
+  "/root/repo/tests/detail/test_spinlock.cpp" "tests/CMakeFiles/test_detail.dir/detail/test_spinlock.cpp.o" "gcc" "tests/CMakeFiles/test_detail.dir/detail/test_spinlock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/slpq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detail.dir/detail/test_bitset.cpp.o"
+  "CMakeFiles/test_detail.dir/detail/test_bitset.cpp.o.d"
+  "CMakeFiles/test_detail.dir/detail/test_histogram.cpp.o"
+  "CMakeFiles/test_detail.dir/detail/test_histogram.cpp.o.d"
+  "CMakeFiles/test_detail.dir/detail/test_indexed_min_heap.cpp.o"
+  "CMakeFiles/test_detail.dir/detail/test_indexed_min_heap.cpp.o.d"
+  "CMakeFiles/test_detail.dir/detail/test_pairing_heap.cpp.o"
+  "CMakeFiles/test_detail.dir/detail/test_pairing_heap.cpp.o.d"
+  "CMakeFiles/test_detail.dir/detail/test_random.cpp.o"
+  "CMakeFiles/test_detail.dir/detail/test_random.cpp.o.d"
+  "CMakeFiles/test_detail.dir/detail/test_spinlock.cpp.o"
+  "CMakeFiles/test_detail.dir/detail/test_spinlock.cpp.o.d"
+  "test_detail"
+  "test_detail.pdb"
+  "test_detail[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_engine.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_engine.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_engine.cpp.o.d"
+  "/root/repo/tests/sim/test_fiber.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_fiber.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_fiber.cpp.o.d"
+  "/root/repo/tests/sim/test_memory.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_memory.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_memory.cpp.o.d"
+  "/root/repo/tests/sim/test_memory_fuzz.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_memory_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_memory_fuzz.cpp.o.d"
+  "/root/repo/tests/sim/test_sync.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_sync.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_sync.cpp.o.d"
+  "/root/repo/tests/sim/test_topology.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_topology.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_topology.cpp.o.d"
+  "/root/repo/tests/sim/test_trace.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_trace.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/slpq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

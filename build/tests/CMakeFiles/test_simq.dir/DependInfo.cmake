@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simq/test_garbage.cpp" "tests/CMakeFiles/test_simq.dir/simq/test_garbage.cpp.o" "gcc" "tests/CMakeFiles/test_simq.dir/simq/test_garbage.cpp.o.d"
+  "/root/repo/tests/simq/test_sim_funnel_list.cpp" "tests/CMakeFiles/test_simq.dir/simq/test_sim_funnel_list.cpp.o" "gcc" "tests/CMakeFiles/test_simq.dir/simq/test_sim_funnel_list.cpp.o.d"
+  "/root/repo/tests/simq/test_sim_hunt_heap.cpp" "tests/CMakeFiles/test_simq.dir/simq/test_sim_hunt_heap.cpp.o" "gcc" "tests/CMakeFiles/test_simq.dir/simq/test_sim_hunt_heap.cpp.o.d"
+  "/root/repo/tests/simq/test_sim_skipqueue.cpp" "tests/CMakeFiles/test_simq.dir/simq/test_sim_skipqueue.cpp.o" "gcc" "tests/CMakeFiles/test_simq.dir/simq/test_sim_skipqueue.cpp.o.d"
+  "/root/repo/tests/simq/test_sim_skipqueue_erase.cpp" "tests/CMakeFiles/test_simq.dir/simq/test_sim_skipqueue_erase.cpp.o" "gcc" "tests/CMakeFiles/test_simq.dir/simq/test_sim_skipqueue_erase.cpp.o.d"
+  "/root/repo/tests/simq/test_sim_skipqueue_options.cpp" "tests/CMakeFiles/test_simq.dir/simq/test_sim_skipqueue_options.cpp.o" "gcc" "tests/CMakeFiles/test_simq.dir/simq/test_sim_skipqueue_options.cpp.o.d"
+  "/root/repo/tests/simq/test_spec_compliance.cpp" "tests/CMakeFiles/test_simq.dir/simq/test_spec_compliance.cpp.o" "gcc" "tests/CMakeFiles/test_simq.dir/simq/test_spec_compliance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/slpq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simq.dir/simq/test_garbage.cpp.o"
+  "CMakeFiles/test_simq.dir/simq/test_garbage.cpp.o.d"
+  "CMakeFiles/test_simq.dir/simq/test_sim_funnel_list.cpp.o"
+  "CMakeFiles/test_simq.dir/simq/test_sim_funnel_list.cpp.o.d"
+  "CMakeFiles/test_simq.dir/simq/test_sim_hunt_heap.cpp.o"
+  "CMakeFiles/test_simq.dir/simq/test_sim_hunt_heap.cpp.o.d"
+  "CMakeFiles/test_simq.dir/simq/test_sim_skipqueue.cpp.o"
+  "CMakeFiles/test_simq.dir/simq/test_sim_skipqueue.cpp.o.d"
+  "CMakeFiles/test_simq.dir/simq/test_sim_skipqueue_erase.cpp.o"
+  "CMakeFiles/test_simq.dir/simq/test_sim_skipqueue_erase.cpp.o.d"
+  "CMakeFiles/test_simq.dir/simq/test_sim_skipqueue_options.cpp.o"
+  "CMakeFiles/test_simq.dir/simq/test_sim_skipqueue_options.cpp.o.d"
+  "CMakeFiles/test_simq.dir/simq/test_spec_compliance.cpp.o"
+  "CMakeFiles/test_simq.dir/simq/test_spec_compliance.cpp.o.d"
+  "test_simq"
+  "test_simq.pdb"
+  "test_simq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/slpq/test_concurrent_stress.cpp" "tests/CMakeFiles/test_slpq.dir/slpq/test_concurrent_stress.cpp.o" "gcc" "tests/CMakeFiles/test_slpq.dir/slpq/test_concurrent_stress.cpp.o.d"
+  "/root/repo/tests/slpq/test_funnel_list.cpp" "tests/CMakeFiles/test_slpq.dir/slpq/test_funnel_list.cpp.o" "gcc" "tests/CMakeFiles/test_slpq.dir/slpq/test_funnel_list.cpp.o.d"
+  "/root/repo/tests/slpq/test_global_lock_pq.cpp" "tests/CMakeFiles/test_slpq.dir/slpq/test_global_lock_pq.cpp.o" "gcc" "tests/CMakeFiles/test_slpq.dir/slpq/test_global_lock_pq.cpp.o.d"
+  "/root/repo/tests/slpq/test_hunt_heap.cpp" "tests/CMakeFiles/test_slpq.dir/slpq/test_hunt_heap.cpp.o" "gcc" "tests/CMakeFiles/test_slpq.dir/slpq/test_hunt_heap.cpp.o.d"
+  "/root/repo/tests/slpq/test_lock_free_skip_queue.cpp" "tests/CMakeFiles/test_slpq.dir/slpq/test_lock_free_skip_queue.cpp.o" "gcc" "tests/CMakeFiles/test_slpq.dir/slpq/test_lock_free_skip_queue.cpp.o.d"
+  "/root/repo/tests/slpq/test_skip_list_map.cpp" "tests/CMakeFiles/test_slpq.dir/slpq/test_skip_list_map.cpp.o" "gcc" "tests/CMakeFiles/test_slpq.dir/slpq/test_skip_list_map.cpp.o.d"
+  "/root/repo/tests/slpq/test_skip_queue.cpp" "tests/CMakeFiles/test_slpq.dir/slpq/test_skip_queue.cpp.o" "gcc" "tests/CMakeFiles/test_slpq.dir/slpq/test_skip_queue.cpp.o.d"
+  "/root/repo/tests/slpq/test_skip_queue_erase.cpp" "tests/CMakeFiles/test_slpq.dir/slpq/test_skip_queue_erase.cpp.o" "gcc" "tests/CMakeFiles/test_slpq.dir/slpq/test_skip_queue_erase.cpp.o.d"
+  "/root/repo/tests/slpq/test_ts_reclaimer.cpp" "tests/CMakeFiles/test_slpq.dir/slpq/test_ts_reclaimer.cpp.o" "gcc" "tests/CMakeFiles/test_slpq.dir/slpq/test_ts_reclaimer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/slpq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slpq.dir/slpq/test_concurrent_stress.cpp.o"
+  "CMakeFiles/test_slpq.dir/slpq/test_concurrent_stress.cpp.o.d"
+  "CMakeFiles/test_slpq.dir/slpq/test_funnel_list.cpp.o"
+  "CMakeFiles/test_slpq.dir/slpq/test_funnel_list.cpp.o.d"
+  "CMakeFiles/test_slpq.dir/slpq/test_global_lock_pq.cpp.o"
+  "CMakeFiles/test_slpq.dir/slpq/test_global_lock_pq.cpp.o.d"
+  "CMakeFiles/test_slpq.dir/slpq/test_hunt_heap.cpp.o"
+  "CMakeFiles/test_slpq.dir/slpq/test_hunt_heap.cpp.o.d"
+  "CMakeFiles/test_slpq.dir/slpq/test_lock_free_skip_queue.cpp.o"
+  "CMakeFiles/test_slpq.dir/slpq/test_lock_free_skip_queue.cpp.o.d"
+  "CMakeFiles/test_slpq.dir/slpq/test_skip_list_map.cpp.o"
+  "CMakeFiles/test_slpq.dir/slpq/test_skip_list_map.cpp.o.d"
+  "CMakeFiles/test_slpq.dir/slpq/test_skip_queue.cpp.o"
+  "CMakeFiles/test_slpq.dir/slpq/test_skip_queue.cpp.o.d"
+  "CMakeFiles/test_slpq.dir/slpq/test_skip_queue_erase.cpp.o"
+  "CMakeFiles/test_slpq.dir/slpq/test_skip_queue_erase.cpp.o.d"
+  "CMakeFiles/test_slpq.dir/slpq/test_ts_reclaimer.cpp.o"
+  "CMakeFiles/test_slpq.dir/slpq/test_ts_reclaimer.cpp.o.d"
+  "test_slpq"
+  "test_slpq.pdb"
+  "test_slpq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slpq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_detail[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_simq[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_slpq[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pqsim.dir/pqsim.cpp.o"
+  "CMakeFiles/pqsim.dir/pqsim.cpp.o.d"
+  "pqsim"
+  "pqsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pqsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pqsim.
+# This may be replaced when dependencies are built.
