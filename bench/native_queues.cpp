@@ -16,12 +16,18 @@
 #include "slpq/global_lock_pq.hpp"
 #include "slpq/hunt_heap.hpp"
 #include "slpq/lock_free_skip_queue.hpp"
+#include "slpq/multi_queue.hpp"
 #include "slpq/skip_queue.hpp"
 
 namespace {
 
 constexpr std::uint64_t kKeySpace = 1 << 20;
-constexpr std::size_t kPrefill = 1024;
+// Prefill scales with the widest ->Threads(n) variant so the per-thread
+// working set stays constant as the thread count grows (a fixed prefill
+// would make the 4-thread runs hit empty far more often than 1-thread).
+constexpr int kMaxBenchThreads = 4;
+constexpr std::size_t kPrefillPerThread = 1024;
+constexpr std::size_t kPrefill = kPrefillPerThread * kMaxBenchThreads;
 
 template <typename Queue>
 void mixed_ops(benchmark::State& state, Queue& q) {
@@ -80,6 +86,19 @@ void BM_LockFreeSkipQueue_Mixed(benchmark::State& state) {
 }
 BENCHMARK(BM_LockFreeSkipQueue_Mixed)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
 
+void BM_MultiQueue_Mixed(benchmark::State& state) {
+  static slpq::MultiQueue<std::int64_t, int>& q = *[] {
+    slpq::MultiQueue<std::int64_t, int>::Options opt;
+    opt.max_threads = kMaxBenchThreads;
+    auto* fresh = new slpq::MultiQueue<std::int64_t, int>(opt);
+    prefill(*fresh);
+    fresh->flush();
+    return fresh;
+  }();
+  mixed_ops(state, q);
+}
+BENCHMARK(BM_MultiQueue_Mixed)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+
 void BM_HuntHeap_Mixed(benchmark::State& state) {
   static slpq::HuntHeap<std::int64_t, int>& q = *[] {
     auto* fresh = new slpq::HuntHeap<std::int64_t, int>(1 << 22);
@@ -123,6 +142,84 @@ void BM_SkipQueue_Insert(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SkipQueue_Insert);
+
+// Pooled vs. heap allocation on the insert hot path. The pool serves
+// nodes from a per-thread bump/free-list arena; NoPool takes the same
+// code path but falls through to operator new for every node.
+void BM_SkipQueue_InsertNoPool(benchmark::State& state) {
+  slpq::SkipQueue<std::int64_t, int>::Options opt;
+  opt.pooled = false;
+  slpq::SkipQueue<std::int64_t, int> q(opt);
+  slpq::detail::Xoshiro256 rng(3);
+  for (auto _ : state)
+    q.insert(static_cast<std::int64_t>(rng.below(1ULL << 40)), 1);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SkipQueue_InsertNoPool);
+
+void BM_LockFreeSkipQueue_Insert(benchmark::State& state) {
+  slpq::LockFreeSkipQueue<std::int64_t, int> q;
+  slpq::detail::Xoshiro256 rng(3);
+  for (auto _ : state)
+    q.insert(static_cast<std::int64_t>(rng.below(1ULL << 40)), 1);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LockFreeSkipQueue_Insert);
+
+void BM_LockFreeSkipQueue_InsertNoPool(benchmark::State& state) {
+  slpq::LockFreeSkipQueue<std::int64_t, int>::Options opt;
+  opt.pooled = false;
+  slpq::LockFreeSkipQueue<std::int64_t, int> q(opt);
+  slpq::detail::Xoshiro256 rng(3);
+  for (auto _ : state)
+    q.insert(static_cast<std::int64_t>(rng.below(1ULL << 40)), 1);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LockFreeSkipQueue_InsertNoPool);
+
+// Steady-state churn: every iteration inserts one item and deletes one,
+// so each node completes an allocate → retire → recycle round trip. This
+// is the pool's target regime — the insert-only benches above mostly
+// measure the ever-growing search path, not allocation.
+template <typename Queue>
+void churn(benchmark::State& state, Queue& q) {
+  slpq::detail::Xoshiro256 rng(11);
+  for (std::size_t i = 0; i < kPrefill; ++i)
+    q.insert(static_cast<std::int64_t>(rng.below(kKeySpace)), 1);
+  for (auto _ : state) {
+    q.insert(static_cast<std::int64_t>(rng.below(kKeySpace)), 1);
+    benchmark::DoNotOptimize(q.delete_min());
+  }
+  state.SetItemsProcessed(2 * state.iterations());
+}
+
+void BM_SkipQueue_Churn(benchmark::State& state) {
+  slpq::SkipQueue<std::int64_t, int> q;
+  churn(state, q);
+}
+BENCHMARK(BM_SkipQueue_Churn);
+
+void BM_SkipQueue_ChurnNoPool(benchmark::State& state) {
+  slpq::SkipQueue<std::int64_t, int>::Options opt;
+  opt.pooled = false;
+  slpq::SkipQueue<std::int64_t, int> q(opt);
+  churn(state, q);
+}
+BENCHMARK(BM_SkipQueue_ChurnNoPool);
+
+void BM_LockFreeSkipQueue_Churn(benchmark::State& state) {
+  slpq::LockFreeSkipQueue<std::int64_t, int> q;
+  churn(state, q);
+}
+BENCHMARK(BM_LockFreeSkipQueue_Churn);
+
+void BM_LockFreeSkipQueue_ChurnNoPool(benchmark::State& state) {
+  slpq::LockFreeSkipQueue<std::int64_t, int>::Options opt;
+  opt.pooled = false;
+  slpq::LockFreeSkipQueue<std::int64_t, int> q(opt);
+  churn(state, q);
+}
+BENCHMARK(BM_LockFreeSkipQueue_ChurnNoPool);
 
 void BM_SkipQueue_DeleteMin(benchmark::State& state) {
   slpq::SkipQueue<std::int64_t, int> q;

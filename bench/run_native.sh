@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Runs the google-benchmark native-queue microbenchmarks and records the
+# results as JSON under bench_results/.
+#
+#   bench/run_native.sh [build-dir] [extra benchmark args...]
+#
+# The build dir defaults to ./build; anything after it is passed straight
+# to the benchmark binary (e.g. --benchmark_filter=MultiQueue).
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+[ $# -gt 0 ] && shift
+
+bin="$build_dir/bench/native_queues"
+if [ ! -x "$bin" ]; then
+  echo "run_native.sh: $bin not found — build it first:" >&2
+  echo "  cmake --build $build_dir --target native_queues" >&2
+  exit 1
+fi
+
+out_dir="$repo_root/bench_results"
+mkdir -p "$out_dir"
+out="$out_dir/BENCH_native.json"
+
+# Write to a .tmp first so an interrupted run never leaves a torn JSON.
+"$bin" --benchmark_format=json --benchmark_out_format=json \
+       --benchmark_out="$out.tmp" "$@" > /dev/null
+mv "$out.tmp" "$out"
+echo "wrote $out"

@@ -11,10 +11,18 @@
 // also the standard "lazy deletion" formulation — stale queue entries are
 // simply skipped).
 //
-//   $ ./examples/parallel_sssp [threads] [vertices] [degree]
+// The open list is pluggable: the exact LockFreeSkipQueue (default) or the
+// relaxed slpq::MultiQueue. Relaxation is safe for label-correcting SSSP —
+// popping out of order only costs extra re-settles, never correctness —
+// and the MultiQueue's contract (a handle always sees its own buffered
+// inserts, and delete_min flushes + sweeps every shard before reporting
+// empty) keeps the idle-count termination protocol sound.
+//
+//   $ ./examples/parallel_sssp [threads] [vertices] [degree] [lockfree|multiqueue]
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <queue>
 #include <thread>
@@ -22,6 +30,7 @@
 
 #include "slpq/detail/random.hpp"
 #include "slpq/lock_free_skip_queue.hpp"
+#include "slpq/multi_queue.hpp"
 
 namespace {
 
@@ -68,25 +77,17 @@ std::vector<long> dijkstra_reference(const Graph& g, int source) {
   return dist;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const int threads = argc > 1 ? std::atoi(argv[1]) : 4;
-  const int vertices = argc > 2 ? std::atoi(argv[2]) : 20000;
-  const int degree = argc > 3 ? std::atoi(argv[3]) : 4;
+/// Runs the label-correcting workers against any queue exposing
+/// insert(key, value) and delete_min() -> optional<pair>.
+template <typename Queue>
+void solve(Queue& open, const Graph& g, std::vector<std::atomic<long>>& dist,
+           int threads) {
   constexpr int kSource = 0;
-  constexpr long kInf = std::numeric_limits<long>::max();
-
-  const Graph g = random_graph(vertices, degree, 99);
-
-  // (distance << 20 | vertex) keys keep entries unique and ordered by
-  // distance first; weights <= 100 and |V| <= 2^20 keep this exact.
-  slpq::LockFreeSkipQueue<long, int> open;
-  std::vector<std::atomic<long>> dist(static_cast<std::size_t>(vertices));
-  for (auto& d : dist) d.store(kInf, std::memory_order_relaxed);
-
   dist[kSource].store(0);
   open.insert(0, kSource);
+  // A buffered queue parks the seed in this (non-worker) thread's handle;
+  // publish it so the workers can see it.
+  if constexpr (requires { open.flush(); }) open.flush();
 
   std::atomic<int> idle{0};
   auto worker = [&] {
@@ -128,6 +129,39 @@ int main(int argc, char** argv) {
   std::vector<std::thread> pool;
   for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
   for (auto& t : pool) t.join();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int threads = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int vertices = argc > 2 ? std::atoi(argv[2]) : 20000;
+  const int degree = argc > 3 ? std::atoi(argv[3]) : 4;
+  const char* queue_name = argc > 4 ? argv[4] : "lockfree";
+  constexpr int kSource = 0;
+  constexpr long kInf = std::numeric_limits<long>::max();
+
+  const Graph g = random_graph(vertices, degree, 99);
+
+  // (distance << 20 | vertex) keys keep entries unique and ordered by
+  // distance first; weights <= 100 and |V| <= 2^20 keep this exact.
+  std::vector<std::atomic<long>> dist(static_cast<std::size_t>(vertices));
+  for (auto& d : dist) d.store(kInf, std::memory_order_relaxed);
+
+  if (std::strcmp(queue_name, "lockfree") == 0) {
+    slpq::LockFreeSkipQueue<long, int> open;
+    solve(open, g, dist, threads);
+  } else if (std::strcmp(queue_name, "multiqueue") == 0) {
+    slpq::MultiQueue<long, int>::Options opt;
+    opt.max_threads = threads;
+    slpq::MultiQueue<long, int> open(opt);
+    solve(open, g, dist, threads);
+  } else {
+    std::fprintf(stderr,
+                 "unknown queue '%s' (expected lockfree or multiqueue)\n",
+                 queue_name);
+    return 2;
+  }
 
   const auto reference = dijkstra_reference(g, kSource);
   long mismatches = 0;
@@ -142,8 +176,8 @@ int main(int argc, char** argv) {
     if (got != reference[static_cast<std::size_t>(v)]) ++mismatches;
   }
 
-  std::printf("parallel SSSP on %d vertices (degree %d), %d threads\n",
-              vertices, degree, threads);
+  std::printf("parallel SSSP on %d vertices (degree %d), %d threads, %s queue\n",
+              vertices, degree, threads, queue_name);
   std::printf("  reachable vertices : %ld\n", reachable);
   std::printf("  distance checksum  : %lld\n", checksum);
   std::printf("  vs sequential ref  : %s (%ld mismatches)\n",

@@ -11,6 +11,7 @@
 #include "sim/sync.hpp"
 #include "simq/sim_funnel_list.hpp"
 #include "simq/sim_hunt_heap.hpp"
+#include "simq/sim_multi_queue.hpp"
 #include "simq/sim_skipqueue.hpp"
 
 namespace harness {
@@ -95,6 +96,30 @@ class HuntHeapAdapter final : public QueueAdapter {
   simq::SimHuntHeap q_;
 };
 
+class MultiQueueAdapter final : public QueueAdapter {
+ public:
+  MultiQueueAdapter(psim::Engine& eng, const BenchmarkConfig& cfg)
+      : q_(eng, make_options(cfg)) {}
+
+  static simq::SimMultiQueue::Options make_options(const BenchmarkConfig& cfg) {
+    simq::SimMultiQueue::Options o;
+    o.c = cfg.mq_c;
+    o.stickiness = cfg.mq_stickiness;
+    o.seed = cfg.seed;
+    return o;
+  }
+
+  void seed(Key key, Value value) override { q_.seed(key, value); }
+  void insert(Cpu& cpu, Key key, Value value) override {
+    q_.insert(cpu, key, value);
+  }
+  bool delete_min(Cpu& cpu) override { return q_.delete_min(cpu).has_value(); }
+  std::size_t final_size() const override { return q_.size_raw(); }
+
+ private:
+  simq::SimMultiQueue q_;
+};
+
 class FunnelListAdapter final : public QueueAdapter {
  public:
   FunnelListAdapter(psim::Engine& eng, const BenchmarkConfig& cfg)
@@ -134,6 +159,8 @@ std::unique_ptr<QueueAdapter> make_queue(psim::Engine& eng,
       return std::make_unique<HuntHeapAdapter>(eng, cfg);
     case QueueKind::FunnelList:
       return std::make_unique<FunnelListAdapter>(eng, cfg);
+    case QueueKind::MultiQueue:
+      return std::make_unique<MultiQueueAdapter>(eng, cfg);
   }
   throw std::invalid_argument("unknown QueueKind");
 }
@@ -154,6 +181,7 @@ const char* to_string(QueueKind kind) {
     case QueueKind::HuntHeap: return "Heap";
     case QueueKind::FunnelList: return "FunnelList";
     case QueueKind::TTSSkipQueue: return "TTSSkipQueue";
+    case QueueKind::MultiQueue: return "MultiQueue";
   }
   return "?";
 }

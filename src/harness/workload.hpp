@@ -20,6 +20,7 @@ enum class QueueKind {
   HuntHeap,          ///< Hunt et al. concurrent heap
   FunnelList,        ///< combining-funnel sorted list
   TTSSkipQueue,      ///< ablation: SkipQueue with spin locks (see bench/)
+  MultiQueue,        ///< relaxed c-way sharded queue (Williams & Sanders)
 };
 
 const char* to_string(QueueKind kind);
@@ -42,6 +43,8 @@ struct BenchmarkConfig {
   bool pad_nodes = false;          ///< ablation: line-align skiplist nodes
   int funnel_width = 0;            ///< 0 = auto (processors / 4)
   int funnel_layers = 2;
+  int mq_c = 2;                    ///< MultiQueue shards per processor
+  int mq_stickiness = 8;           ///< MultiQueue sticky-op budget
 
   psim::MachineConfig machine;     ///< timing model (processor count is overridden)
 };

@@ -1,0 +1,131 @@
+#include "simq/sim_multi_queue.hpp"
+
+#include <cassert>
+
+namespace simq {
+
+SimMultiQueue::Shard::Shard(psim::Engine& eng)
+    // One line-aligned simulated line per shard: the lock word and the
+    // published top share the shard's private line (fine: both belong to
+    // whoever holds the shard), while distinct shards never false-share.
+    : base(eng.memory().alloc_line()),
+      lock(eng, base),
+      top(base + 8, kEmptyTop) {}
+
+SimMultiQueue::SimMultiQueue(psim::Engine& eng, Options opt)
+    : eng_(eng), opt_(opt) {
+  if (opt_.c < 1) opt_.c = 1;
+  if (opt_.stickiness < 1) opt_.stickiness = 1;
+  const int procs = eng.config().processors;
+  const std::size_t n =
+      static_cast<std::size_t>(opt_.c) * static_cast<std::size_t>(procs);
+  shards_.reserve(n < 2 ? 2 : n);
+  for (std::size_t i = 0; i < (n < 2 ? 2 : n); ++i)
+    shards_.push_back(std::make_unique<Shard>(eng));
+  cpus_.resize(static_cast<std::size_t>(procs));
+  slpq::detail::SplitMix64 sm(opt_.seed);
+  for (auto& st : cpus_) st.rng = slpq::detail::Xoshiro256(sm.next());
+}
+
+void SimMultiQueue::publish(Cpu& cpu, Shard& s) {
+  cpu.write(s.top, s.heap.empty() ? kEmptyTop : s.heap.min_key());
+}
+
+SimMultiQueue::Shard& SimMultiQueue::pick_insert_shard(Cpu& cpu,
+                                                       CpuState& st) {
+  const std::size_t n = shards_.size();
+  for (int attempt = 0;; ++attempt) {
+    if (st.ins_stick <= 0) {
+      st.ins_shard = static_cast<std::size_t>(st.rng.below(n));
+      st.ins_stick = opt_.stickiness;
+    }
+    Shard& s = *shards_[st.ins_shard];
+    if (attempt >= 8) {  // bounded fallback so we cannot livelock
+      s.lock.lock(cpu);
+      --st.ins_stick;
+      return s;
+    }
+    if (s.lock.try_lock(cpu)) {
+      --st.ins_stick;
+      return s;
+    }
+    st.ins_stick = 0;  // contended: break stickiness, resample
+  }
+}
+
+void SimMultiQueue::insert(Cpu& cpu, Key key, Value value) {
+  CpuState& st = cpus_[static_cast<std::size_t>(cpu.id())];
+  Shard& s = pick_insert_shard(cpu, st);
+  s.heap.push(key, value);
+  publish(cpu, s);
+  s.lock.unlock(cpu);
+}
+
+std::optional<std::pair<Key, Value>> SimMultiQueue::delete_min(Cpu& cpu) {
+  CpuState& st = cpus_[static_cast<std::size_t>(cpu.id())];
+  const std::size_t n = shards_.size();
+
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    if (st.del_stick <= 0) {
+      // 2-choice sampling on the published tops (two timed reads).
+      const auto a = static_cast<std::size_t>(st.rng.below(n));
+      const auto b = static_cast<std::size_t>(st.rng.below(n));
+      const Key ka = cpu.read(shards_[a]->top);
+      const Key kb = cpu.read(shards_[b]->top);
+      st.del_shard = kb < ka ? b : a;
+      st.del_stick = opt_.stickiness;
+    }
+    Shard& s = *shards_[st.del_shard];
+    if (cpu.read(s.top) == kEmptyTop) {
+      st.del_stick = 0;
+      continue;
+    }
+    if (!s.lock.try_lock(cpu)) {
+      st.del_stick = 0;
+      continue;
+    }
+    --st.del_stick;
+    if (s.heap.empty()) {  // raced with another consumer
+      publish(cpu, s);
+      s.lock.unlock(cpu);
+      st.del_stick = 0;
+      continue;
+    }
+    auto out = s.heap.pop();
+    publish(cpu, s);
+    s.lock.unlock(cpu);
+    return out;
+  }
+
+  // Sampling kept missing: deterministic sweep before reporting empty.
+  for (std::size_t i = 0; i < n; ++i) {
+    Shard& s = *shards_[i];
+    if (cpu.read(s.top) == kEmptyTop) continue;
+    s.lock.lock(cpu);
+    if (!s.heap.empty()) {
+      auto out = s.heap.pop();
+      publish(cpu, s);
+      s.lock.unlock(cpu);
+      st.del_shard = i;
+      st.del_stick = opt_.stickiness;
+      return out;
+    }
+    publish(cpu, s);
+    s.lock.unlock(cpu);
+  }
+  return std::nullopt;
+}
+
+void SimMultiQueue::seed(Key key, Value value) {
+  Shard& s = *shards_[seed_rr_++ % shards_.size()];
+  s.heap.push(key, value);
+  s.top.set_raw(s.heap.min_key());
+}
+
+std::size_t SimMultiQueue::size_raw() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) total += s->heap.size();
+  return total;
+}
+
+}  // namespace simq

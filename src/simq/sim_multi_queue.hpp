@@ -1,0 +1,88 @@
+// SimMultiQueue: the MultiQueue relaxed priority queue (Williams & Sanders,
+// "Engineering MultiQueues") on the simulated multiprocessor — the modern
+// endpoint of the paper's Relaxed SkipQueue (Section 5.4), added so pqsim
+// sweeps can compare the paper's structures against the design that
+// ultimately won the relaxation trade.
+//
+// Per shard, the simulated state is one cache line holding the shard's
+// lock word and its published minimum key; the heap payload is host-side
+// (a sequential PairingHeap), because only the *coordination* traffic —
+// lock transfers and top-key reads — is what the timing model needs to
+// charge. Each simulated processor keeps sticky shard indices, exactly as
+// the native slpq::MultiQueue does; the native insertion/deletion buffers
+// are omitted here (they amortize lock work that the simulator charges
+// per-access anyway, and keeping the sim variant buffer-free makes its
+// rank error purely the 2-choice sampling term).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "slpq/detail/pairing_heap.hpp"
+#include "slpq/detail/random.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "simq/sim_skipqueue.hpp"  // Key/Value aliases
+
+namespace simq {
+
+class SimMultiQueue {
+ public:
+  struct Options {
+    int c = 2;           ///< shards per processor
+    int stickiness = 8;  ///< ops on the same shard before resampling
+    std::uint64_t seed = 0x3017A11EULL;
+  };
+
+  SimMultiQueue(psim::Engine& eng, Options opt);
+
+  /// Inserts (key, value) into the calling processor's sticky shard.
+  void insert(Cpu& cpu, Key key, Value value);
+
+  /// Removes some small item (2-choice sampled shard minimum), or nullopt
+  /// after a sweep of all shards found every one empty.
+  std::optional<std::pair<Key, Value>> delete_min(Cpu& cpu);
+
+  // ---- host-side helpers -------------------------------------------------
+  /// Pre-populates before the run (round-robin across shards).
+  void seed(Key key, Value value);
+
+  std::size_t size_raw() const;
+  std::size_t num_shards() const { return shards_.size(); }
+  const Options& options() const { return opt_; }
+
+ private:
+  /// Published-top sentinel: no workload key reaches INT64_MAX.
+  static constexpr Key kEmptyTop = std::numeric_limits<Key>::max();
+
+  struct Shard {
+    explicit Shard(psim::Engine& eng);
+    psim::Addr base;           // start of the shard's private line
+    psim::Mutex lock;          // word 0 of the shard's private line
+    psim::Var<Key> top;        // word 1: published minimum (kEmptyTop = none)
+    slpq::detail::PairingHeap<Key, Value> heap;  // host-side payload
+  };
+
+  struct CpuState {
+    slpq::detail::Xoshiro256 rng{1};
+    std::size_t ins_shard = 0;
+    std::size_t del_shard = 0;
+    int ins_stick = 0;
+    int del_stick = 0;
+  };
+
+  Shard& pick_insert_shard(Cpu& cpu, CpuState& st);
+  void publish(Cpu& cpu, Shard& s);
+
+  psim::Engine& eng_;
+  Options opt_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<CpuState> cpus_;
+  std::size_t seed_rr_ = 0;  // round-robin cursor for host-side seeding
+};
+
+}  // namespace simq

@@ -1,0 +1,222 @@
+// NodePool: a per-thread, size-classed free-list arena for skiplist nodes.
+//
+// Profiling the native queues shows `::operator new` / `delete` dominating
+// the insert hot path: every insert allocates a variable-size node (header
+// + level array) and every reclaimed node goes back to the global
+// allocator, whose lock and page-level bookkeeping serialize otherwise
+// independent threads. This pool removes that bottleneck:
+//
+//  * allocation carves 64 KiB slabs and hands out size-classed blocks from
+//    a per-thread cache — no synchronization on the fast path at all;
+//  * freed blocks return to the *freeing* thread's cache (with the
+//    TimestampReclaimer both allocation and the deferred free run on the
+//    thread that owns the operation, so lists stay thread-private);
+//  * a spin-locked per-class overflow list rebalances producer/consumer
+//    workloads where one thread only inserts and another only deletes;
+//  * blocks larger than the largest size class (level > ~60 nodes, i.e.
+//    essentially never) fall through to the global allocator.
+//
+// Reclaimer-awareness: the pool itself never decides when a node is dead —
+// it is the deleter *target* of TimestampReclaimer, which only frees a
+// node after every thread that could observe it has left the structure.
+// Address reuse therefore preserves the queues' ABA argument unchanged: a
+// pooled address recycles no earlier than an operator-new address would
+// have.
+//
+// Lifetime: the pool must outlive every block allocated from it; the
+// queues declare it as their first member so it is destroyed last. The
+// destructor frees whole slabs; individual blocks need not be returned.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <unordered_map>
+#include <vector>
+
+#include "slpq/detail/cache_line.hpp"
+#include "slpq/detail/spinlock.hpp"
+
+namespace slpq::detail {
+
+class NodePool {
+ public:
+  static constexpr int kMaxThreads = 256;  // matches TimestampReclaimer
+  static constexpr std::size_t kGranularity = 16;  ///< size-class step
+  static constexpr std::size_t kMaxClasses = 64;   ///< pools blocks <= 1 KiB
+  static constexpr std::size_t kSlabBytes = 1 << 16;
+  static constexpr std::size_t kMaxLocalFree = 128;  ///< per class, per thread
+
+  NodePool() = default;
+  ~NodePool() {
+    for (void* slab : slabs_)
+      ::operator delete(slab, std::align_val_t{kGranularity});
+  }
+
+  NodePool(const NodePool&) = delete;
+  NodePool& operator=(const NodePool&) = delete;
+
+  /// Returns a block of at least `bytes` bytes, aligned to kGranularity
+  /// (16). Callers with stricter alignment must bypass the pool.
+  void* allocate(std::size_t bytes) {
+    const std::size_t cls = class_of(bytes);
+    if (cls >= kMaxClasses) {
+      oversize_.fetch_add(1, std::memory_order_relaxed);
+      return ::operator new(bytes, std::align_val_t{kGranularity});
+    }
+    ThreadCache& tc = cache();
+    if (FreeBlock* b = tc.free[cls]) {
+      tc.free[cls] = b->next;
+      --tc.count[cls];
+      reused_.fetch_add(1, std::memory_order_relaxed);
+      return b;
+    }
+    if (refill_from_shared(tc, cls)) {
+      FreeBlock* b = tc.free[cls];
+      tc.free[cls] = b->next;
+      --tc.count[cls];
+      reused_.fetch_add(1, std::memory_order_relaxed);
+      return b;
+    }
+    return carve(tc, block_size(cls));
+  }
+
+  /// Returns a block obtained from allocate(bytes) with the same size.
+  void deallocate(void* p, std::size_t bytes) noexcept {
+    const std::size_t cls = class_of(bytes);
+    if (cls >= kMaxClasses) {
+      ::operator delete(p, std::align_val_t{kGranularity});
+      return;
+    }
+    ThreadCache& tc = cache();
+    auto* b = static_cast<FreeBlock*>(p);
+    b->next = tc.free[cls];
+    tc.free[cls] = b;
+    if (++tc.count[cls] > kMaxLocalFree) spill_to_shared(tc, cls);
+  }
+
+  /// Blocks served from a free list instead of a fresh slab carve.
+  std::uint64_t reused() const {
+    return reused_.load(std::memory_order_relaxed);
+  }
+
+  /// Total slab bytes requested from the system allocator.
+  std::uint64_t slab_bytes() const {
+    return slab_bytes_.load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t oversize_allocs() const {
+    return oversize_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct FreeBlock {
+    FreeBlock* next;
+  };
+
+  struct ThreadCache {
+    std::array<FreeBlock*, kMaxClasses> free{};
+    std::array<std::uint32_t, kMaxClasses> count{};
+    char* bump = nullptr;
+    char* bump_end = nullptr;
+  };
+
+  struct SharedClass {
+    TinySpinLock lock;
+    FreeBlock* head = nullptr;
+    std::uint32_t count = 0;
+  };
+
+  static constexpr std::size_t class_of(std::size_t bytes) noexcept {
+    return (bytes + kGranularity - 1) / kGranularity;  // class 0 unused
+  }
+  static constexpr std::size_t block_size(std::size_t cls) noexcept {
+    return cls * kGranularity;
+  }
+
+  /// Per (thread, pool-instance) cache, same id-keyed scheme as
+  /// TimestampReclaimer::register_thread (immune to instance address reuse).
+  ThreadCache& cache() {
+    struct Cached {
+      std::uint64_t id = 0;
+      ThreadCache* tc = nullptr;
+    };
+    thread_local Cached hot;
+    if (hot.id == id_) return *hot.tc;
+    thread_local std::unordered_map<std::uint64_t, int> slots;
+    auto [it, inserted] = slots.try_emplace(id_, -1);
+    if (inserted) {
+      it->second = next_slot_.fetch_add(1, std::memory_order_relaxed);
+      assert(it->second < kMaxThreads && "too many threads for NodePool");
+    }
+    hot = {id_, &caches_[static_cast<std::size_t>(it->second)].value};
+    return *hot.tc;
+  }
+
+  bool refill_from_shared(ThreadCache& tc, std::size_t cls) {
+    SharedClass& sc = shared_[cls].value;
+    if (sc.count == 0) return false;  // racy peek; a miss just carves
+    std::lock_guard<TinySpinLock> g(sc.lock);
+    if (!sc.head) return false;
+    // Take the whole overflow list; it is bounded by spill granularity.
+    tc.free[cls] = sc.head;
+    tc.count[cls] = sc.count;
+    sc.head = nullptr;
+    sc.count = 0;
+    return true;
+  }
+
+  void spill_to_shared(ThreadCache& tc, std::size_t cls) {
+    // Detach half of the local list and donate it.
+    const std::uint32_t keep = static_cast<std::uint32_t>(kMaxLocalFree / 2);
+    FreeBlock* last = tc.free[cls];
+    for (std::uint32_t i = 1; i < keep; ++i) last = last->next;
+    FreeBlock* donated = last->next;
+    last->next = nullptr;
+    const std::uint32_t donated_count = tc.count[cls] - keep;
+    tc.count[cls] = keep;
+    FreeBlock* donated_last = donated;
+    while (donated_last->next) donated_last = donated_last->next;
+    SharedClass& sc = shared_[cls].value;
+    std::lock_guard<TinySpinLock> g(sc.lock);
+    donated_last->next = sc.head;
+    sc.head = donated;
+    sc.count += donated_count;
+  }
+
+  void* carve(ThreadCache& tc, std::size_t bytes) {
+    if (static_cast<std::size_t>(tc.bump_end - tc.bump) < bytes) {
+      void* slab = ::operator new(kSlabBytes, std::align_val_t{kGranularity});
+      {
+        std::lock_guard<TinySpinLock> g(slabs_lock_);
+        slabs_.push_back(slab);
+      }
+      slab_bytes_.fetch_add(kSlabBytes, std::memory_order_relaxed);
+      tc.bump = static_cast<char*>(slab);
+      tc.bump_end = tc.bump + kSlabBytes;
+    }
+    void* out = tc.bump;
+    tc.bump += bytes;
+    return out;
+  }
+
+  static std::uint64_t next_instance_id() noexcept {
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const std::uint64_t id_ = next_instance_id();
+  std::atomic<int> next_slot_{0};
+  std::atomic<std::uint64_t> reused_{0};
+  std::atomic<std::uint64_t> slab_bytes_{0};
+  std::atomic<std::uint64_t> oversize_{0};
+  std::array<Padded<ThreadCache>, kMaxThreads> caches_;
+  std::array<Padded<SharedClass>, kMaxClasses + 1> shared_;
+  TinySpinLock slabs_lock_;
+  std::vector<void*> slabs_;
+};
+
+}  // namespace slpq::detail

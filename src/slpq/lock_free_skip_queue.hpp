@@ -41,6 +41,7 @@
 #include <optional>
 #include <utility>
 
+#include "slpq/detail/node_pool.hpp"
 #include "slpq/detail/random.hpp"
 #include "slpq/ts_reclaimer.hpp"
 
@@ -53,6 +54,7 @@ class LockFreeSkipQueue {
     int max_level = 20;
     double p = 0.5;
     bool timestamps = true;  ///< false => relaxed semantics (Section 5.4)
+    bool pooled = true;      ///< allocate nodes from a per-thread NodePool
     std::uint64_t seed = 0x10CFEE1ULL;
   };
 
@@ -62,10 +64,12 @@ class LockFreeSkipQueue {
       : opt_(opt),
         cmp_(std::move(cmp)),
         level_dist_(opt.p, opt.max_level),
-        reclaimer_([](void* p) { Node::destroy(static_cast<Node*>(p)); }) {
+        reclaimer_([this](void* p) {
+          Node::destroy(static_cast<Node*>(p), pool_ptr());
+        }) {
     assert(opt_.max_level >= 1 && opt_.max_level <= kMaxPossibleLevel);
-    head_ = Node::make(opt_.max_level, NodeKind::Head);
-    tail_ = Node::make(opt_.max_level, NodeKind::Tail);
+    head_ = Node::make(pool_ptr(), opt_.max_level, NodeKind::Head);
+    tail_ = Node::make(pool_ptr(), opt_.max_level, NodeKind::Tail);
     head_->claimed.store(true, std::memory_order_relaxed);
     tail_->claimed.store(true, std::memory_order_relaxed);
     head_->stamp.store(kNeverStamped, std::memory_order_relaxed);
@@ -78,11 +82,11 @@ class LockFreeSkipQueue {
     Node* n = strip(head_->next(0).load(std::memory_order_relaxed));
     while (n != tail_) {
       Node* next = strip(n->next(0).load(std::memory_order_relaxed));
-      Node::destroy(n);
+      Node::destroy(n, pool_ptr());
       n = next;
     }
-    Node::destroy(head_);
-    Node::destroy(tail_);
+    Node::destroy(head_, pool_ptr());
+    Node::destroy(tail_, pool_ptr());
   }
 
   LockFreeSkipQueue(const LockFreeSkipQueue&) = delete;
@@ -94,7 +98,7 @@ class LockFreeSkipQueue {
     TimestampReclaimer::Guard guard(reclaimer_);
 
     const int top = random_level();
-    Node* n = Node::make(top, NodeKind::Interior, key, value);
+    Node* n = Node::make(pool_ptr(), top, NodeKind::Interior, key, value);
     if (opt_.timestamps)
       n->stamp.store(kNeverStamped, std::memory_order_relaxed);
 
@@ -204,6 +208,8 @@ class LockFreeSkipQueue {
   }
   bool empty() const noexcept { return size() == 0; }
   std::uint64_t reclaimed() const { return reclaimer_.freed_total(); }
+  /// Nodes whose allocation was served from the pool's free lists.
+  std::uint64_t pool_reused() const { return pool_.reused(); }
   const Options& options() const noexcept { return opt_; }
 
  private:
@@ -225,11 +231,23 @@ class LockFreeSkipQueue {
     Value& value() noexcept { return *reinterpret_cast<Value*>(value_buf); }
     std::atomic<std::uintptr_t>& next(int lv) noexcept { return next_[lv]; }
 
-    static Node* make(int level, NodeKind kind) {
-      const std::size_t bytes =
-          sizeof(Node) +
-          static_cast<std::size_t>(level) * sizeof(std::atomic<std::uintptr_t>);
-      void* raw = ::operator new(bytes, std::align_val_t{alignof(Node)});
+    static std::size_t bytes_for(int level) noexcept {
+      return sizeof(Node) +
+             static_cast<std::size_t>(level) * sizeof(std::atomic<std::uintptr_t>);
+    }
+
+    // A node lives in one allocation (header + level array), served by the
+    // queue's NodePool when enabled and the pool's 16-byte block alignment
+    // suffices for Node.
+    static constexpr bool pool_compatible() noexcept {
+      return alignof(Node) <= detail::NodePool::kGranularity;
+    }
+
+    static Node* make(detail::NodePool* pool, int level, NodeKind kind) {
+      const std::size_t bytes = bytes_for(level);
+      void* raw = pool && pool_compatible()
+                      ? pool->allocate(bytes)
+                      : ::operator new(bytes, std::align_val_t{alignof(Node)});
       Node* n = new (raw) Node();
       n->kind = kind;
       n->level = level;
@@ -240,22 +258,27 @@ class LockFreeSkipQueue {
       return n;
     }
 
-    static Node* make(int level, NodeKind kind, const Key& k, const Value& v) {
-      Node* n = make(level, kind);
+    static Node* make(detail::NodePool* pool, int level, NodeKind kind,
+                      const Key& k, const Value& v) {
+      Node* n = make(pool, level, kind);
       new (&n->key()) Key(k);
       new (&n->value()) Value(v);
       return n;
     }
 
-    static void destroy(Node* n) {
+    static void destroy(Node* n, detail::NodePool* pool) {
       if (n->kind == NodeKind::Interior) {
         n->key().~Key();
         n->value().~Value();
       }
+      const std::size_t bytes = bytes_for(n->level);
       for (int i = 0; i < n->level; ++i)
         n->next_[i].~atomic<std::uintptr_t>();
       n->~Node();
-      ::operator delete(static_cast<void*>(n), std::align_val_t{alignof(Node)});
+      if (pool && pool_compatible())
+        pool->deallocate(static_cast<void*>(n), bytes);
+      else
+        ::operator delete(static_cast<void*>(n), std::align_val_t{alignof(Node)});
     }
   };
 
@@ -346,6 +369,13 @@ class LockFreeSkipQueue {
     reclaimer_.retire(n);
   }
 
+  detail::NodePool* pool_ptr() noexcept {
+    return opt_.pooled ? &pool_ : nullptr;
+  }
+
+  // pool_ is the first member so it is destroyed last: the destructor body
+  // and reclaimer_'s drain both return blocks to it.
+  detail::NodePool pool_;
   Options opt_;
   Compare cmp_;
   detail::GeometricLevel level_dist_;

@@ -1,0 +1,375 @@
+// slpq::MultiQueue — a relaxed concurrent priority queue in the style of
+// Williams, Sanders & Dementiev ("Engineering MultiQueues"), the modern
+// endpoint of the paper's Relaxed SkipQueue idea (Section 5.4): give up
+// strict delete-min in exchange for throughput that scales past any
+// centralized skiplist design.
+//
+// Structure:
+//  * `c * max_threads` sequential sub-queues ("shards"), each a
+//    detail::PairingHeap behind a cache-line-padded test-and-test-and-set
+//    spinlock. The shard also publishes its current minimum key in an
+//    atomic word so other threads can compare shards without locking.
+//  * insert appends to a small per-handle *insertion buffer*; when the
+//    buffer fills (or a delete-min needs the items) the whole buffer is
+//    flushed into one shard under a single lock acquisition.
+//  * delete_min samples two random shards, locks the one whose published
+//    minimum is smaller (2-choice sampling), and pops a small batch into a
+//    per-handle *deletion buffer* that serves subsequent calls without
+//    touching shared state. The caller's own insertion buffer competes
+//    with the deletion buffer, so a thread always sees its own inserts.
+//  * *stickiness*: a handle reuses its last shard for a few consecutive
+//    operations before resampling, which keeps the shard's lock and heap
+//    top in the owner's cache under low contention.
+//
+// Semantics: delete_min returns *some* small element, not necessarily the
+// minimum. The expected rank error of the returned element is O(#shards)
+// from 2-choice sampling plus O(#handles * deletion_buffer) from items
+// held in other threads' buffers — see tests/slpq/test_multi_queue.cpp,
+// which measures the envelope. delete_min returns nullopt only after a
+// full sweep of every shard found nothing and the caller's own buffers
+// are empty; like any relaxed queue, a concurrent inserter's buffered
+// items may be missed (call Handle::flush()/MultiQueue::flush() at
+// phase boundaries when that matters).
+//
+// Threading: operations go through a Handle. The queue keeps one
+// implicitly-created handle per thread for the drop-in insert/delete_min
+// API; explicit handles (make_handle) are for tests and single-threaded
+// multiplexing. A Handle must not be used from two threads at once.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "slpq/detail/cache_line.hpp"
+#include "slpq/detail/pairing_heap.hpp"
+#include "slpq/detail/random.hpp"
+#include "slpq/detail/spinlock.hpp"
+
+namespace slpq {
+
+template <typename Key, typename Value, typename Compare = std::less<Key>>
+class MultiQueue {
+  static_assert(std::is_trivially_copyable_v<Key> && sizeof(Key) <= 8,
+                "MultiQueue publishes shard minima in a single atomic word; "
+                "Key must be trivially copyable and at most 8 bytes");
+
+ public:
+  struct Options {
+    int c = 2;               ///< shards per thread (the paper's c-way factor)
+    int max_threads = 0;     ///< 0 => std::thread::hardware_concurrency()
+    int stickiness = 8;      ///< ops on the same shard before resampling
+    std::size_t insertion_buffer = 8;  ///< inserts batched per lock acquire
+    std::size_t deletion_buffer = 8;   ///< pops batched per lock acquire
+    std::uint64_t seed = 0x3017A11EULL;
+  };
+
+  class Handle;
+
+  MultiQueue() : MultiQueue(Options()) {}
+
+  explicit MultiQueue(Options opt, Compare cmp = Compare())
+      : opt_(sanitize(opt)), cmp_(cmp) {
+    const std::size_t n = static_cast<std::size_t>(opt_.c) *
+                          static_cast<std::size_t>(opt_.max_threads);
+    shard_count_ = n < 2 ? 2 : n;
+    shards_raw_ = ::operator new(shard_count_ * sizeof(PaddedShard),
+                                 std::align_val_t{alignof(PaddedShard)});
+    shards_ = static_cast<PaddedShard*>(shards_raw_);
+    for (std::size_t i = 0; i < shard_count_; ++i)
+      new (&shards_[i]) PaddedShard(cmp_);
+  }
+
+  ~MultiQueue() {
+    for (std::size_t i = 0; i < shard_count_; ++i) shards_[i].~PaddedShard();
+    ::operator delete(shards_raw_, std::align_val_t{alignof(PaddedShard)});
+  }
+
+  MultiQueue(const MultiQueue&) = delete;
+  MultiQueue& operator=(const MultiQueue&) = delete;
+
+  /// A per-thread access point: owns the RNG, stickiness state and the
+  /// insertion/deletion buffers. Created via make_handle() or implicitly
+  /// per thread by the insert/delete_min convenience API.
+  class Handle {
+   public:
+    void insert(const Key& key, const Value& value) { q_->insert(*this, key, value); }
+    std::optional<std::pair<Key, Value>> delete_min() { return q_->delete_min(*this); }
+
+    /// Pushes both buffers back into the shards, making every item this
+    /// handle holds visible to other threads.
+    void flush() { q_->flush(*this); }
+
+   private:
+    friend class MultiQueue;
+    Handle(MultiQueue* q, std::uint64_t seq)
+        : q_(q), rng_(q->opt_.seed + 0x9E3779B97F4A7C15ULL * (seq + 1)) {}
+
+    MultiQueue* q_;
+    detail::Xoshiro256 rng_;
+    std::vector<std::pair<Key, Value>> ibuf_;
+    std::vector<std::pair<Key, Value>> dbuf_;  // ascending; served from dhead_
+    std::size_t dhead_ = 0;
+    std::size_t ins_shard_ = 0;
+    std::size_t del_shard_ = 0;
+    int ins_stick_ = 0;
+    int del_stick_ = 0;
+  };
+
+  /// Creates a new handle owned by the queue (stable address). Handles are
+  /// never reclaimed before the queue itself dies.
+  Handle& make_handle() {
+    std::lock_guard<detail::TinySpinLock> g(handles_lock_);
+    handles_.push_back(std::unique_ptr<Handle>(
+        new Handle(this, static_cast<std::uint64_t>(handles_.size()))));
+    return *handles_.back();
+  }
+
+  // ---- drop-in API (implicit per-thread handle) --------------------------
+  void insert(const Key& key, const Value& value) {
+    insert(local_handle(), key, value);
+  }
+  std::optional<std::pair<Key, Value>> delete_min() {
+    return delete_min(local_handle());
+  }
+  /// Flushes the calling thread's implicit handle.
+  void flush() { flush(local_handle()); }
+
+  // ---- handle-explicit API ----------------------------------------------
+  void insert(Handle& h, const Key& key, const Value& value) {
+    h.ibuf_.emplace_back(key, value);
+    size_.fetch_add(1, std::memory_order_relaxed);
+    if (h.ibuf_.size() >= opt_.insertion_buffer) flush_insertions(h);
+  }
+
+  std::optional<std::pair<Key, Value>> delete_min(Handle& h) {
+    for (;;) {
+      const bool have_d = h.dhead_ < h.dbuf_.size();
+      if (!h.ibuf_.empty()) {
+        // The handle's own pending inserts compete with the deletion
+        // buffer: serve whichever head is smaller.
+        std::size_t mi = 0;
+        for (std::size_t i = 1; i < h.ibuf_.size(); ++i)
+          if (cmp_(h.ibuf_[i].first, h.ibuf_[mi].first)) mi = i;
+        if (!have_d || !cmp_(h.dbuf_[h.dhead_].first, h.ibuf_[mi].first)) {
+          std::pair<Key, Value> out = std::move(h.ibuf_[mi]);
+          h.ibuf_[mi] = std::move(h.ibuf_.back());
+          h.ibuf_.pop_back();
+          size_.fetch_sub(1, std::memory_order_relaxed);
+          return out;
+        }
+      }
+      if (have_d) {
+        std::pair<Key, Value> out = std::move(h.dbuf_[h.dhead_++]);
+        if (h.dhead_ == h.dbuf_.size()) {
+          h.dbuf_.clear();
+          h.dhead_ = 0;
+        }
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        return out;
+      }
+      // Both buffers empty: make pending inserts visible, then refill.
+      flush_insertions(h);
+      if (!refill(h)) return std::nullopt;
+    }
+  }
+
+  void flush(Handle& h) {
+    flush_insertions(h);
+    if (h.dhead_ < h.dbuf_.size()) {
+      Shard& s = lock_shard_for_insert(h);
+      for (std::size_t i = h.dhead_; i < h.dbuf_.size(); ++i)
+        s.heap.push(std::move(h.dbuf_[i].first), std::move(h.dbuf_[i].second));
+      publish(s);
+      s.lock.unlock();
+    }
+    h.dbuf_.clear();
+    h.dhead_ = 0;
+  }
+
+  /// Counts buffered items too; exact only when the queue is quiescent.
+  std::size_t size() const noexcept {
+    const auto s = size_.load(std::memory_order_relaxed);
+    return s < 0 ? 0 : static_cast<std::size_t>(s);
+  }
+  bool empty() const noexcept { return size() == 0; }
+
+  std::size_t num_shards() const noexcept { return shard_count_; }
+  const Options& options() const noexcept { return opt_; }
+
+ private:
+  struct Shard {
+    explicit Shard(const Compare& cmp) : heap(cmp) {}
+    detail::TinySpinLock lock;
+    std::atomic<bool> nonempty{false};
+    std::atomic<Key> top{};
+    detail::PairingHeap<Key, Value, Compare> heap;  // guarded by lock
+  };
+  using PaddedShard = detail::Padded<Shard>;
+
+  static Options sanitize(Options o) {
+    if (o.max_threads <= 0) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      o.max_threads = hw ? static_cast<int>(hw) : 4;
+    }
+    if (o.c < 1) o.c = 1;
+    if (o.stickiness < 1) o.stickiness = 1;
+    if (o.insertion_buffer < 1) o.insertion_buffer = 1;
+    if (o.deletion_buffer < 1) o.deletion_buffer = 1;
+    return o;
+  }
+
+  Shard& shard(std::size_t i) noexcept { return shards_[i].value; }
+
+  /// Re-publishes a shard's minimum after its heap changed. Caller holds
+  /// the shard lock.
+  void publish(Shard& s) noexcept {
+    if (s.heap.empty()) {
+      s.nonempty.store(false, std::memory_order_release);
+    } else {
+      s.top.store(s.heap.min_key(), std::memory_order_relaxed);
+      s.nonempty.store(true, std::memory_order_release);
+    }
+  }
+
+  /// Sticky shard selection for inserts: reuse the last shard while the
+  /// stickiness budget lasts and its lock is uncontended; otherwise pick a
+  /// fresh random shard. Returns with the shard lock held.
+  Shard& lock_shard_for_insert(Handle& h) {
+    for (int attempt = 0;; ++attempt) {
+      if (h.ins_stick_ <= 0) {
+        h.ins_shard_ = static_cast<std::size_t>(h.rng_.below(shard_count_));
+        h.ins_stick_ = opt_.stickiness;
+      }
+      Shard& s = shard(h.ins_shard_);
+      if (s.lock.try_lock()) {
+        --h.ins_stick_;
+        return s;
+      }
+      h.ins_stick_ = 0;  // contended: break stickiness
+      if (attempt >= 8) {
+        s.lock.lock();  // bounded fallback so we cannot livelock
+        --h.ins_stick_;
+        return s;
+      }
+    }
+  }
+
+  void flush_insertions(Handle& h) {
+    if (h.ibuf_.empty()) return;
+    Shard& s = lock_shard_for_insert(h);
+    for (auto& kv : h.ibuf_)
+      s.heap.push(std::move(kv.first), std::move(kv.second));
+    publish(s);
+    s.lock.unlock();
+    h.ibuf_.clear();
+  }
+
+  /// True if shard a's published top beats shard b's (empty shards lose).
+  bool shard_beats(std::size_t a, std::size_t b) {
+    const bool na = shard(a).nonempty.load(std::memory_order_acquire);
+    const bool nb = shard(b).nonempty.load(std::memory_order_acquire);
+    if (na != nb) return na;
+    if (!na) return true;  // both empty: arbitrary
+    const Key ka = shard(a).top.load(std::memory_order_relaxed);
+    const Key kb = shard(b).top.load(std::memory_order_relaxed);
+    return !cmp_(kb, ka);
+  }
+
+  /// Refills the deletion buffer with a batch from one shard (sticky or
+  /// 2-choice sampled). Returns false only after a full sweep of every
+  /// shard found all of them empty.
+  bool refill(Handle& h) {
+    assert(h.dbuf_.empty() && h.ibuf_.empty());
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      if (h.del_stick_ <= 0 ||
+          !shard(h.del_shard_).nonempty.load(std::memory_order_acquire)) {
+        const auto a = static_cast<std::size_t>(h.rng_.below(shard_count_));
+        const auto b = static_cast<std::size_t>(h.rng_.below(shard_count_));
+        h.del_shard_ = shard_beats(a, b) ? a : b;
+        h.del_stick_ = opt_.stickiness;
+      }
+      Shard& s = shard(h.del_shard_);
+      if (!s.nonempty.load(std::memory_order_acquire) || !s.lock.try_lock()) {
+        h.del_stick_ = 0;
+        continue;
+      }
+      --h.del_stick_;
+      if (s.heap.empty()) {  // raced with another consumer
+        s.lock.unlock();
+        h.del_stick_ = 0;
+        continue;
+      }
+      drain_batch(s, h);
+      return true;
+    }
+    // Sampling kept missing: deterministic sweep before reporting empty.
+    for (std::size_t i = 0; i < shard_count_; ++i) {
+      Shard& s = shard(i);
+      if (!s.nonempty.load(std::memory_order_acquire)) continue;
+      s.lock.lock();
+      if (!s.heap.empty()) {
+        drain_batch(s, h);
+        h.del_shard_ = i;
+        h.del_stick_ = opt_.stickiness;
+        return true;
+      }
+      publish(s);
+      s.lock.unlock();
+    }
+    return false;
+  }
+
+  /// Pops up to deletion_buffer items (ascending) into the handle's
+  /// deletion buffer and releases the shard.
+  void drain_batch(Shard& s, Handle& h) {
+    const std::size_t batch = opt_.deletion_buffer;
+    for (std::size_t i = 0; i < batch && !s.heap.empty(); ++i)
+      h.dbuf_.push_back(s.heap.pop());
+    publish(s);
+    s.lock.unlock();
+    h.dhead_ = 0;
+  }
+
+  /// One implicit handle per (thread, queue instance); same id-keyed
+  /// thread_local scheme as TimestampReclaimer::register_thread.
+  Handle& local_handle() {
+    struct Cached {
+      std::uint64_t id = 0;
+      Handle* h = nullptr;
+    };
+    thread_local Cached hot;
+    if (hot.id == id_) return *hot.h;
+    thread_local std::unordered_map<std::uint64_t, Handle*> map;
+    auto [it, inserted] = map.try_emplace(id_, nullptr);
+    if (inserted) it->second = &make_handle();
+    hot = {id_, it->second};
+    return *it->second;
+  }
+
+  static std::uint64_t next_instance_id() noexcept {
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const std::uint64_t id_ = next_instance_id();
+  Options opt_;
+  Compare cmp_;
+  std::size_t shard_count_ = 0;
+  void* shards_raw_ = nullptr;
+  PaddedShard* shards_ = nullptr;
+  std::atomic<std::int64_t> size_{0};
+  detail::TinySpinLock handles_lock_;
+  std::vector<std::unique_ptr<Handle>> handles_;
+};
+
+}  // namespace slpq

@@ -33,6 +33,7 @@
 #include <optional>
 #include <utility>
 
+#include "slpq/detail/node_pool.hpp"
 #include "slpq/detail/random.hpp"
 #include "slpq/detail/spinlock.hpp"
 #include "slpq/ts_reclaimer.hpp"
@@ -46,6 +47,7 @@ class SkipQueue {
     int max_level = 20;      ///< log2 of the expected maximum size
     double p = 0.5;          ///< level promotion probability
     bool timestamps = true;  ///< false => Relaxed SkipQueue (Section 5.4)
+    bool pooled = true;      ///< allocate nodes from a per-thread NodePool
     std::uint64_t seed = 0x51CF5EEDULL;
   };
 
@@ -55,11 +57,13 @@ class SkipQueue {
       : opt_(opt),
         cmp_(std::move(cmp)),
         level_dist_(opt.p, opt.max_level),
-        reclaimer_([](void* p) { Node::destroy(static_cast<Node*>(p)); }) {
+        reclaimer_([this](void* p) {
+          Node::destroy(static_cast<Node*>(p), pool_ptr());
+        }) {
     assert(opt_.max_level >= 1 && opt_.max_level <= kMaxPossibleLevel);
     if (opt_.max_level > kMaxPossibleLevel) opt_.max_level = kMaxPossibleLevel;
-    head_ = Node::make(opt_.max_level, NodeKind::Head);
-    tail_ = Node::make(opt_.max_level, NodeKind::Tail);
+    head_ = Node::make(pool_ptr(), opt_.max_level, NodeKind::Head);
+    tail_ = Node::make(pool_ptr(), opt_.max_level, NodeKind::Tail);
     // Sentinels must never be claimed: a bottom-level scan redirected by a
     // concurrent unlink can step onto the head (see delete_min).
     head_->deleted.store(true, std::memory_order_relaxed);
@@ -76,11 +80,11 @@ class SkipQueue {
     Node* n = head_->levels()[0].next.load(std::memory_order_relaxed);
     while (n != tail_) {
       Node* next = n->levels()[0].next.load(std::memory_order_relaxed);
-      Node::destroy(n);
+      Node::destroy(n, pool_ptr());
       n = next;
     }
-    Node::destroy(head_);
-    Node::destroy(tail_);
+    Node::destroy(head_, pool_ptr());
+    Node::destroy(tail_, pool_ptr());
     // reclaimer_'s destructor drains the retired lists.
   }
 
@@ -105,7 +109,7 @@ class SkipQueue {
     }
 
     const int level = random_level();
-    Node* fresh = Node::make(level, NodeKind::Interior, key, value);
+    Node* fresh = Node::make(pool_ptr(), level, NodeKind::Interior, key, value);
     if (opt_.timestamps)
       fresh->stamp.store(kNeverStamped, std::memory_order_relaxed);
     fresh->node_lock.lock();  // nobody may delete a half-inserted node
@@ -214,6 +218,9 @@ class SkipQueue {
   /// Number of retired nodes already freed (reclamation is working).
   std::uint64_t reclaimed() const { return reclaimer_.freed_total(); }
 
+  /// Nodes whose allocation was served from the pool's free lists.
+  std::uint64_t pool_reused() const { return pool_.reused(); }
+
  private:
   static constexpr int kMaxPossibleLevel = 64;
   static constexpr std::uint64_t kNeverStamped = ~std::uint64_t{0};
@@ -236,11 +243,21 @@ class SkipQueue {
     Value& value() noexcept { return *reinterpret_cast<Value*>(value_buf); }
     Level* levels() noexcept { return levels_; }
 
+    static std::size_t bytes_for(int level) noexcept {
+      return sizeof(Node) + static_cast<std::size_t>(level) * sizeof(Level);
+    }
+
+    static constexpr bool pool_compatible() noexcept {
+      return alignof(Node) <= detail::NodePool::kGranularity;
+    }
+
     /// Single-allocation factory: node header followed by its level array.
-    static Node* make(int level, NodeKind kind) {
-      const std::size_t bytes =
-          sizeof(Node) + static_cast<std::size_t>(level) * sizeof(Level);
-      void* raw = ::operator new(bytes, std::align_val_t{alignof(Node)});
+    /// Served by the queue's NodePool when enabled (Options::pooled).
+    static Node* make(detail::NodePool* pool, int level, NodeKind kind) {
+      const std::size_t bytes = bytes_for(level);
+      void* raw = pool && pool_compatible()
+                      ? pool->allocate(bytes)
+                      : ::operator new(bytes, std::align_val_t{alignof(Node)});
       Node* n = new (raw) Node();
       n->kind = kind;
       n->level = level;
@@ -250,21 +267,26 @@ class SkipQueue {
       return n;
     }
 
-    static Node* make(int level, NodeKind kind, const Key& k, const Value& v) {
-      Node* n = make(level, kind);
+    static Node* make(detail::NodePool* pool, int level, NodeKind kind,
+                      const Key& k, const Value& v) {
+      Node* n = make(pool, level, kind);
       new (&n->key()) Key(k);
       new (&n->value()) Value(v);
       return n;
     }
 
-    static void destroy(Node* n) {
+    static void destroy(Node* n, detail::NodePool* pool) {
       if (n->kind == NodeKind::Interior) {
         n->key().~Key();
         n->value().~Value();
       }
+      const std::size_t bytes = bytes_for(n->level);
       for (int i = 0; i < n->level; ++i) n->levels_[i].~Level();
       n->~Node();
-      ::operator delete(static_cast<void*>(n), std::align_val_t{alignof(Node)});
+      if (pool && pool_compatible())
+        pool->deallocate(static_cast<void*>(n), bytes);
+      else
+        ::operator delete(static_cast<void*>(n), std::align_val_t{alignof(Node)});
     }
   };
 
@@ -366,6 +388,13 @@ class SkipQueue {
     reclaimer_.retire(node2);
   }
 
+  detail::NodePool* pool_ptr() noexcept {
+    return opt_.pooled ? &pool_ : nullptr;
+  }
+
+  // pool_ is the first member so it is destroyed last: the destructor body
+  // and reclaimer_'s drain both return blocks to it.
+  detail::NodePool pool_;
   Options opt_;
   Compare cmp_;
   detail::GeometricLevel level_dist_;

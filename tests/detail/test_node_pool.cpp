@@ -1,0 +1,112 @@
+#include "slpq/detail/node_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using slpq::detail::NodePool;
+
+TEST(NodePool, ReusesFreedBlocks) {
+  NodePool pool;
+  void* a = pool.allocate(96);
+  std::memset(a, 0xAB, 96);
+  pool.deallocate(a, 96);
+  void* b = pool.allocate(96);
+  EXPECT_EQ(a, b);  // same size class, same thread: LIFO reuse
+  EXPECT_EQ(pool.reused(), 1u);
+  pool.deallocate(b, 96);
+}
+
+TEST(NodePool, DistinctSizeClassesDoNotMix) {
+  NodePool pool;
+  void* small = pool.allocate(24);
+  pool.deallocate(small, 24);
+  // 200 bytes lands in a different class; must not return the 24-byte block.
+  void* large = pool.allocate(200);
+  EXPECT_NE(small, large);
+  pool.deallocate(large, 200);
+}
+
+TEST(NodePool, BlocksAreAlignedAndWritable) {
+  NodePool pool;
+  std::vector<std::pair<void*, std::size_t>> blocks;
+  for (std::size_t bytes : {17u, 40u, 64u, 100u, 250u, 500u, 1000u}) {
+    void* p = pool.allocate(bytes);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % NodePool::kGranularity, 0u)
+        << bytes;
+    std::memset(p, 0x5A, bytes);  // ASan catches overlap / short blocks
+    blocks.emplace_back(p, bytes);
+  }
+  for (auto [p, bytes] : blocks) pool.deallocate(p, bytes);
+}
+
+TEST(NodePool, OversizeFallsThroughToHeap) {
+  NodePool pool;
+  const std::size_t big = NodePool::kMaxClasses * NodePool::kGranularity + 8;
+  void* p = pool.allocate(big);
+  std::memset(p, 1, big);
+  pool.deallocate(p, big);
+  EXPECT_EQ(pool.oversize_allocs(), 1u);
+  EXPECT_EQ(pool.slab_bytes(), 0u);  // no slab was needed
+}
+
+TEST(NodePool, SharedOverflowRebalancesAcrossThreads) {
+  // Producer/consumer shape: one thread frees far more than it allocates,
+  // pushing blocks to the shared overflow list; the other thread's
+  // allocations must eventually be served from there instead of new slabs.
+  NodePool pool;
+  constexpr std::size_t kBytes = 128;
+  constexpr int kBlocks = 4096;
+
+  std::vector<void*> blocks;
+  blocks.reserve(kBlocks);
+  for (int i = 0; i < kBlocks; ++i) blocks.push_back(pool.allocate(kBytes));
+
+  std::thread freer([&] {
+    for (void* p : blocks) pool.deallocate(p, kBytes);
+  });
+  freer.join();
+
+  const auto slab_bytes_before = pool.slab_bytes();
+  std::vector<void*> again;
+  again.reserve(kBlocks);
+  for (int i = 0; i < kBlocks; ++i) again.push_back(pool.allocate(kBytes));
+  EXPECT_GT(pool.reused(), 0u);
+  // Most of the demand must be met from the shared overflow. The freer's
+  // private cache may strand up to kMaxLocalFree blocks, so allow the
+  // arena to grow by at most one slab.
+  EXPECT_LE(pool.slab_bytes(), slab_bytes_before + NodePool::kSlabBytes);
+  for (void* p : again) pool.deallocate(p, kBytes);
+}
+
+TEST(NodePool, ManyThreadsAllocateFreeConcurrently) {
+  NodePool pool;
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 2000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&pool, t] {
+      std::vector<std::pair<void*, std::size_t>> live;
+      for (int i = 0; i < kRounds; ++i) {
+        const std::size_t bytes = 32 + 16 * static_cast<std::size_t>((i + t) % 20);
+        void* p = pool.allocate(bytes);
+        std::memset(p, t, bytes);
+        live.emplace_back(p, bytes);
+        if (live.size() > 64) {
+          pool.deallocate(live.front().first, live.front().second);
+          live.erase(live.begin());
+        }
+      }
+      for (auto [p, bytes] : live) pool.deallocate(p, bytes);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_GT(pool.reused(), 0u);
+}
+
+}  // namespace

@@ -55,7 +55,8 @@ INSTANTIATE_TEST_SUITE_P(Kinds, WorkloadAllQueues,
                          ::testing::Values(QueueKind::SkipQueue,
                                            QueueKind::RelaxedSkipQueue,
                                            QueueKind::HuntHeap,
-                                           QueueKind::FunnelList),
+                                           QueueKind::FunnelList,
+                                           QueueKind::MultiQueue),
                          [](const ::testing::TestParamInfo<QueueKind>& info) {
                            return harness::to_string(info.param);
                          });

@@ -1,0 +1,154 @@
+// Concurrent stress for slpq::MultiQueue (ctest label: stress; the tsan
+// CMake preset runs exactly these under ThreadSanitizer).
+//
+// MultiQueue relaxes *ordering*, not *content*: every shard is a
+// lock-protected sequential heap, so a mixed concurrent run must neither
+// lose, duplicate, nor invent items. These tests reuse the
+// test_concurrent_stress.cpp machinery (net-count conservation plus a
+// full-drain comparison) with unique per-item ids so any violation is
+// attributable.
+#include "slpq/multi_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "slpq/detail/random.hpp"
+
+namespace {
+
+using MQ = slpq::MultiQueue<std::int64_t, std::int64_t>;
+
+TEST(MultiQueueStress, MixedOpsConserveNetCount) {
+  MQ::Options opt;
+  opt.max_threads = 8;
+  MQ q(opt);
+  constexpr int kThreads = 8;
+  constexpr int kOps = 20000;
+  std::atomic<long> net{0};
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      slpq::detail::Xoshiro256 rng(static_cast<std::uint64_t>(t) * 7919 + 1);
+      long local = 0;
+      for (int i = 0; i < kOps; ++i) {
+        if (rng.bernoulli(0.5)) {
+          q.insert(static_cast<std::int64_t>(rng.below(1 << 20)), i);
+          ++local;
+        } else if (q.delete_min()) {
+          --local;
+        }
+      }
+      q.flush();  // hand buffered items back before the thread leaves
+      net.fetch_add(local);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(static_cast<long>(q.size()), net.load());
+  long drained = 0;
+  while (q.delete_min()) ++drained;
+  EXPECT_EQ(drained, net.load());
+}
+
+TEST(MultiQueueStress, PerShardContentIsExact) {
+  // Every item carries a globally unique id in its value. After a mixed
+  // concurrent run, {ids deleted concurrently} ∪ {ids drained at the end}
+  // must equal {ids inserted} exactly — the per-shard critical sections
+  // make anything else a lost or duplicated item.
+  MQ::Options opt;
+  opt.max_threads = 8;
+  opt.c = 2;
+  MQ q(opt);
+  constexpr int kThreads = 8;
+  constexpr int kOps = 15000;
+  constexpr std::int64_t kStride = 1 << 20;
+
+  std::vector<std::vector<std::int64_t>> inserted(kThreads);
+  std::vector<std::vector<std::int64_t>> deleted(kThreads);
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      slpq::detail::Xoshiro256 rng(static_cast<std::uint64_t>(t) + 31337);
+      std::int64_t seq = 0;
+      for (int i = 0; i < kOps; ++i) {
+        if (rng.bernoulli(0.6)) {
+          const std::int64_t id = t * kStride + seq++;
+          q.insert(static_cast<std::int64_t>(rng.below(1 << 16)), id);
+          inserted[static_cast<std::size_t>(t)].push_back(id);
+        } else if (auto item = q.delete_min()) {
+          deleted[static_cast<std::size_t>(t)].push_back(item->second);
+        }
+      }
+      q.flush();
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  std::vector<std::int64_t> all_inserted, all_seen;
+  for (const auto& v : inserted)
+    all_inserted.insert(all_inserted.end(), v.begin(), v.end());
+  for (const auto& v : deleted)
+    all_seen.insert(all_seen.end(), v.begin(), v.end());
+  while (auto item = q.delete_min()) all_seen.push_back(item->second);
+
+  std::sort(all_inserted.begin(), all_inserted.end());
+  std::sort(all_seen.begin(), all_seen.end());
+  EXPECT_EQ(all_seen, all_inserted);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(MultiQueueStress, ProducersAndConsumersPipeline) {
+  // Asymmetric roles exercise the shared-overflow path of shard selection:
+  // producers only insert, consumers only delete. Every produced item must
+  // reach exactly one consumer or remain drainable.
+  MQ::Options opt;
+  opt.max_threads = 8;
+  MQ q(opt);
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 20000;
+  std::atomic<long> consumed{0};
+  std::atomic<int> producers_left{kProducers};
+
+  std::vector<std::thread> workers;
+  for (int p = 0; p < kProducers; ++p) {
+    workers.emplace_back([&, p] {
+      slpq::detail::Xoshiro256 rng(static_cast<std::uint64_t>(p) + 17);
+      for (int i = 0; i < kPerProducer; ++i)
+        q.insert(static_cast<std::int64_t>(rng.below(1 << 18)), i);
+      q.flush();
+      producers_left.fetch_sub(1);
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    workers.emplace_back([&] {
+      long local = 0;
+      for (;;) {
+        if (q.delete_min()) {
+          ++local;
+        } else if (producers_left.load() == 0) {
+          break;  // empty observed after all producers flushed
+        } else {
+          std::this_thread::yield();
+        }
+      }
+      consumed.fetch_add(local);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  long drained = 0;
+  while (q.delete_min()) ++drained;
+  EXPECT_EQ(consumed.load() + drained,
+            static_cast<long>(kProducers) * kPerProducer);
+}
+
+}  // namespace

@@ -5,10 +5,11 @@
 // chart for sweeps, and optionally a CSV.
 //
 //   pqsim --structure skip --procs 64 --ops 20000 --initial 1000
-//   pqsim --structure heap,skip,funnel --sweep --max-procs 128 --csv out.csv
+//   pqsim --structure heap,skip,multiqueue --sweep --max-procs 128 --csv out.csv
 //
 // Flags:
-//   --structure LIST   comma list of: skip, relaxed, tts, heap, funnel
+//   --structure LIST   comma list of: skip, relaxed, tts, heap, funnel,
+//                      multiqueue (relaxed c-way sharded queue)
 //   --procs N          processor count (ignored with --sweep)
 //   --sweep            sweep processors 1,2,4,..,--max-procs
 //   --max-procs N      sweep limit (default 256)
@@ -38,7 +39,7 @@ namespace {
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg) std::fprintf(stderr, "pqsim: %s\n", msg);
   std::fprintf(stderr,
-               "usage: pqsim [--structure skip,relaxed,tts,heap,funnel]\n"
+               "usage: pqsim [--structure skip,relaxed,tts,heap,funnel,multiqueue]\n"
                "             [--procs N | --sweep [--max-procs N]]\n"
                "             [--ops N] [--initial N] [--insert-ratio F]\n"
                "             [--work N] [--seed N] [--max-level N]\n"
@@ -53,6 +54,7 @@ harness::QueueKind parse_kind(const std::string& s) {
   if (s == "tts") return harness::QueueKind::TTSSkipQueue;
   if (s == "heap") return harness::QueueKind::HuntHeap;
   if (s == "funnel") return harness::QueueKind::FunnelList;
+  if (s == "multiqueue" || s == "mq") return harness::QueueKind::MultiQueue;
   usage(("unknown structure '" + s + "'").c_str());
 }
 
