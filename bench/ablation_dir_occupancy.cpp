@@ -26,23 +26,22 @@ int main() {
     rows.push_back({std::to_string(procs[i]), "", "", "", ""});
 
   for (bool occupancy : {true, false}) {
-    for (auto kind :
-         {harness::QueueKind::HuntHeap, harness::QueueKind::SkipQueue}) {
+    for (const std::string structure : {"heap", "skip"}) {
       for (std::size_t i = 0; i < procs.size(); ++i) {
         harness::BenchmarkConfig cfg;
-        cfg.kind = kind;
+        cfg.structure = structure;
         cfg.processors = procs[i];
         cfg.initial_size = 1000;
         cfg.total_ops = harness::scaled_ops(20000);
         cfg.machine.model_dir_occupancy = occupancy;
         std::fprintf(stderr, "[bench] occ=%d %s procs=%d ...\n", occupancy,
-                     harness::to_string(kind), procs[i]);
+                     structure.c_str(), procs[i]);
         const auto r = harness::run_benchmark(cfg);
         const std::size_t col =
-            (kind == harness::QueueKind::HuntHeap ? 1u : 2u) +
-            (occupancy ? 0u : 2u);
+            (structure == "heap" ? 1u : 2u) + (occupancy ? 0u : 2u);
         rows[i][col] = harness::fmt(r.mean_delete());
-        csv.add_row({occupancy ? "on" : "off", harness::to_string(kind),
+        csv.add_row({occupancy ? "on" : "off",
+                     figbench::label_of(cfg, structure),
                      std::to_string(procs[i]), harness::fmt(r.mean_insert(), 1),
                      harness::fmt(r.mean_delete(), 1),
                      std::to_string(r.machine_stats.dir_queue_cycles)});

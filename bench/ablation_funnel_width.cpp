@@ -20,7 +20,7 @@ int main() {
   for (int layers : {1, 2, 3}) {
     for (int width : {1, 2, 4, 8, 16, 32}) {
       harness::BenchmarkConfig cfg;
-      cfg.kind = harness::QueueKind::FunnelList;
+      cfg.structure = "funnel";
       cfg.processors = procs;
       cfg.initial_size = 50;
       cfg.total_ops = harness::scaled_ops(20000);

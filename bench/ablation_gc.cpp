@@ -24,7 +24,7 @@ int main() {
   for (bool gc : {true, false}) {
     for (std::size_t i = 0; i < procs.size(); ++i) {
       harness::BenchmarkConfig cfg;
-      cfg.kind = harness::QueueKind::SkipQueue;
+      cfg.structure = "skip";
       cfg.processors = procs[i];
       cfg.initial_size = 1000;
       cfg.total_ops = harness::scaled_ops(20000);

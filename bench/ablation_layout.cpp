@@ -22,7 +22,7 @@ int main() {
   for (bool padded : {false, true}) {
     for (std::size_t i = 0; i < procs.size(); ++i) {
       harness::BenchmarkConfig cfg;
-      cfg.kind = harness::QueueKind::SkipQueue;
+      cfg.structure = "skip";
       cfg.processors = procs[i];
       cfg.initial_size = 1000;
       cfg.total_ops = harness::scaled_ops(20000);

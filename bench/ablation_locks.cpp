@@ -17,7 +17,7 @@ int main() {
   const auto procs = figbench::proc_sweep();
   const auto sweep = figbench::run_sweep(
       base, procs,
-      {harness::QueueKind::SkipQueue, harness::QueueKind::TTSSkipQueue});
+      {"skip", "tts"});
 
   figbench::emit("ablation_locks",
                  "blocking (paper) vs spin locks in the SkipQueue", procs,

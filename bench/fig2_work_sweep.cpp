@@ -20,14 +20,14 @@ int main() {
 
   for (const auto work : work_amounts) {
     harness::BenchmarkConfig cfg;
-    cfg.kind = harness::QueueKind::SkipQueue;
+    cfg.structure = "skip";
     cfg.processors = procs;
     cfg.initial_size = 1000;
     cfg.total_ops = harness::scaled_ops(70000);
     cfg.insert_ratio = 0.5;
     cfg.work_cycles = work;
-    std::fprintf(stderr, "[bench] fig2 work=%llu ... ",
-                 static_cast<unsigned long long>(work));
+    std::fprintf(stderr, "[bench] fig2 work=%" PRIu64 " ... ",
+                 static_cast<std::uint64_t>(work));
     std::fflush(stderr);
     const auto r = harness::run_benchmark(cfg);
     std::fprintf(stderr, "ins=%.0f del=%.0f\n", r.mean_insert(),

@@ -15,8 +15,7 @@ int main() {
   const auto procs = figbench::proc_sweep();
   const auto sweep = figbench::run_sweep(
       base, procs,
-      {harness::QueueKind::HuntHeap, harness::QueueKind::SkipQueue,
-       harness::QueueKind::FunnelList});
+      {"heap", "skip", "funnel"});
 
   figbench::emit("fig4_large",
                  "large structure (init 1000, 70000 ops, 50% inserts)", procs,

@@ -16,7 +16,7 @@ int main() {
   const auto procs = figbench::proc_sweep();
   const auto sweep = figbench::run_sweep(
       base, procs,
-      {harness::QueueKind::HuntHeap, harness::QueueKind::SkipQueue});
+      {"heap", "skip"});
 
   figbench::emit("fig5_deletions",
                  "70% deletions (init 27000, 60000 ops, 30% inserts)", procs,

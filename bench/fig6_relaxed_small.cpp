@@ -15,7 +15,7 @@ int main() {
   const auto procs = figbench::proc_sweep();
   const auto sweep = figbench::run_sweep(
       base, procs,
-      {harness::QueueKind::SkipQueue, harness::QueueKind::RelaxedSkipQueue});
+      {"skip", "relaxed"});
 
   figbench::emit("fig6_relaxed_small",
                  "SkipQueue vs Relaxed, small structure (init 50, 7000 ops)",

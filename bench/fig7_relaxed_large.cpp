@@ -12,7 +12,7 @@ int main() {
   const auto procs = figbench::proc_sweep();
   const auto sweep = figbench::run_sweep(
       base, procs,
-      {harness::QueueKind::SkipQueue, harness::QueueKind::RelaxedSkipQueue});
+      {"skip", "relaxed"});
 
   figbench::emit("fig7_relaxed_large",
                  "SkipQueue vs Relaxed, large structure (init 1000, 7000 ops)",

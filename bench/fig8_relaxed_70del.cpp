@@ -12,7 +12,7 @@ int main() {
   const auto procs = figbench::proc_sweep();
   const auto sweep = figbench::run_sweep(
       base, procs,
-      {harness::QueueKind::SkipQueue, harness::QueueKind::RelaxedSkipQueue});
+      {"skip", "relaxed"});
 
   figbench::emit("fig8_relaxed_70del",
                  "SkipQueue vs Relaxed, 70% deletions (init 27000, 60000 ops)",

@@ -5,17 +5,22 @@
 // paper's synthetic workload on each structure, prints the latency series
 // as a table, and writes a CSV next to the binary for plotting.
 //
+// Structures are named by their BackendRegistry names ("skip", "heap",
+// "funnel", ...); display labels come from the registry.
+//
 // Environment knobs:
 //   SLPQ_BENCH_SCALE  scales the operation counts (default 1.0)
 //   SLPQ_MAX_PROCS    caps the sweep (default 256)
 #pragma once
 
+#include <cinttypes>
 #include <cstdio>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "harness/ascii_chart.hpp"
+#include "harness/backend.hpp"
 #include "harness/report.hpp"
 #include "harness/workload.hpp"
 
@@ -29,32 +34,42 @@ inline std::vector<int> proc_sweep(int limit = 256) {
   return out;
 }
 
+/// Display label for a registry name under the config's flavor.
+inline std::string label_of(const harness::BenchmarkConfig& cfg,
+                            const std::string& structure) {
+  return harness::BackendRegistry::instance()
+      .require(cfg.flavor, structure)
+      .label;
+}
+
 struct SweepSeries {
-  harness::QueueKind kind;
+  std::string structure;  ///< registry name
+  std::string label;      ///< display label from the registry
   std::vector<harness::BenchmarkResult> results;  // parallel to procs
 };
 
-/// Runs `base` for every structure in `kinds` at every processor count.
-/// Progress goes to stderr so stdout stays a clean report.
+/// Runs `base` for every structure in `structures` at every processor
+/// count. Progress goes to stderr so stdout stays a clean report.
 inline std::vector<SweepSeries> run_sweep(
     const harness::BenchmarkConfig& base, const std::vector<int>& procs,
-    const std::vector<harness::QueueKind>& kinds) {
+    const std::vector<std::string>& structures) {
   std::vector<SweepSeries> out;
-  for (auto kind : kinds) {
+  for (const auto& structure : structures) {
     SweepSeries series;
-    series.kind = kind;
+    series.structure = structure;
+    series.label = label_of(base, structure);
     for (int p : procs) {
       harness::BenchmarkConfig cfg = base;
-      cfg.kind = kind;
+      cfg.structure = structure;
       cfg.processors = p;
-      std::fprintf(stderr, "[bench] %-17s procs=%-3d ops=%llu ... ",
-                   harness::to_string(kind), p,
-                   static_cast<unsigned long long>(cfg.total_ops));
+      std::fprintf(stderr, "[bench] %-17s procs=%-3d ops=%" PRIu64 " ... ",
+                   series.label.c_str(), p, cfg.total_ops);
       std::fflush(stderr);
       series.results.push_back(harness::run_benchmark(cfg));
-      std::fprintf(stderr, "ins=%.0f del=%.0f cycles\n",
+      std::fprintf(stderr, "ins=%.0f del=%.0f %s\n",
                    series.results.back().mean_insert(),
-                   series.results.back().mean_delete());
+                   series.results.back().mean_delete(),
+                   series.results.back().unit);
     }
     out.push_back(std::move(series));
   }
@@ -71,8 +86,7 @@ inline harness::Table latency_table(const std::string& title,
   t.title = title;
   t.columns = {"procs"};
   for (const auto& s : sweep)
-    t.columns.push_back(std::string(harness::to_string(s.kind)) +
-                        (deletes ? " del" : " ins"));
+    t.columns.push_back(s.label + (deletes ? " del" : " ins"));
   for (std::size_t i = 0; i < procs.size(); ++i) {
     std::vector<std::string> row{std::to_string(procs[i])};
     for (const auto& s : sweep)
@@ -94,7 +108,7 @@ inline harness::Table csv_table(const std::vector<int>& procs,
   for (const auto& s : sweep) {
     for (std::size_t i = 0; i < procs.size(); ++i) {
       const auto& r = s.results[i];
-      t.add_row({harness::to_string(s.kind), std::to_string(procs[i]),
+      t.add_row({s.label, std::to_string(procs[i]),
                  harness::fmt(r.mean_insert(), 1), harness::fmt(r.mean_delete(), 1),
                  std::to_string(r.insert_latency.quantile(0.5)),
                  std::to_string(r.delete_latency.quantile(0.5)),
@@ -120,8 +134,8 @@ inline void print_headline(const std::vector<int>& procs,
   const auto& base = sweep[baseline_idx].results.back();
   const auto& subj = sweep[subject_idx].results.back();
   std::cout << "At " << procs.back() << " processors, "
-            << harness::to_string(sweep[subject_idx].kind) << " vs "
-            << harness::to_string(sweep[baseline_idx].kind) << ": deletions "
+            << sweep[subject_idx].label << " vs "
+            << sweep[baseline_idx].label << ": deletions "
             << harness::fmt_ratio(base.mean_delete(), subj.mean_delete())
             << " faster, insertions "
             << harness::fmt_ratio(base.mean_insert(), subj.mean_insert())
@@ -146,7 +160,7 @@ inline void emit(const std::string& figure, const std::string& description,
     auto series_of = [&](bool deletes) {
       std::vector<harness::ChartSeries> out;
       for (const auto& s : sweep) {
-        harness::ChartSeries cs{harness::to_string(s.kind), {}};
+        harness::ChartSeries cs{s.label, {}};
         for (const auto& r : s.results)
           cs.ys.push_back(deletes ? r.mean_delete() : r.mean_insert());
         out.push_back(std::move(cs));
@@ -169,7 +183,8 @@ inline void emit(const std::string& figure, const std::string& description,
     std::vector<SweepSeries> close_sweep;
     for (const auto& s : sweep) {
       SweepSeries cs;
-      cs.kind = s.kind;
+      cs.structure = s.structure;
+      cs.label = s.label;
       cs.results.assign(s.results.begin(),
                         s.results.begin() +
                             static_cast<std::ptrdiff_t>(close_procs.size()));

@@ -5,18 +5,27 @@
 // which measure the paper's simulated 256-way machine. On a box with few
 // cores the ->Threads(n) variants mostly measure oversubscription; the
 // single-thread numbers are the interesting ones there.
+//
+// The mixed-op suite ("BM_Mixed/<name>") is driven by the BackendRegistry:
+// every Flavor::Native backend gets a prefueled shared queue and the same
+// 50/50 insert/delete-min loop, so a newly registered backend is benched
+// without touching this file. The remaining benchmarks exercise knobs the
+// registry does not expose (pooled vs. heap node allocation, pure
+// insert/delete paths, the sequential pairing-heap reference).
 #include <benchmark/benchmark.h>
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <string>
 
+#include "harness/backend.hpp"
+#include "harness/workload.hpp"
+#include "harness/workload_spec.hpp"
 #include "slpq/detail/pairing_heap.hpp"
 #include "slpq/detail/random.hpp"
-#include "slpq/funnel_list.hpp"
-#include "slpq/global_lock_pq.hpp"
-#include "slpq/hunt_heap.hpp"
 #include "slpq/lock_free_skip_queue.hpp"
-#include "slpq/multi_queue.hpp"
 #include "slpq/skip_queue.hpp"
 
 namespace {
@@ -29,109 +38,79 @@ constexpr int kMaxBenchThreads = 4;
 constexpr std::size_t kPrefillPerThread = 1024;
 constexpr std::size_t kPrefill = kPrefillPerThread * kMaxBenchThreads;
 
-template <typename Queue>
-void mixed_ops(benchmark::State& state, Queue& q) {
+// ---- registry-driven mixed-op suite ---------------------------------------
+
+harness::BenchmarkConfig bench_config(const harness::Backend& b) {
+  harness::BenchmarkConfig cfg;
+  cfg.flavor = harness::Flavor::Native;
+  cfg.structure = b.name;
+  cfg.processors = kMaxBenchThreads;
+  // Combining/sorted-list structures have superlinear prefill and are only
+  // competitive small; keep their working set tiny (their favourable
+  // regime), as the hand-written benchmarks always did.
+  cfg.initial_size = b.has(harness::Backend::kSlowSeed) ? 64 : kPrefill;
+  // Bounded structures size themselves from initial_size + total_ops;
+  // leave generous headroom for however many iterations benchmark runs.
+  cfg.total_ops = 1 << 22;
+  cfg.seed = 7;
+  return cfg;
+}
+
+// Each benchmark shares one queue across all its threads and repetitions.
+// The handle is built exactly once per backend and deliberately never
+// destroyed: google-benchmark re-enters the function many times while
+// sibling threads may still be in flight, so any per-repetition reset
+// would race with them. The 50/50 mix keeps the structure near its
+// prefilled size across repetitions.
+harness::QueueHandle& shared_handle(const harness::Backend& b) {
+  struct Shared {
+    harness::BenchmarkConfig cfg;
+    std::unique_ptr<harness::QueueHandle> queue;
+  };
+  static std::mutex mu;
+  static auto& instances = *new std::map<std::string, Shared>();
+  std::lock_guard<std::mutex> g(mu);
+  auto [it, inserted] = instances.try_emplace(b.name);
+  if (inserted) {
+    it->second.cfg = bench_config(b);
+    it->second.queue = b.make(harness::BackendInit{it->second.cfg, nullptr});
+    harness::spec::prefill(*it->second.queue, it->second.cfg);
+    it->second.queue->quiesce();
+  }
+  return *it->second.queue;
+}
+
+void BM_Mixed(benchmark::State& state, const harness::Backend* b) {
+  harness::QueueHandle& q = shared_handle(*b);
+  harness::OpContext ctx;
+  ctx.thread = state.thread_index();
   slpq::detail::Xoshiro256 rng(
       0xABCD + static_cast<std::uint64_t>(state.thread_index()));
   for (auto _ : state) {
     if (rng.bernoulli(0.5)) {
-      q.insert(static_cast<std::int64_t>(rng.below(kKeySpace)), 1);
+      q.insert(ctx, static_cast<std::int64_t>(rng.below(kKeySpace)), 1);
     } else {
-      benchmark::DoNotOptimize(q.delete_min());
+      benchmark::DoNotOptimize(q.delete_min(ctx));
     }
   }
   state.SetItemsProcessed(state.iterations());
 }
 
-template <typename Queue>
-void prefill(Queue& q) {
-  slpq::detail::Xoshiro256 rng(7);
-  for (std::size_t i = 0; i < kPrefill; ++i)
-    q.insert(static_cast<std::int64_t>(rng.below(kKeySpace)), 1);
+void register_mixed_benchmarks() {
+  for (const harness::Backend* b :
+       harness::BackendRegistry::instance().all(harness::Flavor::Native)) {
+    auto* bench = benchmark::RegisterBenchmark(
+        ("BM_Mixed/" + b->name).c_str(),
+        [b](benchmark::State& state) { BM_Mixed(state, b); });
+    bench->Threads(1)->Threads(2);
+    // Combining structures were only ever benched to 2 threads; everything
+    // else sweeps to the full width.
+    if (!b->has(harness::Backend::kCombining)) bench->Threads(kMaxBenchThreads);
+    bench->UseRealTime();
+  }
 }
 
-// Each benchmark shares one queue across all its threads and repetitions.
-// The queue is built exactly once (function-local static, thread-safe
-// initialization) and deliberately never rebuilt: google-benchmark
-// re-enters the function many times while sibling threads may still be in
-// flight, so any per-repetition reset would race with them. The 50/50 mix
-// keeps the structure near its prefilled size across repetitions.
-void BM_SkipQueue_Mixed(benchmark::State& state) {
-  static slpq::SkipQueue<std::int64_t, int>& q = *[] {
-    auto* fresh = new slpq::SkipQueue<std::int64_t, int>();
-    prefill(*fresh);
-    return fresh;
-  }();
-  mixed_ops(state, q);
-}
-BENCHMARK(BM_SkipQueue_Mixed)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
-
-void BM_RelaxedSkipQueue_Mixed(benchmark::State& state) {
-  static slpq::RelaxedSkipQueue<std::int64_t, int>& q = *[] {
-    auto* fresh = new slpq::RelaxedSkipQueue<std::int64_t, int>();
-    prefill(*fresh);
-    return fresh;
-  }();
-  mixed_ops(state, q);
-}
-BENCHMARK(BM_RelaxedSkipQueue_Mixed)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
-
-void BM_LockFreeSkipQueue_Mixed(benchmark::State& state) {
-  static slpq::LockFreeSkipQueue<std::int64_t, int>& q = *[] {
-    auto* fresh = new slpq::LockFreeSkipQueue<std::int64_t, int>();
-    prefill(*fresh);
-    return fresh;
-  }();
-  mixed_ops(state, q);
-}
-BENCHMARK(BM_LockFreeSkipQueue_Mixed)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
-
-void BM_MultiQueue_Mixed(benchmark::State& state) {
-  static slpq::MultiQueue<std::int64_t, int>& q = *[] {
-    slpq::MultiQueue<std::int64_t, int>::Options opt;
-    opt.max_threads = kMaxBenchThreads;
-    auto* fresh = new slpq::MultiQueue<std::int64_t, int>(opt);
-    prefill(*fresh);
-    fresh->flush();
-    return fresh;
-  }();
-  mixed_ops(state, q);
-}
-BENCHMARK(BM_MultiQueue_Mixed)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
-
-void BM_HuntHeap_Mixed(benchmark::State& state) {
-  static slpq::HuntHeap<std::int64_t, int>& q = *[] {
-    auto* fresh = new slpq::HuntHeap<std::int64_t, int>(1 << 22);
-    prefill(*fresh);
-    return fresh;
-  }();
-  mixed_ops(state, q);
-}
-BENCHMARK(BM_HuntHeap_Mixed)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
-
-void BM_FunnelList_Mixed(benchmark::State& state) {
-  static slpq::FunnelList<std::int64_t, int>& q = *[] {
-    auto* fresh = new slpq::FunnelList<std::int64_t, int>();
-    // NOTE: prefill on the funnel list is O(n^2) (sorted inserts) — keep
-    // the structure small, which is also its favourable regime.
-    slpq::detail::Xoshiro256 rng(7);
-    for (int i = 0; i < 64; ++i)
-      fresh->insert(static_cast<std::int64_t>(rng.below(kKeySpace)), 1);
-    return fresh;
-  }();
-  mixed_ops(state, q);
-}
-BENCHMARK(BM_FunnelList_Mixed)->Threads(1)->Threads(2)->UseRealTime();
-
-void BM_GlobalLockPQ_Mixed(benchmark::State& state) {
-  static slpq::GlobalLockPQ<std::int64_t, int>& q = *[] {
-    auto* fresh = new slpq::GlobalLockPQ<std::int64_t, int>();
-    prefill(*fresh);
-    return fresh;
-  }();
-  mixed_ops(state, q);
-}
-BENCHMARK(BM_GlobalLockPQ_Mixed)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+// ---- hand-written benchmarks for knobs the registry does not expose -------
 
 // Pure-insert and pure-delete single-thread costs for the SkipQueue.
 void BM_SkipQueue_Insert(benchmark::State& state) {
@@ -267,4 +246,11 @@ BENCHMARK(BM_RandomLevel);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  register_mixed_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "harness/backend.hpp"
 #include "harness/report.hpp"
 #include "harness/workload.hpp"
 
@@ -25,18 +26,18 @@ int main(int argc, char** argv) {
   t.columns = {"structure",    "insert (cycles)", "delete-min (cycles)",
                "dir queueing", "cache misses",    "lock contended"};
 
-  for (auto kind : {harness::QueueKind::HuntHeap, harness::QueueKind::SkipQueue,
-                    harness::QueueKind::RelaxedSkipQueue,
-                    harness::QueueKind::FunnelList}) {
+  for (const std::string structure : {"heap", "skip", "relaxed", "funnel"}) {
     harness::BenchmarkConfig cfg;
-    cfg.kind = kind;
+    cfg.structure = structure;
     cfg.processors = procs;
     cfg.initial_size = 1000;
     cfg.total_ops = ops;
     cfg.insert_ratio = 0.5;
     cfg.work_cycles = 100;
+    const auto& backend =
+        harness::BackendRegistry::instance().require(cfg.flavor, structure);
     const auto r = harness::run_benchmark(cfg);
-    t.add_row({harness::to_string(kind), harness::fmt(r.mean_insert()),
+    t.add_row({backend.label, harness::fmt(r.mean_insert()),
                harness::fmt(r.mean_delete()),
                std::to_string(r.machine_stats.dir_queue_cycles),
                std::to_string(r.machine_stats.cache_misses()),

@@ -1,0 +1,90 @@
+#include "harness/backend.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace harness {
+
+const char* to_string(Flavor flavor) {
+  switch (flavor) {
+    case Flavor::Sim: return "sim";
+    case Flavor::Native: return "native";
+  }
+  return "?";
+}
+
+Flavor parse_flavor(std::string_view s) {
+  if (s == "sim") return Flavor::Sim;
+  if (s == "native") return Flavor::Native;
+  throw std::invalid_argument("unknown machine flavor '" + std::string(s) +
+                              "' (expected sim or native)");
+}
+
+BackendRegistry::BackendRegistry() {
+  detail::register_sim_backends(*this);
+  detail::register_native_backends(*this);
+}
+
+BackendRegistry& BackendRegistry::instance() {
+  static BackendRegistry registry;
+  return registry;
+}
+
+void BackendRegistry::add(Backend backend) {
+  if (backend.name.empty() || !backend.make)
+    throw std::logic_error("backend needs a name and a factory");
+  auto taken = [&](std::string_view name) {
+    return find(backend.flavor, name) != nullptr;
+  };
+  if (taken(backend.name))
+    throw std::logic_error("duplicate backend '" + backend.name + "'");
+  for (const auto& alias : backend.aliases)
+    if (taken(alias))
+      throw std::logic_error("duplicate backend alias '" + alias + "'");
+  backends_.push_back(std::make_unique<Backend>(std::move(backend)));
+}
+
+const Backend* BackendRegistry::find(Flavor flavor,
+                                     std::string_view name) const noexcept {
+  for (const auto& b : backends_) {
+    if (b->flavor != flavor) continue;
+    if (b->name == name) return b.get();
+    for (const auto& alias : b->aliases)
+      if (alias == name) return b.get();
+  }
+  return nullptr;
+}
+
+const Backend& BackendRegistry::require(Flavor flavor,
+                                        std::string_view name) const {
+  if (const Backend* b = find(flavor, name)) return *b;
+  throw std::invalid_argument("unknown " + std::string(to_string(flavor)) +
+                              " structure '" + std::string(name) +
+                              "' (valid: " + names(flavor) + ")");
+}
+
+std::vector<const Backend*> BackendRegistry::all() const {
+  std::vector<const Backend*> out;
+  for (auto flavor : {Flavor::Sim, Flavor::Native})
+    for (const auto& b : backends_)
+      if (b->flavor == flavor) out.push_back(b.get());
+  return out;
+}
+
+std::vector<const Backend*> BackendRegistry::all(Flavor flavor) const {
+  std::vector<const Backend*> out;
+  for (const auto& b : backends_)
+    if (b->flavor == flavor) out.push_back(b.get());
+  return out;
+}
+
+std::string BackendRegistry::names(Flavor flavor) const {
+  std::string out;
+  for (const Backend* b : all(flavor)) {
+    if (!out.empty()) out += ",";
+    out += b->name;
+  }
+  return out;
+}
+
+}  // namespace harness

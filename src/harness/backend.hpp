@@ -1,0 +1,150 @@
+// The backend registry: one catalogue of every priority-queue structure the
+// harness can drive, across both execution worlds.
+//
+// A Backend describes a structure (canonical name, display label, flavor,
+// capability flags, knob schema) and carries a type-erased factory that
+// produces a QueueHandle — the uniform seed/insert/delete_min/size surface
+// both drivers run the paper's synthetic workload against:
+//
+//   * Flavor::Sim    — the simq implementations, executed on the psim
+//                      simulated ccNUMA machine (latencies in cycles);
+//   * Flavor::Native — the slpq library structures, executed on real
+//                      std::threads (latencies in nanoseconds).
+//
+// Both worlds register into the same BackendRegistry (sim_backends.cpp and
+// native_backends.cpp), so tools enumerate and resolve structures uniformly
+// and a new backend lands by adding one registration — no enum, no switch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace psim {
+class Cpu;
+class Engine;
+}  // namespace psim
+
+namespace harness {
+
+struct BenchmarkConfig;  // workload.hpp
+
+/// Key/value types of the benchmark workload. These mirror simq::Key /
+/// simq::Value (checked by a static_assert in sim_backends.cpp) and are the
+/// instantiation used for the native slpq templates.
+using Key = std::int64_t;
+using Value = std::uint64_t;
+
+enum class Flavor : std::uint8_t {
+  Sim,     ///< runs on the psim simulated machine (fiber driver, cycles)
+  Native,  ///< runs on real std::threads (native driver, nanoseconds)
+};
+
+const char* to_string(Flavor flavor);
+
+/// Parses "sim" / "native"; throws std::invalid_argument otherwise.
+Flavor parse_flavor(std::string_view s);
+
+/// Per-operation execution context, filled in by the driver that owns the
+/// worker. The sim driver supplies the virtual processor; both drivers
+/// supply the worker index (used e.g. to pick a MultiQueue handle).
+struct OpContext {
+  psim::Cpu* cpu = nullptr;  ///< sim flavor only
+  int thread = 0;            ///< worker index in [0, processors)
+};
+
+/// The uniform handle a Backend factory returns: one structure instance,
+/// alive for one benchmark run.
+class QueueHandle {
+ public:
+  virtual ~QueueHandle() = default;
+
+  /// Host-side pre-population, called before any worker starts.
+  virtual void seed(Key key, Value value) = 0;
+
+  virtual void insert(OpContext& ctx, Key key, Value value) = 0;
+
+  /// Returns the removed key, or nullopt for EMPTY.
+  virtual std::optional<Key> delete_min(OpContext& ctx) = 0;
+
+  /// Item count after the run (buffered items included for relaxed queues).
+  virtual std::size_t final_size() const = 0;
+
+  /// Sim flavor: adds daemon processors (e.g. the GC collector) to the
+  /// engine. Called once, after construction and before Engine::run.
+  virtual void register_daemons() {}
+
+  /// Called after all workers finished; relaxed structures push buffered
+  /// items back into shared state here.
+  virtual void quiesce() {}
+};
+
+/// Everything a Backend factory gets to build its structure.
+struct BackendInit {
+  const BenchmarkConfig& cfg;
+  psim::Engine* engine = nullptr;  ///< non-null iff the backend is Flavor::Sim
+};
+
+struct Backend {
+  // Capability flags.
+  static constexpr unsigned kRelaxed = 1u << 0;   ///< delete_min may return a non-minimal item
+  static constexpr unsigned kGcDaemon = 1u << 1;  ///< wants a dedicated GC processor (sim, iff cfg.use_gc)
+  static constexpr unsigned kBounded = 1u << 2;   ///< fixed capacity chosen at construction
+  static constexpr unsigned kCombining = 1u << 3; ///< combining structure; prefers few threads
+  static constexpr unsigned kSlowSeed = 1u << 4;  ///< superlinear prefill; keep initial_size small
+
+  std::string name;    ///< canonical CLI name, e.g. "lockfree"
+  std::string label;   ///< display name for tables/charts, e.g. "LockFreeSkipQueue"
+  Flavor flavor = Flavor::Sim;
+  unsigned caps = 0;
+  std::string summary;                ///< one line for --list-structures
+  std::vector<std::string> aliases;   ///< extra CLI spellings, e.g. "mq"
+  std::vector<std::string> knobs;     ///< BenchmarkConfig fields the factory reads
+
+  std::function<std::unique_ptr<QueueHandle>(const BackendInit&)> make;
+
+  bool has(unsigned cap) const noexcept { return (caps & cap) != 0; }
+};
+
+class BackendRegistry {
+ public:
+  /// The process-wide registry, populated on first use by the sim and
+  /// native registration units.
+  static BackendRegistry& instance();
+
+  /// Registers a backend; throws std::logic_error on a duplicate
+  /// (flavor, name-or-alias).
+  void add(Backend backend);
+
+  /// Looks up by canonical name or alias; nullptr when absent.
+  const Backend* find(Flavor flavor, std::string_view name) const noexcept;
+
+  /// Like find, but throws std::invalid_argument naming the valid
+  /// structures for `flavor` when the lookup fails.
+  const Backend& require(Flavor flavor, std::string_view name) const;
+
+  /// All backends in registration order (sim first, then native).
+  std::vector<const Backend*> all() const;
+  std::vector<const Backend*> all(Flavor flavor) const;
+
+  /// Comma-separated canonical names for one flavor (usage/error strings).
+  std::string names(Flavor flavor) const;
+
+ private:
+  BackendRegistry();
+  std::vector<std::unique_ptr<Backend>> backends_;
+};
+
+namespace detail {
+// Defined in sim_backends.cpp / native_backends.cpp; called once from
+// BackendRegistry's constructor so registration survives static-library
+// linking regardless of object inclusion order.
+void register_sim_backends(BackendRegistry& registry);
+void register_native_backends(BackendRegistry& registry);
+}  // namespace detail
+
+}  // namespace harness

@@ -1,0 +1,204 @@
+// The Flavor::Native half of the backend registry: the slpq library
+// structures (real std::thread code) behind the same QueueHandle surface
+// the sim backends present. Seeding happens from the host thread before
+// workers start; operations ignore OpContext::cpu and, where a structure
+// keeps per-thread state (MultiQueue), use OpContext::thread to pick the
+// worker's pre-made handle.
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "harness/backend.hpp"
+#include "harness/workload.hpp"
+#include "slpq/funnel_list.hpp"
+#include "slpq/global_lock_pq.hpp"
+#include "slpq/hunt_heap.hpp"
+#include "slpq/lock_free_skip_queue.hpp"
+#include "slpq/multi_queue.hpp"
+#include "slpq/skip_queue.hpp"
+
+namespace harness {
+namespace {
+
+/// Adapter for structures whose insert/delete_min need no per-thread
+/// context. Constructs the queue in place from whatever the factory passes.
+template <typename Queue>
+class PlainHandle final : public QueueHandle {
+ public:
+  template <typename... Args>
+  explicit PlainHandle(Args&&... args) : q_(std::forward<Args>(args)...) {}
+
+  void seed(Key key, Value value) override { q_.insert(key, value); }
+  void insert(OpContext&, Key key, Value value) override {
+    q_.insert(key, value);
+  }
+  std::optional<Key> delete_min(OpContext&) override {
+    if (auto item = q_.delete_min()) return item->first;
+    return std::nullopt;
+  }
+  std::size_t final_size() const override { return q_.size(); }
+
+  Queue& queue() noexcept { return q_; }
+
+ private:
+  Queue q_;
+};
+
+using NativeSkipQueue = slpq::SkipQueue<Key, Value>;
+using NativeRelaxedSkipQueue = slpq::RelaxedSkipQueue<Key, Value>;
+using NativeLockFreeSkipQueue = slpq::LockFreeSkipQueue<Key, Value>;
+using NativeHuntHeap = slpq::HuntHeap<Key, Value>;
+using NativeFunnelList = slpq::FunnelList<Key, Value>;
+using NativeGlobalLockPQ = slpq::GlobalLockPQ<Key, Value>;
+using NativeMultiQueue = slpq::MultiQueue<Key, Value>;
+
+class HuntHeapHandle final : public QueueHandle {
+ public:
+  explicit HuntHeapHandle(const BenchmarkConfig& cfg)
+      : q_(cfg.heap_capacity != 0 ? cfg.heap_capacity
+                                  : cfg.initial_size + cfg.total_ops + 64) {}
+
+  void seed(Key key, Value value) override { insert_or_throw(key, value); }
+  void insert(OpContext&, Key key, Value value) override {
+    insert_or_throw(key, value);
+  }
+  std::optional<Key> delete_min(OpContext&) override {
+    if (auto item = q_.delete_min()) return item->first;
+    return std::nullopt;
+  }
+  std::size_t final_size() const override { return q_.size(); }
+
+ private:
+  void insert_or_throw(Key key, Value value) {
+    if (!q_.insert(key, value))
+      throw std::runtime_error("Hunt heap overflow during benchmark");
+  }
+  NativeHuntHeap q_;
+};
+
+/// MultiQueue needs one Handle per worker (a Handle owns the insertion and
+/// deletion buffers and must never be shared between threads). Handles are
+/// made up front so workers index them without synchronization.
+class MultiQueueHandle final : public QueueHandle {
+ public:
+  explicit MultiQueueHandle(const BenchmarkConfig& cfg) : q_(options(cfg)) {
+    worker_handles_.reserve(static_cast<std::size_t>(cfg.processors));
+    for (int p = 0; p < cfg.processors; ++p)
+      worker_handles_.push_back(&q_.make_handle());
+    seed_handle_ = &q_.make_handle();
+  }
+
+  static NativeMultiQueue::Options options(const BenchmarkConfig& cfg) {
+    NativeMultiQueue::Options o;
+    o.c = cfg.mq_c;
+    o.stickiness = cfg.mq_stickiness;
+    o.max_threads = cfg.processors;
+    o.seed = cfg.seed;
+    return o;
+  }
+
+  void seed(Key key, Value value) override {
+    seed_handle_->insert(key, value);
+    seed_handle_->flush();  // host-side; make every seeded item visible
+  }
+  void insert(OpContext& ctx, Key key, Value value) override {
+    handle(ctx).insert(key, value);
+  }
+  std::optional<Key> delete_min(OpContext& ctx) override {
+    if (auto item = handle(ctx).delete_min()) return item->first;
+    return std::nullopt;
+  }
+  std::size_t final_size() const override { return q_.size(); }
+  void quiesce() override {
+    for (auto* h : worker_handles_) h->flush();
+  }
+
+ private:
+  NativeMultiQueue::Handle& handle(OpContext& ctx) {
+    return *worker_handles_[static_cast<std::size_t>(ctx.thread)];
+  }
+  NativeMultiQueue q_;
+  std::vector<NativeMultiQueue::Handle*> worker_handles_;
+  NativeMultiQueue::Handle* seed_handle_ = nullptr;
+};
+
+template <typename Queue, typename MakeOptions>
+std::function<std::unique_ptr<QueueHandle>(const BackendInit&)> plain_factory(
+    MakeOptions make_options) {
+  return [make_options](const BackendInit& init) {
+    return std::unique_ptr<QueueHandle>(
+        new PlainHandle<Queue>(make_options(init.cfg)));
+  };
+}
+
+}  // namespace
+
+namespace detail {
+
+void register_native_backends(BackendRegistry& registry) {
+  auto skip_options = [](const BenchmarkConfig& cfg) {
+    NativeSkipQueue::Options o;
+    o.max_level = cfg.max_level;
+    return o;
+  };
+
+  registry.add({"skip", "SkipQueue", Flavor::Native, 0,
+                "slpq::SkipQueue — the paper's queue on real threads",
+                {"skipqueue"}, {"max_level"},
+                plain_factory<NativeSkipQueue>(skip_options)});
+
+  registry.add({"relaxed", "RelaxedSkipQueue", Flavor::Native,
+                Backend::kRelaxed,
+                "slpq::RelaxedSkipQueue — Section 5.4, no time-stamps",
+                {}, {"max_level"},
+                plain_factory<NativeRelaxedSkipQueue>(skip_options)});
+
+  registry.add({"lockfree", "LockFreeSkipQueue", Flavor::Native, 0,
+                "slpq::LockFreeSkipQueue — CAS-based follow-on design",
+                {"lf"}, {"max_level"},
+                plain_factory<NativeLockFreeSkipQueue>(
+                    [](const BenchmarkConfig& cfg) {
+                      NativeLockFreeSkipQueue::Options o;
+                      o.max_level = cfg.max_level;
+                      return o;
+                    })});
+
+  registry.add({"multiqueue", "MultiQueue", Flavor::Native, Backend::kRelaxed,
+                "slpq::MultiQueue — relaxed c-way sharded queue",
+                {"mq"}, {"mq_c", "mq_stickiness"},
+                [](const BackendInit& init) {
+                  return std::unique_ptr<QueueHandle>(
+                      new MultiQueueHandle(init.cfg));
+                }});
+
+  registry.add({"heap", "Heap", Flavor::Native, Backend::kBounded,
+                "slpq::HuntHeap — Hunt et al. concurrent heap",
+                {"hunt"}, {"heap_capacity"},
+                [](const BackendInit& init) {
+                  return std::unique_ptr<QueueHandle>(
+                      new HuntHeapHandle(init.cfg));
+                }});
+
+  registry.add({"funnel", "FunnelList", Flavor::Native,
+                Backend::kCombining | Backend::kSlowSeed,
+                "slpq::FunnelList — combining-funnel sorted list",
+                {}, {"funnel_width", "funnel_layers"},
+                plain_factory<NativeFunnelList>([](const BenchmarkConfig& cfg) {
+                  NativeFunnelList::Options o;
+                  if (cfg.funnel_width > 0) o.width = cfg.funnel_width;
+                  else o.width = cfg.processors / 4 > 0 ? cfg.processors / 4 : 1;
+                  o.layers = cfg.funnel_layers;
+                  return o;
+                })});
+
+  registry.add({"globallock", "GlobalLockPQ", Flavor::Native, 0,
+                "slpq::GlobalLockPQ — sequential heap behind one lock",
+                {"lock", "baseline"}, {},
+                [](const BackendInit&) {
+                  return std::unique_ptr<QueueHandle>(
+                      new PlainHandle<NativeGlobalLockPQ>());
+                }});
+}
+
+}  // namespace detail
+}  // namespace harness

@@ -1,0 +1,81 @@
+// The native driver: executes the shared workload spec on real
+// std::threads against the slpq library structures. Per-operation
+// latencies are wall-clock nanoseconds from std::chrono::steady_clock; the
+// op sequence per worker is the same deterministic RNG stream the sim
+// driver uses, so a (structure, spec, seed) triple performs identical
+// logical work in both worlds — only the clock and the interleaving are
+// the hardware's.
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "harness/backend.hpp"
+#include "harness/workload.hpp"
+#include "harness/workload_spec.hpp"
+
+namespace harness {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// The local work period: a compiler-opaque spin, roughly one iteration
+/// per cycle, standing in for the simulator's cpu.advance().
+void spin_work(std::uint64_t iters) {
+  for (std::uint64_t i = 0; i < iters; ++i) asm volatile("");
+}
+
+}  // namespace
+
+BenchmarkResult run_native_benchmark(const BenchmarkConfig& cfg) {
+  spec::validate(cfg);
+  const Backend& backend =
+      BackendRegistry::instance().require(Flavor::Native, cfg.structure);
+
+  const BackendInit init{cfg, nullptr};
+  auto queue = backend.make(init);
+  spec::prefill(*queue, cfg);
+
+  const int workers = cfg.processors;
+  std::vector<spec::WorkerTally> tallies(static_cast<std::size_t>(workers));
+
+  // Two-phase start: workers check in, then spin on `go` so the measured
+  // region begins (approximately) simultaneously on every thread.
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(workers));
+
+  for (int p = 0; p < workers; ++p) {
+    threads.emplace_back([&, p] {
+      OpContext ctx;
+      ctx.thread = p;
+      ready.fetch_add(1, std::memory_order_release);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      spec::worker_loop(*queue, cfg, p, ctx,
+                        tallies[static_cast<std::size_t>(p)], now_ns,
+                        spin_work);
+    });
+  }
+
+  while (ready.load(std::memory_order_acquire) < workers)
+    std::this_thread::yield();
+  const std::uint64_t t_start = now_ns();
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  const std::uint64_t t_end = now_ns();
+  queue->quiesce();
+
+  BenchmarkResult out = spec::merge(tallies, *queue);
+  out.makespan = t_end - t_start;
+  out.unit = "ns";
+  return out;
+}
+
+}  // namespace harness

@@ -1,0 +1,202 @@
+// The Flavor::Sim half of the backend registry: the paper's structures as
+// implemented on the psim simulated machine (src/simq/), adapted to the
+// uniform QueueHandle surface. Every handle here routes operations through
+// a virtual processor (OpContext::cpu) so the simulator charges cycles.
+#include <memory>
+#include <stdexcept>
+
+#include "harness/backend.hpp"
+#include "harness/workload.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "simq/sim_funnel_list.hpp"
+#include "simq/sim_hunt_heap.hpp"
+#include "simq/sim_multi_queue.hpp"
+#include "simq/sim_skipqueue.hpp"
+
+namespace harness {
+namespace {
+
+static_assert(std::is_same_v<Key, simq::Key> &&
+                  std::is_same_v<Value, simq::Value>,
+              "harness::Key/Value must match the simq workload types");
+
+psim::Engine& engine_of(const BackendInit& init) {
+  if (init.engine == nullptr)
+    throw std::logic_error("sim backend constructed without an engine");
+  return *init.engine;
+}
+
+class SimSkipQueueHandle final : public QueueHandle {
+ public:
+  SimSkipQueueHandle(const BackendInit& init, bool timestamps,
+                     psim::LockMode lock_mode)
+      : q_(engine_of(init), make_options(init.cfg, timestamps, lock_mode)) {}
+
+  static simq::SimSkipQueue::Options make_options(const BenchmarkConfig& cfg,
+                                                  bool timestamps,
+                                                  psim::LockMode lock_mode) {
+    simq::SimSkipQueue::Options o;
+    o.max_level = cfg.max_level;
+    o.timestamps = timestamps;
+    o.use_gc = cfg.use_gc;
+    o.pad_nodes = cfg.pad_nodes;
+    o.lock_mode = lock_mode;
+    return o;
+  }
+
+  void seed(Key key, Value value) override { q_.seed(key, value); }
+  void insert(OpContext& ctx, Key key, Value value) override {
+    q_.insert(*ctx.cpu, key, value);
+  }
+  std::optional<Key> delete_min(OpContext& ctx) override {
+    if (auto item = q_.delete_min(*ctx.cpu)) return item->first;
+    return std::nullopt;
+  }
+  std::size_t final_size() const override { return q_.size_raw(); }
+  void register_daemons() override {
+    if (q_.options().use_gc) q_.spawn_collector();
+  }
+
+ private:
+  simq::SimSkipQueue q_;
+};
+
+class SimHuntHeapHandle final : public QueueHandle {
+ public:
+  explicit SimHuntHeapHandle(const BackendInit& init)
+      : q_(engine_of(init), make_options(init.cfg)) {}
+
+  static simq::SimHuntHeap::Options make_options(const BenchmarkConfig& cfg) {
+    simq::SimHuntHeap::Options o;
+    o.capacity = cfg.heap_capacity != 0
+                     ? cfg.heap_capacity
+                     : cfg.initial_size + cfg.total_ops + 64;
+    return o;
+  }
+
+  void seed(Key key, Value value) override { q_.seed(key, value); }
+  void insert(OpContext& ctx, Key key, Value value) override {
+    if (!q_.insert(*ctx.cpu, key, value))
+      throw std::runtime_error("Hunt heap overflow during benchmark");
+  }
+  std::optional<Key> delete_min(OpContext& ctx) override {
+    if (auto item = q_.delete_min(*ctx.cpu)) return item->first;
+    return std::nullopt;
+  }
+  std::size_t final_size() const override { return q_.size_raw(); }
+
+ private:
+  simq::SimHuntHeap q_;
+};
+
+class SimMultiQueueHandle final : public QueueHandle {
+ public:
+  explicit SimMultiQueueHandle(const BackendInit& init)
+      : q_(engine_of(init), make_options(init.cfg)) {}
+
+  static simq::SimMultiQueue::Options make_options(const BenchmarkConfig& cfg) {
+    simq::SimMultiQueue::Options o;
+    o.c = cfg.mq_c;
+    o.stickiness = cfg.mq_stickiness;
+    o.seed = cfg.seed;
+    return o;
+  }
+
+  void seed(Key key, Value value) override { q_.seed(key, value); }
+  void insert(OpContext& ctx, Key key, Value value) override {
+    q_.insert(*ctx.cpu, key, value);
+  }
+  std::optional<Key> delete_min(OpContext& ctx) override {
+    if (auto item = q_.delete_min(*ctx.cpu)) return item->first;
+    return std::nullopt;
+  }
+  std::size_t final_size() const override { return q_.size_raw(); }
+
+ private:
+  simq::SimMultiQueue q_;
+};
+
+class SimFunnelListHandle final : public QueueHandle {
+ public:
+  explicit SimFunnelListHandle(const BackendInit& init)
+      : q_(engine_of(init), make_options(init.cfg)) {}
+
+  static simq::SimFunnelList::Options make_options(const BenchmarkConfig& cfg) {
+    simq::SimFunnelList::Options o;
+    o.width = cfg.funnel_width;
+    o.layers = cfg.funnel_layers;
+    return o;
+  }
+
+  void seed(Key key, Value value) override { q_.seed(key, value); }
+  void insert(OpContext& ctx, Key key, Value value) override {
+    q_.insert(*ctx.cpu, key, value);
+  }
+  std::optional<Key> delete_min(OpContext& ctx) override {
+    if (auto item = q_.delete_min(*ctx.cpu)) return item->first;
+    return std::nullopt;
+  }
+  std::size_t final_size() const override { return q_.size_raw(); }
+
+ private:
+  simq::SimFunnelList q_;
+};
+
+}  // namespace
+
+namespace detail {
+
+void register_sim_backends(BackendRegistry& registry) {
+  auto skip_variant = [](bool timestamps, psim::LockMode lock_mode) {
+    return [timestamps, lock_mode](const BackendInit& init) {
+      return std::unique_ptr<QueueHandle>(
+          new SimSkipQueueHandle(init, timestamps, lock_mode));
+    };
+  };
+  const std::vector<std::string> skip_knobs = {"max_level", "use_gc",
+                                               "pad_nodes"};
+
+  registry.add({"skip", "SkipQueue", Flavor::Sim, Backend::kGcDaemon,
+                "the paper's skiplist queue with time-stamps (Sections 3-4)",
+                {"skipqueue"}, skip_knobs,
+                skip_variant(/*timestamps=*/true, psim::LockMode::Block)});
+
+  registry.add({"relaxed", "RelaxedSkipQueue", Flavor::Sim,
+                Backend::kGcDaemon | Backend::kRelaxed,
+                "Section 5.4 variant without time-stamps",
+                {}, skip_knobs,
+                skip_variant(/*timestamps=*/false, psim::LockMode::Block)});
+
+  registry.add({"tts", "TTSSkipQueue", Flavor::Sim, Backend::kGcDaemon,
+                "ablation: SkipQueue with test-and-test-and-set spin locks",
+                {}, skip_knobs,
+                skip_variant(/*timestamps=*/true, psim::LockMode::Spin)});
+
+  registry.add({"heap", "Heap", Flavor::Sim, Backend::kBounded,
+                "Hunt et al. concurrent heap (the paper's baseline [17])",
+                {"hunt"}, {"heap_capacity"},
+                [](const BackendInit& init) {
+                  return std::unique_ptr<QueueHandle>(
+                      new SimHuntHeapHandle(init));
+                }});
+
+  registry.add({"funnel", "FunnelList", Flavor::Sim, Backend::kCombining,
+                "combining-funnel sorted list (the paper's baseline [38,39])",
+                {}, {"funnel_width", "funnel_layers"},
+                [](const BackendInit& init) {
+                  return std::unique_ptr<QueueHandle>(
+                      new SimFunnelListHandle(init));
+                }});
+
+  registry.add({"multiqueue", "MultiQueue", Flavor::Sim, Backend::kRelaxed,
+                "relaxed c-way sharded queue with 2-choice sampling",
+                {"mq"}, {"mq_c", "mq_stickiness"},
+                [](const BackendInit& init) {
+                  return std::unique_ptr<QueueHandle>(
+                      new SimMultiQueueHandle(init));
+                }});
+}
+
+}  // namespace detail
+}  // namespace harness

@@ -1,0 +1,58 @@
+// The fiber/simulator driver: executes the shared workload spec on the
+// psim simulated ccNUMA machine. Each worker is a virtual processor;
+// latencies are simulated cycles and the run is fully deterministic.
+#include <vector>
+
+#include "harness/backend.hpp"
+#include "harness/workload.hpp"
+#include "harness/workload_spec.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+
+namespace harness {
+
+BenchmarkResult run_sim_benchmark(const BenchmarkConfig& cfg) {
+  spec::validate(cfg);
+  const Backend& backend =
+      BackendRegistry::instance().require(Flavor::Sim, cfg.structure);
+
+  // Skip queues get a dedicated GC processor on top of the workers.
+  const bool gc_proc = backend.has(Backend::kGcDaemon) && cfg.use_gc;
+  psim::MachineConfig machine = cfg.machine;
+  machine.processors = cfg.processors + (gc_proc ? 1 : 0);
+  machine.seed = cfg.seed;
+  psim::Engine eng(machine);
+
+  const BackendInit init{cfg, &eng};
+  auto queue = backend.make(init);
+  queue->register_daemons();
+  spec::prefill(*queue, cfg);
+
+  const int workers = cfg.processors;
+  std::vector<spec::WorkerTally> tallies(static_cast<std::size_t>(workers));
+  psim::Barrier start_barrier(eng, workers);
+
+  for (int p = 0; p < workers; ++p) {
+    eng.add_processor([&, p](psim::Cpu& cpu) {
+      OpContext ctx;
+      ctx.cpu = &cpu;
+      ctx.thread = p;
+      start_barrier.arrive_and_wait(cpu);
+      spec::worker_loop(
+          *queue, cfg, p, ctx, tallies[static_cast<std::size_t>(p)],
+          [&cpu] { return cpu.now(); },
+          [&cpu](std::uint64_t cycles) { cpu.advance(cycles); });
+    });
+  }
+
+  eng.run();
+  queue->quiesce();
+
+  BenchmarkResult out = spec::merge(tallies, *queue);
+  out.makespan = eng.horizon();
+  out.unit = "cycles";
+  out.machine_stats = eng.stats();
+  return out;
+}
+
+}  // namespace harness

@@ -1,260 +1,19 @@
+// Flavor dispatch and environment knobs for the benchmark harness. The
+// workload itself lives in workload_spec.hpp; the execution engines live
+// in sim_driver.cpp and native_driver.cpp; structures are resolved through
+// the BackendRegistry (backend.hpp).
 #include "harness/workload.hpp"
 
 #include <cstdlib>
-#include <memory>
-#include <optional>
-#include <stdexcept>
-#include <vector>
-
-#include "slpq/detail/random.hpp"
-#include "sim/engine.hpp"
-#include "sim/sync.hpp"
-#include "simq/sim_funnel_list.hpp"
-#include "simq/sim_hunt_heap.hpp"
-#include "simq/sim_multi_queue.hpp"
-#include "simq/sim_skipqueue.hpp"
 
 namespace harness {
 
-namespace {
-
-using psim::Cpu;
-using simq::Key;
-using simq::Value;
-
-// Priorities are drawn uniformly from a large range ("the priorities of
-// inserted items were chosen uniformly at random"). A 2^31 space makes
-// repeats — which take the skip queue's update-in-place path — rare but
-// not impossible, as in the paper's runs.
-constexpr std::uint64_t kKeySpace = 1ULL << 31;
-
-/// Uniform adapter over the three structures.
-class QueueAdapter {
- public:
-  virtual ~QueueAdapter() = default;
-  virtual void seed(Key key, Value value) = 0;
-  virtual void insert(Cpu& cpu, Key key, Value value) = 0;
-  virtual bool delete_min(Cpu& cpu) = 0;  // false => EMPTY
-  virtual std::size_t final_size() const = 0;
-  virtual void register_daemons() {}
-};
-
-class SkipQueueAdapter final : public QueueAdapter {
- public:
-  SkipQueueAdapter(psim::Engine& eng, const BenchmarkConfig& cfg,
-                   bool timestamps, psim::LockMode lock_mode)
-      : q_(eng, make_options(cfg, timestamps, lock_mode)) {}
-
-  static simq::SimSkipQueue::Options make_options(const BenchmarkConfig& cfg,
-                                                  bool timestamps,
-                                                  psim::LockMode lock_mode) {
-    simq::SimSkipQueue::Options o;
-    o.max_level = cfg.max_level;
-    o.timestamps = timestamps;
-    o.use_gc = cfg.use_gc;
-    o.pad_nodes = cfg.pad_nodes;
-    o.lock_mode = lock_mode;
-    return o;
-  }
-
-  void seed(Key key, Value value) override { q_.seed(key, value); }
-  void insert(Cpu& cpu, Key key, Value value) override {
-    q_.insert(cpu, key, value);
-  }
-  bool delete_min(Cpu& cpu) override { return q_.delete_min(cpu).has_value(); }
-  std::size_t final_size() const override { return q_.size_raw(); }
-  void register_daemons() override {
-    if (q_.options().use_gc) q_.spawn_collector();
-  }
-
- private:
-  simq::SimSkipQueue q_;
-};
-
-class HuntHeapAdapter final : public QueueAdapter {
- public:
-  HuntHeapAdapter(psim::Engine& eng, const BenchmarkConfig& cfg)
-      : q_(eng, make_options(cfg)) {}
-
-  static simq::SimHuntHeap::Options make_options(const BenchmarkConfig& cfg) {
-    simq::SimHuntHeap::Options o;
-    o.capacity = cfg.heap_capacity != 0
-                     ? cfg.heap_capacity
-                     : cfg.initial_size + cfg.total_ops + 64;
-    return o;
-  }
-
-  void seed(Key key, Value value) override { q_.seed(key, value); }
-  void insert(Cpu& cpu, Key key, Value value) override {
-    if (!q_.insert(cpu, key, value))
-      throw std::runtime_error("Hunt heap overflow during benchmark");
-  }
-  bool delete_min(Cpu& cpu) override { return q_.delete_min(cpu).has_value(); }
-  std::size_t final_size() const override { return q_.size_raw(); }
-
- private:
-  simq::SimHuntHeap q_;
-};
-
-class MultiQueueAdapter final : public QueueAdapter {
- public:
-  MultiQueueAdapter(psim::Engine& eng, const BenchmarkConfig& cfg)
-      : q_(eng, make_options(cfg)) {}
-
-  static simq::SimMultiQueue::Options make_options(const BenchmarkConfig& cfg) {
-    simq::SimMultiQueue::Options o;
-    o.c = cfg.mq_c;
-    o.stickiness = cfg.mq_stickiness;
-    o.seed = cfg.seed;
-    return o;
-  }
-
-  void seed(Key key, Value value) override { q_.seed(key, value); }
-  void insert(Cpu& cpu, Key key, Value value) override {
-    q_.insert(cpu, key, value);
-  }
-  bool delete_min(Cpu& cpu) override { return q_.delete_min(cpu).has_value(); }
-  std::size_t final_size() const override { return q_.size_raw(); }
-
- private:
-  simq::SimMultiQueue q_;
-};
-
-class FunnelListAdapter final : public QueueAdapter {
- public:
-  FunnelListAdapter(psim::Engine& eng, const BenchmarkConfig& cfg)
-      : q_(eng, make_options(cfg)) {}
-
-  static simq::SimFunnelList::Options make_options(const BenchmarkConfig& cfg) {
-    simq::SimFunnelList::Options o;
-    o.width = cfg.funnel_width;
-    o.layers = cfg.funnel_layers;
-    return o;
-  }
-
-  void seed(Key key, Value value) override { q_.seed(key, value); }
-  void insert(Cpu& cpu, Key key, Value value) override {
-    q_.insert(cpu, key, value);
-  }
-  bool delete_min(Cpu& cpu) override { return q_.delete_min(cpu).has_value(); }
-  std::size_t final_size() const override { return q_.size_raw(); }
-
- private:
-  simq::SimFunnelList q_;
-};
-
-std::unique_ptr<QueueAdapter> make_queue(psim::Engine& eng,
-                                         const BenchmarkConfig& cfg) {
-  switch (cfg.kind) {
-    case QueueKind::SkipQueue:
-      return std::make_unique<SkipQueueAdapter>(eng, cfg, /*timestamps=*/true,
-                                                psim::LockMode::Block);
-    case QueueKind::RelaxedSkipQueue:
-      return std::make_unique<SkipQueueAdapter>(eng, cfg, /*timestamps=*/false,
-                                                psim::LockMode::Block);
-    case QueueKind::TTSSkipQueue:
-      return std::make_unique<SkipQueueAdapter>(eng, cfg, /*timestamps=*/true,
-                                                psim::LockMode::Spin);
-    case QueueKind::HuntHeap:
-      return std::make_unique<HuntHeapAdapter>(eng, cfg);
-    case QueueKind::FunnelList:
-      return std::make_unique<FunnelListAdapter>(eng, cfg);
-    case QueueKind::MultiQueue:
-      return std::make_unique<MultiQueueAdapter>(eng, cfg);
-  }
-  throw std::invalid_argument("unknown QueueKind");
-}
-
-bool queue_needs_gc_processor(const BenchmarkConfig& cfg) {
-  return (cfg.kind == QueueKind::SkipQueue ||
-          cfg.kind == QueueKind::RelaxedSkipQueue ||
-          cfg.kind == QueueKind::TTSSkipQueue) &&
-         cfg.use_gc;
-}
-
-}  // namespace
-
-const char* to_string(QueueKind kind) {
-  switch (kind) {
-    case QueueKind::SkipQueue: return "SkipQueue";
-    case QueueKind::RelaxedSkipQueue: return "RelaxedSkipQueue";
-    case QueueKind::HuntHeap: return "Heap";
-    case QueueKind::FunnelList: return "FunnelList";
-    case QueueKind::TTSSkipQueue: return "TTSSkipQueue";
-    case QueueKind::MultiQueue: return "MultiQueue";
-  }
-  return "?";
-}
-
 BenchmarkResult run_benchmark(const BenchmarkConfig& cfg) {
-  if (cfg.processors < 1) throw std::invalid_argument("processors < 1");
-
-  psim::MachineConfig machine = cfg.machine;
-  machine.processors = cfg.processors + (queue_needs_gc_processor(cfg) ? 1 : 0);
-  machine.seed = cfg.seed;
-  psim::Engine eng(machine);
-
-  auto queue = make_queue(eng, cfg);
-  queue->register_daemons();
-
-  // Pre-populate with uniformly random priorities.
-  slpq::detail::Xoshiro256 seed_rng(cfg.seed ^ 0xBEEFCAFEULL);
-  for (std::size_t i = 0; i < cfg.initial_size; ++i)
-    queue->seed(static_cast<Key>(seed_rng.below(kKeySpace)) + 1,
-                static_cast<Value>(i));
-
-  const int workers = cfg.processors;
-  std::vector<slpq::detail::LatencyHistogram> ins_hist(
-      static_cast<std::size_t>(workers));
-  std::vector<slpq::detail::LatencyHistogram> del_hist(
-      static_cast<std::size_t>(workers));
-  std::vector<std::uint64_t> empties(static_cast<std::size_t>(workers), 0);
-
-  psim::Barrier start_barrier(eng, workers);
-
-  for (int p = 0; p < workers; ++p) {
-    const std::uint64_t quota =
-        cfg.total_ops / static_cast<std::uint64_t>(workers) +
-        (static_cast<std::uint64_t>(p) <
-                 cfg.total_ops % static_cast<std::uint64_t>(workers)
-             ? 1
-             : 0);
-    eng.add_processor([&, p, quota](Cpu& cpu) {
-      slpq::detail::Xoshiro256 rng(cfg.seed * 0x9E3779B97F4A7C15ULL +
-                                   static_cast<std::uint64_t>(p) + 101);
-      auto& ih = ins_hist[static_cast<std::size_t>(p)];
-      auto& dh = del_hist[static_cast<std::size_t>(p)];
-      start_barrier.arrive_and_wait(cpu);
-      for (std::uint64_t i = 0; i < quota; ++i) {
-        cpu.advance(cfg.work_cycles);  // the benchmark's local work period
-        const psim::Cycles t0 = cpu.now();
-        if (rng.bernoulli(cfg.insert_ratio)) {
-          queue->insert(cpu, static_cast<Key>(rng.below(kKeySpace)) + 1,
-                        static_cast<Value>(i));
-          ih.record(cpu.now() - t0);
-        } else {
-          const bool got = queue->delete_min(cpu);
-          dh.record(cpu.now() - t0);
-          if (!got) empties[static_cast<std::size_t>(p)]++;
-        }
-      }
-    });
+  switch (cfg.flavor) {
+    case Flavor::Native: return run_native_benchmark(cfg);
+    case Flavor::Sim: break;
   }
-
-  eng.run();
-
-  BenchmarkResult out;
-  for (int p = 0; p < workers; ++p) {
-    out.insert_latency.merge(ins_hist[static_cast<std::size_t>(p)]);
-    out.delete_latency.merge(del_hist[static_cast<std::size_t>(p)]);
-    out.empties += empties[static_cast<std::size_t>(p)];
-  }
-  out.inserts = out.insert_latency.count();
-  out.deletes = out.delete_latency.count() - out.empties;
-  out.makespan = eng.horizon();
-  out.final_size = queue->final_size();
-  out.machine_stats = eng.stats();
-  return out;
+  return run_sim_benchmark(cfg);
 }
 
 std::uint64_t scaled_ops(std::uint64_t paper_ops) {

@@ -1,52 +1,48 @@
-// The paper's synthetic benchmark (Section 5): each processor alternates
+// The paper's synthetic benchmark (Section 5): each worker alternates
 // between a short period of local work and a priority-queue operation,
 // choosing Insert (with a uniformly random priority) or Delete-min by a
-// biased coin flip. We measure per-operation latency in simulated cycles.
+// biased coin flip.
+//
+// The workload spec (op mix, seeding, prefill, per-worker quotas) is shared
+// by two drivers that differ only in what executes the workers and what the
+// latency unit means:
+//   * the sim driver runs fibers on the psim machine and measures cycles;
+//   * the native driver runs std::threads and measures wall-clock ns.
+// Structures are resolved through the BackendRegistry (backend.hpp).
 #pragma once
 
 #include <cstdint>
-#include <iosfwd>
 #include <string>
 
+#include "harness/backend.hpp"
 #include "slpq/detail/histogram.hpp"
 #include "sim/config.hpp"
 #include "sim/stats.hpp"
 
 namespace harness {
 
-enum class QueueKind {
-  SkipQueue,         ///< the paper's contribution (with time-stamps)
-  RelaxedSkipQueue,  ///< Section 5.4 variant (no time-stamps)
-  HuntHeap,          ///< Hunt et al. concurrent heap
-  FunnelList,        ///< combining-funnel sorted list
-  TTSSkipQueue,      ///< ablation: SkipQueue with spin locks (see bench/)
-  MultiQueue,        ///< relaxed c-way sharded queue (Williams & Sanders)
-};
-
-const char* to_string(QueueKind kind);
-
 struct BenchmarkConfig {
-  QueueKind kind = QueueKind::SkipQueue;
-  // TTSSkipQueue is SkipQueue with spin locks; selecting it overrides
-  // the skiplist's lock mode.
-  int processors = 16;             ///< worker processors (a GC processor is added on top for skip queues)
+  std::string structure = "skip";  ///< registry name (canonical or alias)
+  Flavor flavor = Flavor::Sim;     ///< which driver / implementation world
+
+  int processors = 16;             ///< workers (sim adds a GC processor for skip queues)
   std::size_t initial_size = 50;   ///< items seeded before the measured phase
-  std::uint64_t total_ops = 70000; ///< operations across all processors
+  std::uint64_t total_ops = 70000; ///< operations across all workers
   double insert_ratio = 0.5;       ///< probability an operation is an Insert
-  psim::Cycles work_cycles = 100;  ///< local work between operations
+  std::uint64_t work_cycles = 100; ///< local work between operations (sim cycles / native spin iterations)
   std::uint64_t seed = 1;
 
-  // Structure knobs.
+  // Structure knobs (each backend's `knobs` lists the ones it reads).
   int max_level = 16;              ///< skiplist max level (log2 of max size)
   bool use_gc = true;              ///< timestamp GC for skip queues
   std::size_t heap_capacity = 0;   ///< Hunt heap capacity; 0 = auto
   bool pad_nodes = false;          ///< ablation: line-align skiplist nodes
   int funnel_width = 0;            ///< 0 = auto (processors / 4)
   int funnel_layers = 2;
-  int mq_c = 2;                    ///< MultiQueue shards per processor
+  int mq_c = 2;                    ///< MultiQueue shards per worker
   int mq_stickiness = 8;           ///< MultiQueue sticky-op budget
 
-  psim::MachineConfig machine;     ///< timing model (processor count is overridden)
+  psim::MachineConfig machine;     ///< sim timing model (processor count is overridden)
 };
 
 struct BenchmarkResult {
@@ -55,9 +51,10 @@ struct BenchmarkResult {
   std::uint64_t inserts = 0;
   std::uint64_t deletes = 0;       ///< successful delete-mins
   std::uint64_t empties = 0;       ///< delete-mins that returned EMPTY
-  psim::Cycles makespan = 0;       ///< max processor local time
+  std::uint64_t makespan = 0;      ///< sim: max processor local time; native: wall-clock ns
   std::size_t final_size = 0;
-  psim::SimStats machine_stats;
+  const char* unit = "cycles";     ///< latency unit: "cycles" (sim) or "ns" (native)
+  psim::SimStats machine_stats;    ///< sim flavor only
 
   double mean_insert() const { return insert_latency.mean(); }
   double mean_delete() const { return delete_latency.mean(); }
@@ -69,9 +66,16 @@ struct BenchmarkResult {
   }
 };
 
-/// Runs one benchmark configuration on a fresh simulated machine.
-/// Deterministic: the same config yields the same result.
+/// Runs one benchmark configuration, dispatching on cfg.flavor. The sim
+/// flavor is deterministic: the same config yields the same result. The
+/// native flavor runs the same deterministic op sequence per worker, but
+/// latencies and interleavings are the hardware's.
 BenchmarkResult run_benchmark(const BenchmarkConfig& cfg);
+
+/// The two drivers behind run_benchmark (cfg.flavor is ignored; the named
+/// driver runs and resolves cfg.structure within its own flavor).
+BenchmarkResult run_sim_benchmark(const BenchmarkConfig& cfg);
+BenchmarkResult run_native_benchmark(const BenchmarkConfig& cfg);
 
 /// Reads SLPQ_BENCH_SCALE (default 1.0) and scales an operation count;
 /// lets CI run the full figure sweeps quickly without editing the benches.

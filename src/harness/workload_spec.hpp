@@ -1,0 +1,101 @@
+// Shared workload/spec layer: everything about the paper's synthetic
+// benchmark that is independent of *what executes it*. Both drivers
+// (sim_driver.cpp, native_driver.cpp) build their worker loops from these
+// pieces, so the op mix, key distribution, prefill and per-worker RNG
+// streams are identical across flavors — only the clock differs.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "harness/backend.hpp"
+#include "harness/workload.hpp"
+#include "slpq/detail/histogram.hpp"
+#include "slpq/detail/random.hpp"
+
+namespace harness::spec {
+
+// Priorities are drawn uniformly from a large range ("the priorities of
+// inserted items were chosen uniformly at random"). A 2^31 space makes
+// repeats — which take the skip queue's update-in-place path — rare but
+// not impossible, as in the paper's runs.
+constexpr std::uint64_t kKeySpace = 1ULL << 31;
+
+inline void validate(const BenchmarkConfig& cfg) {
+  if (cfg.processors < 1) throw std::invalid_argument("processors < 1");
+  if (cfg.insert_ratio < 0.0 || cfg.insert_ratio > 1.0)
+    throw std::invalid_argument("insert_ratio outside [0, 1]");
+}
+
+/// Worker p's share of cfg.total_ops (the remainder goes to low indices).
+inline std::uint64_t quota(const BenchmarkConfig& cfg, int p) {
+  const auto workers = static_cast<std::uint64_t>(cfg.processors);
+  return cfg.total_ops / workers +
+         (static_cast<std::uint64_t>(p) < cfg.total_ops % workers ? 1 : 0);
+}
+
+/// The RNG stream that drives worker p's op mix and keys. Shared by both
+/// drivers, so the operation sequence is flavor-independent.
+inline slpq::detail::Xoshiro256 worker_rng(const BenchmarkConfig& cfg, int p) {
+  return slpq::detail::Xoshiro256(cfg.seed * 0x9E3779B97F4A7C15ULL +
+                                  static_cast<std::uint64_t>(p) + 101);
+}
+
+/// Pre-populates the structure with cfg.initial_size uniformly random
+/// priorities (host-side, before any worker starts).
+inline void prefill(QueueHandle& queue, const BenchmarkConfig& cfg) {
+  slpq::detail::Xoshiro256 seed_rng(cfg.seed ^ 0xBEEFCAFEULL);
+  for (std::size_t i = 0; i < cfg.initial_size; ++i)
+    queue.seed(static_cast<Key>(seed_rng.below(kKeySpace)) + 1,
+               static_cast<Value>(i));
+}
+
+/// Per-worker measurement sinks, merged into a BenchmarkResult at the end.
+struct WorkerTally {
+  slpq::detail::LatencyHistogram insert_latency;
+  slpq::detail::LatencyHistogram delete_latency;
+  std::uint64_t empties = 0;
+};
+
+/// One worker's benchmark loop. `Clock` is a callable returning the current
+/// time in the driver's unit (cycles or ns); `Work` burns the local work
+/// period between operations.
+template <typename Clock, typename Work>
+void worker_loop(QueueHandle& queue, const BenchmarkConfig& cfg, int p,
+                 OpContext& ctx, WorkerTally& tally, Clock&& clock,
+                 Work&& work) {
+  auto rng = worker_rng(cfg, p);
+  const std::uint64_t ops = quota(cfg, p);
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    work(cfg.work_cycles);  // the benchmark's local work period
+    const std::uint64_t t0 = clock();
+    if (rng.bernoulli(cfg.insert_ratio)) {
+      queue.insert(ctx, static_cast<Key>(rng.below(kKeySpace)) + 1,
+                   static_cast<Value>(i));
+      tally.insert_latency.record(clock() - t0);
+    } else {
+      const bool got = queue.delete_min(ctx).has_value();
+      tally.delete_latency.record(clock() - t0);
+      if (!got) ++tally.empties;
+    }
+  }
+}
+
+/// Folds the per-worker tallies and the structure's final state into the
+/// common parts of a BenchmarkResult (drivers fill makespan/unit/stats).
+inline BenchmarkResult merge(const std::vector<WorkerTally>& tallies,
+                             const QueueHandle& queue) {
+  BenchmarkResult out;
+  for (const auto& t : tallies) {
+    out.insert_latency.merge(t.insert_latency);
+    out.delete_latency.merge(t.delete_latency);
+    out.empties += t.empties;
+  }
+  out.inserts = out.insert_latency.count();
+  out.deletes = out.delete_latency.count() - out.empties;
+  out.final_size = queue.final_size();
+  return out;
+}
+
+}  // namespace harness::spec

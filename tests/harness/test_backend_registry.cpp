@@ -1,0 +1,197 @@
+// Registry-level tests: every backend enumerates, constructs, and
+// round-trips a mixed op sequence against the sequential SkipListMap
+// oracle. Sim backends run their ops inside a one-processor psim engine;
+// native backends run them on the test thread.
+#include "harness/backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "harness/workload.hpp"
+#include "sim/engine.hpp"
+#include "slpq/detail/random.hpp"
+#include "slpq/skip_list_map.hpp"
+
+using harness::Backend;
+using harness::BackendInit;
+using harness::BackendRegistry;
+using harness::Flavor;
+using harness::Key;
+using harness::OpContext;
+using harness::QueueHandle;
+using harness::Value;
+
+namespace {
+
+harness::BenchmarkConfig oracle_cfg(const Backend& backend) {
+  harness::BenchmarkConfig cfg;
+  cfg.structure = backend.name;
+  cfg.flavor = backend.flavor;
+  cfg.processors = 1;
+  cfg.initial_size = 0;
+  cfg.total_ops = 1000;  // sizes the Hunt heap's auto capacity
+  cfg.use_gc = false;    // keep the sim engine at exactly one processor
+  cfg.funnel_width = 1;
+  return cfg;
+}
+
+/// Runs 1k mixed ops against `queue`, mirroring them into a SkipListMap.
+/// Exact backends must pop the oracle's minimum every time; relaxed
+/// backends must pop *some* live key. Afterwards the queue is drained and
+/// the popped key sets compared.
+void roundtrip_against_oracle(const Backend& backend, QueueHandle& queue,
+                              OpContext& ctx) {
+  slpq::SkipListMap<Key, Value> oracle;
+  std::set<Key> used;
+  slpq::detail::Xoshiro256 rng(0xD1CEF00DULL);
+  const bool relaxed = backend.has(Backend::kRelaxed);
+
+  for (int i = 0; i < 1000; ++i) {
+    if (oracle.empty() || rng.bernoulli(0.6)) {
+      Key key;
+      do {
+        key = static_cast<Key>(rng.below(1ULL << 31)) + 1;
+      } while (!used.insert(key).second);  // keep keys distinct for the oracle
+      queue.insert(ctx, key, static_cast<Value>(i));
+      oracle.insert_or_assign(key, static_cast<Value>(i));
+    } else {
+      const auto popped = queue.delete_min(ctx);
+      if (!popped.has_value()) {
+        EXPECT_TRUE(relaxed) << backend.name << ": EMPTY with "
+                             << oracle.size() << " live items";
+        continue;
+      }
+      const auto it = oracle.lower_bound(*popped);
+      ASSERT_TRUE(it != oracle.end() && (*it).first == *popped)
+          << backend.name << " popped unknown key " << *popped;
+      if (!relaxed) {
+        EXPECT_EQ(*popped, (*oracle.begin()).first)
+            << backend.name << " violated delete-min order";
+      }
+      oracle.erase(*popped);
+    }
+  }
+
+  queue.quiesce();
+  EXPECT_EQ(queue.final_size(), oracle.size()) << backend.name;
+
+  // Drain: exact backends must emit the oracle's keys in sorted order;
+  // relaxed backends in any order, but the key sets must match.
+  std::vector<Key> drained;
+  std::size_t stalls = 0;
+  while (drained.size() < oracle.size() && stalls < 16) {
+    if (auto popped = queue.delete_min(ctx))
+      drained.push_back(*popped);
+    else
+      ++stalls;
+  }
+  std::vector<Key> expected;
+  for (auto it = oracle.begin(); it != oracle.end(); ++it)
+    expected.push_back((*it).first);  // SkipListMap iterates in sorted order
+  if (!relaxed) {
+    EXPECT_EQ(drained, expected) << backend.name << " drain out of order";
+  }
+  std::sort(drained.begin(), drained.end());
+  EXPECT_EQ(drained, expected) << backend.name << " lost or invented keys";
+  EXPECT_FALSE(queue.delete_min(ctx).has_value()) << backend.name;
+}
+
+}  // namespace
+
+TEST(BackendRegistry, EnumeratesBothWorlds) {
+  auto& reg = BackendRegistry::instance();
+  EXPECT_GE(reg.all().size(), 13u);
+  EXPECT_GE(reg.all(Flavor::Sim).size(), 6u);
+  EXPECT_GE(reg.all(Flavor::Native).size(), 7u);
+  for (const Backend* b : reg.all()) {
+    EXPECT_FALSE(b->name.empty());
+    EXPECT_FALSE(b->label.empty());
+    EXPECT_FALSE(b->summary.empty());
+    EXPECT_TRUE(static_cast<bool>(b->make)) << b->name;
+  }
+}
+
+TEST(BackendRegistry, CanonicalNamesAreUniquePerFlavor) {
+  auto& reg = BackendRegistry::instance();
+  for (Flavor f : {Flavor::Sim, Flavor::Native}) {
+    std::set<std::string> seen;
+    for (const Backend* b : reg.all(f))
+      EXPECT_TRUE(seen.insert(b->name).second) << b->name;
+  }
+}
+
+TEST(BackendRegistry, AliasesResolveToTheSameBackend) {
+  auto& reg = BackendRegistry::instance();
+  for (Flavor f : {Flavor::Sim, Flavor::Native}) {
+    EXPECT_EQ(reg.find(f, "mq"), reg.find(f, "multiqueue"));
+    EXPECT_EQ(reg.find(f, "skipqueue"), reg.find(f, "skip"));
+    EXPECT_EQ(reg.find(f, "hunt"), reg.find(f, "heap"));
+  }
+  EXPECT_EQ(reg.find(Flavor::Native, "lf"),
+            reg.find(Flavor::Native, "lockfree"));
+  EXPECT_EQ(reg.find(Flavor::Native, "baseline"),
+            reg.find(Flavor::Native, "globallock"));
+}
+
+TEST(BackendRegistry, UnknownNamesFailLoudly) {
+  auto& reg = BackendRegistry::instance();
+  EXPECT_EQ(reg.find(Flavor::Sim, "no-such-queue"), nullptr);
+  EXPECT_THROW(reg.require(Flavor::Sim, "no-such-queue"),
+               std::invalid_argument);
+  // Native-only structures must not leak into the sim flavor.
+  EXPECT_EQ(reg.find(Flavor::Sim, "lockfree"), nullptr);
+  EXPECT_EQ(reg.find(Flavor::Native, "tts"), nullptr);
+}
+
+TEST(BackendRegistry, KnobSchemaNamesConfigFields) {
+  auto& reg = BackendRegistry::instance();
+  for (Flavor f : {Flavor::Sim, Flavor::Native}) {
+    const Backend& mq = reg.require(f, "multiqueue");
+    EXPECT_NE(std::find(mq.knobs.begin(), mq.knobs.end(), "mq_c"),
+              mq.knobs.end());
+    EXPECT_NE(std::find(mq.knobs.begin(), mq.knobs.end(), "mq_stickiness"),
+              mq.knobs.end());
+    const Backend& heap = reg.require(f, "heap");
+    EXPECT_NE(std::find(heap.knobs.begin(), heap.knobs.end(), "heap_capacity"),
+              heap.knobs.end());
+  }
+}
+
+class BackendOracle : public ::testing::TestWithParam<const Backend*> {};
+
+TEST_P(BackendOracle, RoundTripsAgainstSkipListMap) {
+  const Backend& backend = *GetParam();
+  const auto cfg = oracle_cfg(backend);
+
+  if (backend.flavor == Flavor::Native) {
+    const BackendInit init{cfg, nullptr};
+    auto queue = backend.make(init);
+    OpContext ctx;
+    roundtrip_against_oracle(backend, *queue, ctx);
+    return;
+  }
+
+  psim::MachineConfig machine;
+  machine.processors = 1;
+  psim::Engine eng(machine);
+  const BackendInit init{cfg, &eng};
+  auto queue = backend.make(init);
+  eng.add_processor([&](psim::Cpu& cpu) {
+    OpContext ctx;
+    ctx.cpu = &cpu;
+    roundtrip_against_oracle(backend, *queue, ctx);
+  });
+  eng.run();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, BackendOracle,
+    ::testing::ValuesIn(BackendRegistry::instance().all()),
+    [](const ::testing::TestParamInfo<const Backend*>& info) {
+      return std::string(harness::to_string(info.param->flavor)) +
+             info.param->label;
+    });

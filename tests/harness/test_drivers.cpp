@@ -1,0 +1,97 @@
+// Driver smoke tests: the same workload spec runs under both execution
+// worlds — the psim fiber driver and the std::thread native driver — and
+// both conserve queue content. Because the two drivers consume identical
+// per-worker RNG streams, the operation mix is flavor-independent, which
+// the cross-flavor determinism checks pin down.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/backend.hpp"
+#include "harness/workload.hpp"
+
+using harness::BenchmarkConfig;
+using harness::BenchmarkResult;
+using harness::Flavor;
+
+namespace {
+
+BenchmarkConfig smoke_cfg(const std::string& structure, Flavor flavor) {
+  BenchmarkConfig cfg;
+  cfg.structure = structure;
+  cfg.flavor = flavor;
+  cfg.processors = 4;
+  cfg.initial_size = 32;
+  cfg.total_ops = 1200;
+  cfg.insert_ratio = 0.5;
+  cfg.work_cycles = 50;
+  cfg.seed = 7;
+  return cfg;
+}
+
+void check_accounting(const BenchmarkConfig& cfg, const BenchmarkResult& r) {
+  EXPECT_EQ(r.insert_latency.count() + r.delete_latency.count(),
+            cfg.total_ops);
+  EXPECT_EQ(r.inserts, r.insert_latency.count());
+  EXPECT_EQ(r.deletes + r.empties, r.delete_latency.count());
+  // Conservation: initial + inserts - successful deletes == final size.
+  EXPECT_EQ(cfg.initial_size + r.inserts - r.deletes, r.final_size);
+  EXPECT_GT(r.makespan, 0u);
+}
+
+}  // namespace
+
+class DriverSmoke : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DriverSmoke, BothFlavorsConserveContent) {
+  const auto sim_cfg = smoke_cfg(GetParam(), Flavor::Sim);
+  const auto native_cfg = smoke_cfg(GetParam(), Flavor::Native);
+  const BenchmarkResult sim = harness::run_benchmark(sim_cfg);
+  const BenchmarkResult native = harness::run_benchmark(native_cfg);
+
+  check_accounting(sim_cfg, sim);
+  check_accounting(native_cfg, native);
+  EXPECT_STREQ(sim.unit, "cycles");
+  EXPECT_STREQ(native.unit, "ns");
+
+  // Shared spec layer: the same seed draws the same op sequence in both
+  // worlds, so the insert count is flavor-independent.
+  EXPECT_EQ(sim.inserts, native.inserts);
+}
+
+INSTANTIATE_TEST_SUITE_P(SharedStructures, DriverSmoke,
+                         ::testing::Values("skip", "relaxed", "heap", "funnel",
+                                           "multiqueue"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+class NativeOnlySmoke : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(NativeOnlySmoke, ConservesContent) {
+  const auto cfg = smoke_cfg(GetParam(), Flavor::Native);
+  const BenchmarkResult r = harness::run_benchmark(cfg);
+  check_accounting(cfg, r);
+  EXPECT_STREQ(r.unit, "ns");
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, NativeOnlySmoke,
+                         ::testing::Values("lockfree", "globallock"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(Drivers, NativeDeterministicOpMix) {
+  // Wall-clock latencies vary run to run, but the op mix must not.
+  const auto cfg = smoke_cfg("skip", Flavor::Native);
+  const auto a = harness::run_benchmark(cfg);
+  const auto b = harness::run_benchmark(cfg);
+  EXPECT_EQ(a.inserts, b.inserts);
+  EXPECT_EQ(a.deletes, b.deletes);
+  EXPECT_EQ(a.final_size, b.final_size);
+}
+
+TEST(Drivers, NativeUnknownStructureThrows) {
+  EXPECT_THROW(harness::run_benchmark(smoke_cfg("tts", Flavor::Native)),
+               std::invalid_argument);
+}

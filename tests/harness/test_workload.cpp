@@ -2,14 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 using harness::BenchmarkConfig;
 using harness::BenchmarkResult;
-using harness::QueueKind;
 
 namespace {
-BenchmarkConfig small_cfg(QueueKind kind, int procs = 4) {
+BenchmarkConfig small_cfg(const std::string& structure, int procs = 4) {
   BenchmarkConfig cfg;
-  cfg.kind = kind;
+  cfg.structure = structure;
   cfg.processors = procs;
   cfg.initial_size = 40;
   cfg.total_ops = 800;
@@ -19,7 +20,7 @@ BenchmarkConfig small_cfg(QueueKind kind, int procs = 4) {
 }
 }  // namespace
 
-class WorkloadAllQueues : public ::testing::TestWithParam<QueueKind> {};
+class WorkloadAllQueues : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(WorkloadAllQueues, RunsAndAccountsOperations) {
   const auto cfg = small_cfg(GetParam());
@@ -31,6 +32,7 @@ TEST_P(WorkloadAllQueues, RunsAndAccountsOperations) {
   EXPECT_GT(r.mean_insert(), 0.0);
   EXPECT_GT(r.mean_delete(), 0.0);
   EXPECT_GT(r.makespan, 0u);
+  EXPECT_STREQ(r.unit, "cycles");
 }
 
 TEST_P(WorkloadAllQueues, DeterministicForFixedSeed) {
@@ -52,17 +54,29 @@ TEST_P(WorkloadAllQueues, SeedChangesOutcome) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Kinds, WorkloadAllQueues,
-                         ::testing::Values(QueueKind::SkipQueue,
-                                           QueueKind::RelaxedSkipQueue,
-                                           QueueKind::HuntHeap,
-                                           QueueKind::FunnelList,
-                                           QueueKind::MultiQueue),
-                         [](const ::testing::TestParamInfo<QueueKind>& info) {
-                           return harness::to_string(info.param);
+                         ::testing::Values("skip", "relaxed", "heap", "funnel",
+                                           "multiqueue"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return harness::BackendRegistry::instance()
+                               .require(harness::Flavor::Sim, info.param)
+                               .label;
                          });
 
+TEST(Workload, UnknownStructureThrows) {
+  EXPECT_THROW(harness::run_benchmark(small_cfg("no-such-queue")),
+               std::invalid_argument);
+}
+
+TEST(Workload, AliasesResolve) {
+  // "mq" is an alias of "multiqueue"; both must run the same backend.
+  auto cfg = small_cfg("mq");
+  const auto r = harness::run_benchmark(cfg);
+  EXPECT_EQ(r.insert_latency.count() + r.delete_latency.count(),
+            cfg.total_ops);
+}
+
 TEST(Workload, InsertRatioShiftsMix) {
-  auto cfg = small_cfg(QueueKind::SkipQueue);
+  auto cfg = small_cfg("skip");
   cfg.insert_ratio = 0.3;
   cfg.total_ops = 2000;
   const auto r = harness::run_benchmark(cfg);
@@ -76,7 +90,7 @@ TEST(Workload, InsertRatioShiftsMix) {
 TEST(Workload, MoreWorkLowersLatency) {
   // The Figure 2 effect in miniature: a longer local work period lowers
   // contention and hence per-operation latency.
-  auto busy = small_cfg(QueueKind::SkipQueue, 8);
+  auto busy = small_cfg("skip", 8);
   busy.total_ops = 4000;
   busy.work_cycles = 100;
   auto idle = busy;
@@ -88,7 +102,7 @@ TEST(Workload, MoreWorkLowersLatency) {
 }
 
 TEST(Workload, EmptiesHappenWhenDrainHeavy) {
-  auto cfg = small_cfg(QueueKind::SkipQueue);
+  auto cfg = small_cfg("skip");
   cfg.initial_size = 0;
   cfg.insert_ratio = 0.05;
   cfg.total_ops = 500;
@@ -98,19 +112,34 @@ TEST(Workload, EmptiesHappenWhenDrainHeavy) {
 }
 
 TEST(Workload, SingleProcessorWorks) {
-  for (auto kind : {QueueKind::SkipQueue, QueueKind::HuntHeap,
-                    QueueKind::FunnelList}) {
-    const auto r = harness::run_benchmark(small_cfg(kind, 1));
+  for (const std::string structure : {"skip", "heap", "funnel"}) {
+    const auto r = harness::run_benchmark(small_cfg(structure, 1));
     EXPECT_EQ(r.insert_latency.count() + r.delete_latency.count(), 800u)
-        << harness::to_string(kind);
+        << structure;
   }
 }
 
 TEST(Workload, GcCanBeDisabled) {
-  auto cfg = small_cfg(QueueKind::SkipQueue);
+  auto cfg = small_cfg("skip");
   cfg.use_gc = false;
   const auto r = harness::run_benchmark(cfg);
   EXPECT_EQ(cfg.initial_size + r.inserts - r.deletes, r.final_size);
+}
+
+TEST(Workload, MultiQueueKnobsChangeShardCount) {
+  // mq_c shards per worker: with more shards and the same tiny workload,
+  // delete-min samples a wider space, so the runs must differ.
+  auto narrow = small_cfg("multiqueue");
+  narrow.mq_c = 1;
+  auto wide = narrow;
+  wide.mq_c = 8;
+  const auto a = harness::run_benchmark(narrow);
+  const auto b = harness::run_benchmark(wide);
+  EXPECT_EQ(a.insert_latency.count() + a.delete_latency.count(),
+            narrow.total_ops);
+  EXPECT_EQ(b.insert_latency.count() + b.delete_latency.count(),
+            wide.total_ops);
+  EXPECT_NE(a.makespan, b.makespan);
 }
 
 TEST(Workload, ScaledOpsRespectsEnv) {

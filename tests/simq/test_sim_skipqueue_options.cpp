@@ -109,7 +109,7 @@ TEST(SkipQueueOptionMatrix, SpinLocksChangeTimingNotResults) {
 
 TEST(WorkloadTTS, TTSKindRunsAndBalances) {
   harness::BenchmarkConfig cfg;
-  cfg.kind = harness::QueueKind::TTSSkipQueue;
+  cfg.structure = "tts";
   cfg.processors = 6;
   cfg.initial_size = 30;
   cfg.total_ops = 600;

@@ -1,36 +1,24 @@
-// pqsim — command-line driver for the simulated-machine benchmark.
+// pqsim — command-line driver for the paper's synthetic benchmark.
 //
-// Runs the paper's synthetic workload for any structure / machine
-// configuration without recompiling, prints the latency table, an ASCII
-// chart for sweeps, and optionally a CSV.
+// Runs the workload for any registered structure on either execution
+// machine without recompiling, prints the latency table, an ASCII chart
+// for sweeps, and optionally a CSV. Structures are resolved through the
+// BackendRegistry, so `--list-structures` is always the source of truth.
 //
 //   pqsim --structure skip --procs 64 --ops 20000 --initial 1000
 //   pqsim --structure heap,skip,multiqueue --sweep --max-procs 128 --csv out.csv
-//
-// Flags:
-//   --structure LIST   comma list of: skip, relaxed, tts, heap, funnel,
-//                      multiqueue (relaxed c-way sharded queue)
-//   --procs N          processor count (ignored with --sweep)
-//   --sweep            sweep processors 1,2,4,..,--max-procs
-//   --max-procs N      sweep limit (default 256)
-//   --ops N            total operations (default 20000)
-//   --initial N        initial elements (default 1000)
-//   --insert-ratio F   P(insert) (default 0.5)
-//   --work N           local work cycles between ops (default 100)
-//   --seed N           RNG seed (default 1)
-//   --max-level N      skiplist max level (default 16)
-//   --no-gc            disable the garbage-collection processor
-//   --pad-nodes        line-align skiplist nodes
-//   --no-occupancy     disable directory hot-spot queueing
-//   --csv PATH         also write results as CSV
+//   pqsim --machine native --structure lockfree,multiqueue --procs 4
+//   pqsim --list-structures
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "harness/ascii_chart.hpp"
+#include "harness/backend.hpp"
 #include "harness/report.hpp"
 #include "harness/workload.hpp"
 
@@ -38,34 +26,71 @@ namespace {
 
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg) std::fprintf(stderr, "pqsim: %s\n", msg);
-  std::fprintf(stderr,
-               "usage: pqsim [--structure skip,relaxed,tts,heap,funnel,multiqueue]\n"
-               "             [--procs N | --sweep [--max-procs N]]\n"
-               "             [--ops N] [--initial N] [--insert-ratio F]\n"
-               "             [--work N] [--seed N] [--max-level N]\n"
-               "             [--no-gc] [--pad-nodes] [--no-occupancy]\n"
-               "             [--csv PATH]\n");
+  std::fprintf(
+      stderr,
+      "usage: pqsim [--machine sim|native] [--structure LIST]\n"
+      "             [--list-structures]\n"
+      "             [--procs N | --sweep [--max-procs N]]\n"
+      "             [--ops N] [--initial N] [--insert-ratio F]\n"
+      "             [--work N] [--seed N] [--max-level N]\n"
+      "             [--mq-c N] [--mq-stickiness N]\n"
+      "             [--no-gc] [--pad-nodes] [--no-occupancy]\n"
+      "             [--csv PATH]\n"
+      "\n"
+      "  --machine sim|native   execution world: the simulated 256-way\n"
+      "                         ccNUMA machine (latency in cycles) or real\n"
+      "                         std::threads (latency in ns). Default: sim.\n"
+      "  --structure LIST       comma list of registry names; see\n"
+      "                         --list-structures for what each machine\n"
+      "                         offers (sim: %s)\n"
+      "                         (native: %s)\n"
+      "  --mq-c N               MultiQueue shards per worker (default 2)\n"
+      "  --mq-stickiness N      MultiQueue ops on the same shard before\n"
+      "                         resampling (default 8)\n"
+      "  --work N               local work between ops: cycles on sim,\n"
+      "                         spin iterations on native (default 100)\n",
+      harness::BackendRegistry::instance().names(harness::Flavor::Sim).c_str(),
+      harness::BackendRegistry::instance()
+          .names(harness::Flavor::Native)
+          .c_str());
   std::exit(2);
 }
 
-harness::QueueKind parse_kind(const std::string& s) {
-  if (s == "skip") return harness::QueueKind::SkipQueue;
-  if (s == "relaxed") return harness::QueueKind::RelaxedSkipQueue;
-  if (s == "tts") return harness::QueueKind::TTSSkipQueue;
-  if (s == "heap") return harness::QueueKind::HuntHeap;
-  if (s == "funnel") return harness::QueueKind::FunnelList;
-  if (s == "multiqueue" || s == "mq") return harness::QueueKind::MultiQueue;
-  usage(("unknown structure '" + s + "'").c_str());
+[[noreturn]] void list_structures() {
+  for (auto flavor : {harness::Flavor::Sim, harness::Flavor::Native}) {
+    std::printf("%s backends (--machine %s):\n", to_string(flavor),
+                to_string(flavor));
+    for (const harness::Backend* b :
+         harness::BackendRegistry::instance().all(flavor)) {
+      std::string extras;
+      if (!b->aliases.empty()) {
+        extras = "  [aka ";
+        for (std::size_t i = 0; i < b->aliases.size(); ++i)
+          extras += (i ? "," : "") + b->aliases[i];
+        extras += "]";
+      }
+      if (!b->knobs.empty()) {
+        extras += "  [knobs ";
+        for (std::size_t i = 0; i < b->knobs.size(); ++i)
+          extras += (i ? "," : "") + b->knobs[i];
+        extras += "]";
+      }
+      std::printf("  %-12s %-18s %s%s\n", b->name.c_str(), b->label.c_str(),
+                  b->summary.c_str(), extras.c_str());
+    }
+    std::printf("\n");
+  }
+  std::exit(0);
 }
 
-std::vector<harness::QueueKind> parse_kinds(const std::string& list) {
-  std::vector<harness::QueueKind> out;
+std::vector<std::string> split_list(const std::string& list) {
+  std::vector<std::string> out;
   std::size_t start = 0;
   while (start <= list.size()) {
     const auto comma = list.find(',', start);
     const auto token = list.substr(
         start, comma == std::string::npos ? std::string::npos : comma - start);
-    if (!token.empty()) out.push_back(parse_kind(token));
+    if (!token.empty()) out.push_back(token);
     if (comma == std::string::npos) break;
     start = comma + 1;
   }
@@ -76,7 +101,7 @@ std::vector<harness::QueueKind> parse_kinds(const std::string& list) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<harness::QueueKind> kinds = {harness::QueueKind::SkipQueue};
+  std::vector<std::string> structures = {"skip"};
   harness::BenchmarkConfig base;
   base.total_ops = 20000;
   base.initial_size = 1000;
@@ -91,7 +116,15 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
       return argv[++i];
     };
-    if (arg == "--structure") kinds = parse_kinds(next());
+    if (arg == "--structure") structures = split_list(next());
+    else if (arg == "--machine") {
+      try {
+        base.flavor = harness::parse_flavor(next());
+      } catch (const std::invalid_argument& e) {
+        usage(e.what());
+      }
+    }
+    else if (arg == "--list-structures") list_structures();
     else if (arg == "--procs") procs = std::atoi(next());
     else if (arg == "--sweep") sweep = true;
     else if (arg == "--max-procs") max_procs = std::atoi(next());
@@ -101,6 +134,8 @@ int main(int argc, char** argv) {
     else if (arg == "--work") base.work_cycles = std::strtoull(next(), nullptr, 10);
     else if (arg == "--seed") base.seed = std::strtoull(next(), nullptr, 10);
     else if (arg == "--max-level") base.max_level = std::atoi(next());
+    else if (arg == "--mq-c") base.mq_c = std::atoi(next());
+    else if (arg == "--mq-stickiness") base.mq_stickiness = std::atoi(next());
     else if (arg == "--no-gc") base.use_gc = false;
     else if (arg == "--pad-nodes") base.pad_nodes = true;
     else if (arg == "--no-occupancy") base.machine.model_dir_occupancy = false;
@@ -111,6 +146,20 @@ int main(int argc, char** argv) {
   if (procs < 1 || max_procs < 1) usage("processor counts must be >= 1");
   if (base.insert_ratio < 0.0 || base.insert_ratio > 1.0)
     usage("--insert-ratio must be in [0, 1]");
+  if (base.mq_c < 1 || base.mq_stickiness < 1)
+    usage("--mq-c and --mq-stickiness must be >= 1");
+
+  // Resolve every requested structure up front so a typo fails before any
+  // benchmark runs.
+  const auto& registry = harness::BackendRegistry::instance();
+  std::vector<const harness::Backend*> backends;
+  for (const auto& name : structures) {
+    try {
+      backends.push_back(&registry.require(base.flavor, name));
+    } catch (const std::invalid_argument& e) {
+      usage(e.what());
+    }
+  }
 
   std::vector<int> proc_list;
   if (sweep) {
@@ -119,8 +168,10 @@ int main(int argc, char** argv) {
     proc_list.push_back(procs);
   }
 
+  const char* unit = base.flavor == harness::Flavor::Native ? "ns" : "cycles";
   harness::Table table;
-  table.title = "pqsim: " + std::to_string(base.total_ops) + " ops, init " +
+  table.title = "pqsim (" + std::string(to_string(base.flavor)) + ", " +
+                unit + "): " + std::to_string(base.total_ops) + " ops, init " +
                 std::to_string(base.initial_size) + ", " +
                 harness::fmt(base.insert_ratio * 100) + "% inserts, work " +
                 std::to_string(base.work_cycles);
@@ -130,17 +181,17 @@ int main(int argc, char** argv) {
   std::vector<double> xs(proc_list.begin(), proc_list.end());
   std::vector<harness::ChartSeries> del_series, ins_series;
 
-  for (auto kind : kinds) {
-    harness::ChartSeries ds{harness::to_string(kind), {}};
-    harness::ChartSeries is{harness::to_string(kind), {}};
+  for (const harness::Backend* backend : backends) {
+    harness::ChartSeries ds{backend->label, {}};
+    harness::ChartSeries is{backend->label, {}};
     for (int p : proc_list) {
       harness::BenchmarkConfig cfg = base;
-      cfg.kind = kind;
+      cfg.structure = backend->name;
       cfg.processors = p;
-      std::fprintf(stderr, "[pqsim] %s procs=%d ...\n",
-                   harness::to_string(kind), p);
+      std::fprintf(stderr, "[pqsim] %s %s procs=%d ...\n",
+                   to_string(base.flavor), backend->label.c_str(), p);
       const auto r = harness::run_benchmark(cfg);
-      table.add_row({harness::to_string(kind), std::to_string(p),
+      table.add_row({backend->label, std::to_string(p),
                      harness::fmt(r.mean_insert()), harness::fmt(r.mean_delete()),
                      std::to_string(r.insert_latency.quantile(0.99)),
                      std::to_string(r.delete_latency.quantile(0.99)),
@@ -155,9 +206,9 @@ int main(int argc, char** argv) {
   print_table(std::cout, table);
   if (sweep && proc_list.size() > 1) {
     harness::ChartOptions copt;
-    copt.title = "\ndelete-min latency";
+    copt.title = std::string("\ndelete-min latency (") + unit + ")";
     std::cout << render_chart(xs, del_series, copt);
-    copt.title = "\ninsert latency";
+    copt.title = std::string("\ninsert latency (") + unit + ")";
     std::cout << render_chart(xs, ins_series, copt);
   }
   if (!csv_path.empty()) {
