@@ -1,0 +1,56 @@
+// Ablation: the Linden queue's boundoffset (dead-prefix length that
+// triggers physical restructuring), on the native machine where the trade
+// is real cache traffic.
+//
+// Small bounds restructure often: every few deletions one thread swings
+// head->next and repairs the upper levels, so claimants contend on the
+// head and the repair CAS traffic grows. Large bounds restructure rarely
+// but make every delete_min (and every insert's search) crawl a long dead
+// prefix first. The optimum sits in between and shifts with thread count.
+#include "figure_common.hpp"
+
+int main() {
+  const int kBounds[] = {16, 32, 64, 128, 256};
+  const int kProcs[] = {1, 2, 4, 8};
+
+  harness::Table t;
+  t.title = "LindenSkipQueue: boundoffset sweep (native, 50% inserts)";
+  t.columns = {"boundoffset", "procs", "insert ns", "delete ns", "Mops/s"};
+
+  harness::Table csv;
+  csv.columns = {"boundoffset", "procs",   "mean_insert", "mean_delete",
+                 "ops_per_sec", "makespan_ns"};
+
+  for (int procs : kProcs) {
+    for (int bound : kBounds) {
+      harness::BenchmarkConfig cfg;
+      cfg.structure = "linden";
+      cfg.flavor = harness::Flavor::Native;
+      cfg.processors = procs;
+      cfg.initial_size = 4096;
+      cfg.total_ops = harness::scaled_ops(400000);
+      cfg.boundoffset = bound;
+      cfg.seed = 42;
+      std::fprintf(stderr, "[bench] boundoffset=%-3d procs=%d ...\n", bound,
+                   procs);
+      const auto r = harness::run_benchmark(cfg);
+      const double ops =
+          static_cast<double>(r.inserts + r.deletes + r.empties);
+      const double ops_per_sec =
+          r.makespan ? ops * 1e9 / static_cast<double>(r.makespan) : 0.0;
+      t.add_row({std::to_string(bound), std::to_string(procs),
+                 harness::fmt(r.mean_insert()), harness::fmt(r.mean_delete()),
+                 harness::fmt(ops_per_sec / 1e6)});
+      csv.add_row({std::to_string(bound), std::to_string(procs),
+                   harness::fmt(r.mean_insert(), 1),
+                   harness::fmt(r.mean_delete(), 1),
+                   harness::fmt(ops_per_sec, 1), std::to_string(r.makespan)});
+    }
+  }
+
+  std::cout << "=== ablation_boundoffset: restructuring frequency trade ===\n\n";
+  print_table(std::cout, t);
+  write_csv("ablation_boundoffset.csv", csv);
+  std::cout << "\n[csv written to ablation_boundoffset.csv]\n";
+  return 0;
+}

@@ -33,8 +33,8 @@ namespace {
 constexpr std::uint64_t kKeySpace = 1 << 20;
 // Prefill scales with the widest ->Threads(n) variant so the per-thread
 // working set stays constant as the thread count grows (a fixed prefill
-// would make the 4-thread runs hit empty far more often than 1-thread).
-constexpr int kMaxBenchThreads = 4;
+// would make the 8-thread runs hit empty far more often than 1-thread).
+constexpr int kMaxBenchThreads = 8;
 constexpr std::size_t kPrefillPerThread = 1024;
 constexpr std::size_t kPrefill = kPrefillPerThread * kMaxBenchThreads;
 
@@ -105,7 +105,8 @@ void register_mixed_benchmarks() {
     bench->Threads(1)->Threads(2);
     // Combining structures were only ever benched to 2 threads; everything
     // else sweeps to the full width.
-    if (!b->has(harness::Backend::kCombining)) bench->Threads(kMaxBenchThreads);
+    if (!b->has(harness::Backend::kCombining))
+      bench->Threads(4)->Threads(kMaxBenchThreads);
     bench->UseRealTime();
   }
 }

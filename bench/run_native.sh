@@ -28,3 +28,44 @@ out="$out_dir/BENCH_native.json"
        --benchmark_out="$out.tmp" "$@" > /dev/null
 mv "$out.tmp" "$out"
 echo "wrote $out"
+
+# Distill the committed perf trajectory: per-structure mixed-ops throughput
+# (items/s) at each thread count, from the registry-driven BM_Mixed suite.
+traj="$repo_root/BENCH_3.json"
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$out" "$traj" <<'EOF'
+import json, re, sys
+
+src, dst = sys.argv[1], sys.argv[2]
+with open(src) as f:
+    report = json.load(f)
+
+mixed = {}
+for b in report.get("benchmarks", []):
+    if b.get("run_type") == "aggregate":
+        continue
+    name = b.get("name", "")
+    if not name.startswith("BM_Mixed/"):
+        continue
+    structure = name.split("/")[1]
+    m = re.search(r"threads:(\d+)", name)
+    threads = int(m.group(1)) if m else 1
+    ips = b.get("items_per_second")
+    if ips is None:
+        continue
+    mixed.setdefault(structure, {})[str(threads)] = round(ips, 1)
+
+doc = {
+    "benchmark": "BM_Mixed 50/50 insert/delete-min, shared queue",
+    "unit": "items_per_second",
+    "context": report.get("context", {}),
+    "throughput": dict(sorted(mixed.items())),
+}
+with open(dst, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=False)
+    f.write("\n")
+EOF
+  echo "wrote $traj"
+else
+  echo "run_native.sh: python3 not found, skipping $traj" >&2
+fi

@@ -13,6 +13,7 @@
 #include "slpq/funnel_list.hpp"
 #include "slpq/global_lock_pq.hpp"
 #include "slpq/hunt_heap.hpp"
+#include "slpq/linden_skip_queue.hpp"
 #include "slpq/lock_free_skip_queue.hpp"
 #include "slpq/multi_queue.hpp"
 #include "slpq/skip_queue.hpp"
@@ -47,6 +48,7 @@ class PlainHandle final : public QueueHandle {
 using NativeSkipQueue = slpq::SkipQueue<Key, Value>;
 using NativeRelaxedSkipQueue = slpq::RelaxedSkipQueue<Key, Value>;
 using NativeLockFreeSkipQueue = slpq::LockFreeSkipQueue<Key, Value>;
+using NativeLindenSkipQueue = slpq::LindenSkipQueue<Key, Value>;
 using NativeHuntHeap = slpq::HuntHeap<Key, Value>;
 using NativeFunnelList = slpq::FunnelList<Key, Value>;
 using NativeGlobalLockPQ = slpq::GlobalLockPQ<Key, Value>;
@@ -160,6 +162,19 @@ void register_native_backends(BackendRegistry& registry) {
                     [](const BenchmarkConfig& cfg) {
                       NativeLockFreeSkipQueue::Options o;
                       o.max_level = cfg.max_level;
+                      return o;
+                    })});
+
+  registry.add({"linden", "LindenSkipQueue", Flavor::Native, 0,
+                "slpq::LindenSkipQueue — batched-prefix delete_min "
+                "(Lindén & Jonsson)",
+                {"lj"}, {"max_level", "boundoffset"},
+                plain_factory<NativeLindenSkipQueue>(
+                    [](const BenchmarkConfig& cfg) {
+                      NativeLindenSkipQueue::Options o;
+                      o.max_level = cfg.max_level;
+                      o.boundoffset = cfg.boundoffset;
+                      o.seed = cfg.seed;
                       return o;
                     })});
 

@@ -11,6 +11,7 @@
 #include "sim/sync.hpp"
 #include "simq/sim_funnel_list.hpp"
 #include "simq/sim_hunt_heap.hpp"
+#include "simq/sim_linden_queue.hpp"
 #include "simq/sim_multi_queue.hpp"
 #include "simq/sim_skipqueue.hpp"
 
@@ -88,6 +89,37 @@ class SimHuntHeapHandle final : public QueueHandle {
 
  private:
   simq::SimHuntHeap q_;
+};
+
+class SimLindenQueueHandle final : public QueueHandle {
+ public:
+  explicit SimLindenQueueHandle(const BackendInit& init)
+      : q_(engine_of(init), make_options(init.cfg)) {}
+
+  static simq::SimLindenQueue::Options make_options(
+      const BenchmarkConfig& cfg) {
+    simq::SimLindenQueue::Options o;
+    o.max_level = cfg.max_level;
+    o.boundoffset = cfg.boundoffset;
+    o.use_gc = cfg.use_gc;
+    return o;
+  }
+
+  void seed(Key key, Value value) override { q_.seed(key, value); }
+  void insert(OpContext& ctx, Key key, Value value) override {
+    q_.insert(*ctx.cpu, key, value);
+  }
+  std::optional<Key> delete_min(OpContext& ctx) override {
+    if (auto item = q_.delete_min(*ctx.cpu)) return item->first;
+    return std::nullopt;
+  }
+  std::size_t final_size() const override { return q_.size_raw(); }
+  void register_daemons() override {
+    if (q_.options().use_gc) q_.spawn_collector();
+  }
+
+ private:
+  simq::SimLindenQueue q_;
 };
 
 class SimMultiQueueHandle final : public QueueHandle {
@@ -187,6 +219,14 @@ void register_sim_backends(BackendRegistry& registry) {
                 [](const BackendInit& init) {
                   return std::unique_ptr<QueueHandle>(
                       new SimFunnelListHandle(init));
+                }});
+
+  registry.add({"linden", "LindenSkipQueue", Flavor::Sim, Backend::kGcDaemon,
+                "batched-prefix delete_min skip queue (Lindén & Jonsson)",
+                {"lj"}, {"max_level", "boundoffset", "use_gc"},
+                [](const BackendInit& init) {
+                  return std::unique_ptr<QueueHandle>(
+                      new SimLindenQueueHandle(init));
                 }});
 
   registry.add({"multiqueue", "MultiQueue", Flavor::Sim, Backend::kRelaxed,

@@ -41,6 +41,7 @@ struct BenchmarkConfig {
   int funnel_layers = 2;
   int mq_c = 2;                    ///< MultiQueue shards per worker
   int mq_stickiness = 8;           ///< MultiQueue sticky-op budget
+  int boundoffset = 32;            ///< Linden queue dead-prefix bound
 
   psim::MachineConfig machine;     ///< sim timing model (processor count is overridden)
 };

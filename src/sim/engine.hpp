@@ -62,6 +62,8 @@ class Cpu {
   bool cas(Var<T>& v, T expected, T desired);
   template <typename T>
   T fetch_add(Var<T>& v, T delta);
+  template <typename T>
+  T fetch_or(Var<T>& v, T bits);
 
   /// Cooperative reschedule point (costs one cycle so spinners make progress
   /// in simulated time).
@@ -236,6 +238,14 @@ template <typename T>
 T Cpu::fetch_add(Var<T>& v, T delta) {
   const T out = v.value_;
   v.value_ = static_cast<T>(out + delta);
+  eng_->op_mem(id_, v.addr(), Access::Rmw);
+  return out;
+}
+
+template <typename T>
+T Cpu::fetch_or(Var<T>& v, T bits) {
+  const T out = v.value_;
+  v.value_ = static_cast<T>(out | bits);
   eng_->op_mem(id_, v.addr(), Access::Rmw);
   return out;
 }

@@ -1,0 +1,344 @@
+#include "simq/sim_linden_queue.hpp"
+
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace simq {
+
+namespace {
+
+constexpr Key kHeadKey = std::numeric_limits<Key>::min();
+constexpr Key kTailKey = std::numeric_limits<Key>::max();
+
+// Defensive bound on list walks: the simulation is deterministic, so an
+// algorithmic livelock would otherwise spin the host forever.
+constexpr std::uint64_t kWalkLimit = 1'000'000;
+
+[[noreturn]] void walk_overflow(const char* where) {
+  throw std::runtime_error(
+      std::string("SimLindenQueue: runaway traversal in ") + where);
+}
+
+// Simulated layout of a node: three header words then one next word per
+// level. Matches what a C struct with a trailing array would be.
+constexpr psim::Addr kKeyOff = 0;
+constexpr psim::Addr kValueOff = 8;
+constexpr psim::Addr kInsertingOff = 16;
+constexpr psim::Addr kLevelBase = 24;
+constexpr psim::Addr kLevelStride = 8;
+
+std::size_t node_bytes(int level) {
+  return static_cast<std::size_t>(
+      kLevelBase + kLevelStride * static_cast<psim::Addr>(level));
+}
+
+// Scoped entry-registry membership (paper, Section 3).
+class ScopedEntry {
+ public:
+  ScopedEntry(EntryRegistry& reg, Cpu& cpu, bool active)
+      : reg_(reg), cpu_(cpu), active_(active) {
+    if (active_) reg_.enter(cpu_);
+  }
+  ~ScopedEntry() {
+    if (active_) reg_.exit(cpu_);
+  }
+  ScopedEntry(const ScopedEntry&) = delete;
+  ScopedEntry& operator=(const ScopedEntry&) = delete;
+
+ private:
+  EntryRegistry& reg_;
+  Cpu& cpu_;
+  bool active_;
+};
+
+}  // namespace
+
+LindenNode::LindenNode(psim::Engine& eng, int lvl)
+    : base(eng.memory().alloc(node_bytes(lvl), 8)),
+      key(base + kKeyOff, Key{}),
+      value(base + kValueOff, Value{}),
+      inserting(base + kInsertingOff, 0),
+      level(lvl) {
+  next.reserve(static_cast<std::size_t>(lvl));
+  for (int i = 0; i < lvl; ++i)
+    next.emplace_back(
+        base + kLevelBase + kLevelStride * static_cast<psim::Addr>(i),
+        std::uintptr_t{0});
+}
+
+LindenNode* LindenNodePool::fetch(int level) {
+  auto& bucket = free_by_level_[static_cast<std::size_t>(level)];
+  if (!bucket.empty()) {
+    LindenNode* node = bucket.back();
+    bucket.pop_back();
+    ++reused_;
+    ++node->generation;
+    node->live = true;
+    return node;
+  }
+  all_.push_back(std::make_unique<LindenNode>(eng_, level));
+  ++created_;
+  LindenNode* node = all_.back().get();
+  node->live = true;
+  return node;
+}
+
+LindenNode* LindenNodePool::acquire_raw(int level, Key key, Value value) {
+  LindenNode* node = fetch(level);
+  node->key.set_raw(key);
+  node->value.set_raw(value);
+  node->inserting.set_raw(0);
+  for (auto& nx : node->next) nx.set_raw(0);
+  return node;
+}
+
+LindenNode* LindenNodePool::acquire(Cpu& cpu, int level, Key key,
+                                    Value value) {
+  LindenNode* node = fetch(level);
+  cpu.advance(20);  // allocator bookkeeping happens in local memory
+  cpu.write(node->key, key);
+  cpu.write(node->value, value);
+  return node;
+}
+
+void LindenNodePool::release(LindenNode* node) {
+  assert(node->live && "double release");
+  node->live = false;
+  ++released_;
+  free_by_level_[static_cast<std::size_t>(node->level)].push_back(node);
+}
+
+SimLindenQueue::SimLindenQueue(psim::Engine& eng, Options opt)
+    : eng_(eng),
+      opt_(opt),
+      pool_(eng, opt.max_level),
+      registry_(eng),
+      garbage_(eng.config().processors),
+      seed_rng_(eng.config().seed ^ 0x11DE9A11ULL),
+      level_dist_(opt.p, opt.max_level) {
+  if (opt_.max_level < 1) throw std::invalid_argument("max_level must be >= 1");
+  if (opt_.boundoffset < 1) opt_.boundoffset = 1;
+  head_ = pool_.acquire_raw(opt_.max_level, kHeadKey, 0);
+  tail_ = pool_.acquire_raw(opt_.max_level, kTailKey, 0);
+  for (int i = 0; i < opt_.max_level; ++i)
+    head_->next[static_cast<std::size_t>(i)].set_raw(pack(tail_, false));
+  level_rngs_.reserve(static_cast<std::size_t>(eng.config().processors));
+  for (int p = 0; p < eng.config().processors; ++p)
+    level_rngs_.emplace_back(eng.config().seed * 0x9E3779B97F4A7C15ULL +
+                             static_cast<std::uint64_t>(p) + 1);
+}
+
+void SimLindenQueue::spawn_collector() {
+  if (!opt_.use_gc)
+    throw std::logic_error("spawn_collector with Options::use_gc == false");
+  eng_.add_processor(
+      [this](Cpu& cpu) {
+        collector_body(
+            cpu, registry_, garbage_,
+            [this](LindenNode* node) { pool_.release(node); }, opt_.gc_period);
+      },
+      /*daemon=*/true);
+}
+
+int SimLindenQueue::random_level(Cpu& cpu) {
+  return level_dist_(level_rngs_[static_cast<std::size_t>(cpu.id())]);
+}
+
+bool SimLindenQueue::key_before(Cpu& cpu, LindenNode* n, Key key) const {
+  if (n == tail_) return false;
+  return cpu.read(n->key) < key;
+}
+
+LindenNode* SimLindenQueue::locate_preds(Cpu& cpu, Key key,
+                                         std::vector<LindenNode*>& preds,
+                                         std::vector<LindenNode*>& succs) {
+  LindenNode* del = nullptr;
+  LindenNode* x = head_;
+  std::uint64_t steps = 0;
+  for (int lv = opt_.max_level - 1; lv >= 0; --lv) {
+    const auto ulv = static_cast<std::size_t>(lv);
+    std::uintptr_t w = cpu.read(x->next[ulv]);
+    for (;;) {
+      if (++steps > kWalkLimit) walk_overflow("locate_preds");
+      const bool d = is_marked(w);  // only ever set at the bottom level
+      LindenNode* c = strip(w);
+      if (c == tail_) break;
+      if (!key_before(cpu, c, key) && !is_marked(cpu.read(c->next[0])) &&
+          !(lv == 0 && d))
+        break;
+      if (lv == 0 && d) del = c;
+      x = c;
+      w = cpu.read(x->next[ulv]);
+    }
+    preds[ulv] = x;
+    succs[ulv] = strip(w);
+  }
+  return del;
+}
+
+void SimLindenQueue::insert(Cpu& cpu, Key key, Value value) {
+  ScopedEntry entry(registry_, cpu, opt_.use_gc);
+
+  const int top = random_level(cpu);
+  LindenNode* n = pool_.acquire(cpu, top, key, value);
+  cpu.write(n->inserting, std::uint64_t{1});
+
+  const auto levels = static_cast<std::size_t>(opt_.max_level);
+  std::vector<LindenNode*> preds(levels);
+  std::vector<LindenNode*> succs(levels);
+
+  // Bottom level first; its CAS is the insert's linearization. The expected
+  // value is unmarked, so a new node never lands inside the dead prefix.
+  LindenNode* del;
+  std::uint64_t attempts = 0;
+  for (;;) {
+    if (++attempts > kWalkLimit) walk_overflow("insert");
+    del = locate_preds(cpu, key, preds, succs);
+    cpu.write(n->next[0], pack(succs[0], false));
+    if (cpu.cas(preds[0]->next[0], pack(succs[0], false), pack(n, false)))
+      break;
+  }
+
+  // Upper levels: stop if we got claimed, the successor died, or it sits
+  // inside the dead prefix.
+  for (int lv = 1; lv < top;) {
+    const auto ulv = static_cast<std::size_t>(lv);
+    cpu.write(n->next[ulv], pack(succs[ulv], false));
+    if (is_marked(cpu.read(n->next[0])) ||
+        is_marked(cpu.read(succs[ulv]->next[0])) || succs[ulv] == del)
+      break;
+    if (cpu.cas(preds[ulv]->next[ulv], pack(succs[ulv], false),
+                pack(n, false))) {
+      ++lv;
+      continue;
+    }
+    del = locate_preds(cpu, key, preds, succs);  // competing insert/restruct
+    if (succs[0] != n) break;  // we were claimed and bypassed
+  }
+
+  cpu.write(n->inserting, std::uint64_t{0});
+  ++size_;
+}
+
+std::optional<std::pair<Key, Value>> SimLindenQueue::delete_min(Cpu& cpu) {
+  ScopedEntry entry(registry_, cpu, opt_.use_gc);
+
+  LindenNode* cur = head_;
+  std::uintptr_t w = cpu.read(head_->next[0]);
+  const std::uintptr_t obs_head = w;
+  LindenNode* newhead = nullptr;  // earliest node the head swing must keep
+  std::size_t offset = 0;
+  LindenNode* claimed = nullptr;
+  std::uint64_t steps = 0;
+
+  for (;;) {
+    if (++steps > kWalkLimit) walk_overflow("delete_min");
+    LindenNode* c = strip(w);
+    if (c == tail_) return std::nullopt;
+    if (is_marked(w)) {  // c is already deleted: count and skip it
+      ++offset;
+      if (newhead == nullptr && cpu.read(c->inserting) != 0) newhead = c;
+      cur = c;
+      w = cpu.read(cur->next[0]);
+      continue;
+    }
+    // The claim: one fetch-or on the last dead node's (or head's) pointer.
+    const std::uintptr_t prev =
+        cpu.fetch_or(cur->next[0], std::uintptr_t{1});
+    if (is_marked(prev)) {
+      w = prev;  // lost the race: prev's target is dead, walk on
+      continue;
+    }
+    claimed = strip(prev);
+    ++offset;
+    break;
+  }
+
+  const Key k = cpu.read(claimed->key);
+  const Value v = cpu.read(claimed->value);
+  --size_;
+
+  if (offset >= static_cast<std::size_t>(opt_.boundoffset)) {
+    if (newhead == nullptr) newhead = claimed;
+    // One CAS swings head->next[0] past the whole dead prefix; the unique
+    // winner repairs the upper levels and retires the bypassed chain
+    // (frozen: every pointer in it is marked).
+    if (cpu.cas(head_->next[0], obs_head, pack(newhead, true))) {
+      ++restructures_;
+      restructure(cpu);
+      LindenNode* g = strip(obs_head);
+      while (g != newhead) {
+        LindenNode* nx = strip(cpu.read(g->next[0]));
+        garbage_.retire(cpu, g);
+        g = nx;
+      }
+    }
+  }
+  return std::make_pair(k, v);
+}
+
+void SimLindenQueue::restructure(Cpu& cpu) {
+  LindenNode* pred = head_;
+  std::uint64_t steps = 0;
+  for (int lv = opt_.max_level - 1; lv >= 1;) {
+    const auto ulv = static_cast<std::size_t>(lv);
+    if (++steps > kWalkLimit) walk_overflow("restructure");
+    LindenNode* h = strip(cpu.read(head_->next[ulv]));
+    if (!is_marked(cpu.read(h->next[0]))) {
+      --lv;
+      continue;
+    }
+    LindenNode* cur = strip(cpu.read(pred->next[ulv]));
+    while (is_marked(cpu.read(cur->next[0]))) {
+      if (++steps > kWalkLimit) walk_overflow("restructure");
+      pred = cur;
+      cur = strip(cpu.read(pred->next[ulv]));
+    }
+    if (cpu.cas(head_->next[ulv], pack(h, false), pack(cur, false))) --lv;
+  }
+}
+
+void SimLindenQueue::seed(Key key, Value value) {
+  if (key == kHeadKey || key == kTailKey)
+    throw std::invalid_argument("SimLindenQueue: sentinel key");
+  const int top = level_dist_(seed_rng_);
+  LindenNode* n = pool_.acquire_raw(top, key, value);
+
+  // Pre-run: no marks exist yet, so a plain sorted-position splice works.
+  std::vector<LindenNode*> preds(static_cast<std::size_t>(opt_.max_level));
+  LindenNode* x = head_;
+  for (int lv = opt_.max_level - 1; lv >= 0; --lv) {
+    const auto ulv = static_cast<std::size_t>(lv);
+    LindenNode* c = strip(x->next[ulv].raw());
+    while (c != tail_ && c->key.raw() < key) {
+      x = c;
+      c = strip(x->next[ulv].raw());
+    }
+    preds[ulv] = x;
+  }
+  for (int lv = 0; lv < top; ++lv) {
+    const auto ulv = static_cast<std::size_t>(lv);
+    n->next[ulv].set_raw(preds[ulv]->next[ulv].raw());
+    preds[ulv]->next[ulv].set_raw(pack(n, false));
+  }
+  ++size_;
+}
+
+std::vector<Key> SimLindenQueue::keys_raw() const {
+  std::vector<Key> keys;
+  std::uintptr_t w = head_->next[0].raw();
+  while (strip(w) != tail_) {
+    LindenNode* c = strip(w);
+    if (!is_marked(w)) keys.push_back(c->key.raw());
+    w = c->next[0].raw();
+  }
+  return keys;
+}
+
+std::size_t SimLindenQueue::size_raw() const {
+  return size_ < 0 ? 0 : static_cast<std::size_t>(size_);
+}
+
+}  // namespace simq

@@ -1,0 +1,148 @@
+// SimLindenQueue: the Lindén–Jonsson batched-prefix skiplist priority
+// queue on the simulated multiprocessor — the lock-free counterpart of
+// SimSkipQueue, mirroring slpq::LindenSkipQueue (see that header for the
+// algorithm notes).
+//
+// The low bit of a node's bottom-level next word says "my successor is
+// logically deleted", so deleted nodes form a contiguous prefix of the
+// bottom level. delete_min walks that prefix with READs and claims the
+// first live node with a single fetch-or (one Rmw in the machine model);
+// physical restructuring — one CAS swinging head->next[0] past the dead
+// prefix plus lazy upper-level repair — runs only when the prefix exceeds
+// Options::boundoffset. Retired prefixes flow through the paper's
+// Section 3 scheme (EntryRegistry + GarbageLists + collector daemon),
+// exactly like SimSkipQueue, so the reclamation traffic is comparable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "slpq/detail/random.hpp"
+#include "sim/engine.hpp"
+#include "simq/garbage.hpp"
+
+namespace simq {
+
+using Key = std::int64_t;
+using Value = std::uint64_t;
+
+/// One node. Simulated words live contiguously in one simulated
+/// allocation; next words pack (host pointer | deleted-successor bit).
+struct LindenNode {
+  LindenNode(psim::Engine& eng, int level);
+
+  LindenNode(const LindenNode&) = delete;
+  LindenNode& operator=(const LindenNode&) = delete;
+
+  psim::Addr base;  // start of the simulated allocation
+  psim::Var<Key> key;
+  psim::Var<Value> value;
+  psim::Var<std::uint64_t> inserting;       // restructure must not pass us
+  std::vector<psim::Var<std::uintptr_t>> next;  // [0] carries the mark bit
+
+  // Host-side metadata (not simulated state).
+  int level;
+  std::uint64_t generation = 0;  // bumped on every pool reuse
+  bool live = false;
+};
+
+/// Allocation pool, mirroring SkipNodePool: reuse keeps simulated
+/// addresses and bumps `generation` so use-after-free is detectable.
+class LindenNodePool {
+ public:
+  LindenNodePool(psim::Engine& eng, int max_level)
+      : eng_(eng), free_by_level_(static_cast<std::size_t>(max_level) + 1) {}
+
+  LindenNode* acquire_raw(int level, Key key, Value value);
+  LindenNode* acquire(Cpu& cpu, int level, Key key, Value value);
+  void release(LindenNode* node);
+
+  std::uint64_t created() const { return created_; }
+  std::uint64_t reused() const { return reused_; }
+  std::uint64_t released() const { return released_; }
+
+ private:
+  LindenNode* fetch(int level);
+
+  psim::Engine& eng_;
+  std::vector<std::vector<LindenNode*>> free_by_level_;
+  std::vector<std::unique_ptr<LindenNode>> all_;
+  std::uint64_t created_ = 0;
+  std::uint64_t reused_ = 0;
+  std::uint64_t released_ = 0;
+};
+
+class SimLindenQueue {
+ public:
+  struct Options {
+    int max_level = 16;
+    double p = 0.5;
+    /// Dead-prefix length that triggers physical restructuring.
+    int boundoffset = 32;
+    bool use_gc = true;       ///< entry registry + garbage lists + collector
+    Cycles gc_period = 2000;  ///< collector scan period
+  };
+
+  SimLindenQueue(psim::Engine& eng, Options opt);
+
+  /// Adds the collector daemon (call once, before Engine::run, iff
+  /// Options::use_gc).
+  void spawn_collector();
+
+  /// Inserts (key, value). Duplicates allowed; every call adds an item.
+  void insert(Cpu& cpu, Key key, Value value);
+
+  /// Claims a minimal live item with one fetch-or; nullopt for EMPTY.
+  std::optional<std::pair<Key, Value>> delete_min(Cpu& cpu);
+
+  // ---- host-side (pre/post-run) helpers ---------------------------------
+  void seed(Key key, Value value);
+  /// Keys of live (unclaimed) bottom-level nodes, in list order.
+  std::vector<Key> keys_raw() const;
+  std::size_t size_raw() const;
+
+  std::uint64_t restructures() const { return restructures_; }
+  const Options& options() const { return opt_; }
+  LindenNodePool& pool() { return pool_; }
+  GarbageLists<LindenNode>& garbage() { return garbage_; }
+  const EntryRegistry& registry() const { return registry_; }
+
+ private:
+  static std::uintptr_t pack(LindenNode* n, bool marked) {
+    return reinterpret_cast<std::uintptr_t>(n) |
+           (marked ? std::uintptr_t{1} : std::uintptr_t{0});
+  }
+  static LindenNode* strip(std::uintptr_t w) {
+    return reinterpret_cast<LindenNode*>(w & ~std::uintptr_t{1});
+  }
+  static bool is_marked(std::uintptr_t w) { return (w & 1u) != 0; }
+
+  int random_level(Cpu& cpu);
+  bool key_before(Cpu& cpu, LindenNode* n, Key key) const;
+
+  /// Search pass: positions preds/succs around `key`, skipping nodes that
+  /// look deleted; returns the last bottom-level node passed through a
+  /// marked pointer.
+  LindenNode* locate_preds(Cpu& cpu, Key key, std::vector<LindenNode*>& preds,
+                           std::vector<LindenNode*>& succs);
+
+  /// Lazy per-level head repair after a winning head swing.
+  void restructure(Cpu& cpu);
+
+  psim::Engine& eng_;
+  Options opt_;
+  LindenNodePool pool_;
+  EntryRegistry registry_;
+  GarbageLists<LindenNode> garbage_;
+  LindenNode* head_;
+  LindenNode* tail_;
+  std::vector<slpq::detail::Xoshiro256> level_rngs_;  // one per processor
+  slpq::detail::Xoshiro256 seed_rng_;                 // host-side seeding
+  slpq::detail::GeometricLevel level_dist_;
+  std::int64_t size_ = 0;  // host counter (fibers run on one real thread)
+  std::uint64_t restructures_ = 0;
+};
+
+}  // namespace simq

@@ -127,7 +127,9 @@ class NodePool {
   struct SharedClass {
     TinySpinLock lock;
     FreeBlock* head = nullptr;
-    std::uint32_t count = 0;
+    // Atomic because allocate() peeks it without the lock; all writes
+    // happen under the lock, so relaxed ordering suffices.
+    std::atomic<std::uint32_t> count{0};
   };
 
   static constexpr std::size_t class_of(std::size_t bytes) noexcept {
@@ -158,14 +160,15 @@ class NodePool {
 
   bool refill_from_shared(ThreadCache& tc, std::size_t cls) {
     SharedClass& sc = shared_[cls].value;
-    if (sc.count == 0) return false;  // racy peek; a miss just carves
+    if (sc.count.load(std::memory_order_relaxed) == 0)
+      return false;  // racy peek; a miss just carves
     std::lock_guard<TinySpinLock> g(sc.lock);
     if (!sc.head) return false;
     // Take the whole overflow list; it is bounded by spill granularity.
     tc.free[cls] = sc.head;
-    tc.count[cls] = sc.count;
+    tc.count[cls] = sc.count.load(std::memory_order_relaxed);
     sc.head = nullptr;
-    sc.count = 0;
+    sc.count.store(0, std::memory_order_relaxed);
     return true;
   }
 
@@ -184,7 +187,8 @@ class NodePool {
     std::lock_guard<TinySpinLock> g(sc.lock);
     donated_last->next = sc.head;
     sc.head = donated;
-    sc.count += donated_count;
+    sc.count.store(sc.count.load(std::memory_order_relaxed) + donated_count,
+                   std::memory_order_relaxed);
   }
 
   void* carve(ThreadCache& tc, std::size_t bytes) {

@@ -1,0 +1,431 @@
+// slpq::LindenSkipQueue — batched-prefix delete_min (Lindén & Jonsson,
+// OPODIS 2013), the fastest exact skiplist priority queue in Gruber's
+// survey and the exact baseline of "Engineering MultiQueues".
+//
+// Where the paper's SkipQueue (and our LockFreeSkipQueue) pays a full
+// top-down mark plus a find() unlink pass on every successful delete_min,
+// this design defers all physical restructuring and makes the delete_min
+// hot path ~one atomic instruction:
+//
+//  * Mark-on-next encoding: the low bit of a node's *bottom-level* next
+//    pointer says "my successor is logically deleted". Deleted nodes are
+//    therefore exactly the nodes reached from the head by following marked
+//    pointers, and they form a contiguous prefix of the bottom level.
+//  * delete_min is a read-only walk over that deleted prefix followed by a
+//    single fetch_or on the last dead node's (or the head's) next pointer.
+//    An unmarked previous value means the caller claimed that pointer's
+//    successor — the minimal live node — with one atomic RMW and zero
+//    stores to any other node.
+//  * Physical restructuring is batched: only when the walked prefix exceeds
+//    Options::boundoffset does the claimant try one CAS swinging
+//    head->next[0] past the whole dead prefix, then lazily repair the upper
+//    levels (restructure()) and retire the bypassed nodes. Between
+//    restructurings the upper levels may point into the dead prefix; every
+//    traversal skips such nodes via the is_marked(node->next[0]) proxy.
+//  * Inserts locate their spot with a search that skips dead nodes, link
+//    bottom-up, and never land inside the dead prefix (splicing after a
+//    node requires its next pointer to be unmarked). A node's `inserting`
+//    flag keeps a concurrent restructuring from swinging the head past a
+//    node whose upper levels are still being linked.
+//  * Reclamation: retired prefixes flow through the paper's Section 3
+//    scheme (TimestampReclaimer), exactly like the other native queues, so
+//    the ABA/use-after-free story is unchanged. A swept node is retired by
+//    the unique winner of the head CAS, under its guard.
+//
+// Options::timestamps (default off — Lindén's queue has no time-stamps)
+// adds the paper's Section 4.2 eligibility filter: delete_min will not
+// claim a node whose insert completed after the operation entered. Because
+// a claim in this encoding is positional (marking the predecessor's
+// pointer), an ineligible *minimum* cannot be skipped the way the
+// claimed-flag queues skip it — doing so would mark a live node's pointer
+// and break the contiguous-prefix invariant — so the timestamped variant
+// conservatively reports empty in that case. See docs/ALGORITHMS.md.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <new>
+#include <optional>
+#include <utility>
+
+#include "slpq/detail/node_pool.hpp"
+#include "slpq/detail/random.hpp"
+#include "slpq/ts_reclaimer.hpp"
+
+namespace slpq {
+
+class LindenSkipQueueTestPeer;
+
+template <typename Key, typename Value, typename Compare = std::less<Key>>
+class LindenSkipQueue {
+ public:
+  struct Options {
+    int max_level = 20;
+    double p = 0.5;
+    /// Dead-prefix length that triggers physical restructuring. Small
+    /// values restructure (and contend on the head) often; large values
+    /// make every walk crawl a long dead prefix. See
+    /// bench/ablation_boundoffset.cpp for the trade.
+    int boundoffset = 32;
+    bool timestamps = false;  ///< true => Section 4.2 eligibility filter
+    bool pooled = true;       ///< allocate nodes from a per-thread NodePool
+    std::uint64_t seed = 0x11DE9A11ULL;
+  };
+
+  LindenSkipQueue() : LindenSkipQueue(Options()) {}
+
+  explicit LindenSkipQueue(Options opt, Compare cmp = Compare())
+      : opt_(opt),
+        cmp_(std::move(cmp)),
+        level_dist_(opt.p, opt.max_level),
+        reclaimer_([this](void* p) {
+          Node::destroy(static_cast<Node*>(p), pool_ptr());
+        }) {
+    assert(opt_.max_level >= 1 && opt_.max_level <= kMaxPossibleLevel);
+    if (opt_.boundoffset < 1) opt_.boundoffset = 1;
+    head_ = Node::make(pool_ptr(), opt_.max_level, NodeKind::Head);
+    tail_ = Node::make(pool_ptr(), opt_.max_level, NodeKind::Tail);
+    head_->stamp.store(0, std::memory_order_relaxed);
+    tail_->stamp.store(0, std::memory_order_relaxed);
+    for (int i = 0; i < opt_.max_level; ++i)
+      head_->next(i).store(pack(tail_, false), std::memory_order_relaxed);
+  }
+
+  ~LindenSkipQueue() {
+    // Every node still reachable from the head (dead prefix included —
+    // unswept claims are not yet retired) is freed here; swept nodes live
+    // in the reclaimer, whose destructor drains them.
+    Node* n = strip(head_->next(0).load(std::memory_order_relaxed));
+    while (n != tail_) {
+      Node* next = strip(n->next(0).load(std::memory_order_relaxed));
+      Node::destroy(n, pool_ptr());
+      n = next;
+    }
+    Node::destroy(head_, pool_ptr());
+    Node::destroy(tail_, pool_ptr());
+  }
+
+  LindenSkipQueue(const LindenSkipQueue&) = delete;
+  LindenSkipQueue& operator=(const LindenSkipQueue&) = delete;
+
+  /// Inserts (key, value). Duplicate keys are allowed; every call adds a
+  /// distinct item (new duplicates land in front of old ones).
+  void insert(const Key& key, const Value& value) {
+    TimestampReclaimer::Guard guard(reclaimer_);
+
+    const int top = random_level();
+    Node* n = Node::make(pool_ptr(), top, NodeKind::Interior, key, value);
+    n->inserting.store(true, std::memory_order_relaxed);
+    if (opt_.timestamps)
+      n->stamp.store(kNeverStamped, std::memory_order_relaxed);
+
+    Node* preds[kMaxPossibleLevel];
+    Node* succs[kMaxPossibleLevel];
+
+    // Bottom level first; its CAS is the insert's linearization. The
+    // expected value is unmarked, so we can never splice in front of a
+    // deleted node — new nodes land at or after the dead/live boundary.
+    Node* del;
+    for (;;) {
+      del = locate_preds(key, preds, succs);
+      n->next(0).store(pack(succs[0], false), std::memory_order_relaxed);
+      std::uintptr_t expected = pack(succs[0], false);
+      if (preds[0]->next(0).compare_exchange_strong(
+              expected, pack(n, false), std::memory_order_acq_rel,
+              std::memory_order_acquire))
+        break;
+    }
+
+    // Upper levels. Stop if we got claimed meanwhile (our own next[0]
+    // marked means our successor died — we are at or inside the dead
+    // prefix), if the successor died, or if it sits inside the dead prefix.
+    for (int lv = 1; lv < top;) {
+      n->next(lv).store(pack(succs[lv], false), std::memory_order_relaxed);
+      if (is_marked(n->next(0).load(std::memory_order_acquire)) ||
+          is_marked(succs[lv]->next(0).load(std::memory_order_acquire)) ||
+          succs[lv] == del)
+        break;
+      std::uintptr_t expected = pack(succs[lv], false);
+      if (preds[lv]->next(lv).compare_exchange_strong(
+              expected, pack(n, false), std::memory_order_acq_rel,
+              std::memory_order_acquire)) {
+        ++lv;
+        continue;
+      }
+      del = locate_preds(key, preds, succs);  // competing insert/restructure
+      if (succs[0] != n) break;               // we were claimed and bypassed
+    }
+
+    n->inserting.store(false, std::memory_order_release);
+    if (opt_.timestamps)
+      n->stamp.store(reclaimer_.advance_clock(), std::memory_order_release);
+    size_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Claims and removes a minimal live item: a read-only walk over the
+  /// deleted prefix, then one fetch_or. Restructures when the prefix
+  /// exceeds Options::boundoffset.
+  std::optional<std::pair<Key, Value>> delete_min() {
+    TimestampReclaimer::Guard guard(reclaimer_);
+    return claim_min(guard.entry_time());
+  }
+
+  std::size_t size() const noexcept {
+    const auto s = size_.load(std::memory_order_relaxed);
+    return s < 0 ? 0 : static_cast<std::size_t>(s);
+  }
+  bool empty() const noexcept { return size() == 0; }
+  std::uint64_t reclaimed() const { return reclaimer_.freed_total(); }
+  /// Nodes whose allocation was served from the pool's free lists.
+  std::uint64_t pool_reused() const { return pool_.reused(); }
+  /// Dead-prefix batches swept by the head CAS (restructure frequency).
+  std::uint64_t restructures() const {
+    return restructures_.load(std::memory_order_relaxed);
+  }
+  const Options& options() const noexcept { return opt_; }
+
+ private:
+  friend class LindenSkipQueueTestPeer;
+
+  static constexpr int kMaxPossibleLevel = 64;
+  static constexpr std::uint64_t kNeverStamped = ~std::uint64_t{0};
+
+  enum class NodeKind : std::uint8_t { Head, Interior, Tail };
+
+  struct Node {
+    std::atomic<bool> inserting{false};
+    std::atomic<std::uint64_t> stamp{0};
+    NodeKind kind;
+    int level;
+    std::atomic<std::uintptr_t>* next_;
+    alignas(Key) unsigned char key_buf[sizeof(Key)];
+    alignas(Value) unsigned char value_buf[sizeof(Value)];
+
+    Key& key() noexcept { return *reinterpret_cast<Key*>(key_buf); }
+    Value& value() noexcept { return *reinterpret_cast<Value*>(value_buf); }
+    std::atomic<std::uintptr_t>& next(int lv) noexcept { return next_[lv]; }
+
+    static std::size_t bytes_for(int level) noexcept {
+      return sizeof(Node) + static_cast<std::size_t>(level) *
+                                sizeof(std::atomic<std::uintptr_t>);
+    }
+
+    static constexpr bool pool_compatible() noexcept {
+      return alignof(Node) <= detail::NodePool::kGranularity;
+    }
+
+    static Node* make(detail::NodePool* pool, int level, NodeKind kind) {
+      const std::size_t bytes = bytes_for(level);
+      void* raw = pool && pool_compatible()
+                      ? pool->allocate(bytes)
+                      : ::operator new(bytes, std::align_val_t{alignof(Node)});
+      Node* n = new (raw) Node();
+      n->kind = kind;
+      n->level = level;
+      n->next_ = reinterpret_cast<std::atomic<std::uintptr_t>*>(
+          reinterpret_cast<char*>(raw) + sizeof(Node));
+      for (int i = 0; i < level; ++i)
+        new (&n->next_[i]) std::atomic<std::uintptr_t>(0);
+      return n;
+    }
+
+    static Node* make(detail::NodePool* pool, int level, NodeKind kind,
+                      const Key& k, const Value& v) {
+      Node* n = make(pool, level, kind);
+      new (&n->key()) Key(k);
+      new (&n->value()) Value(v);
+      return n;
+    }
+
+    static void destroy(Node* n, detail::NodePool* pool) {
+      if (n->kind == NodeKind::Interior) {
+        n->key().~Key();
+        n->value().~Value();
+      }
+      const std::size_t bytes = bytes_for(n->level);
+      for (int i = 0; i < n->level; ++i)
+        n->next_[i].~atomic<std::uintptr_t>();
+      n->~Node();
+      if (pool && pool_compatible())
+        pool->deallocate(static_cast<void*>(n), bytes);
+      else
+        ::operator delete(static_cast<void*>(n),
+                          std::align_val_t{alignof(Node)});
+    }
+  };
+
+  // ---- marked-pointer helpers -------------------------------------------
+  static std::uintptr_t pack(Node* n, bool marked) noexcept {
+    return reinterpret_cast<std::uintptr_t>(n) | (marked ? 1u : 0u);
+  }
+  static Node* strip(std::uintptr_t w) noexcept {
+    return reinterpret_cast<Node*>(w & ~std::uintptr_t{1});
+  }
+  static bool is_marked(std::uintptr_t w) noexcept { return (w & 1u) != 0; }
+
+  bool key_before(Node* n, const Key& key) const {
+    if (n->kind == NodeKind::Tail) return false;
+    return cmp_(n->key(), key);
+  }
+
+  int random_level() {
+    thread_local detail::Xoshiro256 rng(
+        detail::SplitMix64(opt_.seed ^
+                           (reinterpret_cast<std::uintptr_t>(&rng) >> 4))
+            .next());
+    return level_dist_(rng);
+  }
+
+  /// The search pass: positions preds/succs around `key`, skipping nodes
+  /// that look deleted (their own next[0] is marked — exact inside the
+  /// contiguous dead prefix, where a node's successor being dead implies
+  /// the node itself is dead or is the prefix boundary) and, at the bottom
+  /// level, nodes reached through a marked pointer (definitely dead).
+  /// Returns the last bottom-level node passed through a marked pointer.
+  Node* locate_preds(const Key& key, Node** preds, Node** succs) {
+    Node* del = nullptr;
+    Node* x = head_;
+    for (int lv = opt_.max_level - 1; lv >= 0; --lv) {
+      std::uintptr_t w = x->next(lv).load(std::memory_order_acquire);
+      for (;;) {
+        const bool d = is_marked(w);  // only ever set at the bottom level
+        Node* c = strip(w);
+        if (c == tail_) break;
+        if (!key_before(c, key) &&
+            !is_marked(c->next(0).load(std::memory_order_acquire)) &&
+            !(lv == 0 && d))
+          break;
+        if (lv == 0 && d) del = c;
+        x = c;
+        w = x->next(lv).load(std::memory_order_acquire);
+      }
+      preds[lv] = x;
+      succs[lv] = strip(w);
+    }
+    return del;
+  }
+
+  /// The claim walk shared by delete_min and the test peer. `time` is the
+  /// eligibility horizon (ignored without Options::timestamps).
+  std::optional<std::pair<Key, Value>> claim_min(std::uint64_t time) {
+    Node* cur = head_;
+    std::uintptr_t w = head_->next(0).load(std::memory_order_acquire);
+    const std::uintptr_t obs_head = w;
+    Node* newhead = nullptr;  // earliest node the head CAS must not pass
+    std::size_t offset = 0;   // dead nodes walked (incl. the new claim)
+    Node* claimed = nullptr;
+
+    for (;;) {
+      Node* c = strip(w);
+      if (c == tail_) return std::nullopt;
+      if (is_marked(w)) {
+        // c is deleted: count it, remember it if its insert is still
+        // linking upper levels (the head must not swing past it), advance.
+        ++offset;
+        if (newhead == nullptr && c->inserting.load(std::memory_order_acquire))
+          newhead = c;
+        cur = c;
+        w = cur->next(0).load(std::memory_order_acquire);
+        continue;
+      }
+      // c is the first live node: claim cur's successor.
+      if (opt_.timestamps) {
+        if (c->stamp.load(std::memory_order_acquire) > time)
+          return std::nullopt;  // minimum inserted concurrently: see header
+        // CAS (not fetch_or) so the claim lands on the vetted node even if
+        // an unvetted insert splices in between the read and the RMW.
+        std::uintptr_t expected = pack(c, false);
+        if (cur->next(0).compare_exchange_strong(expected, pack(c, true),
+                                                 std::memory_order_acq_rel,
+                                                 std::memory_order_acquire)) {
+          claimed = c;
+          ++offset;
+          break;
+        }
+        w = expected;  // re-dispatch on whatever is there now
+        continue;
+      }
+      const std::uintptr_t prev =
+          cur->next(0).fetch_or(1, std::memory_order_acq_rel);
+      if (is_marked(prev)) {
+        w = prev;  // lost the race: prev's target is dead, walk on
+        continue;
+      }
+      claimed = strip(prev);  // the claim: cur's successor at fetch_or time
+      ++offset;
+      break;
+    }
+
+    std::pair<Key, Value> out{claimed->key(), claimed->value()};
+    size_.fetch_sub(1, std::memory_order_relaxed);
+
+    if (offset >= static_cast<std::size_t>(opt_.boundoffset)) {
+      if (newhead == nullptr) newhead = claimed;
+      // One CAS swings head->next[0] past the whole dead prefix (marked:
+      // the new first node is itself dead). Only the winner restructures
+      // the upper levels and retires the bypassed chain — which is frozen,
+      // since every pointer in it is marked and inserts need an unmarked
+      // expected value.
+      std::uintptr_t expected = obs_head;
+      if (head_->next(0).compare_exchange_strong(expected,
+                                                 pack(newhead, true),
+                                                 std::memory_order_acq_rel,
+                                                 std::memory_order_acquire)) {
+        restructures_.fetch_add(1, std::memory_order_relaxed);
+        restructure();
+        Node* g = strip(obs_head);
+        while (g != newhead) {
+          Node* nx = strip(g->next(0).load(std::memory_order_relaxed));
+          reclaimer_.retire(g);
+          g = nx;
+        }
+      }
+    }
+    return out;
+  }
+
+  /// Lazy upper-level repair after a head swing: per level (top-down),
+  /// advance past nodes that look deleted and swing head->next[lv] forward
+  /// with one CAS. Upper pointers are never marked; correctness only needs
+  /// the bottom level, so a stale upper pointer is a perf bug, not a
+  /// safety one.
+  void restructure() {
+    Node* pred = head_;
+    for (int lv = opt_.max_level - 1; lv >= 1;) {
+      Node* h = strip(head_->next(lv).load(std::memory_order_acquire));
+      if (!is_marked(h->next(0).load(std::memory_order_acquire))) {
+        --lv;
+        continue;
+      }
+      Node* cur = strip(pred->next(lv).load(std::memory_order_acquire));
+      while (is_marked(cur->next(0).load(std::memory_order_acquire))) {
+        pred = cur;
+        cur = strip(pred->next(lv).load(std::memory_order_acquire));
+      }
+      std::uintptr_t expected = pack(h, false);
+      if (head_->next(lv).compare_exchange_strong(expected, pack(cur, false),
+                                                  std::memory_order_acq_rel,
+                                                  std::memory_order_acquire))
+        --lv;
+    }
+  }
+
+  detail::NodePool* pool_ptr() noexcept {
+    return opt_.pooled ? &pool_ : nullptr;
+  }
+
+  // pool_ is the first member so it is destroyed last: the destructor body
+  // and reclaimer_'s drain both return blocks to it.
+  detail::NodePool pool_;
+  Options opt_;
+  Compare cmp_;
+  detail::GeometricLevel level_dist_;
+  TimestampReclaimer reclaimer_;
+  Node* head_;
+  Node* tail_;
+  std::atomic<std::int64_t> size_{0};
+  std::atomic<std::uint64_t> restructures_{0};
+};
+
+}  // namespace slpq

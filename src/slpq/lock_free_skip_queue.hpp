@@ -148,20 +148,19 @@ class LockFreeSkipQueue {
     TimestampReclaimer::Guard guard(reclaimer_);
     const std::uint64_t time = guard.entry_time();
 
-    Node* curr = strip(head_->next(0).load(std::memory_order_acquire));
-    while (curr != tail_) {
-      const bool eligible =
-          !opt_.timestamps ||
-          curr->stamp.load(std::memory_order_acquire) <= time;
-      if (eligible && !curr->claimed.load(std::memory_order_relaxed) &&
-          !curr->claimed.exchange(true, std::memory_order_acq_rel)) {
-        std::pair<Key, Value> out{curr->key(), curr->value()};
-        remove(curr);
-        return out;
-      }
-      curr = strip(curr->next(0).load(std::memory_order_acquire));
-    }
-    return std::nullopt;
+    Node* hit = scan_bottom(
+        strip(head_->next(0).load(std::memory_order_acquire)),
+        [](Node*) { return true; },
+        [&](Node* n) {
+          const bool eligible =
+              !opt_.timestamps ||
+              n->stamp.load(std::memory_order_acquire) <= time;
+          return eligible && try_claim(n);
+        });
+    if (hit == nullptr) return std::nullopt;
+    std::pair<Key, Value> out{hit->key(), hit->value()};
+    remove(hit);
+    return out;
   }
 
   /// Claims and removes the first not-yet-claimed item with this key.
@@ -170,36 +169,25 @@ class LockFreeSkipQueue {
     Node* preds[kMaxPossibleLevel];
     Node* succs[kMaxPossibleLevel];
     find(key, nullptr, preds, succs);
-    Node* curr = succs[0];
-    while (curr != tail_ && equals(curr, key)) {
-      if (!curr->claimed.load(std::memory_order_relaxed) &&
-          !curr->claimed.exchange(true, std::memory_order_acq_rel)) {
-        Value out = curr->value();
-        remove(curr);
-        return out;
-      }
-      curr = strip(curr->next(0).load(std::memory_order_acquire));
-    }
-    return std::nullopt;
+    Node* hit = scan_bottom(
+        succs[0], [&](Node* n) { return equals(n, key); },
+        [&](Node* n) { return try_claim(n); });
+    if (hit == nullptr) return std::nullopt;
+    Value out = hit->value();
+    remove(hit);
+    return out;
   }
 
   /// Advisory: is some unclaimed item with this key currently linked?
   bool contains(const Key& key) {
     TimestampReclaimer::Guard guard(reclaimer_);
-    Node* curr = head_;
-    for (int lv = opt_.max_level - 1; lv >= 0; --lv) {
-      Node* next = strip(curr->next(lv).load(std::memory_order_acquire));
-      while (node_before(next, key, nullptr)) {
-        curr = next;
-        next = strip(curr->next(lv).load(std::memory_order_acquire));
-      }
-    }
-    Node* cand = strip(curr->next(0).load(std::memory_order_acquire));
-    while (cand != tail_ && equals(cand, key)) {
-      if (!cand->claimed.load(std::memory_order_acquire)) return true;
-      cand = strip(cand->next(0).load(std::memory_order_acquire));
-    }
-    return false;
+    Node* preds[kMaxPossibleLevel];
+    Node* succs[kMaxPossibleLevel];
+    find(key, nullptr, preds, succs);
+    return scan_bottom(succs[0], [&](Node* n) { return equals(n, key); },
+                       [](Node* n) {
+                         return !n->claimed.load(std::memory_order_acquire);
+                       }) != nullptr;
   }
 
   std::size_t size() const noexcept {
@@ -313,6 +301,24 @@ class LockFreeSkipQueue {
                            (reinterpret_cast<std::uintptr_t>(&rng) >> 4))
             .next());
     return level_dist_(rng);
+  }
+
+  /// The bottom-level scan shared by delete_min, erase and contains: walks
+  /// from `curr` while `within(node)` holds, returning the first node
+  /// `visit` accepts (or nullptr when the walk ran out).
+  template <typename Within, typename Visit>
+  Node* scan_bottom(Node* curr, Within&& within, Visit&& visit) {
+    while (curr != tail_ && within(curr)) {
+      if (visit(curr)) return curr;
+      curr = strip(curr->next(0).load(std::memory_order_acquire));
+    }
+    return nullptr;
+  }
+
+  /// One test-and-test-and-set on the claimed flag; true iff we won it.
+  bool try_claim(Node* n) {
+    return !n->claimed.load(std::memory_order_relaxed) &&
+           !n->claimed.exchange(true, std::memory_order_acq_rel);
   }
 
   /// Harris-style find with helping: positions preds/succs around the

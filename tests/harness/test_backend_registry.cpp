@@ -104,9 +104,9 @@ void roundtrip_against_oracle(const Backend& backend, QueueHandle& queue,
 
 TEST(BackendRegistry, EnumeratesBothWorlds) {
   auto& reg = BackendRegistry::instance();
-  EXPECT_GE(reg.all().size(), 13u);
-  EXPECT_GE(reg.all(Flavor::Sim).size(), 6u);
-  EXPECT_GE(reg.all(Flavor::Native).size(), 7u);
+  EXPECT_GE(reg.all().size(), 15u);
+  EXPECT_GE(reg.all(Flavor::Sim).size(), 7u);
+  EXPECT_GE(reg.all(Flavor::Native).size(), 8u);
   for (const Backend* b : reg.all()) {
     EXPECT_FALSE(b->name.empty());
     EXPECT_FALSE(b->label.empty());
@@ -130,6 +130,7 @@ TEST(BackendRegistry, AliasesResolveToTheSameBackend) {
     EXPECT_EQ(reg.find(f, "mq"), reg.find(f, "multiqueue"));
     EXPECT_EQ(reg.find(f, "skipqueue"), reg.find(f, "skip"));
     EXPECT_EQ(reg.find(f, "hunt"), reg.find(f, "heap"));
+    EXPECT_EQ(reg.find(f, "lj"), reg.find(f, "linden"));
   }
   EXPECT_EQ(reg.find(Flavor::Native, "lf"),
             reg.find(Flavor::Native, "lockfree"));
@@ -158,6 +159,10 @@ TEST(BackendRegistry, KnobSchemaNamesConfigFields) {
     const Backend& heap = reg.require(f, "heap");
     EXPECT_NE(std::find(heap.knobs.begin(), heap.knobs.end(), "heap_capacity"),
               heap.knobs.end());
+    const Backend& linden = reg.require(f, "linden");
+    EXPECT_NE(std::find(linden.knobs.begin(), linden.knobs.end(),
+                        "boundoffset"),
+              linden.knobs.end());
   }
 }
 

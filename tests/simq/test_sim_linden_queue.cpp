@@ -1,0 +1,193 @@
+// simq::SimLindenQueue on the simulated machine: sequential semantics,
+// seeding, restructuring, multi-processor conservation, and reclamation
+// through the Section 3 collector.
+#include "simq/sim_linden_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "slpq/detail/random.hpp"
+
+using psim::Cpu;
+using psim::Engine;
+using psim::MachineConfig;
+using simq::Key;
+using simq::SimLindenQueue;
+using simq::Value;
+
+namespace {
+
+MachineConfig cfg(int procs) {
+  MachineConfig c;
+  c.processors = procs;
+  return c;
+}
+
+SimLindenQueue::Options opts(int boundoffset = 32, bool gc = false) {
+  SimLindenQueue::Options o;
+  o.max_level = 12;
+  o.boundoffset = boundoffset;
+  o.use_gc = gc;
+  return o;
+}
+
+}  // namespace
+
+TEST(SimLindenQueue, SequentialInsertDrainSorted) {
+  Engine eng(cfg(1));
+  SimLindenQueue q(eng, opts());
+  std::vector<Key> drained;
+  eng.add_processor([&](Cpu& cpu) {
+    for (Key k : {50, 10, 30, 20, 40})
+      q.insert(cpu, k, static_cast<Value>(k) * 2);
+    while (auto item = q.delete_min(cpu)) {
+      EXPECT_EQ(item->second, static_cast<Value>(item->first) * 2);
+      drained.push_back(item->first);
+    }
+  });
+  eng.run();
+  EXPECT_EQ(drained, (std::vector<Key>{10, 20, 30, 40, 50}));
+  EXPECT_EQ(q.size_raw(), 0u);
+}
+
+TEST(SimLindenQueue, EmptyQueueReturnsNullopt) {
+  Engine eng(cfg(1));
+  SimLindenQueue q(eng, opts());
+  bool empty_seen = false;
+  eng.add_processor([&](Cpu& cpu) {
+    empty_seen = !q.delete_min(cpu).has_value();
+  });
+  eng.run();
+  EXPECT_TRUE(empty_seen);
+}
+
+TEST(SimLindenQueue, DuplicateKeysAllDistinctItems) {
+  Engine eng(cfg(1));
+  SimLindenQueue q(eng, opts());
+  std::vector<Value> values;
+  eng.add_processor([&](Cpu& cpu) {
+    q.insert(cpu, 7, 1);
+    q.insert(cpu, 7, 2);
+    q.insert(cpu, 3, 0);
+    EXPECT_EQ(q.delete_min(cpu)->first, 3);
+    while (auto item = q.delete_min(cpu)) {
+      EXPECT_EQ(item->first, 7);
+      values.push_back(item->second);
+    }
+  });
+  eng.run();
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(values, (std::vector<Value>{1, 2}));
+  EXPECT_EQ(q.size_raw(), 0u);
+}
+
+TEST(SimLindenQueue, SeedPrePopulates) {
+  Engine eng(cfg(1));
+  SimLindenQueue q(eng, opts());
+  for (Key k = 100; k > 0; k -= 7) q.seed(k, static_cast<Value>(k));
+  const auto keys = q.keys_raw();
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(keys.size(), 15u);
+  EXPECT_EQ(q.size_raw(), 15u);
+
+  Key first = -1;
+  eng.add_processor([&](Cpu& cpu) { first = q.delete_min(cpu)->first; });
+  eng.run();
+  EXPECT_EQ(first, 2);  // 100 - 14*7
+}
+
+TEST(SimLindenQueue, RejectsSentinelKeys) {
+  Engine eng(cfg(1));
+  SimLindenQueue q(eng, opts());
+  EXPECT_THROW(q.seed(std::numeric_limits<Key>::max(), 0),
+               std::invalid_argument);
+  EXPECT_THROW(q.seed(std::numeric_limits<Key>::min(), 0),
+               std::invalid_argument);
+}
+
+TEST(SimLindenQueue, SmallBoundoffsetRestructuresAndRetires) {
+  Engine eng(cfg(1));
+  SimLindenQueue q(eng, opts(/*boundoffset=*/4));
+  eng.add_processor([&](Cpu& cpu) {
+    for (Key k = 0; k < 200; ++k) q.insert(cpu, k, 0);
+    while (q.delete_min(cpu)) {
+    }
+  });
+  eng.run();
+  EXPECT_GT(q.restructures(), 0u);
+  EXPECT_GT(q.garbage().total_retired(), 0u);
+}
+
+TEST(SimLindenQueue, CollectorReclaimsIntoPool) {
+  Engine eng(cfg(3));  // 2 workers + the collector daemon
+  SimLindenQueue q(eng, opts(/*boundoffset=*/4, /*gc=*/true));
+  q.spawn_collector();
+  for (int w = 0; w < 2; ++w) {
+    eng.add_processor([&, w](Cpu& cpu) {
+      for (Key k = 0; k < 300; ++k) q.insert(cpu, k * 2 + w, 0);
+      while (q.delete_min(cpu)) {
+      }
+    });
+  }
+  eng.run();
+  EXPECT_EQ(q.size_raw(), 0u);
+  EXPECT_GT(q.garbage().total_collected(), 0u);
+  EXPECT_GT(q.pool().released(), 0u);
+}
+
+TEST(SimLindenQueue, MultiProcConservation) {
+  constexpr int kProcs = 4;
+  constexpr Key kPer = 250;
+  Engine eng(cfg(kProcs));
+  SimLindenQueue q(eng, opts(/*boundoffset=*/8));
+  std::vector<std::vector<Value>> popped(kProcs);
+  for (int p = 0; p < kProcs; ++p) {
+    eng.add_processor([&, p](Cpu& cpu) {
+      slpq::detail::Xoshiro256 rng(static_cast<std::uint64_t>(p) + 1);
+      for (Key i = 0; i < kPer; ++i) {
+        // Unique value per item; keys collide across processors on purpose.
+        q.insert(cpu, static_cast<Key>(rng.below(64)),
+                 static_cast<Value>(p) * kPer + static_cast<Value>(i));
+        if (auto item = q.delete_min(cpu))
+          popped[static_cast<std::size_t>(p)].push_back(item->second);
+      }
+    });
+  }
+  eng.run();
+
+  std::vector<char> seen(kProcs * kPer, 0);
+  std::size_t count = 0;
+  for (const auto& mine : popped) {
+    for (auto v : mine) {
+      ASSERT_LT(v, static_cast<Value>(kProcs * kPer));
+      ASSERT_FALSE(seen[v]) << "value " << v << " claimed twice";
+      seen[v] = 1;
+      ++count;
+    }
+  }
+  EXPECT_EQ(count + q.size_raw(), static_cast<std::size_t>(kProcs * kPer));
+  EXPECT_EQ(q.keys_raw().size(), q.size_raw());
+}
+
+TEST(SimLindenQueue, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Engine eng(cfg(4));
+    SimLindenQueue q(eng, opts(/*boundoffset=*/8));
+    std::vector<Key> popped;
+    for (int p = 0; p < 4; ++p) {
+      eng.add_processor([&, p](Cpu& cpu) {
+        for (Key i = 0; i < 100; ++i) {
+          q.insert(cpu, i * 4 + p, 0);
+          if (i % 2 == 0)
+            if (auto item = q.delete_min(cpu)) popped.push_back(item->first);
+        }
+      });
+    }
+    eng.run();
+    return popped;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}

@@ -1,0 +1,140 @@
+// Empty-drain races on the claim-based native queues: N threads push the
+// queue through empty over and over while recording what they pop. Every
+// inserted item must be handed out exactly once — no duplicate claims, no
+// lost items — on both the claimed-flag queue (lockfree) and the
+// batched-prefix queue (linden). Lives in the stress binary so the tsan
+// preset (ctest -L stress) runs it under the race detector.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "slpq/detail/random.hpp"
+#include "slpq/linden_skip_queue.hpp"
+#include "slpq/lock_free_skip_queue.hpp"
+
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kOpsPerThread = 4000;
+
+/// Each thread inserts kOpsPerThread uniquely-valued items and attempts
+/// two delete_mins per insert, so the queue is driven through empty
+/// constantly. Afterwards the popped values plus a final drain must be
+/// exactly the inserted set.
+template <typename Queue>
+void conservation_under_empty_drain(Queue& q) {
+  const std::size_t total =
+      static_cast<std::size_t>(kThreads) * kOpsPerThread;
+  std::vector<std::vector<std::uint64_t>> popped(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&q, &popped, t] {
+      slpq::detail::Xoshiro256 rng(static_cast<std::uint64_t>(t) * 31 + 1);
+      auto& mine = popped[static_cast<std::size_t>(t)];
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const auto value = static_cast<std::uint64_t>(t) * kOpsPerThread +
+                           static_cast<std::uint64_t>(i);
+        q.insert(static_cast<std::int64_t>(rng.below(1 << 10)), value);
+        for (int d = 0; d < 2; ++d)
+          if (auto item = q.delete_min()) mine.push_back(item->second);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  while (auto item = q.delete_min()) popped[0].push_back(item->second);
+
+  std::vector<char> seen(total, 0);
+  std::size_t count = 0;
+  for (const auto& mine : popped) {
+    for (auto v : mine) {
+      ASSERT_LT(v, total);
+      ASSERT_FALSE(seen[v]) << "value " << v << " claimed twice";
+      seen[v] = 1;
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, total) << "items lost";
+  EXPECT_EQ(q.size(), 0u);
+}
+
+/// Prefill, then have every thread drain until it sees empty; the popped
+/// sets must partition the prefill exactly.
+template <typename Queue>
+void drain_race_hands_out_each_item_once(Queue& q) {
+  constexpr std::size_t kTotal = 20000;
+  slpq::detail::Xoshiro256 rng(5);
+  for (std::size_t i = 0; i < kTotal; ++i)
+    q.insert(static_cast<std::int64_t>(rng.below(1 << 14)),
+             static_cast<std::uint64_t>(i));
+
+  std::vector<std::vector<std::uint64_t>> popped(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&q, &popped, t] {
+      auto& mine = popped[static_cast<std::size_t>(t)];
+      while (auto item = q.delete_min()) mine.push_back(item->second);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  std::vector<char> seen(kTotal, 0);
+  std::size_t count = 0;
+  for (const auto& mine : popped) {
+    for (auto v : mine) {
+      ASSERT_LT(v, kTotal);
+      ASSERT_FALSE(seen[v]) << "value " << v << " claimed twice";
+      seen[v] = 1;
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, kTotal);
+  EXPECT_FALSE(q.delete_min().has_value());
+}
+
+using LockFree = slpq::LockFreeSkipQueue<std::int64_t, std::uint64_t>;
+using Linden = slpq::LindenSkipQueue<std::int64_t, std::uint64_t>;
+
+}  // namespace
+
+TEST(EmptyDrainStress, LockFreeConservation) {
+  LockFree q;
+  conservation_under_empty_drain(q);
+}
+
+TEST(EmptyDrainStress, LindenConservation) {
+  Linden q;
+  conservation_under_empty_drain(q);
+}
+
+TEST(EmptyDrainStress, LindenConservationTinyBoundoffset) {
+  Linden::Options opt;
+  opt.boundoffset = 2;  // restructure storms right at the empty boundary
+  Linden q(opt);
+  conservation_under_empty_drain(q);
+}
+
+TEST(EmptyDrainStress, LindenConservationTimestamped) {
+  Linden::Options opt;
+  opt.timestamps = true;
+  Linden q(opt);
+  conservation_under_empty_drain(q);
+}
+
+TEST(EmptyDrainStress, LockFreeDrainRace) {
+  LockFree q;
+  drain_race_hands_out_each_item_once(q);
+}
+
+TEST(EmptyDrainStress, LindenDrainRace) {
+  Linden q;
+  drain_race_hands_out_each_item_once(q);
+}
+
+TEST(EmptyDrainStress, LindenDrainRaceTinyBoundoffset) {
+  Linden::Options opt;
+  opt.boundoffset = 4;
+  Linden q(opt);
+  drain_race_hands_out_each_item_once(q);
+}

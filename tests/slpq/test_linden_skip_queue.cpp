@@ -1,0 +1,221 @@
+// slpq::LindenSkipQueue unit tests: single-threaded semantics, the
+// boundoffset restructuring knob, reclamation, and the timestamped
+// variant's conservative eligibility rule (concurrent stress lives in
+// test_empty_drain_stress.cpp).
+#include "slpq/linden_skip_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "slpq/detail/random.hpp"
+#include "slpq/global_lock_pq.hpp"
+
+namespace slpq {
+
+/// White-box hook: runs the delete_min claim walk with a caller-chosen
+/// entry time, so timestamp eligibility is testable deterministically.
+class LindenSkipQueueTestPeer {
+ public:
+  template <typename K, typename V, typename C>
+  static std::optional<std::pair<K, V>> claim_min_at(
+      LindenSkipQueue<K, V, C>& q, std::uint64_t time) {
+    TimestampReclaimer::Guard guard(q.reclaimer_);
+    return q.claim_min(time);
+  }
+
+  template <typename K, typename V, typename C>
+  static std::uint64_t clock_now(LindenSkipQueue<K, V, C>& q) {
+    return q.reclaimer_.now();
+  }
+};
+
+}  // namespace slpq
+
+namespace {
+
+using Queue = slpq::LindenSkipQueue<std::int64_t, std::uint64_t>;
+using Peer = slpq::LindenSkipQueueTestPeer;
+
+TEST(LindenSkipQueue, DrainsSorted) {
+  Queue q;
+  slpq::detail::Xoshiro256 rng(7);
+  std::vector<std::int64_t> keys;
+  for (int i = 0; i < 500; ++i)
+    keys.push_back(static_cast<std::int64_t>(rng.below(1 << 20)));
+  for (auto k : keys) q.insert(k, static_cast<std::uint64_t>(k) + 1);
+  EXPECT_EQ(q.size(), keys.size());
+
+  std::vector<std::int64_t> drained;
+  while (auto item = q.delete_min()) {
+    EXPECT_EQ(item->second, static_cast<std::uint64_t>(item->first) + 1);
+    drained.push_back(item->first);
+  }
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(drained, keys);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(LindenSkipQueue, EmptyReturnsNullopt) {
+  Queue q;
+  EXPECT_FALSE(q.delete_min().has_value());
+  q.insert(1, 1);
+  EXPECT_TRUE(q.delete_min().has_value());
+  EXPECT_FALSE(q.delete_min().has_value());
+  EXPECT_FALSE(q.delete_min().has_value());
+}
+
+TEST(LindenSkipQueue, DuplicateKeysAllDistinctItems) {
+  Queue q;
+  for (std::uint64_t v = 0; v < 5; ++v) q.insert(42, v);
+  q.insert(7, 100);
+  EXPECT_EQ(q.size(), 6u);
+  EXPECT_EQ(q.delete_min()->first, 7);
+  std::vector<std::uint64_t> values;
+  while (auto item = q.delete_min()) {
+    EXPECT_EQ(item->first, 42);
+    values.push_back(item->second);
+  }
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(values, (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(LindenSkipQueue, MatchesSequentialOracle) {
+  Queue q;
+  slpq::GlobalLockPQ<std::int64_t, std::uint64_t> oracle;
+  slpq::detail::Xoshiro256 rng(99);
+  std::int64_t next = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (rng.bernoulli(0.55)) {
+      const std::int64_t key = next * 7919 % 1000003;
+      q.insert(key, static_cast<std::uint64_t>(next));
+      oracle.insert(key, static_cast<std::uint64_t>(next));
+      ++next;
+    } else {
+      const auto got = q.delete_min();
+      const auto want = oracle.delete_min();
+      ASSERT_EQ(got.has_value(), want.has_value()) << "op " << i;
+      if (got) {
+        EXPECT_EQ(got->first, want->first) << "op " << i;
+      }
+    }
+  }
+  EXPECT_EQ(q.size(), oracle.size());
+}
+
+TEST(LindenSkipQueue, SmallBoundoffsetRestructures) {
+  Queue::Options opt;
+  opt.boundoffset = 1;  // every claim sweeps the prefix
+  Queue q(opt);
+  for (int i = 0; i < 256; ++i) q.insert(i, static_cast<std::uint64_t>(i));
+  for (int i = 0; i < 256; ++i) {
+    auto item = q.delete_min();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(item->first, i);
+  }
+  EXPECT_GT(q.restructures(), 0u);
+}
+
+TEST(LindenSkipQueue, HugeBoundoffsetNeverRestructures) {
+  Queue::Options opt;
+  opt.boundoffset = 1 << 20;
+  Queue q(opt);
+  for (int i = 0; i < 512; ++i) q.insert(i, 0);
+  for (int i = 0; i < 512; ++i) ASSERT_TRUE(q.delete_min().has_value());
+  EXPECT_EQ(q.restructures(), 0u);
+  EXPECT_TRUE(q.empty());
+  // The dead prefix is still linked; the destructor must free it (checked
+  // by asan on teardown).
+}
+
+TEST(LindenSkipQueue, ChurnReclaimsSweptPrefixes) {
+  Queue::Options opt;
+  opt.boundoffset = 8;
+  Queue q(opt);
+  slpq::detail::Xoshiro256 rng(3);
+  for (int i = 0; i < 512; ++i)
+    q.insert(static_cast<std::int64_t>(rng.below(1 << 12)), 1);
+  for (int round = 0; round < 40; ++round) {
+    for (int i = 0; i < 256; ++i) ASSERT_TRUE(q.delete_min().has_value());
+    for (int i = 0; i < 256; ++i)
+      q.insert(static_cast<std::int64_t>(rng.below(1 << 12)), 1);
+  }
+  EXPECT_GT(q.restructures(), 0u);
+  EXPECT_GT(q.reclaimed(), 0u);
+  EXPECT_GT(q.pool_reused(), 0u);
+}
+
+TEST(LindenSkipQueue, InsertsLandAfterTheDeadPrefix) {
+  // Regression guard for the contiguity invariant: with a large bound the
+  // dead prefix stays linked, and an insert of a key smaller than every
+  // dead key must still surface as the next minimum.
+  Queue::Options opt;
+  opt.boundoffset = 1 << 20;
+  Queue q(opt);
+  for (int i = 100; i < 200; ++i) q.insert(i, 0);
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(q.delete_min().has_value());
+  q.insert(5, 99);  // smaller than all the dead keys
+  auto item = q.delete_min();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(item->first, 5);
+  EXPECT_EQ(item->second, 99u);
+  EXPECT_EQ(q.delete_min()->first, 150);
+}
+
+// ---- timestamped variant (Options::timestamps) ---------------------------
+
+TEST(LindenSkipQueue, TimestampsIgnoreConcurrentlyInsertedNodes) {
+  Queue::Options opt;
+  opt.timestamps = true;
+  Queue q(opt);
+
+  q.insert(10, 1);
+  q.insert(5, 2);
+
+  // An operation that "entered" before either insert completed must not
+  // return them; in this encoding claiming past a live node is impossible,
+  // so it conservatively reports empty.
+  EXPECT_FALSE(Peer::claim_min_at(q, 0).has_value());
+  EXPECT_EQ(q.size(), 2u);
+
+  // An operation entering now sees both.
+  const auto now = Peer::clock_now(q);
+  auto item = Peer::claim_min_at(q, now);
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(item->first, 5);
+
+  // A fresh insert of a smaller key is invisible to an older entry time,
+  // even though an eligible (older) node sits right behind it.
+  const auto before = Peer::clock_now(q);
+  q.insert(1, 3);
+  EXPECT_FALSE(Peer::claim_min_at(q, before).has_value());
+  EXPECT_EQ(Peer::claim_min_at(q, Peer::clock_now(q))->first, 1);
+  EXPECT_EQ(Peer::claim_min_at(q, Peer::clock_now(q))->first, 10);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(LindenSkipQueue, TimestampedPublicApiStillDrainsSorted) {
+  Queue::Options opt;
+  opt.timestamps = true;
+  Queue q(opt);
+  for (int k : {9, 3, 7, 1, 5}) q.insert(k, 0);
+  std::vector<std::int64_t> drained;
+  while (auto item = q.delete_min()) drained.push_back(item->first);
+  EXPECT_EQ(drained, (std::vector<std::int64_t>{1, 3, 5, 7, 9}));
+}
+
+TEST(LindenSkipQueue, UnpooledAllocationWorks) {
+  Queue::Options opt;
+  opt.pooled = false;
+  opt.boundoffset = 4;
+  Queue q(opt);
+  for (int i = 0; i < 200; ++i) q.insert(i ^ 0x55, 0);
+  std::size_t n = 0;
+  while (q.delete_min()) ++n;
+  EXPECT_EQ(n, 200u);
+}
+
+}  // namespace

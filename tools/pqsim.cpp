@@ -33,7 +33,7 @@ namespace {
       "             [--procs N | --sweep [--max-procs N]]\n"
       "             [--ops N] [--initial N] [--insert-ratio F]\n"
       "             [--work N] [--seed N] [--max-level N]\n"
-      "             [--mq-c N] [--mq-stickiness N]\n"
+      "             [--mq-c N] [--mq-stickiness N] [--boundoffset N]\n"
       "             [--no-gc] [--pad-nodes] [--no-occupancy]\n"
       "             [--csv PATH]\n"
       "\n"
@@ -47,6 +47,8 @@ namespace {
       "  --mq-c N               MultiQueue shards per worker (default 2)\n"
       "  --mq-stickiness N      MultiQueue ops on the same shard before\n"
       "                         resampling (default 8)\n"
+      "  --boundoffset N        linden queue: dead-prefix length that\n"
+      "                         triggers restructuring (default 32)\n"
       "  --work N               local work between ops: cycles on sim,\n"
       "                         spin iterations on native (default 100)\n",
       harness::BackendRegistry::instance().names(harness::Flavor::Sim).c_str(),
@@ -136,6 +138,7 @@ int main(int argc, char** argv) {
     else if (arg == "--max-level") base.max_level = std::atoi(next());
     else if (arg == "--mq-c") base.mq_c = std::atoi(next());
     else if (arg == "--mq-stickiness") base.mq_stickiness = std::atoi(next());
+    else if (arg == "--boundoffset") base.boundoffset = std::atoi(next());
     else if (arg == "--no-gc") base.use_gc = false;
     else if (arg == "--pad-nodes") base.pad_nodes = true;
     else if (arg == "--no-occupancy") base.machine.model_dir_occupancy = false;
@@ -148,6 +151,7 @@ int main(int argc, char** argv) {
     usage("--insert-ratio must be in [0, 1]");
   if (base.mq_c < 1 || base.mq_stickiness < 1)
     usage("--mq-c and --mq-stickiness must be >= 1");
+  if (base.boundoffset < 1) usage("--boundoffset must be >= 1");
 
   // Resolve every requested structure up front so a typo fails before any
   // benchmark runs.
