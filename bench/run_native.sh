@@ -69,3 +69,23 @@ EOF
 else
   echo "run_native.sh: python3 not found, skipping $traj" >&2
 fi
+
+# Archive a telemetry snapshot next to the benchmark JSON: one pqsim run
+# per native backend with the counters from docs/TELEMETRY.md, so every
+# recorded throughput number has the contention breakdown that explains it.
+pqsim_bin="$build_dir/tools/pqsim"
+if [ -x "$pqsim_bin" ]; then
+  stats="$out_dir/BENCH_native_stats.json"
+  "$pqsim_bin" --machine native \
+    --structure skip,relaxed,lockfree,linden,multiqueue,heap,funnel,globallock \
+    --procs "${SLPQ_STATS_PROCS:-4}" --ops "${SLPQ_STATS_OPS:-20000}" \
+    --initial 1000 --stats-json "$stats.tmp" > /dev/null
+  mv "$stats.tmp" "$stats"
+  echo "wrote $stats"
+  if command -v python3 > /dev/null 2>&1; then
+    python3 "$repo_root/tools/check_stats_json.py" "$stats" \
+      --doc "$repo_root/docs/TELEMETRY.md"
+  fi
+else
+  echo "run_native.sh: $pqsim_bin not found, skipping telemetry snapshot" >&2
+fi

@@ -24,6 +24,8 @@
 #include <string_view>
 #include <vector>
 
+#include "slpq/telemetry.hpp"
+
 namespace psim {
 class Cpu;
 class Engine;
@@ -81,6 +83,11 @@ class QueueHandle {
   /// Called after all workers finished; relaxed structures push buffered
   /// items back into shared state here.
   virtual void quiesce() {}
+
+  /// The structure's operation counters (see docs/TELEMETRY.md). Every
+  /// backend emits at least the core counter set; structures may append
+  /// extras (e.g. the funnel's "combines"). Read after quiesce().
+  virtual slpq::TelemetrySnapshot telemetry() const { return {}; }
 };
 
 /// Everything a Backend factory gets to build its structure.

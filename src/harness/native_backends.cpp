@@ -38,6 +38,7 @@ class PlainHandle final : public QueueHandle {
     return std::nullopt;
   }
   std::size_t final_size() const override { return q_.size(); }
+  slpq::TelemetrySnapshot telemetry() const override { return q_.telemetry(); }
 
   Queue& queue() noexcept { return q_; }
 
@@ -69,6 +70,7 @@ class HuntHeapHandle final : public QueueHandle {
     return std::nullopt;
   }
   std::size_t final_size() const override { return q_.size(); }
+  slpq::TelemetrySnapshot telemetry() const override { return q_.telemetry(); }
 
  private:
   void insert_or_throw(Key key, Value value) {
@@ -114,6 +116,7 @@ class MultiQueueHandle final : public QueueHandle {
   void quiesce() override {
     for (auto* h : worker_handles_) h->flush();
   }
+  slpq::TelemetrySnapshot telemetry() const override { return q_.telemetry(); }
 
  private:
   NativeMultiQueue::Handle& handle(OpContext& ctx) {

@@ -40,7 +40,9 @@ BenchmarkResult run_native_benchmark(const BenchmarkConfig& cfg) {
 
   const BackendInit init{cfg, nullptr};
   auto queue = backend.make(init);
+  const std::uint64_t t_prefill_start = now_ns();
   spec::prefill(*queue, cfg);
+  const std::uint64_t t_prefill_end = now_ns();
 
   const int workers = cfg.processors;
   std::vector<spec::WorkerTally> tallies(static_cast<std::size_t>(workers));
@@ -71,10 +73,17 @@ BenchmarkResult run_native_benchmark(const BenchmarkConfig& cfg) {
   for (auto& t : threads) t.join();
   const std::uint64_t t_end = now_ns();
   queue->quiesce();
+  const std::uint64_t t_quiesce_end = now_ns();
 
   BenchmarkResult out = spec::merge(tallies, *queue);
   out.makespan = t_end - t_start;
   out.unit = "ns";
+
+  // Structure counters plus wall-clock phase timings (see docs/TELEMETRY.md).
+  out.telemetry = queue->telemetry();
+  out.telemetry.set("native.prefill_ns", t_prefill_end - t_prefill_start);
+  out.telemetry.set("native.run_ns", t_end - t_start);
+  out.telemetry.set("native.quiesce_ns", t_quiesce_end - t_end);
   return out;
 }
 

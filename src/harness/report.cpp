@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+
+#include "harness/workload.hpp"
 
 namespace harness {
 
@@ -71,6 +74,101 @@ std::string fmt(double v, int decimals) {
 std::string fmt_ratio(double num, double den) {
   if (den == 0.0 || !std::isfinite(num / den)) return "-";
   return fmt(num / den, 2) + "x";
+}
+
+// ---- telemetry report ------------------------------------------------------
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return "0";
+  std::ostringstream os;
+  os << std::setprecision(17) << v;
+  return os.str();
+}
+
+}  // namespace
+
+void StatsReport::add(const BenchmarkConfig& cfg, const BenchmarkResult& result) {
+  StatsRun run;
+  run.machine = to_string(cfg.flavor);
+  run.structure = cfg.structure;
+  run.processors = cfg.processors;
+  run.total_ops = cfg.total_ops;
+  run.unit = result.unit;
+  run.makespan = result.makespan;
+  run.inserts = result.inserts;
+  run.deletes = result.deletes;
+  run.empties = result.empties;
+  run.mean_insert = result.mean_insert();
+  run.mean_delete = result.mean_delete();
+  run.mean_op = result.mean_op();
+  run.counters = result.telemetry;
+  runs.push_back(std::move(run));
+}
+
+void write_stats_json(const std::string& path, const StatsReport& report) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << "{\n  \"schema\": \"slpq-telemetry/1\",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < report.runs.size(); ++i) {
+    const StatsRun& r = report.runs[i];
+    out << "    {\n";
+    out << "      \"machine\": \"" << json_escape(r.machine) << "\",\n";
+    out << "      \"structure\": \"" << json_escape(r.structure) << "\",\n";
+    out << "      \"processors\": " << r.processors << ",\n";
+    out << "      \"total_ops\": " << r.total_ops << ",\n";
+    out << "      \"unit\": \"" << json_escape(r.unit) << "\",\n";
+    out << "      \"makespan\": " << r.makespan << ",\n";
+    out << "      \"inserts\": " << r.inserts << ",\n";
+    out << "      \"deletes\": " << r.deletes << ",\n";
+    out << "      \"empties\": " << r.empties << ",\n";
+    out << "      \"mean_insert\": " << json_double(r.mean_insert) << ",\n";
+    out << "      \"mean_delete\": " << json_double(r.mean_delete) << ",\n";
+    out << "      \"mean_op\": " << json_double(r.mean_op) << ",\n";
+    out << "      \"counters\": {";
+    for (std::size_t c = 0; c < r.counters.entries.size(); ++c) {
+      const auto& [name, value] = r.counters.entries[c];
+      out << (c ? ",\n        " : "\n        ");
+      out << '"' << json_escape(name) << "\": " << value;
+    }
+    out << (r.counters.entries.empty() ? "}" : "\n      }") << "\n";
+    out << "    }" << (i + 1 < report.runs.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  if (!out) throw std::runtime_error("error writing " + path);
+}
+
+void print_telemetry(std::ostream& os, const StatsRun& run) {
+  Table t;
+  t.title = "telemetry: " + run.structure + " (" + run.machine + ", " +
+            std::to_string(run.processors) + " procs)";
+  t.columns = {"counter", "value"};
+  for (const auto& [name, value] : run.counters.entries)
+    t.add_row({name, std::to_string(value)});
+  print_table(os, t);
 }
 
 }  // namespace harness

@@ -1,11 +1,18 @@
-// Plain-text tables and CSV output for the figure benches.
+// Plain-text tables, CSV output and the telemetry report (human table +
+// --stats-json emission) for the figure benches and pqsim.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "slpq/telemetry.hpp"
+
 namespace harness {
+
+struct BenchmarkConfig;  // workload.hpp
+struct BenchmarkResult;  // workload.hpp
 
 struct Table {
   std::string title;
@@ -24,5 +31,42 @@ void write_csv(const std::string& path, const Table& table);
 /// Fixed-decimal formatting helpers for table cells.
 std::string fmt(double v, int decimals = 0);
 std::string fmt_ratio(double num, double den);
+
+// ---- telemetry report ------------------------------------------------------
+//
+// One run's worth of the unified telemetry: the workload identity, the
+// headline throughput numbers, and the merged counter snapshot (structure
+// counters plus the driver's sim.* / native.* context keys). The same
+// structure backs both machines, so --stats-json has a single schema.
+
+struct StatsRun {
+  std::string machine;    ///< "sim" or "native"
+  std::string structure;  ///< canonical backend name from the registry
+  int processors = 0;
+  std::uint64_t total_ops = 0;
+  std::string unit;       ///< "cycles" or "ns"
+  std::uint64_t makespan = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t empties = 0;
+  double mean_insert = 0.0;
+  double mean_delete = 0.0;
+  double mean_op = 0.0;
+  slpq::TelemetrySnapshot counters;
+};
+
+struct StatsReport {
+  std::vector<StatsRun> runs;
+
+  /// Flattens one (config, result) pair into a StatsRun and appends it.
+  void add(const BenchmarkConfig& cfg, const BenchmarkResult& result);
+};
+
+/// Writes the report as JSON, schema "slpq-telemetry/1" (documented in
+/// docs/TELEMETRY.md and validated by tools/check_stats_json.py).
+void write_stats_json(const std::string& path, const StatsReport& report);
+
+/// Renders one run's counters as an aligned two-column table (--stats).
+void print_telemetry(std::ostream& os, const StatsRun& run);
 
 }  // namespace harness

@@ -58,6 +58,7 @@ class SimSkipQueueHandle final : public QueueHandle {
   void register_daemons() override {
     if (q_.options().use_gc) q_.spawn_collector();
   }
+  slpq::TelemetrySnapshot telemetry() const override { return q_.telemetry(); }
 
  private:
   simq::SimSkipQueue q_;
@@ -86,6 +87,7 @@ class SimHuntHeapHandle final : public QueueHandle {
     return std::nullopt;
   }
   std::size_t final_size() const override { return q_.size_raw(); }
+  slpq::TelemetrySnapshot telemetry() const override { return q_.telemetry(); }
 
  private:
   simq::SimHuntHeap q_;
@@ -117,6 +119,7 @@ class SimLindenQueueHandle final : public QueueHandle {
   void register_daemons() override {
     if (q_.options().use_gc) q_.spawn_collector();
   }
+  slpq::TelemetrySnapshot telemetry() const override { return q_.telemetry(); }
 
  private:
   simq::SimLindenQueue q_;
@@ -144,6 +147,7 @@ class SimMultiQueueHandle final : public QueueHandle {
     return std::nullopt;
   }
   std::size_t final_size() const override { return q_.size_raw(); }
+  slpq::TelemetrySnapshot telemetry() const override { return q_.telemetry(); }
 
  private:
   simq::SimMultiQueue q_;
@@ -170,6 +174,7 @@ class SimFunnelListHandle final : public QueueHandle {
     return std::nullopt;
   }
   std::size_t final_size() const override { return q_.size_raw(); }
+  slpq::TelemetrySnapshot telemetry() const override { return q_.telemetry(); }
 
  private:
   simq::SimFunnelList q_;

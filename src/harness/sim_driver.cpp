@@ -52,6 +52,27 @@ BenchmarkResult run_sim_benchmark(const BenchmarkConfig& cfg) {
   out.makespan = eng.horizon();
   out.unit = "cycles";
   out.machine_stats = eng.stats();
+
+  // Structure counters plus the machine's cache/coherence breakdown, under
+  // one namespace-prefixed key set (see docs/TELEMETRY.md).
+  out.telemetry = queue->telemetry();
+  const psim::SimStats& st = out.machine_stats;
+  out.telemetry.set("sim.reads", st.reads);
+  out.telemetry.set("sim.writes", st.writes);
+  out.telemetry.set("sim.rmws", st.rmws);
+  out.telemetry.set("sim.cache_hits", st.cache_hits);
+  out.telemetry.set("sim.miss_cold", st.miss_cold);
+  out.telemetry.set("sim.miss_shared", st.miss_shared);
+  out.telemetry.set("sim.miss_remote_dirty", st.miss_remote_dirty);
+  out.telemetry.set("sim.miss_upgrade", st.miss_upgrade);
+  out.telemetry.set("sim.invalidations_sent", st.invalidations_sent);
+  out.telemetry.set("sim.writebacks", st.writebacks);
+  out.telemetry.set("sim.dir_queue_cycles", st.dir_queue_cycles);
+  out.telemetry.set("sim.dir_queued_events", st.dir_queued_events);
+  out.telemetry.set("sim.lock_acquires", st.lock_acquires);
+  out.telemetry.set("sim.lock_contended", st.lock_contended);
+  out.telemetry.set("sim.fiber_switches", st.fiber_switches);
+  out.telemetry.set("sim.clock_reads", st.clock_reads);
   return out;
 }
 

@@ -56,6 +56,10 @@ struct BenchmarkResult {
   std::size_t final_size = 0;
   const char* unit = "cycles";     ///< latency unit: "cycles" (sim) or "ns" (native)
   psim::SimStats machine_stats;    ///< sim flavor only
+  /// Structure counters merged with driver context: the sim driver folds
+  /// in the SimStats cache/coherence breakdown (sim.* keys), the native
+  /// driver folds in wall-clock phase timings (native.* keys).
+  slpq::TelemetrySnapshot telemetry;
 
   double mean_insert() const { return insert_latency.mean(); }
   double mean_delete() const { return delete_latency.mean(); }

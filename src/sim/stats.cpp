@@ -1,10 +1,11 @@
 #include "sim/stats.hpp"
 
+#include <iomanip>
 #include <sstream>
 
 namespace psim {
 
-std::string SimStats::summary() const {
+std::string SimStats::summary(std::uint64_t ops) const {
   std::ostringstream os;
   const auto accesses = reads + writes + rmws;
   os << "shared accesses: " << accesses << " (r=" << reads << " w=" << writes
@@ -20,6 +21,26 @@ std::string SimStats::summary() const {
      << "\n";
   os << "engine: fiber-switches=" << fiber_switches
      << " clock-reads=" << clock_reads << "\n";
+
+  // Derived rates. Contention is meaningful without an op count; the
+  // per-op rates need one.
+  os << std::fixed << std::setprecision(3);
+  if (lock_acquires > 0) {
+    os << "rates: contended-lock ratio="
+       << static_cast<double>(lock_contended) /
+              static_cast<double>(lock_acquires);
+    if (ops > 0)
+      os << " misses/op="
+         << static_cast<double>(cache_misses()) / static_cast<double>(ops)
+         << " accesses/op="
+         << static_cast<double>(accesses) / static_cast<double>(ops);
+    os << "\n";
+  } else if (ops > 0) {
+    os << "rates: misses/op="
+       << static_cast<double>(cache_misses()) / static_cast<double>(ops)
+       << " accesses/op="
+       << static_cast<double>(accesses) / static_cast<double>(ops) << "\n";
+  }
   return os.str();
 }
 

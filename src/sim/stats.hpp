@@ -42,8 +42,10 @@ struct SimStats {
 
   void reset() noexcept { *this = SimStats{}; }
 
-  /// Multi-line human-readable summary.
-  std::string summary() const;
+  /// Multi-line human-readable summary. Pass the run's operation count to
+  /// also print derived rates (cache misses per operation, shared accesses
+  /// per operation, contended-lock ratio).
+  std::string summary(std::uint64_t ops = 0) const;
 };
 
 }  // namespace psim

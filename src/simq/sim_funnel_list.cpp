@@ -61,6 +61,7 @@ std::optional<std::pair<Key, Value>> SimFunnelList::delete_min(Cpu& cpu) {
   r.op = Op::DeleteMin;
   execute(cpu, r);
   if (!r.found) return std::nullopt;
+  counters_.add(slpq::Counter::kClaimWins);
   return std::make_pair(r.result_key, r.result_value);
 }
 
@@ -97,6 +98,8 @@ void SimFunnelList::execute(Cpu& cpu, Request& r) {
           cpu.advance(10);  // merging bookkeeping
         }
         other->lock.unlock(cpu);
+      } else {
+        counters_.add(slpq::Counter::kFailedCas);  // collision partner busy
       }
       r.lock.unlock(cpu);
     }

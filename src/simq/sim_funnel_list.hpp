@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "slpq/detail/random.hpp"
+#include "slpq/telemetry.hpp"
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
 #include "simq/sim_skipqueue.hpp"  // Key/Value aliases
@@ -55,6 +56,16 @@ class SimFunnelList {
 
   std::uint64_t combines() const { return combines_; }
   std::uint64_t batches_applied() const { return batches_; }
+
+  /// Operation counters (host-side, invisible to the simulated machine)
+  /// plus the funnel's own combine/batch tallies; see docs/TELEMETRY.md.
+  slpq::TelemetrySnapshot telemetry() const {
+    slpq::TelemetrySnapshot snap;
+    counters_.fill(snap);
+    snap.set("combines", combines_);
+    snap.set("batches_applied", batches_);
+    return snap;
+  }
 
  private:
   enum class Op : std::uint64_t { Insert, DeleteMin };
@@ -124,6 +135,7 @@ class SimFunnelList {
   std::vector<ListNode*> free_nodes_;
   std::uint64_t combines_ = 0;
   std::uint64_t batches_ = 0;
+  slpq::OpCounters counters_;  // host-side, not simulated state
 };
 
 }  // namespace simq

@@ -87,6 +87,7 @@ bool SimHuntHeap::insert(Cpu& cpu, Key key, Value value) {
     }
     // Remaining case: the parent is tagged by another in-flight insert;
     // release both locks and retry at the same position.
+    if (next_i == i) counters_.add(slpq::Counter::kInsertRetries);
     at(i).lock.unlock(cpu);
     at(par).lock.unlock(cpu);
     i = next_i;
@@ -119,7 +120,10 @@ std::optional<std::pair<Key, Value>> SimHuntHeap::delete_min(Cpu& cpu) {
   cpu.write(at(bound).tag, kTagEmpty);
   at(bound).lock.unlock(cpu);
 
-  if (bound == 1) return std::make_pair(last_key, last_value);
+  if (bound == 1) {
+    counters_.add(slpq::Counter::kClaimWins);
+    return std::make_pair(last_key, last_value);
+  }
 
   // Replace the root with the last item and sift down hand-over-hand.
   at(1).lock.lock(cpu);
@@ -127,6 +131,8 @@ std::optional<std::pair<Key, Value>> SimHuntHeap::delete_min(Cpu& cpu) {
     // A racing delete emptied the heap between our two lock regions; the
     // item we pulled out is the only one left and is itself the answer.
     at(1).lock.unlock(cpu);
+    counters_.add(slpq::Counter::kDeleteRetries);
+    counters_.add(slpq::Counter::kClaimWins);
     return std::make_pair(last_key, last_value);
   }
   const Key min_key = cpu.read(at(1).key);
@@ -173,6 +179,7 @@ std::optional<std::pair<Key, Value>> SimHuntHeap::delete_min(Cpu& cpu) {
   }
   at(i).lock.unlock(cpu);
 
+  counters_.add(slpq::Counter::kClaimWins);
   return std::make_pair(min_key, min_value);
 }
 

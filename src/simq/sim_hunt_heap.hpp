@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "slpq/telemetry.hpp"
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
 #include "simq/sim_skipqueue.hpp"  // Key/Value aliases
@@ -56,6 +57,15 @@ class SimHuntHeap {
   /// their common level. Exposed for tests.
   static std::size_t bit_rev_slot(std::size_t s);
 
+  /// Operation counters (host-side, invisible to the simulated machine);
+  /// see docs/TELEMETRY.md. The heap is a fixed array with no node pool or
+  /// GC, so those counters stay zero.
+  slpq::TelemetrySnapshot telemetry() const {
+    slpq::TelemetrySnapshot snap;
+    counters_.fill(snap);
+    return snap;
+  }
+
  private:
   static constexpr std::int64_t kTagEmpty = -1;
   static constexpr std::int64_t kTagAvailable = -2;
@@ -77,6 +87,7 @@ class SimHuntHeap {
   psim::Mutex heap_lock_;        // protects size_
   psim::Var<std::uint64_t> size_;
   std::vector<Slot> slots_;      // 1-based; slots_[0] unused
+  slpq::OpCounters counters_;    // host-side, not simulated state
 };
 
 }  // namespace simq

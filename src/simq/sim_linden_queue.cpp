@@ -124,6 +124,8 @@ SimLindenQueue::SimLindenQueue(psim::Engine& eng, Options opt)
   tail_ = pool_.acquire_raw(opt_.max_level, kTailKey, 0);
   for (int i = 0; i < opt_.max_level; ++i)
     head_->next[static_cast<std::size_t>(i)].set_raw(pack(tail_, false));
+  // Telemetry baseline: sentinel allocations don't count as pool_refills.
+  created_base_ = pool_.created();
   level_rngs_.reserve(static_cast<std::size_t>(eng.config().processors));
   for (int p = 0; p < eng.config().processors; ++p)
     level_rngs_.emplace_back(eng.config().seed * 0x9E3779B97F4A7C15ULL +
@@ -199,6 +201,8 @@ void SimLindenQueue::insert(Cpu& cpu, Key key, Value value) {
     cpu.write(n->next[0], pack(succs[0], false));
     if (cpu.cas(preds[0]->next[0], pack(succs[0], false), pack(n, false)))
       break;
+    counters_.add(slpq::Counter::kFailedCas);
+    counters_.add(slpq::Counter::kInsertRetries);
   }
 
   // Upper levels: stop if we got claimed, the successor died, or it sits
@@ -214,6 +218,7 @@ void SimLindenQueue::insert(Cpu& cpu, Key key, Value value) {
       ++lv;
       continue;
     }
+    counters_.add(slpq::Counter::kFailedCas);
     del = locate_preds(cpu, key, preds, succs);  // competing insert/restruct
     if (succs[0] != n) break;  // we were claimed and bypassed
   }
@@ -239,6 +244,7 @@ std::optional<std::pair<Key, Value>> SimLindenQueue::delete_min(Cpu& cpu) {
     if (c == tail_) return std::nullopt;
     if (is_marked(w)) {  // c is already deleted: count and skip it
       ++offset;
+      counters_.add(slpq::Counter::kPrefixNodes);
       if (newhead == nullptr && cpu.read(c->inserting) != 0) newhead = c;
       cur = c;
       w = cpu.read(cur->next[0]);
@@ -248,6 +254,7 @@ std::optional<std::pair<Key, Value>> SimLindenQueue::delete_min(Cpu& cpu) {
     const std::uintptr_t prev =
         cpu.fetch_or(cur->next[0], std::uintptr_t{1});
     if (is_marked(prev)) {
+      counters_.add(slpq::Counter::kClaimLosses);
       w = prev;  // lost the race: prev's target is dead, walk on
       continue;
     }
@@ -256,6 +263,7 @@ std::optional<std::pair<Key, Value>> SimLindenQueue::delete_min(Cpu& cpu) {
     break;
   }
 
+  counters_.add(slpq::Counter::kClaimWins);
   const Key k = cpu.read(claimed->key);
   const Value v = cpu.read(claimed->value);
   --size_;
@@ -267,6 +275,7 @@ std::optional<std::pair<Key, Value>> SimLindenQueue::delete_min(Cpu& cpu) {
     // (frozen: every pointer in it is marked).
     if (cpu.cas(head_->next[0], obs_head, pack(newhead, true))) {
       ++restructures_;
+      counters_.add(slpq::Counter::kRestructures);
       restructure(cpu);
       LindenNode* g = strip(obs_head);
       while (g != newhead) {
@@ -339,6 +348,19 @@ std::vector<Key> SimLindenQueue::keys_raw() const {
 
 std::size_t SimLindenQueue::size_raw() const {
   return size_ < 0 ? 0 : static_cast<std::size_t>(size_);
+}
+
+slpq::TelemetrySnapshot SimLindenQueue::telemetry() const {
+  slpq::TelemetrySnapshot snap;
+  counters_.fill(snap);
+  snap.set(slpq::counter_name(slpq::Counter::kPoolRefills),
+           pool_.created() - created_base_);
+  snap.set(slpq::counter_name(slpq::Counter::kPoolReused), pool_.reused());
+  snap.set(slpq::counter_name(slpq::Counter::kGcReclaimed),
+           garbage_.total_collected());
+  snap.set(slpq::counter_name(slpq::Counter::kGcDeferred),
+           garbage_.total_retired() - garbage_.total_collected());
+  return snap;
 }
 
 }  // namespace simq

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "slpq/detail/random.hpp"
+#include "slpq/telemetry.hpp"
 #include "sim/engine.hpp"
 #include "simq/garbage.hpp"
 
@@ -109,6 +110,10 @@ class SimLindenQueue {
   GarbageLists<LindenNode>& garbage() { return garbage_; }
   const EntryRegistry& registry() const { return registry_; }
 
+  /// Operation counters plus pool/GC composition (host-side bookkeeping,
+  /// invisible to the simulated machine); see docs/TELEMETRY.md.
+  slpq::TelemetrySnapshot telemetry() const;
+
  private:
   static std::uintptr_t pack(LindenNode* n, bool marked) {
     return reinterpret_cast<std::uintptr_t>(n) |
@@ -143,6 +148,8 @@ class SimLindenQueue {
   slpq::detail::GeometricLevel level_dist_;
   std::int64_t size_ = 0;  // host counter (fibers run on one real thread)
   std::uint64_t restructures_ = 0;
+  slpq::OpCounters counters_;       // host-side, not simulated state
+  std::uint64_t created_base_ = 0;  // pool nodes carved for sentinels
 };
 
 }  // namespace simq

@@ -49,6 +49,7 @@ SimMultiQueue::Shard& SimMultiQueue::pick_insert_shard(Cpu& cpu,
       --st.ins_stick;
       return s;
     }
+    counters_.add(slpq::Counter::kFailedCas);  // contended shard lock
     st.ins_stick = 0;  // contended: break stickiness, resample
   }
 }
@@ -77,15 +78,19 @@ std::optional<std::pair<Key, Value>> SimMultiQueue::delete_min(Cpu& cpu) {
     }
     Shard& s = *shards_[st.del_shard];
     if (cpu.read(s.top) == kEmptyTop) {
+      counters_.add(slpq::Counter::kDeleteRetries);
       st.del_stick = 0;
       continue;
     }
     if (!s.lock.try_lock(cpu)) {
+      counters_.add(slpq::Counter::kFailedCas);  // contended shard lock
+      counters_.add(slpq::Counter::kDeleteRetries);
       st.del_stick = 0;
       continue;
     }
     --st.del_stick;
     if (s.heap.empty()) {  // raced with another consumer
+      counters_.add(slpq::Counter::kClaimLosses);
       publish(cpu, s);
       s.lock.unlock(cpu);
       st.del_stick = 0;
@@ -94,6 +99,7 @@ std::optional<std::pair<Key, Value>> SimMultiQueue::delete_min(Cpu& cpu) {
     auto out = s.heap.pop();
     publish(cpu, s);
     s.lock.unlock(cpu);
+    counters_.add(slpq::Counter::kClaimWins);
     return out;
   }
 
@@ -108,6 +114,7 @@ std::optional<std::pair<Key, Value>> SimMultiQueue::delete_min(Cpu& cpu) {
       s.lock.unlock(cpu);
       st.del_shard = i;
       st.del_stick = opt_.stickiness;
+      counters_.add(slpq::Counter::kClaimWins);
       return out;
     }
     publish(cpu, s);

@@ -24,6 +24,7 @@
 
 #include "slpq/detail/pairing_heap.hpp"
 #include "slpq/detail/random.hpp"
+#include "slpq/telemetry.hpp"
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
 #include "simq/sim_skipqueue.hpp"  // Key/Value aliases
@@ -55,6 +56,15 @@ class SimMultiQueue {
   std::size_t num_shards() const { return shards_.size(); }
   const Options& options() const { return opt_; }
 
+  /// Operation counters (host-side, invisible to the simulated machine);
+  /// see docs/TELEMETRY.md. The shard heaps are host-side payload with no
+  /// shared node pool or GC, so those counters stay zero.
+  slpq::TelemetrySnapshot telemetry() const {
+    slpq::TelemetrySnapshot snap;
+    counters_.fill(snap);
+    return snap;
+  }
+
  private:
   /// Published-top sentinel: no workload key reaches INT64_MAX.
   static constexpr Key kEmptyTop = std::numeric_limits<Key>::max();
@@ -83,6 +93,7 @@ class SimMultiQueue {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<CpuState> cpus_;
   std::size_t seed_rr_ = 0;  // round-robin cursor for host-side seeding
+  slpq::OpCounters counters_;  // host-side, not simulated state
 };
 
 }  // namespace simq

@@ -148,6 +148,8 @@ SimSkipQueue::SimSkipQueue(psim::Engine& eng, Options opt)
   tail_->deleted.set_raw(1);
   for (int i = 0; i < opt_.max_level; ++i)
     head_->next[static_cast<std::size_t>(i)].set_raw(tail_);
+  // Telemetry baseline: sentinel allocations don't count as pool_refills.
+  created_base_ = pool_.created();
   level_rngs_.reserve(static_cast<std::size_t>(eng.config().processors));
   for (int p = 0; p < eng.config().processors; ++p)
     level_rngs_.emplace_back(eng.config().seed * 0x9E3779B97F4A7C15ULL +
@@ -182,6 +184,7 @@ SkipNode* SimSkipQueue::get_lock(Cpu& cpu, SkipNode* node1, Key key, int level) 
   node1->level_locks[li].lock(cpu);
   node2 = cpu.read(node1->next[li]);
   while (cpu.read(node2->key) < key) {  // list moved before we locked
+    counters_.add(slpq::Counter::kInsertRetries);
     node1->level_locks[li].unlock(cpu);
     node1 = node2;
     node1->level_locks[li].lock(cpu);
@@ -260,12 +263,17 @@ std::optional<std::pair<Key, Value>> SimSkipQueue::delete_min(Cpu& cpu,
     if (!opt_.timestamps || cpu.read(node1->time_stamp) < time) {
       const auto marked = cpu.swap(node1->deleted, std::uint64_t{1});
       if (marked == 0) break;  // we own this node now
+      counters_.add(slpq::Counter::kClaimLosses);
+    } else {
+      counters_.add(slpq::Counter::kDeleteRetries);  // concurrent-insert skip
     }
+    counters_.add(slpq::Counter::kPrefixNodes);
     node1 = cpu.read(node1->next[0]);
     if (++steps > kWalkLimit) walk_overflow("delete_min/scan");
   }
   if (claim_at != nullptr) *claim_at = cpu.now();
   if (node1 == tail_) return std::nullopt;  // EMPTY
+  counters_.add(slpq::Counter::kClaimWins);
 
   const Value value = cpu.read(node1->value);
   const Key key = cpu.read(node1->key);
@@ -386,6 +394,19 @@ std::vector<Key> SimSkipQueue::keys_raw() const {
 }
 
 std::size_t SimSkipQueue::size_raw() const { return keys_raw().size(); }
+
+slpq::TelemetrySnapshot SimSkipQueue::telemetry() const {
+  slpq::TelemetrySnapshot snap;
+  counters_.fill(snap);
+  snap.set(slpq::counter_name(slpq::Counter::kPoolRefills),
+           pool_.created() - created_base_);
+  snap.set(slpq::counter_name(slpq::Counter::kPoolReused), pool_.reused());
+  snap.set(slpq::counter_name(slpq::Counter::kGcReclaimed),
+           garbage_.total_collected());
+  snap.set(slpq::counter_name(slpq::Counter::kGcDeferred),
+           garbage_.total_retired() - garbage_.total_collected());
+  return snap;
+}
 
 bool SimSkipQueue::check_invariants_raw(std::string* err) const {
   std::ostringstream why;

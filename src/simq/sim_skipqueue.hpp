@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "slpq/detail/random.hpp"
+#include "slpq/telemetry.hpp"
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
 #include "simq/garbage.hpp"
@@ -159,6 +160,10 @@ class SimSkipQueue {
   GarbageLists<SkipNode>& garbage() { return garbage_; }
   const EntryRegistry& registry() const { return registry_; }
 
+  /// Operation counters plus pool/GC composition (host-side bookkeeping,
+  /// invisible to the simulated machine); see docs/TELEMETRY.md.
+  slpq::TelemetrySnapshot telemetry() const;
+
  private:
   friend class SimSkipQueueTestPeer;
 
@@ -187,6 +192,8 @@ class SimSkipQueue {
   std::vector<slpq::detail::Xoshiro256> level_rngs_;  // one per processor
   slpq::detail::Xoshiro256 seed_rng_;                 // host-side seeding
   slpq::detail::GeometricLevel level_dist_;
+  slpq::OpCounters counters_;          // host-side, not simulated state
+  std::uint64_t created_base_ = 0;     // pool nodes carved for sentinels
 };
 
 }  // namespace simq

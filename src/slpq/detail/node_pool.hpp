@@ -65,6 +65,7 @@ class NodePool {
     const std::size_t cls = class_of(bytes);
     if (cls >= kMaxClasses) {
       oversize_.fetch_add(1, std::memory_order_relaxed);
+      carved_.fetch_add(1, std::memory_order_relaxed);
       return ::operator new(bytes, std::align_val_t{kGranularity});
     }
     ThreadCache& tc = cache();
@@ -81,6 +82,7 @@ class NodePool {
       reused_.fetch_add(1, std::memory_order_relaxed);
       return b;
     }
+    carved_.fetch_add(1, std::memory_order_relaxed);
     return carve(tc, block_size(cls));
   }
 
@@ -101,6 +103,13 @@ class NodePool {
   /// Blocks served from a free list instead of a fresh slab carve.
   std::uint64_t reused() const {
     return reused_.load(std::memory_order_relaxed);
+  }
+
+  /// Blocks carved fresh from a slab (plus oversize fall-throughs) — the
+  /// complement of reused(). Queues report this (minus the sentinels they
+  /// carve at construction) as the `pool_refills` telemetry counter.
+  std::uint64_t carved() const {
+    return carved_.load(std::memory_order_relaxed);
   }
 
   /// Total slab bytes requested from the system allocator.
@@ -215,6 +224,7 @@ class NodePool {
   const std::uint64_t id_ = next_instance_id();
   std::atomic<int> next_slot_{0};
   std::atomic<std::uint64_t> reused_{0};
+  std::atomic<std::uint64_t> carved_{0};
   std::atomic<std::uint64_t> slab_bytes_{0};
   std::atomic<std::uint64_t> oversize_{0};
   std::array<Padded<ThreadCache>, kMaxThreads> caches_;

@@ -22,6 +22,7 @@
 #include "slpq/detail/cache_line.hpp"
 #include "slpq/detail/random.hpp"
 #include "slpq/detail/spinlock.hpp"
+#include "slpq/telemetry.hpp"
 
 namespace slpq {
 
@@ -73,6 +74,7 @@ class FunnelList {
     r.op = Op::DeleteMin;
     execute(r);
     if (!r.found) return std::nullopt;
+    counters_.add(Counter::kClaimWins);
     return std::make_pair(std::move(r.result_key), std::move(r.result_value));
   }
 
@@ -83,6 +85,14 @@ class FunnelList {
 
   std::uint64_t combines() const noexcept {
     return combines_.load(std::memory_order_relaxed);
+  }
+
+  /// Operation counters plus the funnel's combine count; docs/TELEMETRY.md.
+  TelemetrySnapshot telemetry() const {
+    TelemetrySnapshot snap;
+    counters_.fill(snap);
+    snap.set("combines", combines_.load(std::memory_order_relaxed));
+    return snap;
   }
 
  private:
@@ -153,6 +163,8 @@ class FunnelList {
             combines_.fetch_add(1, std::memory_order_relaxed);
           }
           other->lock.unlock();
+        } else {
+          counters_.add(Counter::kFailedCas);  // collision partner was busy
         }
         r.lock.unlock();
       }
@@ -216,6 +228,7 @@ class FunnelList {
   std::array<detail::Padded<Request>, kMaxThreads> requests_;
   std::atomic<std::size_t> size_{0};
   std::atomic<std::uint64_t> combines_{0};
+  OpCounters counters_;
 };
 
 }  // namespace slpq

@@ -11,6 +11,8 @@
 #include <utility>
 #include <vector>
 
+#include "slpq/telemetry.hpp"
+
 namespace slpq {
 
 template <typename Key, typename Value, typename Compare = std::less<Key>>
@@ -32,6 +34,7 @@ class GlobalLockPQ {
     if (heap_.empty()) return std::nullopt;
     auto out = heap_.top();
     heap_.pop();
+    counters_.add(Counter::kClaimWins);
     return out;
   }
 
@@ -41,6 +44,14 @@ class GlobalLockPQ {
   }
 
   bool empty() const { return size() == 0; }
+
+  /// Operation counters; see docs/TELEMETRY.md. Under one global lock
+  /// nothing ever retries, so only claim_wins moves.
+  TelemetrySnapshot telemetry() const {
+    TelemetrySnapshot snap;
+    counters_.fill(snap);
+    return snap;
+  }
 
  private:
   struct Entry_Compare {
@@ -55,6 +66,7 @@ class GlobalLockPQ {
   std::priority_queue<std::pair<Key, Value>,
                       std::vector<std::pair<Key, Value>>, Entry_Compare>
       heap_;
+  OpCounters counters_;
 };
 
 }  // namespace slpq

@@ -24,6 +24,7 @@
 
 #include "slpq/detail/cache_line.hpp"
 #include "slpq/detail/spinlock.hpp"
+#include "slpq/telemetry.hpp"
 
 namespace slpq {
 
@@ -82,7 +83,10 @@ class HuntHeap {
       at(i).lock.unlock();
       at(par).lock.unlock();
       i = next_i;
-      if (retry) detail::cpu_relax();
+      if (retry) {
+        counters_.add(Counter::kInsertRetries);  // parent mid-insert
+        detail::cpu_relax();
+      }
     }
 
     if (i == 1) {
@@ -111,15 +115,21 @@ class HuntHeap {
     at(bound).tag.store(kEmpty, std::memory_order_release);
     at(bound).lock.unlock();
 
-    if (bound == 1) return std::make_pair(std::move(last_key), std::move(last_value));
+    if (bound == 1) {
+      counters_.add(Counter::kClaimWins);
+      return std::make_pair(std::move(last_key), std::move(last_value));
+    }
 
     at(1).lock.lock();
     if (at(1).tag.load(std::memory_order_relaxed) == kEmpty) {
       // A racing delete consumed the root between our two lock regions;
       // the item we pulled out is the remaining minimum.
+      counters_.add(Counter::kDeleteRetries);
+      counters_.add(Counter::kClaimWins);
       at(1).lock.unlock();
       return std::make_pair(std::move(last_key), std::move(last_value));
     }
+    counters_.add(Counter::kClaimWins);
     std::pair<Key, Value> out{std::move(at(1).key), std::move(at(1).value)};
     at(1).key = std::move(last_key);
     at(1).value = std::move(last_value);
@@ -174,6 +184,14 @@ class HuntHeap {
     return static_cast<std::size_t>(size_);
   }
 
+  /// Operation counters; see docs/TELEMETRY.md. The heap is a fixed array
+  /// (no pool, no GC), so those counters stay zero here.
+  TelemetrySnapshot telemetry() const {
+    TelemetrySnapshot snap;
+    counters_.fill(snap);
+    return snap;
+  }
+
   /// The slot the s-th item occupies: keep the leading bit, reverse the
   /// rest (exposed for tests).
   static std::size_t bit_rev_slot(std::size_t s) {
@@ -222,6 +240,7 @@ class HuntHeap {
   detail::TinySpinLock heap_lock_;
   std::uint64_t size_ = 0;  // guarded by heap_lock_
   std::vector<Slot> slots_;
+  OpCounters counters_;
 };
 
 }  // namespace slpq

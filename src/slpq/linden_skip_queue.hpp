@@ -51,6 +51,7 @@
 
 #include "slpq/detail/node_pool.hpp"
 #include "slpq/detail/random.hpp"
+#include "slpq/telemetry.hpp"
 #include "slpq/ts_reclaimer.hpp"
 
 namespace slpq {
@@ -90,6 +91,8 @@ class LindenSkipQueue {
     tail_->stamp.store(0, std::memory_order_relaxed);
     for (int i = 0; i < opt_.max_level; ++i)
       head_->next(i).store(pack(tail_, false), std::memory_order_relaxed);
+    // Telemetry baseline: sentinel carves don't count as pool_refills.
+    pool_base_carved_ = pool_.carved();
   }
 
   ~LindenSkipQueue() {
@@ -135,6 +138,8 @@ class LindenSkipQueue {
               expected, pack(n, false), std::memory_order_acq_rel,
               std::memory_order_acquire))
         break;
+      counters_.add(Counter::kFailedCas);
+      counters_.add(Counter::kInsertRetries);
     }
 
     // Upper levels. Stop if we got claimed meanwhile (our own next[0]
@@ -153,6 +158,7 @@ class LindenSkipQueue {
         ++lv;
         continue;
       }
+      counters_.add(Counter::kFailedCas);
       del = locate_preds(key, preds, succs);  // competing insert/restructure
       if (succs[0] != n) break;               // we were claimed and bypassed
     }
@@ -184,6 +190,20 @@ class LindenSkipQueue {
     return restructures_.load(std::memory_order_relaxed);
   }
   const Options& options() const noexcept { return opt_; }
+
+  /// Operation counters plus pool/GC composition; see docs/TELEMETRY.md.
+  /// Note gc_reclaimed + gc_deferred can trail claim_wins here: a claimed
+  /// node is retired only when a restructuring sweeps it out of the prefix.
+  TelemetrySnapshot telemetry() const {
+    TelemetrySnapshot snap;
+    counters_.fill(snap);
+    snap.set(counter_name(Counter::kPoolRefills),
+             pool_.carved() - pool_base_carved_);
+    snap.set(counter_name(Counter::kPoolReused), pool_.reused());
+    snap.set(counter_name(Counter::kGcReclaimed), reclaimer_.freed_total());
+    snap.set(counter_name(Counter::kGcDeferred), reclaimer_.pending());
+    return snap;
+  }
 
  private:
   friend class LindenSkipQueueTestPeer;
@@ -323,6 +343,7 @@ class LindenSkipQueue {
         // c is deleted: count it, remember it if its insert is still
         // linking upper levels (the head must not swing past it), advance.
         ++offset;
+        counters_.add(Counter::kPrefixNodes);
         if (newhead == nullptr && c->inserting.load(std::memory_order_acquire))
           newhead = c;
         cur = c;
@@ -343,12 +364,15 @@ class LindenSkipQueue {
           ++offset;
           break;
         }
+        counters_.add(Counter::kFailedCas);
+        counters_.add(Counter::kClaimLosses);
         w = expected;  // re-dispatch on whatever is there now
         continue;
       }
       const std::uintptr_t prev =
           cur->next(0).fetch_or(1, std::memory_order_acq_rel);
       if (is_marked(prev)) {
+        counters_.add(Counter::kClaimLosses);
         w = prev;  // lost the race: prev's target is dead, walk on
         continue;
       }
@@ -357,6 +381,7 @@ class LindenSkipQueue {
       break;
     }
 
+    counters_.add(Counter::kClaimWins);
     std::pair<Key, Value> out{claimed->key(), claimed->value()};
     size_.fetch_sub(1, std::memory_order_relaxed);
 
@@ -373,6 +398,7 @@ class LindenSkipQueue {
                                                  std::memory_order_acq_rel,
                                                  std::memory_order_acquire)) {
         restructures_.fetch_add(1, std::memory_order_relaxed);
+        counters_.add(Counter::kRestructures);
         restructure();
         Node* g = strip(obs_head);
         while (g != newhead) {
@@ -426,6 +452,8 @@ class LindenSkipQueue {
   Node* tail_;
   std::atomic<std::int64_t> size_{0};
   std::atomic<std::uint64_t> restructures_{0};
+  OpCounters counters_;
+  std::uint64_t pool_base_carved_ = 0;
 };
 
 }  // namespace slpq

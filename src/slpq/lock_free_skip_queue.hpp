@@ -43,6 +43,7 @@
 
 #include "slpq/detail/node_pool.hpp"
 #include "slpq/detail/random.hpp"
+#include "slpq/telemetry.hpp"
 #include "slpq/ts_reclaimer.hpp"
 
 namespace slpq {
@@ -76,6 +77,8 @@ class LockFreeSkipQueue {
     tail_->stamp.store(kNeverStamped, std::memory_order_relaxed);
     for (int i = 0; i < opt_.max_level; ++i)
       head_->next(i).store(pack(tail_, false), std::memory_order_relaxed);
+    // Telemetry baseline: sentinel carves don't count as pool_refills.
+    pool_base_carved_ = pool_.carved();
   }
 
   ~LockFreeSkipQueue() {
@@ -115,6 +118,8 @@ class LockFreeSkipQueue {
               expected, pack(n, false), std::memory_order_acq_rel,
               std::memory_order_acquire))
         break;
+      counters_.add(Counter::kFailedCas);
+      counters_.add(Counter::kInsertRetries);
     }
 
     // Link the upper levels; a concurrent remover may mark us mid-way, in
@@ -135,6 +140,7 @@ class LockFreeSkipQueue {
         ++lv;
         continue;
       }
+      counters_.add(Counter::kFailedCas);
       find(key, n, preds, succs);  // refresh the neighborhood and retry
     }
 
@@ -155,9 +161,13 @@ class LockFreeSkipQueue {
           const bool eligible =
               !opt_.timestamps ||
               n->stamp.load(std::memory_order_acquire) <= time;
-          return eligible && try_claim(n);
+          if (!eligible) counters_.add(Counter::kDeleteRetries);
+          if (eligible && try_claim(n)) return true;
+          counters_.add(Counter::kPrefixNodes);
+          return false;
         });
     if (hit == nullptr) return std::nullopt;
+    counters_.add(Counter::kClaimWins);
     std::pair<Key, Value> out{hit->key(), hit->value()};
     remove(hit);
     return out;
@@ -199,6 +209,18 @@ class LockFreeSkipQueue {
   /// Nodes whose allocation was served from the pool's free lists.
   std::uint64_t pool_reused() const { return pool_.reused(); }
   const Options& options() const noexcept { return opt_; }
+
+  /// Operation counters plus pool/GC composition; see docs/TELEMETRY.md.
+  TelemetrySnapshot telemetry() const {
+    TelemetrySnapshot snap;
+    counters_.fill(snap);
+    snap.set(counter_name(Counter::kPoolRefills),
+             pool_.carved() - pool_base_carved_);
+    snap.set(counter_name(Counter::kPoolReused), pool_.reused());
+    snap.set(counter_name(Counter::kGcReclaimed), reclaimer_.freed_total());
+    snap.set(counter_name(Counter::kGcDeferred), reclaimer_.pending());
+    return snap;
+  }
 
  private:
   static constexpr int kMaxPossibleLevel = 64;
@@ -317,8 +339,10 @@ class LockFreeSkipQueue {
 
   /// One test-and-test-and-set on the claimed flag; true iff we won it.
   bool try_claim(Node* n) {
-    return !n->claimed.load(std::memory_order_relaxed) &&
-           !n->claimed.exchange(true, std::memory_order_acq_rel);
+    if (n->claimed.load(std::memory_order_relaxed)) return false;
+    if (!n->claimed.exchange(true, std::memory_order_acq_rel)) return true;
+    counters_.add(Counter::kClaimLosses);  // lost the SWAP race outright
+    return false;
   }
 
   /// Harris-style find with helping: positions preds/succs around the
@@ -336,8 +360,10 @@ class LockFreeSkipQueue {
           std::uintptr_t expected = pack(curr, false);
           if (!pred->next(lv).compare_exchange_strong(
                   expected, pack(strip(succ_word), false),
-                  std::memory_order_acq_rel, std::memory_order_acquire))
+                  std::memory_order_acq_rel, std::memory_order_acquire)) {
+            counters_.add(Counter::kFailedCas);
             goto retry;
+          }
           curr = strip(succ_word);
           succ_word = curr->next(lv).load(std::memory_order_acquire);
         }
@@ -389,6 +415,8 @@ class LockFreeSkipQueue {
   Node* head_;
   Node* tail_;
   std::atomic<std::int64_t> size_{0};
+  OpCounters counters_;
+  std::uint64_t pool_base_carved_ = 0;
 };
 
 }  // namespace slpq

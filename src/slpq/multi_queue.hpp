@@ -54,6 +54,7 @@
 #include "slpq/detail/pairing_heap.hpp"
 #include "slpq/detail/random.hpp"
 #include "slpq/detail/spinlock.hpp"
+#include "slpq/telemetry.hpp"
 
 namespace slpq {
 
@@ -165,6 +166,7 @@ class MultiQueue {
           h.ibuf_[mi] = std::move(h.ibuf_.back());
           h.ibuf_.pop_back();
           size_.fetch_sub(1, std::memory_order_relaxed);
+          counters_.add(Counter::kClaimWins);
           return out;
         }
       }
@@ -175,6 +177,7 @@ class MultiQueue {
           h.dhead_ = 0;
         }
         size_.fetch_sub(1, std::memory_order_relaxed);
+        counters_.add(Counter::kClaimWins);
         return out;
       }
       // Both buffers empty: make pending inserts visible, then refill.
@@ -205,6 +208,14 @@ class MultiQueue {
 
   std::size_t num_shards() const noexcept { return shard_count_; }
   const Options& options() const noexcept { return opt_; }
+
+  /// Operation counters; see docs/TELEMETRY.md. Heap storage is owned by
+  /// the shards (no shared pool/GC), so those counters stay zero here.
+  TelemetrySnapshot telemetry() const {
+    TelemetrySnapshot snap;
+    counters_.fill(snap);
+    return snap;
+  }
 
  private:
   struct Shard {
@@ -255,6 +266,7 @@ class MultiQueue {
         --h.ins_stick_;
         return s;
       }
+      counters_.add(Counter::kFailedCas);  // contended shard lock
       h.ins_stick_ = 0;  // contended: break stickiness
       if (attempt >= 8) {
         s.lock.lock();  // bounded fallback so we cannot livelock
@@ -300,11 +312,13 @@ class MultiQueue {
       }
       Shard& s = shard(h.del_shard_);
       if (!s.nonempty.load(std::memory_order_acquire) || !s.lock.try_lock()) {
+        counters_.add(Counter::kDeleteRetries);
         h.del_stick_ = 0;
         continue;
       }
       --h.del_stick_;
       if (s.heap.empty()) {  // raced with another consumer
+        counters_.add(Counter::kClaimLosses);
         s.lock.unlock();
         h.del_stick_ = 0;
         continue;
@@ -370,6 +384,7 @@ class MultiQueue {
   std::atomic<std::int64_t> size_{0};
   detail::TinySpinLock handles_lock_;
   std::vector<std::unique_ptr<Handle>> handles_;
+  OpCounters counters_;
 };
 
 }  // namespace slpq

@@ -36,6 +36,7 @@
 #include "slpq/detail/node_pool.hpp"
 #include "slpq/detail/random.hpp"
 #include "slpq/detail/spinlock.hpp"
+#include "slpq/telemetry.hpp"
 #include "slpq/ts_reclaimer.hpp"
 
 namespace slpq {
@@ -72,6 +73,9 @@ class SkipQueue {
     tail_->stamp.store(kNeverStamped, std::memory_order_relaxed);
     for (int i = 0; i < opt_.max_level; ++i)
       head_->levels()[i].next.store(tail_, std::memory_order_relaxed);
+    // Telemetry baseline: the sentinels above were carved from the pool;
+    // pool_refills reports carves *after* construction only.
+    pool_base_carved_ = pool_.carved();
   }
 
   ~SkipQueue() {
@@ -143,10 +147,15 @@ class SkipQueue {
           node1->stamp.load(std::memory_order_acquire) <= time) {
         if (!node1->deleted.exchange(true, std::memory_order_acq_rel))
           break;  // ours
+        counters_.add(Counter::kClaimLosses);
+      } else {
+        counters_.add(Counter::kDeleteRetries);  // concurrent-insert skip
       }
+      counters_.add(Counter::kPrefixNodes);
       node1 = node1->levels()[0].next.load(std::memory_order_acquire);
     }
     if (node1 == tail_) return std::nullopt;
+    counters_.add(Counter::kClaimWins);
 
     std::pair<Key, Value> out{node1->key(), node1->value()};
     unlink_claimed(node1, out.first);
@@ -220,6 +229,18 @@ class SkipQueue {
 
   /// Nodes whose allocation was served from the pool's free lists.
   std::uint64_t pool_reused() const { return pool_.reused(); }
+
+  /// Operation counters plus pool/GC composition; see docs/TELEMETRY.md.
+  TelemetrySnapshot telemetry() const {
+    TelemetrySnapshot snap;
+    counters_.fill(snap);
+    snap.set(counter_name(Counter::kPoolRefills),
+             pool_.carved() - pool_base_carved_);
+    snap.set(counter_name(Counter::kPoolReused), pool_.reused());
+    snap.set(counter_name(Counter::kGcReclaimed), reclaimer_.freed_total());
+    snap.set(counter_name(Counter::kGcDeferred), reclaimer_.pending());
+    return snap;
+  }
 
  private:
   static constexpr int kMaxPossibleLevel = 64;
@@ -336,6 +357,9 @@ class SkipQueue {
     node1->levels()[li].lock.lock();
     node2 = node1->levels()[li].next.load(std::memory_order_acquire);
     while (node_less(node2, key)) {
+      // The list moved between the search and the lock: a concurrent
+      // insert or unlink beat us here.
+      counters_.add(Counter::kInsertRetries);
       node1->levels()[li].lock.unlock();
       node1 = node2;
       node1->levels()[li].lock.lock();
@@ -402,6 +426,8 @@ class SkipQueue {
   Node* head_;
   Node* tail_;
   std::atomic<std::int64_t> size_{0};
+  OpCounters counters_;
+  std::uint64_t pool_base_carved_ = 0;
 };
 
 /// Convenience alias for the Section 5.4 variant.

@@ -1,0 +1,178 @@
+// Queue-level telemetry: cheap per-thread operation counters and the
+// type-erased snapshot that carries them to the harness.
+//
+// The paper's evaluation (Sections 5-6) explains throughput through
+// contention events — processors racing the SWAP on the claimed flag,
+// failed CASes on the bottom-level list, restructuring sweeps over the
+// dead prefix. `OpCounters` records those events where they happen, in
+// the queue implementations themselves, without perturbing the hot path:
+// each thread increments a relaxed atomic in its own cache-line-padded
+// slot, so counting adds no coherence traffic between workers.
+//
+// `TelemetrySnapshot` is the transport: an insertion-ordered name→uint64
+// map produced by every backend's telemetry() method, merged by the
+// drivers with machine-level statistics (SimStats on the simulator,
+// wall-clock phase timings on native) and emitted by `pqsim --stats` /
+// `--stats-json`. See docs/TELEMETRY.md for the counter glossary.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "slpq/detail/cache_line.hpp"
+
+namespace slpq {
+
+/// Core operation counters every backend emits (possibly always zero for
+/// structures where the event cannot occur). Keep in sync with
+/// counter_name() and the glossary in docs/TELEMETRY.md.
+enum class Counter : int {
+  kInsertRetries = 0,  ///< insert restarted a search/link attempt
+  kDeleteRetries,      ///< delete-min stepped past a node it could not take
+  kFailedCas,          ///< failed CAS / fetch_or / try_lock on shared state
+  kClaimWins,          ///< delete-min claims won (== successful delete_mins)
+  kClaimLosses,        ///< claim attempts lost to a racing processor
+  kRestructures,       ///< batched restructuring sweeps (Lindén)
+  kPrefixNodes,        ///< dead-prefix nodes walked by delete-min scans
+  kPoolRefills,        ///< nodes carved fresh (not served from a free list)
+  kPoolReused,         ///< nodes served from a pool free list
+  kGcReclaimed,        ///< retired nodes actually freed by the collector
+  kGcDeferred,         ///< retired nodes still waiting on the collector
+  kCount
+};
+
+inline constexpr int kNumCounters = static_cast<int>(Counter::kCount);
+
+constexpr const char* counter_name(Counter c) {
+  switch (c) {
+    case Counter::kInsertRetries: return "insert_retries";
+    case Counter::kDeleteRetries: return "delete_retries";
+    case Counter::kFailedCas: return "failed_cas";
+    case Counter::kClaimWins: return "claim_wins";
+    case Counter::kClaimLosses: return "claim_losses";
+    case Counter::kRestructures: return "restructure_sweeps";
+    case Counter::kPrefixNodes: return "prefix_nodes_walked";
+    case Counter::kPoolRefills: return "pool_refills";
+    case Counter::kPoolReused: return "pool_reused";
+    case Counter::kGcReclaimed: return "gc_reclaimed";
+    case Counter::kGcDeferred: return "gc_deferred";
+    case Counter::kCount: break;
+  }
+  return "?";
+}
+
+/// Ordered name → uint64 map. Insertion order is preserved so reports and
+/// JSON output are deterministic; set() on an existing name overwrites.
+struct TelemetrySnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> entries;
+
+  void set(std::string_view name, std::uint64_t value) {
+    for (auto& e : entries) {
+      if (e.first == name) {
+        e.second = value;
+        return;
+      }
+    }
+    entries.emplace_back(std::string(name), value);
+  }
+
+  void add(std::string_view name, std::uint64_t delta) {
+    for (auto& e : entries) {
+      if (e.first == name) {
+        e.second += delta;
+        return;
+      }
+    }
+    entries.emplace_back(std::string(name), delta);
+  }
+
+  const std::uint64_t* find(std::string_view name) const {
+    for (const auto& e : entries)
+      if (e.first == name) return &e.second;
+    return nullptr;
+  }
+
+  std::uint64_t get(std::string_view name, std::uint64_t fallback = 0) const {
+    const std::uint64_t* v = find(name);
+    return v ? *v : fallback;
+  }
+
+  bool empty() const { return entries.empty(); }
+
+  /// Folds `other` into this snapshot (overwriting duplicate names).
+  void merge(const TelemetrySnapshot& other) {
+    for (const auto& e : other.entries) set(e.first, e.second);
+  }
+};
+
+/// Per-thread event counters. Each thread gets a cache-line-padded slot of
+/// relaxed atomics, so the hot-path cost of add() is one local fetch_add
+/// with no inter-thread coherence traffic. Slots are assigned round-robin
+/// from a process-wide sequence; with more than kSlots threads, counters
+/// stay correct (slots are shared, atomics absorb the race) but padding
+/// benefits degrade — kSlots matches NodePool/TimestampReclaimer's 256
+/// thread ceiling in spirit while keeping the footprint small.
+class OpCounters {
+ public:
+  static constexpr int kSlots = 64;
+
+  OpCounters() = default;
+  OpCounters(const OpCounters&) = delete;
+  OpCounters& operator=(const OpCounters&) = delete;
+
+  void add(Counter c, std::uint64_t n = 1) {
+    slot().v[static_cast<std::size_t>(c)].fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t total(Counter c) const {
+    std::uint64_t sum = 0;
+    for (const auto& s : slots_)
+      sum += s.value.v[static_cast<std::size_t>(c)].load(
+          std::memory_order_relaxed);
+    return sum;
+  }
+
+  /// Emits every core counter, in enum order, into `snap`. Queues then
+  /// overwrite the pool/GC entries with their component counters.
+  void fill(TelemetrySnapshot& snap) const {
+    for (int i = 0; i < kNumCounters; ++i) {
+      const auto c = static_cast<Counter>(i);
+      snap.set(counter_name(c), total(c));
+    }
+  }
+
+ private:
+  struct SlotData {
+    std::array<std::atomic<std::uint64_t>, kNumCounters> v{};
+  };
+
+  SlotData& slot() {
+    thread_local const unsigned id =
+        next_thread_seq().fetch_add(1, std::memory_order_relaxed);
+    return slots_[id % kSlots].value;
+  }
+
+  static std::atomic<unsigned>& next_thread_seq() {
+    static std::atomic<unsigned> seq{0};
+    return seq;
+  }
+
+  std::array<detail::Padded<SlotData>, kSlots> slots_;
+};
+
+/// Baseline snapshot with every core key present and zero — the shape the
+/// registry test asserts for structures that emit nothing else.
+inline TelemetrySnapshot core_telemetry_zero() {
+  TelemetrySnapshot snap;
+  for (int i = 0; i < kNumCounters; ++i)
+    snap.set(counter_name(static_cast<Counter>(i)), 0);
+  return snap;
+}
+
+}  // namespace slpq

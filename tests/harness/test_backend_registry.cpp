@@ -166,6 +166,49 @@ TEST(BackendRegistry, KnobSchemaNamesConfigFields) {
   }
 }
 
+class BackendTelemetry : public ::testing::TestWithParam<const Backend*> {};
+
+// Every backend's telemetry() must emit the documented core counter set
+// (docs/TELEMETRY.md), and a freshly constructed queue must report all of
+// them as zero — sentinel/pool setup during construction must not leak
+// into the counters.
+TEST_P(BackendTelemetry, FreshQueueEmitsCoreKeysAllZero) {
+  const Backend& backend = *GetParam();
+  const auto cfg = oracle_cfg(backend);
+
+  auto check = [&](QueueHandle& queue) {
+    const slpq::TelemetrySnapshot snap = queue.telemetry();
+    for (int i = 0; i < slpq::kNumCounters; ++i) {
+      const char* name = slpq::counter_name(static_cast<slpq::Counter>(i));
+      const std::uint64_t* v = snap.find(name);
+      ASSERT_NE(v, nullptr) << backend.name << " missing core key " << name;
+      EXPECT_EQ(*v, 0u) << backend.name << ": fresh queue has nonzero "
+                        << name;
+    }
+  };
+
+  if (backend.flavor == Flavor::Native) {
+    const BackendInit init{cfg, nullptr};
+    auto queue = backend.make(init);
+    check(*queue);
+    return;
+  }
+  psim::MachineConfig machine;
+  machine.processors = 1;
+  psim::Engine eng(machine);
+  const BackendInit init{cfg, &eng};
+  auto queue = backend.make(init);
+  check(*queue);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, BackendTelemetry,
+    ::testing::ValuesIn(BackendRegistry::instance().all()),
+    [](const ::testing::TestParamInfo<const Backend*>& info) {
+      return std::string(harness::to_string(info.param->flavor)) +
+             info.param->label;
+    });
+
 class BackendOracle : public ::testing::TestWithParam<const Backend*> {};
 
 TEST_P(BackendOracle, RoundTripsAgainstSkipListMap) {

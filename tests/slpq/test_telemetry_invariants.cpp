@@ -1,0 +1,189 @@
+// Counters-vs-oracle invariants for the telemetry layer (ctest label:
+// stress; the tsan preset runs these under ThreadSanitizer).
+//
+// The counters are cheap relaxed tallies, so they cannot be validated by
+// inspecting the hot path — instead each test runs a workload whose ground
+// truth it tracks itself and checks the laws the counters must obey:
+//
+//   * claim_wins == successful delete_mins (claims are counted only on the
+//     delete_min success paths, per docs/TELEMETRY.md);
+//   * reclamation conservation: every claimed node is eventually retired,
+//     so gc_reclaimed + gc_deferred == claim_wins for SkipQueue (which
+//     unlinks synchronously) and <= claim_wins for the lazy designs
+//     (LockFreeSkipQueue snips on later traversals, LindenSkipQueue
+//     retires only when a restructuring sweeps the dead prefix);
+//   * item conservation: final size == inserts - successful deletes;
+//   * an uncontended run moves no contention counter.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "slpq/detail/random.hpp"
+#include "slpq/global_lock_pq.hpp"
+#include "slpq/hunt_heap.hpp"
+#include "slpq/linden_skip_queue.hpp"
+#include "slpq/lock_free_skip_queue.hpp"
+#include "slpq/multi_queue.hpp"
+#include "slpq/skip_queue.hpp"
+#include "slpq/telemetry.hpp"
+
+namespace {
+
+using Key = std::int64_t;
+using Value = std::uint64_t;
+
+struct Tally {
+  std::uint64_t inserts = 0;
+  std::uint64_t deletes_ok = 0;
+};
+
+/// Mixed insert/delete_min run with globally unique keys; returns the
+/// ground-truth operation tally the counters are checked against.
+template <typename Queue>
+Tally run_mixed(Queue& q, int threads, int ops_per_thread) {
+  std::atomic<std::uint64_t> inserts{0}, deletes_ok{0};
+  std::vector<std::thread> workers;
+  constexpr Key kStride = 1 << 24;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      slpq::detail::Xoshiro256 rng(static_cast<std::uint64_t>(t) * 6271 + 5);
+      Key seq = 0;
+      std::uint64_t ins = 0, dels = 0;
+      for (int i = 0; i < ops_per_thread; ++i) {
+        if (rng.bernoulli(0.6)) {
+          q.insert(static_cast<Key>(t) * kStride + seq++,
+                   static_cast<Value>(i));
+          ++ins;
+        } else if (q.delete_min()) {
+          ++dels;
+        }
+      }
+      inserts.fetch_add(ins);
+      deletes_ok.fetch_add(dels);
+    });
+  }
+  for (auto& w : workers) w.join();
+  return {inserts.load(), deletes_ok.load()};
+}
+
+std::uint64_t get(const slpq::TelemetrySnapshot& snap, const char* name) {
+  const std::uint64_t* v = snap.find(name);
+  EXPECT_NE(v, nullptr) << "missing counter " << name;
+  return v ? *v : 0;
+}
+
+}  // namespace
+
+TEST(TelemetryInvariants, SkipQueueClaimsMatchDeletesAndReclamation) {
+  slpq::SkipQueue<Key, Value> q;
+  const Tally t = run_mixed(q, 8, 20000);
+
+  const auto snap = q.telemetry();
+  EXPECT_EQ(get(snap, "claim_wins"), t.deletes_ok);
+  // SkipQueue unlinks and retires inside delete_min, so by quiescence every
+  // claimed node is either freed or still on a retired list.
+  EXPECT_EQ(get(snap, "gc_reclaimed") + get(snap, "gc_deferred"),
+            t.deletes_ok);
+  EXPECT_EQ(q.size(), t.inserts - t.deletes_ok);
+}
+
+TEST(TelemetryInvariants, LockFreeSkipQueueClaimsMatchDeletes) {
+  slpq::LockFreeSkipQueue<Key, Value> q;
+  const Tally t = run_mixed(q, 8, 20000);
+
+  const auto snap = q.telemetry();
+  EXPECT_EQ(get(snap, "claim_wins"), t.deletes_ok);
+  // Claimed nodes are snipped (and only then retired) by later traversals,
+  // so reclamation may lag the claims but never exceed them.
+  EXPECT_LE(get(snap, "gc_reclaimed") + get(snap, "gc_deferred"),
+            t.deletes_ok);
+  EXPECT_EQ(q.size(), t.inserts - t.deletes_ok);
+}
+
+TEST(TelemetryInvariants, LindenSkipQueueClaimsMatchDeletes) {
+  slpq::LindenSkipQueue<Key, Value> q;
+  const Tally t = run_mixed(q, 8, 20000);
+
+  const auto snap = q.telemetry();
+  EXPECT_EQ(get(snap, "claim_wins"), t.deletes_ok);
+  // A claimed node is retired only when a restructuring sweeps it out of
+  // the dead prefix; unswept claims are still linked at quiescence.
+  EXPECT_LE(get(snap, "gc_reclaimed") + get(snap, "gc_deferred"),
+            t.deletes_ok);
+  EXPECT_EQ(q.size(), t.inserts - t.deletes_ok);
+}
+
+TEST(TelemetryInvariants, MultiQueueClaimsMatchDeletes) {
+  slpq::MultiQueue<Key, Value>::Options opt;
+  opt.max_threads = 8;
+  slpq::MultiQueue<Key, Value> q(opt);
+
+  std::atomic<std::uint64_t> inserts{0}, deletes_ok{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&, t] {
+      slpq::detail::Xoshiro256 rng(static_cast<std::uint64_t>(t) + 99);
+      std::uint64_t ins = 0, dels = 0;
+      for (int i = 0; i < 20000; ++i) {
+        if (rng.bernoulli(0.6)) {
+          q.insert(static_cast<Key>(rng.below(1 << 20)), static_cast<Value>(i));
+          ++ins;
+        } else if (q.delete_min()) {
+          ++dels;
+        }
+      }
+      q.flush();
+      inserts.fetch_add(ins);
+      deletes_ok.fetch_add(dels);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const auto snap = q.telemetry();
+  EXPECT_EQ(get(snap, "claim_wins"), deletes_ok.load());
+  EXPECT_EQ(q.size(), inserts.load() - deletes_ok.load());
+}
+
+TEST(TelemetryInvariants, HuntHeapClaimsMatchDeletes) {
+  slpq::HuntHeap<Key, Value> q(1 << 18);
+  const Tally t = run_mixed(q, 8, 15000);
+
+  const auto snap = q.telemetry();
+  EXPECT_EQ(get(snap, "claim_wins"), t.deletes_ok);
+  EXPECT_EQ(q.size(), t.inserts - t.deletes_ok);
+}
+
+TEST(TelemetryInvariants, UncontendedRunMovesNoContentionCounter) {
+  // One thread, unique keys: every contention counter must stay zero and
+  // the claim tally must equal the delete count exactly.
+  slpq::SkipQueue<Key, Value> q;
+  constexpr int kN = 2000;
+  for (int i = 0; i < kN; ++i)
+    q.insert(static_cast<Key>(i), static_cast<Value>(i));
+  for (int i = 0; i < kN; ++i) ASSERT_TRUE(q.delete_min().has_value());
+  EXPECT_FALSE(q.delete_min().has_value());
+
+  const auto snap = q.telemetry();
+  EXPECT_EQ(get(snap, "claim_wins"), static_cast<std::uint64_t>(kN));
+  EXPECT_EQ(get(snap, "claim_losses"), 0u);
+  EXPECT_EQ(get(snap, "insert_retries"), 0u);
+  EXPECT_EQ(get(snap, "failed_cas"), 0u);
+  EXPECT_EQ(get(snap, "gc_reclaimed") + get(snap, "gc_deferred"),
+            static_cast<std::uint64_t>(kN));
+}
+
+TEST(TelemetryInvariants, GlobalLockOnlyClaimWinsMoves) {
+  slpq::GlobalLockPQ<Key, Value> q;
+  const Tally t = run_mixed(q, 4, 5000);
+
+  const auto snap = q.telemetry();
+  EXPECT_EQ(get(snap, "claim_wins"), t.deletes_ok);
+  for (int i = 0; i < slpq::kNumCounters; ++i) {
+    const auto c = static_cast<slpq::Counter>(i);
+    if (c == slpq::Counter::kClaimWins) continue;
+    EXPECT_EQ(get(snap, slpq::counter_name(c)), 0u) << slpq::counter_name(c);
+  }
+}

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Validates pqsim --stats-json output (schema slpq-telemetry/1).
+
+Usage:
+    tools/check_stats_json.py out.json [more.json ...] [--doc docs/TELEMETRY.md]
+
+Checks, per file:
+  * top level is {"schema": "slpq-telemetry/1", "runs": [...]} with at
+    least one run;
+  * every run carries the required fields with the right types;
+  * every run's counters object contains the full core counter set
+    (non-negative integers);
+  * sim runs additionally carry the sim.* machine breakdown, native runs
+    the native.* phase timings.
+
+With --doc, additionally greps every emitted counter key against the
+telemetry glossary: a key the structures emit but the doc does not
+mention fails the check (the doc names keys in backticks).
+
+Stdlib only; exit status 0 = all files valid.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+CORE_KEYS = [
+    "insert_retries",
+    "delete_retries",
+    "failed_cas",
+    "claim_wins",
+    "claim_losses",
+    "restructure_sweeps",
+    "prefix_nodes_walked",
+    "pool_refills",
+    "pool_reused",
+    "gc_reclaimed",
+    "gc_deferred",
+]
+
+REQUIRED_RUN_FIELDS = {
+    "machine": str,
+    "structure": str,
+    "processors": int,
+    "total_ops": int,
+    "unit": str,
+    "makespan": int,
+    "inserts": int,
+    "deletes": int,
+    "empties": int,
+    "mean_insert": (int, float),
+    "mean_delete": (int, float),
+    "mean_op": (int, float),
+    "counters": dict,
+}
+
+SIM_PREFIX_KEYS = ["sim.reads", "sim.cache_hits", "sim.miss_remote_dirty"]
+NATIVE_PREFIX_KEYS = ["native.prefill_ns", "native.run_ns", "native.quiesce_ns"]
+
+
+def check_run(run, idx, errors):
+    where = f"runs[{idx}]"
+    for field, kind in REQUIRED_RUN_FIELDS.items():
+        if field not in run:
+            errors.append(f"{where}: missing field '{field}'")
+            continue
+        if not isinstance(run[field], kind) or isinstance(run[field], bool):
+            errors.append(f"{where}.{field}: wrong type {type(run[field]).__name__}")
+    counters = run.get("counters")
+    if not isinstance(counters, dict):
+        return
+    for key, value in counters.items():
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            errors.append(f"{where}.counters[{key!r}]: not a non-negative integer")
+    for key in CORE_KEYS:
+        if key not in counters:
+            errors.append(f"{where}.counters: missing core key '{key}'")
+    machine = run.get("machine")
+    if machine == "sim":
+        missing = [k for k in SIM_PREFIX_KEYS if k not in counters]
+        if missing:
+            errors.append(f"{where}.counters: sim run missing {missing}")
+    elif machine == "native":
+        missing = [k for k in NATIVE_PREFIX_KEYS if k not in counters]
+        if missing:
+            errors.append(f"{where}.counters: native run missing {missing}")
+    else:
+        errors.append(f"{where}.machine: expected 'sim' or 'native', got {machine!r}")
+    unit = run.get("unit")
+    if unit not in ("cycles", "ns"):
+        errors.append(f"{where}.unit: expected 'cycles' or 'ns', got {unit!r}")
+
+
+def check_file(path, documented_keys, errors):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        errors.append(f"{path}: unreadable or invalid JSON: {e}")
+        return
+    if doc.get("schema") != "slpq-telemetry/1":
+        errors.append(f"{path}: schema is {doc.get('schema')!r}, "
+                      "expected 'slpq-telemetry/1'")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        errors.append(f"{path}: 'runs' must be a non-empty list")
+        return
+    for idx, run in enumerate(runs):
+        before = len(errors)
+        check_run(run, idx, errors)
+        errors[before:] = [f"{path}: {e}" for e in errors[before:]]
+        if documented_keys is not None and isinstance(run.get("counters"), dict):
+            for key in run["counters"]:
+                if key not in documented_keys:
+                    errors.append(
+                        f"{path}: runs[{idx}] emits '{key}' but the telemetry "
+                        "doc does not mention it")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+", help="stats JSON files to validate")
+    parser.add_argument("--doc", help="telemetry glossary to grep keys against")
+    args = parser.parse_args()
+
+    documented_keys = None
+    if args.doc:
+        try:
+            with open(args.doc) as f:
+                text = f.read()
+        except OSError as e:
+            print(f"check_stats_json: cannot read {args.doc}: {e}", file=sys.stderr)
+            return 2
+        documented_keys = set(re.findall(r"`([A-Za-z0-9_.]+)`", text))
+
+    errors = []
+    for path in args.files:
+        check_file(path, documented_keys, errors)
+
+    if errors:
+        for e in errors:
+            print(f"check_stats_json: {e}", file=sys.stderr)
+        return 1
+    print(f"check_stats_json: {len(args.files)} file(s) OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

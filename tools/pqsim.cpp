@@ -35,7 +35,7 @@ namespace {
       "             [--work N] [--seed N] [--max-level N]\n"
       "             [--mq-c N] [--mq-stickiness N] [--boundoffset N]\n"
       "             [--no-gc] [--pad-nodes] [--no-occupancy]\n"
-      "             [--csv PATH]\n"
+      "             [--csv PATH] [--stats] [--stats-json PATH]\n"
       "\n"
       "  --machine sim|native   execution world: the simulated 256-way\n"
       "                         ccNUMA machine (latency in cycles) or real\n"
@@ -50,7 +50,12 @@ namespace {
       "  --boundoffset N        linden queue: dead-prefix length that\n"
       "                         triggers restructuring (default 32)\n"
       "  --work N               local work between ops: cycles on sim,\n"
-      "                         spin iterations on native (default 100)\n",
+      "                         spin iterations on native (default 100)\n"
+      "  --stats                print each run's telemetry counters\n"
+      "                         (docs/TELEMETRY.md) as a table\n"
+      "  --stats-json PATH      write all runs' telemetry as JSON, schema\n"
+      "                         slpq-telemetry/1 (one schema for both\n"
+      "                         machines)\n",
       harness::BackendRegistry::instance().names(harness::Flavor::Sim).c_str(),
       harness::BackendRegistry::instance()
           .names(harness::Flavor::Native)
@@ -111,6 +116,8 @@ int main(int argc, char** argv) {
   int procs = 32;
   int max_procs = 256;
   std::string csv_path;
+  bool print_stats = false;
+  std::string stats_json_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -143,6 +150,8 @@ int main(int argc, char** argv) {
     else if (arg == "--pad-nodes") base.pad_nodes = true;
     else if (arg == "--no-occupancy") base.machine.model_dir_occupancy = false;
     else if (arg == "--csv") csv_path = next();
+    else if (arg == "--stats") print_stats = true;
+    else if (arg == "--stats-json") stats_json_path = next();
     else if (arg == "--help" || arg == "-h") usage();
     else usage(("unknown flag '" + arg + "'").c_str());
   }
@@ -184,6 +193,7 @@ int main(int argc, char** argv) {
 
   std::vector<double> xs(proc_list.begin(), proc_list.end());
   std::vector<harness::ChartSeries> del_series, ins_series;
+  harness::StatsReport stats_report;
 
   for (const harness::Backend* backend : backends) {
     harness::ChartSeries ds{backend->label, {}};
@@ -202,6 +212,7 @@ int main(int argc, char** argv) {
                      std::to_string(r.empties), std::to_string(r.final_size)});
       ds.ys.push_back(r.mean_delete());
       is.ys.push_back(r.mean_insert());
+      if (print_stats || !stats_json_path.empty()) stats_report.add(cfg, r);
     }
     del_series.push_back(std::move(ds));
     ins_series.push_back(std::move(is));
@@ -215,9 +226,19 @@ int main(int argc, char** argv) {
     copt.title = std::string("\ninsert latency (") + unit + ")";
     std::cout << render_chart(xs, ins_series, copt);
   }
+  if (print_stats) {
+    for (const auto& run : stats_report.runs) {
+      std::cout << "\n";
+      print_telemetry(std::cout, run);
+    }
+  }
   if (!csv_path.empty()) {
     write_csv(csv_path, table);
     std::cout << "[csv written to " << csv_path << "]\n";
+  }
+  if (!stats_json_path.empty()) {
+    write_stats_json(stats_json_path, stats_report);
+    std::cout << "[stats json written to " << stats_json_path << "]\n";
   }
   return 0;
 }
