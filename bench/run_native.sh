@@ -70,6 +70,61 @@ else
   echo "run_native.sh: python3 not found, skipping $traj" >&2
 fi
 
+# Distill the MultiQueue buffer ablation (if its CSV has been produced by
+# the ablation_mq_buffers binary, which writes into the cwd it runs from)
+# into a BENCH_native.json-style per-config summary: ops/s next to the
+# sampled rank-error quantiles, one entry per knob combination.
+ablation_csv=""
+for candidate in "$out_dir/ablation_mq_buffers.csv" \
+                 "$build_dir/bench/ablation_mq_buffers.csv" \
+                 "$repo_root/ablation_mq_buffers.csv"; do
+  if [ -f "$candidate" ]; then
+    ablation_csv="$candidate"
+    break
+  fi
+done
+if [ -n "$ablation_csv" ] && command -v python3 > /dev/null 2>&1; then
+  python3 - "$ablation_csv" "$out_dir/BENCH_mq_buffers.json" <<'EOF'
+import csv, json, sys
+
+src, dst = sys.argv[1], sys.argv[2]
+configs = []
+with open(src) as f:
+    for row in csv.DictReader(f):
+        configs.append({
+            "buf": int(row["buf"]),
+            "batch": int(row["batch"]),
+            "stickiness": int(row["stickiness"]),
+            "threads": int(row["procs"]),
+            "ops_per_sec": float(row["ops_per_sec"]),
+            "rank_error": {
+                "mean": int(row["rank_mean"]),
+                "p99": int(row["rank_p99"]),
+                "max": int(row["rank_max"]),
+            },
+            "lock_amortization": {
+                "ins_flushes": int(row["ins_flushes"]),
+                "refills": int(row["refills"]),
+                "invalidations": int(row["invalidations"]),
+            },
+        })
+
+doc = {
+    "benchmark": "ablation_mq_buffers: 50/50 mixed ops, c=2, init 4096",
+    "unit": "ops_per_sec",
+    "note": "every throughput number carries its rank-error price",
+    "configs": configs,
+}
+with open(dst, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=False)
+    f.write("\n")
+EOF
+  echo "wrote $out_dir/BENCH_mq_buffers.json (from $ablation_csv)"
+else
+  echo "run_native.sh: no ablation_mq_buffers.csv found, skipping" \
+       "BENCH_mq_buffers.json (run the ablation_mq_buffers binary first)" >&2
+fi
+
 # Archive a telemetry snapshot next to the benchmark JSON: one pqsim run
 # per native backend with the counters from docs/TELEMETRY.md, so every
 # recorded throughput number has the contention breakdown that explains it.
@@ -85,6 +140,37 @@ if [ -x "$pqsim_bin" ]; then
   if command -v python3 > /dev/null 2>&1; then
     python3 "$repo_root/tools/check_stats_json.py" "$stats" \
       --doc "$repo_root/docs/TELEMETRY.md"
+  fi
+  # Extract the rank-error histograms from the relaxed runs into their own
+  # archive, so relaxation quality is tracked release over release just
+  # like throughput.
+  if command -v python3 > /dev/null 2>&1; then
+    python3 - "$stats" "$out_dir/BENCH_native_rank_error.json" <<'EOF'
+import json, sys
+
+src, dst = sys.argv[1], sys.argv[2]
+with open(src) as f:
+    doc = json.load(f)
+
+runs = []
+for run in doc.get("runs", []):
+    counters = run.get("counters", {})
+    hist = {k.split("mq.rank_error.")[1]: v
+            for k, v in counters.items() if k.startswith("mq.rank_error.")}
+    if hist:
+        runs.append({
+            "structure": run["structure"],
+            "processors": run["processors"],
+            "total_ops": run["total_ops"],
+            "rank_error": hist,
+        })
+
+out = {"source": "BENCH_native_stats.json", "runs": runs}
+with open(dst, "w") as f:
+    json.dump(out, f, indent=2, sort_keys=False)
+    f.write("\n")
+EOF
+    echo "wrote $out_dir/BENCH_native_rank_error.json"
   fi
 else
   echo "run_native.sh: $pqsim_bin not found, skipping telemetry snapshot" >&2

@@ -96,6 +96,9 @@ class MultiQueueHandle final : public QueueHandle {
     NativeMultiQueue::Options o;
     o.c = cfg.mq_c;
     o.stickiness = cfg.mq_stickiness;
+    o.insertion_buffer = static_cast<std::size_t>(cfg.mq_ins_buf);
+    o.deletion_buffer = static_cast<std::size_t>(cfg.mq_del_buf);
+    o.batch = static_cast<std::size_t>(cfg.mq_batch);
     o.max_threads = cfg.processors;
     o.seed = cfg.seed;
     return o;
@@ -183,7 +186,9 @@ void register_native_backends(BackendRegistry& registry) {
 
   registry.add({"multiqueue", "MultiQueue", Flavor::Native, Backend::kRelaxed,
                 "slpq::MultiQueue — relaxed c-way sharded queue",
-                {"mq"}, {"mq_c", "mq_stickiness"},
+                {"mq"},
+                {"mq_c", "mq_stickiness", "mq_ins_buf", "mq_del_buf",
+                 "mq_batch"},
                 [](const BackendInit& init) {
                   return std::unique_ptr<QueueHandle>(
                       new MultiQueueHandle(init.cfg));

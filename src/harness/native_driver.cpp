@@ -7,6 +7,7 @@
 // the hardware's.
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -40,8 +41,15 @@ BenchmarkResult run_native_benchmark(const BenchmarkConfig& cfg) {
 
   const BackendInit init{cfg, nullptr};
   auto queue = backend.make(init);
+
+  // Relaxed structures get their delete-min quality priced. The probe's
+  // bucket walks run outside the latency-timed windows and only every
+  // kSamplePeriod-th delete, so the throughput cost is noise.
+  std::unique_ptr<spec::RankErrorProbe> probe;
+  if (backend.has(Backend::kRelaxed))
+    probe = std::make_unique<spec::RankErrorProbe>();
   const std::uint64_t t_prefill_start = now_ns();
-  spec::prefill(*queue, cfg);
+  spec::prefill(*queue, cfg, probe.get());
   const std::uint64_t t_prefill_end = now_ns();
 
   const int workers = cfg.processors;
@@ -62,7 +70,7 @@ BenchmarkResult run_native_benchmark(const BenchmarkConfig& cfg) {
       while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
       spec::worker_loop(*queue, cfg, p, ctx,
                         tallies[static_cast<std::size_t>(p)], now_ns,
-                        spin_work);
+                        spin_work, probe.get());
     });
   }
 
@@ -84,6 +92,7 @@ BenchmarkResult run_native_benchmark(const BenchmarkConfig& cfg) {
   out.telemetry.set("native.prefill_ns", t_prefill_end - t_prefill_start);
   out.telemetry.set("native.run_ns", t_end - t_start);
   out.telemetry.set("native.quiesce_ns", t_quiesce_end - t_end);
+  if (probe) spec::fold_rank_error(out.telemetry, out.rank_error);
   return out;
 }
 

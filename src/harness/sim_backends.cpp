@@ -134,6 +134,9 @@ class SimMultiQueueHandle final : public QueueHandle {
     simq::SimMultiQueue::Options o;
     o.c = cfg.mq_c;
     o.stickiness = cfg.mq_stickiness;
+    o.insertion_buffer = static_cast<std::size_t>(cfg.mq_ins_buf);
+    o.deletion_buffer = static_cast<std::size_t>(cfg.mq_del_buf);
+    o.batch = static_cast<std::size_t>(cfg.mq_batch);
     o.seed = cfg.seed;
     return o;
   }
@@ -147,6 +150,7 @@ class SimMultiQueueHandle final : public QueueHandle {
     return std::nullopt;
   }
   std::size_t final_size() const override { return q_.size_raw(); }
+  void quiesce() override { q_.quiesce_host(); }
   slpq::TelemetrySnapshot telemetry() const override { return q_.telemetry(); }
 
  private:
@@ -236,7 +240,9 @@ void register_sim_backends(BackendRegistry& registry) {
 
   registry.add({"multiqueue", "MultiQueue", Flavor::Sim, Backend::kRelaxed,
                 "relaxed c-way sharded queue with 2-choice sampling",
-                {"mq"}, {"mq_c", "mq_stickiness"},
+                {"mq"},
+                {"mq_c", "mq_stickiness", "mq_ins_buf", "mq_del_buf",
+                 "mq_batch"},
                 [](const BackendInit& init) {
                   return std::unique_ptr<QueueHandle>(
                       new SimMultiQueueHandle(init));

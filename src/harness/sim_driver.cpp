@@ -1,6 +1,7 @@
 // The fiber/simulator driver: executes the shared workload spec on the
 // psim simulated ccNUMA machine. Each worker is a virtual processor;
 // latencies are simulated cycles and the run is fully deterministic.
+#include <memory>
 #include <vector>
 
 #include "harness/backend.hpp"
@@ -26,7 +27,13 @@ BenchmarkResult run_sim_benchmark(const BenchmarkConfig& cfg) {
   const BackendInit init{cfg, &eng};
   auto queue = backend.make(init);
   queue->register_daemons();
-  spec::prefill(*queue, cfg);
+
+  // Relaxed structures get their delete-min quality priced (fiber switches
+  // make the probe's relaxed atomics effectively free here).
+  std::unique_ptr<spec::RankErrorProbe> probe;
+  if (backend.has(Backend::kRelaxed))
+    probe = std::make_unique<spec::RankErrorProbe>();
+  spec::prefill(*queue, cfg, probe.get());
 
   const int workers = cfg.processors;
   std::vector<spec::WorkerTally> tallies(static_cast<std::size_t>(workers));
@@ -41,7 +48,7 @@ BenchmarkResult run_sim_benchmark(const BenchmarkConfig& cfg) {
       spec::worker_loop(
           *queue, cfg, p, ctx, tallies[static_cast<std::size_t>(p)],
           [&cpu] { return cpu.now(); },
-          [&cpu](std::uint64_t cycles) { cpu.advance(cycles); });
+          [&cpu](std::uint64_t cycles) { cpu.advance(cycles); }, probe.get());
     });
   }
 
@@ -73,6 +80,7 @@ BenchmarkResult run_sim_benchmark(const BenchmarkConfig& cfg) {
   out.telemetry.set("sim.lock_contended", st.lock_contended);
   out.telemetry.set("sim.fiber_switches", st.fiber_switches);
   out.telemetry.set("sim.clock_reads", st.clock_reads);
+  if (probe) spec::fold_rank_error(out.telemetry, out.rank_error);
   return out;
 }
 

@@ -41,6 +41,9 @@ struct BenchmarkConfig {
   int funnel_layers = 2;
   int mq_c = 2;                    ///< MultiQueue shards per worker
   int mq_stickiness = 8;           ///< MultiQueue sticky-op budget
+  int mq_ins_buf = 8;              ///< MultiQueue insertion-buffer capacity
+  int mq_del_buf = 8;              ///< MultiQueue deletion-buffer capacity
+  int mq_batch = 8;                ///< MultiQueue items moved per lock hold
   int boundoffset = 32;            ///< Linden queue dead-prefix bound
 
   psim::MachineConfig machine;     ///< sim timing model (processor count is overridden)
@@ -49,6 +52,9 @@ struct BenchmarkConfig {
 struct BenchmarkResult {
   slpq::detail::LatencyHistogram insert_latency;
   slpq::detail::LatencyHistogram delete_latency;
+  /// Sampled delete-min rank errors (relaxed structures only; empty for
+  /// strict queues). Also folded into telemetry as mq.rank_error.* keys.
+  slpq::detail::LogHistogram rank_error;
   std::uint64_t inserts = 0;
   std::uint64_t deletes = 0;       ///< successful delete-mins
   std::uint64_t empties = 0;       ///< delete-mins that returned EMPTY

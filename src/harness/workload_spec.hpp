@@ -5,7 +5,10 @@
 // streams are identical across flavors — only the clock differs.
 #pragma once
 
+#include <atomic>
+#include <cmath>
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
@@ -13,6 +16,7 @@
 #include "harness/workload.hpp"
 #include "slpq/detail/histogram.hpp"
 #include "slpq/detail/random.hpp"
+#include "slpq/telemetry.hpp"
 
 namespace harness::spec {
 
@@ -42,42 +46,115 @@ inline slpq::detail::Xoshiro256 worker_rng(const BenchmarkConfig& cfg, int p) {
                                   static_cast<std::uint64_t>(p) + 101);
 }
 
+/// Prices relaxation: how far from the true minimum each delete-min lands.
+///
+/// A bucket-count sketch over the key space, shared by all workers: insert
+/// increments the popped key's bucket, delete-min sums the buckets strictly
+/// below it — an approximation of "how many resident items were smaller",
+/// i.e. the op's rank error — then decrements. With 4096 buckets over
+/// kKeySpace the quantization error is ~initial_size/4096 items per
+/// bucket; plenty to separate "tens" from "thousands", which is the scale
+/// relaxation quality lives at. Buckets are relaxed atomics, so under
+/// concurrency the sketch is itself slightly relaxed — fine for a
+/// statistic about a structure that is relaxed by design. The below-sum
+/// walks up to 4096 counters, so drivers only sample every
+/// kRankSamplePeriod-th successful delete (outside the latency-timed
+/// window; see worker_loop).
+class RankErrorProbe {
+ public:
+  static constexpr std::size_t kBuckets = 4096;
+  static constexpr int kSamplePeriod = 32;  ///< deletes between samples
+
+  RankErrorProbe()
+      : counts_(std::make_unique<std::atomic<std::int64_t>[]>(kBuckets)) {}
+
+  void on_insert(Key key) noexcept {
+    counts_[index(key)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Approximate count of resident items smaller than `key`, then removes
+  /// the item from the sketch. Call after the queue op succeeded.
+  std::uint64_t on_delete(Key key) noexcept {
+    const std::size_t b = index(key);
+    std::uint64_t below = 0;
+    for (std::size_t i = 0; i < b; ++i) {
+      const auto v = counts_[i].load(std::memory_order_relaxed);
+      if (v > 0) below += static_cast<std::uint64_t>(v);  // skip transients
+    }
+    counts_[b].fetch_sub(1, std::memory_order_relaxed);
+    return below;
+  }
+
+  /// Removes a popped key without computing its rank (unsampled deletes
+  /// still have to leave the sketch).
+  void on_delete_unsampled(Key key) noexcept {
+    counts_[index(key)].fetch_sub(1, std::memory_order_relaxed);
+  }
+
+ private:
+  static std::size_t index(Key key) noexcept {
+    constexpr std::uint64_t kWidth = (kKeySpace + kBuckets - 1) / kBuckets;
+    const auto k = key < 1 ? std::uint64_t{0} : static_cast<std::uint64_t>(key - 1);
+    const std::size_t b = static_cast<std::size_t>(k / kWidth);
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+
+  std::unique_ptr<std::atomic<std::int64_t>[]> counts_;
+};
+
 /// Pre-populates the structure with cfg.initial_size uniformly random
-/// priorities (host-side, before any worker starts).
-inline void prefill(QueueHandle& queue, const BenchmarkConfig& cfg) {
+/// priorities (host-side, before any worker starts). The rank probe, when
+/// present, must see the seeds too or early deletes would under-count.
+inline void prefill(QueueHandle& queue, const BenchmarkConfig& cfg,
+                    RankErrorProbe* probe = nullptr) {
   slpq::detail::Xoshiro256 seed_rng(cfg.seed ^ 0xBEEFCAFEULL);
-  for (std::size_t i = 0; i < cfg.initial_size; ++i)
-    queue.seed(static_cast<Key>(seed_rng.below(kKeySpace)) + 1,
-               static_cast<Value>(i));
+  for (std::size_t i = 0; i < cfg.initial_size; ++i) {
+    const Key key = static_cast<Key>(seed_rng.below(kKeySpace)) + 1;
+    queue.seed(key, static_cast<Value>(i));
+    if (probe) probe->on_insert(key);
+  }
 }
 
 /// Per-worker measurement sinks, merged into a BenchmarkResult at the end.
 struct WorkerTally {
   slpq::detail::LatencyHistogram insert_latency;
   slpq::detail::LatencyHistogram delete_latency;
+  slpq::detail::LogHistogram rank_error;
   std::uint64_t empties = 0;
 };
 
 /// One worker's benchmark loop. `Clock` is a callable returning the current
 /// time in the driver's unit (cycles or ns); `Work` burns the local work
-/// period between operations.
+/// period between operations. When a rank probe is supplied (relaxed
+/// structures), its updates run strictly outside the latency-timed window
+/// so quality measurement never inflates the latency numbers.
 template <typename Clock, typename Work>
 void worker_loop(QueueHandle& queue, const BenchmarkConfig& cfg, int p,
                  OpContext& ctx, WorkerTally& tally, Clock&& clock,
-                 Work&& work) {
+                 Work&& work, RankErrorProbe* probe = nullptr) {
   auto rng = worker_rng(cfg, p);
   const std::uint64_t ops = quota(cfg, p);
+  std::uint64_t deletes = 0;
   for (std::uint64_t i = 0; i < ops; ++i) {
     work(cfg.work_cycles);  // the benchmark's local work period
-    const std::uint64_t t0 = clock();
     if (rng.bernoulli(cfg.insert_ratio)) {
-      queue.insert(ctx, static_cast<Key>(rng.below(kKeySpace)) + 1,
-                   static_cast<Value>(i));
+      const Key key = static_cast<Key>(rng.below(kKeySpace)) + 1;
+      if (probe) probe->on_insert(key);
+      const std::uint64_t t0 = clock();
+      queue.insert(ctx, key, static_cast<Value>(i));
       tally.insert_latency.record(clock() - t0);
     } else {
-      const bool got = queue.delete_min(ctx).has_value();
+      const std::uint64_t t0 = clock();
+      const auto got = queue.delete_min(ctx);
       tally.delete_latency.record(clock() - t0);
-      if (!got) ++tally.empties;
+      if (!got) {
+        ++tally.empties;
+      } else if (probe) {
+        if (++deletes % RankErrorProbe::kSamplePeriod == 0)
+          tally.rank_error.record(probe->on_delete(*got));
+        else
+          probe->on_delete_unsampled(*got);
+      }
     }
   }
 }
@@ -90,12 +167,28 @@ inline BenchmarkResult merge(const std::vector<WorkerTally>& tallies,
   for (const auto& t : tallies) {
     out.insert_latency.merge(t.insert_latency);
     out.delete_latency.merge(t.delete_latency);
+    out.rank_error.merge(t.rank_error);
     out.empties += t.empties;
   }
   out.inserts = out.insert_latency.count();
   out.deletes = out.delete_latency.count() - out.empties;
   out.final_size = queue.final_size();
   return out;
+}
+
+/// Folds the rank-error histogram into the run's telemetry so the quality
+/// number ships in the same slpq-telemetry/1 JSON as the speed numbers.
+/// Both drivers call this whenever the probe ran (all keys present, zero
+/// when no delete was sampled).
+inline void fold_rank_error(slpq::TelemetrySnapshot& snap,
+                            const slpq::detail::LogHistogram& h) {
+  snap.set("mq.rank_error.samples", h.count());
+  snap.set("mq.rank_error.mean",
+           static_cast<std::uint64_t>(std::llround(h.mean())));
+  snap.set("mq.rank_error.p50", h.quantile(0.50));
+  snap.set("mq.rank_error.p90", h.quantile(0.90));
+  snap.set("mq.rank_error.p99", h.quantile(0.99));
+  snap.set("mq.rank_error.max", h.max());
 }
 
 }  // namespace harness::spec

@@ -1,8 +1,17 @@
 #include "simq/sim_multi_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace simq {
+
+namespace {
+constexpr std::size_t kMaxBuffer = 1024;
+
+std::size_t clamp_buf(std::size_t v) {
+  return v < 1 ? std::size_t{1} : (v > kMaxBuffer ? kMaxBuffer : v);
+}
+}  // namespace
 
 SimMultiQueue::Shard::Shard(psim::Engine& eng)
     // One line-aligned simulated line per shard: the lock word and the
@@ -16,6 +25,9 @@ SimMultiQueue::SimMultiQueue(psim::Engine& eng, Options opt)
     : eng_(eng), opt_(opt) {
   if (opt_.c < 1) opt_.c = 1;
   if (opt_.stickiness < 1) opt_.stickiness = 1;
+  opt_.insertion_buffer = clamp_buf(opt_.insertion_buffer);
+  opt_.deletion_buffer = clamp_buf(opt_.deletion_buffer);
+  opt_.batch = clamp_buf(opt_.batch);
   const int procs = eng.config().processors;
   const std::size_t n =
       static_cast<std::size_t>(opt_.c) * static_cast<std::size_t>(procs);
@@ -24,7 +36,11 @@ SimMultiQueue::SimMultiQueue(psim::Engine& eng, Options opt)
     shards_.push_back(std::make_unique<Shard>(eng));
   cpus_.resize(static_cast<std::size_t>(procs));
   slpq::detail::SplitMix64 sm(opt_.seed);
-  for (auto& st : cpus_) st.rng = slpq::detail::Xoshiro256(sm.next());
+  for (auto& st : cpus_) {
+    st.rng = slpq::detail::Xoshiro256(sm.next());
+    st.ibuf.reserve(opt_.insertion_buffer);
+    st.dbuf.reserve(opt_.deletion_buffer);
+  }
 }
 
 void SimMultiQueue::publish(Cpu& cpu, Shard& s) {
@@ -54,21 +70,71 @@ SimMultiQueue::Shard& SimMultiQueue::pick_insert_shard(Cpu& cpu,
   }
 }
 
-void SimMultiQueue::insert(Cpu& cpu, Key key, Value value) {
-  CpuState& st = cpus_[static_cast<std::size_t>(cpu.id())];
+/// Evicts up to `batch` of the largest buffered inserts into one shard
+/// under a single charged lock acquisition (the smallest stay local —
+/// they are the owner's likeliest pops and cannot raise anyone else's
+/// rank error by staying private).
+void SimMultiQueue::evict_insertions(Cpu& cpu, CpuState& st) {
+  if (st.ibuf.empty()) return;
   Shard& s = pick_insert_shard(cpu, st);
-  s.heap.push(key, value);
+  const std::size_t n = std::min(opt_.batch, st.ibuf.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    auto kv = std::move(st.ibuf.back());
+    st.ibuf.pop_back();
+    s.heap.push(kv.first, std::move(kv.second));
+  }
   publish(cpu, s);
   s.lock.unlock(cpu);
+  ++st.flushes;
 }
 
-std::optional<std::pair<Key, Value>> SimMultiQueue::delete_min(Cpu& cpu) {
+void SimMultiQueue::insert(Cpu& cpu, Key key, Value value) {
   CpuState& st = cpus_[static_cast<std::size_t>(cpu.id())];
-  const std::size_t n = shards_.size();
+  if (st.ibuf.size() >= opt_.insertion_buffer) evict_insertions(cpu, st);
+  const auto pos = std::upper_bound(
+      st.ibuf.begin(), st.ibuf.end(), key,
+      [](Key k, const std::pair<Key, Value>& item) { return k < item.first; });
+  st.ibuf.insert(pos, {key, std::move(value)});
+}
 
+/// Pops up to min(batch, deletion buffer) items, ascending, into the
+/// cpu's deletion buffer and releases the shard.
+void SimMultiQueue::drain_batch(Cpu& cpu, Shard& s, CpuState& st) {
+  const std::size_t batch = std::min(opt_.batch, opt_.deletion_buffer);
+  for (std::size_t i = 0; i < batch && !s.heap.empty(); ++i)
+    st.dbuf.push_back(s.heap.pop());
+  publish(cpu, s);
+  s.lock.unlock(cpu);
+  st.dhead = 0;
+  ++st.refills;
+}
+
+/// One charged read of the sticky shard's published top; if it beats the
+/// buffered head and the try-lock lands, the stale remainder merges back
+/// and a fresh batch is drained. Returns whether the deletion buffer
+/// still holds servable items.
+bool SimMultiQueue::revalidate_deletions(Cpu& cpu, CpuState& st) {
+  Shard& s = *shards_[st.del_shard];
+  const Key top = cpu.read(s.top);
+  if (top >= st.dbuf[st.dhead].first) return true;
+  if (!s.lock.try_lock(cpu)) return true;  // best effort: serve stale head
+  for (std::size_t i = st.dhead; i < st.dbuf.size(); ++i)
+    s.heap.push(st.dbuf[i].first, std::move(st.dbuf[i].second));
+  st.dbuf.clear();
+  st.dhead = 0;
+  drain_batch(cpu, s, st);  // publishes + unlocks
+  ++st.invalidations;
+  return st.dhead < st.dbuf.size();
+}
+
+/// Refills the deletion buffer from one shard (sticky or 2-choice
+/// sampled on two charged top reads). Returns false only after a full
+/// sweep found every shard empty.
+bool SimMultiQueue::refill(Cpu& cpu, CpuState& st) {
+  assert(st.dbuf.empty() && st.ibuf.empty());
+  const std::size_t n = shards_.size();
   for (int attempt = 0; attempt < 8; ++attempt) {
     if (st.del_stick <= 0) {
-      // 2-choice sampling on the published tops (two timed reads).
       const auto a = static_cast<std::size_t>(st.rng.below(n));
       const auto b = static_cast<std::size_t>(st.rng.below(n));
       const Key ka = cpu.read(shards_[a]->top);
@@ -96,11 +162,8 @@ std::optional<std::pair<Key, Value>> SimMultiQueue::delete_min(Cpu& cpu) {
       st.del_stick = 0;
       continue;
     }
-    auto out = s.heap.pop();
-    publish(cpu, s);
-    s.lock.unlock(cpu);
-    counters_.add(slpq::Counter::kClaimWins);
-    return out;
+    drain_batch(cpu, s, st);
+    return true;
   }
 
   // Sampling kept missing: deterministic sweep before reporting empty.
@@ -109,18 +172,46 @@ std::optional<std::pair<Key, Value>> SimMultiQueue::delete_min(Cpu& cpu) {
     if (cpu.read(s.top) == kEmptyTop) continue;
     s.lock.lock(cpu);
     if (!s.heap.empty()) {
-      auto out = s.heap.pop();
-      publish(cpu, s);
-      s.lock.unlock(cpu);
+      drain_batch(cpu, s, st);
       st.del_shard = i;
       st.del_stick = opt_.stickiness;
-      counters_.add(slpq::Counter::kClaimWins);
-      return out;
+      return true;
     }
     publish(cpu, s);
     s.lock.unlock(cpu);
   }
-  return std::nullopt;
+  return false;
+}
+
+std::optional<std::pair<Key, Value>> SimMultiQueue::delete_min(Cpu& cpu) {
+  CpuState& st = cpus_[static_cast<std::size_t>(cpu.id())];
+  for (;;) {
+    bool have_d = st.dhead < st.dbuf.size();
+    if (have_d && opt_.stale_invalidation)
+      have_d = revalidate_deletions(cpu, st);
+    if (!st.ibuf.empty()) {
+      // The cpu's own pending inserts compete with the deletion buffer:
+      // serve whichever head is smaller.
+      if (!have_d || st.ibuf.front().first <= st.dbuf[st.dhead].first) {
+        auto out = std::move(st.ibuf.front());
+        st.ibuf.erase(st.ibuf.begin());
+        counters_.add(slpq::Counter::kClaimWins);
+        return out;
+      }
+    }
+    if (have_d) {
+      auto out = std::move(st.dbuf[st.dhead++]);
+      if (st.dhead == st.dbuf.size()) {
+        st.dbuf.clear();
+        st.dhead = 0;
+      }
+      counters_.add(slpq::Counter::kClaimWins);
+      return out;
+    }
+    // Both buffers empty: make pending inserts visible, then refill.
+    while (!st.ibuf.empty()) evict_insertions(cpu, st);
+    if (!refill(cpu, st)) return std::nullopt;
+  }
 }
 
 void SimMultiQueue::seed(Key key, Value value) {
@@ -129,9 +220,38 @@ void SimMultiQueue::seed(Key key, Value value) {
   s.top.set_raw(s.heap.min_key());
 }
 
+void SimMultiQueue::quiesce_host() {
+  for (auto& st : cpus_) {
+    for (auto& kv : st.ibuf) {
+      Shard& s = *shards_[seed_rr_++ % shards_.size()];
+      s.heap.push(kv.first, std::move(kv.second));
+      s.top.set_raw(s.heap.min_key());
+    }
+    st.ibuf.clear();
+    for (std::size_t i = st.dhead; i < st.dbuf.size(); ++i) {
+      Shard& s = *shards_[seed_rr_++ % shards_.size()];
+      s.heap.push(st.dbuf[i].first, std::move(st.dbuf[i].second));
+      s.top.set_raw(s.heap.min_key());
+    }
+    st.dbuf.clear();
+    st.dhead = 0;
+  }
+}
+
+std::vector<std::pair<Key, Value>> SimMultiQueue::drain_host() {
+  quiesce_host();
+  std::vector<std::pair<Key, Value>> out;
+  for (auto& s : shards_) {
+    while (!s->heap.empty()) out.push_back(s->heap.pop());
+    s->top.set_raw(kEmptyTop);
+  }
+  return out;
+}
+
 std::size_t SimMultiQueue::size_raw() const {
   std::size_t total = 0;
   for (const auto& s : shards_) total += s->heap.size();
+  for (const auto& st : cpus_) total += st.ibuf.size() + (st.dbuf.size() - st.dhead);
   return total;
 }
 

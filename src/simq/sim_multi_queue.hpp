@@ -8,11 +8,24 @@
 // lock word and its published minimum key; the heap payload is host-side
 // (a sequential PairingHeap), because only the *coordination* traffic —
 // lock transfers and top-key reads — is what the timing model needs to
-// charge. Each simulated processor keeps sticky shard indices, exactly as
-// the native slpq::MultiQueue does; the native insertion/deletion buffers
-// are omitted here (they amortize lock work that the simulator charges
-// per-access anyway, and keeping the sim variant buffer-free makes its
-// rank error purely the 2-choice sampling term).
+// charge. Each simulated processor keeps sticky shard indices plus the
+// engineered per-thread buffers, mirroring the native slpq::MultiQueue:
+//
+//  * insert goes into a host-side sorted insertion buffer with zero
+//    simulated traffic; when it fills, the `batch` largest items move
+//    into one shard under a single charged lock acquisition.
+//  * delete_min serves the smaller of the insertion-buffer minimum and
+//    the deletion-buffer head for free; an empty deletion buffer is
+//    refilled with up to `batch` heap pops in one charged lock hold
+//    (2-choice sampled on two charged top reads).
+//  * buffer-aware invalidation: before serving the deletion buffer, one
+//    charged read of the sticky shard's published top checks whether the
+//    buffer went stale; if so and the try-lock succeeds, the remainder
+//    merges back and a fresh batch is taken.
+//
+// The buffers themselves are host memory because a real per-thread buffer
+// lives in lines only its owner touches — the protocol traffic the
+// simulator prices is exactly the traffic buffering removes.
 #pragma once
 
 #include <cstdint>
@@ -35,33 +48,58 @@ class SimMultiQueue {
  public:
   struct Options {
     int c = 2;           ///< shards per processor
-    int stickiness = 8;  ///< ops on the same shard before resampling
+    int stickiness = 8;  ///< lock acquisitions on a shard before resampling
+    std::size_t insertion_buffer = 8;  ///< per-cpu pending-insert capacity
+    std::size_t deletion_buffer = 8;   ///< per-cpu popped-batch capacity
+    std::size_t batch = 8;  ///< max items moved per shard-lock acquisition
+    bool stale_invalidation = true;  ///< refresh a beaten deletion buffer
     std::uint64_t seed = 0x3017A11EULL;
   };
 
   SimMultiQueue(psim::Engine& eng, Options opt);
 
-  /// Inserts (key, value) into the calling processor's sticky shard.
+  /// Buffers (key, value); shared-memory traffic only on buffer overflow.
   void insert(Cpu& cpu, Key key, Value value);
 
-  /// Removes some small item (2-choice sampled shard minimum), or nullopt
-  /// after a sweep of all shards found every one empty.
+  /// Removes some small item (own buffers first, else a 2-choice sampled
+  /// batch refill), or nullopt after a sweep of all shards found every
+  /// one empty and the caller's buffers drained.
   std::optional<std::pair<Key, Value>> delete_min(Cpu& cpu);
 
   // ---- host-side helpers -------------------------------------------------
   /// Pre-populates before the run (round-robin across shards).
   void seed(Key key, Value value);
 
+  /// Pushes every cpu's buffered items back into the shards, untimed.
+  /// Call between phases (e.g. before final-size accounting); the sim
+  /// driver's quiesce step uses this.
+  void quiesce_host();
+
+  /// Empties the whole structure (buffers included), returning every
+  /// resident item — the conservation tests' ground truth.
+  std::vector<std::pair<Key, Value>> drain_host();
+
+  /// Counts buffered items too.
   std::size_t size_raw() const;
   std::size_t num_shards() const { return shards_.size(); }
   const Options& options() const { return opt_; }
 
-  /// Operation counters (host-side, invisible to the simulated machine);
-  /// see docs/TELEMETRY.md. The shard heaps are host-side payload with no
-  /// shared node pool or GC, so those counters stay zero.
+  /// Operation counters (host-side, invisible to the simulated machine)
+  /// plus the buffer-engine extras; see docs/TELEMETRY.md. The shard
+  /// heaps are host-side payload with no shared node pool or GC, so
+  /// those counters stay zero.
   slpq::TelemetrySnapshot telemetry() const {
     slpq::TelemetrySnapshot snap;
     counters_.fill(snap);
+    std::uint64_t flushes = 0, refills = 0, invalidations = 0;
+    for (const auto& st : cpus_) {
+      flushes += st.flushes;
+      refills += st.refills;
+      invalidations += st.invalidations;
+    }
+    snap.set("mq.ins_flushes", flushes);
+    snap.set("mq.refills", refills);
+    snap.set("mq.dbuf_invalidations", invalidations);
     return snap;
   }
 
@@ -79,14 +117,24 @@ class SimMultiQueue {
 
   struct CpuState {
     slpq::detail::Xoshiro256 rng{1};
+    std::vector<std::pair<Key, Value>> ibuf;  // sorted ascending
+    std::vector<std::pair<Key, Value>> dbuf;  // ascending; served from dhead
+    std::size_t dhead = 0;
     std::size_t ins_shard = 0;
     std::size_t del_shard = 0;
     int ins_stick = 0;
     int del_stick = 0;
+    std::uint64_t flushes = 0;
+    std::uint64_t refills = 0;
+    std::uint64_t invalidations = 0;
   };
 
   Shard& pick_insert_shard(Cpu& cpu, CpuState& st);
   void publish(Cpu& cpu, Shard& s);
+  void evict_insertions(Cpu& cpu, CpuState& st);
+  void drain_batch(Cpu& cpu, Shard& s, CpuState& st);
+  bool revalidate_deletions(Cpu& cpu, CpuState& st);
+  bool refill(Cpu& cpu, CpuState& st);
 
   psim::Engine& eng_;
   Options opt_;

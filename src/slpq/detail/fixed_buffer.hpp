@@ -1,0 +1,117 @@
+// FixedKVBuffer: a fixed-capacity array of (key, value) pairs on
+// cache-line-aligned storage.
+//
+// The MultiQueue's per-handle insertion and deletion buffers (the
+// "Engineering MultiQueues" design of Williams & Sanders) live in these:
+// a handle is private to one thread, so its buffers must not share a
+// cache line with another handle's — every storage block is allocated at
+// kCacheLineSize alignment and rounded up to whole lines. Capacity is
+// fixed at construction (one allocation for the buffer's whole life);
+// the element count moves between 0 and capacity with explicit lifetime
+// management, so Value may be any movable type.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <new>
+#include <utility>
+
+#include "slpq/detail/cache_line.hpp"
+
+namespace slpq::detail {
+
+template <typename Key, typename Value>
+class FixedKVBuffer {
+ public:
+  using Item = std::pair<Key, Value>;
+
+  explicit FixedKVBuffer(std::size_t capacity) : cap_(capacity ? capacity : 1) {
+    const std::size_t bytes =
+        ((cap_ * sizeof(Item) + kCacheLineSize - 1) / kCacheLineSize) *
+        kCacheLineSize;
+    raw_ = ::operator new(bytes, std::align_val_t{kCacheLineSize});
+    data_ = static_cast<Item*>(raw_);
+  }
+
+  ~FixedKVBuffer() {
+    clear();
+    ::operator delete(raw_, std::align_val_t{kCacheLineSize});
+  }
+
+  FixedKVBuffer(const FixedKVBuffer&) = delete;
+  FixedKVBuffer& operator=(const FixedKVBuffer&) = delete;
+
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return cap_; }
+  bool empty() const noexcept { return size_ == 0; }
+  bool full() const noexcept { return size_ == cap_; }
+
+  Item& operator[](std::size_t i) noexcept {
+    assert(i < size_);
+    return data_[i];
+  }
+  const Item& operator[](std::size_t i) const noexcept {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  Item& back() noexcept { return (*this)[size_ - 1]; }
+  const Item& back() const noexcept { return (*this)[size_ - 1]; }
+  Item& front() noexcept { return (*this)[0]; }
+  const Item& front() const noexcept { return (*this)[0]; }
+
+  void emplace_back(Key key, Value value) {
+    assert(!full());
+    ::new (static_cast<void*>(data_ + size_))
+        Item(std::move(key), std::move(value));
+    ++size_;
+  }
+
+  Item pop_back() {
+    assert(!empty());
+    Item out = std::move(data_[size_ - 1]);
+    data_[size_ - 1].~Item();
+    --size_;
+    return out;
+  }
+
+  /// Inserts at `pos`, shifting [pos, size) right by one.
+  void insert_at(std::size_t pos, Key key, Value value) {
+    assert(!full() && pos <= size_);
+    if (pos == size_) {
+      emplace_back(std::move(key), std::move(value));
+      return;
+    }
+    // Move-construct the new last slot from the old last element, then
+    // shift the rest down with move assignment.
+    ::new (static_cast<void*>(data_ + size_)) Item(std::move(data_[size_ - 1]));
+    for (std::size_t i = size_ - 1; i > pos; --i)
+      data_[i] = std::move(data_[i - 1]);
+    data_[pos] = Item(std::move(key), std::move(value));
+    ++size_;
+  }
+
+  /// Removes and returns the element at `pos`, shifting (pos, size) left.
+  Item remove_at(std::size_t pos) {
+    assert(pos < size_);
+    Item out = std::move(data_[pos]);
+    for (std::size_t i = pos + 1; i < size_; ++i)
+      data_[i - 1] = std::move(data_[i]);
+    data_[size_ - 1].~Item();
+    --size_;
+    return out;
+  }
+
+  void clear() noexcept {
+    for (std::size_t i = 0; i < size_; ++i) data_[i].~Item();
+    size_ = 0;
+  }
+
+ private:
+  std::size_t cap_;
+  std::size_t size_ = 0;
+  void* raw_ = nullptr;
+  Item* data_ = nullptr;
+};
+
+}  // namespace slpq::detail

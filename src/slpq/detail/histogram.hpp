@@ -1,9 +1,11 @@
-// LatencyHistogram: log-bucketed latency accumulator.
+// LogHistogram: log-bucketed accumulator for non-negative integer samples.
 //
-// The benchmark harness records one sample per Insert / Delete-min; with
-// up to 70000 operations per run we want O(1) insertion and small memory.
-// Buckets are powers of two with linear sub-buckets (HdrHistogram-style,
-// 16 sub-buckets per octave), which keeps relative quantile error < ~6%.
+// Originally the harness latency sink (one sample per Insert/Delete-min),
+// now also the rank-error histogram behind the mq.rank_error.* telemetry
+// keys — any metric whose interesting range spans orders of magnitude
+// fits. Buckets are powers of two with linear sub-buckets
+// (HdrHistogram-style, 16 sub-buckets per octave), which keeps relative
+// quantile error < ~6% while insertion stays O(1) and memory small.
 #pragma once
 
 #include <algorithm>
@@ -13,12 +15,12 @@
 
 namespace slpq::detail {
 
-class LatencyHistogram {
+class LogHistogram {
  public:
   static constexpr int kSubBits = 4;  // 16 linear sub-buckets per octave
   static constexpr int kSub = 1 << kSubBits;
 
-  LatencyHistogram() : buckets_(64 * kSub, 0) {}
+  LogHistogram() : buckets_(64 * kSub, 0) {}
 
   void record(std::uint64_t v) noexcept {
     sum_ += v;
@@ -28,7 +30,7 @@ class LatencyHistogram {
     buckets_[index_of(v)]++;
   }
 
-  void merge(const LatencyHistogram& other) noexcept {
+  void merge(const LogHistogram& other) noexcept {
     sum_ += other.sum_;
     count_ += other.count_;
     min_ = std::min(min_, other.min_);
@@ -90,5 +92,8 @@ class LatencyHistogram {
   std::uint64_t max_ = 0;
   std::vector<std::uint64_t> buckets_;
 };
+
+/// The harness's historical name for its latency sink; same type.
+using LatencyHistogram = LogHistogram;
 
 }  // namespace slpq::detail

@@ -1,31 +1,46 @@
 // slpq::MultiQueue — a relaxed concurrent priority queue in the style of
-// Williams, Sanders & Dementiev ("Engineering MultiQueues"), the modern
-// endpoint of the paper's Relaxed SkipQueue idea (Section 5.4): give up
-// strict delete-min in exchange for throughput that scales past any
-// centralized skiplist design.
+// Williams, Sanders & Dementiev ("Engineering MultiQueues", 2021/2025),
+// the modern endpoint of the paper's Relaxed SkipQueue idea (Section 5.4):
+// give up strict delete-min in exchange for throughput that scales past
+// any centralized skiplist design.
 //
 // Structure:
 //  * `c * max_threads` sequential sub-queues ("shards"), each a
 //    detail::PairingHeap behind a cache-line-padded test-and-test-and-set
 //    spinlock. The shard also publishes its current minimum key in an
 //    atomic word so other threads can compare shards without locking.
-//  * insert appends to a small per-handle *insertion buffer*; when the
-//    buffer fills (or a delete-min needs the items) the whole buffer is
-//    flushed into one shard under a single lock acquisition.
-//  * delete_min samples two random shards, locks the one whose published
-//    minimum is smaller (2-choice sampling), and pops a small batch into a
-//    per-handle *deletion buffer* that serves subsequent calls without
-//    touching shared state. The caller's own insertion buffer competes
-//    with the deletion buffer, so a thread always sees its own inserts.
+//  * Each handle owns an *insertion buffer* and a *deletion buffer*: fixed
+//    capacity sorted arrays on cache-line-aligned per-handle storage
+//    (detail::FixedKVBuffer). insert places the item into the sorted
+//    insertion buffer with no shared-memory traffic at all; when the
+//    buffer fills, the `batch` largest items are evicted into one shard
+//    under a single lock acquisition (the smallest stay local, which both
+//    helps quality and keeps the handle's own minimum O(1) to serve).
+//  * delete_min serves the smaller of the insertion-buffer minimum and the
+//    deletion-buffer head — both O(1) array reads. When both run dry, the
+//    handle flushes its pending inserts, samples two random shards, locks
+//    the one whose published minimum is smaller (2-choice sampling), and
+//    pops up to `batch` items into the deletion buffer in that single
+//    lock hold. Operation batching is the headline engineering win: one
+//    successful try-lock amortizes over up to `batch` operations.
 //  * *stickiness*: a handle reuses its last shard for a few consecutive
-//    operations before resampling, which keeps the shard's lock and heap
-//    top in the owner's cache under low contention.
+//    lock acquisitions before resampling, which keeps the shard's lock
+//    and heap top in the owner's cache under low contention.
+//  * *buffer-aware invalidation* (Options::stale_invalidation): a
+//    deletion buffer is a staleness hazard — after it is filled, another
+//    thread may insert smaller keys. Before serving the buffer head, the
+//    handle peeks its shard's published top (one relaxed load of a line
+//    it usually owns); if the shard now beats the buffer, the handle
+//    try-locks it, merges the stale remainder back, and takes a fresh
+//    batch. A failed try-lock just serves the buffered head — the check
+//    is best-effort and can never block or livelock.
 //
 // Semantics: delete_min returns *some* small element, not necessarily the
 // minimum. The expected rank error of the returned element is O(#shards)
-// from 2-choice sampling plus O(#handles * deletion_buffer) from items
-// held in other threads' buffers — see tests/slpq/test_multi_queue.cpp,
-// which measures the envelope. delete_min returns nullopt only after a
+// from 2-choice sampling plus O(#handles * batch) from items held in
+// other threads' buffers — see tests/slpq/test_multi_queue.cpp, which
+// measures the envelope, and the `mq.rank_error.*` telemetry keys, which
+// price it in production runs. delete_min returns nullopt only after a
 // full sweep of every shard found nothing and the caller's own buffers
 // are empty; like any relaxed queue, a concurrent inserter's buffered
 // items may be missed (call Handle::flush()/MultiQueue::flush() at
@@ -51,6 +66,7 @@
 #include <vector>
 
 #include "slpq/detail/cache_line.hpp"
+#include "slpq/detail/fixed_buffer.hpp"
 #include "slpq/detail/pairing_heap.hpp"
 #include "slpq/detail/random.hpp"
 #include "slpq/detail/spinlock.hpp"
@@ -65,12 +81,17 @@ class MultiQueue {
                 "Key must be trivially copyable and at most 8 bytes");
 
  public:
+  /// Buffer/batch knobs are clamped to [1, kMaxBuffer].
+  static constexpr std::size_t kMaxBuffer = 1024;
+
   struct Options {
     int c = 2;               ///< shards per thread (the paper's c-way factor)
     int max_threads = 0;     ///< 0 => std::thread::hardware_concurrency()
-    int stickiness = 8;      ///< ops on the same shard before resampling
-    std::size_t insertion_buffer = 8;  ///< inserts batched per lock acquire
-    std::size_t deletion_buffer = 8;   ///< pops batched per lock acquire
+    int stickiness = 8;      ///< lock acquisitions on a shard before resampling
+    std::size_t insertion_buffer = 8;  ///< per-handle pending-insert capacity
+    std::size_t deletion_buffer = 8;   ///< per-handle popped-batch capacity
+    std::size_t batch = 8;   ///< max items moved per shard-lock acquisition
+    bool stale_invalidation = true;  ///< refresh a beaten deletion buffer
     std::uint64_t seed = 0x3017A11EULL;
   };
 
@@ -99,9 +120,11 @@ class MultiQueue {
   MultiQueue& operator=(const MultiQueue&) = delete;
 
   /// A per-thread access point: owns the RNG, stickiness state and the
-  /// insertion/deletion buffers. Created via make_handle() or implicitly
-  /// per thread by the insert/delete_min convenience API.
-  class Handle {
+  /// insertion/deletion buffers (fixed-capacity sorted arrays on
+  /// line-aligned storage). Created via make_handle() or implicitly per
+  /// thread by the insert/delete_min convenience API. The Handle itself is
+  /// line-aligned so two handles never share a cache line.
+  class alignas(detail::kCacheLineSize) Handle {
    public:
     void insert(const Key& key, const Value& value) { q_->insert(*this, key, value); }
     std::optional<std::pair<Key, Value>> delete_min() { return q_->delete_min(*this); }
@@ -113,17 +136,26 @@ class MultiQueue {
    private:
     friend class MultiQueue;
     Handle(MultiQueue* q, std::uint64_t seq)
-        : q_(q), rng_(q->opt_.seed + 0x9E3779B97F4A7C15ULL * (seq + 1)) {}
+        : q_(q),
+          rng_(q->opt_.seed + 0x9E3779B97F4A7C15ULL * (seq + 1)),
+          ibuf_(q->opt_.insertion_buffer),
+          dbuf_(q->opt_.deletion_buffer) {}
 
     MultiQueue* q_;
     detail::Xoshiro256 rng_;
-    std::vector<std::pair<Key, Value>> ibuf_;
-    std::vector<std::pair<Key, Value>> dbuf_;  // ascending; served from dhead_
+    detail::FixedKVBuffer<Key, Value> ibuf_;  // sorted ascending; min at [0]
+    detail::FixedKVBuffer<Key, Value> dbuf_;  // ascending; served from dhead_
     std::size_t dhead_ = 0;
     std::size_t ins_shard_ = 0;
     std::size_t del_shard_ = 0;
     int ins_stick_ = 0;
     int del_stick_ = 0;
+    // Buffer-engine telemetry. Only this handle's thread writes these, so
+    // the relaxed increments cost no coherence traffic (the Handle owns
+    // its lines); telemetry() sums them across handles.
+    std::atomic<std::uint64_t> flushes_{0};
+    std::atomic<std::uint64_t> refills_{0};
+    std::atomic<std::uint64_t> invalidations_{0};
   };
 
   /// Creates a new handle owned by the queue (stable address). Handles are
@@ -147,24 +179,24 @@ class MultiQueue {
 
   // ---- handle-explicit API ----------------------------------------------
   void insert(Handle& h, const Key& key, const Value& value) {
-    h.ibuf_.emplace_back(key, value);
+    if (h.ibuf_.full()) evict_insertions(h);
+    h.ibuf_.insert_at(sorted_pos(h.ibuf_, key), key, value);
     size_.fetch_add(1, std::memory_order_relaxed);
-    if (h.ibuf_.size() >= opt_.insertion_buffer) flush_insertions(h);
   }
 
   std::optional<std::pair<Key, Value>> delete_min(Handle& h) {
     for (;;) {
-      const bool have_d = h.dhead_ < h.dbuf_.size();
+      bool have_d = h.dhead_ < h.dbuf_.size();
+      if (have_d && opt_.stale_invalidation) {
+        have_d = revalidate_deletions(h);
+      }
       if (!h.ibuf_.empty()) {
         // The handle's own pending inserts compete with the deletion
-        // buffer: serve whichever head is smaller.
-        std::size_t mi = 0;
-        for (std::size_t i = 1; i < h.ibuf_.size(); ++i)
-          if (cmp_(h.ibuf_[i].first, h.ibuf_[mi].first)) mi = i;
-        if (!have_d || !cmp_(h.dbuf_[h.dhead_].first, h.ibuf_[mi].first)) {
-          std::pair<Key, Value> out = std::move(h.ibuf_[mi]);
-          h.ibuf_[mi] = std::move(h.ibuf_.back());
-          h.ibuf_.pop_back();
+        // buffer: serve whichever head is smaller. Both minima are O(1)
+        // reads off sorted arrays.
+        if (!have_d ||
+            !cmp_(h.dbuf_[h.dhead_].first, h.ibuf_.front().first)) {
+          std::pair<Key, Value> out = h.ibuf_.remove_at(0);
           size_.fetch_sub(1, std::memory_order_relaxed);
           counters_.add(Counter::kClaimWins);
           return out;
@@ -194,6 +226,7 @@ class MultiQueue {
         s.heap.push(std::move(h.dbuf_[i].first), std::move(h.dbuf_[i].second));
       publish(s);
       s.lock.unlock();
+      h.flushes_.fetch_add(1, std::memory_order_relaxed);
     }
     h.dbuf_.clear();
     h.dhead_ = 0;
@@ -209,11 +242,24 @@ class MultiQueue {
   std::size_t num_shards() const noexcept { return shard_count_; }
   const Options& options() const noexcept { return opt_; }
 
-  /// Operation counters; see docs/TELEMETRY.md. Heap storage is owned by
-  /// the shards (no shared pool/GC), so those counters stay zero here.
+  /// Operation counters plus the buffer-engine extras (see
+  /// docs/TELEMETRY.md). Heap storage is owned by the shards (no shared
+  /// pool/GC), so those counters stay zero here.
   TelemetrySnapshot telemetry() const {
     TelemetrySnapshot snap;
     counters_.fill(snap);
+    std::uint64_t flushes = 0, refills = 0, invalidations = 0;
+    {
+      std::lock_guard<detail::TinySpinLock> g(handles_lock_);
+      for (const auto& h : handles_) {
+        flushes += h->flushes_.load(std::memory_order_relaxed);
+        refills += h->refills_.load(std::memory_order_relaxed);
+        invalidations += h->invalidations_.load(std::memory_order_relaxed);
+      }
+    }
+    snap.set("mq.ins_flushes", flushes);
+    snap.set("mq.refills", refills);
+    snap.set("mq.dbuf_invalidations", invalidations);
     return snap;
   }
 
@@ -234,12 +280,28 @@ class MultiQueue {
     }
     if (o.c < 1) o.c = 1;
     if (o.stickiness < 1) o.stickiness = 1;
-    if (o.insertion_buffer < 1) o.insertion_buffer = 1;
-    if (o.deletion_buffer < 1) o.deletion_buffer = 1;
+    auto clamp = [](std::size_t v) {
+      return v < 1 ? std::size_t{1} : (v > kMaxBuffer ? kMaxBuffer : v);
+    };
+    o.insertion_buffer = clamp(o.insertion_buffer);
+    o.deletion_buffer = clamp(o.deletion_buffer);
+    o.batch = clamp(o.batch);
     return o;
   }
 
   Shard& shard(std::size_t i) noexcept { return shards_[i].value; }
+
+  /// Upper-bound position of `key` in an ascending FixedKVBuffer.
+  std::size_t sorted_pos(const detail::FixedKVBuffer<Key, Value>& buf,
+                         const Key& key) const {
+    std::size_t lo = 0, hi = buf.size();
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (cmp_(key, buf[mid].first)) hi = mid;
+      else lo = mid + 1;
+    }
+    return lo;
+  }
 
   /// Re-publishes a shard's minimum after its heap changed. Caller holds
   /// the shard lock.
@@ -276,14 +338,48 @@ class MultiQueue {
     }
   }
 
-  void flush_insertions(Handle& h) {
+  /// Evicts up to `batch` of the *largest* buffered inserts into one shard
+  /// under a single lock acquisition. The smallest items stay local: they
+  /// are the ones the owner is most likely to pop itself, and keeping them
+  /// out of the shards cannot raise another thread's rank error.
+  void evict_insertions(Handle& h) {
     if (h.ibuf_.empty()) return;
     Shard& s = lock_shard_for_insert(h);
-    for (auto& kv : h.ibuf_)
+    const std::size_t n = std::min(opt_.batch, h.ibuf_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      auto kv = h.ibuf_.pop_back();
       s.heap.push(std::move(kv.first), std::move(kv.second));
+    }
     publish(s);
     s.lock.unlock();
-    h.ibuf_.clear();
+    h.flushes_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Makes every pending insert visible (possibly several batched lock
+  /// acquisitions, usually against different sticky shards).
+  void flush_insertions(Handle& h) {
+    while (!h.ibuf_.empty()) evict_insertions(h);
+  }
+
+  /// Buffer-aware invalidation: if the shard the deletion buffer came
+  /// from now publishes a key smaller than the buffered head, the buffer
+  /// is stale — merge the remainder back and take a fresh batch, all in
+  /// one try-lock hold. Returns whether the deletion buffer still holds
+  /// servable items (it always does on the merge path). Best-effort: a
+  /// failed try-lock leaves the buffer untouched.
+  bool revalidate_deletions(Handle& h) {
+    Shard& s = shard(h.del_shard_);
+    if (!s.nonempty.load(std::memory_order_acquire)) return true;
+    const Key top = s.top.load(std::memory_order_relaxed);
+    if (!cmp_(top, h.dbuf_[h.dhead_].first)) return true;
+    if (!s.lock.try_lock()) return true;
+    for (std::size_t i = h.dhead_; i < h.dbuf_.size(); ++i)
+      s.heap.push(std::move(h.dbuf_[i].first), std::move(h.dbuf_[i].second));
+    h.dbuf_.clear();
+    h.dhead_ = 0;
+    drain_batch(s, h);  // publishes + unlocks
+    h.invalidations_.fetch_add(1, std::memory_order_relaxed);
+    return h.dhead_ < h.dbuf_.size();
   }
 
   /// True if shard a's published top beats shard b's (empty shards lose).
@@ -343,15 +439,18 @@ class MultiQueue {
     return false;
   }
 
-  /// Pops up to deletion_buffer items (ascending) into the handle's
-  /// deletion buffer and releases the shard.
+  /// Pops up to min(batch, buffer capacity) items (ascending) into the
+  /// handle's deletion buffer and releases the shard.
   void drain_batch(Shard& s, Handle& h) {
-    const std::size_t batch = opt_.deletion_buffer;
-    for (std::size_t i = 0; i < batch && !s.heap.empty(); ++i)
-      h.dbuf_.push_back(s.heap.pop());
+    const std::size_t batch = std::min(opt_.batch, h.dbuf_.capacity());
+    for (std::size_t i = 0; i < batch && !s.heap.empty(); ++i) {
+      auto kv = s.heap.pop();
+      h.dbuf_.emplace_back(std::move(kv.first), std::move(kv.second));
+    }
     publish(s);
     s.lock.unlock();
     h.dhead_ = 0;
+    h.refills_.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// One implicit handle per (thread, queue instance); same id-keyed
@@ -382,7 +481,7 @@ class MultiQueue {
   void* shards_raw_ = nullptr;
   PaddedShard* shards_ = nullptr;
   std::atomic<std::int64_t> size_{0};
-  detail::TinySpinLock handles_lock_;
+  mutable detail::TinySpinLock handles_lock_;
   std::vector<std::unique_ptr<Handle>> handles_;
   OpCounters counters_;
 };

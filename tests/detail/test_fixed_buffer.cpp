@@ -1,0 +1,98 @@
+// FixedKVBuffer: the MultiQueue's per-handle buffer storage. The
+// interesting surface is lifetime management — elements are
+// placement-constructed and destroyed explicitly, and insert_at/remove_at
+// shift with move construction/assignment — so a non-trivial Value type
+// (std::string, under ASan in that preset) exercises every path.
+#include "slpq/detail/fixed_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "slpq/detail/cache_line.hpp"
+
+namespace {
+
+using slpq::detail::FixedKVBuffer;
+
+TEST(FixedKVBuffer, EmplacePopRoundtrip) {
+  FixedKVBuffer<int, int> buf(4);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.capacity(), 4u);
+  buf.emplace_back(1, 10);
+  buf.emplace_back(2, 20);
+  EXPECT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf.front().first, 1);
+  EXPECT_EQ(buf.back().first, 2);
+  auto item = buf.pop_back();
+  EXPECT_EQ(item.first, 2);
+  EXPECT_EQ(item.second, 20);
+  EXPECT_EQ(buf.size(), 1u);
+  buf.clear();
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(FixedKVBuffer, InsertAtShiftsRight) {
+  FixedKVBuffer<int, int> buf(8);
+  for (int k : {10, 30, 50}) buf.emplace_back(k, k);
+  buf.insert_at(1, 20, 20);  // middle
+  buf.insert_at(0, 5, 5);    // front
+  buf.insert_at(5, 60, 60);  // end (== size)
+  std::vector<int> keys;
+  for (std::size_t i = 0; i < buf.size(); ++i) keys.push_back(buf[i].first);
+  EXPECT_EQ(keys, (std::vector<int>{5, 10, 20, 30, 50, 60}));
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    EXPECT_EQ(buf[i].first, buf[i].second);  // values moved with their keys
+}
+
+TEST(FixedKVBuffer, RemoveAtShiftsLeft) {
+  FixedKVBuffer<int, int> buf(8);
+  for (int k : {1, 2, 3, 4, 5}) buf.emplace_back(k, k * 100);
+  auto mid = buf.remove_at(2);
+  EXPECT_EQ(mid.first, 3);
+  EXPECT_EQ(mid.second, 300);
+  auto front = buf.remove_at(0);
+  EXPECT_EQ(front.first, 1);
+  auto back = buf.remove_at(buf.size() - 1);
+  EXPECT_EQ(back.first, 5);
+  EXPECT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf[0].first, 2);
+  EXPECT_EQ(buf[1].first, 4);
+}
+
+TEST(FixedKVBuffer, NonTrivialValuesSurviveShifts) {
+  // Long strings defeat SSO, so a mismanaged lifetime is a real
+  // leak/double-free, not a silent byte copy.
+  const std::string big(128, 'x');
+  FixedKVBuffer<int, std::string> buf(16);
+  for (int i = 0; i < 10; ++i)
+    buf.emplace_back(i * 2, big + std::to_string(i * 2));
+  buf.insert_at(3, 5, big + "5");
+  buf.insert_at(0, -1, big + "-1");
+  auto removed = buf.remove_at(4);
+  EXPECT_EQ(removed.second, big + std::to_string(removed.first));
+  while (!buf.empty()) {
+    auto item = buf.pop_back();
+    EXPECT_EQ(item.second, big + std::to_string(item.first));
+  }
+}
+
+TEST(FixedKVBuffer, ZeroCapacityIsClampedToOne) {
+  FixedKVBuffer<int, int> buf(0);
+  EXPECT_EQ(buf.capacity(), 1u);
+  buf.emplace_back(7, 7);
+  EXPECT_TRUE(buf.full());
+  EXPECT_EQ(buf.pop_back().first, 7);
+}
+
+TEST(FixedKVBuffer, StorageIsCacheLineAligned) {
+  FixedKVBuffer<std::int64_t, std::uint64_t> buf(3);
+  buf.emplace_back(1, 1);
+  const auto addr = reinterpret_cast<std::uintptr_t>(&buf.front());
+  EXPECT_EQ(addr % slpq::detail::kCacheLineSize, 0u);
+}
+
+}  // namespace

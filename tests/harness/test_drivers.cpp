@@ -82,8 +82,12 @@ INSTANTIATE_TEST_SUITE_P(Backends, NativeOnlySmoke,
                          });
 
 TEST(Drivers, NativeDeterministicOpMix) {
-  // Wall-clock latencies vary run to run, but the op mix must not.
-  const auto cfg = smoke_cfg("skip", Flavor::Native);
+  // Wall-clock latencies vary run to run, but the op mix must not. The
+  // deletes/empties split is only thread-interleaving-independent if the
+  // queue can never dip to empty, so prefill far above the ±sqrt(ops)
+  // random-walk excursion of a 50/50 mix.
+  auto cfg = smoke_cfg("skip", Flavor::Native);
+  cfg.initial_size = 4096;
   const auto a = harness::run_benchmark(cfg);
   const auto b = harness::run_benchmark(cfg);
   EXPECT_EQ(a.inserts, b.inserts);

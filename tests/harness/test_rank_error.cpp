@@ -1,0 +1,92 @@
+// Rank-error pricing through the drivers: the probe must emit its
+// histogram for relaxed structures, stay silent for strict ones, and the
+// buffered MultiQueue's quality must stay within a constant factor of the
+// unbuffered configuration at equal c — buffering buys throughput with
+// bounded extra relaxation, not unbounded.
+//
+// All runs use the sim machine: deterministic fiber scheduling makes the
+// measured histograms reproducible, so the factor bound is a regression
+// test rather than a flaky statistical one.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "harness/workload.hpp"
+
+namespace {
+
+using harness::BenchmarkConfig;
+using harness::BenchmarkResult;
+
+BenchmarkConfig mq_config(int procs, int ins_buf, int del_buf, int batch) {
+  BenchmarkConfig cfg;
+  cfg.structure = "multiqueue";
+  cfg.flavor = harness::Flavor::Sim;
+  cfg.processors = procs;
+  cfg.total_ops = 20000;
+  cfg.initial_size = 2000;
+  cfg.seed = 12345;
+  cfg.mq_c = 2;
+  cfg.mq_stickiness = 8;
+  cfg.mq_ins_buf = ins_buf;
+  cfg.mq_del_buf = del_buf;
+  cfg.mq_batch = batch;
+  return cfg;
+}
+
+class RankErrorQuality : public ::testing::TestWithParam<int> {};
+
+TEST_P(RankErrorQuality, BufferedP99StaysWithinFactorOfUnbuffered) {
+  const int procs = GetParam();
+  const BenchmarkResult buffered =
+      run_sim_benchmark(mq_config(procs, 8, 8, 8));
+  const BenchmarkResult unbuffered =
+      run_sim_benchmark(mq_config(procs, 1, 1, 1));
+
+  ASSERT_GT(buffered.rank_error.count(), 0u);
+  ASSERT_GT(unbuffered.rank_error.count(), 0u);
+
+  const auto buffered_p99 = buffered.rank_error.quantile(0.99);
+  const auto unbuffered_p99 = unbuffered.rank_error.quantile(0.99);
+
+  // Buffering hides up to ~procs * batch items in other threads' buffers
+  // and serves deletion buffers in streaks, so some quality loss is the
+  // point of the trade. The regression bound: p99 within a constant
+  // factor of the unbuffered run at equal c (floor keeps the ratio
+  // meaningful when the unbuffered p99 is tiny at low thread counts).
+  const std::uint64_t floor = 64;
+  const std::uint64_t bound =
+      12 * (unbuffered_p99 > floor ? unbuffered_p99 : floor);
+  EXPECT_LE(buffered_p99, bound)
+      << "procs=" << procs << " buffered p99 " << buffered_p99
+      << " vs unbuffered p99 " << unbuffered_p99;
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, RankErrorQuality, ::testing::Values(2, 8),
+                         [](const auto& info) {
+                           return "procs" + std::to_string(info.param);
+                         });
+
+TEST(RankErrorTelemetry, RelaxedRunsCarryHistogramKeys) {
+  const BenchmarkResult r = run_sim_benchmark(mq_config(4, 8, 8, 8));
+  EXPECT_GT(r.telemetry.get("mq.rank_error.samples"), 0u);
+  EXPECT_EQ(r.telemetry.get("mq.rank_error.samples"), r.rank_error.count());
+  EXPECT_GE(r.telemetry.get("mq.rank_error.p99"),
+            r.telemetry.get("mq.rank_error.p50"));
+  EXPECT_GE(r.telemetry.get("mq.rank_error.max"),
+            r.telemetry.get("mq.rank_error.p99"));
+}
+
+TEST(RankErrorTelemetry, StrictRunsOmitHistogramKeys) {
+  BenchmarkConfig cfg;
+  cfg.structure = "skip";
+  cfg.flavor = harness::Flavor::Sim;
+  cfg.processors = 4;
+  cfg.total_ops = 4000;
+  cfg.initial_size = 500;
+  const BenchmarkResult r = run_sim_benchmark(cfg);
+  EXPECT_EQ(r.rank_error.count(), 0u);
+  EXPECT_EQ(r.telemetry.find("mq.rank_error.samples"), nullptr);
+}
+
+}  // namespace

@@ -232,6 +232,117 @@ TEST(MultiQueueBasics, SanitizesDegenerateOptions) {
   EXPECT_EQ(item->first, 1);
 }
 
+TEST(MultiQueueBasics, MultiHandleDrainConservesUnflushedBufferedKeys) {
+  // Several handles insert without ever flushing, then drain by rotating
+  // until a full rotation comes up empty. Keys still resident in a
+  // handle's insertion buffer at drain time are only reachable through
+  // their owner, so conservation here proves the drain path (flush +
+  // refill) hands buffered items back correctly.
+  MQ::Options opt;
+  opt.max_threads = 4;
+  opt.insertion_buffer = 16;
+  opt.deletion_buffer = 16;
+  opt.batch = 8;
+  MQ q(opt);
+
+  constexpr int kHandles = 4;
+  std::vector<MQ::Handle*> handles;
+  for (int h = 0; h < kHandles; ++h) handles.push_back(&q.make_handle());
+
+  slpq::detail::Xoshiro256 rng(99);
+  std::vector<std::int64_t> inserted;
+  for (int i = 0; i < 3000; ++i) {
+    const auto key = static_cast<std::int64_t>(rng.below(1 << 18));
+    handles[rng.below(kHandles)]->insert(key, i);
+    inserted.push_back(key);
+  }
+  // No flush: each handle's buffer still holds up to insertion_buffer keys.
+
+  std::vector<std::int64_t> drained;
+  int empty_streak = 0;
+  while (empty_streak < kHandles) {
+    empty_streak = 0;
+    for (auto* h : handles) {
+      if (auto item = h->delete_min()) drained.push_back(item->first);
+      else ++empty_streak;
+    }
+  }
+  EXPECT_TRUE(q.empty());
+  std::sort(inserted.begin(), inserted.end());
+  std::sort(drained.begin(), drained.end());
+  EXPECT_EQ(drained, inserted);
+}
+
+TEST(MultiQueueBuffers, BatchEvictionAmortizesFlushes) {
+  // Same insert count, two batch settings: with batch = buffer = 32 a
+  // full buffer empties in one lock hold; with batch = 1 each overflow
+  // moves a single item, so the flush count (telemetry mq.ins_flushes)
+  // is ~32x higher. This pins the operation-batching knob to observable
+  // behavior rather than implementation detail.
+  auto flushes_with_batch = [](std::size_t batch) {
+    MQ::Options opt;
+    opt.max_threads = 2;
+    opt.insertion_buffer = 32;
+    opt.batch = batch;
+    MQ q(opt);
+    auto& h = q.make_handle();
+    for (int i = 0; i < 1024; ++i) h.insert(i, i);
+    return q.telemetry().get("mq.ins_flushes");
+  };
+
+  const auto batched = flushes_with_batch(32);
+  const auto unit = flushes_with_batch(1);
+  EXPECT_GT(batched, 0u);
+  EXPECT_GE(unit, 16 * batched)
+      << "batch=1 flushed " << unit << " times, batch=32 " << batched;
+}
+
+TEST(MultiQueueBuffers, StaleDeletionBufferIsInvalidated) {
+  // Fill A's deletion buffer with large keys, then push smaller keys into
+  // the shards through B. With stale_invalidation on, A's next pop
+  // notices its sticky shard's published top beats the buffered head,
+  // merges the stale remainder back and serves a fresh batch; with it
+  // off, A keeps serving its stale buffer.
+  auto run = [](bool invalidate) {
+    MQ::Options opt;
+    opt.c = 2;
+    opt.max_threads = 1;  // 2 shards: B's flushes land where A looks
+    opt.stickiness = 1;
+    opt.insertion_buffer = 1;
+    opt.deletion_buffer = 8;
+    opt.batch = 8;
+    opt.stale_invalidation = invalidate;
+    opt.seed = 0xFEED;
+    MQ q(opt);
+    auto& a = q.make_handle();
+    auto& b = q.make_handle();
+
+    for (std::int64_t k = 1000; k < 1016; ++k) b.insert(k, 0);
+    b.flush();
+    // A drains a batch of large keys into its deletion buffer.
+    auto first = a.delete_min();
+    EXPECT_TRUE(first.has_value());
+    // Now the shards get fresher, smaller keys (one per flush; with
+    // stickiness 1 both shards receive some).
+    for (std::int64_t k = 1; k <= 32; ++k) {
+      b.insert(k, 0);
+      b.flush();
+    }
+    auto next = a.delete_min();
+    EXPECT_TRUE(next.has_value());
+    return std::pair<std::int64_t, std::uint64_t>(
+        next->first, q.telemetry().get("mq.dbuf_invalidations"));
+  };
+
+  const auto with = run(true);
+  const auto without = run(false);
+  EXPECT_LE(with.first, 32) << "invalidation should surface a fresh key";
+  EXPECT_GE(with.second, 1u);
+  EXPECT_GE(without.first, 1000) << "without invalidation the stale "
+                                    "buffered head is served";
+  EXPECT_EQ(without.second, 0u);
+}
+
 TEST(MultiQueueBasics, FlushMakesBufferedItemsVisibleToOtherHandles) {
   MQ::Options opt;
   opt.max_threads = 2;

@@ -105,6 +105,70 @@ TEST(MultiQueueStress, PerShardContentIsExact) {
   EXPECT_TRUE(q.empty());
 }
 
+TEST(MultiQueueStress, ConcurrentFlushVsDeleteMin) {
+  // The buffer engine's races: producers keep forcing explicit buffer
+  // flushes (batched shard pushes) while consumers concurrently drain
+  // batches and trigger stale-buffer invalidations (which merge buffered
+  // items *back* into shards). Every unique id must still come out
+  // exactly once. Small buffers + batch keep the flush/refill/invalidate
+  // frequency high; TSan sees every interleaving the schedule produces.
+  MQ::Options opt;
+  opt.max_threads = 8;
+  opt.c = 2;
+  opt.insertion_buffer = 4;
+  opt.deletion_buffer = 4;
+  opt.batch = 4;
+  opt.stickiness = 2;
+  MQ q(opt);
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 15000;
+  constexpr std::int64_t kStride = 1 << 20;
+  std::atomic<int> producers_left{kProducers};
+  std::vector<std::vector<std::int64_t>> consumed(kConsumers);
+
+  std::vector<std::thread> workers;
+  for (int p = 0; p < kProducers; ++p) {
+    workers.emplace_back([&, p] {
+      slpq::detail::Xoshiro256 rng(static_cast<std::uint64_t>(p) + 4242);
+      for (int i = 0; i < kPerProducer; ++i) {
+        q.insert(static_cast<std::int64_t>(rng.below(1 << 16)),
+                 p * kStride + i);
+        if (i % 3 == 0) q.flush();  // hammer the flush-vs-drain race
+      }
+      q.flush();
+      producers_left.fetch_sub(1);
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    workers.emplace_back([&, c] {
+      for (;;) {
+        if (auto item = q.delete_min()) {
+          consumed[static_cast<std::size_t>(c)].push_back(item->second);
+        } else if (producers_left.load() == 0) {
+          break;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  std::vector<std::int64_t> seen;
+  for (const auto& v : consumed) seen.insert(seen.end(), v.begin(), v.end());
+  while (auto item = q.delete_min()) seen.push_back(item->second);
+
+  std::vector<std::int64_t> expected;
+  expected.reserve(static_cast<std::size_t>(kProducers) * kPerProducer);
+  for (int p = 0; p < kProducers; ++p)
+    for (int i = 0; i < kPerProducer; ++i) expected.push_back(p * kStride + i);
+
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, expected);
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(MultiQueueStress, ProducersAndConsumersPipeline) {
   // Asymmetric roles exercise the shared-overflow path of shard selection:
   // producers only insert, consumers only delete. Every produced item must

@@ -58,6 +58,17 @@ REQUIRED_RUN_FIELDS = {
 SIM_PREFIX_KEYS = ["sim.reads", "sim.cache_hits", "sim.miss_remote_dirty"]
 NATIVE_PREFIX_KEYS = ["native.prefill_ns", "native.run_ns", "native.quiesce_ns"]
 
+# Relaxed structures must price their relaxation: every MultiQueue run
+# carries the sampled rank-error histogram next to its speed numbers.
+RANK_ERROR_KEYS = [
+    "mq.rank_error.samples",
+    "mq.rank_error.mean",
+    "mq.rank_error.p50",
+    "mq.rank_error.p90",
+    "mq.rank_error.p99",
+    "mq.rank_error.max",
+]
+
 
 def check_run(run, idx, errors):
     where = f"runs[{idx}]"
@@ -76,6 +87,12 @@ def check_run(run, idx, errors):
     for key in CORE_KEYS:
         if key not in counters:
             errors.append(f"{where}.counters: missing core key '{key}'")
+    if run.get("structure") == "multiqueue":
+        missing = [k for k in RANK_ERROR_KEYS if k not in counters]
+        if missing:
+            errors.append(
+                f"{where}.counters: multiqueue run missing rank-error keys "
+                f"{missing}")
     machine = run.get("machine")
     if machine == "sim":
         missing = [k for k in SIM_PREFIX_KEYS if k not in counters]

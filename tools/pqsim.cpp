@@ -33,7 +33,9 @@ namespace {
       "             [--procs N | --sweep [--max-procs N]]\n"
       "             [--ops N] [--initial N] [--insert-ratio F]\n"
       "             [--work N] [--seed N] [--max-level N]\n"
-      "             [--mq-c N] [--mq-stickiness N] [--boundoffset N]\n"
+      "             [--mq-c N] [--mq-stickiness N]\n"
+      "             [--mq-ins-buf N] [--mq-del-buf N] [--mq-batch N]\n"
+      "             [--boundoffset N]\n"
       "             [--no-gc] [--pad-nodes] [--no-occupancy]\n"
       "             [--csv PATH] [--stats] [--stats-json PATH]\n"
       "\n"
@@ -45,8 +47,14 @@ namespace {
       "                         offers (sim: %s)\n"
       "                         (native: %s)\n"
       "  --mq-c N               MultiQueue shards per worker (default 2)\n"
-      "  --mq-stickiness N      MultiQueue ops on the same shard before\n"
-      "                         resampling (default 8)\n"
+      "  --mq-stickiness N      MultiQueue lock acquisitions on the same\n"
+      "                         shard before resampling (default 8)\n"
+      "  --mq-ins-buf N         MultiQueue per-thread insertion buffer\n"
+      "                         capacity (default 8)\n"
+      "  --mq-del-buf N         MultiQueue per-thread deletion buffer\n"
+      "                         capacity (default 8)\n"
+      "  --mq-batch N           MultiQueue max items moved per shard lock\n"
+      "                         acquisition (default 8)\n"
       "  --boundoffset N        linden queue: dead-prefix length that\n"
       "                         triggers restructuring (default 32)\n"
       "  --work N               local work between ops: cycles on sim,\n"
@@ -145,6 +153,9 @@ int main(int argc, char** argv) {
     else if (arg == "--max-level") base.max_level = std::atoi(next());
     else if (arg == "--mq-c") base.mq_c = std::atoi(next());
     else if (arg == "--mq-stickiness") base.mq_stickiness = std::atoi(next());
+    else if (arg == "--mq-ins-buf") base.mq_ins_buf = std::atoi(next());
+    else if (arg == "--mq-del-buf") base.mq_del_buf = std::atoi(next());
+    else if (arg == "--mq-batch") base.mq_batch = std::atoi(next());
     else if (arg == "--boundoffset") base.boundoffset = std::atoi(next());
     else if (arg == "--no-gc") base.use_gc = false;
     else if (arg == "--pad-nodes") base.pad_nodes = true;
@@ -160,6 +171,8 @@ int main(int argc, char** argv) {
     usage("--insert-ratio must be in [0, 1]");
   if (base.mq_c < 1 || base.mq_stickiness < 1)
     usage("--mq-c and --mq-stickiness must be >= 1");
+  if (base.mq_ins_buf < 1 || base.mq_del_buf < 1 || base.mq_batch < 1)
+    usage("--mq-ins-buf, --mq-del-buf and --mq-batch must be >= 1");
   if (base.boundoffset < 1) usage("--boundoffset must be >= 1");
 
   // Resolve every requested structure up front so a typo fails before any
