@@ -125,6 +125,59 @@ else
        "BENCH_mq_buffers.json (run the ablation_mq_buffers binary first)" >&2
 fi
 
+# Distill the reclamation-policy ablation (policy x backend x procs, from
+# the ablation_reclaim binary) into a per-config summary: ops/s next to the
+# reclaim.* counters, so every policy's speed number carries its
+# retired/freed/pending books.
+reclaim_csv=""
+for candidate in "$out_dir/ablation_reclaim.csv" \
+                 "$build_dir/bench/ablation_reclaim.csv" \
+                 "$repo_root/ablation_reclaim.csv"; do
+  if [ -f "$candidate" ]; then
+    reclaim_csv="$candidate"
+    break
+  fi
+done
+if [ -n "$reclaim_csv" ] && command -v python3 > /dev/null 2>&1; then
+  python3 - "$reclaim_csv" "$out_dir/BENCH_reclaim.json" <<'EOF'
+import csv, json, sys
+
+src, dst = sys.argv[1], sys.argv[2]
+configs = []
+with open(src) as f:
+    for row in csv.DictReader(f):
+        configs.append({
+            "reclaim": row["reclaim"],
+            "structure": row["structure"],
+            "threads": int(row["procs"]),
+            "ops_per_sec": float(row["ops_per_sec"]),
+            "mean_insert_ns": float(row["mean_insert"]),
+            "mean_delete_ns": float(row["mean_delete"]),
+            "reclaim_counters": {
+                "retired": int(row["retired"]),
+                "freed": int(row["freed"]),
+                "scans": int(row["scans"]),
+                "stalls": int(row["stalls"]),
+                "pending": int(row["pending"]),
+            },
+        })
+
+doc = {
+    "benchmark": "ablation_reclaim: 50/50 mixed ops, init 1000, native",
+    "unit": "ops_per_sec",
+    "note": "reclaim policies: ts (paper Section 3), hp, epoch, leaky",
+    "configs": configs,
+}
+with open(dst, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=False)
+    f.write("\n")
+EOF
+  echo "wrote $out_dir/BENCH_reclaim.json (from $reclaim_csv)"
+else
+  echo "run_native.sh: no ablation_reclaim.csv found, skipping" \
+       "BENCH_reclaim.json (run the ablation_reclaim binary first)" >&2
+fi
+
 # Archive a telemetry snapshot next to the benchmark JSON: one pqsim run
 # per native backend with the counters from docs/TELEMETRY.md, so every
 # recorded throughput number has the contention breakdown that explains it.

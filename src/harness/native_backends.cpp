@@ -101,6 +101,7 @@ class MultiQueueHandle final : public QueueHandle {
     o.batch = static_cast<std::size_t>(cfg.mq_batch);
     o.max_threads = cfg.processors;
     o.seed = cfg.seed;
+    o.reclaim = cfg.reclaim;
     return o;
   }
 
@@ -147,40 +148,43 @@ void register_native_backends(BackendRegistry& registry) {
   auto skip_options = [](const BenchmarkConfig& cfg) {
     NativeSkipQueue::Options o;
     o.max_level = cfg.max_level;
+    o.reclaim = cfg.reclaim;
     return o;
   };
 
   registry.add({"skip", "SkipQueue", Flavor::Native, 0,
                 "slpq::SkipQueue — the paper's queue on real threads",
-                {"skipqueue"}, {"max_level"},
+                {"skipqueue"}, {"max_level", "reclaim"},
                 plain_factory<NativeSkipQueue>(skip_options)});
 
   registry.add({"relaxed", "RelaxedSkipQueue", Flavor::Native,
                 Backend::kRelaxed,
                 "slpq::RelaxedSkipQueue — Section 5.4, no time-stamps",
-                {}, {"max_level"},
+                {}, {"max_level", "reclaim"},
                 plain_factory<NativeRelaxedSkipQueue>(skip_options)});
 
   registry.add({"lockfree", "LockFreeSkipQueue", Flavor::Native, 0,
                 "slpq::LockFreeSkipQueue — CAS-based follow-on design",
-                {"lf"}, {"max_level"},
+                {"lf"}, {"max_level", "reclaim"},
                 plain_factory<NativeLockFreeSkipQueue>(
                     [](const BenchmarkConfig& cfg) {
                       NativeLockFreeSkipQueue::Options o;
                       o.max_level = cfg.max_level;
+                      o.reclaim = cfg.reclaim;
                       return o;
                     })});
 
   registry.add({"linden", "LindenSkipQueue", Flavor::Native, 0,
                 "slpq::LindenSkipQueue — batched-prefix delete_min "
                 "(Lindén & Jonsson)",
-                {"lj"}, {"max_level", "boundoffset"},
+                {"lj"}, {"max_level", "boundoffset", "reclaim"},
                 plain_factory<NativeLindenSkipQueue>(
                     [](const BenchmarkConfig& cfg) {
                       NativeLindenSkipQueue::Options o;
                       o.max_level = cfg.max_level;
                       o.boundoffset = cfg.boundoffset;
                       o.seed = cfg.seed;
+                      o.reclaim = cfg.reclaim;
                       return o;
                     })});
 
@@ -188,7 +192,7 @@ void register_native_backends(BackendRegistry& registry) {
                 "slpq::MultiQueue — relaxed c-way sharded queue",
                 {"mq"},
                 {"mq_c", "mq_stickiness", "mq_ins_buf", "mq_del_buf",
-                 "mq_batch"},
+                 "mq_batch", "reclaim"},
                 [](const BackendInit& init) {
                   return std::unique_ptr<QueueHandle>(
                       new MultiQueueHandle(init.cfg));

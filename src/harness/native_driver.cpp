@@ -88,7 +88,10 @@ BenchmarkResult run_native_benchmark(const BenchmarkConfig& cfg) {
   out.unit = "ns";
 
   // Structure counters plus wall-clock phase timings (see docs/TELEMETRY.md).
+  // Backends without a reclaimer get the zero-valued reclaim.* block so
+  // every run emits the same schema.
   out.telemetry = queue->telemetry();
+  slpq::fill_reclaim_zero(out.telemetry);
   out.telemetry.set("native.prefill_ns", t_prefill_end - t_prefill_start);
   out.telemetry.set("native.run_ns", t_end - t_start);
   out.telemetry.set("native.quiesce_ns", t_quiesce_end - t_end);

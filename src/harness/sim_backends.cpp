@@ -43,6 +43,7 @@ class SimSkipQueueHandle final : public QueueHandle {
     o.use_gc = cfg.use_gc;
     o.pad_nodes = cfg.pad_nodes;
     o.lock_mode = lock_mode;
+    o.reclaim = cfg.reclaim;
     return o;
   }
 
@@ -104,6 +105,7 @@ class SimLindenQueueHandle final : public QueueHandle {
     o.max_level = cfg.max_level;
     o.boundoffset = cfg.boundoffset;
     o.use_gc = cfg.use_gc;
+    o.reclaim = cfg.reclaim;
     return o;
   }
 
@@ -196,7 +198,7 @@ void register_sim_backends(BackendRegistry& registry) {
     };
   };
   const std::vector<std::string> skip_knobs = {"max_level", "use_gc",
-                                               "pad_nodes"};
+                                               "pad_nodes", "reclaim"};
 
   registry.add({"skip", "SkipQueue", Flavor::Sim, Backend::kGcDaemon,
                 "the paper's skiplist queue with time-stamps (Sections 3-4)",
@@ -232,7 +234,7 @@ void register_sim_backends(BackendRegistry& registry) {
 
   registry.add({"linden", "LindenSkipQueue", Flavor::Sim, Backend::kGcDaemon,
                 "batched-prefix delete_min skip queue (Lindén & Jonsson)",
-                {"lj"}, {"max_level", "boundoffset", "use_gc"},
+                {"lj"}, {"max_level", "boundoffset", "use_gc", "reclaim"},
                 [](const BackendInit& init) {
                   return std::unique_ptr<QueueHandle>(
                       new SimLindenQueueHandle(init));

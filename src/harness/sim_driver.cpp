@@ -61,8 +61,11 @@ BenchmarkResult run_sim_benchmark(const BenchmarkConfig& cfg) {
   out.machine_stats = eng.stats();
 
   // Structure counters plus the machine's cache/coherence breakdown, under
-  // one namespace-prefixed key set (see docs/TELEMETRY.md).
+  // one namespace-prefixed key set (see docs/TELEMETRY.md). Backends that
+  // own no reclaimer get the zero-valued reclaim.* block so every run
+  // emits the same schema.
   out.telemetry = queue->telemetry();
+  slpq::fill_reclaim_zero(out.telemetry);
   const psim::SimStats& st = out.machine_stats;
   out.telemetry.set("sim.reads", st.reads);
   out.telemetry.set("sim.writes", st.writes);

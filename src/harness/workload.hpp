@@ -16,6 +16,7 @@
 
 #include "harness/backend.hpp"
 #include "slpq/detail/histogram.hpp"
+#include "slpq/reclaim.hpp"
 #include "sim/config.hpp"
 #include "sim/stats.hpp"
 
@@ -35,6 +36,9 @@ struct BenchmarkConfig {
   // Structure knobs (each backend's `knobs` lists the ones it reads).
   int max_level = 16;              ///< skiplist max level (log2 of max size)
   bool use_gc = true;              ///< timestamp GC for skip queues
+  /// Memory-reclamation policy (--reclaim) for backends that free nodes:
+  /// ts (paper Section 3), hp, epoch, or leaky. Both machines honor it.
+  slpq::ReclaimPolicy reclaim = slpq::ReclaimPolicy::kTimestamp;
   std::size_t heap_capacity = 0;   ///< Hunt heap capacity; 0 = auto
   bool pad_nodes = false;          ///< ablation: line-align skiplist nodes
   int funnel_width = 0;            ///< 0 = auto (processors / 4)

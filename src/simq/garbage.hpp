@@ -1,19 +1,41 @@
-// Timestamp-based garbage collection (paper, Section 3).
+// Memory reclamation on the simulated multiprocessor.
 //
-// "It is safe to free the memory used by a particular node only after all
-// the processors that were in the structure when the node was deleted have
-// already exited the structure." Each processor registers its entry time in
-// a shared array; each retired node is stamped with its deletion time; a
-// dedicated collector processor frees a node once its deletion time
-// precedes the entry time of the oldest processor still inside.
+// The paper's scheme (Section 3) is timestamp GC: "It is safe to free the
+// memory used by a particular node only after all the processors that were
+// in the structure when the node was deleted have already exited the
+// structure." Each processor registers its entry time in a shared array;
+// each retired node is stamped with its deletion time; a dedicated
+// collector processor frees a node once its deletion time precedes the
+// entry time of the oldest processor still inside.
+//
+// SimReclaimer generalizes that machinery into the same four policies the
+// native queues expose through --reclaim (slpq/reclaim.hpp):
+//   * ts     — the paper's scheme, exactly as before (EntryRegistry +
+//              stamp-ordered GarbageLists + collector scan).
+//   * hp     — hazard pointers: walkers publish each node they stand on
+//              into per-processor slots (one simulated write per publish —
+//              the per-step cost that defines HP); the collector scan
+//              reads every slot and frees retired nodes nobody covers.
+//   * epoch  — 3-epoch QSBR: entering processors copy the global epoch
+//              into a per-processor cell; the collector advances the
+//              global epoch once every cell is current or quiescent and
+//              frees nodes retired two epochs ago.
+//   * leaky  — retire() only queues; everything is freed in the shutdown
+//              drain. The zero-overhead baseline.
+// Every registry read and write above goes through Cpu::read/write, so the
+// coherence cost of each policy's bookkeeping lands in SimStats just like
+// the queues' own traffic.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "slpq/reclaim.hpp"
 
 namespace simq {
 
@@ -73,7 +95,13 @@ class GarbageLists {
   /// Appends a node to the caller's garbage list, stamped with the caller's
   /// current clock (the node's deletion time).
   void retire(Cpu& cpu, Node* node) {
-    const Cycles stamp = cpu.clock();
+    retire_stamped(cpu, node, cpu.clock());
+  }
+
+  /// Same, with a caller-chosen stamp (SimReclaimer's epoch policy stamps
+  /// with the retirement epoch instead of the clock). Stamps must stay
+  /// monotone per processor for collect()'s prefix rule to be exact.
+  void retire_stamped(Cpu& cpu, Node* node, Cycles stamp) {
     lists_[static_cast<std::size_t>(cpu.id())].push_back(Item{node, stamp});
     ++retired_;
   }
@@ -90,6 +118,53 @@ class GarbageLists {
         list.pop_front();
         ++freed;
         ++collected_;
+      }
+    }
+    return freed;
+  }
+
+  /// Records each per-processor list's current length. The hazard policy
+  /// takes this cut BEFORE reading the hazard slots and passes it to
+  /// collect_if: only nodes retired before the (non-atomic, many-event)
+  /// snapshot began may be freed by it. A node retired mid-snapshot can be
+  /// protected by a hazard published into a slot the snapshot had already
+  /// read; restricting the pass to the pre-snapshot prefix restores the
+  /// ordering Michael's scheme gets for free from scanning the retiring
+  /// thread's own list (every examined node retired before the scan).
+  void sizes(std::vector<std::size_t>& out) const {
+    out.clear();
+    out.reserve(lists_.size());
+    for (const auto& l : lists_) out.push_back(l.size());
+  }
+
+  /// Unordered variant for hazard pointers: frees, among the first
+  /// `limits[p]` entries of processor p's list (a cut taken by sizes()
+  /// before the hazard snapshot), every retired node for which
+  /// `unprotected(node)` holds, regardless of stamp order (a hazard can
+  /// cover a node retired long ago while newer ones are free). Entries
+  /// past the cut are never examined or moved ahead of it. Returns nodes
+  /// freed.
+  template <typename Pred, typename FreeFn>
+  std::size_t collect_if(const std::vector<std::size_t>& limits,
+                         Pred&& unprotected, FreeFn&& free_fn) {
+    std::size_t freed = 0;
+    for (std::size_t li = 0; li < lists_.size(); ++li) {
+      auto& list = lists_[li];
+      std::size_t limit = std::min(limits[li], list.size());
+      for (std::size_t i = 0; i < limit;) {
+        if (unprotected(list[i].node)) {
+          free_fn(list[i].node);
+          // Fill the hole with the last pre-cut entry, then close the gap
+          // that leaves with the overall last entry (a post-cut one).
+          --limit;
+          list[i] = list[limit];
+          if (limit != list.size() - 1) list[limit] = list.back();
+          list.pop_back();
+          ++freed;
+          ++collected_;
+        } else {
+          ++i;
+        }
       }
     }
     return freed;
@@ -130,5 +205,280 @@ void collector_body(Cpu& cpu, const EntryRegistry& registry,
   }
   garbage.collect(kMaxTime, free_fn);
 }
+
+/// Per-processor hazard-pointer slots in simulated shared memory. Each
+/// processor's slots live on their own cache line (hazard arrays are
+/// write-mostly by their owner; sharing a line would invent false traffic
+/// the real structure avoids). publish() is one simulated write — charged
+/// to the walker, which is exactly hazard pointers' per-step cost — and
+/// the collector pays a read of every slot per scan.
+class HazardSlots {
+ public:
+  HazardSlots(psim::Engine& eng, int slots_per_proc)
+      : slots_per_proc_(slots_per_proc) {
+    const int procs = eng.config().processors;
+    slots_.reserve(static_cast<std::size_t>(procs * slots_per_proc));
+    for (int p = 0; p < procs; ++p) {
+      const psim::Addr base = eng.memory().alloc(
+          static_cast<std::size_t>(slots_per_proc) * 8, psim::kLineBytes);
+      for (int s = 0; s < slots_per_proc; ++s)
+        slots_.emplace_back(base + static_cast<psim::Addr>(s) * 8,
+                            static_cast<const void*>(nullptr));
+    }
+  }
+
+  int slots_per_proc() const noexcept { return slots_per_proc_; }
+
+  /// Publishes `p` in the caller's slot `slot` (one simulated write).
+  void publish(Cpu& cpu, int slot, const void* p) {
+    cpu.write(at(cpu.id(), slot), p);
+  }
+
+  /// Clears every slot the caller owns (simulated writes; exit path).
+  void clear(Cpu& cpu) {
+    for (int s = 0; s < slots_per_proc_; ++s)
+      cpu.write(at(cpu.id(), s), static_cast<const void*>(nullptr));
+  }
+
+  /// Collector scan: reads every slot of every processor. The caller pays
+  /// the full scan — use snapshot() + membership tests to amortize over
+  /// many nodes.
+  ///
+  /// The slots are read in DESCENDING index order, and that order is load-
+  /// bearing: the queues' traversals migrate a hazard from a higher slot to
+  /// a lower one (candidate -> pred promote, carry-down a level, claim pin)
+  /// by publishing in the destination first and only later overwriting the
+  /// source. This snapshot is not atomic — each read is a simulated event
+  /// and walkers run between them — so an ascending scan could read the low
+  /// slot before the publish and the high slot after the overwrite, missing
+  /// the node in both and freeing it under the walker. Descending reads
+  /// close that window: if the high slot was already overwritten, the
+  /// publish into the strictly-lower destination happened first, and the
+  /// scan has yet to read it.
+  void snapshot(Cpu& cpu, std::vector<const void*>& out) const {
+    out.clear();
+    out.reserve(slots_.size());
+    for (auto it = slots_.rbegin(); it != slots_.rend(); ++it) {
+      const void* p = cpu.read(*it);
+      if (p != nullptr) out.push_back(p);
+    }
+  }
+
+  /// Untimed view for tests.
+  const void* raw_slot(int proc, int slot) const {
+    return slots_[index(proc, slot)].raw();
+  }
+
+ private:
+  std::size_t index(int proc, int slot) const {
+    return static_cast<std::size_t>(proc) *
+               static_cast<std::size_t>(slots_per_proc_) +
+           static_cast<std::size_t>(slot);
+  }
+  psim::Var<const void*>& at(int proc, int slot) const {
+    return slots_[index(proc, slot)];
+  }
+
+  int slots_per_proc_;
+  mutable std::vector<psim::Var<const void*>> slots_;
+};
+
+/// Per-processor epoch cells plus the global epoch word (3-epoch QSBR).
+/// Entering processors copy the global epoch into their cell (one read +
+/// one write); the collector advances the global epoch once every cell is
+/// quiescent or already current, and nodes retired in epoch e are free
+/// once the global epoch reaches e + 2.
+class EpochCells {
+ public:
+  static constexpr std::uint64_t kQuiescent = ~std::uint64_t{0};
+
+  explicit EpochCells(psim::Engine& eng) : global_(eng.memory(), 2) {
+    cells_.reserve(static_cast<std::size_t>(eng.config().processors));
+    for (int p = 0; p < eng.config().processors; ++p) {
+      const psim::Addr a = eng.memory().alloc(8, psim::kLineBytes);
+      cells_.emplace_back(a, kQuiescent);
+    }
+  }
+
+  /// Marks the caller active in the current epoch; returns that epoch.
+  std::uint64_t enter(Cpu& cpu) {
+    const std::uint64_t e = cpu.read(global_);
+    cpu.write(cells_[static_cast<std::size_t>(cpu.id())], e);
+    return e;
+  }
+
+  void exit(Cpu& cpu) {
+    cpu.write(cells_[static_cast<std::size_t>(cpu.id())], kQuiescent);
+  }
+
+  /// Reads the global epoch (retirement stamp; one simulated read).
+  std::uint64_t current(Cpu& cpu) const { return cpu.read(global_); }
+
+  /// Collector pass: scans every cell; if no processor is still active in
+  /// an older epoch, bumps the global epoch. Returns the (possibly new)
+  /// global epoch. The scan reads every cell — real modeled traffic.
+  std::uint64_t try_advance(Cpu& cpu) {
+    const std::uint64_t e = cpu.read(global_);
+    for (const auto& c : cells_) {
+      const std::uint64_t seen = cpu.read(c);
+      if (seen != kQuiescent && seen < e) return e;  // straggler
+    }
+    cpu.write(global_, e + 1);
+    return e + 1;
+  }
+
+  /// Untimed views for tests.
+  std::uint64_t raw_global() const { return global_.raw(); }
+  std::uint64_t raw_cell(int proc) const {
+    return cells_[static_cast<std::size_t>(proc)].raw();
+  }
+
+ private:
+  mutable psim::Var<std::uint64_t> global_;
+  mutable std::vector<psim::Var<std::uint64_t>> cells_;
+};
+
+/// Policy-dispatched reclamation for the simulated queues: one object that
+/// owns the paper's EntryRegistry/GarbageLists pair plus the hazard and
+/// epoch registries, selected by slpq::ReclaimPolicy so the sim queues
+/// expose the same --reclaim knob as the native ones. See the header
+/// comment for what each policy models and what traffic it charges.
+template <typename Node>
+class SimReclaimer {
+ public:
+  SimReclaimer(psim::Engine& eng, slpq::ReclaimPolicy policy,
+               int hazard_slots)
+      : policy_(policy),
+        registry_(eng),
+        garbage_(eng.config().processors) {
+    if (policy_ == slpq::ReclaimPolicy::kHazard)
+      hazards_ = std::make_unique<HazardSlots>(eng, hazard_slots);
+    if (policy_ == slpq::ReclaimPolicy::kEpoch)
+      epochs_ = std::make_unique<EpochCells>(eng);
+  }
+
+  slpq::ReclaimPolicy policy() const noexcept { return policy_; }
+
+  /// Entry protocol; returns the operation's entry time (every policy
+  /// reports the clock, only ts pays a shared write for it).
+  Cycles enter(Cpu& cpu) {
+    switch (policy_) {
+      case slpq::ReclaimPolicy::kTimestamp: return registry_.enter(cpu);
+      case slpq::ReclaimPolicy::kEpoch: {
+        const Cycles t = cpu.clock();
+        epochs_->enter(cpu);
+        return t;
+      }
+      case slpq::ReclaimPolicy::kHazard:
+      case slpq::ReclaimPolicy::kLeaky: return cpu.clock();
+    }
+    return cpu.clock();
+  }
+
+  void exit(Cpu& cpu) {
+    switch (policy_) {
+      case slpq::ReclaimPolicy::kTimestamp: registry_.exit(cpu); return;
+      case slpq::ReclaimPolicy::kEpoch: epochs_->exit(cpu); return;
+      case slpq::ReclaimPolicy::kHazard: hazards_->clear(cpu); return;
+      case slpq::ReclaimPolicy::kLeaky: return;
+    }
+  }
+
+  /// Publishes the node a walker is standing on (hp: one simulated write;
+  /// every other policy: free). Call on each traversal step whose target
+  /// a concurrent reclaimer could otherwise free under the walker.
+  void protect(Cpu& cpu, int slot, const Node* n) {
+    if (policy_ == slpq::ReclaimPolicy::kHazard)
+      hazards_->publish(cpu, slot, n);
+  }
+
+  /// Queues an unlinked node for reclamation. ts stamps the deletion
+  /// clock; epoch stamps the retirement epoch (one simulated read).
+  void retire(Cpu& cpu, Node* node) {
+    switch (policy_) {
+      case slpq::ReclaimPolicy::kEpoch:
+        garbage_.retire_stamped(cpu, node, epochs_->current(cpu));
+        return;
+      case slpq::ReclaimPolicy::kTimestamp:
+      case slpq::ReclaimPolicy::kHazard:
+      case slpq::ReclaimPolicy::kLeaky:
+        garbage_.retire(cpu, node);
+        return;
+    }
+  }
+
+  /// One collector pass under the active policy. Returns nodes freed.
+  template <typename FreeFn>
+  std::size_t collect(Cpu& cpu, FreeFn&& free_fn) {
+    ++scans_;
+    std::size_t freed = 0;
+    switch (policy_) {
+      case slpq::ReclaimPolicy::kTimestamp:
+        freed = garbage_.collect(registry_.oldest(cpu), free_fn);
+        break;
+      case slpq::ReclaimPolicy::kHazard: {
+        // Cut the retired lists BEFORE the slot reads (see sizes()): the
+        // snapshot spans many simulated events, and a node retired while
+        // it runs may be covered by a hazard published into a slot already
+        // read. Nodes retired before the cut had their hazards published
+        // strictly earlier, so every slot read sees them.
+        garbage_.sizes(cut_);
+        hazards_->snapshot(cpu, scratch_);
+        const auto& covered = scratch_;
+        freed = garbage_.collect_if(
+            cut_,
+            [&covered](const Node* n) {
+              for (const void* p : covered)
+                if (p == n) return false;
+              return true;
+            },
+            free_fn);
+        break;
+      }
+      case slpq::ReclaimPolicy::kEpoch: {
+        const std::uint64_t e = epochs_->try_advance(cpu);
+        // Stamp e' is free once e >= e' + 2, i.e. stamp < e - 1.
+        freed = garbage_.collect(e >= 1 ? e - 1 : 0, free_fn);
+        break;
+      }
+      case slpq::ReclaimPolicy::kLeaky:
+        break;  // only the shutdown drain frees
+    }
+    stalls_ += garbage_.pending();
+    return freed;
+  }
+
+  /// Collector daemon body: scan, sleep, repeat; drain at shutdown (by
+  /// then nobody is inside the structure, so even leaky frees — the pool
+  /// outlives the run and must get its nodes back).
+  template <typename FreeFn>
+  void collector_loop(Cpu& cpu, FreeFn free_fn, Cycles period) {
+    while (!cpu.stopping()) {
+      collect(cpu, free_fn);
+      cpu.advance(period);
+    }
+    garbage_.collect(kMaxTime, free_fn);
+  }
+
+  GarbageLists<Node>& garbage() { return garbage_; }
+  const GarbageLists<Node>& garbage() const { return garbage_; }
+  const EntryRegistry& registry() const { return registry_; }
+  const HazardSlots* hazards() const { return hazards_.get(); }
+  const EpochCells* epochs() const { return epochs_.get(); }
+
+  std::uint64_t scans() const { return scans_; }
+  std::uint64_t stalls() const { return stalls_; }
+
+ private:
+  slpq::ReclaimPolicy policy_;
+  EntryRegistry registry_;
+  GarbageLists<Node> garbage_;
+  std::unique_ptr<HazardSlots> hazards_;
+  std::unique_ptr<EpochCells> epochs_;
+  std::vector<const void*> scratch_;  // host-side scan buffer
+  std::vector<std::size_t> cut_;      // pre-snapshot retired-list lengths
+  std::uint64_t scans_ = 0;
+  std::uint64_t stalls_ = 0;  // pending nodes surviving a scan, summed
+};
 
 }  // namespace simq

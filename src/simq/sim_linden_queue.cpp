@@ -1,5 +1,6 @@
 #include "simq/sim_linden_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
 #include <stdexcept>
@@ -21,12 +22,14 @@ constexpr std::uint64_t kWalkLimit = 1'000'000;
       std::string("SimLindenQueue: runaway traversal in ") + where);
 }
 
-// Simulated layout of a node: three header words then one next word per
+// Simulated layout of a node: five header words then one next word per
 // level. Matches what a C struct with a trailing array would be.
 constexpr psim::Addr kKeyOff = 0;
 constexpr psim::Addr kValueOff = 8;
 constexpr psim::Addr kInsertingOff = 16;
-constexpr psim::Addr kLevelBase = 24;
+constexpr psim::Addr kSweptOff = 24;
+constexpr psim::Addr kPrevRetiredOff = 32;
+constexpr psim::Addr kLevelBase = 40;
 constexpr psim::Addr kLevelStride = 8;
 
 std::size_t node_bytes(int level) {
@@ -34,24 +37,58 @@ std::size_t node_bytes(int level) {
       kLevelBase + kLevelStride * static_cast<psim::Addr>(level));
 }
 
-// Scoped entry-registry membership (paper, Section 3).
+// Scoped reclaimer membership (paper, Section 3, generalized to every
+// --reclaim policy).
 class ScopedEntry {
  public:
-  ScopedEntry(EntryRegistry& reg, Cpu& cpu, bool active)
-      : reg_(reg), cpu_(cpu), active_(active) {
-    if (active_) reg_.enter(cpu_);
+  ScopedEntry(SimReclaimer<LindenNode>& gc, Cpu& cpu, bool active)
+      : gc_(gc), cpu_(cpu), active_(active) {
+    if (active_) gc_.enter(cpu_);
   }
   ~ScopedEntry() {
-    if (active_) reg_.exit(cpu_);
+    if (active_) gc_.exit(cpu_);
   }
   ScopedEntry(const ScopedEntry&) = delete;
   ScopedEntry& operator=(const ScopedEntry&) = delete;
 
  private:
-  EntryRegistry& reg_;
+  SimReclaimer<LindenNode>& gc_;
   Cpu& cpu_;
   bool active_;
 };
+
+LindenNode* strip_word(std::uintptr_t w) {
+  return reinterpret_cast<LindenNode*>(w & ~std::uintptr_t{1});
+}
+
+// Hazard-protected word chase along owner->next[lv]: read the packed next
+// word, publish its target in `slot`, re-read until stable. Re-read
+// validation alone proves nothing here — dead-prefix pointers are frozen,
+// so a stale word validates forever while its target may already be freed.
+// The real guarantee is `owner` being unswept: sweeps retire in strict
+// list order, so an unswept owner means every node after it is unretired,
+// and a hazard published before the swept check is seen by any later
+// collector scan. Sets *swept and returns 0 when owner was already swept;
+// the caller restarts from the head. Under every other policy this is a
+// single plain read. The caller must keep `owner` protected while this
+// runs.
+std::uintptr_t protected_word(Cpu& cpu, SimReclaimer<LindenNode>& gc,
+                              LindenNode* owner, std::size_t lv, int slot,
+                              bool* swept) {
+  psim::Var<std::uintptr_t>& src = owner->next[lv];
+  std::uintptr_t w = cpu.read(src);
+  if (gc.policy() != slpq::ReclaimPolicy::kHazard) return w;
+  for (;;) {
+    gc.protect(cpu, slot, strip_word(w));
+    if (cpu.read(owner->swept) != 0) {
+      *swept = true;
+      return 0;
+    }
+    const std::uintptr_t again = cpu.read(src);
+    if (strip_word(again) == strip_word(w)) return again;
+    w = again;
+  }
+}
 
 }  // namespace
 
@@ -60,6 +97,8 @@ LindenNode::LindenNode(psim::Engine& eng, int lvl)
       key(base + kKeyOff, Key{}),
       value(base + kValueOff, Value{}),
       inserting(base + kInsertingOff, 0),
+      swept(base + kSweptOff, 0),
+      prev_retired(base + kPrevRetiredOff, 0),
       level(lvl) {
   next.reserve(static_cast<std::size_t>(lvl));
   for (int i = 0; i < lvl; ++i)
@@ -105,6 +144,8 @@ LindenNode* LindenNodePool::acquire(Cpu& cpu, int level, Key key,
 
 void LindenNodePool::release(LindenNode* node) {
   assert(node->live && "double release");
+  node->swept.set_raw(0);         // allocator-side scrub of the sweep
+  node->prev_retired.set_raw(0);  // protocol flags before reuse
   node->live = false;
   ++released_;
   free_by_level_[static_cast<std::size_t>(node->level)].push_back(node);
@@ -114,8 +155,11 @@ SimLindenQueue::SimLindenQueue(psim::Engine& eng, Options opt)
     : eng_(eng),
       opt_(opt),
       pool_(eng, opt.max_level),
-      registry_(eng),
-      garbage_(eng.config().processors),
+      // Hazard slots: the claim pin and restructure peek scratch at the
+      // bottom (see claim_slot()/peek_slot() for why they sit below the
+      // traversal slots), then pred+succ per level.
+      gc_(eng, opt.reclaim,
+          /*hazard_slots=*/2 * std::max(opt.max_level, 1) + 2),
       seed_rng_(eng.config().seed ^ 0x11DE9A11ULL),
       level_dist_(opt.p, opt.max_level) {
   if (opt_.max_level < 1) throw std::invalid_argument("max_level must be >= 1");
@@ -137,9 +181,9 @@ void SimLindenQueue::spawn_collector() {
     throw std::logic_error("spawn_collector with Options::use_gc == false");
   eng_.add_processor(
       [this](Cpu& cpu) {
-        collector_body(
-            cpu, registry_, garbage_,
-            [this](LindenNode* node) { pool_.release(node); }, opt_.gc_period);
+        gc_.collector_loop(
+            cpu, [this](LindenNode* node) { pool_.release(node); },
+            opt_.gc_period);
       },
       /*daemon=*/true);
 }
@@ -156,13 +200,21 @@ bool SimLindenQueue::key_before(Cpu& cpu, LindenNode* n, Key key) const {
 LindenNode* SimLindenQueue::locate_preds(Cpu& cpu, Key key,
                                          std::vector<LindenNode*>& preds,
                                          std::vector<LindenNode*>& succs) {
+  std::uint64_t steps = 0;
+restart:
   LindenNode* del = nullptr;
   LindenNode* x = head_;
-  std::uint64_t steps = 0;
   for (int lv = opt_.max_level - 1; lv >= 0; --lv) {
     const auto ulv = static_cast<std::size_t>(lv);
-    std::uintptr_t w = cpu.read(x->next[ulv]);
+    const int ps = pred_slot(lv);
+    gc_.protect(cpu, ps, x);  // carry the pred down a level
+    bool swept = false;
+    std::uintptr_t w = protected_word(cpu, gc_, x, ulv, ps + 1, &swept);
     for (;;) {
+      if (swept) {  // hazard-validation restart
+        counters_.add(slpq::Counter::kInsertRetries);
+        goto restart;
+      }
       if (++steps > kWalkLimit) walk_overflow("locate_preds");
       const bool d = is_marked(w);  // only ever set at the bottom level
       LindenNode* c = strip(w);
@@ -171,17 +223,18 @@ LindenNode* SimLindenQueue::locate_preds(Cpu& cpu, Key key,
           !(lv == 0 && d))
         break;
       if (lv == 0 && d) del = c;
+      gc_.protect(cpu, ps, c);  // promote: the candidate slot covers it
       x = c;
-      w = cpu.read(x->next[ulv]);
+      w = protected_word(cpu, gc_, x, ulv, ps + 1, &swept);
     }
-    preds[ulv] = x;
+    preds[ulv] = x;  // stays protected in its pred slot for the caller
     succs[ulv] = strip(w);
   }
   return del;
 }
 
 void SimLindenQueue::insert(Cpu& cpu, Key key, Value value) {
-  ScopedEntry entry(registry_, cpu, opt_.use_gc);
+  ScopedEntry entry(gc_, cpu, opt_.use_gc);
 
   const int top = random_level(cpu);
   LindenNode* n = pool_.acquire(cpu, top, key, value);
@@ -228,17 +281,26 @@ void SimLindenQueue::insert(Cpu& cpu, Key key, Value value) {
 }
 
 std::optional<std::pair<Key, Value>> SimLindenQueue::delete_min(Cpu& cpu) {
-  ScopedEntry entry(registry_, cpu, opt_.use_gc);
+  ScopedEntry entry(gc_, cpu, opt_.use_gc);
+  const bool hp = gc_.policy() == slpq::ReclaimPolicy::kHazard;
+  std::uint64_t steps = 0;
 
+restart:
   LindenNode* cur = head_;
-  std::uintptr_t w = cpu.read(head_->next[0]);
+  const int ps = pred_slot(0);
+  gc_.protect(cpu, ps, cur);
+  bool swept = false;
+  std::uintptr_t w = protected_word(cpu, gc_, cur, 0, ps + 1, &swept);
   const std::uintptr_t obs_head = w;
   LindenNode* newhead = nullptr;  // earliest node the head swing must keep
   std::size_t offset = 0;
   LindenNode* claimed = nullptr;
-  std::uint64_t steps = 0;
 
   for (;;) {
+    if (swept) {  // hazard-validation restart
+      counters_.add(slpq::Counter::kDeleteRetries);
+      goto restart;
+    }
     if (++steps > kWalkLimit) walk_overflow("delete_min");
     LindenNode* c = strip(w);
     if (c == tail_) return std::nullopt;
@@ -246,8 +308,28 @@ std::optional<std::pair<Key, Value>> SimLindenQueue::delete_min(Cpu& cpu) {
       ++offset;
       counters_.add(slpq::Counter::kPrefixNodes);
       if (newhead == nullptr && cpu.read(c->inserting) != 0) newhead = c;
+      gc_.protect(cpu, ps, c);  // promote: the candidate slot covers it
       cur = c;
-      w = cpu.read(cur->next[0]);
+      w = protected_word(cpu, gc_, cur, 0, ps + 1, &swept);
+      continue;
+    }
+    if (hp) {
+      // CAS (not fetch_or) so the claim lands on the vetted node: c is the
+      // only successor our hazard protects, and a blind fetch_or could
+      // mark an unvetted, unprotected splice that raced in between.
+      if (cpu.cas(cur->next[0], pack(c, false), pack(c, true))) {
+        if (cur == head_) {
+          // Genesis root: the head's own pointer was marked before any
+          // sweep could have run, so c has no unretired predecessors.
+          cpu.write(c->prev_retired, std::uint64_t{1});
+        }
+        claimed = c;
+        ++offset;
+        break;
+      }
+      counters_.add(slpq::Counter::kFailedCas);
+      counters_.add(slpq::Counter::kClaimLosses);
+      w = protected_word(cpu, gc_, cur, 0, ps + 1, &swept);  // re-vet the word
       continue;
     }
     // The claim: one fetch-or on the last dead node's (or head's) pointer.
@@ -264,6 +346,9 @@ std::optional<std::pair<Key, Value>> SimLindenQueue::delete_min(Cpu& cpu) {
   }
 
   counters_.add(slpq::Counter::kClaimWins);
+  // Pin the claim below the traversal slots (a descending migration — the
+  // only direction the collector's snapshot order guarantees to catch).
+  gc_.protect(cpu, claim_slot(), claimed);  // outlives the sweep below
   const Key k = cpu.read(claimed->key);
   const Value v = cpu.read(claimed->value);
   --size_;
@@ -276,34 +361,65 @@ std::optional<std::pair<Key, Value>> SimLindenQueue::delete_min(Cpu& cpu) {
     if (cpu.cas(head_->next[0], obs_head, pack(newhead, true))) {
       ++restructures_;
       counters_.add(slpq::Counter::kRestructures);
+      if (hp && is_marked(obs_head)) {
+        // Sweeps must retire in strict list order (protected_word's swept
+        // check depends on it): wait until the predecessor sweep — whose
+        // range ends exactly at our first node — has finished retiring.
+        // Our range is untouched while we wait: only we may retire it.
+        while (cpu.read(strip(obs_head)->prev_retired) == 0)
+          cpu.advance(20);
+      }
       restructure(cpu);
+      // The winner owns the bypassed chain exclusively (every pointer in
+      // it is marked and the head swing removed it), so the retire walk
+      // needs no hazards of its own — but under hazard pointers each node
+      // is flagged swept (in list order) just before retiring, which is
+      // what sends still-parked travellers back to the head.
       LindenNode* g = strip(obs_head);
       while (g != newhead) {
         LindenNode* nx = strip(cpu.read(g->next[0]));
-        garbage_.retire(cpu, g);
+        if (hp) cpu.write(g->swept, std::uint64_t{1});
+        gc_.retire(cpu, g);
         g = nx;
       }
+      if (hp) cpu.write(newhead->prev_retired, std::uint64_t{1});
     }
   }
   return std::make_pair(k, v);
 }
 
 void SimLindenQueue::restructure(Cpu& cpu) {
-  LindenNode* pred = head_;
+  const bool hp = gc_.policy() == slpq::ReclaimPolicy::kHazard;
   std::uint64_t steps = 0;
+restart:
+  LindenNode* pred = head_;
   for (int lv = opt_.max_level - 1; lv >= 1;) {
     const auto ulv = static_cast<std::size_t>(lv);
     if (++steps > kWalkLimit) walk_overflow("restructure");
-    LindenNode* h = strip(cpu.read(head_->next[ulv]));
+    const std::uintptr_t hw = cpu.read(head_->next[ulv]);
+    LindenNode* h = strip(hw);
+    if (hp) {
+      // Entry from the head: the upper head pointer is live (inserts and
+      // restructures move it), so re-read validation is meaningful here.
+      gc_.protect(cpu, peek_slot(), h);
+      if (cpu.read(head_->next[ulv]) != hw) continue;  // moved: re-read level
+    }
     if (!is_marked(cpu.read(h->next[0]))) {
       --lv;
       continue;
     }
-    LindenNode* cur = strip(cpu.read(pred->next[ulv]));
+    const int ps = pred_slot(lv);
+    gc_.protect(cpu, ps, pred);  // carry pred into this level's slot
+    bool swept = false;
+    LindenNode* cur =
+        strip(protected_word(cpu, gc_, pred, ulv, ps + 1, &swept));
+    if (swept) goto restart;
     while (is_marked(cpu.read(cur->next[0]))) {
       if (++steps > kWalkLimit) walk_overflow("restructure");
+      gc_.protect(cpu, ps, cur);  // promote: the candidate slot covers it
       pred = cur;
-      cur = strip(cpu.read(pred->next[ulv]));
+      cur = strip(protected_word(cpu, gc_, pred, ulv, ps + 1, &swept));
+      if (swept) goto restart;
     }
     if (cpu.cas(head_->next[ulv], pack(h, false), pack(cur, false))) --lv;
   }
@@ -356,10 +472,16 @@ slpq::TelemetrySnapshot SimLindenQueue::telemetry() const {
   snap.set(slpq::counter_name(slpq::Counter::kPoolRefills),
            pool_.created() - created_base_);
   snap.set(slpq::counter_name(slpq::Counter::kPoolReused), pool_.reused());
+  const auto& garbage = gc_.garbage();
   snap.set(slpq::counter_name(slpq::Counter::kGcReclaimed),
-           garbage_.total_collected());
+           garbage.total_collected());
   snap.set(slpq::counter_name(slpq::Counter::kGcDeferred),
-           garbage_.total_retired() - garbage_.total_collected());
+           garbage.total_retired() - garbage.total_collected());
+  snap.set("reclaim.retired", garbage.total_retired());
+  snap.set("reclaim.freed", garbage.total_collected());
+  snap.set("reclaim.scans", gc_.scans());
+  snap.set("reclaim.stalls", gc_.stalls());
+  snap.set("reclaim.pending", garbage.pending());
   return snap;
 }
 

@@ -41,6 +41,15 @@ struct LindenNode {
   psim::Var<Key> key;
   psim::Var<Value> value;
   psim::Var<std::uint64_t> inserting;       // restructure must not pass us
+  // Hazard-pointer sweep protocol (kHazard only; see the native
+  // slpq::LindenSkipQueue header): `swept` is set by the unique sweep
+  // winner just before retiring this node — dead-prefix pointers are
+  // frozen, so a hazard walk re-reading one validates nothing, and the
+  // step is instead vouched for by the source node being unswept.
+  // `prev_retired` says every node before this one is retired; sweep
+  // winners spin on it to serialize retirement in strict list order.
+  psim::Var<std::uint64_t> swept;
+  psim::Var<std::uint64_t> prev_retired;
   std::vector<psim::Var<std::uintptr_t>> next;  // [0] carries the mark bit
 
   // Host-side metadata (not simulated state).
@@ -84,6 +93,9 @@ class SimLindenQueue {
     int boundoffset = 32;
     bool use_gc = true;       ///< entry registry + garbage lists + collector
     Cycles gc_period = 2000;  ///< collector scan period
+    /// Reclamation policy driven by the collector daemon (--reclaim); see
+    /// SimSkipQueue::Options::reclaim.
+    slpq::ReclaimPolicy reclaim = slpq::ReclaimPolicy::kTimestamp;
   };
 
   SimLindenQueue(psim::Engine& eng, Options opt);
@@ -107,8 +119,9 @@ class SimLindenQueue {
   std::uint64_t restructures() const { return restructures_; }
   const Options& options() const { return opt_; }
   LindenNodePool& pool() { return pool_; }
-  GarbageLists<LindenNode>& garbage() { return garbage_; }
-  const EntryRegistry& registry() const { return registry_; }
+  GarbageLists<LindenNode>& garbage() { return gc_.garbage(); }
+  const EntryRegistry& registry() const { return gc_.registry(); }
+  const SimReclaimer<LindenNode>& reclaimer() const { return gc_; }
 
   /// Operation counters plus pool/GC composition (host-side bookkeeping,
   /// invisible to the simulated machine); see docs/TELEMETRY.md.
@@ -127,6 +140,17 @@ class SimLindenQueue {
   int random_level(Cpu& cpu);
   bool key_before(Cpu& cpu, LindenNode* n, Key key) const;
 
+  // Slot layout: the claim and peek slots sit BELOW the per-level pairs so
+  // the claim pin (a migration out of a traversal slot) moves the hazard to
+  // a strictly lower index — the direction HazardSlots::snapshot's
+  // descending scan is guaranteed to catch.
+  /// Hazard slot holding the claimed node across the sweep.
+  int claim_slot() const { return 0; }
+  /// Scratch slot for restructure's upper-level head peeks.
+  int peek_slot() const { return 1; }
+  /// Level-lv traversal pair: pred in pred_slot, candidate right above it.
+  int pred_slot(int lv) const { return 2 + 2 * lv; }
+
   /// Search pass: positions preds/succs around `key`, skipping nodes that
   /// look deleted; returns the last bottom-level node passed through a
   /// marked pointer.
@@ -139,8 +163,7 @@ class SimLindenQueue {
   psim::Engine& eng_;
   Options opt_;
   LindenNodePool pool_;
-  EntryRegistry registry_;
-  GarbageLists<LindenNode> garbage_;
+  SimReclaimer<LindenNode> gc_;
   LindenNode* head_;
   LindenNode* tail_;
   std::vector<slpq::detail::Xoshiro256> level_rngs_;  // one per processor

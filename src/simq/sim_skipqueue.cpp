@@ -1,5 +1,6 @@
 #include "simq/sim_skipqueue.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
 #include <set>
@@ -22,14 +23,15 @@ constexpr std::uint64_t kWalkLimit = 1'000'000;
                            where);
 }
 
-// Simulated layout of a node: five header words then (next, lock) word
+// Simulated layout of a node: six header words then (next, lock) word
 // pairs per level. Matches what a C struct with a trailing array would be.
 constexpr psim::Addr kKeyOff = 0;
 constexpr psim::Addr kValueOff = 8;
 constexpr psim::Addr kDeletedOff = 16;
 constexpr psim::Addr kStampOff = 24;
-constexpr psim::Addr kNodeLockOff = 32;
-constexpr psim::Addr kLevelBase = 40;
+constexpr psim::Addr kReversedOff = 32;
+constexpr psim::Addr kNodeLockOff = 40;
+constexpr psim::Addr kLevelBase = 48;
 constexpr psim::Addr kLevelStride = 16;
 
 std::size_t node_bytes(int level) {
@@ -37,16 +39,16 @@ std::size_t node_bytes(int level) {
                                   kLevelStride * static_cast<psim::Addr>(level));
 }
 
-// Scoped entry-registry membership (paper, Section 3): enter on construction,
-// exit on every return path.
+// Scoped reclaimer membership (paper, Section 3, generalized to every
+// --reclaim policy): enter on construction, exit on every return path.
 class ScopedEntry {
  public:
-  ScopedEntry(EntryRegistry& reg, Cpu& cpu, bool active)
-      : reg_(reg), cpu_(cpu), active_(active), entry_time_(0) {
-    if (active_) entry_time_ = reg_.enter(cpu_);
+  ScopedEntry(SimReclaimer<SkipNode>& gc, Cpu& cpu, bool active)
+      : gc_(gc), cpu_(cpu), active_(active), entry_time_(0) {
+    if (active_) entry_time_ = gc_.enter(cpu_);
   }
   ~ScopedEntry() {
-    if (active_) reg_.exit(cpu_);
+    if (active_) gc_.exit(cpu_);
   }
   ScopedEntry(const ScopedEntry&) = delete;
   ScopedEntry& operator=(const ScopedEntry&) = delete;
@@ -54,11 +56,33 @@ class ScopedEntry {
   Cycles entry_time() const { return entry_time_; }
 
  private:
-  EntryRegistry& reg_;
+  SimReclaimer<SkipNode>& gc_;
   Cpu& cpu_;
   bool active_;
   Cycles entry_time_;
 };
+
+// Hazard-protected pointer chase along owner->next[li]: read the pointer,
+// publish the target in `slot`, re-read until stable. Under every other
+// policy this is a single plain read. Re-read validation alone is not
+// enough: an unlinked node's reversed pointer is frozen, so it validates
+// forever while its target may already be freed — the per-node reversed
+// bitmask (set under the level lock before the reversal is stored)
+// detects that, and nullptr tells the caller to restart from a root.
+// The caller must keep `owner` protected (or otherwise pinned).
+SkipNode* protected_step(Cpu& cpu, SimReclaimer<SkipNode>& gc,
+                         SkipNode* owner, std::size_t li, int slot) {
+  psim::Var<SkipNode*>& src = owner->next[li];
+  SkipNode* n = cpu.read(src);
+  if (gc.policy() != slpq::ReclaimPolicy::kHazard) return n;
+  for (;;) {
+    gc.protect(cpu, slot, n);
+    SkipNode* again = cpu.read(src);
+    if (cpu.read(owner->reversed) & (1ULL << li)) return nullptr;
+    if (again == n) return n;
+    n = again;
+  }
+}
 
 }  // namespace
 
@@ -69,6 +93,7 @@ SkipNode::SkipNode(psim::Engine& eng, int lvl, bool pad,
       value(base + kValueOff, Value{}),
       deleted(base + kDeletedOff, 0),
       time_stamp(base + kStampOff, 0),
+      reversed(base + kReversedOff, 0),
       node_lock(eng, base + kNodeLockOff, lock_mode),
       level(lvl) {
   next.reserve(static_cast<std::size_t>(lvl));
@@ -120,6 +145,7 @@ SkipNode* SkipNodePool::acquire(Cpu& cpu, int level, Key key, Value value) {
 void SkipNodePool::release(SkipNode* node) {
   assert(node->live && "double release");
   assert(!node->node_lock.held() && "released while locked");
+  node->reversed.set_raw(0);  // allocator-side scrub of the unlink mask
   node->live = false;
   ++released_;
   free_by_level_[static_cast<std::size_t>(node->level)].push_back(node);
@@ -129,8 +155,8 @@ SimSkipQueue::SimSkipQueue(psim::Engine& eng, Options opt)
     : eng_(eng),
       opt_(opt),
       pool_(eng, opt.max_level, opt.pad_nodes, opt.lock_mode),
-      registry_(eng),
-      garbage_(eng.config().processors),
+      // Hazard slots: pred+candidate per level plus the scan pair's spare.
+      gc_(eng, opt.reclaim, /*hazard_slots=*/2 * std::max(opt.max_level, 1) + 2),
       seed_rng_(eng.config().seed ^ 0x5EEDF00DULL),
       level_dist_(opt.p, opt.max_level) {
   if (opt_.max_level < 1) throw std::invalid_argument("max_level must be >= 1");
@@ -161,9 +187,8 @@ void SimSkipQueue::spawn_collector() {
     throw std::logic_error("spawn_collector with Options::use_gc == false");
   eng_.add_processor(
       [this](Cpu& cpu) {
-        collector_body(cpu, registry_, garbage_,
-                       [this](SkipNode* n) { pool_.release(n); },
-                       opt_.gc_period);
+        gc_.collector_loop(cpu, [this](SkipNode* n) { pool_.release(n); },
+                           opt_.gc_period);
       },
       /*daemon=*/true);
 }
@@ -172,22 +197,50 @@ int SimSkipQueue::random_level(Cpu& cpu) {
   return level_dist_(level_rngs_[static_cast<std::size_t>(cpu.id())]);
 }
 
+bool SimSkipQueue::reversed_under_lock(Cpu& cpu, SkipNode* node,
+                                       std::size_t li) {
+  // While holding node's level-li lock the bit is stable: clear means the
+  // node is still linked at that level (both the predecessor swing and the
+  // reversal happen under this lock), set means we locked a corpse.
+  return gc_.policy() == slpq::ReclaimPolicy::kHazard &&
+         (cpu.read(node->reversed) & (1ULL << li));
+}
+
 SkipNode* SimSkipQueue::get_lock(Cpu& cpu, SkipNode* node1, Key key, int level) {
   const std::size_t li = static_cast<std::size_t>(level - 1);
+  const int ps = 2 * (level - 1);  // this level's pred slot...
+  const int cs = ps + 1;           // ...and candidate slot
   std::uint64_t steps = 0;
-  SkipNode* node2 = cpu.read(node1->next[li]);
-  while (cpu.read(node2->key) < key) {
+  gc_.protect(cpu, ps, node1);
+  SkipNode* node2 = protected_step(cpu, gc_, node1, li, cs);
+  for (;;) {
+    if (node2 == nullptr) return nullptr;  // hazard-validation restart
+    if (!(cpu.read(node2->key) < key)) break;
+    gc_.protect(cpu, ps, node2);  // promote: slot cs covers it
     node1 = node2;
-    node2 = cpu.read(node1->next[li]);
+    node2 = protected_step(cpu, gc_, node1, li, cs);
     if (++steps > kWalkLimit) walk_overflow("get_lock/search");
   }
   node1->level_locks[li].lock(cpu);
+  if (reversed_under_lock(cpu, node1, li)) {
+    node1->level_locks[li].unlock(cpu);
+    return nullptr;
+  }
   node2 = cpu.read(node1->next[li]);
   while (cpu.read(node2->key) < key) {  // list moved before we locked
     counters_.add(slpq::Counter::kInsertRetries);
+    // node2 cannot be retired while we hold node1's level lock (its unlink
+    // would need it for the predecessor swing), so publishing its hazard
+    // here needs no validation loop.
+    gc_.protect(cpu, cs, node2);
     node1->level_locks[li].unlock(cpu);
+    gc_.protect(cpu, ps, node2);  // promote before the hop
     node1 = node2;
     node1->level_locks[li].lock(cpu);
+    if (reversed_under_lock(cpu, node1, li)) {
+      node1->level_locks[li].unlock(cpu);
+      return nullptr;
+    }
     node2 = cpu.read(node1->next[li]);
     if (++steps > kWalkLimit) walk_overflow("get_lock/revalidate");
   }
@@ -197,17 +250,27 @@ SkipNode* SimSkipQueue::get_lock(Cpu& cpu, SkipNode* node1, Key key, int level) 
 void SimSkipQueue::search_preds(Cpu& cpu, Key key,
                                 std::vector<SkipNode*>& saved) {
   saved.resize(static_cast<std::size_t>(opt_.max_level));
-  SkipNode* node1 = head_;
   std::uint64_t steps = 0;
+restart:
+  SkipNode* node1 = head_;
   for (int i = opt_.max_level; i >= 1; --i) {
     const std::size_t li = static_cast<std::size_t>(i - 1);
-    SkipNode* node2 = cpu.read(node1->next[li]);
-    while (cpu.read(node2->key) < key) {
+    gc_.protect(cpu, 2 * static_cast<int>(li), node1);  // carry pred down
+    SkipNode* node2 =
+        protected_step(cpu, gc_, node1, li, 2 * static_cast<int>(li) + 1);
+    for (;;) {
+      if (node2 == nullptr) {  // hazard-validation restart
+        counters_.add(slpq::Counter::kInsertRetries);
+        goto restart;
+      }
+      if (!(cpu.read(node2->key) < key)) break;
+      gc_.protect(cpu, 2 * static_cast<int>(li), node2);
       node1 = node2;
-      node2 = cpu.read(node1->next[li]);
+      node2 =
+          protected_step(cpu, gc_, node1, li, 2 * static_cast<int>(li) + 1);
       if (++steps > kWalkLimit) walk_overflow("search_preds");
     }
-    saved[li] = node1;
+    saved[li] = node1;  // stays protected in slot 2*li for the caller
   }
 }
 
@@ -215,13 +278,20 @@ bool SimSkipQueue::insert(Cpu& cpu, Key key, Value value) {
   if (key <= kHeadKey || key >= kTailKey)
     throw std::invalid_argument("key outside the sentinel range");
 
-  ScopedEntry entry(registry_, cpu, opt_.use_gc);
+  ScopedEntry entry(gc_, cpu, opt_.use_gc);
 
   std::vector<SkipNode*> saved;
-  search_preds(cpu, key, saved);
-
-  // Level-1 lock first: if the key already exists we update in place.
-  SkipNode* node1 = get_lock(cpu, saved[0], key, 1);
+  SkipNode* node1 = nullptr;
+  for (;;) {
+    search_preds(cpu, key, saved);
+    // Level-1 lock first: if the key already exists we update in place.
+    node1 = get_lock(cpu, saved[0], key, 1);
+    if (node1 != nullptr) break;
+    counters_.add(slpq::Counter::kInsertRetries);  // hazard restart
+  }
+  // node2 is node1's level-1 successor read under node1's lock: its
+  // level-1 unlink would have to take that same lock, so it cannot be
+  // retired while we hold it — safe to dereference under every policy.
   SkipNode* node2 = cpu.read(node1->next[0]);
   if (cpu.read(node2->key) == key) {
     cpu.write(node2->value, value);
@@ -231,12 +301,24 @@ bool SimSkipQueue::insert(Cpu& cpu, Key key, Value value) {
 
   const int level = random_level(cpu);
   SkipNode* new_node = pool_.acquire(cpu, level, key, value);
+  if (gc_.policy() == slpq::ReclaimPolicy::kHazard)
+    cpu.write(new_node->reversed, std::uint64_t{0});  // scrub reused mask
   if (opt_.timestamps) cpu.write(new_node->time_stamp, kMaxTime);
   new_node->node_lock.lock(cpu);  // nobody may delete a half-inserted node
 
   for (int i = 1; i <= level; ++i) {
     const std::size_t li = static_cast<std::size_t>(i - 1);
-    if (i != 1) node1 = get_lock(cpu, saved[li], key, i);
+    if (i != 1) {
+      node1 = get_lock(cpu, saved[li], key, i);
+      while (node1 == nullptr) {
+        // A restart mid-link only re-searches the entry points; new_node is
+        // already linked below level i and findable, so re-walk from the
+        // head and continue at this level.
+        counters_.add(slpq::Counter::kInsertRetries);
+        search_preds(cpu, key, saved);
+        node1 = get_lock(cpu, saved[li], key, i);
+      }
+    }
     cpu.write(new_node->next[li], cpu.read(node1->next[li]));
     cpu.write(node1->next[li], new_node);
     node1->level_locks[li].unlock(cpu);
@@ -249,7 +331,7 @@ bool SimSkipQueue::insert(Cpu& cpu, Key key, Value value) {
 
 std::optional<std::pair<Key, Value>> SimSkipQueue::delete_min(Cpu& cpu,
                                                               Cycles* claim_at) {
-  ScopedEntry entry(registry_, cpu, opt_.use_gc);
+  ScopedEntry entry(gc_, cpu, opt_.use_gc);
 
   // Start-of-search time for the ignore-concurrent-inserts test. When the
   // registry is active its entry clock read doubles as this timestamp.
@@ -257,22 +339,42 @@ std::optional<std::pair<Key, Value>> SimSkipQueue::delete_min(Cpu& cpu,
   if (opt_.timestamps) time = opt_.use_gc ? entry.entry_time() : cpu.clock();
 
   // Phase 1: race down the bottom level to claim the first available node.
-  SkipNode* node1 = cpu.read(head_->next[0]);
+  // Under hazard pointers the cursor stays pinned in slot 0 while each
+  // successor is validated through slot 1; stepping onto a reversed
+  // (frozen) pointer restarts the scan from the head.
+  SkipNode* node1 = nullptr;
   std::uint64_t steps = 0;
-  while (node1 != tail_) {
-    if (!opt_.timestamps || cpu.read(node1->time_stamp) < time) {
-      const auto marked = cpu.swap(node1->deleted, std::uint64_t{1});
-      if (marked == 0) break;  // we own this node now
-      counters_.add(slpq::Counter::kClaimLosses);
-    } else {
-      counters_.add(slpq::Counter::kDeleteRetries);  // concurrent-insert skip
+  while (node1 == nullptr) {
+    SkipNode* cur = head_;
+    gc_.protect(cpu, 0, cur);
+    SkipNode* next = protected_step(cpu, gc_, cur, 0, 1);
+    for (;;) {
+      if (next == nullptr) {  // hazard-validation restart
+        counters_.add(slpq::Counter::kDeleteRetries);
+        break;
+      }
+      if (next == tail_) {
+        if (claim_at != nullptr) *claim_at = cpu.now();
+        return std::nullopt;  // EMPTY
+      }
+      if (!opt_.timestamps || cpu.read(next->time_stamp) < time) {
+        const auto marked = cpu.swap(next->deleted, std::uint64_t{1});
+        if (marked == 0) {
+          node1 = next;  // we own this node now
+          break;
+        }
+        counters_.add(slpq::Counter::kClaimLosses);
+      } else {
+        counters_.add(slpq::Counter::kDeleteRetries);  // concurrent-insert skip
+      }
+      counters_.add(slpq::Counter::kPrefixNodes);
+      gc_.protect(cpu, 0, next);  // promote: slot 1 already covers it
+      cur = next;
+      next = protected_step(cpu, gc_, cur, 0, 1);
+      if (++steps > kWalkLimit) walk_overflow("delete_min/scan");
     }
-    counters_.add(slpq::Counter::kPrefixNodes);
-    node1 = cpu.read(node1->next[0]);
-    if (++steps > kWalkLimit) walk_overflow("delete_min/scan");
   }
   if (claim_at != nullptr) *claim_at = cpu.now();
-  if (node1 == tail_) return std::nullopt;  // EMPTY
   counters_.add(slpq::Counter::kClaimWins);
 
   const Value value = cpu.read(node1->value);
@@ -287,27 +389,45 @@ void SimSkipQueue::unlink_claimed(Cpu& cpu, SkipNode* node1, Key key) {
   std::vector<SkipNode*> saved;
   search_preds(cpu, key, saved);
 
-  SkipNode* node2 = saved[0];
-  std::uint64_t steps = 0;
-  while (cpu.read(node2->key) != key) {  // make sure we point at the node
-    node2 = cpu.read(node2->next[0]);
-    if (++steps > kWalkLimit) walk_overflow("unlink/locate");
+  SkipNode* node2 = node1;
+  if (gc_.policy() != slpq::ReclaimPolicy::kHazard) {
+    // Sanity walk: the claimed node is findable. Skipped under hazard
+    // pointers — the walk's successor hops would be unprotected. The node
+    // itself is pinned either way: only the claimant unlinks and retires.
+    node2 = saved[0];
+    std::uint64_t steps = 0;
+    while (cpu.read(node2->key) != key) {
+      node2 = cpu.read(node2->next[0]);
+      if (++steps > kWalkLimit) walk_overflow("unlink/locate");
+    }
+    assert(node2 == node1 && "keys are unique; the claimed node must be found");
   }
-  assert(node2 == node1 && "keys are unique; the claimed node must be found");
-  (void)node1;
 
   node2->node_lock.lock(cpu);  // waits out a still-running insert
 
   for (int i = node2->level; i >= 1; --i) {
     const std::size_t li = static_cast<std::size_t>(i - 1);
     SkipNode* pred = get_lock(cpu, saved[li], key, i);
+    while (pred == nullptr) {  // hazard-validation restart
+      counters_.add(slpq::Counter::kInsertRetries);
+      search_preds(cpu, key, saved);
+      pred = get_lock(cpu, saved[li], key, i);
+    }
     if (pred == node2)
       throw std::logic_error("unlink: pred == node2 at level " +
                              std::to_string(i) + " key " + std::to_string(key));
     node2->level_locks[li].lock(cpu);
     // Unlink: predecessor first, then reverse the node's own pointer so a
     // concurrent traveller standing on node2 is sent back, not stranded.
+    // Freeze order matters under hazard pointers: swing the predecessor
+    // past node2, mark the level reversed, only then store the reversal
+    // pointer. A hazard walk that still reads the forward pointer with the
+    // mask clear is safe (the swing was not visible yet); one that reads
+    // the reversal pointer is guaranteed to see the mask and restart.
     cpu.write(pred->next[li], cpu.read(node2->next[li]));
+    if (gc_.policy() == slpq::ReclaimPolicy::kHazard)
+      cpu.write(node2->reversed,
+                cpu.read(node2->reversed) | (std::uint64_t{1} << li));
     cpu.write(node2->next[li], pred);
     node2->level_locks[li].unlock(cpu);
     pred->level_locks[li].unlock(cpu);
@@ -315,7 +435,7 @@ void SimSkipQueue::unlink_claimed(Cpu& cpu, SkipNode* node1, Key key) {
 
   node2->node_lock.unlock(cpu);
   if (opt_.use_gc)
-    garbage_.retire(cpu, node2);
+    gc_.retire(cpu, node2);
   // Without GC the node leaks until the pool dies with the queue: that is
   // the paper's baseline behaviour for systems with no reclamation.
 }
@@ -324,15 +444,21 @@ std::optional<Value> SimSkipQueue::erase(Cpu& cpu, Key key) {
   if (key <= kHeadKey || key >= kTailKey)
     throw std::invalid_argument("key outside the sentinel range");
 
-  ScopedEntry entry(registry_, cpu, opt_.use_gc);
+  ScopedEntry entry(gc_, cpu, opt_.use_gc);
 
   std::vector<SkipNode*> saved;
-  search_preds(cpu, key, saved);
-  SkipNode* node = cpu.read(saved[0]->next[0]);
+  SkipNode* node = nullptr;
   std::uint64_t steps = 0;
-  while (cpu.read(node->key) < key) {
-    node = cpu.read(node->next[0]);
-    if (++steps > kWalkLimit) walk_overflow("erase/locate");
+  for (;;) {
+    search_preds(cpu, key, saved);
+    node = protected_step(cpu, gc_, saved[0], 0, 1);
+    while (node != nullptr && cpu.read(node->key) < key) {
+      gc_.protect(cpu, 0, node);
+      node = protected_step(cpu, gc_, node, 0, 1);
+      if (++steps > kWalkLimit) walk_overflow("erase/locate");
+    }
+    if (node != nullptr) break;
+    counters_.add(slpq::Counter::kInsertRetries);  // hazard restart
   }
   if (cpu.read(node->key) != key) return std::nullopt;
   if (cpu.swap(node->deleted, std::uint64_t{1}) != 0)
@@ -344,15 +470,22 @@ std::optional<Value> SimSkipQueue::erase(Cpu& cpu, Key key) {
 }
 
 bool SimSkipQueue::contains(Cpu& cpu, Key key) {
-  ScopedEntry entry(registry_, cpu, opt_.use_gc);
-  SkipNode* node1 = head_;
+  ScopedEntry entry(gc_, cpu, opt_.use_gc);
   std::uint64_t steps = 0;
+restart:
+  SkipNode* node1 = head_;
   for (int i = opt_.max_level; i >= 1; --i) {
     const std::size_t li = static_cast<std::size_t>(i - 1);
-    SkipNode* node2 = cpu.read(node1->next[li]);
-    while (cpu.read(node2->key) < key) {
+    gc_.protect(cpu, 2 * static_cast<int>(li), node1);  // carry pred down
+    SkipNode* node2 =
+        protected_step(cpu, gc_, node1, li, 2 * static_cast<int>(li) + 1);
+    for (;;) {
+      if (node2 == nullptr) goto restart;  // hazard-validation restart
+      if (!(cpu.read(node2->key) < key)) break;
+      gc_.protect(cpu, 2 * static_cast<int>(li), node2);
       node1 = node2;
-      node2 = cpu.read(node1->next[li]);
+      node2 =
+          protected_step(cpu, gc_, node1, li, 2 * static_cast<int>(li) + 1);
       if (++steps > kWalkLimit) walk_overflow("contains");
     }
     if (cpu.read(node2->key) == key)
@@ -401,10 +534,16 @@ slpq::TelemetrySnapshot SimSkipQueue::telemetry() const {
   snap.set(slpq::counter_name(slpq::Counter::kPoolRefills),
            pool_.created() - created_base_);
   snap.set(slpq::counter_name(slpq::Counter::kPoolReused), pool_.reused());
+  const auto& garbage = gc_.garbage();
   snap.set(slpq::counter_name(slpq::Counter::kGcReclaimed),
-           garbage_.total_collected());
+           garbage.total_collected());
   snap.set(slpq::counter_name(slpq::Counter::kGcDeferred),
-           garbage_.total_retired() - garbage_.total_collected());
+           garbage.total_retired() - garbage.total_collected());
+  snap.set("reclaim.retired", garbage.total_retired());
+  snap.set("reclaim.freed", garbage.total_collected());
+  snap.set("reclaim.scans", gc_.scans());
+  snap.set("reclaim.stalls", gc_.stalls());
+  snap.set("reclaim.pending", garbage.pending());
   return snap;
 }
 

@@ -51,6 +51,9 @@ struct SkipNode {
   psim::Var<Value> value;
   psim::Var<std::uint64_t> deleted;      // SWAP target for delete-min claims
   psim::Var<Cycles> time_stamp;          // kMaxTime until fully inserted
+  psim::Var<std::uint64_t> reversed;     // level bitmask: next[i] is frozen
+                                         // (points backwards); hazard walks
+                                         // restart instead of validating it
   psim::Mutex node_lock;                 // "lock(node, NODE)" in the paper
   std::vector<psim::Var<SkipNode*>> next;  // [0] is level 1
   std::vector<psim::Mutex> level_locks;    // guards next[i] of this node
@@ -108,6 +111,11 @@ class SimSkipQueue {
     bool pad_nodes = false;   ///< ablation: line-align node allocations
     bool use_gc = true;       ///< entry registry + garbage lists + collector
     Cycles gc_period = 2000;  ///< collector scan period
+    /// Reclamation policy driven by the collector daemon (--reclaim):
+    /// ts (paper Section 3), hp, epoch, or leaky. Only meaningful with
+    /// use_gc; hp additionally charges one simulated write per traversal
+    /// step for the hazard publication.
+    slpq::ReclaimPolicy reclaim = slpq::ReclaimPolicy::kTimestamp;
     /// Ablation: how the per-(node, level) locks wait. Block reproduces the
     /// paper's Proteus semaphores; Spin is test-and-test-and-set.
     psim::LockMode lock_mode = psim::LockMode::Block;
@@ -157,8 +165,9 @@ class SimSkipQueue {
 
   const Options& options() const { return opt_; }
   SkipNodePool& pool() { return pool_; }
-  GarbageLists<SkipNode>& garbage() { return garbage_; }
-  const EntryRegistry& registry() const { return registry_; }
+  GarbageLists<SkipNode>& garbage() { return gc_.garbage(); }
+  const EntryRegistry& registry() const { return gc_.registry(); }
+  const SimReclaimer<SkipNode>& reclaimer() const { return gc_; }
 
   /// Operation counters plus pool/GC composition (host-side bookkeeping,
   /// invisible to the simulated machine); see docs/TELEMETRY.md.
@@ -172,7 +181,13 @@ class SimSkipQueue {
   /// The paper's getLock(): starting at `node`, advance to the rightmost
   /// node at `level` whose key is < `key`, lock that node's level-`level`
   /// pointer, and revalidate (moving the lock forward if the list changed).
+  /// Returns nullptr (nothing locked) on a hazard-validation failure; the
+  /// caller re-runs search_preds and retries.
   SkipNode* get_lock(Cpu& cpu, SkipNode* node, Key key, int level);
+
+  /// True iff the hazard policy is active and node's level-li pointer has
+  /// been reversed (checked while holding that level's lock).
+  bool reversed_under_lock(Cpu& cpu, SkipNode* node, std::size_t li);
 
   /// Search pass shared by insert and delete: fills saved[i-1] with the
   /// rightmost node at level i whose key < `key`.
@@ -185,8 +200,7 @@ class SimSkipQueue {
   psim::Engine& eng_;
   Options opt_;
   SkipNodePool pool_;
-  EntryRegistry registry_;
-  GarbageLists<SkipNode> garbage_;
+  SimReclaimer<SkipNode> gc_;
   SkipNode* head_;
   SkipNode* tail_;
   std::vector<slpq::detail::Xoshiro256> level_rngs_;  // one per processor

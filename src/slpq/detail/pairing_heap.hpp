@@ -7,6 +7,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -63,9 +64,20 @@ class PairingHeap {
     root_ = merge_pairs(old->child);
     --size_;
     std::pair<Key, Value> out{std::move(old->key), std::move(old->value)};
-    delete old;
+    if (retire_) retire_(old);
+    else delete old;
     return out;
   }
+
+  /// Routes popped nodes through a reclaimer instead of deleting them
+  /// inline (MultiQueue's --reclaim integration). The hook receives the
+  /// dead Node*; pair it with delete_node() as the reclaimer's deleter.
+  /// Bulk teardown (clear / destructor) still deletes directly — those are
+  /// quiescent paths and their nodes were never handed to the hook.
+  void set_retire(std::function<void(void*)> f) { retire_ = std::move(f); }
+
+  /// Type-erased deleter matching the nodes handed to the set_retire hook.
+  static void delete_node(void* p) { delete static_cast<Node*>(p); }
 
   void clear() noexcept {
     destroy(root_);
@@ -125,6 +137,7 @@ class PairingHeap {
   Node* root_ = nullptr;
   std::size_t size_ = 0;
   Compare cmp_;
+  std::function<void(void*)> retire_;
 };
 
 }  // namespace slpq::detail

@@ -1,0 +1,158 @@
+// HazardPointerReclaimer: Michael-style hazard pointers with the Lindén &
+// Jonsson slot discipline (the hp.h peek/promote protocol).
+//
+// Each thread owns a fixed array of hazard slots sized to the skiplist's
+// maximum simultaneous references: two per level (pred and curr of the
+// traversal), one "peek" scratch slot a walk publishes a candidate in
+// before validating it, and one claim scratch. Publishing is a relaxed
+// store; the *caller* issues the seq_cst fence and re-reads the source
+// pointer (protect-then-validate), retrying if it moved — see the
+// protect_word helpers in the queues and the peek/promote excerpt in
+// SNIPPETS.md.
+//
+// retire() appends to a per-thread list; when the list crosses an adaptive
+// threshold (2x the total live hazard slots) the thread scans every
+// published hazard and frees exactly the retired nodes no slot protects.
+// Nodes that survive a scan are counted as stalls.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "slpq/detail/cache_line.hpp"
+#include "slpq/reclaim.hpp"
+
+namespace slpq {
+
+class HazardPointerReclaimer final : public Reclaimer {
+ public:
+  HazardPointerReclaimer(Deleter deleter, int hazard_slots)
+      : Reclaimer(ReclaimPolicy::kHazard, std::move(deleter)),
+        slots_per_thread_(hazard_slots < 1 ? 1 : hazard_slots),
+        // Pad each thread's span to whole cache lines so neighbouring
+        // threads never share a line of hazard slots.
+        stride_((slots_per_thread_ + kSlotsPerLine - 1) / kSlotsPerLine *
+                kSlotsPerLine),
+        hp_(static_cast<std::size_t>(stride_) * kMaxThreads) {
+    for (auto& h : hp_) h.store(nullptr, std::memory_order_relaxed);
+  }
+
+  ~HazardPointerReclaimer() override { drain(); }
+
+  int hazard_slots() const noexcept { return slots_per_thread_; }
+
+  // ---- Reclaimer interface ----------------------------------------------
+
+  std::uint64_t enter(int /*slot*/) override { return now(); }
+
+  /// Clears every hazard published since enter (tracked high-water mark).
+  void exit(int slot) override {
+    auto* hz = hazards_for(slot);
+    int& hwm = hwm_[static_cast<std::size_t>(slot)].value;
+    for (int i = 0; i < hwm; ++i)
+      hz[i].store(nullptr, std::memory_order_release);
+    hwm = 0;
+  }
+
+  void retire(void* node) override {
+    note_retired();
+    const int slot = register_thread();
+    auto& list = retired_[static_cast<std::size_t>(slot)].value;
+    list.push_back(node);
+    if (list.size() >= scan_threshold()) scan(list);
+  }
+
+  void protect(int slot, int index, const void* p) override {
+    set_hazard(hazards_for(slot), slot, index, p);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+
+  /// Quiescent-only: frees every retired node regardless of hazards.
+  void drain() override {
+    std::uint64_t n = 0;
+    for (auto& padded : retired_) {
+      for (void* p : padded.value) {
+        deleter_(p);
+        ++n;
+      }
+      padded.value.clear();
+    }
+    note_freed(n);
+  }
+
+  // ---- non-virtual fast path for the queues -----------------------------
+
+  /// The slot's hazard array (stride-indexed into the shared table). The
+  /// queues grab this once per operation and publish with set_hazard().
+  std::atomic<const void*>* hazards_for(int slot) noexcept {
+    return hp_.data() + static_cast<std::size_t>(slot) * stride_;
+  }
+
+  /// Relaxed publish + high-water-mark bookkeeping. The caller must issue
+  /// a seq_cst fence before re-validating the source pointer.
+  void set_hazard(std::atomic<const void*>* hz, int slot, int index,
+                  const void* p) noexcept {
+    hz[index].store(p, std::memory_order_relaxed);
+    int& hwm = hwm_[static_cast<std::size_t>(slot)].value;
+    if (index >= hwm) hwm = index + 1;
+  }
+
+  /// Frees every node in `list` no hazard slot protects; keeps the rest.
+  void scan(std::vector<void*>& list) {
+    note_scan();
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::vector<const void*> snap;
+    const int threads = registered_threads();
+    snap.reserve(static_cast<std::size_t>(threads) * slots_per_thread_);
+    // Slots are read in DESCENDING index order; the queues migrate a hazard
+    // only from a higher slot to a lower one (candidate -> pred promote,
+    // carry-down a level, claim pin), publishing in the destination before
+    // overwriting the source. An ascending scan could read the low slot
+    // before the publish and the high slot after the overwrite, missing the
+    // node in both and freeing it under the walker; descending reads close
+    // that window (an already-overwritten high slot implies the publish
+    // into a strictly-lower, not-yet-read slot already happened).
+    for (int t = 0; t < threads; ++t) {
+      const auto* hz = hazards_for(t);
+      for (int i = slots_per_thread_ - 1; i >= 0; --i) {
+        const void* p = hz[i].load(std::memory_order_seq_cst);
+        if (p != nullptr) snap.push_back(p);
+      }
+    }
+    std::sort(snap.begin(), snap.end());
+    std::uint64_t freed = 0;
+    std::size_t keep = 0;
+    for (void* p : list) {
+      if (std::binary_search(snap.begin(), snap.end(),
+                             static_cast<const void*>(p))) {
+        list[keep++] = p;
+      } else {
+        deleter_(p);
+        ++freed;
+      }
+    }
+    list.resize(keep);
+    note_freed(freed);
+    note_stalls(keep);
+  }
+
+ private:
+  static constexpr int kSlotsPerLine =
+      static_cast<int>(detail::kCacheLineSize / sizeof(std::atomic<const void*>));
+
+  std::size_t scan_threshold() const noexcept {
+    const std::size_t live = static_cast<std::size_t>(registered_threads()) *
+                             static_cast<std::size_t>(slots_per_thread_);
+    return std::max<std::size_t>(128, 2 * live);
+  }
+
+  const int slots_per_thread_;
+  const int stride_;
+  std::vector<std::atomic<const void*>> hp_;
+  std::array<detail::Padded<int>, kMaxThreads> hwm_{};
+  std::array<detail::Padded<std::vector<void*>>, kMaxThreads> retired_;
+};
+
+}  // namespace slpq

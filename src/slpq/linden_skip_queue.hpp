@@ -27,10 +27,16 @@
 //    node requires its next pointer to be unmarked). A node's `inserting`
 //    flag keeps a concurrent restructuring from swinging the head past a
 //    node whose upper levels are still being linked.
-//  * Reclamation: retired prefixes flow through the paper's Section 3
-//    scheme (TimestampReclaimer), exactly like the other native queues, so
-//    the ABA/use-after-free story is unchanged. A swept node is retired by
-//    the unique winner of the head CAS, under its guard.
+//  * Reclamation: retired prefixes flow through a pluggable Reclaimer
+//    (Options::reclaim) — the paper's Section 3 timestamp scheme by
+//    default, or hazard pointers / epochs / leaky. A swept node is retired
+//    by the unique winner of the head CAS, under its guard. Under hazard
+//    pointers the dead prefix's frozen pointers defeat plain
+//    protect-then-validate, so every traversal additionally checks a
+//    per-node `swept` flag, sweeps retire in strict list order (each
+//    winner waits for its predecessor range via `prev_retired`), and
+//    claims use a CAS on the vetted successor instead of a blind fetch_or
+//    (the fetch_or can land on an unvetted, unprotected splice).
 //
 // Options::timestamps (default off — Lindén's queue has no time-stamps)
 // adds the paper's Section 4.2 eligibility filter: delete_min will not
@@ -45,14 +51,17 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <new>
 #include <optional>
 #include <utility>
 
 #include "slpq/detail/node_pool.hpp"
 #include "slpq/detail/random.hpp"
+#include "slpq/detail/spinlock.hpp"
+#include "slpq/hazard_reclaimer.hpp"
+#include "slpq/reclaim.hpp"
 #include "slpq/telemetry.hpp"
-#include "slpq/ts_reclaimer.hpp"
 
 namespace slpq {
 
@@ -71,6 +80,8 @@ class LindenSkipQueue {
     int boundoffset = 32;
     bool timestamps = false;  ///< true => Section 4.2 eligibility filter
     bool pooled = true;       ///< allocate nodes from a per-thread NodePool
+    /// Memory-reclamation policy for retired nodes (docs/ALGORITHMS.md).
+    ReclaimPolicy reclaim = ReclaimPolicy::kTimestamp;
     std::uint64_t seed = 0x11DE9A11ULL;
   };
 
@@ -80,9 +91,14 @@ class LindenSkipQueue {
       : opt_(opt),
         cmp_(std::move(cmp)),
         level_dist_(opt.p, opt.max_level),
-        reclaimer_([this](void* p) {
-          Node::destroy(static_cast<Node*>(p), pool_ptr());
-        }) {
+        reclaimer_(make_reclaimer(
+            opt.reclaim,
+            [this](void* p) { Node::destroy(static_cast<Node*>(p), pool_ptr()); },
+            // pred+succ per level, the head-entry scratch, the claim pin.
+            2 * opt.max_level + 2)),
+        hp_(opt.reclaim == ReclaimPolicy::kHazard
+                ? static_cast<HazardPointerReclaimer*>(reclaimer_.get())
+                : nullptr) {
     assert(opt_.max_level >= 1 && opt_.max_level <= kMaxPossibleLevel);
     if (opt_.boundoffset < 1) opt_.boundoffset = 1;
     head_ = Node::make(pool_ptr(), opt_.max_level, NodeKind::Head);
@@ -115,13 +131,17 @@ class LindenSkipQueue {
   /// Inserts (key, value). Duplicate keys are allowed; every call adds a
   /// distinct item (new duplicates land in front of old ones).
   void insert(const Key& key, const Value& value) {
-    TimestampReclaimer::Guard guard(reclaimer_);
+    Reclaimer::Guard guard(*reclaimer_);
+    const Hp hp = hp_ctx(guard);
 
     const int top = random_level();
     Node* n = Node::make(pool_ptr(), top, NodeKind::Interior, key, value);
     n->inserting.store(true, std::memory_order_relaxed);
     if (opt_.timestamps)
       n->stamp.store(kNeverStamped, std::memory_order_relaxed);
+    // The inserting flag already keeps a sweep from retiring n mid-link;
+    // the pin makes that independent of the newhead bookkeeping.
+    protect_node(hp, claim_index(), n);
 
     Node* preds[kMaxPossibleLevel];
     Node* succs[kMaxPossibleLevel];
@@ -131,7 +151,7 @@ class LindenSkipQueue {
     // deleted node — new nodes land at or after the dead/live boundary.
     Node* del;
     for (;;) {
-      del = locate_preds(key, preds, succs);
+      del = locate_preds(key, preds, succs, hp);
       n->next(0).store(pack(succs[0], false), std::memory_order_relaxed);
       std::uintptr_t expected = pack(succs[0], false);
       if (preds[0]->next(0).compare_exchange_strong(
@@ -159,13 +179,13 @@ class LindenSkipQueue {
         continue;
       }
       counters_.add(Counter::kFailedCas);
-      del = locate_preds(key, preds, succs);  // competing insert/restructure
-      if (succs[0] != n) break;               // we were claimed and bypassed
+      del = locate_preds(key, preds, succs, hp);  // competing insert/restructure
+      if (succs[0] != n) break;                   // we were claimed and bypassed
     }
 
     n->inserting.store(false, std::memory_order_release);
     if (opt_.timestamps)
-      n->stamp.store(reclaimer_.advance_clock(), std::memory_order_release);
+      n->stamp.store(reclaimer_->advance_clock(), std::memory_order_release);
     size_.fetch_add(1, std::memory_order_relaxed);
   }
 
@@ -173,8 +193,8 @@ class LindenSkipQueue {
   /// deleted prefix, then one fetch_or. Restructures when the prefix
   /// exceeds Options::boundoffset.
   std::optional<std::pair<Key, Value>> delete_min() {
-    TimestampReclaimer::Guard guard(reclaimer_);
-    return claim_min(guard.entry_time());
+    Reclaimer::Guard guard(*reclaimer_);
+    return claim_min(guard.entry_time(), hp_ctx(guard));
   }
 
   std::size_t size() const noexcept {
@@ -182,7 +202,9 @@ class LindenSkipQueue {
     return s < 0 ? 0 : static_cast<std::size_t>(s);
   }
   bool empty() const noexcept { return size() == 0; }
-  std::uint64_t reclaimed() const { return reclaimer_.freed_total(); }
+  std::uint64_t reclaimed() const { return reclaimer_->freed_total(); }
+  /// The active reclamation policy instance (telemetry / tests).
+  const Reclaimer& reclaimer() const noexcept { return *reclaimer_; }
   /// Nodes whose allocation was served from the pool's free lists.
   std::uint64_t pool_reused() const { return pool_.reused(); }
   /// Dead-prefix batches swept by the head CAS (restructure frequency).
@@ -200,8 +222,9 @@ class LindenSkipQueue {
     snap.set(counter_name(Counter::kPoolRefills),
              pool_.carved() - pool_base_carved_);
     snap.set(counter_name(Counter::kPoolReused), pool_.reused());
-    snap.set(counter_name(Counter::kGcReclaimed), reclaimer_.freed_total());
-    snap.set(counter_name(Counter::kGcDeferred), reclaimer_.pending());
+    snap.set(counter_name(Counter::kGcReclaimed), reclaimer_->freed_total());
+    snap.set(counter_name(Counter::kGcDeferred), reclaimer_->pending());
+    fill_reclaim_telemetry(snap, *reclaimer_);
     return snap;
   }
 
@@ -215,6 +238,20 @@ class LindenSkipQueue {
 
   struct Node {
     std::atomic<bool> inserting{false};
+    /// Set by the sweep winner just before retiring this node. Only
+    /// maintained under ReclaimPolicy::kHazard: dead-prefix pointers are
+    /// frozen, so a hazard walk re-reading one validates nothing — the
+    /// step is instead vouched for by the *source* node being unswept
+    /// (sweeps retire in strict list order, so an unswept node's
+    /// successors are unretired too).
+    std::atomic<bool> swept{false};
+    /// Set once every bottom-level predecessor this node ever had has been
+    /// retired: by the previous sweep's winner on its newhead, or by the
+    /// claimant that marked the head's own pointer (genesis — no sweep has
+    /// ever run, so there is nothing to wait for). The next sweep winner
+    /// spins on its range's first node until this is true, which is what
+    /// serializes retirement in list order. kHazard only.
+    std::atomic<bool> prev_retired{false};
     std::atomic<std::uint64_t> stamp{0};
     NodeKind kind;
     int level;
@@ -297,18 +334,91 @@ class LindenSkipQueue {
     return level_dist_(rng);
   }
 
+  // ---- hazard-pointer machinery -----------------------------------------
+  //
+  // Slot layout (per thread): 0 pins the claimed node / an in-flight
+  // insert's own node, 1 = the restructure head-entry scratch, then
+  // 2 + 2*lv = the level-lv predecessor and 3 + 2*lv = the level-lv
+  // candidate (level 0's pair doubles as the claim-walk cursor). The claim
+  // and peek slots sit BELOW the traversal pairs on purpose: the
+  // reclaimer's scan reads slots in descending index order, which only
+  // catches hazards that migrate toward lower indices — and the claim pin
+  // is a migration out of a traversal slot. Under any other policy Hp.r is
+  // null and every helper collapses to a plain acquire load.
+
+  struct Hp {
+    HazardPointerReclaimer* r = nullptr;
+    std::atomic<const void*>* hz = nullptr;
+    int slot = 0;
+  };
+
+  Hp hp_ctx(const Reclaimer::Guard& guard) noexcept {
+    Hp hp;
+    if (hp_ != nullptr) {
+      hp.r = hp_;
+      hp.slot = guard.slot();
+      hp.hz = hp_->hazards_for(hp.slot);
+    }
+    return hp;
+  }
+
+  int claim_index() const noexcept { return 0; }
+  int peek_index() const noexcept { return 1; }
+  int pred_index(int lv) const noexcept { return 2 + 2 * lv; }
+
+  /// Publishes an already-safe node (protected elsewhere, claimed by us,
+  /// or a sentinel) in the given slot. No validation needed.
+  void protect_node(const Hp& hp, int index, Node* n) noexcept {
+    if (hp.r != nullptr)
+      hp.r->set_hazard(hp.hz, hp.slot, index, n);
+  }
+
+  /// Protect-then-validate step from `x` (itself protected or the head)
+  /// along its level-`lv` pointer, publishing the target in slot `index`.
+  /// A frozen dead-prefix pointer re-reads equal forever, so equality
+  /// alone proves nothing; the real guarantee is x being unswept — sweeps
+  /// retire in strict list order, so an unswept x means every node after
+  /// it is unretired, and a hazard published before the swept check is
+  /// seen by any later scan. Sets *swept and returns 0 when x was already
+  /// swept; the caller restarts from the head.
+  std::uintptr_t protect_step(const Hp& hp, Node* x, int lv, int index,
+                              bool* swept) {
+    std::uintptr_t w = x->next(lv).load(std::memory_order_acquire);
+    if (hp.r == nullptr) return w;
+    for (;;) {
+      hp.r->set_hazard(hp.hz, hp.slot, index, strip(w));
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (x->swept.load(std::memory_order_seq_cst)) {
+        *swept = true;
+        return 0;
+      }
+      const std::uintptr_t w2 = x->next(lv).load(std::memory_order_acquire);
+      if (strip(w2) == strip(w)) return w2;
+      w = w2;
+    }
+  }
+
   /// The search pass: positions preds/succs around `key`, skipping nodes
   /// that look deleted (their own next[0] is marked — exact inside the
   /// contiguous dead prefix, where a node's successor being dead implies
   /// the node itself is dead or is the prefix boundary) and, at the bottom
   /// level, nodes reached through a marked pointer (definitely dead).
   /// Returns the last bottom-level node passed through a marked pointer.
-  Node* locate_preds(const Key& key, Node** preds, Node** succs) {
+  Node* locate_preds(const Key& key, Node** preds, Node** succs,
+                     const Hp& hp) {
+  restart:
     Node* del = nullptr;
     Node* x = head_;
     for (int lv = opt_.max_level - 1; lv >= 0; --lv) {
-      std::uintptr_t w = x->next(lv).load(std::memory_order_acquire);
+      const int ps = pred_index(lv);
+      protect_node(hp, ps, x);  // carry the pred down a level
+      bool swept = false;
+      std::uintptr_t w = protect_step(hp, x, lv, ps + 1, &swept);
       for (;;) {
+        if (swept) {  // hazard-validation restart
+          counters_.add(Counter::kInsertRetries);
+          goto restart;
+        }
         const bool d = is_marked(w);  // only ever set at the bottom level
         Node* c = strip(w);
         if (c == tail_) break;
@@ -317,8 +427,9 @@ class LindenSkipQueue {
             !(lv == 0 && d))
           break;
         if (lv == 0 && d) del = c;
+        protect_node(hp, ps, c);  // promote: the candidate slot covers it
         x = c;
-        w = x->next(lv).load(std::memory_order_acquire);
+        w = protect_step(hp, x, lv, ps + 1, &swept);
       }
       preds[lv] = x;
       succs[lv] = strip(w);
@@ -328,15 +439,24 @@ class LindenSkipQueue {
 
   /// The claim walk shared by delete_min and the test peer. `time` is the
   /// eligibility horizon (ignored without Options::timestamps).
-  std::optional<std::pair<Key, Value>> claim_min(std::uint64_t time) {
+  std::optional<std::pair<Key, Value>> claim_min(std::uint64_t time,
+                                                 const Hp& hp) {
+  restart:
     Node* cur = head_;
-    std::uintptr_t w = head_->next(0).load(std::memory_order_acquire);
+    const int ps = pred_index(0);
+    protect_node(hp, ps, cur);
+    bool swept = false;
+    std::uintptr_t w = protect_step(hp, cur, 0, ps + 1, &swept);
     const std::uintptr_t obs_head = w;
     Node* newhead = nullptr;  // earliest node the head CAS must not pass
     std::size_t offset = 0;   // dead nodes walked (incl. the new claim)
     Node* claimed = nullptr;
 
     for (;;) {
+      if (swept) {  // hazard-validation restart
+        counters_.add(Counter::kDeleteRetries);
+        goto restart;
+      }
       Node* c = strip(w);
       if (c == tail_) return std::nullopt;
       if (is_marked(w)) {
@@ -346,27 +466,40 @@ class LindenSkipQueue {
         counters_.add(Counter::kPrefixNodes);
         if (newhead == nullptr && c->inserting.load(std::memory_order_acquire))
           newhead = c;
+        protect_node(hp, ps, c);  // promote: the candidate slot covers it
         cur = c;
-        w = cur->next(0).load(std::memory_order_acquire);
+        w = protect_step(hp, cur, 0, ps + 1, &swept);
         continue;
       }
       // c is the first live node: claim cur's successor.
-      if (opt_.timestamps) {
-        if (c->stamp.load(std::memory_order_acquire) > time)
-          return std::nullopt;  // minimum inserted concurrently: see header
+      if (opt_.timestamps || hp.r != nullptr) {
         // CAS (not fetch_or) so the claim lands on the vetted node even if
         // an unvetted insert splices in between the read and the RMW.
+        // Mandatory under hazard pointers regardless of timestamps: c is
+        // the only successor our hazard protects.
+        if (opt_.timestamps &&
+            c->stamp.load(std::memory_order_acquire) > time)
+          return std::nullopt;  // minimum inserted concurrently: see header
         std::uintptr_t expected = pack(c, false);
         if (cur->next(0).compare_exchange_strong(expected, pack(c, true),
                                                  std::memory_order_acq_rel,
                                                  std::memory_order_acquire)) {
+          if (hp.r != nullptr && cur == head_) {
+            // Genesis root: the head's own pointer was marked before any
+            // sweep could have run, so c has no unretired predecessors.
+            c->prev_retired.store(true, std::memory_order_release);
+          }
           claimed = c;
           ++offset;
           break;
         }
         counters_.add(Counter::kFailedCas);
         counters_.add(Counter::kClaimLosses);
-        w = expected;  // re-dispatch on whatever is there now
+        if (hp.r != nullptr) {
+          w = protect_step(hp, cur, 0, ps + 1, &swept);  // re-protect the word
+        } else {
+          w = expected;  // re-dispatch on whatever is there now
+        }
         continue;
       }
       const std::uintptr_t prev =
@@ -382,6 +515,9 @@ class LindenSkipQueue {
     }
 
     counters_.add(Counter::kClaimWins);
+    // Pin the claim below the traversal slots (a descending migration —
+    // the only direction the reclaimer's scan order guarantees to catch).
+    protect_node(hp, claim_index(), claimed);  // outlives the sweep below
     std::pair<Key, Value> out{claimed->key(), claimed->value()};
     size_.fetch_sub(1, std::memory_order_relaxed);
 
@@ -399,13 +535,25 @@ class LindenSkipQueue {
                                                  std::memory_order_acquire)) {
         restructures_.fetch_add(1, std::memory_order_relaxed);
         counters_.add(Counter::kRestructures);
-        restructure();
+        if (hp_ != nullptr && is_marked(obs_head)) {
+          // Sweeps must retire in strict list order (protect_step's swept
+          // check depends on it): wait until the predecessor sweep — whose
+          // range ends exactly at our first node — has finished retiring.
+          // Our range is untouched while we wait: only we may retire it.
+          while (!strip(obs_head)->prev_retired.load(
+              std::memory_order_acquire))
+            detail::cpu_relax();
+        }
+        restructure(hp);
         Node* g = strip(obs_head);
         while (g != newhead) {
           Node* nx = strip(g->next(0).load(std::memory_order_relaxed));
-          reclaimer_.retire(g);
+          if (hp_ != nullptr) g->swept.store(true, std::memory_order_seq_cst);
+          reclaimer_->retire(g);
           g = nx;
         }
+        if (hp_ != nullptr)
+          newhead->prev_retired.store(true, std::memory_order_release);
       }
     }
     return out;
@@ -416,18 +564,34 @@ class LindenSkipQueue {
   /// with one CAS. Upper pointers are never marked; correctness only needs
   /// the bottom level, so a stale upper pointer is a perf bug, not a
   /// safety one.
-  void restructure() {
+  void restructure(const Hp& hp) {
+  restart:
     Node* pred = head_;
     for (int lv = opt_.max_level - 1; lv >= 1;) {
-      Node* h = strip(head_->next(lv).load(std::memory_order_acquire));
+      const std::uintptr_t hw = head_->next(lv).load(std::memory_order_acquire);
+      Node* h = strip(hw);
+      if (hp.r != nullptr) {
+        // Entry from the head: the upper head pointer is live (inserts and
+        // restructures move it), so re-read validation is meaningful here.
+        hp.r->set_hazard(hp.hz, hp.slot, peek_index(), h);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        if (head_->next(lv).load(std::memory_order_acquire) != hw)
+          continue;  // moved under us: re-read this level
+      }
       if (!is_marked(h->next(0).load(std::memory_order_acquire))) {
         --lv;
         continue;
       }
-      Node* cur = strip(pred->next(lv).load(std::memory_order_acquire));
+      const int ps = pred_index(lv);
+      protect_node(hp, ps, pred);  // carry pred into this level's slot
+      bool swept = false;
+      Node* cur = strip(protect_step(hp, pred, lv, ps + 1, &swept));
+      if (swept) goto restart;
       while (is_marked(cur->next(0).load(std::memory_order_acquire))) {
+        protect_node(hp, ps, cur);  // promote: the candidate slot covers it
         pred = cur;
-        cur = strip(pred->next(lv).load(std::memory_order_acquire));
+        cur = strip(protect_step(hp, pred, lv, ps + 1, &swept));
+        if (swept) goto restart;
       }
       std::uintptr_t expected = pack(h, false);
       if (head_->next(lv).compare_exchange_strong(expected, pack(cur, false),
@@ -447,7 +611,8 @@ class LindenSkipQueue {
   Options opt_;
   Compare cmp_;
   detail::GeometricLevel level_dist_;
-  TimestampReclaimer reclaimer_;
+  std::unique_ptr<Reclaimer> reclaimer_;
+  HazardPointerReclaimer* hp_;  ///< non-null only under kHazard
   Node* head_;
   Node* tail_;
   std::atomic<std::int64_t> size_{0};

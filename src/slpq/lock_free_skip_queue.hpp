@@ -23,11 +23,14 @@
 //  * Optional insert time-stamps give the same ignore-concurrent-inserts
 //    property as the lock-based queue; timestamps=false is the relaxed
 //    variant.
-//  * Reclamation: the paper's Section 3 scheme (TimestampReclaimer). The
-//    claimant retires its node after the physical unlink; entry-time
-//    guards make that safe for concurrent traversals and also rule out
-//    CAS ABA (a node's address never recycles while anyone who could hold
-//    it is inside).
+//  * Reclamation: any slpq::Reclaimer policy (Options::reclaim). The
+//    default is the paper's Section 3 timestamp scheme: the claimant
+//    retires its node after the physical unlink; entry-time guards make
+//    that safe for concurrent traversals and also rule out CAS ABA (a
+//    node's address never recycles while anyone who could hold it is
+//    inside). Under hazard pointers the traversals protect-then-validate
+//    every step (see the Hp helpers); epoch and leaky need no per-step
+//    work.
 //
 // Progress: insert, erase and the physical part of delete_min are
 // lock-free; the claiming scan is non-blocking in the paper's sense (a
@@ -37,12 +40,15 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <new>
 #include <optional>
 #include <utility>
 
 #include "slpq/detail/node_pool.hpp"
 #include "slpq/detail/random.hpp"
+#include "slpq/hazard_reclaimer.hpp"
+#include "slpq/reclaim.hpp"
 #include "slpq/telemetry.hpp"
 #include "slpq/ts_reclaimer.hpp"
 
@@ -56,6 +62,8 @@ class LockFreeSkipQueue {
     double p = 0.5;
     bool timestamps = true;  ///< false => relaxed semantics (Section 5.4)
     bool pooled = true;      ///< allocate nodes from a per-thread NodePool
+    /// Memory-reclamation policy for retired nodes (docs/ALGORITHMS.md).
+    ReclaimPolicy reclaim = ReclaimPolicy::kTimestamp;
     std::uint64_t seed = 0x10CFEE1ULL;
   };
 
@@ -65,9 +73,14 @@ class LockFreeSkipQueue {
       : opt_(opt),
         cmp_(std::move(cmp)),
         level_dist_(opt.p, opt.max_level),
-        reclaimer_([this](void* p) {
-          Node::destroy(static_cast<Node*>(p), pool_ptr());
-        }) {
+        reclaimer_(make_reclaimer(
+            opt.reclaim,
+            [this](void* p) { Node::destroy(static_cast<Node*>(p), pool_ptr()); },
+            // pred+curr per level, plus the peek and claim scratch slots.
+            2 * opt.max_level + 2)),
+        hp_(opt.reclaim == ReclaimPolicy::kHazard
+                ? static_cast<HazardPointerReclaimer*>(reclaimer_.get())
+                : nullptr) {
     assert(opt_.max_level >= 1 && opt_.max_level <= kMaxPossibleLevel);
     head_ = Node::make(pool_ptr(), opt_.max_level, NodeKind::Head);
     tail_ = Node::make(pool_ptr(), opt_.max_level, NodeKind::Tail);
@@ -98,19 +111,24 @@ class LockFreeSkipQueue {
   /// Inserts (key, value). Duplicate keys are allowed; every call adds a
   /// distinct item.
   void insert(const Key& key, const Value& value) {
-    TimestampReclaimer::Guard guard(reclaimer_);
+    Reclaimer::Guard guard(*reclaimer_);
+    const Hp hp = hp_ctx(guard);
 
     const int top = random_level();
     Node* n = Node::make(pool_ptr(), top, NodeKind::Interior, key, value);
     if (opt_.timestamps)
       n->stamp.store(kNeverStamped, std::memory_order_relaxed);
+    // Once the bottom CAS lands, a concurrent delete_min may claim, remove
+    // and retire n while we are still linking its upper levels: pin it for
+    // the whole operation.
+    protect_node(hp, claim_index(), n);
 
     Node* preds[kMaxPossibleLevel];
     Node* succs[kMaxPossibleLevel];
 
     // Link the bottom level first; its CAS is the insert's linearization.
     for (;;) {
-      find(key, n, preds, succs);
+      find(key, n, preds, succs, hp);
       for (int lv = 0; lv < top; ++lv)
         n->next(lv).store(pack(succs[lv], false), std::memory_order_relaxed);
       std::uintptr_t expected = pack(succs[0], false);
@@ -141,21 +159,22 @@ class LockFreeSkipQueue {
         continue;
       }
       counters_.add(Counter::kFailedCas);
-      find(key, n, preds, succs);  // refresh the neighborhood and retry
+      find(key, n, preds, succs, hp);  // refresh the neighborhood and retry
     }
 
     if (opt_.timestamps)
-      n->stamp.store(reclaimer_.advance_clock(), std::memory_order_release);
+      n->stamp.store(reclaimer_->advance_clock(), std::memory_order_release);
     size_.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Claims and removes a minimal item (paper semantics; see SkipQueue).
   std::optional<std::pair<Key, Value>> delete_min() {
-    TimestampReclaimer::Guard guard(reclaimer_);
+    Reclaimer::Guard guard(*reclaimer_);
+    const Hp hp = hp_ctx(guard);
     const std::uint64_t time = guard.entry_time();
 
     Node* hit = scan_bottom(
-        strip(head_->next(0).load(std::memory_order_acquire)),
+        hp, strip(protect_word(hp, head_->next(0), 1)),
         [](Node*) { return true; },
         [&](Node* n) {
           const bool eligible =
@@ -168,33 +187,38 @@ class LockFreeSkipQueue {
         });
     if (hit == nullptr) return std::nullopt;
     counters_.add(Counter::kClaimWins);
+    // hit is claimed by us: only the claimant retires it, so reading and
+    // removing it needs no hazard once the claim has landed.
     std::pair<Key, Value> out{hit->key(), hit->value()};
-    remove(hit);
+    remove(hit, hp);
     return out;
   }
 
   /// Claims and removes the first not-yet-claimed item with this key.
   std::optional<Value> erase(const Key& key) {
-    TimestampReclaimer::Guard guard(reclaimer_);
+    Reclaimer::Guard guard(*reclaimer_);
+    const Hp hp = hp_ctx(guard);
     Node* preds[kMaxPossibleLevel];
     Node* succs[kMaxPossibleLevel];
-    find(key, nullptr, preds, succs);
+    find(key, nullptr, preds, succs, hp);
     Node* hit = scan_bottom(
-        succs[0], [&](Node* n) { return equals(n, key); },
+        hp, succs[0], [&](Node* n) { return equals(n, key); },
         [&](Node* n) { return try_claim(n); });
     if (hit == nullptr) return std::nullopt;
     Value out = hit->value();
-    remove(hit);
+    remove(hit, hp);
     return out;
   }
 
   /// Advisory: is some unclaimed item with this key currently linked?
   bool contains(const Key& key) {
-    TimestampReclaimer::Guard guard(reclaimer_);
+    Reclaimer::Guard guard(*reclaimer_);
+    const Hp hp = hp_ctx(guard);
     Node* preds[kMaxPossibleLevel];
     Node* succs[kMaxPossibleLevel];
-    find(key, nullptr, preds, succs);
-    return scan_bottom(succs[0], [&](Node* n) { return equals(n, key); },
+    find(key, nullptr, preds, succs, hp);
+    return scan_bottom(hp, succs[0],
+                       [&](Node* n) { return equals(n, key); },
                        [](Node* n) {
                          return !n->claimed.load(std::memory_order_acquire);
                        }) != nullptr;
@@ -205,10 +229,11 @@ class LockFreeSkipQueue {
     return s < 0 ? 0 : static_cast<std::size_t>(s);
   }
   bool empty() const noexcept { return size() == 0; }
-  std::uint64_t reclaimed() const { return reclaimer_.freed_total(); }
+  std::uint64_t reclaimed() const { return reclaimer_->freed_total(); }
   /// Nodes whose allocation was served from the pool's free lists.
   std::uint64_t pool_reused() const { return pool_.reused(); }
   const Options& options() const noexcept { return opt_; }
+  const Reclaimer& reclaimer() const noexcept { return *reclaimer_; }
 
   /// Operation counters plus pool/GC composition; see docs/TELEMETRY.md.
   TelemetrySnapshot telemetry() const {
@@ -217,8 +242,9 @@ class LockFreeSkipQueue {
     snap.set(counter_name(Counter::kPoolRefills),
              pool_.carved() - pool_base_carved_);
     snap.set(counter_name(Counter::kPoolReused), pool_.reused());
-    snap.set(counter_name(Counter::kGcReclaimed), reclaimer_.freed_total());
-    snap.set(counter_name(Counter::kGcDeferred), reclaimer_.pending());
+    snap.set(counter_name(Counter::kGcReclaimed), reclaimer_->freed_total());
+    snap.set(counter_name(Counter::kGcDeferred), reclaimer_->pending());
+    fill_reclaim_telemetry(snap, *reclaimer_);
     return snap;
   }
 
@@ -325,14 +351,70 @@ class LockFreeSkipQueue {
     return level_dist_(rng);
   }
 
+  // ---- hazard-pointer plumbing ------------------------------------------
+  //
+  // Slot layout (per thread): 2*lv = preds[lv], 2*lv + 1 = succs[lv] /
+  // the bottom-walk cursor, 2*max_level = the peek scratch a candidate is
+  // validated in before promotion (Lindén's peek/promote), and
+  // 2*max_level + 1 pins an in-flight insert's own node. Under any other
+  // policy Hp.r is null and every helper collapses to a plain load.
+
+  struct Hp {
+    HazardPointerReclaimer* r = nullptr;
+    std::atomic<const void*>* hz = nullptr;
+    int slot = 0;
+  };
+
+  Hp hp_ctx(const Reclaimer::Guard& guard) noexcept {
+    Hp hp;
+    if (hp_ != nullptr) {
+      hp.r = hp_;
+      hp.slot = guard.slot();
+      hp.hz = hp_->hazards_for(hp.slot);
+    }
+    return hp;
+  }
+
+  int peek_index() const noexcept { return 2 * opt_.max_level; }
+  int claim_index() const noexcept { return 2 * opt_.max_level + 1; }
+
+  /// Publishes an already-safe node (protected elsewhere, claimed by us,
+  /// or a sentinel) in the given slot. No validation needed.
+  void protect_node(const Hp& hp, int index, Node* n) noexcept {
+    if (hp.r != nullptr)
+      hp.r->set_hazard(hp.hz, hp.slot, index, n);
+  }
+
+  /// Protect-then-validate load of `src`: publishes the target in slot
+  /// `index`, re-reads `src`, and retries until the target is stable. The
+  /// caller guarantees src's owner node cannot be freed (head, or itself
+  /// protected). Returns the stable word (mark bit may differ across the
+  /// validation reads; only the target pointer must match).
+  std::uintptr_t protect_word(const Hp& hp, std::atomic<std::uintptr_t>& src,
+                              int index) {
+    std::uintptr_t w = src.load(std::memory_order_acquire);
+    if (hp.r == nullptr) return w;
+    for (;;) {
+      hp.r->set_hazard(hp.hz, hp.slot, index, strip(w));
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      const std::uintptr_t w2 = src.load(std::memory_order_acquire);
+      if (strip(w2) == strip(w)) return w2;
+      w = w2;
+    }
+  }
+
   /// The bottom-level scan shared by delete_min, erase and contains: walks
-  /// from `curr` while `within(node)` holds, returning the first node
-  /// `visit` accepts (or nullptr when the walk ran out).
+  /// from `curr` (protected in slot 1 by the caller) while `within(node)`
+  /// holds, returning the first node `visit` accepts (or nullptr when the
+  /// walk ran out). Each advance peeks the successor into the scratch slot
+  /// and promotes it to slot 1 once validated.
   template <typename Within, typename Visit>
-  Node* scan_bottom(Node* curr, Within&& within, Visit&& visit) {
+  Node* scan_bottom(const Hp& hp, Node* curr, Within&& within, Visit&& visit) {
     while (curr != tail_ && within(curr)) {
       if (visit(curr)) return curr;
-      curr = strip(curr->next(0).load(std::memory_order_acquire));
+      Node* nxt = strip(protect_word(hp, curr->next(0), peek_index()));
+      protect_node(hp, 1, nxt);
+      curr = nxt;
     }
     return nullptr;
   }
@@ -346,15 +428,21 @@ class LockFreeSkipQueue {
   }
 
   /// Harris-style find with helping: positions preds/succs around the
-  /// (key, anchor) point, snipping marked runs as it goes.
-  void find(const Key& key, const Node* anchor, Node** preds, Node** succs) {
+  /// (key, anchor) point, snipping marked runs as it goes. Under hazard
+  /// pointers, preds[lv]/succs[lv] end up protected in slots 2lv/2lv+1 and
+  /// stay protected until the operation's Guard exits.
+  void find(const Key& key, const Node* anchor, Node** preds, Node** succs,
+            const Hp& hp) {
   retry:
     Node* pred = head_;
     for (int lv = opt_.max_level - 1; lv >= 0; --lv) {
-      Node* curr = strip(pred->next(lv).load(std::memory_order_acquire));
+      // pred is the head or still protected by a higher level's slot:
+      // re-publish it in this level's pred slot so it outlives the descent.
+      protect_node(hp, 2 * lv, pred);
+      Node* curr = strip(protect_word(hp, pred->next(lv), 2 * lv + 1));
       for (;;) {
         std::uintptr_t succ_word =
-            curr->next(lv).load(std::memory_order_acquire);
+            protect_word(hp, curr->next(lv), peek_index());
         while (is_marked(succ_word)) {
           // curr is logically gone at this level: snip it.
           std::uintptr_t expected = pack(curr, false);
@@ -365,11 +453,14 @@ class LockFreeSkipQueue {
             goto retry;
           }
           curr = strip(succ_word);
-          succ_word = curr->next(lv).load(std::memory_order_acquire);
+          protect_node(hp, 2 * lv + 1, curr);  // promote peek -> curr slot
+          succ_word = protect_word(hp, curr->next(lv), peek_index());
         }
         if (node_before(curr, key, anchor)) {
           pred = curr;
+          protect_node(hp, 2 * lv, pred);  // curr slot still covers it
           curr = strip(succ_word);
+          protect_node(hp, 2 * lv + 1, curr);  // promote peek -> curr slot
         } else {
           break;
         }
@@ -382,7 +473,7 @@ class LockFreeSkipQueue {
   /// Physically removes a node whose `claimed` flag the caller won: mark
   /// every level top-down (the bottom-level mark is the removal's
   /// linearization), then let find() snip it, then retire it.
-  void remove(Node* n) {
+  void remove(Node* n, const Hp& hp) {
     for (int lv = n->level - 1; lv >= 0; --lv) {
       std::uintptr_t cur = n->next(lv).load(std::memory_order_acquire);
       while (!is_marked(cur)) {
@@ -396,9 +487,9 @@ class LockFreeSkipQueue {
     // before we hand it to the reclaimer.
     Node* preds[kMaxPossibleLevel];
     Node* succs[kMaxPossibleLevel];
-    find(n->key(), n, preds, succs);
+    find(n->key(), n, preds, succs, hp);
     size_.fetch_sub(1, std::memory_order_relaxed);
-    reclaimer_.retire(n);
+    reclaimer_->retire(n);
   }
 
   detail::NodePool* pool_ptr() noexcept {
@@ -411,7 +502,8 @@ class LockFreeSkipQueue {
   Options opt_;
   Compare cmp_;
   detail::GeometricLevel level_dist_;
-  TimestampReclaimer reclaimer_;
+  std::unique_ptr<Reclaimer> reclaimer_;
+  HazardPointerReclaimer* hp_;  ///< non-null iff reclaim == kHazard
   Node* head_;
   Node* tail_;
   std::atomic<std::int64_t> size_{0};

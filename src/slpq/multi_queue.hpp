@@ -70,6 +70,7 @@
 #include "slpq/detail/pairing_heap.hpp"
 #include "slpq/detail/random.hpp"
 #include "slpq/detail/spinlock.hpp"
+#include "slpq/reclaim.hpp"
 #include "slpq/telemetry.hpp"
 
 namespace slpq {
@@ -93,6 +94,13 @@ class MultiQueue {
     std::size_t batch = 8;   ///< max items moved per shard-lock acquisition
     bool stale_invalidation = true;  ///< refresh a beaten deletion buffer
     std::uint64_t seed = 0x3017A11EULL;
+    /// Routing for nodes popped off the shard heaps. Every heap mutation
+    /// happens under the owning shard's lock, so no policy is needed for
+    /// *safety* here — the knob exists so --reclaim applies uniformly
+    /// across backends and so the reclaim.* telemetry prices each
+    /// policy's bookkeeping on a lock-based structure. kLeaky still
+    /// frees at drain time (queue destruction), not never.
+    ReclaimPolicy reclaim = ReclaimPolicy::kTimestamp;
   };
 
   class Handle;
@@ -100,15 +108,29 @@ class MultiQueue {
   MultiQueue() : MultiQueue(Options()) {}
 
   explicit MultiQueue(Options opt, Compare cmp = Compare())
-      : opt_(sanitize(opt)), cmp_(cmp) {
+      : opt_(sanitize(opt)),
+        cmp_(cmp),
+        reclaimer_(make_reclaimer(
+            opt_.reclaim,
+            &detail::PairingHeap<Key, Value, Compare>::delete_node,
+            /*hazard_slots=*/1)) {
     const std::size_t n = static_cast<std::size_t>(opt_.c) *
                           static_cast<std::size_t>(opt_.max_threads);
     shard_count_ = n < 2 ? 2 : n;
     shards_raw_ = ::operator new(shard_count_ * sizeof(PaddedShard),
                                  std::align_val_t{alignof(PaddedShard)});
     shards_ = static_cast<PaddedShard*>(shards_raw_);
-    for (std::size_t i = 0; i < shard_count_; ++i)
+    for (std::size_t i = 0; i < shard_count_; ++i) {
       new (&shards_[i]) PaddedShard(cmp_);
+      // Popped heap nodes go through the reclaimer instead of an inline
+      // delete. No Guard is entered anywhere: heap nodes are only reached
+      // under the shard lock, so nothing constrains when a retired node
+      // may be freed — every policy's scan/collect frees eagerly, and the
+      // hot buffered paths keep their zero-shared-traffic property (no
+      // per-op clock or epoch publication).
+      shards_[i].value.heap.set_retire(
+          [this](void* p) { reclaimer_->retire(p); });
+    }
   }
 
   ~MultiQueue() {
@@ -241,10 +263,11 @@ class MultiQueue {
 
   std::size_t num_shards() const noexcept { return shard_count_; }
   const Options& options() const noexcept { return opt_; }
+  Reclaimer& reclaimer() noexcept { return *reclaimer_; }
 
-  /// Operation counters plus the buffer-engine extras (see
-  /// docs/TELEMETRY.md). Heap storage is owned by the shards (no shared
-  /// pool/GC), so those counters stay zero here.
+  /// Operation counters plus the buffer-engine extras and the reclaim.*
+  /// block (see docs/TELEMETRY.md). Heap storage is owned by the shards
+  /// (no shared pool), so the pool counters stay zero here.
   TelemetrySnapshot telemetry() const {
     TelemetrySnapshot snap;
     counters_.fill(snap);
@@ -260,6 +283,7 @@ class MultiQueue {
     snap.set("mq.ins_flushes", flushes);
     snap.set("mq.refills", refills);
     snap.set("mq.dbuf_invalidations", invalidations);
+    fill_reclaim_telemetry(snap, *reclaimer_);
     return snap;
   }
 
@@ -477,6 +501,11 @@ class MultiQueue {
   const std::uint64_t id_ = next_instance_id();
   Options opt_;
   Compare cmp_;
+  // Declared before the shard array's teardown path runs in ~MultiQueue:
+  // the destructor destroys shards first, then members, so the reclaimer
+  // (which drains retired-but-unfreed heap nodes in its own destructor)
+  // dies after every shard has stopped retiring.
+  std::unique_ptr<Reclaimer> reclaimer_;
   std::size_t shard_count_ = 0;
   void* shards_raw_ = nullptr;
   PaddedShard* shards_ = nullptr;

@@ -1,0 +1,26 @@
+#include "slpq/reclaim.hpp"
+
+#include "slpq/epoch_reclaimer.hpp"
+#include "slpq/hazard_reclaimer.hpp"
+#include "slpq/ts_reclaimer.hpp"
+
+namespace slpq {
+
+std::unique_ptr<Reclaimer> make_reclaimer(ReclaimPolicy policy,
+                                          Reclaimer::Deleter deleter,
+                                          int hazard_slots) {
+  switch (policy) {
+    case ReclaimPolicy::kHazard:
+      return std::make_unique<HazardPointerReclaimer>(std::move(deleter),
+                                                      hazard_slots);
+    case ReclaimPolicy::kEpoch:
+      return std::make_unique<EpochReclaimer>(std::move(deleter));
+    case ReclaimPolicy::kLeaky:
+      return std::make_unique<LeakyReclaimer>(std::move(deleter));
+    case ReclaimPolicy::kTimestamp:
+      break;
+  }
+  return std::make_unique<TimestampReclaimer>(std::move(deleter));
+}
+
+}  // namespace slpq

@@ -1,0 +1,273 @@
+// Pluggable safe-memory-reclamation policies for the native queues.
+//
+// Every native skiplist queue retires unlinked nodes through a Reclaimer.
+// Four policies implement the interface:
+//
+//  * Timestamp (ts)  — the paper's Section 3 scheme: threads publish a
+//    logical entry time; a retired node is freed once the oldest entry
+//    time among threads currently inside exceeds its retirement stamp.
+//    (TimestampReclaimer, in ts_reclaimer.hpp.)
+//  * Hazard (hp)     — Michael-style hazard pointers with the Lindén &
+//    Jonsson peek/promote slot discipline: a thread publishes the nodes it
+//    may dereference in per-thread slots; a scan frees retired nodes no
+//    slot protects. (HazardPointerReclaimer, below.)
+//  * Epoch (epoch)   — 3-epoch quiescent-state-based reclamation: threads
+//    pin the global epoch while inside; the epoch advances only when every
+//    active thread has observed it, and a node retired in epoch e is freed
+//    once the epoch reaches e+2. (EpochReclaimer, below.)
+//  * Leaky (leaky)   — never frees during the run (everything is released
+//    in drain() at quiescence), giving an upper bound for what any real
+//    policy costs. (LeakyReclaimer, below.)
+//
+// The queues call the interface through Reclaimer::Guard (enter/exit),
+// retire(), and — for hazard pointers only — the non-virtual fast-path
+// helpers on HazardPointerReclaimer (see hazard_context()).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "slpq/detail/cache_line.hpp"
+
+namespace slpq {
+
+enum class ReclaimPolicy : std::uint8_t {
+  kTimestamp,  ///< the paper's Section 3 timestamp GC ("ts")
+  kHazard,     ///< hazard pointers ("hp")
+  kEpoch,      ///< 3-epoch QSBR ("epoch")
+  kLeaky,      ///< free only at quiescence ("leaky")
+};
+
+inline const char* to_string(ReclaimPolicy p) noexcept {
+  switch (p) {
+    case ReclaimPolicy::kTimestamp: return "ts";
+    case ReclaimPolicy::kHazard: return "hp";
+    case ReclaimPolicy::kEpoch: return "epoch";
+    case ReclaimPolicy::kLeaky: return "leaky";
+  }
+  return "?";
+}
+
+/// Parses "ts" | "hp" | "epoch" | "leaky"; returns false on anything else.
+inline bool parse_reclaim_policy(std::string_view s, ReclaimPolicy& out) {
+  if (s == "ts" || s == "timestamp") out = ReclaimPolicy::kTimestamp;
+  else if (s == "hp" || s == "hazard") out = ReclaimPolicy::kHazard;
+  else if (s == "epoch" || s == "ebr" || s == "qsbr") out = ReclaimPolicy::kEpoch;
+  else if (s == "leaky" || s == "none") out = ReclaimPolicy::kLeaky;
+  else return false;
+  return true;
+}
+
+/// Aggregate counters every policy maintains; exported as the reclaim.*
+/// telemetry keys (docs/TELEMETRY.md).
+struct ReclaimStats {
+  std::uint64_t retired = 0;  ///< nodes handed to retire()
+  std::uint64_t freed = 0;    ///< nodes passed to the deleter
+  std::uint64_t scans = 0;    ///< hazard scans / epoch advances / ts collects
+  std::uint64_t stalls = 0;   ///< nodes (or advances) a scan could not free
+};
+
+/// Abstract reclamation policy. One instance per queue; any number of
+/// threads (up to kMaxThreads over the instance's lifetime) may use it.
+///
+/// The base class owns the pieces every policy shares: the deleter, the
+/// logical clock the timestamped queues stamp inserts with, the per-thread
+/// slot registry (the fix for the old TimestampReclaimer slot leak: slots
+/// are claimed by CAS on a per-instance owner table instead of an
+/// ever-growing thread_local map, and exhaustion throws instead of
+/// silently indexing out of range), and the stats counters.
+class Reclaimer {
+ public:
+  using Deleter = std::function<void(void*)>;
+
+  static constexpr int kMaxThreads = 256;
+  static constexpr std::uint64_t kNeverEntered = ~std::uint64_t{0};
+
+  explicit Reclaimer(ReclaimPolicy policy, Deleter deleter)
+      : policy_(policy), deleter_(std::move(deleter)) {
+    for (auto& o : owner_) o->store(0, std::memory_order_relaxed);
+  }
+
+  virtual ~Reclaimer() = default;
+
+  Reclaimer(const Reclaimer&) = delete;
+  Reclaimer& operator=(const Reclaimer&) = delete;
+
+  ReclaimPolicy policy() const noexcept { return policy_; }
+
+  /// Registers the calling thread (idempotent); returns its slot index.
+  /// Slots are per (thread, instance). A small thread-local cache keeps
+  /// the fast path map-free; the slow path probes the owner table for a
+  /// slot this thread already claimed (so re-registration after cache
+  /// eviction never burns a second slot) before claiming a fresh one.
+  int register_thread() {
+    struct CacheEntry {
+      std::uint64_t id = 0;
+      int slot = -1;
+    };
+    struct Cache {
+      std::array<CacheEntry, 8> entries{};
+      unsigned next = 0;
+    };
+    thread_local Cache cache;
+    for (const auto& e : cache.entries)
+      if (e.id == id_) return e.slot;
+
+    const std::uint64_t key = thread_key();
+    int slot = -1;
+    const int hi = next_slot_.load(std::memory_order_acquire);
+    for (int i = 0; i < hi; ++i) {
+      if (owner_[static_cast<std::size_t>(i)]->load(
+              std::memory_order_acquire) == key) {
+        slot = i;
+        break;
+      }
+    }
+    while (slot < 0) {
+      const int i = next_slot_.load(std::memory_order_acquire);
+      if (i >= kMaxThreads)
+        throw std::runtime_error(
+            "slpq::Reclaimer: more than kMaxThreads (256) distinct threads "
+            "registered against one queue instance");
+      std::uint64_t expected = 0;
+      if (owner_[static_cast<std::size_t>(i)]->compare_exchange_strong(
+              expected, key, std::memory_order_acq_rel))
+        slot = i;
+      // Win or lose, publish the high-water mark covering index i (the
+      // winner of a lost race may not have bumped it yet).
+      int cur = i;
+      next_slot_.compare_exchange_strong(cur, i + 1,
+                                         std::memory_order_acq_rel);
+    }
+    cache.entries[cache.next % cache.entries.size()] = {id_, slot};
+    ++cache.next;
+    return slot;
+  }
+
+  // ---- the policy interface ---------------------------------------------
+
+  /// Marks the slot's thread as inside the structure; returns its logical
+  /// entry time (the eligibility horizon for timestamped delete_min).
+  virtual std::uint64_t enter(int slot) = 0;
+
+  /// Marks the slot's thread as outside; pointers obtained inside are dead.
+  virtual void exit(int slot) = 0;
+
+  /// Hands an unlinked node to the policy. Called while inside (under a
+  /// Guard). The node must already be unreachable from the structure roots.
+  virtual void retire(void* node) = 0;
+
+  /// Publishes `p` in the slot's hazard array. Only the hazard policy does
+  /// anything; the queues use the non-virtual fast path instead (see
+  /// HazardPointerReclaimer::hazard_context), this virtual exists for
+  /// generic callers and tests.
+  virtual void protect(int /*slot*/, int /*index*/, const void* /*p*/) {}
+
+  /// Frees everything still pending. Only safe at quiescence (no thread
+  /// inside, none about to enter); destructors of the policies call it.
+  virtual void drain() = 0;
+
+  // ---- shared logical clock (insert time-stamping) ----------------------
+
+  std::uint64_t now() const noexcept {
+    return clock_.load(std::memory_order_acquire);
+  }
+
+  std::uint64_t advance_clock() noexcept {
+    return clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+
+  // ---- stats ------------------------------------------------------------
+
+  ReclaimStats stats() const noexcept {
+    return {retired_.load(std::memory_order_relaxed),
+            freed_.load(std::memory_order_relaxed),
+            scans_.load(std::memory_order_relaxed),
+            stalls_.load(std::memory_order_relaxed)};
+  }
+
+  std::uint64_t freed_total() const noexcept {
+    return freed_.load(std::memory_order_relaxed);
+  }
+
+  /// Retired-but-not-yet-freed nodes (conservation: retired - freed).
+  std::uint64_t pending() const noexcept {
+    const auto f = freed_.load(std::memory_order_relaxed);
+    const auto r = retired_.load(std::memory_order_relaxed);
+    return r > f ? r - f : 0;
+  }
+
+  /// RAII enter/exit. Queues open one per operation.
+  class Guard {
+   public:
+    explicit Guard(Reclaimer& r) : r_(r), slot_(r.register_thread()) {
+      entry_ = r_.enter(slot_);
+    }
+    ~Guard() { r_.exit(slot_); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+    std::uint64_t entry_time() const noexcept { return entry_; }
+    int slot() const noexcept { return slot_; }
+
+   private:
+    Reclaimer& r_;
+    int slot_;
+    std::uint64_t entry_;
+  };
+
+ protected:
+  /// Process-unique nonzero key for the calling thread (owner-table tag).
+  static std::uint64_t thread_key() noexcept {
+    static std::atomic<std::uint64_t> counter{1};
+    thread_local const std::uint64_t key =
+        counter.fetch_add(1, std::memory_order_relaxed);
+    return key;
+  }
+
+  static std::uint64_t next_instance_id() noexcept {
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  int registered_threads() const noexcept {
+    return next_slot_.load(std::memory_order_acquire);
+  }
+
+  void note_retired(std::uint64_t n = 1) noexcept {
+    retired_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void note_freed(std::uint64_t n) noexcept {
+    if (n) freed_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void note_scan() noexcept { scans_.fetch_add(1, std::memory_order_relaxed); }
+  void note_stalls(std::uint64_t n) noexcept {
+    if (n) stalls_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  const std::uint64_t id_ = next_instance_id();
+  const ReclaimPolicy policy_;
+  Deleter deleter_;
+  std::atomic<std::uint64_t> clock_{0};
+  std::atomic<int> next_slot_{0};
+  std::atomic<std::uint64_t> retired_{0};
+  std::atomic<std::uint64_t> freed_{0};
+  std::atomic<std::uint64_t> scans_{0};
+  std::atomic<std::uint64_t> stalls_{0};
+  std::array<detail::Padded<std::atomic<std::uint64_t>>, kMaxThreads> owner_;
+};
+
+/// Factory: builds the requested policy. `hazard_slots` sizes the
+/// per-thread hazard array (ignored by the other policies); queues pass
+/// 2 * max_level + 2 (pred/curr per level, plus peek and claim scratch).
+std::unique_ptr<Reclaimer> make_reclaimer(ReclaimPolicy policy,
+                                          Reclaimer::Deleter deleter,
+                                          int hazard_slots);
+
+}  // namespace slpq

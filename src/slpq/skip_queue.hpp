@@ -14,12 +14,15 @@
 //    insert completes, and a delete-min ignores nodes stamped after it
 //    began — the serialization property of the paper's Section 4.2.
 //    timestamps = false gives the Relaxed SkipQueue of Section 5.4;
-//  * memory is reclaimed with the paper's Section 3 scheme
-//    (TimestampReclaimer): a node is freed only after every thread that
-//    was inside the queue at its unlink has left.
+//  * memory is reclaimed through a pluggable Reclaimer (Options::reclaim):
+//    the paper's Section 3 timestamp scheme by default, or hazard
+//    pointers / epochs / leaky (docs/ALGORITHMS.md). Under hazard
+//    pointers every traversal step is protect-then-validate, and a
+//    per-node reversed-level bitmask keeps frozen (reversed) pointers
+//    from passing validation vacuously.
 //
 // Thread-safe for any number of concurrent insert/delete_min callers (up
-// to TimestampReclaimer::kMaxThreads distinct threads over the queue's
+// to Reclaimer::kMaxThreads distinct threads over the queue's
 // lifetime). Progress: deadlock-free locking; the delete-min scan is
 // non-blocking in the paper's sense (a scanner loses a node only because
 // another delete-min succeeded).
@@ -28,6 +31,7 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <new>
 #include <optional>
@@ -36,8 +40,9 @@
 #include "slpq/detail/node_pool.hpp"
 #include "slpq/detail/random.hpp"
 #include "slpq/detail/spinlock.hpp"
+#include "slpq/hazard_reclaimer.hpp"
+#include "slpq/reclaim.hpp"
 #include "slpq/telemetry.hpp"
-#include "slpq/ts_reclaimer.hpp"
 
 namespace slpq {
 
@@ -49,6 +54,8 @@ class SkipQueue {
     double p = 0.5;          ///< level promotion probability
     bool timestamps = true;  ///< false => Relaxed SkipQueue (Section 5.4)
     bool pooled = true;      ///< allocate nodes from a per-thread NodePool
+    /// Memory-reclamation policy for retired nodes (docs/ALGORITHMS.md).
+    ReclaimPolicy reclaim = ReclaimPolicy::kTimestamp;
     std::uint64_t seed = 0x51CF5EEDULL;
   };
 
@@ -58,9 +65,14 @@ class SkipQueue {
       : opt_(opt),
         cmp_(std::move(cmp)),
         level_dist_(opt.p, opt.max_level),
-        reclaimer_([this](void* p) {
-          Node::destroy(static_cast<Node*>(p), pool_ptr());
-        }) {
+        reclaimer_(make_reclaimer(
+            opt.reclaim,
+            [this](void* p) { Node::destroy(static_cast<Node*>(p), pool_ptr()); },
+            // pred+curr per level plus the peek scratch slot.
+            2 * opt.max_level + 2)),
+        hp_(opt.reclaim == ReclaimPolicy::kHazard
+                ? static_cast<HazardPointerReclaimer*>(reclaimer_.get())
+                : nullptr) {
     assert(opt_.max_level >= 1 && opt_.max_level <= kMaxPossibleLevel);
     if (opt_.max_level > kMaxPossibleLevel) opt_.max_level = kMaxPossibleLevel;
     head_ = Node::make(pool_ptr(), opt_.max_level, NodeKind::Head);
@@ -99,12 +111,20 @@ class SkipQueue {
   /// is overwritten in place (the paper's UPDATED result) and false is
   /// returned; true means a new node was linked.
   bool insert(const Key& key, const Value& value) {
-    TimestampReclaimer::Guard guard(reclaimer_);
+    Reclaimer::Guard guard(*reclaimer_);
+    const Hp hp = hp_ctx(guard);
 
     Node* saved[kMaxPossibleLevel];
-    search_preds(key, saved);
-
-    Node* node1 = get_lock(saved[0], key, 0);
+    Node* node1;
+    for (;;) {
+      search_preds(key, saved, hp);
+      node1 = get_lock(saved[0], key, 0, hp);
+      if (node1 != nullptr) break;
+      counters_.add(Counter::kInsertRetries);  // hazard-validation restart
+    }
+    // node2 is node1's level-0 successor read under node1's lock: its
+    // level-0 unlink would have to take that same lock, so it cannot be
+    // retired while we hold it — safe to dereference under every policy.
     Node* node2 = node1->levels()[0].next.load(std::memory_order_acquire);
     if (equals(node2, key)) {
       node2->value() = value;
@@ -119,7 +139,17 @@ class SkipQueue {
     fresh->node_lock.lock();  // nobody may delete a half-inserted node
 
     for (int i = 0; i < level; ++i) {
-      if (i != 0) node1 = get_lock(saved[i], key, i);
+      if (i != 0) {
+        node1 = get_lock(saved[i], key, i, hp);
+        if (node1 == nullptr) {
+          // A restart mid-link only re-searches the entry points; fresh is
+          // already linked below level i and findable, so re-walk from the
+          // head and continue at this level.
+          search_preds(key, saved, hp);
+          --i;
+          continue;
+        }
+      }
       fresh->levels()[i].next.store(
           node1->levels()[i].next.load(std::memory_order_acquire),
           std::memory_order_release);
@@ -129,7 +159,7 @@ class SkipQueue {
 
     fresh->node_lock.unlock();
     if (opt_.timestamps)
-      fresh->stamp.store(reclaimer_.advance_clock(), std::memory_order_release);
+      fresh->stamp.store(reclaimer_->advance_clock(), std::memory_order_release);
     size_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
@@ -137,28 +167,46 @@ class SkipQueue {
   /// Removes and returns the minimal item, or nullopt when no item whose
   /// insert completed before this call began remains.
   std::optional<std::pair<Key, Value>> delete_min() {
-    TimestampReclaimer::Guard guard(reclaimer_);
+    Reclaimer::Guard guard(*reclaimer_);
+    const Hp hp = hp_ctx(guard);
     const std::uint64_t time = guard.entry_time();
 
-    // Phase 1: claim the first available bottom-level node.
-    Node* node1 = head_->levels()[0].next.load(std::memory_order_acquire);
-    while (node1 != tail_) {
-      if (!opt_.timestamps ||
-          node1->stamp.load(std::memory_order_acquire) <= time) {
-        if (!node1->deleted.exchange(true, std::memory_order_acq_rel))
-          break;  // ours
-        counters_.add(Counter::kClaimLosses);
-      } else {
-        counters_.add(Counter::kDeleteRetries);  // concurrent-insert skip
+    // Phase 1: claim the first available bottom-level node. Under hazard
+    // pointers the cursor stays pinned in slot 0 while each successor is
+    // validated through slot 1; stepping onto a reversed (frozen) pointer
+    // restarts the scan from the head.
+    Node* node1 = nullptr;
+    while (node1 == nullptr) {
+      Node* cur = head_;
+      protect_node(hp, 0, cur);
+      Node* next = protect_step(hp, cur, 0, 1);
+      for (;;) {
+        if (next == nullptr) {  // hazard-validation restart
+          counters_.add(Counter::kDeleteRetries);
+          break;
+        }
+        if (next == tail_) return std::nullopt;
+        if (!opt_.timestamps ||
+            next->stamp.load(std::memory_order_acquire) <= time) {
+          if (!next->deleted.exchange(true, std::memory_order_acq_rel)) {
+            node1 = next;  // ours
+            break;
+          }
+          counters_.add(Counter::kClaimLosses);
+        } else {
+          counters_.add(Counter::kDeleteRetries);  // concurrent-insert skip
+        }
+        counters_.add(Counter::kPrefixNodes);
+        protect_node(hp, 0, next);  // promote: slot 1 already covers it
+        cur = next;
+        next = protect_step(hp, cur, 0, 1);
       }
-      counters_.add(Counter::kPrefixNodes);
-      node1 = node1->levels()[0].next.load(std::memory_order_acquire);
     }
-    if (node1 == tail_) return std::nullopt;
     counters_.add(Counter::kClaimWins);
 
+    // node1 is claimed by us: only the claimant unlinks and retires it.
     std::pair<Key, Value> out{node1->key(), node1->value()};
-    unlink_claimed(node1, out.first);
+    unlink_claimed(node1, out.first, hp);
     return out;
   }
 
@@ -167,32 +215,48 @@ class SkipQueue {
   /// present — including when a concurrent delete_min or erase claimed it
   /// first (the `deleted` flag makes the claim unique).
   std::optional<Value> erase(const Key& key) {
-    TimestampReclaimer::Guard guard(reclaimer_);
+    Reclaimer::Guard guard(*reclaimer_);
+    const Hp hp = hp_ctx(guard);
 
     Node* saved[kMaxPossibleLevel];
-    search_preds(key, saved);
-    Node* node = saved[0]->levels()[0].next.load(std::memory_order_acquire);
-    while (node_less(node, key))
-      node = node->levels()[0].next.load(std::memory_order_acquire);
+    Node* node;
+    for (;;) {
+      search_preds(key, saved, hp);
+      Node* prev = saved[0];  // protected in slot 0 by search_preds
+      node = protect_step(hp, prev, 0, 1);
+      while (node != nullptr && node_less(node, key)) {
+        protect_node(hp, 0, node);
+        prev = node;
+        node = protect_step(hp, prev, 0, 1);
+      }
+      if (node != nullptr) break;
+      counters_.add(Counter::kInsertRetries);  // hazard-validation restart
+    }
     if (!equals(node, key)) return std::nullopt;
     if (node->deleted.exchange(true, std::memory_order_acq_rel))
       return std::nullopt;  // somebody else claimed it
 
     Value out = node->value();
-    unlink_claimed(node, key);
+    unlink_claimed(node, key, hp);
     return out;
   }
 
   /// True if an equal, not-yet-claimed key is currently linked. Advisory
   /// under concurrency (the answer may be stale by the time it returns).
   bool contains(const Key& key) {
-    TimestampReclaimer::Guard guard(reclaimer_);
+    Reclaimer::Guard guard(*reclaimer_);
+    const Hp hp = hp_ctx(guard);
+  restart:
     Node* node = head_;
     for (int i = opt_.max_level - 1; i >= 0; --i) {
-      Node* next = node->levels()[i].next.load(std::memory_order_acquire);
-      while (node_less(next, key)) {
+      protect_node(hp, 2 * i, node);  // carry the pred down a level
+      Node* next = protect_step(hp, node, i, 2 * i + 1);
+      for (;;) {
+        if (next == nullptr) goto restart;  // hazard-validation restart
+        if (!node_less(next, key)) break;
+        protect_node(hp, 2 * i, next);
         node = next;
-        next = node->levels()[i].next.load(std::memory_order_acquire);
+        next = protect_step(hp, node, i, 2 * i + 1);
       }
       if (equals(next, key))
         return !next->deleted.load(std::memory_order_acquire);
@@ -204,14 +268,22 @@ class SkipQueue {
   /// Advisory: by the time it returns, a concurrent delete_min may have
   /// taken the item.
   std::optional<std::pair<Key, Value>> peek_min() {
-    TimestampReclaimer::Guard guard(reclaimer_);
-    Node* node = head_->levels()[0].next.load(std::memory_order_acquire);
-    while (node != tail_) {
-      if (!node->deleted.load(std::memory_order_acquire))
-        return std::make_pair(node->key(), node->value());
-      node = node->levels()[0].next.load(std::memory_order_acquire);
+    Reclaimer::Guard guard(*reclaimer_);
+    const Hp hp = hp_ctx(guard);
+    for (;;) {
+      Node* prev = head_;
+      protect_node(hp, 0, prev);
+      Node* node = protect_step(hp, prev, 0, 1);
+      while (node != nullptr && node != tail_) {
+        if (!node->deleted.load(std::memory_order_acquire))
+          return std::make_pair(node->key(), node->value());
+        protect_node(hp, 0, node);
+        prev = node;
+        node = protect_step(hp, prev, 0, 1);
+      }
+      if (node == tail_) return std::nullopt;
+      counters_.add(Counter::kDeleteRetries);  // hazard-validation restart
     }
-    return std::nullopt;
   }
 
   /// Approximate element count (exact when the queue is quiescent).
@@ -225,10 +297,13 @@ class SkipQueue {
   const Options& options() const noexcept { return opt_; }
 
   /// Number of retired nodes already freed (reclamation is working).
-  std::uint64_t reclaimed() const { return reclaimer_.freed_total(); }
+  std::uint64_t reclaimed() const { return reclaimer_->freed_total(); }
 
   /// Nodes whose allocation was served from the pool's free lists.
   std::uint64_t pool_reused() const { return pool_.reused(); }
+
+  /// The active reclamation policy instance (telemetry / tests).
+  const Reclaimer& reclaimer() const noexcept { return *reclaimer_; }
 
   /// Operation counters plus pool/GC composition; see docs/TELEMETRY.md.
   TelemetrySnapshot telemetry() const {
@@ -237,8 +312,9 @@ class SkipQueue {
     snap.set(counter_name(Counter::kPoolRefills),
              pool_.carved() - pool_base_carved_);
     snap.set(counter_name(Counter::kPoolReused), pool_.reused());
-    snap.set(counter_name(Counter::kGcReclaimed), reclaimer_.freed_total());
-    snap.set(counter_name(Counter::kGcDeferred), reclaimer_.pending());
+    snap.set(counter_name(Counter::kGcReclaimed), reclaimer_->freed_total());
+    snap.set(counter_name(Counter::kGcDeferred), reclaimer_->pending());
+    fill_reclaim_telemetry(snap, *reclaimer_);
     return snap;
   }
 
@@ -253,6 +329,14 @@ class SkipQueue {
   struct Node {
     std::atomic<bool> deleted{false};
     std::atomic<std::uint64_t> stamp{0};
+    /// Bit i set once this node's level-i forward pointer has been frozen
+    /// (reversed at the predecessor) by unlink_claimed. Only maintained
+    /// under ReclaimPolicy::kHazard: a reversed pointer never changes
+    /// again, so protect-then-validate would pass vacuously on it — the
+    /// mask is what tells a hazard-pointer walk to restart instead of
+    /// trusting the frozen value. Stable while that level's lock is held
+    /// (reversal happens under it).
+    std::atomic<std::uint64_t> reversed{0};
     detail::TinySpinLock node_lock;
     NodeKind kind;
     int level;
@@ -341,40 +425,131 @@ class SkipQueue {
                               0x9E3779B97F4A7C15ULL *
                                   (static_cast<std::uint64_t>(
                                        const_cast<SkipQueue*>(this)
-                                           ->reclaimer_.register_thread()) +
+                                           ->reclaimer_->register_thread()) +
                                    1))
         .next();
   }
 
+  // ---- hazard-pointer machinery -----------------------------------------
+  //
+  // Slot layout (per thread): 2*i = the level-i predecessor, 2*i + 1 = the
+  // level-i candidate successor; level 0's pair doubles as the bottom-scan
+  // cursor. A step publishes the successor, fences, re-reads the source
+  // pointer AND checks the source's reversed mask — a frozen (reversed)
+  // pointer never changes, so re-read equality alone proves nothing. Under
+  // any policy but kHazard, Hp.r is null and every helper collapses to a
+  // plain acquire load.
+
+  struct Hp {
+    HazardPointerReclaimer* r = nullptr;
+    std::atomic<const void*>* hz = nullptr;
+    int slot = 0;
+  };
+
+  Hp hp_ctx(const Reclaimer::Guard& guard) noexcept {
+    Hp hp;
+    if (hp_ != nullptr) {
+      hp.r = hp_;
+      hp.slot = guard.slot();
+      hp.hz = hp_->hazards_for(hp.slot);
+    }
+    return hp;
+  }
+
+  /// Publishes an already-safe node (protected elsewhere, claimed by us,
+  /// reachable only under a held lock, or a sentinel) in the given slot.
+  void protect_node(const Hp& hp, int index, Node* n) noexcept {
+    if (hp.r != nullptr)
+      hp.r->set_hazard(hp.hz, hp.slot, index, n);
+  }
+
+  /// Protect-then-validate step from `x` (itself protected or a sentinel)
+  /// along its level-`li` forward pointer. Publishes the successor in slot
+  /// `index` and revalidates until stable. Returns nullptr if x's pointer
+  /// has been reversed — the caller must restart from the head, because a
+  /// frozen pointer validates forever while its target may already be
+  /// freed. Never nullptr when hazard pointers are off.
+  Node* protect_step(const Hp& hp, Node* x, int li, int index) {
+    std::atomic<Node*>& src = x->levels()[li].next;
+    Node* y = src.load(std::memory_order_acquire);
+    if (hp.r == nullptr) return y;
+    for (;;) {
+      hp.r->set_hazard(hp.hz, hp.slot, index, y);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      Node* y2 = src.load(std::memory_order_acquire);
+      if (x->reversed.load(std::memory_order_seq_cst) & (1ULL << li))
+        return nullptr;
+      if (y2 == y) return y;
+      y = y2;
+    }
+  }
+
   /// The paper's getLock(): advance to the rightmost node at `li` whose
-  /// key precedes `key`, lock its forward pointer, revalidate.
-  Node* get_lock(Node* node1, const Key& key, int li) {
-    Node* node2 = node1->levels()[li].next.load(std::memory_order_acquire);
-    while (node_less(node2, key)) {
+  /// key precedes `key`, lock its forward pointer, revalidate. The caller
+  /// must have `node1` protected in slot 2*li (or pass a sentinel).
+  /// Returns nullptr (nothing locked) on a hazard-validation failure; the
+  /// caller re-runs search_preds and retries.
+  Node* get_lock(Node* node1, const Key& key, int li, const Hp& hp) {
+    Node* node2 = protect_step(hp, node1, li, 2 * li + 1);
+    for (;;) {
+      if (node2 == nullptr) return nullptr;
+      if (!node_less(node2, key)) break;
+      protect_node(hp, 2 * li, node2);  // promote: slot 2*li+1 covers it
       node1 = node2;
-      node2 = node1->levels()[li].next.load(std::memory_order_acquire);
+      node2 = protect_step(hp, node1, li, 2 * li + 1);
     }
     node1->levels()[li].lock.lock();
+    if (reversed_under_lock(hp, node1, li)) {
+      node1->levels()[li].lock.unlock();
+      return nullptr;
+    }
     node2 = node1->levels()[li].next.load(std::memory_order_acquire);
     while (node_less(node2, key)) {
       // The list moved between the search and the lock: a concurrent
-      // insert or unlink beat us here.
+      // insert or unlink beat us here. node2 cannot be retired while we
+      // hold node1's level lock (its unlink would need it for the
+      // predecessor swing), so publishing its hazard here needs no
+      // validation loop — just a fence before the lock is released.
       counters_.add(Counter::kInsertRetries);
+      protect_node(hp, 2 * li + 1, node2);
+      if (hp.r != nullptr)
+        std::atomic_thread_fence(std::memory_order_seq_cst);
       node1->levels()[li].lock.unlock();
+      protect_node(hp, 2 * li, node2);  // promote before the hop
       node1 = node2;
       node1->levels()[li].lock.lock();
+      if (reversed_under_lock(hp, node1, li)) {
+        node1->levels()[li].lock.unlock();
+        return nullptr;
+      }
       node2 = node1->levels()[li].next.load(std::memory_order_acquire);
     }
     return node1;
   }
 
-  void search_preds(const Key& key, Node** saved) {
+  /// While holding node's level-`li` lock the reversed bit is stable:
+  /// clear means the node is still linked at that level (the swing and the
+  /// reversal both happen under this lock), set means we locked a corpse.
+  bool reversed_under_lock(const Hp& hp, Node* node, int li) const {
+    return hp.r != nullptr &&
+           (node->reversed.load(std::memory_order_seq_cst) & (1ULL << li));
+  }
+
+  void search_preds(const Key& key, Node** saved, const Hp& hp) {
+  restart:
     Node* node1 = head_;
     for (int i = opt_.max_level - 1; i >= 0; --i) {
-      Node* node2 = node1->levels()[i].next.load(std::memory_order_acquire);
-      while (node_less(node2, key)) {
+      protect_node(hp, 2 * i, node1);  // carry the pred down a level
+      Node* node2 = protect_step(hp, node1, i, 2 * i + 1);
+      for (;;) {
+        if (node2 == nullptr) {  // hazard-validation restart
+          counters_.add(Counter::kInsertRetries);
+          goto restart;
+        }
+        if (!node_less(node2, key)) break;
+        protect_node(hp, 2 * i, node2);  // promote: slot 2*i+1 covers it
         node1 = node2;
-        node2 = node1->levels()[i].next.load(std::memory_order_acquire);
+        node2 = protect_step(hp, node1, i, 2 * i + 1);
       }
       saved[i] = node1;
     }
@@ -384,24 +559,40 @@ class SkipQueue {
   /// retires it. Shared tail of delete_min and erase (the paper's regular
   /// skiplist Delete): top-down, predecessor pointer first, then reverse
   /// the node's own pointer so concurrent readers are redirected.
-  void unlink_claimed(Node* node2, const Key& key) {
+  void unlink_claimed(Node* node2, const Key& key, const Hp& hp) {
     Node* saved[kMaxPossibleLevel];
-    search_preds(key, saved);
+    search_preds(key, saved, hp);
 
-    Node* located = saved[0];
-    while (!equals(located, key))
-      located = located->levels()[0].next.load(std::memory_order_acquire);
-    assert(located == node2);
-    (void)located;
+    if (hp.r == nullptr) {
+      // Debug sanity walk: the claimed node is findable. Skipped under
+      // hazard pointers — the walk's successor hops are unprotected.
+      Node* located = saved[0];
+      while (!equals(located, key))
+        located = located->levels()[0].next.load(std::memory_order_acquire);
+      assert(located == node2);
+      (void)located;
+    }
 
     node2->node_lock.lock();  // waits out a still-linking insert
 
     for (int i = node2->level - 1; i >= 0; --i) {
-      Node* pred = get_lock(saved[i], key, i);
+      Node* pred = get_lock(saved[i], key, i, hp);
+      while (pred == nullptr) {  // hazard-validation restart
+        counters_.add(Counter::kInsertRetries);
+        search_preds(key, saved, hp);
+        pred = get_lock(saved[i], key, i, hp);
+      }
       node2->levels()[i].lock.lock();
       pred->levels()[i].next.store(
           node2->levels()[i].next.load(std::memory_order_acquire),
           std::memory_order_release);
+      // Freeze order matters: swing the predecessor past node2, mark the
+      // level reversed, only then store the reversal pointer. A hazard
+      // walk that still reads the forward pointer with the mask clear is
+      // safe (the swing was not visible yet); one that reads the reversal
+      // pointer is guaranteed to see the mask and restart.
+      if (hp.r != nullptr)
+        node2->reversed.fetch_or(1ULL << i, std::memory_order_seq_cst);
       node2->levels()[i].next.store(pred, std::memory_order_release);
       node2->levels()[i].lock.unlock();
       pred->levels()[i].lock.unlock();
@@ -409,7 +600,7 @@ class SkipQueue {
 
     node2->node_lock.unlock();
     size_.fetch_sub(1, std::memory_order_relaxed);
-    reclaimer_.retire(node2);
+    reclaimer_->retire(node2);
   }
 
   detail::NodePool* pool_ptr() noexcept {
@@ -422,7 +613,8 @@ class SkipQueue {
   Options opt_;
   Compare cmp_;
   detail::GeometricLevel level_dist_;
-  TimestampReclaimer reclaimer_;
+  std::unique_ptr<Reclaimer> reclaimer_;
+  HazardPointerReclaimer* hp_;  ///< non-null only under kHazard
   Node* head_;
   Node* tail_;
   std::atomic<std::int64_t> size_{0};

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "slpq/detail/cache_line.hpp"
+#include "slpq/reclaim.hpp"
 
 namespace slpq {
 
@@ -173,6 +174,31 @@ inline TelemetrySnapshot core_telemetry_zero() {
   for (int i = 0; i < kNumCounters; ++i)
     snap.set(counter_name(static_cast<Counter>(i)), 0);
   return snap;
+}
+
+/// The reclaim.* key block every run emits (docs/TELEMETRY.md glossary).
+/// Structures without a reclaimer report the zero shape via
+/// fill_reclaim_zero(); drivers backfill it for legacy backends.
+inline constexpr const char* kReclaimKeys[] = {
+    "reclaim.retired", "reclaim.freed", "reclaim.scans", "reclaim.stalls",
+    "reclaim.pending",
+};
+
+/// Folds a reclaimer's counters into a snapshot under the reclaim.* keys.
+inline void fill_reclaim_telemetry(TelemetrySnapshot& snap,
+                                   const Reclaimer& r) {
+  const ReclaimStats s = r.stats();
+  snap.set("reclaim.retired", s.retired);
+  snap.set("reclaim.freed", s.freed);
+  snap.set("reclaim.scans", s.scans);
+  snap.set("reclaim.stalls", s.stalls);
+  snap.set("reclaim.pending", r.pending());
+}
+
+/// Zero-valued reclaim.* block for structures that own no reclaimer.
+inline void fill_reclaim_zero(TelemetrySnapshot& snap) {
+  for (const char* key : kReclaimKeys)
+    if (snap.find(key) == nullptr) snap.set(key, 0);
 }
 
 }  // namespace slpq

@@ -1,5 +1,5 @@
 // TimestampReclaimer: deferred memory reclamation for the native queues,
-// following the paper's Section 3 scheme.
+// following the paper's Section 3 scheme — the default ReclaimPolicy.
 //
 // Every thread registers the "time" (a global logical clock) at which it
 // enters the data structure and clears it on exit. A retired node is
@@ -12,104 +12,78 @@
 // kCollectEvery retirements (a "shared" variant the paper explicitly
 // allows: "this garbage collection task can be split/shared among
 // processors").
+//
+// Thread slots, the logical clock and the stats counters live in the
+// Reclaimer base (reclaim.hpp), shared with the hazard/epoch/leaky
+// policies.
 #pragma once
 
 #include <array>
 #include <atomic>
-#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "slpq/detail/cache_line.hpp"
+#include "slpq/reclaim.hpp"
 
 namespace slpq {
 
-class TimestampReclaimer {
+class TimestampReclaimer final : public Reclaimer {
  public:
-  static constexpr int kMaxThreads = 256;
-  static constexpr std::uint64_t kNeverEntered = ~std::uint64_t{0};
   static constexpr int kCollectEvery = 64;
 
-  explicit TimestampReclaimer(std::function<void(void*)> deleter)
-      : deleter_(std::move(deleter)) {
+  explicit TimestampReclaimer(Deleter deleter)
+      : Reclaimer(ReclaimPolicy::kTimestamp, std::move(deleter)) {
     for (auto& s : slots_) s->store(kNeverEntered, std::memory_order_relaxed);
   }
 
-  ~TimestampReclaimer() { drain_all(); }
+  ~TimestampReclaimer() override { drain(); }
 
-  TimestampReclaimer(const TimestampReclaimer&) = delete;
-  TimestampReclaimer& operator=(const TimestampReclaimer&) = delete;
+  // ---- Reclaimer interface ----------------------------------------------
 
-  /// Registers the calling thread (idempotent); returns its slot index.
-  /// Slots are per (thread, reclaimer-instance): a thread may use several
-  /// reclaimers, so the fast path caches the last instance and a
-  /// thread-local map (keyed by a unique instance id, immune to address
-  /// reuse) handles the rest.
-  int register_thread() {
-    struct Cache {
-      std::uint64_t id = 0;
-      int slot = -1;
-    };
-    thread_local Cache cache;
-    if (cache.id == id_) return cache.slot;
-    thread_local std::unordered_map<std::uint64_t, int> slots_map;
-    auto [it, inserted] = slots_map.try_emplace(id_, -1);
-    if (inserted) {
-      it->second = next_slot_.fetch_add(1, std::memory_order_relaxed);
-      assert(it->second < kMaxThreads &&
-             "too many threads for TimestampReclaimer");
-    }
-    cache = {id_, it->second};
-    return it->second;
+  /// Publishes the thread's entry time (one clock tick of its own).
+  std::uint64_t enter(int slot) override {
+    const auto t = advance_clock();
+    slots_[static_cast<std::size_t>(slot)]->store(t,
+                                                  std::memory_order_seq_cst);
+    return t;
   }
 
-  /// RAII: marks the thread as inside the structure.
-  class Guard {
-   public:
-    explicit Guard(TimestampReclaimer& r) : r_(r), slot_(r.register_thread()) {
-      const auto t = r_.clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
-      r_.slots_[static_cast<std::size_t>(slot_)]->store(
-          t, std::memory_order_seq_cst);
-      entry_ = t;
-    }
-    ~Guard() {
-      r_.slots_[static_cast<std::size_t>(slot_)]->store(
-          kNeverEntered, std::memory_order_release);
-    }
-    Guard(const Guard&) = delete;
-    Guard& operator=(const Guard&) = delete;
-
-    std::uint64_t entry_time() const noexcept { return entry_; }
-
-   private:
-    TimestampReclaimer& r_;
-    int slot_;
-    std::uint64_t entry_;
-  };
-
-  /// Current logical time (used by SkipQueue's insert stamping).
-  std::uint64_t now() const noexcept {
-    return clock_.load(std::memory_order_acquire);
-  }
-
-  std::uint64_t advance_clock() noexcept {
-    return clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  void exit(int slot) override {
+    slots_[static_cast<std::size_t>(slot)]->store(kNeverEntered,
+                                                  std::memory_order_release);
   }
 
   /// Hands a node to the reclaimer. Must be called while inside (under a
   /// Guard), so the stamp precedes the caller's exit.
-  void retire(void* node) {
+  void retire(void* node) override {
+    note_retired();
     const int slot = register_thread();
     auto& list = retired_[static_cast<std::size_t>(slot)].value;
     list.push_back({node, advance_clock()});
     if (list.size() % kCollectEvery == 0) collect(slot);
   }
 
+  /// Frees everything unconditionally. Only safe when no thread is inside
+  /// (destructor / quiescent teardown).
+  void drain() override {
+    std::uint64_t n = 0;
+    for (auto& padded : retired_) {
+      for (auto& item : padded.value) {
+        deleter_(item.node);
+        ++n;
+      }
+      padded.value.clear();
+    }
+    note_freed(n);
+  }
+
+  // ---- timestamp-specific surface (used directly by tests) --------------
+
   /// Frees every retired node in the caller's list whose stamp precedes
   /// the oldest active entry time. Returns the number freed.
   std::size_t collect(int slot) {
+    note_scan();
     const std::uint64_t oldest = oldest_entry();
     auto& list = retired_[static_cast<std::size_t>(slot)].value;
     std::size_t freed = 0;
@@ -123,31 +97,16 @@ class TimestampReclaimer {
       }
     }
     list.resize(keep);
-    freed_total_.fetch_add(freed, std::memory_order_relaxed);
+    note_freed(freed);
+    note_stalls(keep);
     return freed;
   }
 
-  /// Frees everything unconditionally. Only safe when no thread is inside
-  /// (destructor / quiescent teardown).
-  void drain_all() {
-    for (auto& padded : retired_) {
-      for (auto& item : padded.value) deleter_(item.node);
-      padded.value.clear();
-    }
-  }
-
-  std::size_t pending() const {
-    std::size_t n = 0;
-    for (const auto& padded : retired_) n += padded.value.size();
-    return n;
-  }
-
-  std::uint64_t freed_total() const {
-    return freed_total_.load(std::memory_order_relaxed);
-  }
+  /// Alias kept for quiescent teardown call sites.
+  void drain_all() { drain(); }
 
   std::uint64_t oldest_entry() const {
-    const int slots = next_slot_.load(std::memory_order_acquire);
+    const int slots = registered_threads();
     std::uint64_t oldest = kNeverEntered;
     for (int i = 0; i < slots; ++i) {
       const auto t =
@@ -163,16 +122,6 @@ class TimestampReclaimer {
     std::uint64_t stamp;
   };
 
-  static std::uint64_t next_instance_id() noexcept {
-    static std::atomic<std::uint64_t> counter{1};
-    return counter.fetch_add(1, std::memory_order_relaxed);
-  }
-
-  const std::uint64_t id_ = next_instance_id();
-  std::function<void(void*)> deleter_;
-  std::atomic<std::uint64_t> clock_{0};
-  std::atomic<int> next_slot_{0};
-  std::atomic<std::uint64_t> freed_total_{0};
   std::array<detail::Padded<std::atomic<std::uint64_t>>, kMaxThreads> slots_;
   std::array<detail::Padded<std::vector<Retired>>, kMaxThreads> retired_;
 };

@@ -164,6 +164,126 @@ TEST(CollectorBody, NeverFreesWhileAHolderIsInside) {
       << "node freed while a processor that saw it was still inside";
 }
 
+TEST(HazardSlots, PublishClearAndSnapshot) {
+  Engine eng(cfg(2));
+  simq::HazardSlots hz(eng, /*slots_per_proc=*/3);
+  FakeNode a{1}, b{2};
+  std::vector<const void*> snap;
+  eng.add_processor([&](Cpu& cpu) {
+    hz.publish(cpu, 0, &a);
+    hz.publish(cpu, 2, &b);
+    cpu.advance(1000);
+    hz.clear(cpu);
+  });
+  eng.add_processor([&](Cpu& cpu) {
+    cpu.advance(500);  // both publishes have landed
+    hz.snapshot(cpu, snap);
+  });
+  eng.run();
+  EXPECT_EQ(snap.size(), 2u);
+  // After clear(), every slot the owner published is empty again.
+  for (int s = 0; s < 3; ++s) EXPECT_EQ(hz.raw_slot(0, s), nullptr);
+}
+
+TEST(EpochCells, AdvanceWaitsForStragglers) {
+  Engine eng(cfg(2));
+  simq::EpochCells ep(eng);
+  std::uint64_t first = 0, blocked = 0, after = 0;
+  eng.add_processor([&](Cpu& cpu) {  // straggler pinned in the old epoch
+    ep.enter(cpu);
+    cpu.advance(5000);
+    ep.exit(cpu);
+  });
+  eng.add_processor([&](Cpu& cpu) {
+    cpu.advance(1000);
+    // A pin of the *current* epoch permits one advance (that is why nodes
+    // need two), but the next advance must wait for the straggler.
+    first = ep.try_advance(cpu);
+    blocked = ep.try_advance(cpu);
+    cpu.advance(9000);  // straggler has exited by now
+    after = ep.try_advance(cpu);
+  });
+  eng.run();
+  EXPECT_EQ(first, 3u);
+  EXPECT_EQ(blocked, 3u) << "epoch advanced twice past an active straggler";
+  EXPECT_EQ(after, 4u);
+}
+
+TEST(SimReclaimer, HazardScanSkipsProtectedNodes) {
+  Engine eng(cfg(2));
+  simq::SimReclaimer<FakeNode> gc(eng, slpq::ReclaimPolicy::kHazard,
+                                  /*hazard_slots=*/2);
+  FakeNode held{1}, loose{2};
+  std::size_t freed_mid = 0;
+  eng.add_processor([&](Cpu& cpu) {  // walker standing on `held`
+    gc.enter(cpu);
+    gc.protect(cpu, 0, &held);
+    cpu.advance(5000);
+    gc.exit(cpu);
+  });
+  eng.add_processor([&](Cpu& cpu) {  // retires both, then collects
+    cpu.advance(500);
+    gc.enter(cpu);
+    gc.retire(cpu, &held);
+    gc.retire(cpu, &loose);
+    gc.exit(cpu);
+    cpu.advance(500);
+    freed_mid = gc.collect(cpu, [](FakeNode* n) { n->freed = true; });
+  });
+  eng.run();
+  EXPECT_EQ(freed_mid, 1u);
+  EXPECT_TRUE(loose.freed);
+  EXPECT_FALSE(held.freed) << "collector freed a hazard-protected node";
+  EXPECT_EQ(gc.garbage().pending(), 1u);
+  EXPECT_GT(gc.stalls(), 0u);
+}
+
+TEST(SimReclaimer, EpochFreesOnlyTwoEpochsBack) {
+  Engine eng(cfg(1));
+  simq::SimReclaimer<FakeNode> gc(eng, slpq::ReclaimPolicy::kEpoch,
+                                  /*hazard_slots=*/1);
+  FakeNode n{1};
+  std::size_t first = 0, second = 0, third = 0;
+  eng.add_processor([&](Cpu& cpu) {
+    gc.enter(cpu);
+    gc.retire(cpu, &n);  // stamped with the current epoch
+    gc.exit(cpu);
+    first = gc.collect(cpu, [](FakeNode* f) { f->freed = true; });   // e+1
+    second = gc.collect(cpu, [](FakeNode* f) { f->freed = true; });  // e+2
+    third = gc.collect(cpu, [](FakeNode* f) { f->freed = true; });
+  });
+  eng.run();
+  EXPECT_EQ(first, 0u) << "freed only one epoch after retirement";
+  EXPECT_EQ(second + third, 1u);
+  EXPECT_TRUE(n.freed);
+}
+
+TEST(SimReclaimer, LeakyFreesNothingUntilShutdownDrain) {
+  Engine eng(cfg(2));
+  simq::SimReclaimer<FakeNode> gc(eng, slpq::ReclaimPolicy::kLeaky,
+                                  /*hazard_slots=*/1);
+  std::vector<FakeNode> nodes(10);
+  std::size_t freed_live = 0;
+  eng.add_processor([&](Cpu& cpu) {
+    for (auto& n : nodes) {
+      gc.enter(cpu);
+      gc.retire(cpu, &n);
+      gc.exit(cpu);
+      freed_live += gc.collect(cpu, [](FakeNode* f) { f->freed = true; });
+    }
+  });
+  eng.add_processor(
+      [&](Cpu& cpu) {
+        gc.collector_loop(cpu, [](FakeNode* f) { f->freed = true; },
+                          /*period=*/100);
+      },
+      /*daemon=*/true);
+  eng.run();
+  EXPECT_EQ(freed_live, 0u) << "leaky freed during the run";
+  EXPECT_EQ(gc.garbage().pending(), 0u) << "shutdown drain missed nodes";
+  for (auto& n : nodes) EXPECT_TRUE(n.freed);
+}
+
 TEST(CollectorBody, DrainsEverythingAtShutdown) {
   Engine eng(cfg(2));
   EntryRegistry reg(eng);

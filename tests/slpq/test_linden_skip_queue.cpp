@@ -23,13 +23,13 @@ class LindenSkipQueueTestPeer {
   template <typename K, typename V, typename C>
   static std::optional<std::pair<K, V>> claim_min_at(
       LindenSkipQueue<K, V, C>& q, std::uint64_t time) {
-    TimestampReclaimer::Guard guard(q.reclaimer_);
-    return q.claim_min(time);
+    Reclaimer::Guard guard(*q.reclaimer_);
+    return q.claim_min(time, q.hp_ctx(guard));
   }
 
   template <typename K, typename V, typename C>
   static std::uint64_t clock_now(LindenSkipQueue<K, V, C>& q) {
-    return q.reclaimer_.now();
+    return q.reclaimer_->now();
   }
 };
 

@@ -1,0 +1,130 @@
+// Reclamation stress: heavy concurrent churn on every skiplist queue under
+// every --reclaim policy, with conservation oracles. Lives in its own
+// binary labelled `stress` so the sanitizer presets (`ctest -L stress`
+// under asan/tsan) select exactly these — a use-after-free in a policy or
+// in a queue's hazard protocol shows up here first.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "slpq/linden_skip_queue.hpp"
+#include "slpq/lock_free_skip_queue.hpp"
+#include "slpq/reclaim.hpp"
+#include "slpq/skip_queue.hpp"
+
+using slpq::ReclaimPolicy;
+
+namespace {
+
+constexpr ReclaimPolicy kAllPolicies[] = {
+    ReclaimPolicy::kTimestamp, ReclaimPolicy::kHazard, ReclaimPolicy::kEpoch,
+    ReclaimPolicy::kLeaky};
+
+std::string policy_name(const ::testing::TestParamInfo<ReclaimPolicy>& info) {
+  return std::string(slpq::to_string(info.param));
+}
+
+// Each of kThreads threads inserts kPerThread unique keys and pops as it
+// goes; afterwards the main thread drains the rest. Every inserted value
+// must come back exactly once — a recycled-too-early node breaks this (or
+// trips ASan/TSan outright).
+template <typename Queue>
+void churn_and_check(Queue& q, int threads, int per_thread) {
+  std::vector<std::vector<std::int64_t>> popped(
+      static_cast<std::size_t>(threads));
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      auto& mine = popped[static_cast<std::size_t>(t)];
+      for (int i = 0; i < per_thread; ++i) {
+        const std::int64_t v = static_cast<std::int64_t>(t) * per_thread + i;
+        q.insert((v * 2654435761LL) % 1000003, v);
+        if (i % 2 == 1) {
+          if (auto item = q.delete_min()) mine.push_back(item->second);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  std::vector<char> seen(static_cast<std::size_t>(threads) *
+                             static_cast<std::size_t>(per_thread),
+                         0);
+  auto mark = [&](std::int64_t v) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, static_cast<std::int64_t>(seen.size()));
+    ASSERT_EQ(seen[static_cast<std::size_t>(v)], 0)
+        << "value " << v << " popped twice";
+    seen[static_cast<std::size_t>(v)] = 1;
+  };
+  for (const auto& mine : popped)
+    for (std::int64_t v : mine) mark(v);
+  while (auto item = q.delete_min()) mark(item->second);
+  for (std::size_t i = 0; i < seen.size(); ++i)
+    EXPECT_EQ(seen[i], 1) << "value " << i << " lost";
+
+  // Quiescent conservation: nothing freed that was not retired, and the
+  // books balance (pending = retired - freed).
+  const auto s = q.reclaimer().stats();
+  EXPECT_GE(s.retired, s.freed);
+  EXPECT_EQ(q.reclaimer().pending(), s.retired - s.freed);
+}
+
+class ReclaimStress : public ::testing::TestWithParam<ReclaimPolicy> {
+ protected:
+  static constexpr int kThreads = 8;
+  static constexpr int kPerThread = 1200;
+};
+
+}  // namespace
+
+TEST_P(ReclaimStress, SkipQueueChurn) {
+  slpq::SkipQueue<std::int64_t, std::int64_t>::Options o;
+  o.reclaim = GetParam();
+  slpq::SkipQueue<std::int64_t, std::int64_t> q(o);
+  churn_and_check(q, kThreads, kPerThread);
+}
+
+TEST_P(ReclaimStress, LockFreeSkipQueueChurn) {
+  slpq::LockFreeSkipQueue<std::int64_t, std::int64_t>::Options o;
+  o.reclaim = GetParam();
+  slpq::LockFreeSkipQueue<std::int64_t, std::int64_t> q(o);
+  churn_and_check(q, kThreads, kPerThread);
+}
+
+TEST_P(ReclaimStress, LindenSkipQueueChurn) {
+  slpq::LindenSkipQueue<std::int64_t, std::int64_t>::Options o;
+  o.reclaim = GetParam();
+  o.boundoffset = 8;  // restructure (and retire) as often as possible
+  slpq::LindenSkipQueue<std::int64_t, std::int64_t> q(o);
+  churn_and_check(q, kThreads, kPerThread);
+}
+
+// delete_min-heavy phase against a draining queue: the dead prefix is
+// recycled at the highest possible rate while scans race the claims.
+TEST_P(ReclaimStress, LindenDrainRace) {
+  slpq::LindenSkipQueue<std::int64_t, std::int64_t>::Options o;
+  o.reclaim = GetParam();
+  o.boundoffset = 4;
+  slpq::LindenSkipQueue<std::int64_t, std::int64_t> q(o);
+  constexpr int kItems = 15000;
+  for (int i = 0; i < kItems; ++i) q.insert(i, i);
+
+  std::atomic<std::int64_t> drained{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&] {
+      while (q.delete_min()) ++drained;
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(drained.load(), kItems);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, ReclaimStress,
+                         ::testing::ValuesIn(kAllPolicies), policy_name);

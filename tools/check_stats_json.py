@@ -39,6 +39,19 @@ CORE_KEYS = [
     "gc_deferred",
 ]
 
+# Every run emits the reclamation block regardless of backend: structures
+# that own a reclaimer report real counts, the rest a zero-valued block
+# (fill_reclaim_zero), so downstream tooling never branches on presence.
+RECLAIM_KEYS = [
+    "reclaim.retired",
+    "reclaim.freed",
+    "reclaim.scans",
+    "reclaim.stalls",
+    "reclaim.pending",
+]
+
+RECLAIM_POLICIES = ("ts", "hp", "epoch", "leaky")
+
 REQUIRED_RUN_FIELDS = {
     "machine": str,
     "structure": str,
@@ -87,6 +100,14 @@ def check_run(run, idx, errors):
     for key in CORE_KEYS:
         if key not in counters:
             errors.append(f"{where}.counters: missing core key '{key}'")
+    for key in RECLAIM_KEYS:
+        if key not in counters:
+            errors.append(f"{where}.counters: missing reclaim key '{key}'")
+    reclaim = run.get("reclaim")
+    if reclaim is not None and reclaim not in RECLAIM_POLICIES:
+        errors.append(
+            f"{where}.reclaim: expected one of {RECLAIM_POLICIES}, "
+            f"got {reclaim!r}")
     if run.get("structure") == "multiqueue":
         missing = [k for k in RANK_ERROR_KEYS if k not in counters]
         if missing:

@@ -36,6 +36,7 @@ namespace {
       "             [--mq-c N] [--mq-stickiness N]\n"
       "             [--mq-ins-buf N] [--mq-del-buf N] [--mq-batch N]\n"
       "             [--boundoffset N]\n"
+      "             [--reclaim ts|hp|epoch|leaky]\n"
       "             [--no-gc] [--pad-nodes] [--no-occupancy]\n"
       "             [--csv PATH] [--stats] [--stats-json PATH]\n"
       "\n"
@@ -57,6 +58,10 @@ namespace {
       "                         acquisition (default 8)\n"
       "  --boundoffset N        linden queue: dead-prefix length that\n"
       "                         triggers restructuring (default 32)\n"
+      "  --reclaim POLICY       memory reclamation for node-freeing\n"
+      "                         backends: ts (paper Section 3 timestamp\n"
+      "                         GC, default), hp (hazard pointers), epoch\n"
+      "                         (3-epoch QSBR), leaky (free at teardown)\n"
       "  --work N               local work between ops: cycles on sim,\n"
       "                         spin iterations on native (default 100)\n"
       "  --stats                print each run's telemetry counters\n"
@@ -157,6 +162,10 @@ int main(int argc, char** argv) {
     else if (arg == "--mq-del-buf") base.mq_del_buf = std::atoi(next());
     else if (arg == "--mq-batch") base.mq_batch = std::atoi(next());
     else if (arg == "--boundoffset") base.boundoffset = std::atoi(next());
+    else if (arg == "--reclaim") {
+      if (!slpq::parse_reclaim_policy(next(), base.reclaim))
+        usage("--reclaim must be one of ts|hp|epoch|leaky");
+    }
     else if (arg == "--no-gc") base.use_gc = false;
     else if (arg == "--pad-nodes") base.pad_nodes = true;
     else if (arg == "--no-occupancy") base.machine.model_dir_occupancy = false;
