@@ -248,6 +248,15 @@ BENCHMARK(BM_RandomLevel);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // How *this binary* was compiled. google-benchmark's own
+  // library_build_type key describes libbenchmark (the distro package says
+  // "debug"); these keys are what run_native.sh's distiller validates.
+  benchmark::AddCustomContext("slpq_build_type", SLPQ_BUILD_TYPE);
+#ifdef NDEBUG
+  benchmark::AddCustomContext("slpq_assertions", "off");
+#else
+  benchmark::AddCustomContext("slpq_assertions", "on");
+#endif
   register_mixed_benchmarks();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

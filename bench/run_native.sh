@@ -15,9 +15,23 @@ build_dir=${1:-"$repo_root/build"}
 bin="$build_dir/bench/native_queues"
 if [ ! -x "$bin" ]; then
   echo "run_native.sh: $bin not found — build it first:" >&2
-  echo "  cmake --build $build_dir --target native_queues" >&2
+  echo "  cmake --preset release && cmake --build --preset release --target native_queues" >&2
   exit 1
 fi
+
+# Refuse to record numbers from anything but an optimized build: a Debug
+# tree silently produced committed throughput once (BENCH_3.json carried
+# "debug" context), and those numbers are meaningless.
+build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$build_dir/CMakeCache.txt" 2>/dev/null || true)
+case "$build_type" in
+  Release|RelWithDebInfo) ;;
+  *)
+    echo "run_native.sh: $build_dir is a '${build_type:-unknown}' build;" >&2
+    echo "benchmarks must come from the release preset:" >&2
+    echo "  cmake --preset release && cmake --build --preset release --target native_queues" >&2
+    exit 1
+    ;;
+esac
 
 out_dir="$repo_root/bench_results"
 mkdir -p "$out_dir"
@@ -39,6 +53,17 @@ import json, re, sys
 src, dst = sys.argv[1], sys.argv[2]
 with open(src) as f:
     report = json.load(f)
+
+# Fail loudly rather than distill debug numbers into the committed
+# trajectory. slpq_build_type is stamped by native_queues itself;
+# library_build_type only describes libbenchmark.
+ctx = report.get("context", {})
+bt = ctx.get("slpq_build_type", "")
+if bt not in ("Release", "RelWithDebInfo") or ctx.get("slpq_assertions") != "off":
+    sys.exit(
+        f"run_native.sh: refusing to distill {src}: slpq_build_type={bt!r}, "
+        f"slpq_assertions={ctx.get('slpq_assertions')!r} — rebuild with the "
+        "release preset (cmake --preset release)")
 
 mixed = {}
 for b in report.get("benchmarks", []):

@@ -1,0 +1,75 @@
+// Simulator scaling sweep: every sim backend, every scenario, at
+// 16/64/128/256 simulated processors, with the full telemetry snapshot —
+// including the engine's own host-side throughput (sim.host_wall_ns,
+// sim.host_events_per_sec, sim.runahead_elided) — written as one
+// slpq-telemetry/1 JSON. This is the artifact behind BENCH_sim_scaling.json
+// and the engine-throughput tables in docs/EXPERIMENTS.md.
+//
+//   sim_sweep [out.json]
+//
+// Environment knobs:
+//   SLPQ_BENCH_SCALE  scales the operation count (default 1.0)
+//   SLPQ_MAX_PROCS    caps the sweep (default 256)
+#include <cinttypes>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/backend.hpp"
+#include "harness/report.hpp"
+#include "harness/workload.hpp"
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_sim_scaling.json";
+
+  std::vector<int> procs;
+  for (int p : {16, 64, 128, 256})
+    if (p <= harness::max_sweep_procs()) procs.push_back(p);
+
+  // Every registered sim backend, so new structures join the sweep for free.
+  std::vector<std::string> structures;
+  for (const harness::Backend* b :
+       harness::BackendRegistry::instance().all(harness::Flavor::Sim))
+    structures.push_back(b->name);
+
+  harness::StatsReport report;
+  harness::Table table;
+  table.title = "sim scaling sweep (cycles; host throughput in events/s)";
+  table.columns = {"workload", "structure",  "procs",  "insert",
+                   "delete",   "fiber_sw",   "elided", "host_ev/s"};
+
+  for (auto workload : {harness::WorkloadKind::Mixed, harness::WorkloadKind::Des,
+                        harness::WorkloadKind::Timer}) {
+    for (const auto& structure : structures) {
+      for (int p : procs) {
+        harness::BenchmarkConfig cfg;
+        cfg.structure = structure;
+        cfg.workload = workload;
+        cfg.processors = p;
+        cfg.initial_size = 1000;
+        cfg.total_ops = harness::scaled_ops(20000);
+        std::fprintf(stderr, "[sim_sweep] %-5s %-12s procs=%-3d ... ",
+                     to_string(workload), structure.c_str(), p);
+        std::fflush(stderr);
+        const auto r = harness::run_benchmark(cfg);
+        const auto& st = r.machine_stats;
+        std::fprintf(stderr, "%.2fs host, %" PRIu64 " switches\n",
+                     static_cast<double>(st.host_wall_ns) * 1e-9,
+                     st.fiber_switches);
+        table.add_row({to_string(workload), structure, std::to_string(p),
+                       harness::fmt(r.mean_insert()),
+                       harness::fmt(r.mean_delete()),
+                       std::to_string(st.fiber_switches),
+                       std::to_string(st.runahead_elided),
+                       harness::fmt(st.host_events_per_sec())});
+        report.add(cfg, r);
+      }
+    }
+  }
+
+  print_table(std::cout, table);
+  write_stats_json(out_path, report);
+  std::cout << "\n[stats json written to " << out_path << "]\n";
+  return 0;
+}

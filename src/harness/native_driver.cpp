@@ -68,9 +68,9 @@ BenchmarkResult run_native_benchmark(const BenchmarkConfig& cfg) {
       ctx.thread = p;
       ready.fetch_add(1, std::memory_order_release);
       while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
-      spec::worker_loop(*queue, cfg, p, ctx,
-                        tallies[static_cast<std::size_t>(p)], now_ns,
-                        spin_work, probe.get());
+      spec::run_worker(*queue, cfg, p, ctx,
+                       tallies[static_cast<std::size_t>(p)], now_ns,
+                       spin_work, probe.get());
     });
   }
 

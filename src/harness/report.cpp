@@ -115,6 +115,7 @@ void StatsReport::add(const BenchmarkConfig& cfg, const BenchmarkResult& result)
   StatsRun run;
   run.machine = to_string(cfg.flavor);
   run.structure = cfg.structure;
+  run.workload = to_string(cfg.workload);
   run.reclaim = slpq::to_string(cfg.reclaim);
   run.processors = cfg.processors;
   run.total_ops = cfg.total_ops;
@@ -139,6 +140,7 @@ void write_stats_json(const std::string& path, const StatsReport& report) {
     out << "    {\n";
     out << "      \"machine\": \"" << json_escape(r.machine) << "\",\n";
     out << "      \"structure\": \"" << json_escape(r.structure) << "\",\n";
+    out << "      \"workload\": \"" << json_escape(r.workload) << "\",\n";
     out << "      \"reclaim\": \"" << json_escape(r.reclaim) << "\",\n";
     out << "      \"processors\": " << r.processors << ",\n";
     out << "      \"total_ops\": " << r.total_ops << ",\n";
@@ -166,7 +168,7 @@ void write_stats_json(const std::string& path, const StatsReport& report) {
 void print_telemetry(std::ostream& os, const StatsRun& run) {
   Table t;
   t.title = "telemetry: " + run.structure + " (" + run.machine + ", " +
-            std::to_string(run.processors) + " procs" +
+            run.workload + ", " + std::to_string(run.processors) + " procs" +
             (run.reclaim.empty() ? "" : ", reclaim " + run.reclaim) + ")";
   t.columns = {"counter", "value"};
   for (const auto& [name, value] : run.counters.entries)

@@ -42,6 +42,7 @@ std::string fmt_ratio(double num, double den);
 struct StatsRun {
   std::string machine;    ///< "sim" or "native"
   std::string structure;  ///< canonical backend name from the registry
+  std::string workload;   ///< scenario ("mixed"|"des"|"timer")
   std::string reclaim;    ///< memory-reclamation policy ("ts"|"hp"|"epoch"|"leaky")
   int processors = 0;
   std::uint64_t total_ops = 0;

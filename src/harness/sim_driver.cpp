@@ -45,7 +45,7 @@ BenchmarkResult run_sim_benchmark(const BenchmarkConfig& cfg) {
       ctx.cpu = &cpu;
       ctx.thread = p;
       start_barrier.arrive_and_wait(cpu);
-      spec::worker_loop(
+      spec::run_worker(
           *queue, cfg, p, ctx, tallies[static_cast<std::size_t>(p)],
           [&cpu] { return cpu.now(); },
           [&cpu](std::uint64_t cycles) { cpu.advance(cycles); }, probe.get());
@@ -82,6 +82,10 @@ BenchmarkResult run_sim_benchmark(const BenchmarkConfig& cfg) {
   out.telemetry.set("sim.lock_acquires", st.lock_acquires);
   out.telemetry.set("sim.lock_contended", st.lock_contended);
   out.telemetry.set("sim.fiber_switches", st.fiber_switches);
+  out.telemetry.set("sim.runahead_elided", st.runahead_elided);
+  out.telemetry.set("sim.host_wall_ns", st.host_wall_ns);
+  out.telemetry.set("sim.host_events_per_sec",
+                    static_cast<std::uint64_t>(st.host_events_per_sec()));
   out.telemetry.set("sim.clock_reads", st.clock_reads);
   if (probe) spec::fold_rank_error(out.telemetry, out.rank_error);
   return out;

@@ -5,8 +5,26 @@
 #include "harness/workload.hpp"
 
 #include <cstdlib>
+#include <stdexcept>
 
 namespace harness {
+
+const char* to_string(WorkloadKind kind) noexcept {
+  switch (kind) {
+    case WorkloadKind::Mixed: return "mixed";
+    case WorkloadKind::Des: return "des";
+    case WorkloadKind::Timer: return "timer";
+  }
+  return "mixed";
+}
+
+WorkloadKind parse_workload(const std::string& name) {
+  if (name == "mixed") return WorkloadKind::Mixed;
+  if (name == "des") return WorkloadKind::Des;
+  if (name == "timer") return WorkloadKind::Timer;
+  throw std::invalid_argument("unknown workload '" + name +
+                              "' (expected mixed|des|timer)");
+}
 
 BenchmarkResult run_benchmark(const BenchmarkConfig& cfg) {
   switch (cfg.flavor) {

@@ -22,9 +22,28 @@
 
 namespace harness {
 
+/// Which synthetic scenario the workers run (same drivers, same RNG
+/// streams — only the op pattern differs; see workload_spec.hpp):
+///  * Mixed — the paper's benchmark: biased coin flip between Insert with
+///    a uniform key and Delete-min (Section 5).
+///  * Des — discrete-event-simulation hold model: take the next event,
+///    do its work, schedule a successor a random hold time later. Queue
+///    size stays near-constant; keys form a moving time front.
+///  * Timer — timer-wheel/scheduler pattern: alternate scheduling a
+///    deadline slightly past the latest expired one with expiring the
+///    nearest deadline. Keys cluster tightly at the front, concentrating
+///    coherence traffic on the smallest-key region.
+enum class WorkloadKind : std::uint8_t { Mixed, Des, Timer };
+
+const char* to_string(WorkloadKind kind) noexcept;
+
+/// Parses "mixed" | "des" | "timer" (throws std::invalid_argument).
+WorkloadKind parse_workload(const std::string& name);
+
 struct BenchmarkConfig {
   std::string structure = "skip";  ///< registry name (canonical or alias)
   Flavor flavor = Flavor::Sim;     ///< which driver / implementation world
+  WorkloadKind workload = WorkloadKind::Mixed;  ///< scenario (--workload)
 
   int processors = 16;             ///< workers (sim adds a GC processor for skip queues)
   std::size_t initial_size = 50;   ///< items seeded before the measured phase

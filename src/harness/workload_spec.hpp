@@ -102,14 +102,61 @@ class RankErrorProbe {
   std::unique_ptr<std::atomic<std::int64_t>[]> counts_;
 };
 
-/// Pre-populates the structure with cfg.initial_size uniformly random
-/// priorities (host-side, before any worker starts). The rank probe, when
-/// present, must see the seeds too or early deletes would under-count.
+// ---- scenario key construction ---------------------------------------------
+//
+// The des and timer scenarios draw keys from a narrow moving window, so raw
+// ticks would collide constantly — and backends with the paper's
+// update-in-place semantics for equal keys (SkipQueue's UPDATED path) would
+// then do less logical work than duplicate-keeping ones like the funnel
+// list. Scenario keys therefore pack the event/deadline tick in the high
+// bits and a globally unique tie-break in the low bits: the tick gives the
+// scenario its shape, the tie-break keeps every key distinct, and ordering
+// is still tick-major.
+
+// Mean hold increment for the DES scenario: successor events are scheduled
+// uniformly in (popped tick, popped tick + 2*kDesMeanHold].
+constexpr std::uint64_t kDesMeanHold = 512;
+
+// Deadline span for the Timer scenario: new deadlines land within this many
+// ticks of the latest expired deadline, keeping the whole working set
+// clustered at the queue's front.
+constexpr std::uint64_t kTimerSpan = 256;
+
+// Tie-breaks stay unique for the first 2^24 scenario inserts (prefill uses
+// ties [0, initial_size); worker p uses initial_size + p, stepping by the
+// worker count) — far beyond any configured run.
+constexpr int kTieBits = 24;
+
+inline Key scenario_key(std::uint64_t tick, std::uint64_t tie) noexcept {
+  return static_cast<Key>((tick << kTieBits) |
+                          (tie & ((std::uint64_t{1} << kTieBits) - 1)));
+}
+inline std::uint64_t tick_of(Key key) noexcept {
+  return static_cast<std::uint64_t>(key) >> kTieBits;
+}
+
+/// Pre-populates the structure with cfg.initial_size priorities (host-side,
+/// before any worker starts): uniform over the key space for the mixed
+/// scenario, uniform over one hold span / deadline window for des / timer.
+/// The rank probe, when present, must see the seeds too or early deletes
+/// would under-count.
 inline void prefill(QueueHandle& queue, const BenchmarkConfig& cfg,
                     RankErrorProbe* probe = nullptr) {
   slpq::detail::Xoshiro256 seed_rng(cfg.seed ^ 0xBEEFCAFEULL);
   for (std::size_t i = 0; i < cfg.initial_size; ++i) {
-    const Key key = static_cast<Key>(seed_rng.below(kKeySpace)) + 1;
+    Key key;
+    switch (cfg.workload) {
+      case WorkloadKind::Des:
+        key = scenario_key(1 + seed_rng.below(2 * kDesMeanHold), i);
+        break;
+      case WorkloadKind::Timer:
+        key = scenario_key(1 + seed_rng.below(kTimerSpan), i);
+        break;
+      case WorkloadKind::Mixed:
+      default:
+        key = static_cast<Key>(seed_rng.below(kKeySpace)) + 1;
+        break;
+    }
     queue.seed(key, static_cast<Value>(i));
     if (probe) probe->on_insert(key);
   }
@@ -157,6 +204,121 @@ void worker_loop(QueueHandle& queue, const BenchmarkConfig& cfg, int p,
       }
     }
   }
+}
+
+/// Discrete-event-simulation hold model (classic "hold" benchmark): each
+/// iteration takes the next event off the queue, burns the work period,
+/// and schedules a successor a random hold time after the popped
+/// timestamp. Queue size stays near cfg.initial_size; both halves count
+/// against the worker's op quota so total_ops means the same thing as in
+/// the mixed scenario.
+template <typename Clock, typename Work>
+void des_loop(QueueHandle& queue, const BenchmarkConfig& cfg, int p,
+              OpContext& ctx, WorkerTally& tally, Clock&& clock, Work&& work,
+              RankErrorProbe* probe = nullptr) {
+  auto rng = worker_rng(cfg, p);
+  const std::uint64_t ops = quota(cfg, p);
+  const auto step = static_cast<std::uint64_t>(cfg.processors);
+  std::uint64_t tie = cfg.initial_size + static_cast<std::uint64_t>(p);
+  std::uint64_t deletes = 0;
+  std::uint64_t frontier = 1;  // tick of the last event this worker executed
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    work(cfg.work_cycles);
+    if ((i & 1) == 0) {
+      // Take the next event.
+      const std::uint64_t t0 = clock();
+      const auto got = queue.delete_min(ctx);
+      tally.delete_latency.record(clock() - t0);
+      if (!got) {
+        ++tally.empties;
+      } else {
+        frontier = tick_of(*got);
+        if (probe) {
+          if (++deletes % RankErrorProbe::kSamplePeriod == 0)
+            tally.rank_error.record(probe->on_delete(*got));
+          else
+            probe->on_delete_unsampled(*got);
+        }
+      }
+    } else {
+      // Schedule the successor event a hold time after the one we ran.
+      const Key key =
+          scenario_key(frontier + 1 + rng.below(2 * kDesMeanHold), tie);
+      tie += step;
+      if (probe) probe->on_insert(key);
+      const std::uint64_t t0 = clock();
+      queue.insert(ctx, key, static_cast<Value>(i));
+      tally.insert_latency.record(clock() - t0);
+    }
+  }
+}
+
+/// Timer-wheel/scheduler pattern: workers alternate between arming a
+/// deadline slightly past the newest expired one and expiring the nearest
+/// deadline. Unlike the mixed scenario's uniform keys, the live set stays
+/// clustered within ~kTimerSpan of the front, so delete-min, insert
+/// position search, and their coherence traffic all hammer the same few
+/// nodes — a scheduler-like hot front.
+template <typename Clock, typename Work>
+void timer_loop(QueueHandle& queue, const BenchmarkConfig& cfg, int p,
+                OpContext& ctx, WorkerTally& tally, Clock&& clock,
+                Work&& work, RankErrorProbe* probe = nullptr) {
+  auto rng = worker_rng(cfg, p);
+  const std::uint64_t ops = quota(cfg, p);
+  const auto step = static_cast<std::uint64_t>(cfg.processors);
+  std::uint64_t tie = cfg.initial_size + static_cast<std::uint64_t>(p);
+  std::uint64_t deletes = 0;
+  std::uint64_t front = 1;  // newest deadline tick this worker saw expire
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    work(cfg.work_cycles);
+    if ((i & 1) == 0) {
+      // Arm a timer shortly after the current front.
+      const Key key = scenario_key(front + 1 + rng.below(kTimerSpan), tie);
+      tie += step;
+      if (probe) probe->on_insert(key);
+      const std::uint64_t t0 = clock();
+      queue.insert(ctx, key, static_cast<Value>(i));
+      tally.insert_latency.record(clock() - t0);
+    } else {
+      // Expire the nearest deadline.
+      const std::uint64_t t0 = clock();
+      const auto got = queue.delete_min(ctx);
+      tally.delete_latency.record(clock() - t0);
+      if (!got) {
+        ++tally.empties;
+      } else {
+        if (tick_of(*got) > front) front = tick_of(*got);
+        if (probe) {
+          if (++deletes % RankErrorProbe::kSamplePeriod == 0)
+            tally.rank_error.record(probe->on_delete(*got));
+          else
+            probe->on_delete_unsampled(*got);
+        }
+      }
+    }
+  }
+}
+
+/// Runs worker p's loop for the configured scenario. Both drivers call
+/// this, so every scenario is available on both machines.
+template <typename Clock, typename Work>
+void run_worker(QueueHandle& queue, const BenchmarkConfig& cfg, int p,
+                OpContext& ctx, WorkerTally& tally, Clock&& clock,
+                Work&& work, RankErrorProbe* probe = nullptr) {
+  switch (cfg.workload) {
+    case WorkloadKind::Des:
+      des_loop(queue, cfg, p, ctx, tally, std::forward<Clock>(clock),
+               std::forward<Work>(work), probe);
+      return;
+    case WorkloadKind::Timer:
+      timer_loop(queue, cfg, p, ctx, tally, std::forward<Clock>(clock),
+                 std::forward<Work>(work), probe);
+      return;
+    case WorkloadKind::Mixed:
+      break;
+  }
+  worker_loop(queue, cfg, p, ctx, tally, std::forward<Clock>(clock),
+              std::forward<Work>(work), probe);
 }
 
 /// Folds the per-worker tallies and the structure's final state into the

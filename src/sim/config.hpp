@@ -21,7 +21,8 @@ struct MachineConfig {
   int processors = 16;
 
   // --- per-processor cache geometry -------------------------------------
-  std::size_t cache_sets = 256;  ///< sets per cache
+  std::size_t cache_sets = 256;  ///< sets per cache; must be a power of two
+                                 ///< (set index is a mask on the hot path)
   std::size_t cache_ways = 2;    ///< associativity
   // Line size is fixed at 64 bytes (kLineBytes in memory.hpp).
 
@@ -43,6 +44,17 @@ struct MachineConfig {
   /// time, so concurrent requests to one hot line queue up (Alewife-like).
   bool model_dir_occupancy = true;
 
+  /// Run-ahead scheduling: after an operation is charged, the engine keeps
+  /// executing the same processor — eliding the suspend/resume fiber-switch
+  /// pair and the run-queue round trip — whenever that processor would win
+  /// the scheduler again anyway (its new local time still at or before every
+  /// runnable processor's, with the run queue's id tie-break). The elision
+  /// test is exactly the run queue's comparator, so the schedule (and every
+  /// simulated result) is identical with this on or off; only host speed
+  /// and SimStats::fiber_switches/runahead_elided change. Escape hatch:
+  /// pqsim --no-runahead.
+  bool runahead = true;
+
   /// Seed for any randomized engine decisions (currently start staggering).
   std::uint64_t seed = 1;
 
@@ -51,9 +63,10 @@ struct MachineConfig {
   Cycles start_stagger = 16;
 
   /// Abort the run (std::runtime_error with a state dump) after this many
-  /// fiber switches; catches livelocks that a blocked-processor deadlock
-  /// check cannot see because a daemon keeps the run queue non-empty.
-  /// 0 disables.
+  /// scheduler events (fiber switches + run-ahead elided switches; the two
+  /// sum to the same event count whether runahead is on or off); catches
+  /// livelocks that a blocked-processor deadlock check cannot see because a
+  /// daemon keeps the run queue non-empty. 0 disables.
   std::uint64_t watchdog_switches = 0;
 
   /// Keep a ring buffer of the last N engine events (memory ops, clock

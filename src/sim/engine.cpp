@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 
 namespace psim {
@@ -31,6 +32,7 @@ void Engine::run() {
   if (running_) throw std::logic_error("Engine::run is not reentrant");
   running_ = true;
   stopping_ = (live_workers_ == 0);
+  const auto host_start = std::chrono::steady_clock::now();
 
   // Give every processor a fiber and a (optionally staggered) start time.
   for (auto& p : procs_) {
@@ -58,18 +60,23 @@ void Engine::run() {
       throw std::runtime_error(os.str());
     }
 
-    const auto id = runq_.pop();
+    // Peek, don't pop: the running processor stays in the queue at its
+    // stale priority (reschedule_after_charge compares against the
+    // runner-up via min_excluding), so a suspend costs one in-place
+    // update() instead of a pop()+push() pair.
+    const auto id = runq_.top();
     Proc& p = *procs_[id];
     assert(p.state == State::Runnable);
     p.state = State::Running;
     current_ = static_cast<int>(id);
-    p.fiber.resume();
+    const bool finished = p.fiber.resume();
     stats_.fiber_switches++;
     if (cfg_.watchdog_switches != 0 &&
-        stats_.fiber_switches > cfg_.watchdog_switches) {
+        stats_.engine_events() > cfg_.watchdog_switches) {
       std::ostringstream os;
       os << "psim: watchdog tripped after " << stats_.fiber_switches
-         << " fiber switches; processors:";
+         << " fiber switches (+" << stats_.runahead_elided
+         << " elided); processors:";
       for (const auto& pr : procs_) {
         os << " [" << pr->cpu.id() << ' ';
         switch (pr->state) {
@@ -89,24 +96,33 @@ void Engine::run() {
       throw std::runtime_error(os.str());
     }
     current_ = -1;
-    horizon_ = std::max(horizon_, p.time);
 
-    if (p.fiber.finished()) {
+    if (finished) {
+      runq_.remove(id);
       finish_proc(p);
       ++done;
     } else if (p.state == State::Running) {
       // Suspended via suspend_current(): still wants the CPU.
       p.state = State::Runnable;
-      runq_.push(id, p.time);
+      runq_.update(id, p.time);
+    } else {
+      // Blocked inside block_current(); leaves the queue until wake().
+      runq_.remove(id);
     }
-    // State::Blocked: stays out of the run queue until wake().
   }
 
+  stats_.host_wall_ns += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - host_start)
+          .count());
   running_ = false;
 }
 
 void Engine::finish_proc(Proc& p) {
   p.state = State::Done;
+  // Local clocks only grow, so the max over finish times is the horizon;
+  // tracking it here keeps the per-switch loop free of it.
+  horizon_ = std::max(horizon_, p.time);
   if (!p.daemon) {
     --live_workers_;
     if (live_workers_ == 0) stopping_ = true;
@@ -161,9 +177,10 @@ std::string Engine::format_trace(std::size_t max_events) const {
 
 void Engine::op_advance(int proc, Cycles c) {
   assert(proc == current_);
-  procs_[static_cast<std::size_t>(proc)]->time += c;
-  trace('a', 0);
-  suspend_current();
+  Proc& p = *procs_[static_cast<std::size_t>(proc)];
+  p.time += c;
+  if (cfg_.trace_depth != 0) trace('a', 0);
+  reschedule_after_charge(p);
 }
 
 Cycles Engine::op_clock(int proc) {
@@ -172,8 +189,8 @@ Cycles Engine::op_clock(int proc) {
   const Cycles issued = p.time;
   p.time += cfg_.clock_read;
   stats_.clock_reads++;
-  trace('c', 0);
-  suspend_current();
+  if (cfg_.trace_depth != 0) trace('c', 0);
+  reschedule_after_charge(p);
   return issued;
 }
 
@@ -184,7 +201,7 @@ void Engine::op_mem(int proc, Addr addr, Access kind) {
   if (cfg_.trace_depth != 0)
     trace(kind == Access::Read ? 'r' : kind == Access::Write ? 'w' : 'x',
           addr);
-  suspend_current();
+  reschedule_after_charge(p);
 }
 
 void Engine::block_current() {

@@ -103,8 +103,12 @@ class Engine {
   SimStats& stats() noexcept { return stats_; }
   const MachineConfig& config() const noexcept { return cfg_; }
 
-  /// Local clock of a processor (valid during and after run()).
-  Cycles time_of(int proc) const { return procs_.at(static_cast<size_t>(proc))->time; }
+  /// Local clock of a processor (valid during and after run()). On the hot
+  /// path via Cpu::now(), so no bounds-checked access here.
+  Cycles time_of(int proc) const {
+    assert(proc >= 0 && static_cast<std::size_t>(proc) < procs_.size());
+    return procs_[static_cast<std::size_t>(proc)]->time;
+  }
 
   /// Largest local clock observed across processors.
   Cycles horizon() const noexcept { return horizon_; }
@@ -171,6 +175,31 @@ class Engine {
   /// Charges nothing; marks the current processor runnable and switches to
   /// the engine, which will reschedule by local time.
   void suspend_current();
+
+  /// Run-ahead scheduling: called after an operation has been charged to
+  /// `p.time`. When `p` would win the run queue again anyway — strictly
+  /// earlier than every other runnable processor, or tied with the queue's
+  /// smaller-id tie-break — the suspend/resume pair (and the heap pop/push
+  /// it would cost) is elided and control returns straight into the fiber.
+  /// The test is exactly the IndexedMinHeap comparator applied to the
+  /// other runnable processors (`p` itself sits in the queue at its stale
+  /// pre-op priority while running), so the schedule is provably identical
+  /// to the suspend-always engine; ops linearize at issue time either way.
+  void reschedule_after_charge(Proc& p) {
+    if (cfg_.runahead && p.state == State::Running &&
+        (cfg_.watchdog_switches == 0 ||
+         stats_.engine_events() < cfg_.watchdog_switches)) {
+      const auto self = static_cast<std::size_t>(p.cpu.id());
+      std::size_t rival;
+      Cycles rival_time;
+      if (!runq_.min_excluding(self, rival, rival_time) ||
+          p.time < rival_time || (p.time == rival_time && self < rival)) {
+        stats_.runahead_elided++;
+        return;
+      }
+    }
+    suspend_current();
+  }
 
   void finish_proc(Proc& p);
 

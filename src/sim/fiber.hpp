@@ -46,8 +46,10 @@ class Fiber {
 
   /// Transfers control into the fiber until it suspends or its body returns.
   /// Must be called from outside any fiber (i.e., from the engine), and the
-  /// fiber must not be finished.
-  void resume();
+  /// fiber must not be finished. Returns true once the body has returned —
+  /// the same answer as finished(), folded into the switch so the engine's
+  /// per-switch loop makes a single out-of-line call.
+  bool resume();
 
   /// Called from inside a running fiber: transfers control back to the
   /// resume() call that entered it.

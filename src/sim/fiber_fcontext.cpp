@@ -78,7 +78,7 @@ Fiber::~Fiber() {
   delete impl_;
 }
 
-void Fiber::resume() {
+bool Fiber::resume() {
   assert(impl_ != nullptr && "resume() on an empty fiber");
   assert(!impl_->finished && "resume() on a finished fiber");
   assert(t_current_fiber == nullptr && "nested fibers are not supported");
@@ -89,6 +89,7 @@ void Fiber::resume() {
   // suspend(), which ignores it.
   psim_ctx_swap(&impl_->return_sp, impl_->fiber_sp, impl_);
   t_current_fiber = nullptr;
+  return impl_->finished;
 }
 
 void Fiber::suspend() {

@@ -69,7 +69,7 @@ Fiber::~Fiber() {
   delete impl_;
 }
 
-void Fiber::resume() {
+bool Fiber::resume() {
   assert(impl_ != nullptr && "resume() on an empty fiber");
   assert(!impl_->finished && "resume() on a finished fiber");
   assert(t_current_fiber == nullptr && "nested fibers are not supported");
@@ -77,6 +77,7 @@ void Fiber::resume() {
   t_current_fiber = impl_;
   swapcontext(&impl_->return_ctx, &impl_->fiber_ctx);
   t_current_fiber = nullptr;
+  return impl_->finished;
 }
 
 void Fiber::suspend() {

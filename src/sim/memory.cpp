@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 namespace psim {
 
@@ -10,9 +11,13 @@ MemorySystem::MemorySystem(const MachineConfig& cfg, SimStats& stats)
       stats_(stats),
       mesh_(cfg.processors),
       caches_(static_cast<std::size_t>(cfg.processors) * cfg.cache_sets *
-              cfg.cache_ways) {
+              cfg.cache_ways),
+      spill_words_((static_cast<std::size_t>(cfg.processors) + 63) / 64 - 1) {
   assert(cfg.processors >= 1);
   assert(cfg.cache_sets >= 1 && cfg.cache_ways >= 1);
+  if (!std::has_single_bit(cfg.cache_sets))
+    throw std::invalid_argument("MachineConfig::cache_sets must be a power of two");
+  set_mask_ = cfg.cache_sets - 1;
 }
 
 Addr MemorySystem::alloc(std::size_t bytes, std::size_t align) {
@@ -25,20 +30,9 @@ Addr MemorySystem::alloc(std::size_t bytes, std::size_t align) {
 
 Addr MemorySystem::alloc_line() { return alloc(kLineBytes, kLineBytes); }
 
-MemorySystem::CacheWay* MemorySystem::cache_lookup(int proc, LineId line) noexcept {
-  const std::size_t set = static_cast<std::size_t>(line) % cfg_.cache_sets;
-  const std::size_t base =
-      (static_cast<std::size_t>(proc) * cfg_.cache_sets + set) * cfg_.cache_ways;
-  for (std::size_t w = 0; w < cfg_.cache_ways; ++w) {
-    CacheWay& way = caches_[base + w];
-    if (way.valid && way.line == line) return &way;
-  }
-  return nullptr;
-}
-
 MemorySystem::CacheWay& MemorySystem::cache_insert(int proc, LineId line,
-                                                   bool modified, Cycles) {
-  const std::size_t set = static_cast<std::size_t>(line) % cfg_.cache_sets;
+                                                   bool modified) {
+  const std::size_t set = static_cast<std::size_t>(line) & set_mask_;
   const std::size_t base =
       (static_cast<std::size_t>(proc) * cfg_.cache_sets + set) * cfg_.cache_ways;
   CacheWay* victim = &caches_[base];
@@ -60,18 +54,19 @@ MemorySystem::CacheWay& MemorySystem::cache_insert(int proc, LineId line,
 
 void MemorySystem::cache_evict(int proc, CacheWay& way) {
   assert(way.valid);
-  DirEntry& e = dir_entry(way.line);
+  const LineId line = way.line;
+  DirEntry& e = dir_entry(line);
   if (way.modified) {
     // Writeback: memory becomes clean, line leaves every cache state.
     stats_.writebacks++;
     assert(e.state == LineState::Modified && e.owner == proc);
     e.state = LineState::Uncached;
     e.owner = -1;
-    e.sharers.clear();
+    sharers_clear(e, line);
   } else {
     // Replacement hint: drop this sharer precisely.
-    if (e.sharers.size() != 0) e.sharers.reset(static_cast<std::size_t>(proc));
-    if (e.state == LineState::Shared && e.sharers.none())
+    sharer_reset(e, line, proc);
+    if (e.state == LineState::Shared && sharers_none(e, line))
       e.state = LineState::Uncached;
   }
   way.valid = false;
@@ -79,37 +74,23 @@ void MemorySystem::cache_evict(int proc, CacheWay& way) {
   way.line = kNoLine;
 }
 
-MemorySystem::DirEntry& MemorySystem::dir_entry(LineId line) {
-  auto [it, inserted] = directory_.try_emplace(line);
-  if (inserted)
-    it->second.sharers =
-        slpq::detail::DynamicBitset(static_cast<std::size_t>(cfg_.processors));
-  return it->second;
+void MemorySystem::grow_directory(LineId line) {
+  // Cover at least the bump allocator's high-water mark, doubling from
+  // there, so a run resizes the directory O(log lines) times no matter the
+  // access pattern. Entries are value-initialized: Uncached, no sharers.
+  const auto hwm = static_cast<std::size_t>(line_of(next_addr_ - 1)) + 1;
+  std::size_t cap = std::max(static_cast<std::size_t>(line) + 1, hwm);
+  cap = std::max(cap, dir_.size() * 2);
+  cap = std::max(cap, std::size_t{1024});
+  dir_.resize(cap);
+  spill_.resize(cap * spill_words_, 0);
 }
 
-Cycles MemorySystem::access(int proc, Addr addr, Access kind, Cycles now) {
-  assert(addr != 0 && "access through simulated null address");
-  assert(proc >= 0 && proc < cfg_.processors);
-
-  switch (kind) {
-    case Access::Read: stats_.reads++; break;
-    case Access::Write: stats_.writes++; break;
-    case Access::Rmw: stats_.rmws++; break;
-  }
+Cycles MemorySystem::access_miss(int proc, LineId line, Access kind,
+                                 Cycles now, CacheWay* way) {
   const bool is_write = kind != Access::Read;
   const Cycles op_extra = (kind == Access::Rmw) ? cfg_.rmw_extra : 0;
 
-  const LineId line = line_of(addr);
-  CacheWay* way = cache_lookup(proc, line);
-
-  // ---- hit path ---------------------------------------------------------
-  if (way != nullptr && (!is_write || way->modified)) {
-    way->lru = ++lru_clock_;
-    stats_.cache_hits++;
-    return now + cfg_.cache_hit + op_extra;
-  }
-
-  // ---- miss / upgrade path ----------------------------------------------
   DirEntry& e = dir_entry(line);
   const int home = home_of(line);
   const Cycles to_home =
@@ -140,7 +121,7 @@ Cycles MemorySystem::access(int proc, Addr addr, Access kind, Cycles now) {
         // Invalidate all other sharers; invalidations go out in parallel,
         // so charge the farthest round trip plus a fixed launch overhead.
         Cycles worst_rtt = 0;
-        e.sharers.for_each([&](std::size_t s) {
+        sharers_for_each(e, line, [&](std::size_t s) {
           if (static_cast<int>(s) == proc) return;
           stats_.invalidations_sent++;
           const Cycles rtt = 2 *
@@ -183,7 +164,7 @@ Cycles MemorySystem::access(int proc, Addr addr, Access kind, Cycles now) {
         }
       }
       if (!is_write) {
-        e.sharers.set(static_cast<std::size_t>(owner));
+        sharer_set(e, line, owner);
       }
       break;
     }
@@ -195,12 +176,12 @@ Cycles MemorySystem::access(int proc, Addr addr, Access kind, Cycles now) {
   if (is_write) {
     e.state = LineState::Modified;
     e.owner = proc;
-    e.sharers.clear();
-    e.sharers.set(static_cast<std::size_t>(proc));
+    sharers_clear(e, line);
+    sharer_set(e, line, proc);
   } else {
     e.state = LineState::Shared;
     e.owner = -1;
-    e.sharers.set(static_cast<std::size_t>(proc));
+    sharer_set(e, line, proc);
   }
 
   // Reply back to the requester.
@@ -211,7 +192,7 @@ Cycles MemorySystem::access(int proc, Addr addr, Access kind, Cycles now) {
     way->modified = true;
     way->lru = ++lru_clock_;
   } else {
-    cache_insert(proc, line, is_write, done);
+    cache_insert(proc, line, is_write);
   }
 
   return done + op_extra;
@@ -228,17 +209,20 @@ void MemorySystem::flush_cache(int proc) {
 
 MemorySystem::LineSnapshot MemorySystem::snapshot(LineId line) const {
   LineSnapshot out;
-  const auto it = directory_.find(line);
-  if (it == directory_.end()) return out;
-  out.state = it->second.state;
-  out.owner = it->second.owner;
-  out.sharer_count = it->second.sharers.count();
-  out.sharers = &it->second.sharers;
+  if (static_cast<std::size_t>(line) >= dir_.size()) return out;
+  const DirEntry& e = dir_[static_cast<std::size_t>(line)];
+  out.state = e.state;
+  out.owner = e.owner;
+  out.sharer_count = sharers_count(e, line);
+  out.sharer_words.reserve(1 + spill_words_);
+  out.sharer_words.push_back(e.sharers0);
+  const std::uint64_t* w = spill_of(line);
+  for (std::size_t i = 0; i < spill_words_; ++i) out.sharer_words.push_back(w[i]);
   return out;
 }
 
 bool MemorySystem::cached(int proc, LineId line) const {
-  const std::size_t set = static_cast<std::size_t>(line) % cfg_.cache_sets;
+  const std::size_t set = static_cast<std::size_t>(line) & set_mask_;
   const std::size_t base =
       (static_cast<std::size_t>(proc) * cfg_.cache_sets + set) * cfg_.cache_ways;
   for (std::size_t w = 0; w < cfg_.cache_ways; ++w) {

@@ -20,13 +20,13 @@
 //    into a scalability bottleneck.
 #pragma once
 
+#include <bit>
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <type_traits>
-#include <unordered_map>
 #include <vector>
 
-#include "slpq/detail/bitset.hpp"
 #include "sim/config.hpp"
 #include "sim/stats.hpp"
 #include "sim/topology.hpp"
@@ -64,8 +64,30 @@ class MemorySystem {
   }
 
   /// Runs the coherence protocol for one access by `proc` issued at `now`;
-  /// returns the completion time (>= now + cache_hit).
-  Cycles access(int proc, Addr addr, Access kind, Cycles now);
+  /// returns the completion time (>= now + cache_hit). The hit path is
+  /// inline — it runs tens of millions of times per simulated second and
+  /// touches nothing but the tag array; misses take the out-of-line
+  /// directory walk.
+  Cycles access(int proc, Addr addr, Access kind, Cycles now) {
+    assert(addr != 0 && "access through simulated null address");
+    assert(proc >= 0 && proc < cfg_.processors);
+
+    switch (kind) {
+      case Access::Read: stats_.reads++; break;
+      case Access::Write: stats_.writes++; break;
+      case Access::Rmw: stats_.rmws++; break;
+    }
+    const bool is_write = kind != Access::Read;
+    const LineId line = line_of(addr);
+    CacheWay* way = cache_lookup(proc, line);
+    if (way != nullptr && (!is_write || way->modified)) {
+      way->lru = ++lru_clock_;
+      stats_.cache_hits++;
+      return now + cfg_.cache_hit +
+             ((kind == Access::Rmw) ? cfg_.rmw_extra : 0);
+    }
+    return access_miss(proc, line, kind, now, way);
+  }
 
   /// Drops every line from `proc`'s cache (used by tests and by the
   /// engine when simulating context loss). Dirty lines write back.
@@ -78,10 +100,14 @@ class MemorySystem {
     LineState state = LineState::Uncached;
     int owner = -1;
     std::size_t sharer_count = 0;
+    /// Copy of the line's sharer set, one bit per processor (word i holds
+    /// processors [64i, 64i+64)). Empty for a never-touched line.
+    std::vector<std::uint64_t> sharer_words;
     bool cached_by(int proc) const {
-      return sharers != nullptr && sharers->test(static_cast<std::size_t>(proc));
+      const auto w = static_cast<std::size_t>(proc) / 64;
+      if (w >= sharer_words.size()) return false;
+      return (sharer_words[w] >> (static_cast<std::size_t>(proc) % 64)) & 1u;
     }
-    const slpq::detail::DynamicBitset* sharers = nullptr;
   };
 
   /// Directory view of one line (for tests/debugging).
@@ -101,19 +127,98 @@ class MemorySystem {
     std::uint64_t lru = 0;
   };
 
+  /// One line's directory entry in the flat, line-indexed directory. The
+  /// sharer set's first 64 processors live inline in `sharers0`; machines
+  /// with more processors spill the remaining bits into `spill_`
+  /// (spill_words_ words per line), so no line ever heap-allocates.
   struct DirEntry {
-    LineState state = LineState::Uncached;
-    int owner = -1;
-    slpq::detail::DynamicBitset sharers;
     Cycles busy_until = 0;
+    std::uint64_t sharers0 = 0;  ///< sharer bits for processors 0..63
+    std::int32_t owner = -1;
+    LineState state = LineState::Uncached;
   };
 
   static constexpr LineId kNoLine = ~LineId{0};
 
-  CacheWay* cache_lookup(int proc, LineId line) noexcept;
-  CacheWay& cache_insert(int proc, LineId line, bool modified, Cycles now);
+  CacheWay* cache_lookup(int proc, LineId line) noexcept {
+    const std::size_t set = static_cast<std::size_t>(line) & set_mask_;
+    const std::size_t base =
+        (static_cast<std::size_t>(proc) * cfg_.cache_sets + set) *
+        cfg_.cache_ways;
+    for (std::size_t w = 0; w < cfg_.cache_ways; ++w) {
+      CacheWay& way = caches_[base + w];
+      if (way.valid && way.line == line) return &way;
+    }
+    return nullptr;
+  }
+  CacheWay& cache_insert(int proc, LineId line, bool modified);
   void cache_evict(int proc, CacheWay& way);
-  DirEntry& dir_entry(LineId line);
+
+  /// Miss/upgrade path of access(): directory walk, invalidations, owner
+  /// forwarding, occupancy queueing, cache fill.
+  Cycles access_miss(int proc, LineId line, Access kind, Cycles now,
+                     CacheWay* way);
+
+  /// Flat directory lookup; grows the directory to cover `line` on first
+  /// touch (lines come from the bump allocator, so growth tracks its
+  /// high-water mark and is amortized O(1)).
+  DirEntry& dir_entry(LineId line) {
+    if (line >= dir_.size()) grow_directory(line);
+    return dir_[static_cast<std::size_t>(line)];
+  }
+  void grow_directory(LineId line);
+
+  // ---- sharer-set operations over (inline word, spill words) ------------
+  std::uint64_t* spill_of(LineId line) noexcept {
+    return spill_.data() + static_cast<std::size_t>(line) * spill_words_;
+  }
+  const std::uint64_t* spill_of(LineId line) const noexcept {
+    return spill_.data() + static_cast<std::size_t>(line) * spill_words_;
+  }
+  void sharer_set(DirEntry& e, LineId line, int proc) noexcept {
+    if (proc < 64) {
+      e.sharers0 |= std::uint64_t{1} << proc;
+    } else {
+      spill_of(line)[static_cast<std::size_t>(proc) / 64 - 1] |=
+          std::uint64_t{1} << (static_cast<std::size_t>(proc) % 64);
+    }
+  }
+  void sharer_reset(DirEntry& e, LineId line, int proc) noexcept {
+    if (proc < 64) {
+      e.sharers0 &= ~(std::uint64_t{1} << proc);
+    } else {
+      spill_of(line)[static_cast<std::size_t>(proc) / 64 - 1] &=
+          ~(std::uint64_t{1} << (static_cast<std::size_t>(proc) % 64));
+    }
+  }
+  void sharers_clear(DirEntry& e, LineId line) noexcept {
+    e.sharers0 = 0;
+    std::uint64_t* w = spill_of(line);
+    for (std::size_t i = 0; i < spill_words_; ++i) w[i] = 0;
+  }
+  bool sharers_none(const DirEntry& e, LineId line) const noexcept {
+    if (e.sharers0 != 0) return false;
+    const std::uint64_t* w = spill_of(line);
+    for (std::size_t i = 0; i < spill_words_; ++i)
+      if (w[i] != 0) return false;
+    return true;
+  }
+  std::size_t sharers_count(const DirEntry& e, LineId line) const noexcept {
+    std::size_t n = static_cast<std::size_t>(std::popcount(e.sharers0));
+    const std::uint64_t* w = spill_of(line);
+    for (std::size_t i = 0; i < spill_words_; ++i)
+      n += static_cast<std::size_t>(std::popcount(w[i]));
+    return n;
+  }
+  template <typename Fn>
+  void sharers_for_each(const DirEntry& e, LineId line, Fn&& fn) const {
+    for (std::uint64_t bits = e.sharers0; bits != 0; bits &= bits - 1)
+      fn(static_cast<std::size_t>(std::countr_zero(bits)));
+    const std::uint64_t* w = spill_of(line);
+    for (std::size_t i = 0; i < spill_words_; ++i)
+      for (std::uint64_t bits = w[i]; bits != 0; bits &= bits - 1)
+        fn(64 * (i + 1) + static_cast<std::size_t>(std::countr_zero(bits)));
+  }
 
   const MachineConfig cfg_;
   SimStats& stats_;
@@ -121,8 +226,11 @@ class MemorySystem {
 
   Addr next_addr_ = kLineBytes;  // address 0 is reserved as "null"
   std::vector<CacheWay> caches_;  // [proc * sets * ways + set * ways + way]
+  std::size_t set_mask_ = 0;      // cache_sets - 1; set index = line & mask
   std::uint64_t lru_clock_ = 0;
-  std::unordered_map<LineId, DirEntry> directory_;
+  std::vector<DirEntry> dir_;       // flat directory, indexed by LineId
+  std::vector<std::uint64_t> spill_;  // sharer bits for processors >= 64
+  std::size_t spill_words_;           // spill words per line (0 for <= 64 procs)
 };
 
 /// A simulated shared variable: host storage + a simulated address.

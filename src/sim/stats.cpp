@@ -20,7 +20,12 @@ std::string SimStats::summary(std::uint64_t ops) const {
   os << "locks: acquires=" << lock_acquires << " contended=" << lock_contended
      << "\n";
   os << "engine: fiber-switches=" << fiber_switches
-     << " clock-reads=" << clock_reads << "\n";
+     << " runahead-elided=" << runahead_elided << " clock-reads=" << clock_reads
+     << "\n";
+  if (host_wall_ns != 0) {
+    os << "host: wall=" << host_wall_ns << "ns events/s="
+       << static_cast<std::uint64_t>(host_events_per_sec()) << "\n";
+  }
 
   // Derived rates. Contention is meaningful without an op count; the
   // per-op rates need one.

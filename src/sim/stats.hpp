@@ -34,10 +34,28 @@ struct SimStats {
 
   // Engine.
   std::uint64_t fiber_switches = 0;
+  std::uint64_t runahead_elided = 0;  ///< suspend/resume pairs skipped by run-ahead
   std::uint64_t clock_reads = 0;
+
+  // Host-side engine throughput (wall clock of Engine::run on the host
+  // machine — simulation overhead, not simulated behaviour).
+  std::uint64_t host_wall_ns = 0;
 
   std::uint64_t cache_misses() const noexcept {
     return miss_cold + miss_shared + miss_remote_dirty + miss_upgrade;
+  }
+
+  /// Scheduler events: every charged operation ends in either a real fiber
+  /// switch or an elided one, so this is invariant under runahead on/off.
+  std::uint64_t engine_events() const noexcept {
+    return fiber_switches + runahead_elided;
+  }
+
+  /// Engine throughput on the host: scheduler events per host second.
+  double host_events_per_sec() const noexcept {
+    if (host_wall_ns == 0) return 0.0;
+    return static_cast<double>(engine_events()) * 1e9 /
+           static_cast<double>(host_wall_ns);
   }
 
   void reset() noexcept { *this = SimStats{}; }

@@ -10,13 +10,12 @@ Mesh2D::Mesh2D(int nodes) : nodes_(nodes) {
   assert(nodes >= 1);
   width_ = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(nodes))));
   height_ = (nodes + width_ - 1) / width_;
-}
-
-int Mesh2D::hops(int a, int b) const noexcept {
-  assert(a >= 0 && a < nodes_ && b >= 0 && b < nodes_);
-  const int ax = a % width_, ay = a / width_;
-  const int bx = b % width_, by = b / width_;
-  return std::abs(ax - bx) + std::abs(ay - by);
+  xs_.resize(static_cast<std::size_t>(nodes));
+  ys_.resize(static_cast<std::size_t>(nodes));
+  for (int n = 0; n < nodes; ++n) {
+    xs_[static_cast<std::size_t>(n)] = static_cast<std::uint16_t>(n % width_);
+    ys_[static_cast<std::size_t>(n)] = static_cast<std::uint16_t>(n / width_);
+  }
 }
 
 double Mesh2D::mean_hops(int from) const noexcept {

@@ -6,6 +6,8 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
+#include <vector>
 
 namespace psim {
 
@@ -17,8 +19,16 @@ class Mesh2D {
   int width() const noexcept { return width_; }
   int height() const noexcept { return height_; }
 
-  /// Manhattan hop count between two node ids.
-  int hops(int a, int b) const noexcept;
+  /// Manhattan hop count between two node ids. Coordinates come from a
+  /// per-node table built at construction — this runs on every simulated
+  /// cache miss, and the naive row-major id->(x,y) split costs two integer
+  /// divisions per call.
+  int hops(int a, int b) const noexcept {
+    return std::abs(static_cast<int>(xs_[static_cast<std::size_t>(a)]) -
+                    static_cast<int>(xs_[static_cast<std::size_t>(b)])) +
+           std::abs(static_cast<int>(ys_[static_cast<std::size_t>(a)]) -
+                    static_cast<int>(ys_[static_cast<std::size_t>(b)]));
+  }
 
   /// Average hop distance from `from` to all other nodes (used in docs/stats).
   double mean_hops(int from) const noexcept;
@@ -27,6 +37,7 @@ class Mesh2D {
   int nodes_;
   int width_;
   int height_;
+  std::vector<std::uint16_t> xs_, ys_;  // node id -> mesh coordinates
 };
 
 }  // namespace psim

@@ -4,6 +4,9 @@
 // The simulator engine keeps runnable virtual processors ordered by local
 // clock; a processor blocks (remove) and wakes (push with a new time)
 // constantly, so we need an addressable heap rather than std::priority_queue.
+// (priority, key) pairs are stored contiguously in the heap array so a sift
+// touches one cache line per level instead of chasing a key->priority
+// indirection — this sits on the engine's per-fiber-switch path.
 #pragma once
 
 #include <cassert>
@@ -16,37 +19,35 @@ namespace slpq::detail {
 template <typename Priority>
 class IndexedMinHeap {
  public:
-  explicit IndexedMinHeap(std::size_t capacity)
-      : pos_(capacity, kAbsent), keys_(), prio_(capacity) {}
+  explicit IndexedMinHeap(std::size_t capacity) : pos_(capacity, kAbsent) {}
 
-  std::size_t size() const noexcept { return keys_.size(); }
-  bool empty() const noexcept { return keys_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+  bool empty() const noexcept { return heap_.empty(); }
   bool contains(std::size_t key) const noexcept { return pos_[key] != kAbsent; }
 
   Priority priority_of(std::size_t key) const noexcept {
     assert(contains(key));
-    return prio_[key];
+    return heap_[pos_[key]].prio;
   }
 
   /// Inserts key with the given priority. Key must not be present.
   void push(std::size_t key, Priority p) {
     assert(key < pos_.size() && !contains(key));
-    prio_[key] = p;
-    pos_[key] = keys_.size();
-    keys_.push_back(key);
-    sift_up(keys_.size() - 1);
+    pos_[key] = heap_.size();
+    heap_.push_back(Entry{p, key});
+    sift_up(heap_.size() - 1);
   }
 
   /// Key of the minimum element. Ties are broken by smaller key so that the
   /// engine's scheduling is deterministic.
   std::size_t top() const noexcept {
     assert(!empty());
-    return keys_[0];
+    return heap_[0].key;
   }
 
   Priority top_priority() const noexcept {
     assert(!empty());
-    return prio_[keys_[0]];
+    return heap_[0].prio;
   }
 
   std::size_t pop() {
@@ -55,13 +56,33 @@ class IndexedMinHeap {
     return k;
   }
 
+  /// Minimum element ignoring `key`, in O(1): when `key` sits at the root,
+  /// the runner-up is the smaller of the root's children (the heap
+  /// invariant holds below the root regardless of the root's priority).
+  /// Returns false when the heap is empty or holds only `key`. The engine
+  /// uses this to ask "who would run next?" while the current processor is
+  /// still in the queue at its stale priority.
+  bool min_excluding(std::size_t key, std::size_t& out_key,
+                     Priority& out_prio) const noexcept {
+    if (empty()) return false;
+    std::size_t i = 0;
+    if (heap_[0].key == key) {
+      if (heap_.size() == 1) return false;
+      i = 1;
+      if (heap_.size() > 2 && less(2, 1)) i = 2;
+    }
+    out_key = heap_[i].key;
+    out_prio = heap_[i].prio;
+    return true;
+  }
+
   void remove(std::size_t key) {
     assert(contains(key));
     const std::size_t i = pos_[key];
-    swap_at(i, keys_.size() - 1);
-    keys_.pop_back();
+    swap_at(i, heap_.size() - 1);
+    heap_.pop_back();
     pos_[key] = kAbsent;
-    if (i < keys_.size()) {
+    if (i < heap_.size()) {
       sift_up(i);
       sift_down(i);
     }
@@ -70,25 +91,30 @@ class IndexedMinHeap {
   /// Changes key's priority (any direction) and restores heap order.
   void update(std::size_t key, Priority p) {
     assert(contains(key));
-    prio_[key] = p;
-    sift_up(pos_[key]);
+    const std::size_t i = pos_[key];
+    heap_[i].prio = p;
+    sift_up(i);
     sift_down(pos_[key]);
   }
 
  private:
   static constexpr std::size_t kAbsent = static_cast<std::size_t>(-1);
 
+  struct Entry {
+    Priority prio;
+    std::size_t key;
+  };
+
   bool less(std::size_t a, std::size_t b) const noexcept {
-    // a/b are positions in keys_.
-    const std::size_t ka = keys_[a], kb = keys_[b];
-    if (prio_[ka] != prio_[kb]) return prio_[ka] < prio_[kb];
-    return ka < kb;
+    // a/b are positions in heap_.
+    if (heap_[a].prio != heap_[b].prio) return heap_[a].prio < heap_[b].prio;
+    return heap_[a].key < heap_[b].key;
   }
 
   void swap_at(std::size_t i, std::size_t j) noexcept {
-    std::swap(keys_[i], keys_[j]);
-    pos_[keys_[i]] = i;
-    pos_[keys_[j]] = j;
+    std::swap(heap_[i], heap_[j]);
+    pos_[heap_[i].key] = i;
+    pos_[heap_[j].key] = j;
   }
 
   void sift_up(std::size_t i) noexcept {
@@ -104,17 +130,16 @@ class IndexedMinHeap {
     for (;;) {
       std::size_t best = i;
       const std::size_t l = 2 * i + 1, r = 2 * i + 2;
-      if (l < keys_.size() && less(l, best)) best = l;
-      if (r < keys_.size() && less(r, best)) best = r;
+      if (l < heap_.size() && less(l, best)) best = l;
+      if (r < heap_.size() && less(r, best)) best = r;
       if (best == i) return;
       swap_at(i, best);
       i = best;
     }
   }
 
-  std::vector<std::size_t> pos_;   // key -> position in keys_, or kAbsent
-  std::vector<std::size_t> keys_;  // heap array of keys
-  std::vector<Priority> prio_;     // key -> priority
+  std::vector<std::size_t> pos_;  // key -> position in heap_, or kAbsent
+  std::vector<Entry> heap_;       // heap array of (priority, key) pairs
 };
 
 }  // namespace slpq::detail

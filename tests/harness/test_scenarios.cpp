@@ -1,0 +1,173 @@
+// Scenario workloads (mixed / des / timer) and the simulator determinism
+// contract.
+//
+// The golden-value tests pin the *exact* simulated results of fixed-seed
+// runs. They must pass bit-for-bit under every build of the simulator:
+// fcontext or ucontext fibers (CI builds both), run-ahead on or off, any
+// optimization level. A change that shifts these numbers changed the
+// simulated machine, not just its host-side speed — that is either a
+// deliberate timing-model change (update the goldens and say so) or a bug.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <tuple>
+
+#include "harness/workload.hpp"
+
+using harness::BenchmarkConfig;
+using harness::BenchmarkResult;
+using harness::Flavor;
+using harness::WorkloadKind;
+
+namespace {
+
+BenchmarkConfig scenario_cfg(WorkloadKind kind, Flavor flavor) {
+  BenchmarkConfig cfg;
+  cfg.structure = "skip";
+  cfg.flavor = flavor;
+  cfg.workload = kind;
+  cfg.processors = 4;
+  cfg.initial_size = 256;
+  cfg.total_ops = 2000;
+  cfg.work_cycles = 50;
+  cfg.seed = 42;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(WorkloadKindTest, NamesRoundTrip) {
+  for (auto kind :
+       {WorkloadKind::Mixed, WorkloadKind::Des, WorkloadKind::Timer})
+    EXPECT_EQ(harness::parse_workload(harness::to_string(kind)), kind);
+  EXPECT_THROW(harness::parse_workload("fifo"), std::invalid_argument);
+  EXPECT_THROW(harness::parse_workload(""), std::invalid_argument);
+}
+
+class ScenarioTest
+    : public ::testing::TestWithParam<std::tuple<WorkloadKind, Flavor>> {};
+
+TEST_P(ScenarioTest, ConservesContentAndAccounting) {
+  const auto [kind, flavor] = GetParam();
+  const auto cfg = scenario_cfg(kind, flavor);
+  const BenchmarkResult r = harness::run_benchmark(cfg);
+  EXPECT_EQ(r.insert_latency.count() + r.delete_latency.count(),
+            cfg.total_ops);
+  EXPECT_EQ(r.inserts, r.insert_latency.count());
+  EXPECT_EQ(r.deletes + r.empties, r.delete_latency.count());
+  EXPECT_EQ(cfg.initial_size + r.inserts - r.deletes, r.final_size);
+  EXPECT_GT(r.makespan, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenarios, ScenarioTest,
+    ::testing::Combine(::testing::Values(WorkloadKind::Mixed,
+                                         WorkloadKind::Des,
+                                         WorkloadKind::Timer),
+                       ::testing::Values(Flavor::Sim, Flavor::Native)),
+    [](const auto& info) {
+      return std::string(harness::to_string(std::get<0>(info.param))) + "_" +
+             to_string(std::get<1>(info.param));
+    });
+
+TEST(ScenarioTest, DesHoldModelKeepsQueueSizeConstant) {
+  // The hold model alternates delete-then-insert per worker, so with an
+  // even per-worker quota and a prefill far above the worker count the
+  // queue ends exactly where it started — the defining property of the
+  // classic hold benchmark.
+  auto cfg = scenario_cfg(WorkloadKind::Des, Flavor::Sim);
+  ASSERT_EQ(cfg.total_ops % (2 * static_cast<unsigned>(cfg.processors)), 0u);
+  const BenchmarkResult r = harness::run_benchmark(cfg);
+  EXPECT_EQ(r.empties, 0u);
+  EXPECT_EQ(r.final_size, cfg.initial_size);
+  EXPECT_EQ(r.inserts, r.deletes);
+}
+
+TEST(ScenarioTest, TimerKeysClusterAtTheFront) {
+  // Timer deadlines stay within kTimerSpan of the moving front, so the
+  // queue never balloons: the final size stays near the initial size even
+  // though every worker is inserting half the time.
+  auto cfg = scenario_cfg(WorkloadKind::Timer, Flavor::Sim);
+  const BenchmarkResult r = harness::run_benchmark(cfg);
+  EXPECT_LT(r.final_size, cfg.initial_size + cfg.total_ops / 4);
+  EXPECT_GT(r.deletes, 0u);
+}
+
+// ---- determinism regression ------------------------------------------------
+
+namespace {
+
+struct SimFingerprint {
+  std::uint64_t horizon = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t empties = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t rmws = 0;
+  std::uint64_t cache_hits = 0;
+
+  bool operator==(const SimFingerprint&) const = default;
+};
+
+SimFingerprint fingerprint(const BenchmarkResult& r) {
+  SimFingerprint fp;
+  fp.horizon = r.makespan;
+  fp.inserts = r.inserts;
+  fp.deletes = r.deletes;
+  fp.empties = r.empties;
+  fp.reads = r.machine_stats.reads;
+  fp.writes = r.machine_stats.writes;
+  fp.rmws = r.machine_stats.rmws;
+  fp.cache_hits = r.machine_stats.cache_hits;
+  return fp;
+}
+
+}  // namespace
+
+TEST(SimDeterminism, RunaheadDoesNotChangeSimulatedResults) {
+  // Run-ahead elides host-side context switches; the simulated machine
+  // must not be able to tell. Every counter the simulation itself can
+  // observe has to match exactly — only fiber_switches and host timing may
+  // differ.
+  for (auto kind :
+       {WorkloadKind::Mixed, WorkloadKind::Des, WorkloadKind::Timer}) {
+    auto cfg = scenario_cfg(kind, Flavor::Sim);
+    auto off = cfg;
+    off.machine.runahead = false;
+    const auto with = harness::run_benchmark(cfg);
+    const auto without = harness::run_benchmark(off);
+    EXPECT_EQ(fingerprint(with), fingerprint(without))
+        << "workload " << harness::to_string(kind);
+    EXPECT_GT(with.machine_stats.runahead_elided, 0u);
+    EXPECT_EQ(without.machine_stats.runahead_elided, 0u);
+    EXPECT_LT(with.machine_stats.fiber_switches,
+              without.machine_stats.fiber_switches);
+  }
+}
+
+TEST(SimDeterminism, FixedSeedGoldenValues) {
+  // Golden fingerprint of one fixed-seed mixed run. Identical under
+  // fcontext and ucontext fibers (CI runs this test in a
+  // PSIM_FORCE_UCONTEXT=ON build too) and with run-ahead on or off.
+  const auto cfg = scenario_cfg(WorkloadKind::Mixed, Flavor::Sim);
+  const auto r = harness::run_benchmark(cfg);
+  const auto fp = fingerprint(r);
+
+  SimFingerprint golden;
+  golden.horizon = 410357;
+  golden.inserts = 956;
+  golden.deletes = 1044;
+  golden.empties = 0;
+  golden.reads = 105963;
+  golden.writes = 25030;
+  golden.rmws = 10523;
+  golden.cache_hits = 105965;
+  EXPECT_EQ(fp, golden) << "horizon=" << fp.horizon
+                        << " inserts=" << fp.inserts
+                        << " deletes=" << fp.deletes
+                        << " empties=" << fp.empties << " reads=" << fp.reads
+                        << " writes=" << fp.writes << " rmws=" << fp.rmws
+                        << " cache_hits=" << fp.cache_hits;
+}

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <tuple>
 #include <vector>
 
 using psim::Cpu;
@@ -218,7 +220,7 @@ TEST(Engine, HorizonTracksMaxTime) {
   EXPECT_GE(eng.horizon(), 5000u);
 }
 
-TEST(Engine, StatsCountFiberSwitchesAndTraffic) {
+TEST(Engine, StatsCountSchedulerEventsAndTraffic) {
   Engine eng(cfg(1));
   Var<std::uint64_t> v(eng.memory(), 0);
   eng.add_processor([&](Cpu& cpu) {
@@ -230,5 +232,33 @@ TEST(Engine, StatsCountFiberSwitchesAndTraffic) {
   EXPECT_EQ(eng.stats().reads, 1u);
   EXPECT_EQ(eng.stats().writes, 1u);
   EXPECT_EQ(eng.stats().rmws, 1u);
-  EXPECT_GE(eng.stats().fiber_switches, 3u);
+  // A single processor elides every suspend after the first resume, so the
+  // invariant metric is scheduler events (switches + elided), one per op.
+  EXPECT_GE(eng.stats().engine_events(), 3u);
+  EXPECT_GE(eng.stats().runahead_elided, 3u);
+  EXPECT_GT(eng.stats().host_wall_ns, 0u);
+}
+
+TEST(Engine, RunaheadOffMatchesRunaheadOn) {
+  auto run_once = [](bool runahead) {
+    MachineConfig c = cfg(4, 64);
+    c.runahead = runahead;
+    Engine eng(c);
+    auto v = std::make_unique<Var<std::uint64_t>>(eng.memory(), 0);
+    for (int p = 0; p < 4; ++p)
+      eng.add_processor([&](Cpu& cpu) {
+        for (int i = 0; i < 200; ++i) {
+          cpu.fetch_add(*v, std::uint64_t{1});
+          cpu.advance(1 + (cpu.id() % 3) * 5);
+        }
+      });
+    eng.run();
+    std::vector<Cycles> times;
+    for (int p = 0; p < 4; ++p) times.push_back(eng.time_of(p));
+    return std::tuple(times, eng.horizon(), eng.stats().reads,
+                      eng.stats().writes, eng.stats().rmws,
+                      eng.stats().cache_hits, eng.stats().cache_misses(),
+                      eng.stats().engine_events());
+  };
+  EXPECT_EQ(run_once(true), run_once(false));
 }

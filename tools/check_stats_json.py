@@ -52,6 +52,8 @@ RECLAIM_KEYS = [
 
 RECLAIM_POLICIES = ("ts", "hp", "epoch", "leaky")
 
+WORKLOADS = ("mixed", "des", "timer")
+
 REQUIRED_RUN_FIELDS = {
     "machine": str,
     "structure": str,
@@ -68,7 +70,15 @@ REQUIRED_RUN_FIELDS = {
     "counters": dict,
 }
 
-SIM_PREFIX_KEYS = ["sim.reads", "sim.cache_hits", "sim.miss_remote_dirty"]
+SIM_PREFIX_KEYS = [
+    "sim.reads",
+    "sim.cache_hits",
+    "sim.miss_remote_dirty",
+    "sim.fiber_switches",
+    "sim.runahead_elided",
+    "sim.host_wall_ns",
+    "sim.host_events_per_sec",
+]
 NATIVE_PREFIX_KEYS = ["native.prefill_ns", "native.run_ns", "native.quiesce_ns"]
 
 # Relaxed structures must price their relaxation: every MultiQueue run
@@ -108,6 +118,10 @@ def check_run(run, idx, errors):
         errors.append(
             f"{where}.reclaim: expected one of {RECLAIM_POLICIES}, "
             f"got {reclaim!r}")
+    workload = run.get("workload")
+    if workload is not None and workload not in WORKLOADS:
+        errors.append(
+            f"{where}.workload: expected one of {WORKLOADS}, got {workload!r}")
     if run.get("structure") == "multiqueue":
         missing = [k for k in RANK_ERROR_KEYS if k not in counters]
         if missing:

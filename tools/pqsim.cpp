@@ -31,6 +31,7 @@ namespace {
       "usage: pqsim [--machine sim|native] [--structure LIST]\n"
       "             [--list-structures]\n"
       "             [--procs N | --sweep [--max-procs N]]\n"
+      "             [--workload mixed|des|timer]\n"
       "             [--ops N] [--initial N] [--insert-ratio F]\n"
       "             [--work N] [--seed N] [--max-level N]\n"
       "             [--mq-c N] [--mq-stickiness N]\n"
@@ -38,6 +39,7 @@ namespace {
       "             [--boundoffset N]\n"
       "             [--reclaim ts|hp|epoch|leaky]\n"
       "             [--no-gc] [--pad-nodes] [--no-occupancy]\n"
+      "             [--no-runahead]\n"
       "             [--csv PATH] [--stats] [--stats-json PATH]\n"
       "\n"
       "  --machine sim|native   execution world: the simulated 256-way\n"
@@ -58,6 +60,13 @@ namespace {
       "                         acquisition (default 8)\n"
       "  --boundoffset N        linden queue: dead-prefix length that\n"
       "                         triggers restructuring (default 32)\n"
+      "  --workload KIND        scenario: mixed (the paper's benchmark,\n"
+      "                         default), des (discrete-event hold model),\n"
+      "                         timer (timer-wheel deadline front)\n"
+      "  --no-runahead          sim machine: suspend the fiber after every\n"
+      "                         charged op even when the processor would\n"
+      "                         stay scheduled (debugging escape hatch;\n"
+      "                         same results, more context switches)\n"
       "  --reclaim POLICY       memory reclamation for node-freeing\n"
       "                         backends: ts (paper Section 3 timestamp\n"
       "                         GC, default), hp (hazard pointers), epoch\n"
@@ -166,7 +175,15 @@ int main(int argc, char** argv) {
       if (!slpq::parse_reclaim_policy(next(), base.reclaim))
         usage("--reclaim must be one of ts|hp|epoch|leaky");
     }
+    else if (arg == "--workload") {
+      try {
+        base.workload = harness::parse_workload(next());
+      } catch (const std::invalid_argument& e) {
+        usage(e.what());
+      }
+    }
     else if (arg == "--no-gc") base.use_gc = false;
+    else if (arg == "--no-runahead") base.machine.runahead = false;
     else if (arg == "--pad-nodes") base.pad_nodes = true;
     else if (arg == "--no-occupancy") base.machine.model_dir_occupancy = false;
     else if (arg == "--csv") csv_path = next();
@@ -206,7 +223,8 @@ int main(int argc, char** argv) {
   const char* unit = base.flavor == harness::Flavor::Native ? "ns" : "cycles";
   harness::Table table;
   table.title = "pqsim (" + std::string(to_string(base.flavor)) + ", " +
-                unit + "): " + std::to_string(base.total_ops) + " ops, init " +
+                unit + ", " + harness::to_string(base.workload) + "): " +
+                std::to_string(base.total_ops) + " ops, init " +
                 std::to_string(base.initial_size) + ", " +
                 harness::fmt(base.insert_ratio * 100) + "% inserts, work " +
                 std::to_string(base.work_cycles);
