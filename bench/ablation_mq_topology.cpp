@@ -1,0 +1,108 @@
+// Ablation: topology-aware MultiQueue shard selection on the simulated
+// mesh — policy (none | near | adaptive) x base radius x processor count
+// x workload, with the locality/throughput/quality triad in every row.
+//
+// The trade being priced: `none` is the textbook uniform 2-choice
+// MultiQueue, so most charged lock and heap-arena traffic crosses half
+// the mesh; `near` homes each shard's lines at its owner node
+// (MemorySystem::alloc_near) and draws both delete-min candidates from a
+// Manhattan-hop radius, cutting hop distance and therefore cycles/op at
+// scale; `adaptive` widens the radius only when the periodic global probe
+// finds the local region's minima stale. Every row reports
+// mq.shard_hops.{mean,p99} and mq.local_acquires next to cycles/op and
+// the rank-error quantiles, so no locality win appears without its
+// relaxation price. The CSV is the artifact behind
+// bench_results/BENCH_mq_topology.json (distilled by bench/run_native.sh);
+// the full slpq-telemetry/1 report goes to [out.json] for
+// tools/check_stats_json.py.
+//
+//   ablation_mq_topology [out.json]
+//
+// Environment knobs:
+//   SLPQ_BENCH_SCALE  scales the operation count (default 1.0)
+//   SLPQ_MAX_PROCS    caps the sweep (default 256)
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : "ablation_mq_topology_stats.json";
+
+  struct Config {
+    slpq::TopoPolicy policy;
+    int radius;
+  };
+  const Config kConfigs[] = {
+      {slpq::TopoPolicy::kNone, 0},     {slpq::TopoPolicy::kNear, 1},
+      {slpq::TopoPolicy::kNear, 2},     {slpq::TopoPolicy::kNear, 4},
+      {slpq::TopoPolicy::kAdaptive, 1}, {slpq::TopoPolicy::kAdaptive, 2},
+      {slpq::TopoPolicy::kAdaptive, 4}};
+
+  std::vector<int> procs;
+  for (int p : {16, 64, 128, 256})
+    if (p <= harness::max_sweep_procs()) procs.push_back(p);
+
+  harness::StatsReport report;
+  harness::Table t;
+  t.title = "MultiQueue topology sweep (sim, cycles)";
+  t.columns = {"workload", "policy",  "radius",    "procs",   "cyc/op",
+               "hops.mean", "hops.p99", "local",   "rank p99"};
+
+  harness::Table csv;
+  csv.columns = {"workload",      "policy",          "radius",
+                 "procs",         "mean_insert",     "mean_delete",
+                 "mean_op",       "makespan",        "shard_hops_mean",
+                 "shard_hops_p99", "local_acquires", "topo_fallbacks",
+                 "rank_mean",     "rank_p99"};
+
+  for (auto workload :
+       {harness::WorkloadKind::Mixed, harness::WorkloadKind::Des,
+        harness::WorkloadKind::Timer}) {
+    for (const auto& c : kConfigs) {
+      for (int p : procs) {
+        harness::BenchmarkConfig cfg;
+        cfg.structure = "multiqueue";
+        cfg.flavor = harness::Flavor::Sim;
+        cfg.workload = workload;
+        cfg.processors = p;
+        cfg.initial_size = 1000;
+        cfg.total_ops = harness::scaled_ops(20000);
+        cfg.mq_topo = c.policy;
+        cfg.mq_topo_radius = c.radius;
+        std::fprintf(stderr,
+                     "[mq_topology] %-5s policy=%-8s radius=%d procs=%-3d ...\n",
+                     to_string(workload), slpq::to_string(c.policy), c.radius,
+                     p);
+        const auto r = harness::run_benchmark(cfg);
+        const auto hops_mean = r.telemetry.get("mq.shard_hops.mean");
+        const auto hops_p99 = r.telemetry.get("mq.shard_hops.p99");
+        const auto local = r.telemetry.get("mq.local_acquires");
+        const auto rank_p99 = r.telemetry.get("mq.rank_error.p99");
+        t.add_row({to_string(workload), slpq::to_string(c.policy),
+                   std::to_string(c.radius), std::to_string(p),
+                   harness::fmt(r.mean_op()), std::to_string(hops_mean),
+                   std::to_string(hops_p99), std::to_string(local),
+                   std::to_string(rank_p99)});
+        csv.add_row({to_string(workload), slpq::to_string(c.policy),
+                     std::to_string(c.radius), std::to_string(p),
+                     harness::fmt(r.mean_insert(), 1),
+                     harness::fmt(r.mean_delete(), 1),
+                     harness::fmt(r.mean_op(), 1), std::to_string(r.makespan),
+                     std::to_string(hops_mean), std::to_string(hops_p99),
+                     std::to_string(local),
+                     std::to_string(r.telemetry.get("mq.topo_fallbacks")),
+                     std::to_string(r.telemetry.get("mq.rank_error.mean")),
+                     std::to_string(rank_p99)});
+        report.add(cfg, r);
+      }
+    }
+  }
+
+  std::cout << "=== ablation_mq_topology: locality vs relaxation on the mesh "
+               "===\n\n";
+  print_table(std::cout, t);
+  write_csv("ablation_mq_topology.csv", csv);
+  write_stats_json(out_path, report);
+  std::cout << "\n[csv written to ablation_mq_topology.csv]\n"
+            << "[stats json written to " << out_path << "]\n";
+  return 0;
+}

@@ -150,6 +150,64 @@ else
        "BENCH_mq_buffers.json (run the ablation_mq_buffers binary first)" >&2
 fi
 
+# Distill the MultiQueue topology ablation (policy x radius x workload x
+# procs on the simulated mesh, from the ablation_mq_topology binary) into a
+# per-config summary: simulated cycles/op next to the hop-distance and
+# rank-error pricing, so every locality win carries its relaxation cost.
+topo_csv=""
+for candidate in "$out_dir/ablation_mq_topology.csv" \
+                 "$build_dir/bench/ablation_mq_topology.csv" \
+                 "$repo_root/ablation_mq_topology.csv"; do
+  if [ -f "$candidate" ]; then
+    topo_csv="$candidate"
+    break
+  fi
+done
+if [ -n "$topo_csv" ] && command -v python3 > /dev/null 2>&1; then
+  python3 - "$topo_csv" "$out_dir/BENCH_mq_topology.json" <<'EOF'
+import csv, json, sys
+
+src, dst = sys.argv[1], sys.argv[2]
+configs = []
+with open(src) as f:
+    for row in csv.DictReader(f):
+        configs.append({
+            "workload": row["workload"],
+            "policy": row["policy"],
+            "radius": int(row["radius"]),
+            "processors": int(row["procs"]),
+            "mean_op_cycles": float(row["mean_op"]),
+            "makespan_cycles": int(row["makespan"]),
+            "shard_hops": {
+                "mean": int(row["shard_hops_mean"]),
+                "p99": int(row["shard_hops_p99"]),
+            },
+            "local_acquires": int(row["local_acquires"]),
+            "topo_fallbacks": int(row["topo_fallbacks"]),
+            "rank_error": {
+                "mean": int(row["rank_mean"]),
+                "p99": int(row["rank_p99"]),
+            },
+        })
+
+doc = {
+    "benchmark": "ablation_mq_topology: sim mesh, 20000 ops, init 1000",
+    "unit": "cycles",
+    "note": "policy none = uniform 2-choice baseline; near/adaptive home "
+            "shard lines at their owner mesh node and bias sampling to a "
+            "hop radius; every locality number carries its rank-error price",
+    "configs": configs,
+}
+with open(dst, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=False)
+    f.write("\n")
+EOF
+  echo "wrote $out_dir/BENCH_mq_topology.json (from $topo_csv)"
+else
+  echo "run_native.sh: no ablation_mq_topology.csv found, skipping" \
+       "BENCH_mq_topology.json (run the ablation_mq_topology binary first)" >&2
+fi
+
 # Distill the reclamation-policy ablation (policy x backend x procs, from
 # the ablation_reclaim binary) into a per-config summary: ops/s next to the
 # reclaim.* counters, so every policy's speed number carries its

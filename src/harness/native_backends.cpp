@@ -102,6 +102,8 @@ class MultiQueueHandle final : public QueueHandle {
     o.max_threads = cfg.processors;
     o.seed = cfg.seed;
     o.reclaim = cfg.reclaim;
+    o.topo = cfg.mq_topo;
+    o.topo_radius = cfg.mq_topo_radius;
     return o;
   }
 
@@ -192,7 +194,7 @@ void register_native_backends(BackendRegistry& registry) {
                 "slpq::MultiQueue — relaxed c-way sharded queue",
                 {"mq"},
                 {"mq_c", "mq_stickiness", "mq_ins_buf", "mq_del_buf",
-                 "mq_batch", "reclaim"},
+                 "mq_batch", "mq_topo", "mq_topo_radius", "reclaim"},
                 [](const BackendInit& init) {
                   return std::unique_ptr<QueueHandle>(
                       new MultiQueueHandle(init.cfg));

@@ -140,6 +140,8 @@ class SimMultiQueueHandle final : public QueueHandle {
     o.deletion_buffer = static_cast<std::size_t>(cfg.mq_del_buf);
     o.batch = static_cast<std::size_t>(cfg.mq_batch);
     o.seed = cfg.seed;
+    o.topo = cfg.mq_topo;
+    o.topo_radius = cfg.mq_topo_radius;
     return o;
   }
 
@@ -244,7 +246,7 @@ void register_sim_backends(BackendRegistry& registry) {
                 "relaxed c-way sharded queue with 2-choice sampling",
                 {"mq"},
                 {"mq_c", "mq_stickiness", "mq_ins_buf", "mq_del_buf",
-                 "mq_batch"},
+                 "mq_batch", "mq_topo", "mq_topo_radius"},
                 [](const BackendInit& init) {
                   return std::unique_ptr<QueueHandle>(
                       new SimMultiQueueHandle(init));

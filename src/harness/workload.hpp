@@ -17,6 +17,7 @@
 #include "harness/backend.hpp"
 #include "slpq/detail/histogram.hpp"
 #include "slpq/reclaim.hpp"
+#include "slpq/topo.hpp"
 #include "sim/config.hpp"
 #include "sim/stats.hpp"
 
@@ -67,6 +68,12 @@ struct BenchmarkConfig {
   int mq_ins_buf = 8;              ///< MultiQueue insertion-buffer capacity
   int mq_del_buf = 8;              ///< MultiQueue deletion-buffer capacity
   int mq_batch = 8;                ///< MultiQueue items moved per lock hold
+  /// MultiQueue topology policy (--mq-topo): none keeps uniform 2-choice
+  /// sampling; near/adaptive bias candidates toward shards homed within
+  /// mq_topo_radius mesh hops of the caller (sim: plus alloc_near shard
+  /// placement; native: notional Grid2D striping, telemetry-priced).
+  slpq::TopoPolicy mq_topo = slpq::TopoPolicy::kNone;
+  int mq_topo_radius = 2;          ///< base hop radius for near/adaptive
   int boundoffset = 32;            ///< Linden queue dead-prefix bound
 
   psim::MachineConfig machine;     ///< sim timing model (processor count is overridden)

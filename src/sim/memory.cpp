@@ -30,6 +30,23 @@ Addr MemorySystem::alloc(std::size_t bytes, std::size_t align) {
 
 Addr MemorySystem::alloc_line() { return alloc(kLineBytes, kLineBytes); }
 
+Addr MemorySystem::alloc_near(int node, std::size_t bytes) {
+  assert(node >= 0 && node < cfg_.processors);
+  const std::size_t lines = bytes == 0 ? 1 : (bytes + kLineBytes - 1) / kLineBytes;
+  // Advance the bump pointer to the next line whose round-robin home is
+  // `node`: home_of(line) == line % processors.
+  next_addr_ = (next_addr_ + kLineBytes - 1) & ~static_cast<Addr>(kLineBytes - 1);
+  const auto procs = static_cast<LineId>(cfg_.processors);
+  const LineId phase = line_of(next_addr_) % procs;
+  const LineId want = static_cast<LineId>(node);
+  const LineId skip = (want + procs - phase) % procs;
+  next_addr_ += static_cast<Addr>(skip) * kLineBytes;
+  const Addr out = next_addr_;
+  next_addr_ += static_cast<Addr>(lines) * kLineBytes;
+  assert(home_of(line_of(out)) == node);
+  return out;
+}
+
 MemorySystem::CacheWay& MemorySystem::cache_insert(int proc, LineId line,
                                                    bool modified) {
   const std::size_t set = static_cast<std::size_t>(line) & set_mask_;

@@ -58,6 +58,16 @@ class MemorySystem {
   /// Allocates a whole line, line-aligned (for deliberately isolated words).
   Addr alloc_line();
 
+  /// Affinity allocation: reserves line-aligned lines whose round-robin
+  /// home lands on `node` (first line) and on the consecutively-numbered —
+  /// hence mesh-adjacent under the row-major layout — nodes after it for
+  /// multi-line requests. Skips at most processors-1 lines of virtual
+  /// address space to reach the right phase; the skipped lines are never
+  /// touched, so the only cost is directory capacity, which grows with the
+  /// bump allocator's high-water mark anyway. `bytes` rounds up to whole
+  /// lines (at least one).
+  Addr alloc_near(int node, std::size_t bytes);
+
   /// Home node of a line (round-robin interleaving across nodes).
   int home_of(LineId line) const noexcept {
     return static_cast<int>(line % static_cast<LineId>(cfg_.processors));

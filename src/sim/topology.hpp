@@ -21,8 +21,7 @@ class Mesh2D {
 
   /// Manhattan hop count between two node ids. Coordinates come from a
   /// per-node table built at construction — this runs on every simulated
-  /// cache miss, and the naive row-major id->(x,y) split costs two integer
-  /// divisions per call.
+  /// cache miss, so the id->(x,y) split is two table loads, not divisions.
   int hops(int a, int b) const noexcept {
     return std::abs(static_cast<int>(xs_[static_cast<std::size_t>(a)]) -
                     static_cast<int>(xs_[static_cast<std::size_t>(b)])) +

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace simq {
 
@@ -11,15 +12,40 @@ constexpr std::size_t kMaxBuffer = 1024;
 std::size_t clamp_buf(std::size_t v) {
   return v < 1 ? std::size_t{1} : (v > kMaxBuffer ? kMaxBuffer : v);
 }
+
+/// Heap-arena footprint per shard: one line per 4 batch items, clamped to
+/// [1, 16] lines — enough that a full batch touches distinct words without
+/// letting huge --mq-batch values inflate the directory.
+std::size_t arena_lines_for(std::size_t batch) {
+  const std::size_t lines = (batch + 3) / 4;
+  return lines < 1 ? 1 : (lines > 16 ? 16 : lines);
+}
 }  // namespace
 
-SimMultiQueue::Shard::Shard(psim::Engine& eng)
+SimMultiQueue::Shard::Shard(psim::Engine& eng, int owner_node,
+                            slpq::TopoPolicy topo, std::size_t arena_lines)
     // One line-aligned simulated line per shard: the lock word and the
     // published top share the shard's private line (fine: both belong to
     // whoever holds the shard), while distinct shards never false-share.
-    : base(eng.memory().alloc_line()),
+    // Under a topology policy the line and the heap arena are homed at
+    // the owner node (arena lines land on the consecutively-numbered,
+    // mesh-adjacent nodes after it); under kNone both come from the
+    // plain bump allocator.
+    : base(topo == slpq::TopoPolicy::kNone
+               ? eng.memory().alloc_line()
+               : eng.memory().alloc_near(owner_node,
+                                         (1 + arena_lines) * psim::kLineBytes)),
+      owner(owner_node),
       lock(eng, base),
-      top(base + 8, kEmptyTop) {}
+      top(base + 8, kEmptyTop) {
+  psim::Addr arena_base =
+      topo == slpq::TopoPolicy::kNone
+          ? eng.memory().alloc(arena_lines * psim::kLineBytes, psim::kLineBytes)
+          : base + psim::kLineBytes;
+  arena.reserve(arena_lines);
+  for (std::size_t i = 0; i < arena_lines; ++i)
+    arena.emplace_back(arena_base + i * psim::kLineBytes, std::uint64_t{0});
+}
 
 SimMultiQueue::SimMultiQueue(psim::Engine& eng, Options opt)
     : eng_(eng), opt_(opt) {
@@ -28,19 +54,47 @@ SimMultiQueue::SimMultiQueue(psim::Engine& eng, Options opt)
   opt_.insertion_buffer = clamp_buf(opt_.insertion_buffer);
   opt_.deletion_buffer = clamp_buf(opt_.deletion_buffer);
   opt_.batch = clamp_buf(opt_.batch);
+  if (opt_.topo_radius < 0) opt_.topo_radius = 0;
   const int procs = eng.config().processors;
   const std::size_t n =
       static_cast<std::size_t>(opt_.c) * static_cast<std::size_t>(procs);
-  shards_.reserve(n < 2 ? 2 : n);
-  for (std::size_t i = 0; i < (n < 2 ? 2 : n); ++i)
-    shards_.push_back(std::make_unique<Shard>(eng));
+  const std::size_t count = n < 2 ? 2 : n;
+  const std::size_t arena_lines = arena_lines_for(opt_.batch);
+  shards_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    shards_.push_back(std::make_unique<Shard>(
+        eng, static_cast<int>(i % static_cast<std::size_t>(procs)), opt_.topo,
+        arena_lines));
+  if (opt_.topo != slpq::TopoPolicy::kNone) {
+    const psim::Mesh2D& mesh = eng.memory().mesh();
+    const int diameter = (mesh.width() - 1) + (mesh.height() - 1);
+    near_ = std::make_unique<slpq::NearShardOrder>(
+        procs, count, diameter,
+        [&mesh](int node, int owner) { return mesh.hops(node, owner); });
+  }
   cpus_.resize(static_cast<std::size_t>(procs));
   slpq::detail::SplitMix64 sm(opt_.seed);
   for (auto& st : cpus_) {
     st.rng = slpq::detail::Xoshiro256(sm.next());
     st.ibuf.reserve(opt_.insertion_buffer);
     st.dbuf.reserve(opt_.deletion_buffer);
+    st.radius = opt_.topo_radius;
   }
+}
+
+std::size_t SimMultiQueue::sample_shard(Cpu& cpu, CpuState& st, bool global) {
+  const std::size_t n = shards_.size();
+  if (global || near_ == nullptr)
+    return static_cast<std::size_t>(st.rng.below(n));
+  const std::size_t cut = near_->cutoff(cpu.id(), st.radius);
+  return near_->shard_at(cpu.id(),
+                         static_cast<std::size_t>(st.rng.below(cut)));
+}
+
+void SimMultiQueue::record_acquire(Cpu& cpu, const Shard& s, CpuState& st) {
+  const int h = eng_.memory().mesh().hops(cpu.id(), s.owner);
+  st.hop_hist.record(static_cast<std::uint64_t>(h));
+  if (h <= opt_.topo_radius) ++st.local_acquires;
 }
 
 void SimMultiQueue::publish(Cpu& cpu, Shard& s) {
@@ -49,20 +103,27 @@ void SimMultiQueue::publish(Cpu& cpu, Shard& s) {
 
 SimMultiQueue::Shard& SimMultiQueue::pick_insert_shard(Cpu& cpu,
                                                        CpuState& st) {
-  const std::size_t n = shards_.size();
   for (int attempt = 0;; ++attempt) {
     if (st.ins_stick <= 0) {
-      st.ins_shard = static_cast<std::size_t>(st.rng.below(n));
+      bool global = near_ == nullptr;
+      if (near_ != nullptr &&
+          ++st.probe_tick % slpq::kGlobalProbePeriod == 0) {
+        global = true;  // periodic global spread keeps every shard fed
+        ++st.fallbacks;
+      }
+      st.ins_shard = sample_shard(cpu, st, global);
       st.ins_stick = opt_.stickiness;
     }
     Shard& s = *shards_[st.ins_shard];
     if (attempt >= 8) {  // bounded fallback so we cannot livelock
       s.lock.lock(cpu);
       --st.ins_stick;
+      record_acquire(cpu, s, st);
       return s;
     }
     if (s.lock.try_lock(cpu)) {
       --st.ins_stick;
+      record_acquire(cpu, s, st);
       return s;
     }
     counters_.add(slpq::Counter::kFailedCas);  // contended shard lock
@@ -81,6 +142,8 @@ void SimMultiQueue::evict_insertions(Cpu& cpu, CpuState& st) {
   for (std::size_t i = 0; i < n; ++i) {
     auto kv = std::move(st.ibuf.back());
     st.ibuf.pop_back();
+    // The item lands in the shard's heap arena: charged heap traffic.
+    cpu.write(s.arena_word(i), static_cast<std::uint64_t>(kv.first));
     s.heap.push(kv.first, std::move(kv.second));
   }
   publish(cpu, s);
@@ -101,8 +164,10 @@ void SimMultiQueue::insert(Cpu& cpu, Key key, Value value) {
 /// cpu's deletion buffer and releases the shard.
 void SimMultiQueue::drain_batch(Cpu& cpu, Shard& s, CpuState& st) {
   const std::size_t batch = std::min(opt_.batch, opt_.deletion_buffer);
-  for (std::size_t i = 0; i < batch && !s.heap.empty(); ++i)
+  for (std::size_t i = 0; i < batch && !s.heap.empty(); ++i) {
+    cpu.read(s.arena_word(i));  // popped item leaves the shard's heap arena
     st.dbuf.push_back(s.heap.pop());
+  }
   publish(cpu, s);
   s.lock.unlock(cpu);
   st.dhead = 0;
@@ -118,8 +183,12 @@ bool SimMultiQueue::revalidate_deletions(Cpu& cpu, CpuState& st) {
   const Key top = cpu.read(s.top);
   if (top >= st.dbuf[st.dhead].first) return true;
   if (!s.lock.try_lock(cpu)) return true;  // best effort: serve stale head
-  for (std::size_t i = st.dhead; i < st.dbuf.size(); ++i)
+  record_acquire(cpu, s, st);
+  for (std::size_t i = st.dhead; i < st.dbuf.size(); ++i) {
+    cpu.write(s.arena_word(i - st.dhead),
+              static_cast<std::uint64_t>(st.dbuf[i].first));
     s.heap.push(st.dbuf[i].first, std::move(st.dbuf[i].second));
+  }
   st.dbuf.clear();
   st.dhead = 0;
   drain_batch(cpu, s, st);  // publishes + unlocks
@@ -135,12 +204,35 @@ bool SimMultiQueue::refill(Cpu& cpu, CpuState& st) {
   const std::size_t n = shards_.size();
   for (int attempt = 0; attempt < 8; ++attempt) {
     if (st.del_stick <= 0) {
-      const auto a = static_cast<std::size_t>(st.rng.below(n));
-      const auto b = static_cast<std::size_t>(st.rng.below(n));
+      // 2-choice resample. Under kNear/kAdaptive both candidates come
+      // from the caller's radius, except that every kGlobalProbePeriod-th
+      // resample draws candidate b globally: that keeps every shard's
+      // sampling probability nonzero (the rank-error bound survives with
+      // a constant-factor dilution) and gives kAdaptive its signal.
+      bool probe = false;
+      if (near_ != nullptr &&
+          ++st.probe_tick % slpq::kGlobalProbePeriod == 0) {
+        probe = true;
+        ++st.fallbacks;
+      }
+      const bool uniform = near_ == nullptr;
+      const auto a = sample_shard(cpu, st, uniform);
+      const auto b = sample_shard(cpu, st, uniform || probe);
       const Key ka = cpu.read(shards_[a]->top);
       const Key kb = cpu.read(shards_[b]->top);
       st.del_shard = kb < ka ? b : a;
       st.del_stick = opt_.stickiness;
+      if (probe && opt_.topo == slpq::TopoPolicy::kAdaptive) {
+        const int diameter = near_->diameter();
+        if (kb < ka) {
+          // The global probe beat everything nearby: local minima have
+          // gone stale, widen the neighborhood.
+          st.radius = std::min(diameter, st.radius > 0 ? st.radius * 2 : 1);
+        } else {
+          // Local region is still competitive: decay toward the base.
+          st.radius = std::max(opt_.topo_radius, st.radius / 2);
+        }
+      }
     }
     Shard& s = *shards_[st.del_shard];
     if (cpu.read(s.top) == kEmptyTop) {
@@ -155,6 +247,7 @@ bool SimMultiQueue::refill(Cpu& cpu, CpuState& st) {
       continue;
     }
     --st.del_stick;
+    record_acquire(cpu, s, st);
     if (s.heap.empty()) {  // raced with another consumer
       counters_.add(slpq::Counter::kClaimLosses);
       publish(cpu, s);
@@ -167,10 +260,13 @@ bool SimMultiQueue::refill(Cpu& cpu, CpuState& st) {
   }
 
   // Sampling kept missing: deterministic sweep before reporting empty.
+  // Unchanged by the topology policies — EMPTY is only ever reported
+  // after every shard, near or far, was checked.
   for (std::size_t i = 0; i < n; ++i) {
     Shard& s = *shards_[i];
     if (cpu.read(s.top) == kEmptyTop) continue;
     s.lock.lock(cpu);
+    record_acquire(cpu, s, st);
     if (!s.heap.empty()) {
       drain_batch(cpu, s, st);
       st.del_shard = i;
@@ -246,6 +342,33 @@ std::vector<std::pair<Key, Value>> SimMultiQueue::drain_host() {
     s->top.set_raw(kEmptyTop);
   }
   return out;
+}
+
+slpq::TelemetrySnapshot SimMultiQueue::telemetry() const {
+  slpq::TelemetrySnapshot snap;
+  counters_.fill(snap);
+  std::uint64_t flushes = 0, refills = 0, invalidations = 0;
+  std::uint64_t local_acquires = 0, fallbacks = 0;
+  slpq::detail::LogHistogram hops;
+  for (const auto& st : cpus_) {
+    flushes += st.flushes;
+    refills += st.refills;
+    invalidations += st.invalidations;
+    local_acquires += st.local_acquires;
+    fallbacks += st.fallbacks;
+    hops.merge(st.hop_hist);
+  }
+  snap.set("mq.ins_flushes", flushes);
+  snap.set("mq.refills", refills);
+  snap.set("mq.dbuf_invalidations", invalidations);
+  // Topology pricing, emitted under every policy so `none` runs carry
+  // the distance baseline the biased policies are judged against.
+  snap.set("mq.shard_hops.mean",
+           static_cast<std::uint64_t>(std::llround(hops.mean())));
+  snap.set("mq.shard_hops.p99", hops.quantile(0.99));
+  snap.set("mq.local_acquires", local_acquires);
+  snap.set("mq.topo_fallbacks", fallbacks);
+  return snap;
 }
 
 std::size_t SimMultiQueue::size_raw() const {

@@ -35,9 +35,11 @@
 #include <utility>
 #include <vector>
 
+#include "slpq/detail/histogram.hpp"
 #include "slpq/detail/pairing_heap.hpp"
 #include "slpq/detail/random.hpp"
 #include "slpq/telemetry.hpp"
+#include "slpq/topo.hpp"
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
 #include "simq/sim_skipqueue.hpp"  // Key/Value aliases
@@ -54,6 +56,13 @@ class SimMultiQueue {
     std::size_t batch = 8;  ///< max items moved per shard-lock acquisition
     bool stale_invalidation = true;  ///< refresh a beaten deletion buffer
     std::uint64_t seed = 0x3017A11EULL;
+    /// Topology-aware shard selection (--mq-topo): under kNear/kAdaptive
+    /// each shard's simulated lines are additionally homed *at* its owner
+    /// node via MemorySystem::alloc_near, and sampling is biased to
+    /// shards within `topo_radius` Manhattan hops of the caller. kNone
+    /// keeps uniform sampling and plain bump allocation.
+    slpq::TopoPolicy topo = slpq::TopoPolicy::kNone;
+    int topo_radius = 2;  ///< base Manhattan-hop radius for kNear/kAdaptive
   };
 
   SimMultiQueue(psim::Engine& eng, Options opt);
@@ -88,31 +97,33 @@ class SimMultiQueue {
   /// plus the buffer-engine extras; see docs/TELEMETRY.md. The shard
   /// heaps are host-side payload with no shared node pool or GC, so
   /// those counters stay zero.
-  slpq::TelemetrySnapshot telemetry() const {
-    slpq::TelemetrySnapshot snap;
-    counters_.fill(snap);
-    std::uint64_t flushes = 0, refills = 0, invalidations = 0;
-    for (const auto& st : cpus_) {
-      flushes += st.flushes;
-      refills += st.refills;
-      invalidations += st.invalidations;
-    }
-    snap.set("mq.ins_flushes", flushes);
-    snap.set("mq.refills", refills);
-    snap.set("mq.dbuf_invalidations", invalidations);
-    return snap;
-  }
+  slpq::TelemetrySnapshot telemetry() const;
 
  private:
   /// Published-top sentinel: no workload key reaches INT64_MAX.
   static constexpr Key kEmptyTop = std::numeric_limits<Key>::max();
 
   struct Shard {
-    explicit Shard(psim::Engine& eng);
+    /// `owner` is the mesh node the shard stripes to (shard index mod
+    /// processors). Under a topology policy the shard's line and heap
+    /// arena come from alloc_near(owner, ...); under kNone they come
+    /// from the plain bump allocator as before.
+    Shard(psim::Engine& eng, int owner, slpq::TopoPolicy topo,
+          std::size_t arena_lines);
     psim::Addr base;           // start of the shard's private line
+    int owner;                 // mesh node the shard's state is homed near
     psim::Mutex lock;          // word 0 of the shard's private line
     psim::Var<Key> top;        // word 1: published minimum (kEmptyTop = none)
+    /// One Var per heap-arena line: the simulated footprint of the heap
+    /// payload. Every item moved in a charged lock hold charges one
+    /// access here (4 items per 64-byte line), so heap traffic — not
+    /// just lock and top-word traffic — prices shard distance.
+    std::vector<psim::Var<std::uint64_t>> arena;
     slpq::detail::PairingHeap<Key, Value> heap;  // host-side payload
+
+    psim::Var<std::uint64_t>& arena_word(std::size_t item_idx) {
+      return arena[(item_idx / 4) % arena.size()];
+    }
   };
 
   struct CpuState {
@@ -124,9 +135,14 @@ class SimMultiQueue {
     std::size_t del_shard = 0;
     int ins_stick = 0;
     int del_stick = 0;
+    int radius = 0;                  // current kAdaptive radius (hops)
+    std::uint64_t probe_tick = 0;    // resamples since start (probe cadence)
     std::uint64_t flushes = 0;
     std::uint64_t refills = 0;
     std::uint64_t invalidations = 0;
+    std::uint64_t local_acquires = 0;
+    std::uint64_t fallbacks = 0;
+    slpq::detail::LogHistogram hop_hist;  // hops per charged lock acquisition
   };
 
   Shard& pick_insert_shard(Cpu& cpu, CpuState& st);
@@ -135,11 +151,17 @@ class SimMultiQueue {
   void drain_batch(Cpu& cpu, Shard& s, CpuState& st);
   bool revalidate_deletions(Cpu& cpu, CpuState& st);
   bool refill(Cpu& cpu, CpuState& st);
+  /// One shard id: uniform over all shards when `global` (or under
+  /// kNone), else uniform over the caller's near set at st.radius.
+  std::size_t sample_shard(Cpu& cpu, CpuState& st, bool global);
+  /// Host-side pricing of a successful charged lock acquisition.
+  void record_acquire(Cpu& cpu, const Shard& s, CpuState& st);
 
   psim::Engine& eng_;
   Options opt_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<CpuState> cpus_;
+  std::unique_ptr<slpq::NearShardOrder> near_;  // kNear/kAdaptive only
   std::size_t seed_rr_ = 0;  // round-robin cursor for host-side seeding
   slpq::OpCounters counters_;  // host-side, not simulated state
 };

@@ -52,8 +52,10 @@
 // multiplexing. A Handle must not be used from two threads at once.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -67,11 +69,13 @@
 
 #include "slpq/detail/cache_line.hpp"
 #include "slpq/detail/fixed_buffer.hpp"
+#include "slpq/detail/histogram.hpp"
 #include "slpq/detail/pairing_heap.hpp"
 #include "slpq/detail/random.hpp"
 #include "slpq/detail/spinlock.hpp"
 #include "slpq/reclaim.hpp"
 #include "slpq/telemetry.hpp"
+#include "slpq/topo.hpp"
 
 namespace slpq {
 
@@ -101,6 +105,17 @@ class MultiQueue {
     /// policy's bookkeeping on a lock-based structure. kLeaky still
     /// frees at drain time (queue destruction), not never.
     ReclaimPolicy reclaim = ReclaimPolicy::kTimestamp;
+    /// Topology-aware shard selection (--mq-topo). Handles stripe onto a
+    /// near-square Grid2D of max_threads logical nodes (handle seq mod
+    /// max_threads) and shards stripe the same way (shard index mod
+    /// max_threads); kNear/kAdaptive bias sampling toward shards whose
+    /// owner node is within topo_radius grid hops of the handle's node.
+    /// On a real single-socket host this changes only *which* shards a
+    /// handle prefers (the win is measurable on the simulated mesh), but
+    /// the knob is uniform across machines and the mq.shard_hops.* /
+    /// mq.local_acquires / mq.topo_fallbacks telemetry prices it here too.
+    TopoPolicy topo = TopoPolicy::kNone;
+    int topo_radius = 2;  ///< base grid-hop radius for kNear/kAdaptive
   };
 
   class Handle;
@@ -110,6 +125,7 @@ class MultiQueue {
   explicit MultiQueue(Options opt, Compare cmp = Compare())
       : opt_(sanitize(opt)),
         cmp_(cmp),
+        grid_(opt_.max_threads),
         reclaimer_(make_reclaimer(
             opt_.reclaim,
             &detail::PairingHeap<Key, Value, Compare>::delete_node,
@@ -117,6 +133,11 @@ class MultiQueue {
     const std::size_t n = static_cast<std::size_t>(opt_.c) *
                           static_cast<std::size_t>(opt_.max_threads);
     shard_count_ = n < 2 ? 2 : n;
+    if (opt_.topo != TopoPolicy::kNone) {
+      near_ = std::make_unique<NearShardOrder>(
+          opt_.max_threads, shard_count_, grid_.diameter(),
+          [this](int node, int owner) { return grid_.hops(node, owner); });
+    }
     shards_raw_ = ::operator new(shard_count_ * sizeof(PaddedShard),
                                  std::align_val_t{alignof(PaddedShard)});
     shards_ = static_cast<PaddedShard*>(shards_raw_);
@@ -161,7 +182,10 @@ class MultiQueue {
         : q_(q),
           rng_(q->opt_.seed + 0x9E3779B97F4A7C15ULL * (seq + 1)),
           ibuf_(q->opt_.insertion_buffer),
-          dbuf_(q->opt_.deletion_buffer) {}
+          dbuf_(q->opt_.deletion_buffer),
+          node_(static_cast<int>(seq %
+                                 static_cast<std::uint64_t>(q->opt_.max_threads))),
+          radius_(q->opt_.topo_radius) {}
 
     MultiQueue* q_;
     detail::Xoshiro256 rng_;
@@ -172,12 +196,21 @@ class MultiQueue {
     std::size_t del_shard_ = 0;
     int ins_stick_ = 0;
     int del_stick_ = 0;
+    int node_ = 0;                   // grid node (seq mod max_threads)
+    int radius_ = 0;                 // current kAdaptive radius (grid hops)
+    std::uint64_t probe_tick_ = 0;   // resamples since creation
     // Buffer-engine telemetry. Only this handle's thread writes these, so
     // the relaxed increments cost no coherence traffic (the Handle owns
     // its lines); telemetry() sums them across handles.
     std::atomic<std::uint64_t> flushes_{0};
     std::atomic<std::uint64_t> refills_{0};
     std::atomic<std::uint64_t> invalidations_{0};
+    std::atomic<std::uint64_t> local_acquires_{0};
+    std::atomic<std::uint64_t> fallbacks_{0};
+    // Hops per successful shard-lock acquisition. Plain buckets: like the
+    // rank-error probe, read it only when the handle's thread is quiescent
+    // (the drivers snapshot telemetry after workers join).
+    detail::LogHistogram hop_hist_;
   };
 
   /// Creates a new handle owned by the queue (stable address). Handles are
@@ -272,17 +305,29 @@ class MultiQueue {
     TelemetrySnapshot snap;
     counters_.fill(snap);
     std::uint64_t flushes = 0, refills = 0, invalidations = 0;
+    std::uint64_t local = 0, fallbacks = 0;
+    detail::LogHistogram hops;
     {
       std::lock_guard<detail::TinySpinLock> g(handles_lock_);
       for (const auto& h : handles_) {
         flushes += h->flushes_.load(std::memory_order_relaxed);
         refills += h->refills_.load(std::memory_order_relaxed);
         invalidations += h->invalidations_.load(std::memory_order_relaxed);
+        local += h->local_acquires_.load(std::memory_order_relaxed);
+        fallbacks += h->fallbacks_.load(std::memory_order_relaxed);
+        hops.merge(h->hop_hist_);
       }
     }
     snap.set("mq.ins_flushes", flushes);
     snap.set("mq.refills", refills);
     snap.set("mq.dbuf_invalidations", invalidations);
+    snap.set("mq.shard_hops.mean",
+             hops.count() == 0
+                 ? 0
+                 : static_cast<std::uint64_t>(std::llround(hops.mean())));
+    snap.set("mq.shard_hops.p99", hops.quantile(0.99));
+    snap.set("mq.local_acquires", local);
+    snap.set("mq.topo_fallbacks", fallbacks);
     fill_reclaim_telemetry(snap, *reclaimer_);
     return snap;
   }
@@ -310,7 +355,32 @@ class MultiQueue {
     o.insertion_buffer = clamp(o.insertion_buffer);
     o.deletion_buffer = clamp(o.deletion_buffer);
     o.batch = clamp(o.batch);
+    if (o.topo_radius < 0) o.topo_radius = 0;
     return o;
+  }
+
+  /// Grid node a shard's state notionally lives on (round-robin stripe).
+  int owner_of(std::size_t shard_idx) const noexcept {
+    return static_cast<int>(shard_idx %
+                            static_cast<std::size_t>(opt_.max_threads));
+  }
+
+  /// One shard id: uniform over all shards when `global` (or under
+  /// kNone), else uniform over the handle's near set at h.radius_.
+  std::size_t sample_shard(Handle& h, bool global) {
+    if (global || near_ == nullptr)
+      return static_cast<std::size_t>(h.rng_.below(shard_count_));
+    const std::size_t cut = near_->cutoff(h.node_, h.radius_);
+    return near_->shard_at(h.node_,
+                           static_cast<std::size_t>(h.rng_.below(cut)));
+  }
+
+  /// Prices a successful shard-lock acquisition in grid hops.
+  void record_acquire(Handle& h, std::size_t shard_idx) {
+    const int hops = grid_.hops(h.node_, owner_of(shard_idx));
+    h.hop_hist_.record(static_cast<std::uint64_t>(hops));
+    if (hops <= opt_.topo_radius)
+      h.local_acquires_.fetch_add(1, std::memory_order_relaxed);
   }
 
   Shard& shard(std::size_t i) noexcept { return shards_[i].value; }
@@ -344,12 +414,19 @@ class MultiQueue {
   Shard& lock_shard_for_insert(Handle& h) {
     for (int attempt = 0;; ++attempt) {
       if (h.ins_stick_ <= 0) {
-        h.ins_shard_ = static_cast<std::size_t>(h.rng_.below(shard_count_));
+        bool global = near_ == nullptr;
+        if (near_ != nullptr &&
+            ++h.probe_tick_ % kGlobalProbePeriod == 0) {
+          global = true;  // periodic global spread keeps every shard fed
+          h.fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        }
+        h.ins_shard_ = sample_shard(h, global);
         h.ins_stick_ = opt_.stickiness;
       }
       Shard& s = shard(h.ins_shard_);
       if (s.lock.try_lock()) {
         --h.ins_stick_;
+        record_acquire(h, h.ins_shard_);
         return s;
       }
       counters_.add(Counter::kFailedCas);  // contended shard lock
@@ -357,6 +434,7 @@ class MultiQueue {
       if (attempt >= 8) {
         s.lock.lock();  // bounded fallback so we cannot livelock
         --h.ins_stick_;
+        record_acquire(h, h.ins_shard_);
         return s;
       }
     }
@@ -397,6 +475,7 @@ class MultiQueue {
     const Key top = s.top.load(std::memory_order_relaxed);
     if (!cmp_(top, h.dbuf_[h.dhead_].first)) return true;
     if (!s.lock.try_lock()) return true;
+    record_acquire(h, h.del_shard_);
     for (std::size_t i = h.dhead_; i < h.dbuf_.size(); ++i)
       s.heap.push(std::move(h.dbuf_[i].first), std::move(h.dbuf_[i].second));
     h.dbuf_.clear();
@@ -425,10 +504,34 @@ class MultiQueue {
     for (int attempt = 0; attempt < 8; ++attempt) {
       if (h.del_stick_ <= 0 ||
           !shard(h.del_shard_).nonempty.load(std::memory_order_acquire)) {
-        const auto a = static_cast<std::size_t>(h.rng_.below(shard_count_));
-        const auto b = static_cast<std::size_t>(h.rng_.below(shard_count_));
-        h.del_shard_ = shard_beats(a, b) ? a : b;
+        // 2-choice resample. Under kNear/kAdaptive both candidates come
+        // from the handle's radius, except every kGlobalProbePeriod-th
+        // resample draws candidate b globally — the fallback that keeps
+        // every shard's sampling probability nonzero (so the rank-error
+        // bound survives) and feeds kAdaptive its staleness signal.
+        bool probe = false;
+        if (near_ != nullptr &&
+            ++h.probe_tick_ % kGlobalProbePeriod == 0) {
+          probe = true;
+          h.fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        }
+        const bool uniform = near_ == nullptr;
+        const auto a = sample_shard(h, uniform);
+        const auto b = sample_shard(h, uniform || probe);
+        const bool a_wins = shard_beats(a, b);
+        h.del_shard_ = a_wins ? a : b;
         h.del_stick_ = opt_.stickiness;
+        if (probe && opt_.topo == TopoPolicy::kAdaptive) {
+          if (!a_wins) {
+            // The global probe beat everything nearby: local minima have
+            // gone stale, widen the neighborhood.
+            h.radius_ = std::min(grid_.diameter(),
+                                 h.radius_ > 0 ? h.radius_ * 2 : 1);
+          } else {
+            // Local region is still competitive: decay toward the base.
+            h.radius_ = std::max(opt_.topo_radius, h.radius_ / 2);
+          }
+        }
       }
       Shard& s = shard(h.del_shard_);
       if (!s.nonempty.load(std::memory_order_acquire) || !s.lock.try_lock()) {
@@ -437,6 +540,7 @@ class MultiQueue {
         continue;
       }
       --h.del_stick_;
+      record_acquire(h, h.del_shard_);
       if (s.heap.empty()) {  // raced with another consumer
         counters_.add(Counter::kClaimLosses);
         s.lock.unlock();
@@ -447,10 +551,13 @@ class MultiQueue {
       return true;
     }
     // Sampling kept missing: deterministic sweep before reporting empty.
+    // Unchanged by the topology policies — EMPTY is only ever reported
+    // after every shard, near or far, was checked.
     for (std::size_t i = 0; i < shard_count_; ++i) {
       Shard& s = shard(i);
       if (!s.nonempty.load(std::memory_order_acquire)) continue;
       s.lock.lock();
+      record_acquire(h, i);
       if (!s.heap.empty()) {
         drain_batch(s, h);
         h.del_shard_ = i;
@@ -501,6 +608,7 @@ class MultiQueue {
   const std::uint64_t id_ = next_instance_id();
   Options opt_;
   Compare cmp_;
+  Grid2D grid_;  ///< notional node layout for topology-aware sampling
   // Declared before the shard array's teardown path runs in ~MultiQueue:
   // the destructor destroys shards first, then members, so the reclaimer
   // (which drains retired-but-unfreed heap nodes in its own destructor)
@@ -510,6 +618,7 @@ class MultiQueue {
   void* shards_raw_ = nullptr;
   PaddedShard* shards_ = nullptr;
   std::atomic<std::int64_t> size_{0};
+  std::unique_ptr<NearShardOrder> near_;  // kNear/kAdaptive only
   mutable detail::TinySpinLock handles_lock_;
   std::vector<std::unique_ptr<Handle>> handles_;
   OpCounters counters_;

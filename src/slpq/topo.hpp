@@ -1,0 +1,168 @@
+// Topology-aware shard selection for the MultiQueues (--mq-topo).
+//
+// The MultiQueue's 2-choice sampling is uniform over all shards, so on a
+// mesh machine most lock and heap traffic crosses half the die. The
+// topology policies bias sampling toward shards whose *owner node* (the
+// mesh node the shard's state is homed near) is within a Manhattan-hop
+// radius of the calling processor:
+//
+//  * kNone     — uniform sampling, the textbook MultiQueue (default).
+//  * kNear     — both delete-min candidates come from the caller's
+//                radius; every kGlobalProbePeriod-th resample draws one
+//                candidate globally so every shard keeps a nonzero
+//                sampling probability (this preserves the 2-choice
+//                rank-error bound up to a constant factor and lets a
+//                processor escape a drained neighborhood).
+//  * kAdaptive — kNear with a self-limiting radius: when the periodic
+//                global probe beats the local candidate (the local
+//                region's minima have gone stale), the radius doubles;
+//                when the local candidate wins, it decays back toward
+//                the configured base radius.
+//
+// This header is native-side (slpq must not depend on psim), so it
+// carries its own near-square 2-D grid. The simulated machine uses
+// psim::Mesh2D — same layout rule, so shard→owner striping means the
+// same thing in both worlds and the --mq-topo knob is uniform.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstddef>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace slpq {
+
+enum class TopoPolicy : std::uint8_t { kNone, kNear, kAdaptive };
+
+/// Every kGlobalProbePeriod-th resample under kNear/kAdaptive draws one
+/// candidate from the full shard set (counted as mq.topo_fallbacks).
+inline constexpr int kGlobalProbePeriod = 8;
+
+inline const char* to_string(TopoPolicy p) noexcept {
+  switch (p) {
+    case TopoPolicy::kNone: return "none";
+    case TopoPolicy::kNear: return "near";
+    case TopoPolicy::kAdaptive: return "adaptive";
+  }
+  return "none";
+}
+
+/// Parses "none" | "near" | "adaptive"; returns false on anything else.
+inline bool parse_topo_policy(const std::string& name, TopoPolicy& out) {
+  if (name == "none") { out = TopoPolicy::kNone; return true; }
+  if (name == "near") { out = TopoPolicy::kNear; return true; }
+  if (name == "adaptive") { out = TopoPolicy::kAdaptive; return true; }
+  return false;
+}
+
+/// Near-square row-major 2-D grid over `nodes` logical nodes — the same
+/// layout rule as psim::Mesh2D, duplicated here so the native MultiQueue
+/// can stripe shards across "sockets" without a simulator dependency.
+class Grid2D {
+ public:
+  explicit Grid2D(int nodes) : nodes_(nodes < 1 ? 1 : nodes) {
+    width_ = static_cast<int>(
+        std::ceil(std::sqrt(static_cast<double>(nodes_))));
+    if (width_ < 1) width_ = 1;
+    height_ = (nodes_ + width_ - 1) / width_;
+    xs_.reserve(static_cast<std::size_t>(nodes_));
+    ys_.reserve(static_cast<std::size_t>(nodes_));
+    for (int id = 0; id < nodes_; ++id) {
+      xs_.push_back(static_cast<std::uint16_t>(id % width_));
+      ys_.push_back(static_cast<std::uint16_t>(id / width_));
+    }
+  }
+
+  int nodes() const noexcept { return nodes_; }
+  int width() const noexcept { return width_; }
+  int height() const noexcept { return height_; }
+
+  /// Manhattan hop count between two node ids.
+  int hops(int a, int b) const noexcept {
+    return std::abs(static_cast<int>(xs_[static_cast<std::size_t>(a)]) -
+                    static_cast<int>(xs_[static_cast<std::size_t>(b)])) +
+           std::abs(static_cast<int>(ys_[static_cast<std::size_t>(a)]) -
+                    static_cast<int>(ys_[static_cast<std::size_t>(b)]));
+  }
+
+  /// Largest hop distance between any two nodes (corner to corner).
+  int diameter() const noexcept { return (width_ - 1) + (height_ - 1); }
+
+ private:
+  int nodes_;
+  int width_;
+  int height_;
+  std::vector<std::uint16_t> xs_, ys_;  // node id -> grid coordinates
+};
+
+/// Per-node locality order over shards: shard ids sorted ascending by
+/// (hops(node, owner), shard id), plus a cumulative cutoff per radius so
+/// "sample uniformly within r hops" is one rng draw below cutoff(r).
+/// Owners stripe round-robin: owner(shard) = shard % nodes.
+class NearShardOrder {
+ public:
+  template <typename HopsFn>
+  NearShardOrder(int nodes, std::size_t shards, int diameter, HopsFn&& hops) {
+    nodes_ = nodes < 1 ? 1 : nodes;
+    diameter_ = diameter < 0 ? 0 : diameter;
+    order_.resize(static_cast<std::size_t>(nodes_) * shards);
+    cutoffs_.resize(static_cast<std::size_t>(nodes_) *
+                    static_cast<std::size_t>(diameter_ + 1));
+    std::vector<std::uint32_t> ids(shards);
+    for (int node = 0; node < nodes_; ++node) {
+      for (std::size_t s = 0; s < shards; ++s)
+        ids[s] = static_cast<std::uint32_t>(s);
+      auto dist = [&](std::uint32_t s) {
+        return hops(node, static_cast<int>(s % static_cast<std::uint32_t>(
+                              nodes_)));
+      };
+      std::stable_sort(ids.begin(), ids.end(),
+                       [&](std::uint32_t a, std::uint32_t b) {
+                         const int da = dist(a), db = dist(b);
+                         return da != db ? da < db : a < b;
+                       });
+      std::copy(ids.begin(), ids.end(),
+                order_.begin() + static_cast<std::ptrdiff_t>(
+                                     static_cast<std::size_t>(node) * shards));
+      // cutoffs_[node][r] = how many shards sit within r hops of node.
+      std::size_t i = 0;
+      for (int r = 0; r <= diameter_; ++r) {
+        while (i < shards && dist(ids[i]) <= r) ++i;
+        cutoffs_[static_cast<std::size_t>(node) *
+                     static_cast<std::size_t>(diameter_ + 1) +
+                 static_cast<std::size_t>(r)] = i;
+      }
+    }
+    shards_ = shards;
+  }
+
+  /// Number of shards within `radius` hops of `node` (>= the node's own
+  /// c shards, so a local sample is always possible).
+  std::size_t cutoff(int node, int radius) const noexcept {
+    if (radius > diameter_) radius = diameter_;
+    if (radius < 0) radius = 0;
+    return cutoffs_[static_cast<std::size_t>(node) *
+                        static_cast<std::size_t>(diameter_ + 1) +
+                    static_cast<std::size_t>(radius)];
+  }
+
+  /// The idx-th closest shard to `node` (idx < cutoff(node, r) stays
+  /// within r hops).
+  std::size_t shard_at(int node, std::size_t idx) const noexcept {
+    return order_[static_cast<std::size_t>(node) * shards_ + idx];
+  }
+
+  int diameter() const noexcept { return diameter_; }
+
+ private:
+  int nodes_ = 1;
+  int diameter_ = 0;
+  std::size_t shards_ = 0;
+  std::vector<std::uint32_t> order_;    // [node][rank] -> shard id
+  std::vector<std::size_t> cutoffs_;    // [node][radius] -> count
+};
+
+}  // namespace slpq

@@ -67,6 +67,39 @@ INSTANTIATE_TEST_SUITE_P(Procs, RankErrorQuality, ::testing::Values(2, 8),
                            return "procs" + std::to_string(info.param);
                          });
 
+class TopoRankError : public ::testing::TestWithParam<int> {};
+
+TEST_P(TopoRankError, NearP99StaysWithinFactorOfUniform) {
+  // Locality-biased sampling restricts most 2-choice draws to a hop
+  // radius, which costs relaxation quality: a stale far shard is found
+  // only by the periodic global probe. That probe is exactly what keeps
+  // the degradation bounded — this pins the constant, same shape as the
+  // buffered-vs-unbuffered bound above.
+  const int procs = GetParam();
+  BenchmarkConfig near_cfg = mq_config(procs, 8, 8, 8);
+  near_cfg.mq_topo = slpq::TopoPolicy::kNear;
+  near_cfg.mq_topo_radius = 2;
+  const BenchmarkResult near_run = run_sim_benchmark(near_cfg);
+  const BenchmarkResult none_run =
+      run_sim_benchmark(mq_config(procs, 8, 8, 8));
+
+  ASSERT_GT(near_run.rank_error.count(), 0u);
+  ASSERT_GT(none_run.rank_error.count(), 0u);
+
+  const auto near_p99 = near_run.rank_error.quantile(0.99);
+  const auto none_p99 = none_run.rank_error.quantile(0.99);
+  const std::uint64_t floor = 64;
+  const std::uint64_t bound = 8 * (none_p99 > floor ? none_p99 : floor);
+  EXPECT_LE(near_p99, bound)
+      << "procs=" << procs << " near p99 " << near_p99 << " vs uniform p99 "
+      << none_p99;
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, TopoRankError, ::testing::Values(64, 256),
+                         [](const auto& info) {
+                           return "procs" + std::to_string(info.param);
+                         });
+
 TEST(RankErrorTelemetry, RelaxedRunsCarryHistogramKeys) {
   const BenchmarkResult r = run_sim_benchmark(mq_config(4, 8, 8, 8));
   EXPECT_GT(r.telemetry.get("mq.rank_error.samples"), 0u);

@@ -206,3 +206,53 @@ TEST(MemorySystem, FartherHomeCostsMore) {
   const Cycles t_remote = f.mem.access(0, remote, Access::Read, 0);
   EXPECT_GT(t_remote, t_local);
 }
+
+TEST(MemorySystem, AllocNearHomesFirstLineAtRequestedNode) {
+  MachineConfig cfg;
+  cfg.processors = 16;
+  Fixture f(cfg);
+  for (int node : {0, 3, 7, 15, 2, 2, 9}) {
+    const Addr a = f.mem.alloc_near(node, 8);
+    EXPECT_EQ(a % psim::kLineBytes, 0u);
+    EXPECT_EQ(f.mem.home_of(psim::line_of(a)), node);
+  }
+}
+
+TEST(MemorySystem, AllocNearMultiLineHomesConsecutively) {
+  MachineConfig cfg;
+  cfg.processors = 16;
+  Fixture f(cfg);
+  // 5 lines starting at node 14: homes wrap 14, 15, 0, 1, 2 — consecutive
+  // ids, hence mesh-adjacent under the row-major layout (modulo the wrap).
+  const Addr a = f.mem.alloc_near(14, 5 * psim::kLineBytes);
+  for (int i = 0; i < 5; ++i)
+    EXPECT_EQ(f.mem.home_of(psim::line_of(a) + static_cast<psim::LineId>(i)),
+              (14 + i) % 16);
+}
+
+TEST(MemorySystem, AllocNearSkipsAtMostProcsMinusOneLines) {
+  MachineConfig cfg;
+  cfg.processors = 8;
+  Fixture f(cfg);
+  const Addr before = f.mem.alloc(8);
+  const Addr a = f.mem.alloc_near(5, 8);
+  // Phase-matching may skip forward, but never a full round-robin period.
+  EXPECT_LT(psim::line_of(a) - psim::line_of(before),
+            static_cast<psim::LineId>(cfg.processors) + 1);
+  // Zero-byte requests still reserve one line at the right home.
+  const Addr b = f.mem.alloc_near(5, 0);
+  EXPECT_EQ(f.mem.home_of(psim::line_of(b)), 5);
+  EXPECT_GT(b, a);
+}
+
+TEST(MemorySystem, AllocNearAccessIsLocalHitPathUnaffected) {
+  MachineConfig cfg;
+  cfg.processors = 16;
+  Fixture f(cfg);
+  const Addr near_a = f.mem.alloc_near(0, 8);
+  const Addr far_a = f.mem.alloc_near(15, 8);
+  // Node 0 touching its own home line beats touching the far corner's.
+  const Cycles t_near = f.mem.access(0, near_a, Access::Read, 0);
+  const Cycles t_far = f.mem.access(0, far_a, Access::Read, 0);
+  EXPECT_GT(t_far, t_near);
+}

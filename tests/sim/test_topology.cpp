@@ -61,3 +61,42 @@ TEST(Mesh2D, MeanHopsGrowsWithMachine) {
   Mesh2D small(16), large(256);
   EXPECT_GT(large.mean_hops(0), small.mean_hops(0));
 }
+
+TEST(Mesh2D, TwelveNodes) {
+  Mesh2D m(12);  // ceil(sqrt(12)) = 4 wide, 3 tall
+  EXPECT_EQ(m.width(), 4);
+  EXPECT_EQ(m.height(), 3);
+  EXPECT_EQ(m.hops(0, 11), 5);  // (0,0) -> (3,2)
+  EXPECT_EQ(m.hops(3, 8), 5);   // (3,0) -> (0,2)
+  EXPECT_EQ(m.hops(4, 7), 3);   // (0,1) -> (3,1), same row
+  for (int a = 0; a < 12; ++a)
+    for (int b = 0; b < 12; ++b) EXPECT_EQ(m.hops(a, b), m.hops(b, a));
+}
+
+TEST(Mesh2D, FortyEightNodes) {
+  Mesh2D m(48);  // ceil(sqrt(48)) = 7 wide, 7 tall (last row partial)
+  EXPECT_EQ(m.width(), 7);
+  EXPECT_GE(m.width() * m.height(), 48);
+  EXPECT_LT(m.width() * (m.height() - 1), 48);  // last row non-empty
+  EXPECT_EQ(m.hops(0, 6), 6);    // across the top row
+  EXPECT_EQ(m.hops(0, 42), 6);   // down the left column
+  EXPECT_EQ(m.hops(0, 47), 11);  // (0,0) -> (5,6)
+  const int diameter = (m.width() - 1) + (m.height() - 1);
+  for (int a = 0; a < 48; a += 5)
+    for (int b = 0; b < 48; ++b) EXPECT_LE(m.hops(a, b), diameter);
+}
+
+TEST(Mesh2D, MeanHopsMatchesBruteForce) {
+  for (int nodes : {6, 12, 48}) {
+    Mesh2D m(nodes);
+    for (int from : {0, nodes / 2, nodes - 1}) {
+      long sum = 0;
+      for (int b = 0; b < nodes; ++b) sum += m.hops(from, b);
+      // mean_hops averages over the *other* nodes (self contributes 0 hops
+      // to the sum but is excluded from the denominator).
+      EXPECT_DOUBLE_EQ(m.mean_hops(from),
+                       static_cast<double>(sum) / (nodes - 1))
+          << "nodes=" << nodes << " from=" << from;
+    }
+  }
+}

@@ -155,3 +155,113 @@ TEST(SimMultiQueue, TelemetryEmitsBufferEngineKeys) {
   EXPECT_GT(snap.get("mq.ins_flushes"), 0u);
   EXPECT_GT(snap.get("mq.refills"), 0u);
 }
+
+TEST(SimMultiQueue, TopologyPoliciesConserveKeys) {
+  for (auto policy : {slpq::TopoPolicy::kNear, slpq::TopoPolicy::kAdaptive}) {
+    Engine eng(cfg(8));
+    auto o = opts(8, 8, 8);
+    o.topo = policy;
+    o.topo_radius = 1;
+    SimMultiQueue q(eng, o);
+
+    std::vector<Key> inserted, popped;
+    for (int p = 0; p < 8; ++p) {
+      eng.add_processor([&, p](Cpu& cpu) {
+        slpq::detail::Xoshiro256 rng(static_cast<std::uint64_t>(p) + 7);
+        for (int i = 0; i < 300; ++i) {
+          const Key k = static_cast<Key>(rng.below(1 << 20));
+          q.insert(cpu, k, 0);
+          inserted.push_back(k);
+          if (i % 2 == 0) {
+            if (auto item = q.delete_min(cpu)) popped.push_back(item->first);
+          }
+        }
+      });
+    }
+    eng.run();
+
+    std::vector<Key> seen = popped;
+    for (auto& kv : q.drain_host()) seen.push_back(kv.first);
+    std::sort(seen.begin(), seen.end());
+    std::sort(inserted.begin(), inserted.end());
+    EXPECT_EQ(seen, inserted) << "policy " << slpq::to_string(policy);
+  }
+}
+
+TEST(SimMultiQueue, TopologyShardPlacementHomesAtOwner) {
+  // Under a topology policy every shard's line (lock + top) must be homed
+  // at the shard's owner node (shard index mod processors); the arena
+  // lines follow consecutively.
+  Engine eng(cfg(16));
+  auto o = opts(8, 8, 8);
+  o.topo = slpq::TopoPolicy::kNear;
+  SimMultiQueue q(eng, o);
+  EXPECT_EQ(q.num_shards(), 32u);  // c=2 per processor
+  // No direct shard accessor; instead check the observable: a run's hop
+  // histogram under near should be dominated by short distances.
+  eng.add_processor([&](Cpu& cpu) {
+    for (Key k = 0; k < 64; ++k) q.insert(cpu, k, 0);
+    for (int i = 0; i < 64; ++i) q.delete_min(cpu);
+  });
+  for (int p = 1; p < 16; ++p) eng.add_processor([](Cpu&) {});
+  eng.run();
+  auto snap = q.telemetry();
+  // Everything processor 0 touched was sampled within radius 2 (plus rare
+  // global probes), so mean hop distance must be small.
+  EXPECT_LE(snap.get("mq.shard_hops.mean"), 2u);
+}
+
+TEST(SimMultiQueue, TopologyTelemetryKeysAlwaysPresent) {
+  for (auto policy : {slpq::TopoPolicy::kNone, slpq::TopoPolicy::kNear}) {
+    Engine eng(cfg(4));
+    auto o = opts(2, 2, 2);
+    o.topo = policy;
+    SimMultiQueue q(eng, o);
+    for (int p = 0; p < 4; ++p) {
+      eng.add_processor([&](Cpu& cpu) {
+        for (Key k = 0; k < 64; ++k) q.insert(cpu, k, 0);
+        for (int i = 0; i < 64; ++i) q.delete_min(cpu);
+      });
+    }
+    eng.run();
+    auto snap = q.telemetry();
+    EXPECT_NE(snap.find("mq.shard_hops.mean"), nullptr);
+    EXPECT_NE(snap.find("mq.shard_hops.p99"), nullptr);
+    EXPECT_NE(snap.find("mq.local_acquires"), nullptr);
+    EXPECT_NE(snap.find("mq.topo_fallbacks"), nullptr);
+    EXPECT_GT(snap.get("mq.local_acquires"), 0u);
+    if (policy == slpq::TopoPolicy::kNone) {
+      EXPECT_EQ(snap.get("mq.topo_fallbacks"), 0u);
+    } else {
+      // ~1 in kGlobalProbePeriod resamples is a global probe.
+      EXPECT_GT(snap.get("mq.topo_fallbacks"), 0u);
+    }
+  }
+}
+
+TEST(SimMultiQueue, NearSamplingLowersHopDistance) {
+  // The tentpole claim at unit scale: with placement + near sampling, the
+  // mean hop distance of charged shard acquisitions drops vs uniform.
+  auto run = [](slpq::TopoPolicy policy) {
+    Engine eng(cfg(16));
+    auto o = opts(8, 8, 8);
+    o.topo = policy;
+    o.topo_radius = 1;
+    SimMultiQueue q(eng, o);
+    for (int p = 0; p < 16; ++p) {
+      eng.add_processor([&, p](Cpu& cpu) {
+        slpq::detail::Xoshiro256 rng(static_cast<std::uint64_t>(p) * 31 + 5);
+        for (int i = 0; i < 400; ++i) {
+          q.insert(cpu, static_cast<Key>(rng.below(1 << 20)), 0);
+          if (i % 2 == 1) q.delete_min(cpu);
+        }
+      });
+    }
+    eng.run();
+    return q.telemetry();
+  };
+  auto none = run(slpq::TopoPolicy::kNone);
+  auto near = run(slpq::TopoPolicy::kNear);
+  EXPECT_LT(near.get("mq.shard_hops.mean"), none.get("mq.shard_hops.mean"));
+  EXPECT_GT(near.get("mq.local_acquires"), none.get("mq.local_acquires"));
+}

@@ -361,4 +361,77 @@ TEST(MultiQueueBasics, FlushMakesBufferedItemsVisibleToOtherHandles) {
   EXPECT_EQ(item->second, 99);
 }
 
+TEST(MultiQueueTopology, PoliciesConserveAndEmitTelemetry) {
+  for (auto policy : {slpq::TopoPolicy::kNear, slpq::TopoPolicy::kAdaptive}) {
+    MQ::Options opt;
+    opt.c = 2;
+    opt.max_threads = 16;
+    opt.topo = policy;
+    opt.topo_radius = 1;
+    MQ q(opt);
+    auto& h = q.make_handle();
+
+    slpq::detail::Xoshiro256 rng(11);
+    std::vector<std::int64_t> inserted, drained;
+    for (int i = 0; i < 4000; ++i) {
+      const auto key = static_cast<std::int64_t>(rng.below(1 << 20));
+      h.insert(key, i);
+      inserted.push_back(key);
+    }
+    while (auto item = h.delete_min()) drained.push_back(item->first);
+    EXPECT_TRUE(q.empty());
+    std::sort(inserted.begin(), inserted.end());
+    std::sort(drained.begin(), drained.end());
+    EXPECT_EQ(drained, inserted) << slpq::to_string(policy);
+
+    auto snap = q.telemetry();
+    EXPECT_NE(snap.find("mq.shard_hops.mean"), nullptr);
+    EXPECT_NE(snap.find("mq.shard_hops.p99"), nullptr);
+    EXPECT_GT(snap.get("mq.local_acquires"), 0u);
+    EXPECT_GT(snap.get("mq.topo_fallbacks"), 0u);  // periodic global probe
+  }
+}
+
+TEST(MultiQueueTopology, NearSamplingShortensGridDistance) {
+  // One handle on node 0 of a 4x4 grid: with near sampling its charged
+  // acquisitions should stay within the base radius except for probes, so
+  // the hop p99 must come in well under the uniform baseline's.
+  auto run = [](slpq::TopoPolicy policy) {
+    MQ::Options opt;
+    opt.c = 2;
+    opt.max_threads = 16;
+    opt.topo = policy;
+    opt.topo_radius = 1;
+    opt.seed = 0xFEED;
+    MQ q(opt);
+    auto& h = q.make_handle();
+    slpq::detail::Xoshiro256 rng(3);
+    for (int i = 0; i < 6000; ++i)
+      h.insert(static_cast<std::int64_t>(rng.below(1 << 20)), i);
+    while (h.delete_min().has_value()) {
+    }
+    auto snap = q.telemetry();
+    return std::pair<std::uint64_t, std::uint64_t>(
+        snap.get("mq.shard_hops.mean"), snap.get("mq.local_acquires"));
+  };
+  const auto none = run(slpq::TopoPolicy::kNone);
+  const auto near = run(slpq::TopoPolicy::kNear);
+  EXPECT_LT(near.first, none.first);
+  EXPECT_GT(near.second, none.second);
+}
+
+TEST(MultiQueueTopology, TopoKeysPresentAndZeroUnderNone) {
+  MQ::Options opt;
+  opt.max_threads = 4;
+  MQ q(opt);  // default kNone
+  auto& h = q.make_handle();
+  for (int i = 0; i < 200; ++i) h.insert(i, i);
+  while (h.delete_min().has_value()) {
+  }
+  auto snap = q.telemetry();
+  EXPECT_NE(snap.find("mq.shard_hops.mean"), nullptr);
+  EXPECT_NE(snap.find("mq.local_acquires"), nullptr);
+  EXPECT_EQ(snap.get("mq.topo_fallbacks"), 0u);
+}
+
 }  // namespace

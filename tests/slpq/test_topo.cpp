@@ -1,0 +1,123 @@
+// slpq/topo.hpp: the native-side grid and per-node shard locality order
+// behind --mq-topo. Grid2D must agree with psim::Mesh2D's layout rule
+// (near-square, row-major) so shard striping means the same thing on both
+// machines; NearShardOrder must expose every shard at full radius and
+// never expose an empty near set.
+#include "slpq/topo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+using slpq::Grid2D;
+using slpq::NearShardOrder;
+using slpq::TopoPolicy;
+
+TEST(TopoPolicy, ParseAndToStringRoundTrip) {
+  TopoPolicy p = TopoPolicy::kNear;
+  EXPECT_TRUE(slpq::parse_topo_policy("none", p));
+  EXPECT_EQ(p, TopoPolicy::kNone);
+  EXPECT_TRUE(slpq::parse_topo_policy("near", p));
+  EXPECT_EQ(p, TopoPolicy::kNear);
+  EXPECT_TRUE(slpq::parse_topo_policy("adaptive", p));
+  EXPECT_EQ(p, TopoPolicy::kAdaptive);
+  EXPECT_FALSE(slpq::parse_topo_policy("mesh", p));
+  EXPECT_FALSE(slpq::parse_topo_policy("", p));
+  for (auto q : {TopoPolicy::kNone, TopoPolicy::kNear, TopoPolicy::kAdaptive}) {
+    TopoPolicy back{};
+    ASSERT_TRUE(slpq::parse_topo_policy(slpq::to_string(q), back));
+    EXPECT_EQ(back, q);
+  }
+}
+
+TEST(Grid2D, MatchesMeshLayoutRule) {
+  // Same (width, height) rule as psim::Mesh2D: width = ceil(sqrt(n)).
+  const struct { int n, w, h; } cases[] = {
+      {1, 1, 1}, {2, 2, 1}, {6, 3, 2}, {12, 4, 3}, {16, 4, 4}, {48, 7, 7},
+      {64, 8, 8}, {256, 16, 16}};
+  for (const auto& c : cases) {
+    Grid2D g(c.n);
+    EXPECT_EQ(g.width(), c.w) << "n=" << c.n;
+    EXPECT_EQ(g.height(), c.h) << "n=" << c.n;
+    EXPECT_EQ(g.diameter(), (c.w - 1) + (c.h - 1)) << "n=" << c.n;
+  }
+  Grid2D g(16);
+  EXPECT_EQ(g.hops(0, 15), 6);
+  EXPECT_EQ(g.hops(0, 1), 1);
+  EXPECT_EQ(g.hops(0, 4), 1);
+  EXPECT_EQ(g.hops(5, 5), 0);
+}
+
+namespace {
+
+NearShardOrder make_order(const Grid2D& g, std::size_t shards) {
+  return NearShardOrder(
+      g.nodes(), shards, g.diameter(),
+      [&g](int node, int owner) { return g.hops(node, owner); });
+}
+
+}  // namespace
+
+TEST(NearShardOrder, FullRadiusCoversEveryShardExactlyOnce) {
+  Grid2D g(16);
+  const std::size_t shards = 32;  // c=2 per node
+  NearShardOrder order = make_order(g, shards);
+  for (int node = 0; node < g.nodes(); ++node) {
+    EXPECT_EQ(order.cutoff(node, order.diameter()), shards);
+    std::set<std::size_t> seen;
+    for (std::size_t i = 0; i < shards; ++i)
+      seen.insert(order.shard_at(node, i));
+    EXPECT_EQ(seen.size(), shards);  // a permutation, no repeats
+  }
+}
+
+TEST(NearShardOrder, RadiusZeroIsOwnShardsOnly) {
+  Grid2D g(16);
+  const std::size_t shards = 32;
+  NearShardOrder order = make_order(g, shards);
+  for (int node = 0; node < g.nodes(); ++node) {
+    const std::size_t cut = order.cutoff(node, 0);
+    EXPECT_EQ(cut, 2u);  // c = 2 shards stripe onto each node
+    for (std::size_t i = 0; i < cut; ++i)
+      EXPECT_EQ(static_cast<int>(order.shard_at(node, i) % 16), node);
+  }
+}
+
+TEST(NearShardOrder, CutoffsMonotoneAndDistanceSorted) {
+  Grid2D g(12);  // non-square: 4x3
+  const std::size_t shards = 24;
+  NearShardOrder order = make_order(g, shards);
+  for (int node = 0; node < g.nodes(); ++node) {
+    std::size_t prev = 0;
+    for (int r = 0; r <= order.diameter(); ++r) {
+      const std::size_t cut = order.cutoff(node, r);
+      EXPECT_GE(cut, prev);
+      // Everything below the cutoff really is within r hops...
+      for (std::size_t i = 0; i < cut; ++i)
+        EXPECT_LE(g.hops(node, static_cast<int>(order.shard_at(node, i) % 12)),
+                  r);
+      // ...and everything above it is not.
+      for (std::size_t i = cut; i < shards; ++i)
+        EXPECT_GT(g.hops(node, static_cast<int>(order.shard_at(node, i) % 12)),
+                  r);
+      prev = cut;
+    }
+    EXPECT_EQ(prev, shards);
+  }
+}
+
+TEST(NearShardOrder, NeverEmptyEvenDegenerate) {
+  // 1 node, 2 shards (the MultiQueue's floor): both shards are "local".
+  Grid2D g(1);
+  NearShardOrder order = make_order(g, 2);
+  EXPECT_EQ(order.cutoff(0, 0), 2u);
+  // Out-of-range radii clamp instead of reading out of bounds.
+  EXPECT_EQ(order.cutoff(0, 100), 2u);
+  Grid2D big(64);
+  NearShardOrder big_order = make_order(big, 128);
+  for (int node = 0; node < 64; ++node)
+    EXPECT_GE(big_order.cutoff(node, 0), 1u);
+  EXPECT_EQ(big_order.cutoff(3, -5), big_order.cutoff(3, 0));
+}

@@ -92,6 +92,16 @@ RANK_ERROR_KEYS = [
     "mq.rank_error.max",
 ]
 
+# Topology pricing: every MultiQueue run reports where its charged shard
+# acquisitions landed on the mesh/grid, even with --mq-topo none (the
+# baseline's hop distribution is the comparison anchor).
+TOPO_KEYS = [
+    "mq.shard_hops.mean",
+    "mq.shard_hops.p99",
+    "mq.local_acquires",
+    "mq.topo_fallbacks",
+]
+
 
 def check_run(run, idx, errors):
     where = f"runs[{idx}]"
@@ -127,6 +137,11 @@ def check_run(run, idx, errors):
         if missing:
             errors.append(
                 f"{where}.counters: multiqueue run missing rank-error keys "
+                f"{missing}")
+        missing = [k for k in TOPO_KEYS if k not in counters]
+        if missing:
+            errors.append(
+                f"{where}.counters: multiqueue run missing topology keys "
                 f"{missing}")
     machine = run.get("machine")
     if machine == "sim":

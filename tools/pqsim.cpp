@@ -36,6 +36,7 @@ namespace {
       "             [--work N] [--seed N] [--max-level N]\n"
       "             [--mq-c N] [--mq-stickiness N]\n"
       "             [--mq-ins-buf N] [--mq-del-buf N] [--mq-batch N]\n"
+      "             [--mq-topo none|near|adaptive] [--mq-radius N]\n"
       "             [--boundoffset N]\n"
       "             [--reclaim ts|hp|epoch|leaky]\n"
       "             [--no-gc] [--pad-nodes] [--no-occupancy]\n"
@@ -58,6 +59,15 @@ namespace {
       "                         capacity (default 8)\n"
       "  --mq-batch N           MultiQueue max items moved per shard lock\n"
       "                         acquisition (default 8)\n"
+      "  --mq-topo POLICY       MultiQueue shard selection: none (uniform\n"
+      "                         2-choice, default), near (both candidates\n"
+      "                         from a fixed hop radius, with a periodic\n"
+      "                         global probe), adaptive (radius widens when\n"
+      "                         the local region's minima go stale). On the\n"
+      "                         sim machine near/adaptive also home each\n"
+      "                         shard's lines at its owner mesh node\n"
+      "  --mq-radius N          base hop radius for --mq-topo near|adaptive\n"
+      "                         (default 2)\n"
       "  --boundoffset N        linden queue: dead-prefix length that\n"
       "                         triggers restructuring (default 32)\n"
       "  --workload KIND        scenario: mixed (the paper's benchmark,\n"
@@ -170,6 +180,11 @@ int main(int argc, char** argv) {
     else if (arg == "--mq-ins-buf") base.mq_ins_buf = std::atoi(next());
     else if (arg == "--mq-del-buf") base.mq_del_buf = std::atoi(next());
     else if (arg == "--mq-batch") base.mq_batch = std::atoi(next());
+    else if (arg == "--mq-topo") {
+      if (!slpq::parse_topo_policy(next(), base.mq_topo))
+        usage("--mq-topo must be one of none|near|adaptive");
+    }
+    else if (arg == "--mq-radius") base.mq_topo_radius = std::atoi(next());
     else if (arg == "--boundoffset") base.boundoffset = std::atoi(next());
     else if (arg == "--reclaim") {
       if (!slpq::parse_reclaim_policy(next(), base.reclaim))
@@ -199,6 +214,7 @@ int main(int argc, char** argv) {
     usage("--mq-c and --mq-stickiness must be >= 1");
   if (base.mq_ins_buf < 1 || base.mq_del_buf < 1 || base.mq_batch < 1)
     usage("--mq-ins-buf, --mq-del-buf and --mq-batch must be >= 1");
+  if (base.mq_topo_radius < 0) usage("--mq-radius must be >= 0");
   if (base.boundoffset < 1) usage("--boundoffset must be >= 1");
 
   // Resolve every requested structure up front so a typo fails before any
