@@ -261,6 +261,68 @@ else
        "BENCH_reclaim.json (run the ablation_reclaim binary first)" >&2
 fi
 
+# Distill the pqd service sweep (backend x shards x batch x clients over a
+# recorded trace, from the pqd_sweep binary) into a per-config summary:
+# client-observed latency and throughput next to the batching amortization
+# (ops per shard acquisition) and the service-level rank-error price.
+pqd_csv=""
+for candidate in "$out_dir/pqd_sweep.csv" \
+                 "$build_dir/bench/pqd_sweep.csv" \
+                 "$repo_root/pqd_sweep.csv"; do
+  if [ -f "$candidate" ]; then
+    pqd_csv="$candidate"
+    break
+  fi
+done
+if [ -n "$pqd_csv" ] && command -v python3 > /dev/null 2>&1; then
+  python3 - "$pqd_csv" "$out_dir/BENCH_pqd.json" <<'EOF'
+import csv, json, sys
+
+src, dst = sys.argv[1], sys.argv[2]
+configs = []
+with open(src) as f:
+    for row in csv.DictReader(f):
+        configs.append({
+            "backend": row["backend"],
+            "shards": int(row["shards"]),
+            "batch": int(row["batch"]),
+            "clients": int(row["clients"]),
+            "ops_per_sec": float(row["ops_per_sec"]),
+            "latency_ns": {
+                "p50": int(row["lat_p50"]),
+                "p90": int(row["lat_p90"]),
+                "p99": int(row["lat_p99"]),
+                "max": int(row["lat_max"]),
+            },
+            "shard_acquisitions": int(row["acquisitions"]),
+            "ops_per_acquisition": float(row["ops_per_acq"]),
+            "insert_batches": int(row["insert_batches"]),
+            "window_refills": int(row["window_refills"]),
+            "shard_imbalance_pct": int(row["imbalance"]),
+            "rank_error": {
+                "mean": int(row["rank_mean"]),
+                "p99": int(row["rank_p99"]),
+            },
+        })
+
+doc = {
+    "benchmark": "pqd_sweep: trace replay through the pqd service tier "
+                 "(in-process transport, recorded hold-model trace)",
+    "unit": "ops_per_sec",
+    "note": "batching amortization is ops_per_acquisition; every "
+            "throughput number carries its service-level rank-error price",
+    "configs": configs,
+}
+with open(dst, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=False)
+    f.write("\n")
+EOF
+  echo "wrote $out_dir/BENCH_pqd.json (from $pqd_csv)"
+else
+  echo "run_native.sh: no pqd_sweep.csv found, skipping BENCH_pqd.json" \
+       "(run the pqd_sweep binary first)" >&2
+fi
+
 # Archive a telemetry snapshot next to the benchmark JSON: one pqsim run
 # per native backend with the counters from docs/TELEMETRY.md, so every
 # recorded throughput number has the contention breakdown that explains it.

@@ -48,8 +48,9 @@ BenchmarkResult run_native_benchmark(const BenchmarkConfig& cfg) {
   std::unique_ptr<spec::RankErrorProbe> probe;
   if (backend.has(Backend::kRelaxed))
     probe = std::make_unique<spec::RankErrorProbe>();
+  const std::shared_ptr<const Trace> trace = spec::resolve_trace(cfg);
   const std::uint64_t t_prefill_start = now_ns();
-  spec::prefill(*queue, cfg, probe.get());
+  spec::prefill(*queue, cfg, probe.get(), trace.get());
   const std::uint64_t t_prefill_end = now_ns();
 
   const int workers = cfg.processors;
@@ -70,7 +71,7 @@ BenchmarkResult run_native_benchmark(const BenchmarkConfig& cfg) {
       while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
       spec::run_worker(*queue, cfg, p, ctx,
                        tallies[static_cast<std::size_t>(p)], now_ns,
-                       spin_work, probe.get());
+                       spin_work, probe.get(), trace.get());
     });
   }
 

@@ -142,6 +142,10 @@ void write_stats_json(const std::string& path, const StatsReport& report) {
     out << "      \"structure\": \"" << json_escape(r.structure) << "\",\n";
     out << "      \"workload\": \"" << json_escape(r.workload) << "\",\n";
     out << "      \"reclaim\": \"" << json_escape(r.reclaim) << "\",\n";
+    if (!r.service.empty()) {
+      out << "      \"service\": \"" << json_escape(r.service) << "\",\n";
+      out << "      \"shards\": " << r.shards << ",\n";
+    }
     out << "      \"processors\": " << r.processors << ",\n";
     out << "      \"total_ops\": " << r.total_ops << ",\n";
     out << "      \"unit\": \"" << json_escape(r.unit) << "\",\n";

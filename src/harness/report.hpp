@@ -42,8 +42,13 @@ std::string fmt_ratio(double num, double den);
 struct StatsRun {
   std::string machine;    ///< "sim" or "native"
   std::string structure;  ///< canonical backend name from the registry
-  std::string workload;   ///< scenario ("mixed"|"des"|"timer")
+  std::string workload;   ///< scenario ("mixed"|"des"|"timer"|"trace")
   std::string reclaim;    ///< memory-reclamation policy ("ts"|"hp"|"epoch"|"leaky")
+  /// Service-tier runs (pqd_loadgen) set service="pqd" and the shard
+  /// count; both fields are emitted to JSON only when service is
+  /// non-empty, so plain driver runs keep the original schema shape.
+  std::string service;
+  int shards = 0;
   int processors = 0;
   std::uint64_t total_ops = 0;
   std::string unit;       ///< "cycles" or "ns"

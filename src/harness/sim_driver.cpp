@@ -33,7 +33,8 @@ BenchmarkResult run_sim_benchmark(const BenchmarkConfig& cfg) {
   std::unique_ptr<spec::RankErrorProbe> probe;
   if (backend.has(Backend::kRelaxed))
     probe = std::make_unique<spec::RankErrorProbe>();
-  spec::prefill(*queue, cfg, probe.get());
+  const std::shared_ptr<const Trace> trace = spec::resolve_trace(cfg);
+  spec::prefill(*queue, cfg, probe.get(), trace.get());
 
   const int workers = cfg.processors;
   std::vector<spec::WorkerTally> tallies(static_cast<std::size_t>(workers));
@@ -48,7 +49,8 @@ BenchmarkResult run_sim_benchmark(const BenchmarkConfig& cfg) {
       spec::run_worker(
           *queue, cfg, p, ctx, tallies[static_cast<std::size_t>(p)],
           [&cpu] { return cpu.now(); },
-          [&cpu](std::uint64_t cycles) { cpu.advance(cycles); }, probe.get());
+          [&cpu](std::uint64_t cycles) { cpu.advance(cycles); }, probe.get(),
+          trace.get());
     });
   }
 

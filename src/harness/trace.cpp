@@ -1,0 +1,174 @@
+#include "harness/trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <queue>
+#include <sstream>
+#include <stdexcept>
+
+#include "harness/workload_spec.hpp"
+#include "slpq/detail/random.hpp"
+
+namespace harness {
+
+namespace {
+
+constexpr char kMagic[] = "slpq-trace/1";
+
+[[noreturn]] void bad(const std::string& path, std::size_t line,
+                      const std::string& what) {
+  throw std::runtime_error(path + ":" + std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+std::uint64_t Trace::inserts() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& op : ops)
+    if (op.kind == TraceOp::Kind::kInsert) ++n;
+  return n;
+}
+
+std::uint64_t Trace::deletes() const noexcept {
+  return ops.size() - inserts();
+}
+
+Trace Trace::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read trace file " + path);
+
+  Trace trace;
+  std::string line;
+  std::size_t lineno = 0;
+
+  // Header: "slpq-trace/1 initial=<N> ops=<M>".
+  if (!std::getline(in, line)) bad(path, 1, "empty file (missing header)");
+  ++lineno;
+  std::uint64_t initial = 0, declared_ops = 0;
+  {
+    std::istringstream hs(line);
+    std::string magic, field;
+    hs >> magic;
+    if (magic != kMagic)
+      bad(path, lineno, "bad magic '" + magic + "' (expected slpq-trace/1)");
+    bool saw_initial = false, saw_ops = false;
+    while (hs >> field) {
+      if (std::sscanf(field.c_str(), "initial=%" SCNu64, &initial) == 1)
+        saw_initial = true;
+      else if (std::sscanf(field.c_str(), "ops=%" SCNu64, &declared_ops) == 1)
+        saw_ops = true;
+      else
+        bad(path, lineno, "unknown header field '" + field + "'");
+    }
+    if (!saw_initial || !saw_ops)
+      bad(path, lineno, "header must carry initial=<N> and ops=<M>");
+  }
+  trace.warm.reserve(initial);
+  trace.ops.reserve(declared_ops);
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    TraceOp op;
+    char kind = 0;
+    std::istringstream ls(line);
+    ls >> kind;
+    switch (kind) {
+      case 'p':
+      case 'i': {
+        op.kind = TraceOp::Kind::kInsert;
+        if (!(ls >> op.tick >> op.tie))
+          bad(path, lineno, "insert record needs '<tick> <tie>'");
+        if (op.tie >= (std::uint64_t{1} << spec::kTieBits))
+          bad(path, lineno, "tie exceeds the 24-bit scenario-key field");
+        break;
+      }
+      case 'd':
+        op.kind = TraceOp::Kind::kDeleteMin;
+        break;
+      default:
+        bad(path, lineno, std::string("unknown record kind '") + kind + "'");
+    }
+    std::string rest;
+    if (ls >> rest) bad(path, lineno, "trailing tokens '" + rest + "'");
+    if (kind == 'p') {
+      if (!trace.ops.empty())
+        bad(path, lineno, "warm-set 'p' record after the first op record");
+      trace.warm.push_back(op);
+    } else {
+      trace.ops.push_back(op);
+    }
+  }
+
+  if (trace.warm.size() != initial)
+    throw std::runtime_error(path + ": header declares initial=" +
+                             std::to_string(initial) + " but " +
+                             std::to_string(trace.warm.size()) +
+                             " 'p' records follow");
+  if (trace.ops.size() != declared_ops)
+    throw std::runtime_error(path + ": header declares ops=" +
+                             std::to_string(declared_ops) + " but " +
+                             std::to_string(trace.ops.size()) +
+                             " op records follow");
+  return trace;
+}
+
+void Trace::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write trace file " + path);
+  out << kMagic << " initial=" << warm.size() << " ops=" << ops.size() << "\n";
+  for (const auto& item : warm)
+    out << "p " << item.tick << " " << item.tie << "\n";
+  for (const auto& op : ops) {
+    if (op.kind == TraceOp::Kind::kInsert)
+      out << "i " << op.tick << " " << op.tie << "\n";
+    else
+      out << "d\n";
+  }
+  if (!out) throw std::runtime_error("error writing trace file " + path);
+}
+
+Trace Trace::record_hold_model(std::uint64_t total_ops,
+                               std::uint64_t initial_size, double insert_ratio,
+                               std::uint64_t seed) {
+  if (insert_ratio < 0.0 || insert_ratio > 1.0)
+    throw std::invalid_argument("insert_ratio outside [0, 1]");
+
+  Trace trace;
+  trace.warm.reserve(initial_size);
+  trace.ops.reserve(total_ops);
+  slpq::detail::Xoshiro256 rng(seed * 0x9E3779B97F4A7C15ULL + 7);
+
+  // The recorder simulates the pending-event set exactly, so recorded
+  // insert ticks are the ones a sequential DES would schedule.
+  std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
+                      std::greater<>>
+      pending;
+  for (std::uint64_t i = 0; i < initial_size; ++i) {
+    const std::uint64_t tick = 1 + rng.below(2 * spec::kDesMeanHold);
+    trace.warm.push_back({TraceOp::Kind::kInsert, tick, i});
+    pending.push(tick);
+  }
+
+  std::uint64_t frontier = 1;           // newest executed event tick
+  std::uint64_t tie = initial_size;     // next unique insert tie-break
+  for (std::uint64_t i = 0; i < total_ops; ++i) {
+    if (pending.empty() || rng.bernoulli(insert_ratio)) {
+      const std::uint64_t tick =
+          frontier + 1 + rng.below(2 * spec::kDesMeanHold);
+      trace.ops.push_back({TraceOp::Kind::kInsert, tick,
+                           tie & ((std::uint64_t{1} << spec::kTieBits) - 1)});
+      ++tie;
+      pending.push(tick);
+    } else {
+      frontier = std::max(frontier, pending.top());
+      pending.pop();
+      trace.ops.push_back({TraceOp::Kind::kDeleteMin, 0, 0});
+    }
+  }
+  return trace;
+}
+
+}  // namespace harness

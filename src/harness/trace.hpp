@@ -1,0 +1,73 @@
+// Recorded operation traces: the `--workload trace` scenario's input.
+//
+// A trace is a replayable schedule of priority-queue operations — the step
+// from synthetic op mixes to real application schedules. The on-disk
+// format (`slpq-trace/1`, specified in docs/TRACES.md) is line-oriented
+// text: a versioned header carrying the warm-set size, then one record per
+// op. Insert records carry an event tick plus an explicit tie-break; the
+// replayed key is the PR-8 scenario packing `tick << 24 | tie`
+// (spec::scenario_key), so equal-tick events stay distinct and backends
+// with update-in-place semantics for equal keys do the same logical work
+// as duplicate-keeping ones. Delete records carry nothing: a delete-min
+// takes whatever the structure's minimum is at replay time.
+//
+// Consumers: the harness drivers (workload_spec.hpp trace_loop, both
+// machines), the pqd service load generator (tools/pqd_loadgen.cpp), and
+// the pqd sweep bench. The committed sample lives at
+// bench/traces/sample_des.trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace harness {
+
+struct TraceOp {
+  enum class Kind : std::uint8_t { kInsert, kDeleteMin };
+
+  Kind kind = Kind::kDeleteMin;
+  std::uint64_t tick = 0;  ///< insert only: event time, the key's high bits
+  std::uint64_t tie = 0;   ///< insert only: unique low-bits tie-break
+
+  bool operator==(const TraceOp&) const = default;
+};
+
+struct Trace {
+  /// The warm set: items the replayer seeds before the first recorded op,
+  /// recorded explicitly (`p` records) so a trace is self-contained — no
+  /// RNG coupling between recorder and replayer. All entries are inserts;
+  /// ties occupy [0, warm.size()) by convention (docs/TRACES.md).
+  std::vector<TraceOp> warm;
+  std::vector<TraceOp> ops;
+
+  std::uint64_t initial_size() const noexcept { return warm.size(); }
+
+  std::uint64_t inserts() const noexcept;
+  std::uint64_t deletes() const noexcept;
+
+  bool operator==(const Trace&) const = default;
+
+  /// Parses an slpq-trace/1 file; throws std::runtime_error naming the
+  /// offending line on any format violation.
+  static Trace load(const std::string& path);
+
+  /// Writes the trace in the slpq-trace/1 format (throws on I/O error).
+  void save(const std::string& path) const;
+
+  /// Records a sequential discrete-event hold-model run (the classic
+  /// "hold" benchmark, cf. workload_spec.hpp des_loop): starting from a
+  /// warm set of `initial_size` pending events, each step either executes
+  /// the nearest event (delete-min, probability 1 - insert_ratio) or
+  /// schedules a successor a random hold time past the newest executed
+  /// tick. The recorder tracks the pending-event set exactly, so insert
+  /// ticks are the ones a real single-threaded DES would produce. Ties
+  /// are assigned sequentially from initial_size, matching the replayers'
+  /// prefill tie range. Deterministic in (total_ops, initial_size,
+  /// insert_ratio, seed).
+  static Trace record_hold_model(std::uint64_t total_ops,
+                                 std::uint64_t initial_size,
+                                 double insert_ratio, std::uint64_t seed);
+};
+
+}  // namespace harness

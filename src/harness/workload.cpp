@@ -14,6 +14,7 @@ const char* to_string(WorkloadKind kind) noexcept {
     case WorkloadKind::Mixed: return "mixed";
     case WorkloadKind::Des: return "des";
     case WorkloadKind::Timer: return "timer";
+    case WorkloadKind::Trace: return "trace";
   }
   return "mixed";
 }
@@ -22,8 +23,9 @@ WorkloadKind parse_workload(const std::string& name) {
   if (name == "mixed") return WorkloadKind::Mixed;
   if (name == "des") return WorkloadKind::Des;
   if (name == "timer") return WorkloadKind::Timer;
+  if (name == "trace") return WorkloadKind::Trace;
   throw std::invalid_argument("unknown workload '" + name +
-                              "' (expected mixed|des|timer)");
+                              "' (expected mixed|des|timer|trace)");
 }
 
 BenchmarkResult run_benchmark(const BenchmarkConfig& cfg) {

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "harness/backend.hpp"
@@ -34,12 +35,18 @@ namespace harness {
 ///    deadline slightly past the latest expired one with expiring the
 ///    nearest deadline. Keys cluster tightly at the front, concentrating
 ///    coherence traffic on the smallest-key region.
-enum class WorkloadKind : std::uint8_t { Mixed, Des, Timer };
+///  * Trace — replay of a recorded op schedule (harness::Trace, format
+///    docs/TRACES.md): workers replay contiguous blocks of the recorded
+///    sequence instead of drawing ops from an RNG. Requires trace_file
+///    (or a preloaded BenchmarkConfig::trace).
+enum class WorkloadKind : std::uint8_t { Mixed, Des, Timer, Trace };
 
 const char* to_string(WorkloadKind kind) noexcept;
 
-/// Parses "mixed" | "des" | "timer" (throws std::invalid_argument).
+/// Parses "mixed" | "des" | "timer" | "trace" (throws std::invalid_argument).
 WorkloadKind parse_workload(const std::string& name);
+
+struct Trace;  // trace.hpp
 
 struct BenchmarkConfig {
   std::string structure = "skip";  ///< registry name (canonical or alias)
@@ -75,6 +82,13 @@ struct BenchmarkConfig {
   slpq::TopoPolicy mq_topo = slpq::TopoPolicy::kNone;
   int mq_topo_radius = 2;          ///< base hop radius for near/adaptive
   int boundoffset = 32;            ///< Linden queue dead-prefix bound
+
+  /// Trace workload input (--workload trace): the drivers load trace_file
+  /// on demand unless `trace` is already populated (tools that sweep many
+  /// configs preload once). The trace's own warm set replaces
+  /// initial_size, and the op schedule replaces total_ops/insert_ratio.
+  std::string trace_file;
+  std::shared_ptr<const Trace> trace;
 
   psim::MachineConfig machine;     ///< sim timing model (processor count is overridden)
 };

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "harness/backend.hpp"
+#include "harness/trace.hpp"
 #include "harness/workload.hpp"
 #include "slpq/detail/histogram.hpp"
 #include "slpq/detail/random.hpp"
@@ -135,13 +136,39 @@ inline std::uint64_t tick_of(Key key) noexcept {
   return static_cast<std::uint64_t>(key) >> kTieBits;
 }
 
+/// Resolves the trace a config replays: the preloaded one when present,
+/// otherwise loaded from cfg.trace_file. Returns nullptr for non-trace
+/// workloads; throws when the trace workload has no input. Drivers call
+/// this once, before prefill.
+inline std::shared_ptr<const Trace> resolve_trace(const BenchmarkConfig& cfg) {
+  if (cfg.workload != WorkloadKind::Trace) return nullptr;
+  if (cfg.trace) return cfg.trace;
+  if (cfg.trace_file.empty())
+    throw std::invalid_argument(
+        "--workload trace requires --trace-file (or a preloaded trace)");
+  return std::make_shared<Trace>(Trace::load(cfg.trace_file));
+}
+
 /// Pre-populates the structure with cfg.initial_size priorities (host-side,
 /// before any worker starts): uniform over the key space for the mixed
 /// scenario, uniform over one hold span / deadline window for des / timer.
-/// The rank probe, when present, must see the seeds too or early deletes
-/// would under-count.
+/// The trace scenario instead replays the trace's own recorded warm set
+/// (ignoring cfg.initial_size — a trace is self-contained). The rank
+/// probe, when present, must see the seeds too or early deletes would
+/// under-count.
 inline void prefill(QueueHandle& queue, const BenchmarkConfig& cfg,
-                    RankErrorProbe* probe = nullptr) {
+                    RankErrorProbe* probe = nullptr,
+                    const Trace* trace = nullptr) {
+  if (cfg.workload == WorkloadKind::Trace) {
+    if (!trace) throw std::invalid_argument("trace prefill without a trace");
+    std::uint64_t i = 0;
+    for (const TraceOp& item : trace->warm) {
+      const Key key = scenario_key(item.tick, item.tie);
+      queue.seed(key, static_cast<Value>(i++));
+      if (probe) probe->on_insert(key);
+    }
+    return;
+  }
   slpq::detail::Xoshiro256 seed_rng(cfg.seed ^ 0xBEEFCAFEULL);
   for (std::size_t i = 0; i < cfg.initial_size; ++i) {
     Key key;
@@ -299,12 +326,54 @@ void timer_loop(QueueHandle& queue, const BenchmarkConfig& cfg, int p,
   }
 }
 
+/// Trace replay: worker p replays its contiguous block of the recorded op
+/// sequence (block partitioning keeps each worker's slice alternating the
+/// way the recording did — index-interleaving would hand an all-deletes
+/// stream to half the workers of a strictly alternating trace). Insert
+/// keys are reconstructed with the PR-8 scenario packing from the
+/// record's (tick, tie); deletes take the structure's current minimum.
+template <typename Clock, typename Work>
+void trace_loop(QueueHandle& queue, const BenchmarkConfig& cfg, int p,
+                OpContext& ctx, WorkerTally& tally, Clock&& clock,
+                Work&& work, RankErrorProbe* probe, const Trace& trace) {
+  const auto workers = static_cast<std::uint64_t>(cfg.processors);
+  const auto n = static_cast<std::uint64_t>(trace.ops.size());
+  const std::uint64_t begin = n * static_cast<std::uint64_t>(p) / workers;
+  const std::uint64_t end = n * (static_cast<std::uint64_t>(p) + 1) / workers;
+  std::uint64_t deletes = 0;
+  for (std::uint64_t i = begin; i < end; ++i) {
+    work(cfg.work_cycles);
+    const TraceOp& op = trace.ops[i];
+    if (op.kind == TraceOp::Kind::kInsert) {
+      const Key key = scenario_key(op.tick, op.tie);
+      if (probe) probe->on_insert(key);
+      const std::uint64_t t0 = clock();
+      queue.insert(ctx, key, static_cast<Value>(i));
+      tally.insert_latency.record(clock() - t0);
+    } else {
+      const std::uint64_t t0 = clock();
+      const auto got = queue.delete_min(ctx);
+      tally.delete_latency.record(clock() - t0);
+      if (!got) {
+        ++tally.empties;
+      } else if (probe) {
+        if (++deletes % RankErrorProbe::kSamplePeriod == 0)
+          tally.rank_error.record(probe->on_delete(*got));
+        else
+          probe->on_delete_unsampled(*got);
+      }
+    }
+  }
+}
+
 /// Runs worker p's loop for the configured scenario. Both drivers call
-/// this, so every scenario is available on both machines.
+/// this, so every scenario is available on both machines. The trace
+/// scenario additionally needs the resolved trace (see resolve_trace).
 template <typename Clock, typename Work>
 void run_worker(QueueHandle& queue, const BenchmarkConfig& cfg, int p,
                 OpContext& ctx, WorkerTally& tally, Clock&& clock,
-                Work&& work, RankErrorProbe* probe = nullptr) {
+                Work&& work, RankErrorProbe* probe = nullptr,
+                const Trace* trace = nullptr) {
   switch (cfg.workload) {
     case WorkloadKind::Des:
       des_loop(queue, cfg, p, ctx, tally, std::forward<Clock>(clock),
@@ -313,6 +382,11 @@ void run_worker(QueueHandle& queue, const BenchmarkConfig& cfg, int p,
     case WorkloadKind::Timer:
       timer_loop(queue, cfg, p, ctx, tally, std::forward<Clock>(clock),
                  std::forward<Work>(work), probe);
+      return;
+    case WorkloadKind::Trace:
+      if (!trace) throw std::invalid_argument("trace replay without a trace");
+      trace_loop(queue, cfg, p, ctx, tally, std::forward<Clock>(clock),
+                 std::forward<Work>(work), probe, *trace);
       return;
     case WorkloadKind::Mixed:
       break;

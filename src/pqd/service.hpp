@@ -1,0 +1,108 @@
+// pqd::Service — the sharded priority-queue service core.
+//
+// N independent shards, each wrapping one registry-backed QueueHandle
+// (any native structure: exact skiplists, relaxed MultiQueues, ...)
+// behind a single-byte spinlock. Amortization comes from two window
+// mechanisms so that one shard-lock acquisition serves up to `batch`
+// operations on BOTH sides of the op mix:
+//
+//   * insert side — sessions batch enqueues (transport.hpp) and the
+//     service applies each batch under one lock hold;
+//   * delete side — each shard keeps a claim window of up to `batch`
+//     pre-popped items in sorted order. Clients claim window slots with
+//     a single CAS (no lock); the lock is taken only to refill an empty
+//     window from the backend.
+//
+// The front-end delete_min is min-of-shards: scan each shard's published
+// window head (one relaxed load per shard), then CAS-claim from the best
+// shard. The published heads are best-effort hints — a race can hand out
+// a key that is not the instantaneous global minimum, and freshly
+// batched inserts are invisible until applied — so the service's
+// ordering contract is relaxed with error bounded by the window/batch
+// geometry on top of whatever the backend itself guarantees
+// (docs/SERVICE.md gives the composed bound).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/backend.hpp"
+#include "harness/workload.hpp"
+#include "pqd/request.hpp"
+#include "slpq/detail/cache_line.hpp"
+#include "slpq/detail/histogram.hpp"
+#include "slpq/detail/spinlock.hpp"
+#include "slpq/telemetry.hpp"
+
+namespace pqd {
+
+struct ServiceConfig {
+  std::string backend = "skip";  ///< native BackendRegistry name (--pqd-backend)
+  int shards = 4;                ///< independent shard count (--pqd-shards)
+  int batch = 8;                 ///< ops per shard acquisition: session insert
+                                 ///< batch size AND claim-window size (--pqd-batch)
+  int ring_capacity = 64;        ///< per-session SPSC ring slots (--pqd-ring)
+  /// Backend knobs for the per-shard queues (max_level, reclaim, mq_*,
+  /// total_ops/initial_size for capacity sizing of bounded backends).
+  /// processors is overridden to 1: all shard-queue access happens under
+  /// the shard lock, so each backend sees a single logical thread.
+  harness::BenchmarkConfig queue;
+};
+
+class Service {
+ public:
+  explicit Service(const ServiceConfig& cfg);
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  const ServiceConfig& config() const noexcept { return cfg_; }
+  int shards() const noexcept { return static_cast<int>(shards_.size()); }
+
+  /// Host-side pre-population (round-robin over shards); call before any
+  /// client traffic, then prime() once to fill the claim windows.
+  void seed(Key key, Value value);
+  void prime();
+
+  /// Applies one session's insert batch to a single shard, chosen by
+  /// `tag` (sessions advance the tag per batch to rotate shards). One
+  /// lock acquisition for the whole batch. Keys must be < kMaxUserKey
+  /// (throws std::invalid_argument otherwise).
+  void insert_batch(const Item* items, std::size_t n, std::uint64_t tag);
+
+  /// Min-of-shards pop: peek every shard's published window head, claim
+  /// from the best one. nullopt only after an exhaustive sweep found
+  /// every window and every backend empty.
+  std::optional<Item> delete_min();
+
+  /// Unclaimed items across windows and shard backlogs. Quiescent-state
+  /// accurate; a snapshot under concurrent traffic.
+  std::size_t size() const;
+
+  /// pqd.* service counters plus the aggregated shard-backend telemetry
+  /// (additive keys summed; .mean/.p50/.p90/.p99/.max keys max-merged —
+  /// see docs/TELEMETRY.md).
+  slpq::TelemetrySnapshot telemetry() const;
+
+ private:
+  struct Shard;
+
+  Shard& shard_for(std::uint64_t tag) noexcept;
+  /// Claims one item from this shard's window, refilling from the
+  /// backend as needed. nullopt iff window and backend are both empty.
+  std::optional<Item> take_from(Shard& s);
+  /// Refills the window under the shard lock. Returns the number of
+  /// items published (0 iff the backend is drained).
+  std::size_t refill_locked(Shard& s);
+
+  ServiceConfig cfg_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> seed_rr_{0};
+};
+
+}  // namespace pqd

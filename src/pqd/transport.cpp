@@ -1,0 +1,296 @@
+// pqd transport implementations: in-process rings and the UDS stub.
+#include "pqd/transport.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+
+namespace pqd {
+
+namespace {
+
+constexpr std::uint64_t kTagStride = 0x9E3779B97F4A7C15ULL;  // golden ratio
+
+void write_all(int fd, const std::uint8_t* buf, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, buf, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("pqd uds write: ") +
+                               std::strerror(errno));
+    }
+    buf += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+/// Reads exactly n bytes. Returns false on clean EOF at a record
+/// boundary; throws on errors or a torn record.
+bool read_full(int fd, std::uint8_t* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, buf + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("pqd uds read: ") +
+                               std::strerror(errno));
+    }
+    if (r == 0) {
+      if (got == 0) return false;
+      throw std::runtime_error("pqd uds read: torn record at EOF");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---- InProcTransport -------------------------------------------------------
+
+struct InProcTransport::SessionState {
+  slpq::detail::SpscRing<Request> requests;
+  slpq::detail::SpscRing<Response> responses;
+  std::vector<Item> pending;  ///< insert batch staged during drain
+  std::uint64_t tag;          ///< shard-rotation tag, advanced per batch
+
+  SessionState(std::size_t ring_capacity, std::uint64_t tag0)
+      : requests(ring_capacity), responses(ring_capacity), tag(tag0) {}
+};
+
+InProcTransport::InProcTransport(Service& service, std::size_t max_sessions)
+    : service_(service), sessions_(max_sessions) {}
+
+InProcTransport::~InProcTransport() = default;
+
+InProcTransport::SessionState& InProcTransport::state(int sid) {
+  if (sid < 0 || static_cast<std::size_t>(sid) >= sessions_.size() ||
+      !sessions_[static_cast<std::size_t>(sid)])
+    throw std::logic_error("pqd: bad session id");
+  return *sessions_[static_cast<std::size_t>(sid)];
+}
+
+int InProcTransport::open_session() {
+  std::lock_guard<slpq::detail::TinySpinLock> g(open_lock_);
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    if (!sessions_[i]) {
+      // Seed each session's rotation tag a golden-ratio stride apart so
+      // concurrent sessions start their shard round-robins spread out.
+      sessions_[i] = std::make_unique<SessionState>(
+          static_cast<std::size_t>(service_.config().ring_capacity),
+          i * kTagStride);
+      return static_cast<int>(i);
+    }
+  }
+  throw std::runtime_error("pqd: session table full");
+}
+
+void InProcTransport::drain(SessionState& s) {
+  const std::size_t batch = static_cast<std::size_t>(service_.config().batch);
+  Request req;
+  while (s.requests.try_pop(req)) {
+    switch (req.op) {
+      case OpKind::kInsert:
+        s.pending.emplace_back(req.key, req.value);
+        if (s.pending.size() >= batch) {
+          service_.insert_batch(s.pending.data(), s.pending.size(), s.tag++);
+          s.pending.clear();
+        }
+        break;
+      case OpKind::kDeleteMin: {
+        if (!s.pending.empty()) {
+          service_.insert_batch(s.pending.data(), s.pending.size(), s.tag++);
+          s.pending.clear();
+        }
+        Response resp;
+        if (const std::optional<Item> item = service_.delete_min()) {
+          resp = Response{Status::kOk, item->first, item->second};
+        } else {
+          resp = Response{Status::kEmpty, 0, 0};
+        }
+        if (!s.responses.try_push(resp))
+          throw std::logic_error("pqd: response ring overflow");
+        break;
+      }
+      case OpKind::kFlush: {
+        if (!s.pending.empty()) {
+          service_.insert_batch(s.pending.data(), s.pending.size(), s.tag++);
+          s.pending.clear();
+        }
+        if (!s.responses.try_push(Response{Status::kOk, 0, 0}))
+          throw std::logic_error("pqd: response ring overflow");
+        break;
+      }
+    }
+  }
+  // Whatever reached the ring is applied by the end of a drain: drains
+  // fire exactly at batch boundaries and before synchronous ops, so a
+  // trailing partial batch only exists when a sync op forced it anyway.
+  if (!s.pending.empty()) {
+    service_.insert_batch(s.pending.data(), s.pending.size(), s.tag++);
+    s.pending.clear();
+  }
+}
+
+void InProcTransport::submit(int sid, const Request& req) {
+  SessionState& s = state(sid);
+  if (!s.requests.try_push(req)) {
+    drain(s);  // ring full: catch up, then retry
+    if (!s.requests.try_push(req))
+      throw std::logic_error("pqd: request ring overflow after drain");
+  }
+  // Batch boundary or synchronous op: execute now, on this thread (the
+  // server-local fast path — no handoff, the ring delimits the batch).
+  if (req.op != OpKind::kInsert ||
+      s.requests.size() >=
+          static_cast<std::size_t>(service_.config().batch))
+    drain(s);
+}
+
+Response InProcTransport::await(int sid) {
+  SessionState& s = state(sid);
+  Response resp;
+  if (!s.responses.try_pop(resp))
+    throw std::logic_error("pqd: await with no pending response");
+  return resp;
+}
+
+void InProcTransport::close_session(int sid) {
+  SessionState& s = state(sid);
+  drain(s);
+  std::lock_guard<slpq::detail::TinySpinLock> g(open_lock_);
+  sessions_[static_cast<std::size_t>(sid)].reset();
+}
+
+// ---- UdsTransport ----------------------------------------------------------
+
+struct UdsTransport::SessionState {
+  int client_fd = -1;
+  std::thread server;
+  std::vector<std::uint8_t> wbuf;  ///< encoded requests awaiting one write
+  std::size_t buffered = 0;        ///< requests currently in wbuf
+};
+
+UdsTransport::UdsTransport(Service& service, std::size_t max_sessions)
+    : service_(service), sessions_(max_sessions) {}
+
+UdsTransport::~UdsTransport() {
+  for (std::size_t i = 0; i < sessions_.size(); ++i)
+    if (sessions_[i]) close_session(static_cast<int>(i));
+}
+
+UdsTransport::SessionState& UdsTransport::state(int sid) {
+  if (sid < 0 || static_cast<std::size_t>(sid) >= sessions_.size() ||
+      !sessions_[static_cast<std::size_t>(sid)])
+    throw std::logic_error("pqd: bad session id");
+  return *sessions_[static_cast<std::size_t>(sid)];
+}
+
+int UdsTransport::open_session() {
+  std::lock_guard<slpq::detail::TinySpinLock> g(open_lock_);
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    if (!sessions_[i]) {
+      int fds[2];
+      if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+        throw std::runtime_error(std::string("pqd socketpair: ") +
+                                 std::strerror(errno));
+      auto s = std::make_unique<SessionState>();
+      s->client_fd = fds[0];
+      const int server_fd = fds[1];
+      s->server = std::thread(
+          [this, server_fd, i] { serve(server_fd, i * kTagStride); });
+      sessions_[i] = std::move(s);
+      return static_cast<int>(i);
+    }
+  }
+  throw std::runtime_error("pqd: session table full");
+}
+
+void UdsTransport::serve(int fd, std::uint64_t tag0) {
+  std::uint64_t tag = tag0;
+  const std::size_t batch = static_cast<std::size_t>(service_.config().batch);
+  std::vector<Item> pending;
+  std::uint8_t rec[kWireRecordSize];
+  const auto apply_pending = [&] {
+    if (pending.empty()) return;
+    service_.insert_batch(pending.data(), pending.size(), tag++);
+    pending.clear();
+  };
+  while (read_full(fd, rec, kWireRecordSize)) {
+    Request req;
+    if (!decode_request(rec, req)) break;  // protocol error: drop session
+    switch (req.op) {
+      case OpKind::kInsert:
+        pending.emplace_back(req.key, req.value);
+        if (pending.size() >= batch) apply_pending();
+        break;
+      case OpKind::kDeleteMin: {
+        apply_pending();
+        Response resp{Status::kEmpty, 0, 0};
+        if (const std::optional<Item> item = service_.delete_min())
+          resp = Response{Status::kOk, item->first, item->second};
+        std::uint8_t out[kWireRecordSize];
+        encode_response(resp, out);
+        write_all(fd, out, kWireRecordSize);
+        break;
+      }
+      case OpKind::kFlush: {
+        apply_pending();
+        std::uint8_t out[kWireRecordSize];
+        encode_response(Response{Status::kOk, 0, 0}, out);
+        write_all(fd, out, kWireRecordSize);
+        break;
+      }
+    }
+  }
+  apply_pending();  // client hung up: land the trailing partial batch
+  ::close(fd);
+}
+
+void UdsTransport::submit(int sid, const Request& req) {
+  SessionState& s = state(sid);
+  const std::size_t off = s.wbuf.size();
+  s.wbuf.resize(off + kWireRecordSize);
+  encode_request(req, s.wbuf.data() + off);
+  ++s.buffered;
+  // One write syscall per batch; sync ops flush immediately so the
+  // server sees them (and everything queued before them) right away.
+  if (req.op != OpKind::kInsert ||
+      s.buffered >= static_cast<std::size_t>(service_.config().batch)) {
+    write_all(s.client_fd, s.wbuf.data(), s.wbuf.size());
+    s.wbuf.clear();
+    s.buffered = 0;
+  }
+}
+
+Response UdsTransport::await(int sid) {
+  SessionState& s = state(sid);
+  std::uint8_t rec[kWireRecordSize];
+  if (!read_full(s.client_fd, rec, kWireRecordSize))
+    throw std::runtime_error("pqd: server closed session");
+  Response resp;
+  if (!decode_response(rec, resp))
+    throw std::runtime_error("pqd: bad response record");
+  return resp;
+}
+
+void UdsTransport::close_session(int sid) {
+  SessionState& s = state(sid);
+  if (!s.wbuf.empty()) {
+    write_all(s.client_fd, s.wbuf.data(), s.wbuf.size());
+    s.wbuf.clear();
+  }
+  // Half-close: the server drains remaining records, sees EOF, applies
+  // its trailing batch and exits.
+  ::shutdown(s.client_fd, SHUT_WR);
+  if (s.server.joinable()) s.server.join();
+  ::close(s.client_fd);
+  std::lock_guard<slpq::detail::TinySpinLock> g(open_lock_);
+  sessions_[static_cast<std::size_t>(sid)].reset();
+}
+
+}  // namespace pqd

@@ -1,0 +1,93 @@
+// SpscRing: a bounded single-producer/single-consumer ring buffer.
+//
+// The pqd service tier runs each client session's requests through one of
+// these (src/pqd/): the client thread produces encoded requests, the
+// serving side — the same thread on the in-process fast path, a server
+// thread behind a real transport — consumes them in batches, so one shard
+// acquisition can serve up to a whole ring's worth of enqueued ops.
+//
+// Classic Lamport queue with two refinements that keep the hot path to one
+// shared-line touch per side:
+//   * head_ and tail_ live on separate cache lines (no false sharing
+//     between producer and consumer);
+//   * each side caches the other's index and re-reads it only when the
+//     cached value says the ring looks full/empty, so a streaming producer
+//     or consumer mostly runs on line-local state.
+// Capacity is rounded up to a power of two so wraparound is a mask, and
+// one slot convention is avoided by tracking monotone indices (head_ and
+// tail_ never wrap; the slot is index & mask).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <utility>
+
+#include "slpq/detail/cache_line.hpp"
+
+namespace slpq::detail {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to the next power of two (minimum 2).
+  explicit SpscRing(std::size_t capacity)
+      : mask_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity) - 1),
+        slots_(new T[mask_ + 1]) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+  ~SpscRing() { delete[] slots_; }
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Producer side. Returns false when the ring is full.
+  bool try_push(T v) noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) return false;
+    }
+    slots_[tail & mask_] = std::move(v);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool try_pop(T& out) noexcept {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate occupancy (exact when called by either endpoint while the
+  /// other is quiescent).
+  std::size_t size() const noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<std::size_t>(tail - head) : 0;
+  }
+
+  bool empty() const noexcept { return size() == 0; }
+
+ private:
+  const std::size_t mask_;
+  T* const slots_;
+
+  // Producer line: tail plus the producer's cached copy of head.
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> tail_{0};
+  std::uint64_t head_cache_ = 0;
+
+  // Consumer line: head plus the consumer's cached copy of tail.
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> head_{0};
+  std::uint64_t tail_cache_ = 0;
+};
+
+}  // namespace slpq::detail

@@ -52,7 +52,7 @@ RECLAIM_KEYS = [
 
 RECLAIM_POLICIES = ("ts", "hp", "epoch", "leaky")
 
-WORKLOADS = ("mixed", "des", "timer")
+WORKLOADS = ("mixed", "des", "timer", "trace")
 
 REQUIRED_RUN_FIELDS = {
     "machine": str,
@@ -102,6 +102,36 @@ TOPO_KEYS = [
     "mq.topo_fallbacks",
 ]
 
+# Service-tier runs (run.service == "pqd") price their own relaxation and
+# batching: client-observed latency, batch occupancy, shard balance, and
+# the service-level rank-error sketch (pqd.rank_error.*, measured against
+# the global order across shards — distinct from mq.rank_error.*, which a
+# relaxed backend measures against its own single-queue order).
+PQD_KEYS = [
+    "pqd.shards",
+    "pqd.batch",
+    "pqd.shard_acquisitions",
+    "pqd.insert_batches",
+    "pqd.window_refills",
+    "pqd.empty_refills",
+    "pqd.batch_occupancy.mean",
+    "pqd.batch_occupancy.p50",
+    "pqd.batch_occupancy.p90",
+    "pqd.batch_occupancy.max",
+    "pqd.shard_imbalance",
+    "pqd.latency.samples",
+    "pqd.latency.p50",
+    "pqd.latency.p90",
+    "pqd.latency.p99",
+    "pqd.latency.max",
+    "pqd.rank_error.samples",
+    "pqd.rank_error.mean",
+    "pqd.rank_error.p99",
+    "pqd.rank_error.max",
+]
+
+SERVICES = ("pqd",)
+
 
 def check_run(run, idx, errors):
     where = f"runs[{idx}]"
@@ -132,12 +162,31 @@ def check_run(run, idx, errors):
     if workload is not None and workload not in WORKLOADS:
         errors.append(
             f"{where}.workload: expected one of {WORKLOADS}, got {workload!r}")
-    if run.get("structure") == "multiqueue":
-        missing = [k for k in RANK_ERROR_KEYS if k not in counters]
+    service = run.get("service")
+    if service is not None:
+        if service not in SERVICES:
+            errors.append(
+                f"{where}.service: expected one of {SERVICES}, got {service!r}")
+        shards = run.get("shards")
+        if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
+            errors.append(f"{where}.shards: service run needs a positive "
+                          f"integer shard count, got {shards!r}")
+    if service == "pqd":
+        missing = [k for k in PQD_KEYS if k not in counters]
         if missing:
             errors.append(
-                f"{where}.counters: multiqueue run missing rank-error keys "
-                f"{missing}")
+                f"{where}.counters: pqd service run missing keys {missing}")
+    if run.get("structure") == "multiqueue":
+        # Service runs aggregate per-shard backend telemetry, which carries
+        # the topology counters but not mq.rank_error.* — that fold lives in
+        # the flat-driver harness; the service reports pqd.rank_error.*
+        # (checked above) instead.
+        if service != "pqd":
+            missing = [k for k in RANK_ERROR_KEYS if k not in counters]
+            if missing:
+                errors.append(
+                    f"{where}.counters: multiqueue run missing rank-error keys "
+                    f"{missing}")
         missing = [k for k in TOPO_KEYS if k not in counters]
         if missing:
             errors.append(

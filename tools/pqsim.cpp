@@ -20,6 +20,7 @@
 #include "harness/ascii_chart.hpp"
 #include "harness/backend.hpp"
 #include "harness/report.hpp"
+#include "harness/trace.hpp"
 #include "harness/workload.hpp"
 
 namespace {
@@ -31,7 +32,7 @@ namespace {
       "usage: pqsim [--machine sim|native] [--structure LIST]\n"
       "             [--list-structures]\n"
       "             [--procs N | --sweep [--max-procs N]]\n"
-      "             [--workload mixed|des|timer]\n"
+      "             [--workload mixed|des|timer|trace] [--trace-file PATH]\n"
       "             [--ops N] [--initial N] [--insert-ratio F]\n"
       "             [--work N] [--seed N] [--max-level N]\n"
       "             [--mq-c N] [--mq-stickiness N]\n"
@@ -72,7 +73,12 @@ namespace {
       "                         triggers restructuring (default 32)\n"
       "  --workload KIND        scenario: mixed (the paper's benchmark,\n"
       "                         default), des (discrete-event hold model),\n"
-      "                         timer (timer-wheel deadline front)\n"
+      "                         timer (timer-wheel deadline front), trace\n"
+      "                         (replay a recorded schedule; needs\n"
+      "                         --trace-file)\n"
+      "  --trace-file PATH      slpq-trace/1 op trace to replay (see\n"
+      "                         docs/TRACES.md; ops/initial come from the\n"
+      "                         trace, overriding --ops/--initial)\n"
       "  --no-runahead          sim machine: suspend the fiber after every\n"
       "                         charged op even when the processor would\n"
       "                         stay scheduled (debugging escape hatch;\n"
@@ -197,6 +203,7 @@ int main(int argc, char** argv) {
         usage(e.what());
       }
     }
+    else if (arg == "--trace-file") base.trace_file = next();
     else if (arg == "--no-gc") base.use_gc = false;
     else if (arg == "--no-runahead") base.machine.runahead = false;
     else if (arg == "--pad-nodes") base.pad_nodes = true;
@@ -216,6 +223,21 @@ int main(int argc, char** argv) {
     usage("--mq-ins-buf, --mq-del-buf and --mq-batch must be >= 1");
   if (base.mq_topo_radius < 0) usage("--mq-radius must be >= 0");
   if (base.boundoffset < 1) usage("--boundoffset must be >= 1");
+  if (base.workload == harness::WorkloadKind::Trace) {
+    if (base.trace_file.empty()) usage("--workload trace needs --trace-file");
+    // Preload once (sweeps would otherwise re-parse per run) and make the
+    // headline numbers reflect the trace, not the synthetic defaults.
+    try {
+      base.trace = std::make_shared<harness::Trace>(
+          harness::Trace::load(base.trace_file));
+    } catch (const std::exception& e) {
+      usage(e.what());
+    }
+    base.total_ops = base.trace->ops.size();
+    base.initial_size = base.trace->initial_size();
+  } else if (!base.trace_file.empty()) {
+    usage("--trace-file only applies to --workload trace");
+  }
 
   // Resolve every requested structure up front so a typo fails before any
   // benchmark runs.
